@@ -1,0 +1,109 @@
+// Sec. III feasibility experiment: iterative spatial crowdsourcing driven
+// by FOV-aware coverage measurement. Reports coverage per round for both
+// assignment policies, plus a passive-collection baseline (uploads at
+// random street points with no campaign), demonstrating why *proactive*
+// collection is needed (the paper's motivation for spatial crowdsourcing).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "crowd/acquisition.h"
+#include "geo/polyline.h"
+
+namespace tvdp {
+namespace {
+
+geo::BoundingBox Region() {
+  return geo::BoundingBox::FromCorners({34.00, -118.30}, {34.06, -118.24});
+}
+
+std::vector<crowd::RoundStats> RunCampaign(crowd::AssignmentPolicy policy,
+                                           int workers, int rounds) {
+  Rng rng(77);
+  auto grid = geo::CoverageGrid::Make(Region(), 8, 8, 4);
+  crowd::WorkerPool pool = crowd::WorkerPool::MakeUniform(Region(), workers,
+                                                          rng);
+  crowd::Campaign campaign;
+  campaign.id = 1;
+  campaign.name = "coverage-bench";
+  campaign.region = Region();
+  campaign.target_coverage = 0.95;
+  crowd::IterativeAcquisition::Options opts;
+  opts.max_rounds = rounds;
+  opts.policy = policy;
+  crowd::IterativeAcquisition acq(campaign, std::move(*grid), std::move(pool),
+                                  opts, 42);
+  return acq.Run();
+}
+
+/// Passive baseline: the same number of captures per round, but taken at
+/// uniformly random street points with random headings (no campaign).
+std::vector<double> RunPassive(int captures_per_round, int rounds) {
+  Rng rng(88);
+  auto grid = geo::CoverageGrid::Make(Region(), 8, 8, 4);
+  geo::StreetNetwork streets =
+      geo::StreetNetwork::MakeGrid(Region(), 6, 6, rng);
+  std::vector<double> coverage;
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < captures_per_round; ++i) {
+      auto sample = streets.Sample(rng);
+      auto fov = geo::FieldOfView::Make(
+          sample.location,
+          sample.street_bearing_deg + (rng.Bernoulli(0.5) ? 90 : -90),
+          60, 120);
+      if (fov.ok()) grid->AddFov(*fov);
+    }
+    coverage.push_back(grid->CoverageRatio());
+  }
+  return coverage;
+}
+
+int Run() {
+  const int rounds = bench::EnvInt("TVDP_BENCH_ROUNDS", 12);
+  const int workers = bench::EnvInt("TVDP_BENCH_WORKERS", 60);
+  std::printf("== Sec. III: coverage-driven iterative acquisition ==\n");
+  std::printf("region 8x8 cells x 4 direction sectors, %d workers\n\n",
+              workers);
+
+  auto greedy = RunCampaign(crowd::AssignmentPolicy::kGreedyNearest, workers,
+                            rounds);
+  auto matching = RunCampaign(crowd::AssignmentPolicy::kBatchedMatching,
+                              workers, rounds);
+  // Passive baseline with the matching campaign's per-round capture count.
+  int per_round = matching.empty() ? 50 : matching[0].tasks_completed;
+  auto passive = RunPassive(per_round, rounds);
+
+  std::printf("%-6s %-28s %-28s %-10s\n", "round",
+              "greedy (cov / tasks / km)", "matching (cov / tasks / km)",
+              "passive");
+  size_t max_rounds = std::max({greedy.size(), matching.size(),
+                                passive.size()});
+  for (size_t r = 0; r < max_rounds; ++r) {
+    auto cell = [&](const std::vector<crowd::RoundStats>& h) {
+      if (r >= h.size()) return std::string("      (done)                ");
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3f / %4d / %6.1f        ",
+                    h[r].coverage_after, h[r].tasks_completed,
+                    h[r].travel_m / 1000.0);
+      return std::string(buf);
+    };
+    std::printf("%-6zu %-28s %-28s", r + 1, cell(greedy).c_str(),
+                cell(matching).c_str());
+    if (r < passive.size()) std::printf("%8.3f", passive[r]);
+    std::printf("\n");
+  }
+
+  double campaign_final = matching.empty() ? 0 : matching.back().coverage_after;
+  double passive_final = passive.empty() ? 0 : passive.back();
+  std::printf(
+      "\nshape check: campaign coverage (%.3f) > passive coverage (%.3f) "
+      "at equal capture budget: %s\n",
+      campaign_final, passive_final,
+      campaign_final > passive_final ? "HOLDS" : "VIOLATED");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tvdp
+
+int main() { return tvdp::Run(); }

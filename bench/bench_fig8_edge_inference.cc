@@ -1,0 +1,64 @@
+// Reproduces paper Fig. 8: average inference time (reported in log10 ms,
+// as in the figure) for the three transfer-learned models (MobileNetV1,
+// MobileNetV2, InceptionV3) on the three device classes (desktop,
+// Raspberry Pi 3 B+, smartphone).
+//
+// Paper shape: desktop answers in tens of milliseconds for all models;
+// the RPi needs thousands of milliseconds and is on average ~1.5 orders
+// of magnitude slower than desktop; the smartphone sits between.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "edge/device.h"
+#include "edge/model_profile.h"
+#include "edge/simulator.h"
+
+namespace tvdp {
+namespace {
+
+int Run() {
+  const int runs = bench::EnvInt("TVDP_BENCH_RUNS", 200);
+  std::printf("== Fig. 8 reproduction: inference time (ms, and log10 ms) ==\n");
+  std::printf("%d simulated inferences per (model, device) cell\n\n", runs);
+
+  auto devices = edge::PaperDeviceProfiles();
+  auto models = edge::PaperModelProfiles();
+  edge::InferenceSimulator sim;
+
+  std::printf("%-16s", "model \\ device");
+  for (const auto& d : devices) {
+    std::printf("%24s", edge::DeviceClassName(d.device_class).c_str());
+  }
+  std::printf("\n");
+
+  double ratio_sum = 0;
+  for (const auto& model : models) {
+    std::printf("%-16s", model.name.c_str());
+    double desktop_ms = 0;
+    for (const auto& device : devices) {
+      double ms = sim.MeanLatencyMs(device, model, runs);
+      if (device.device_class == edge::DeviceClass::kDesktop) desktop_ms = ms;
+      if (device.device_class == edge::DeviceClass::kRaspberryPi) {
+        ratio_sum += std::log10(ms / desktop_ms);
+      }
+      std::printf("    %9.1fms (10^%.2f)", ms, std::log10(ms));
+    }
+    std::printf("\n");
+  }
+
+  double mean_orders = ratio_sum / static_cast<double>(models.size());
+  std::printf(
+      "\nRPi vs desktop: mean gap = %.2f orders of magnitude "
+      "(paper: ~1.5)\n",
+      mean_orders);
+  std::printf("shape check: gap in [1.0, 2.5]: %s\n",
+              mean_orders >= 1.0 && mean_orders <= 2.5 ? "HOLDS" : "VIOLATED");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tvdp
+
+int main() { return tvdp::Run(); }

@@ -1,0 +1,112 @@
+#ifndef TVDP_BENCH_BENCH_UTIL_H_
+#define TVDP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "platform/dataset_gen.h"
+#include "vision/bow.h"
+#include "vision/cnn.h"
+#include "vision/color_histogram.h"
+#include "vision/feature.h"
+
+namespace tvdp::bench {
+
+/// Reads an integer environment override, e.g. TVDP_BENCH_N=5000 to run the
+/// classifier benches closer to the paper's 22K-image scale.
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  int parsed = std::atoi(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+/// The shared Fig. 6 / Fig. 7 corpus: a synthetic LASAN-style dataset split
+/// into train/test image lists (80/20 stratified by interleaving).
+struct Corpus {
+  std::vector<image::Image> train_images;
+  std::vector<int> train_labels;
+  std::vector<image::Image> test_images;
+  std::vector<int> test_labels;
+};
+
+inline Corpus MakeCleanlinessCorpus(int total_images, uint64_t seed = 2019) {
+  platform::DatasetConfig config;
+  config.count = total_images;
+  config.seed = seed;
+  Corpus corpus;
+  int i = 0;
+  for (auto& gi : platform::GenerateStreetDataset(config)) {
+    if (i++ % 5 == 4) {
+      corpus.test_images.push_back(std::move(gi.pixels));
+      corpus.test_labels.push_back(static_cast<int>(gi.label));
+    } else {
+      corpus.train_images.push_back(std::move(gi.pixels));
+      corpus.train_labels.push_back(static_cast<int>(gi.label));
+    }
+  }
+  return corpus;
+}
+
+/// Extracts train/test ml::Datasets with the given extractor (which must
+/// already be fitted if trainable).
+inline bool ExtractDatasets(const vision::FeatureExtractor& extractor,
+                            const Corpus& corpus, ml::Dataset* train,
+                            ml::Dataset* test) {
+  for (size_t i = 0; i < corpus.train_images.size(); ++i) {
+    auto f = extractor.Extract(corpus.train_images[i]);
+    if (!f.ok() || !train->Add(std::move(*f), corpus.train_labels[i]).ok()) {
+      std::fprintf(stderr, "feature extraction failed: %s\n",
+                   f.ok() ? "dataset add" : f.status().ToString().c_str());
+      return false;
+    }
+  }
+  for (size_t i = 0; i < corpus.test_images.size(); ++i) {
+    auto f = extractor.Extract(corpus.test_images[i]);
+    if (!f.ok() || !test->Add(std::move(*f), corpus.test_labels[i]).ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Builds the three paper feature extractors, fitting the trainable ones on
+/// the training images only (no test leakage). Returned pointers are owned
+/// by the out-params.
+struct FeaturePipelines {
+  vision::ColorHistogramExtractor color;
+  vision::SiftBowExtractor sift_bow;
+  vision::CnnFeatureExtractor cnn;
+  bool ok = false;
+};
+
+inline FeaturePipelines FitFeaturePipelines(const Corpus& corpus) {
+  FeaturePipelines p;
+  if (!p.sift_bow.Fit(corpus.train_images, corpus.train_labels).ok()) {
+    std::fprintf(stderr, "SIFT-BoW dictionary fit failed\n");
+    return p;
+  }
+  if (!p.cnn.Fit(corpus.train_images, corpus.train_labels).ok()) {
+    std::fprintf(stderr, "CNN fine-tuning failed\n");
+    return p;
+  }
+  p.ok = true;
+  return p;
+}
+
+/// The five cleanliness class display names, in label order.
+inline std::vector<std::string> CleanlinessClassNames() {
+  std::vector<std::string> names;
+  for (int c = 0; c < image::kNumCleanlinessClasses; ++c) {
+    names.push_back(
+        image::SceneClassName(static_cast<image::SceneClass>(c)));
+  }
+  return names;
+}
+
+}  // namespace tvdp::bench
+
+#endif  // TVDP_BENCH_BENCH_UTIL_H_

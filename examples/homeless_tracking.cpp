@@ -1,0 +1,133 @@
+// Translational data reuse (Sec. VII-B, Fig. 9): the Homeless Coordinator
+// of the City of Los Angeles reuses the street-cleanliness annotations
+// that LASAN's pipeline already produced — *without any learning of their
+// own* — to study encampments:
+//   * count tents city-wide,
+//   * find spatial clusters (hotspots),
+//   * track week-over-week movement from capture timestamps.
+//
+// Run: ./build/examples/homeless_tracking [image_count]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "platform/dataset_gen.h"
+#include "platform/tvdp.h"
+#include "query/query.h"
+
+using namespace tvdp;
+
+namespace {
+constexpr char kTask[] = "street_cleanliness";
+}
+
+int main(int argc, char** argv) {
+  int n = argc > 1 ? std::atoi(argv[1]) : 800;
+  if (n < 100) n = 100;
+
+  // Stand-in for "the platform after LASAN's pipeline ran": ingest a
+  // corpus whose cleanliness annotations are already stored. Here the
+  // annotations come from ground truth with classifier-like confidence;
+  // examples/street_cleanliness.cpp shows the full learning pipeline.
+  platform::DatasetConfig config;
+  config.count = n;
+  config.class_weights = {3, 1, 1, 2, 1};  // encampments are common downtown
+  config.hotspots_per_class = 2;
+  auto dataset = platform::GenerateStreetDataset(config);
+
+  auto created = platform::Tvdp::Create();
+  if (!created.ok()) return 1;
+  platform::Tvdp tvdp = std::move(created).value();
+  std::vector<std::string> labels;
+  for (int c = 0; c < image::kNumCleanlinessClasses; ++c) {
+    labels.push_back(image::SceneClassName(static_cast<image::SceneClass>(c)));
+  }
+  if (!tvdp.RegisterClassification(kTask, labels).ok()) return 1;
+
+  Rng rng(5);
+  for (const auto& gi : dataset) {
+    auto id = tvdp.IngestImage(gi.record);
+    if (!id.ok()) return 1;
+    platform::AnnotationRecord ann;
+    ann.classification = kTask;
+    ann.label = labels[static_cast<size_t>(gi.label)];
+    ann.confidence = rng.Uniform(0.7, 1.0);
+    ann.machine = true;
+    if (!tvdp.AnnotateImage(*id, ann).ok()) return 1;
+  }
+  std::printf("platform state: %zu images with machine annotations\n",
+              tvdp.image_count());
+
+  // --- The Coordinator's study: pure queries, zero training ---
+
+  // 1. City-wide tent count.
+  auto tents = tvdp.LocationsWithLabel(kTask, "encampment", 0.75);
+  std::printf("\n[1] homeless count: %zu encampment sightings "
+              "(confidence >= 0.75)\n",
+              tents->size());
+
+  // 2. Hotspot clustering on a 5x5 grid.
+  const geo::BoundingBox& region = config.region;
+  std::map<std::pair<int, int>, int> cells;
+  for (const auto& p : *tents) {
+    int row = std::min(
+        4, std::max(0, static_cast<int>((p.lat - region.min_lat) /
+                                        (region.max_lat - region.min_lat) * 5)));
+    int col = std::min(
+        4, std::max(0, static_cast<int>((p.lon - region.min_lon) /
+                                        (region.max_lon - region.min_lon) * 5)));
+    ++cells[{row, col}];
+  }
+  std::printf("\n[2] tent hotspot grid (5x5 cells, north at top):\n");
+  int hottest = 0;
+  for (int r = 4; r >= 0; --r) {
+    std::printf("    ");
+    for (int c = 0; c < 5; ++c) {
+      auto it = cells.find({r, c});
+      int count = it == cells.end() ? 0 : it->second;
+      hottest = std::max(hottest, count);
+      std::printf("%5d", count);
+    }
+    std::printf("\n");
+  }
+  std::printf("    hottest cell holds %d sightings\n", hottest);
+
+  // 3. Weekly movement: encampment sightings per week via hybrid
+  //    categorical+temporal queries.
+  std::printf("\n[3] weekly encampment sightings (translational temporal "
+              "study):\n");
+  Timestamp week = 7 * 86400;
+  for (int w = 0; w < 6; ++w) {
+    query::HybridQuery q;
+    query::CategoricalPredicate cat;
+    cat.classification = kTask;
+    cat.label = "encampment";
+    q.categorical = cat;
+    q.temporal = query::TemporalPredicate{config.start_time + w * week,
+                                          config.start_time + (w + 1) * week - 1};
+    auto hits = tvdp.query().Execute(q);
+    if (!hits.ok()) return 1;
+    std::printf("    week %d: %3zu sightings  %s\n", w + 1, hits->size(),
+                std::string(hits->size(), '#').c_str());
+  }
+
+  // 4. Follow-up: which encampment images also show illegal dumping
+  //    nearby (within 250 m of a tent sighting)?
+  int co_located = 0;
+  auto dumping = tvdp.LocationsWithLabel(kTask, "illegal_dumping", 0.0);
+  for (const auto& tent : *tents) {
+    for (const auto& dump : *dumping) {
+      if (geo::HaversineMeters(tent, dump) < 250) {
+        ++co_located;
+        break;
+      }
+    }
+  }
+  std::printf("\n[4] cleanliness correlation: %d of %zu tent sightings have "
+              "illegal dumping within 250 m\n",
+              co_located, tents->size());
+  std::printf("\nno model was trained in this program — every result came "
+              "from annotations shared through TVDP.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// The paper's primary use case (Sec. VII-A), end to end:
+//   1. LASAN garbage trucks collect geo-tagged street imagery           (Acquisition)
+//   2. the corpus is ingested into TVDP with FOV + temporal metadata    (Access)
+//   3. USC researchers fine-tune CNN features, train an SVM, and
+//      machine-annotate the unlabelled images through the REST-style
+//      API with augmented-knowledge write-back                          (Analysis)
+//   4. LASAN queries for dirty streets to dispatch cleaning crews       (Action)
+//
+// Run: ./build/examples/street_cleanliness [image_count]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ml/cross_validation.h"
+#include "ml/linear_svm.h"
+#include "platform/api.h"
+#include "platform/dataset_gen.h"
+#include "platform/model_registry.h"
+#include "platform/tvdp.h"
+#include "vision/cnn.h"
+
+using namespace tvdp;
+
+namespace {
+constexpr char kTask[] = "street_cleanliness";
+}
+
+int main(int argc, char** argv) {
+  int n = argc > 1 ? std::atoi(argv[1]) : 600;
+  if (n < 100) n = 100;
+
+  // --- Acquisition: the truck-collected corpus ---
+  platform::DatasetConfig config;
+  config.count = n;
+  auto dataset = platform::GenerateStreetDataset(config);
+  std::printf("LASAN trucks collected %zu geo-tagged street images\n",
+              dataset.size());
+
+  auto created = platform::Tvdp::Create();
+  if (!created.ok()) return 1;
+  platform::Tvdp tvdp = std::move(created).value();
+  platform::ModelRegistry registry;
+  platform::ApiService api(&tvdp, &registry);
+  std::string lasan_key = api.CreateApiKey("lasan");
+  std::string usc_key = api.CreateApiKey("usc_research");
+
+  std::vector<std::string> labels;
+  for (int c = 0; c < image::kNumCleanlinessClasses; ++c) {
+    labels.push_back(image::SceneClassName(static_cast<image::SceneClass>(c)));
+  }
+  if (!tvdp.RegisterClassification(kTask, labels).ok()) return 1;
+
+  // Ingest everything; the first 70% arrive with manual labels (the
+  // "22K images with correct labels" prepared as a one-time job).
+  size_t labelled_end = dataset.size() * 7 / 10;
+  std::vector<int64_t> ids;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    auto id = tvdp.IngestImage(dataset[i].record);
+    if (!id.ok()) return 1;
+    ids.push_back(*id);
+    if (i < labelled_end) {
+      platform::AnnotationRecord ann;
+      ann.classification = kTask;
+      ann.label = labels[static_cast<size_t>(dataset[i].label)];
+      ann.confidence = 1.0;
+      ann.machine = false;  // manual ground truth
+      if (!tvdp.AnnotateImage(*id, ann).ok()) return 1;
+    }
+  }
+
+  // --- Analysis: fine-tune CNN features and train the Fig. 6 winner ---
+  std::vector<image::Image> train_images;
+  std::vector<int> train_labels;
+  for (size_t i = 0; i < labelled_end; ++i) {
+    train_images.push_back(dataset[i].pixels);
+    train_labels.push_back(static_cast<int>(dataset[i].label));
+  }
+  vision::CnnFeatureExtractor cnn;
+  if (!cnn.Fit(train_images, train_labels).ok()) return 1;
+
+  ml::Dataset train;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    auto f = cnn.Extract(dataset[i].pixels);
+    if (!f.ok()) return 1;
+    if (!tvdp.StoreFeature(ids[i], "cnn", *f).ok()) return 1;
+    if (i < labelled_end) {
+      train.Add(std::move(*f), static_cast<int>(dataset[i].label)).ok();
+    }
+  }
+  auto moments = train.ComputeMoments();
+  train.Standardize(moments);
+  auto svm = std::make_unique<ml::LinearSvmClassifier>();
+  if (!svm->Train(train).ok()) return 1;
+
+  // 10-fold CV on the labelled slice, as in the paper's protocol.
+  Rng cv_rng(7);
+  ml::LinearSvmClassifier cv_prototype;
+  auto cv = ml::KFoldCrossValidate(cv_prototype, train, 10, cv_rng);
+  if (cv.ok()) {
+    std::printf("USC: SVM on fine-tuned CNN features, 10-fold CV macro-F1 = "
+                "%.3f (paper: 0.83)\n",
+                cv->mean_macro_f1);
+  }
+
+  // Share the trained model on the platform.
+  platform::ModelSpec spec;
+  spec.name = "cleanliness_svm_cnn";
+  spec.feature_kind = "cnn";
+  spec.classification = kTask;
+  spec.labels = labels;
+  spec.owner = "usc_research";
+  // NOTE: the registry model sees standardized features; wrap by
+  // standardizing at call time below.
+  if (!registry.Register(spec, std::move(svm)).ok()) return 1;
+  std::printf("USC registered model 'cleanliness_svm_cnn' on TVDP\n");
+
+  // Machine-annotate the unlabelled 30% through the API (use_model with
+  // annotate=true writes augmented knowledge back to the database).
+  int correct = 0, total = 0;
+  for (size_t i = labelled_end; i < dataset.size(); ++i) {
+    auto f = tvdp.GetFeature(ids[i], "cnn");
+    if (!f.ok()) return 1;
+    Json feature = Json::MakeArray();
+    for (size_t d = 0; d < f->size(); ++d) {
+      double sd = moments.stddev[d] > 1e-12 ? moments.stddev[d] : 1.0;
+      feature.Append(((*f)[d] - moments.mean[d]) / sd);
+    }
+    Json req = Json::MakeObject();
+    req["model"] = "cleanliness_svm_cnn";
+    req["feature"] = std::move(feature);
+    req["image_id"] = ids[i];
+    req["annotate"] = true;
+    auto resp = api.HandleRequest(usc_key, "use_model", req);
+    if (!resp.ok()) {
+      std::fprintf(stderr, "use_model failed: %s\n",
+                   resp.status().ToString().c_str());
+      return 1;
+    }
+    ++total;
+    if ((*resp)["label"].AsString() ==
+        labels[static_cast<size_t>(dataset[i].label)]) {
+      ++correct;
+    }
+  }
+  std::printf("machine-annotated %d new images via the API, accuracy %.3f\n",
+              total, total ? static_cast<double>(correct) / total : 0.0);
+
+  // --- Action: LASAN pulls the dirty streets for cleaning dispatch ---
+  for (const char* problem : {"illegal_dumping", "bulky_item", "encampment"}) {
+    Json search = Json::MakeObject();
+    search["classification"] = kTask;
+    search["label"] = problem;
+    auto resp = api.HandleRequest(lasan_key, "search_datasets", search);
+    if (!resp.ok()) return 1;
+    std::printf("LASAN work queue '%s': %lld locations (plan: %s)\n", problem,
+                static_cast<long long>((*resp)["count"].AsInt()),
+                (*resp)["plan"].AsString().c_str());
+  }
+  return 0;
+}

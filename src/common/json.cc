@@ -1,0 +1,351 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace tvdp {
+namespace {
+
+const Json& NullJson() {
+  static const Json* kNull = new Json();
+  return *kNull;
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendNumber(std::string& out, double v) {
+  if (std::floor(v) == v && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+/// Recursive-descent JSON parser over a string_view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    SkipWs();
+    auto v = ParseValue();
+    if (!v.ok()) return v;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  Result<Json> ParseValue() {
+    if (depth_ > 256) return Status::InvalidArgument("JSON nesting too deep");
+    if (Eof()) return Status::InvalidArgument("unexpected end of input");
+    char c = Peek();
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        auto s = ParseString();
+        if (!s.ok()) return s.status();
+        return Json(std::move(s).value());
+      }
+      case 't': return ParseLiteral("true", Json(true));
+      case 'f': return ParseLiteral("false", Json(false));
+      case 'n': return ParseLiteral("null", Json());
+      default: return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseLiteral(std::string_view lit, Json value) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return Status::InvalidArgument("invalid literal in JSON");
+    }
+    pos_ += lit.size();
+    return value;
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    if (!Eof() && (Peek() == '-' || Peek() == '+')) ++pos_;
+    while (!Eof() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                      Peek() == '.' || Peek() == 'e' || Peek() == 'E' ||
+                      Peek() == '-' || Peek() == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::InvalidArgument("invalid JSON number");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Status::InvalidArgument("invalid JSON number: " + token);
+    }
+    return Json(v);
+  }
+
+  Result<std::string> ParseString() {
+    if (Eof() || Peek() != '"') {
+      return Status::InvalidArgument("expected string");
+    }
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (Eof()) return Status::InvalidArgument("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (Eof()) return Status::InvalidArgument("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Status::InvalidArgument("bad \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Status::InvalidArgument("bad \\u escape digit");
+            }
+            // Encode BMP code point as UTF-8 (surrogate pairs unsupported;
+            // sufficient for the platform's metadata payloads).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument("unknown escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Result<Json> ParseArray() {
+    ++pos_;  // consume '['
+    ++depth_;
+    Json::Array arr;
+    SkipWs();
+    if (!Eof() && Peek() == ']') {
+      ++pos_;
+      --depth_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      SkipWs();
+      auto v = ParseValue();
+      if (!v.ok()) return v;
+      arr.push_back(std::move(v).value());
+      SkipWs();
+      if (Eof()) return Status::InvalidArgument("unterminated array");
+      char c = text_[pos_++];
+      if (c == ']') break;
+      if (c != ',') return Status::InvalidArgument("expected ',' in array");
+    }
+    --depth_;
+    return Json(std::move(arr));
+  }
+
+  Result<Json> ParseObject() {
+    ++pos_;  // consume '{'
+    ++depth_;
+    Json::Object obj;
+    SkipWs();
+    if (!Eof() && Peek() == '}') {
+      ++pos_;
+      --depth_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      SkipWs();
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWs();
+      if (Eof() || text_[pos_++] != ':') {
+        return Status::InvalidArgument("expected ':' in object");
+      }
+      SkipWs();
+      auto v = ParseValue();
+      if (!v.ok()) return v;
+      obj[std::move(key).value()] = std::move(v).value();
+      SkipWs();
+      if (Eof()) return Status::InvalidArgument("unterminated object");
+      char c = text_[pos_++];
+      if (c == '}') break;
+      if (c != ',') return Status::InvalidArgument("expected ',' in object");
+    }
+    --depth_;
+    return Json(std::move(obj));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const Json& Json::operator[](const std::string& key) const {
+  if (type_ != Type::kObject) return NullJson();
+  auto it = obj_.find(key);
+  if (it == obj_.end()) return NullJson();
+  return it->second;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ != Type::kObject) {
+    type_ = Type::kObject;
+    obj_.clear();
+  }
+  return obj_[key];
+}
+
+bool Json::Has(const std::string& key) const {
+  return type_ == Type::kObject && obj_.count(key) > 0;
+}
+
+void Json::Append(Json v) {
+  if (type_ != Type::kArray) {
+    type_ = Type::kArray;
+    arr_.clear();
+  }
+  arr_.push_back(std::move(v));
+}
+
+size_t Json::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  return 0;
+}
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: AppendNumber(out, num_); break;
+    case Type::kString: AppendEscaped(out, str_); break;
+    case Type::kArray: {
+      out += '[';
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        arr_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        AppendEscaped(out, k);
+        out += ':';
+        if (indent > 0) out += ' ';
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(out, 0, 0);
+  return out;
+}
+
+std::string Json::Pretty() const {
+  std::string out;
+  DumpTo(out, 2, 0);
+  return out;
+}
+
+Result<Json> Json::Parse(std::string_view text) {
+  Parser p(text);
+  return p.ParseDocument();
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::kNull: return true;
+    case Json::Type::kBool: return a.bool_ == b.bool_;
+    case Json::Type::kNumber: return a.num_ == b.num_;
+    case Json::Type::kString: return a.str_ == b.str_;
+    case Json::Type::kArray: return a.arr_ == b.arr_;
+    case Json::Type::kObject: return a.obj_ == b.obj_;
+  }
+  return false;
+}
+
+}  // namespace tvdp

@@ -1,0 +1,101 @@
+#ifndef TVDP_COMMON_JSON_H_
+#define TVDP_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tvdp {
+
+/// A JSON document value. TVDP's API layer (Sec. V of the paper: Restful
+/// API web services) exchanges requests and responses as JSON envelopes;
+/// this is a small self-contained value model + parser + serializer.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  // std::map keeps object keys ordered, which makes serialization (and
+  // therefore golden tests) deterministic.
+  using Object = std::map<std::string, Json>;
+
+  /// Constructs null.
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}          // NOLINT
+  Json(bool b) : type_(Type::kBool), bool_(b) {}        // NOLINT
+  Json(int v) : type_(Type::kNumber), num_(v) {}        // NOLINT
+  Json(int64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}  // NOLINT
+  Json(size_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}   // NOLINT
+  Json(double v) : type_(Type::kNumber), num_(v) {}     // NOLINT
+  Json(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Json(Array a) : type_(Type::kArray), arr_(std::move(a)) {}         // NOLINT
+  Json(Object o) : type_(Type::kObject), obj_(std::move(o)) {}       // NOLINT
+
+  /// Factory helpers.
+  static Json MakeArray() { return Json(Array{}); }
+  static Json MakeObject() { return Json(Object{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; behaviour is defined only for the matching type.
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return num_; }
+  int64_t AsInt() const { return static_cast<int64_t>(num_); }
+  const std::string& AsString() const { return str_; }
+  const Array& AsArray() const { return arr_; }
+  Array& AsArray() { return arr_; }
+  const Object& AsObject() const { return obj_; }
+  Object& AsObject() { return obj_; }
+
+  /// Object field access; returns a shared null instance when missing or
+  /// when this value is not an object.
+  const Json& operator[](const std::string& key) const;
+  /// Mutable object field access (creates the field; converts to object).
+  Json& operator[](const std::string& key);
+
+  /// True iff this is an object containing `key`.
+  bool Has(const std::string& key) const;
+
+  /// Appends to an array value (converts null to array first).
+  void Append(Json v);
+
+  /// Number of elements (array) / fields (object) / 0 otherwise.
+  size_t size() const;
+
+  /// Serializes to a compact JSON string.
+  std::string Dump() const;
+  /// Serializes with 2-space indentation.
+  std::string Pretty() const;
+
+  /// Parses a JSON document; returns InvalidArgument on malformed input.
+  static Result<Json> Parse(std::string_view text);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace tvdp
+
+#endif  // TVDP_COMMON_JSON_H_

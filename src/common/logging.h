@@ -1,0 +1,54 @@
+#ifndef TVDP_COMMON_LOGGING_H_
+#define TVDP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tvdp {
+
+/// Log severities in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// Sets the global minimum severity emitted to stderr (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is below threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+}  // namespace internal
+
+#define TVDP_LOG(level)                                             \
+  if (::tvdp::LogLevel::k##level < ::tvdp::GetLogLevel()) {         \
+  } else                                                            \
+    ::tvdp::internal::LogMessage(::tvdp::LogLevel::k##level,        \
+                                 __FILE__, __LINE__)                \
+        .stream()
+
+}  // namespace tvdp
+
+#endif  // TVDP_COMMON_LOGGING_H_

@@ -1,0 +1,87 @@
+#ifndef TVDP_COMMON_RESULT_H_
+#define TVDP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tvdp {
+
+/// A value-or-error holder: either an OK Status together with a `T`, or a
+/// non-OK Status and no value. Follows the Arrow/absl StatusOr idiom.
+///
+/// Usage:
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   int v = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  /// Constructs a failed result from a non-OK `status`. Passing an OK status
+  /// here is a programming error (asserted in debug builds).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise moves the value into `lhs`.
+#define TVDP_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  TVDP_ASSIGN_OR_RETURN_IMPL_(                             \
+      TVDP_CONCAT_(_tvdp_result_, __LINE__), lhs, rexpr)
+
+#define TVDP_CONCAT_INNER_(a, b) a##b
+#define TVDP_CONCAT_(a, b) TVDP_CONCAT_INNER_(a, b)
+#define TVDP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace tvdp
+
+#endif  // TVDP_COMMON_RESULT_H_

@@ -1,0 +1,74 @@
+#ifndef TVDP_COMMON_RNG_H_
+#define TVDP_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tvdp {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// SplitMix64). Every stochastic component in TVDP draws from an explicitly
+/// seeded Rng so that experiments, tests, and benchmarks are reproducible
+/// bit-for-bit across runs and platforms.
+class Rng {
+ public:
+  /// Constructs a generator whose stream is fully determined by `seed`.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal (mean 0, stddev 1) via Box-Muller.
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli draw: true with probability `p`.
+  bool Bernoulli(double p);
+
+  /// Exponential with rate `lambda` (> 0).
+  double Exponential(double lambda);
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to the (non-negative) weights. Returns 0 if all weights are zero.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    if (items.empty()) return;
+    for (size_t i = items.size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      std::swap(items[i], items[j]);
+    }
+  }
+
+  /// Returns a derived generator whose stream is independent of (but
+  /// deterministically related to) this one. Useful for giving each worker
+  /// or fold its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace tvdp
+
+#endif  // TVDP_COMMON_RNG_H_

@@ -1,0 +1,40 @@
+#ifndef TVDP_COMMON_STRINGS_H_
+#define TVDP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tvdp {
+
+/// Splits `text` on `sep`, omitting empty pieces when `skip_empty` is true.
+std::vector<std::string> StrSplit(std::string_view text, char sep,
+                                  bool skip_empty = false);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Returns `text` with ASCII letters lowercased.
+std::string ToLower(std::string_view text);
+
+/// Returns `text` without leading/trailing ASCII whitespace.
+std::string StrTrim(std::string_view text);
+
+/// True iff `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True iff `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Tokenizes free text into lowercase alphanumeric terms (used by the
+/// textual descriptor pipeline and the inverted index).
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+}  // namespace tvdp
+
+#endif  // TVDP_COMMON_STRINGS_H_

@@ -1,0 +1,79 @@
+#include "common/timeutil.h"
+
+#include <cstdio>
+
+namespace tvdp {
+namespace {
+
+constexpr int kDaysPerMonth[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month /* 1-12 */) {
+  if (month == 2 && IsLeap(year)) return 29;
+  return kDaysPerMonth[month - 1];
+}
+
+}  // namespace
+
+std::string FormatTimestamp(Timestamp ts) {
+  // Civil-time conversion without <ctime> to stay deterministic and
+  // timezone-independent.
+  int64_t days = ts / 86400;
+  int64_t secs = ts % 86400;
+  if (secs < 0) {
+    secs += 86400;
+    days -= 1;
+  }
+  int year = 1970;
+  while (true) {
+    int ydays = IsLeap(year) ? 366 : 365;
+    if (days >= ydays) {
+      days -= ydays;
+      ++year;
+    } else if (days < 0) {
+      --year;
+      days += IsLeap(year) ? 366 : 365;
+    } else {
+      break;
+    }
+  }
+  int month = 1;
+  while (days >= DaysInMonth(year, month)) {
+    days -= DaysInMonth(year, month);
+    ++month;
+  }
+  int day = static_cast<int>(days) + 1;
+  int hh = static_cast<int>(secs / 3600);
+  int mm = static_cast<int>((secs % 3600) / 60);
+  int ss = static_cast<int>(secs % 60);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", year, month,
+                day, hh, mm, ss);
+  return buf;
+}
+
+Result<Timestamp> ParseTimestamp(const std::string& text) {
+  int year, month, day, hh, mm, ss;
+  if (std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d", &year, &month, &day, &hh,
+                  &mm, &ss) != 6) {
+    return Status::InvalidArgument("bad timestamp: " + text);
+  }
+  if (month < 1 || month > 12 || day < 1 || day > DaysInMonth(year, month) ||
+      hh < 0 || hh > 23 || mm < 0 || mm > 59 || ss < 0 || ss > 59) {
+    return Status::InvalidArgument("timestamp out of range: " + text);
+  }
+  int64_t days = 0;
+  if (year >= 1970) {
+    for (int y = 1970; y < year; ++y) days += IsLeap(y) ? 366 : 365;
+  } else {
+    for (int y = year; y < 1970; ++y) days -= IsLeap(y) ? 366 : 365;
+  }
+  for (int m = 1; m < month; ++m) days += DaysInMonth(year, m);
+  days += day - 1;
+  return days * 86400 + hh * 3600 + mm * 60 + ss;
+}
+
+}  // namespace tvdp

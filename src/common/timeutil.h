@@ -1,0 +1,45 @@
+#ifndef TVDP_COMMON_TIMEUTIL_H_
+#define TVDP_COMMON_TIMEUTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace tvdp {
+
+/// TVDP's temporal descriptor uses Unix timestamps (seconds). The platform
+/// is deterministic: "now" in simulations comes from a SimClock, never from
+/// the wall clock.
+using Timestamp = int64_t;
+
+/// Formats a Unix timestamp as "YYYY-MM-DD HH:MM:SS" (UTC).
+std::string FormatTimestamp(Timestamp ts);
+
+/// Parses "YYYY-MM-DD HH:MM:SS" (UTC) back into a Unix timestamp.
+Result<Timestamp> ParseTimestamp(const std::string& text);
+
+/// A manually advanced simulation clock shared by simulator components
+/// (crowdsourcing rounds, edge learning rounds, upload timestamps).
+class SimClock {
+ public:
+  /// Starts the clock at `start` seconds since the epoch.
+  explicit SimClock(Timestamp start = 1546300800 /* 2019-01-01 00:00:00 */)
+      : now_(start) {}
+
+  /// Current simulated time.
+  Timestamp Now() const { return now_; }
+
+  /// Advances the clock by `seconds` (>= 0) and returns the new time.
+  Timestamp Advance(int64_t seconds) {
+    if (seconds > 0) now_ += seconds;
+    return now_;
+  }
+
+ private:
+  Timestamp now_;
+};
+
+}  // namespace tvdp
+
+#endif  // TVDP_COMMON_TIMEUTIL_H_

@@ -1,0 +1,89 @@
+#include "crowd/acquisition.h"
+
+#include <map>
+
+namespace tvdp::crowd {
+
+IterativeAcquisition::IterativeAcquisition(const Campaign& campaign,
+                                           geo::CoverageGrid grid,
+                                           WorkerPool pool, Options options,
+                                           uint64_t seed)
+    : campaign_(campaign),
+      grid_(std::move(grid)),
+      pool_(std::move(pool)),
+      options_(options),
+      rng_(seed),
+      clock_(campaign.created_at > 0 ? campaign.created_at : 1546300800) {}
+
+std::vector<RoundStats> IterativeAcquisition::Run(
+    const std::function<void(const Capture&)>& on_capture) {
+  std::vector<RoundStats> history;
+  for (int round = 1; round <= options_.max_rounds; ++round) {
+    if (grid_.CoverageRatio() >= campaign_.target_coverage) break;
+
+    RoundStats stats;
+    stats.round = round;
+
+    std::vector<Task> tasks = TasksFromGaps(
+        grid_, campaign_.id, next_task_id_, options_.max_tasks_per_round);
+    next_task_id_ += static_cast<int64_t>(tasks.size());
+    stats.tasks_issued = static_cast<int>(tasks.size());
+
+    std::vector<Assignment> assignments =
+        AssignTasks(tasks, pool_.workers(), options_.policy);
+    ApplyAssignments(assignments, tasks);
+    stats.tasks_assigned = static_cast<int>(assignments.size());
+    stats.travel_m = TotalTravelMeters(assignments);
+
+    // Execute: each assigned worker accepts with their probability, walks
+    // to the task location, and captures facing the required bearing with
+    // small GPS/compass noise (real captures are imperfect).
+    std::map<int64_t, const Worker*> worker_by_id;
+    for (const Worker& w : pool_.workers()) worker_by_id[w.id] = &w;
+    std::map<int64_t, Task*> task_by_id;
+    for (Task& t : tasks) task_by_id[t.id] = &t;
+
+    for (const Assignment& a : assignments) {
+      const Worker* w = worker_by_id[a.worker_id];
+      Task* t = task_by_id[a.task_id];
+      if (!w || !t) continue;
+      if (!rng_.Bernoulli(w->acceptance_prob)) {
+        t->state = Task::State::kExpired;
+        continue;
+      }
+      geo::GeoPoint capture_point = geo::Destination(
+          t->location, rng_.Uniform(0, 360),
+          rng_.Uniform(0, t->tolerance_m));
+      double bearing = t->bearing_deg + rng_.Normal(0, 6.0);
+      auto fov = geo::FieldOfView::Make(capture_point, bearing,
+                                        w->camera_angle_deg,
+                                        w->camera_radius_m);
+      if (!fov.ok()) {
+        t->state = Task::State::kExpired;
+        continue;
+      }
+      t->state = Task::State::kCompleted;
+      ++stats.tasks_completed;
+      grid_.AddFov(*fov);
+      if (on_capture) {
+        Capture c;
+        c.worker_id = w->id;
+        c.task_id = t->id;
+        c.fov = *fov;
+        c.captured_at = clock_.Now() + rng_.UniformInt(
+            0, options_.seconds_per_round - 1);
+        on_capture(c);
+      }
+    }
+
+    stats.coverage_after = grid_.CoverageRatio();
+    stats.cell_coverage_after = grid_.CellCoverageRatio();
+    history.push_back(stats);
+
+    pool_.Drift(campaign_.region, options_.drift_m, rng_);
+    clock_.Advance(options_.seconds_per_round);
+  }
+  return history;
+}
+
+}  // namespace tvdp::crowd

@@ -1,0 +1,67 @@
+#ifndef TVDP_CROWD_ACQUISITION_H_
+#define TVDP_CROWD_ACQUISITION_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/timeutil.h"
+#include "crowd/assignment.h"
+#include "crowd/campaign.h"
+#include "crowd/worker.h"
+#include "geo/coverage.h"
+
+namespace tvdp::crowd {
+
+/// Per-round statistics of an iterative acquisition campaign.
+struct RoundStats {
+  int round = 0;
+  int tasks_issued = 0;
+  int tasks_assigned = 0;
+  int tasks_completed = 0;
+  double travel_m = 0;
+  double coverage_after = 0;       ///< direction-aware coverage ratio
+  double cell_coverage_after = 0;  ///< direction-blind coverage ratio
+};
+
+/// The iterative spatial-crowdsourcing loop of paper Sec. III:
+///   measure coverage -> derive tasks from gaps -> assign -> execute ->
+///   fold new FOVs back into the coverage model -> repeat
+/// until the campaign's coverage target is met or `max_rounds` elapse.
+class IterativeAcquisition {
+ public:
+  struct Options {
+    int max_rounds = 20;
+    int max_tasks_per_round = 200;
+    AssignmentPolicy policy = AssignmentPolicy::kBatchedMatching;
+    /// Workers drift this far between rounds.
+    double drift_m = 300;
+    /// Simulated seconds per round (timestamps of captures).
+    int64_t seconds_per_round = 3600;
+  };
+
+  IterativeAcquisition(const Campaign& campaign, geo::CoverageGrid grid,
+                       WorkerPool pool, Options options, uint64_t seed);
+
+  /// Runs the loop. `on_capture`, if set, receives every produced capture
+  /// (the platform uses this to ingest images).
+  std::vector<RoundStats> Run(
+      const std::function<void(const Capture&)>& on_capture = nullptr);
+
+  const geo::CoverageGrid& grid() const { return grid_; }
+  const Campaign& campaign() const { return campaign_; }
+
+ private:
+  Campaign campaign_;
+  geo::CoverageGrid grid_;
+  WorkerPool pool_;
+  Options options_;
+  Rng rng_;
+  SimClock clock_;
+  int64_t next_task_id_ = 1;
+};
+
+}  // namespace tvdp::crowd
+
+#endif  // TVDP_CROWD_ACQUISITION_H_

@@ -1,0 +1,110 @@
+#include "crowd/assignment.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tvdp::crowd {
+namespace {
+
+std::vector<Assignment> GreedyNearest(const std::vector<Task>& tasks,
+                                      const std::vector<Worker>& workers) {
+  std::vector<Assignment> out;
+  std::vector<int> remaining_capacity;
+  remaining_capacity.reserve(workers.size());
+  for (const Worker& w : workers) remaining_capacity.push_back(w.capacity);
+
+  for (const Task& t : tasks) {
+    if (t.state != Task::State::kOpen) continue;
+    int best = -1;
+    double best_d = 0;
+    for (size_t i = 0; i < workers.size(); ++i) {
+      if (remaining_capacity[i] <= 0) continue;
+      double d = geo::HaversineMeters(workers[i].location, t.location);
+      if (d > workers[i].max_travel_m) continue;
+      if (best < 0 || d < best_d) {
+        best = static_cast<int>(i);
+        best_d = d;
+      }
+    }
+    if (best >= 0) {
+      --remaining_capacity[static_cast<size_t>(best)];
+      out.push_back(Assignment{t.id, workers[static_cast<size_t>(best)].id,
+                               best_d});
+    }
+  }
+  return out;
+}
+
+std::vector<Assignment> BatchedMatching(const std::vector<Task>& tasks,
+                                        const std::vector<Worker>& workers) {
+  struct Edge {
+    double dist;
+    size_t task_idx;
+    size_t worker_idx;
+  };
+  std::vector<Edge> edges;
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    if (tasks[ti].state != Task::State::kOpen) continue;
+    for (size_t wi = 0; wi < workers.size(); ++wi) {
+      double d = geo::HaversineMeters(workers[wi].location,
+                                      tasks[ti].location);
+      if (d <= workers[wi].max_travel_m) edges.push_back({d, ti, wi});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    if (a.task_idx != b.task_idx) return a.task_idx < b.task_idx;
+    return a.worker_idx < b.worker_idx;
+  });
+  std::vector<bool> task_taken(tasks.size(), false);
+  std::vector<int> remaining_capacity;
+  remaining_capacity.reserve(workers.size());
+  for (const Worker& w : workers) remaining_capacity.push_back(w.capacity);
+
+  std::vector<Assignment> out;
+  for (const Edge& e : edges) {
+    if (task_taken[e.task_idx] || remaining_capacity[e.worker_idx] <= 0) {
+      continue;
+    }
+    task_taken[e.task_idx] = true;
+    --remaining_capacity[e.worker_idx];
+    out.push_back(Assignment{tasks[e.task_idx].id, workers[e.worker_idx].id,
+                             e.dist});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Assignment> AssignTasks(const std::vector<Task>& tasks,
+                                    const std::vector<Worker>& workers,
+                                    AssignmentPolicy policy) {
+  switch (policy) {
+    case AssignmentPolicy::kGreedyNearest:
+      return GreedyNearest(tasks, workers);
+    case AssignmentPolicy::kBatchedMatching:
+      return BatchedMatching(tasks, workers);
+  }
+  return {};
+}
+
+void ApplyAssignments(const std::vector<Assignment>& assignments,
+                      std::vector<Task>& tasks) {
+  std::map<int64_t, const Assignment*> by_task;
+  for (const Assignment& a : assignments) by_task[a.task_id] = &a;
+  for (Task& t : tasks) {
+    auto it = by_task.find(t.id);
+    if (it != by_task.end() && t.state == Task::State::kOpen) {
+      t.state = Task::State::kAssigned;
+      t.assigned_worker = it->second->worker_id;
+    }
+  }
+}
+
+double TotalTravelMeters(const std::vector<Assignment>& assignments) {
+  double total = 0;
+  for (const Assignment& a : assignments) total += a.travel_m;
+  return total;
+}
+
+}  // namespace tvdp::crowd

@@ -1,0 +1,44 @@
+#ifndef TVDP_CROWD_ASSIGNMENT_H_
+#define TVDP_CROWD_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "crowd/campaign.h"
+#include "crowd/worker.h"
+
+namespace tvdp::crowd {
+
+/// One (task, worker) pairing produced by an assignment algorithm.
+struct Assignment {
+  int64_t task_id = 0;
+  int64_t worker_id = 0;
+  double travel_m = 0;
+};
+
+/// Spatial task-assignment policies (after Kazemi & Shahabi, GeoCrowd,
+/// SIGSPATIAL 2012). Both respect worker capacity and max-travel range.
+enum class AssignmentPolicy {
+  /// Tasks greedily grab their nearest available worker, task order.
+  kGreedyNearest,
+  /// All feasible (task, worker) edges sorted by distance globally, then
+  /// matched shortest-first — a 2-approximation of the maximum-cardinality
+  /// minimum-cost matching that GeoCrowd's MTA computes exactly.
+  kBatchedMatching,
+};
+
+/// Computes assignments of open `tasks` to `workers` under `policy`.
+/// Neither input is mutated; apply the result via ApplyAssignments.
+std::vector<Assignment> AssignTasks(const std::vector<Task>& tasks,
+                                    const std::vector<Worker>& workers,
+                                    AssignmentPolicy policy);
+
+/// Marks assigned tasks in `tasks` (state + assigned_worker).
+void ApplyAssignments(const std::vector<Assignment>& assignments,
+                      std::vector<Task>& tasks);
+
+/// Total travel distance of an assignment set.
+double TotalTravelMeters(const std::vector<Assignment>& assignments);
+
+}  // namespace tvdp::crowd
+
+#endif  // TVDP_CROWD_ASSIGNMENT_H_

@@ -1,0 +1,26 @@
+#include "crowd/campaign.h"
+
+namespace tvdp::crowd {
+
+std::vector<Task> TasksFromGaps(const geo::CoverageGrid& grid,
+                                int64_t campaign_id, int64_t first_task_id,
+                                int max_tasks) {
+  std::vector<Task> tasks;
+  int64_t next_id = first_task_id;
+  for (const auto& gap : grid.FindGaps()) {
+    for (double bearing : gap.missing_bearings_deg) {
+      if (max_tasks > 0 && static_cast<int>(tasks.size()) >= max_tasks) {
+        return tasks;
+      }
+      Task t;
+      t.id = next_id++;
+      t.campaign_id = campaign_id;
+      t.location = gap.cell_center;
+      t.bearing_deg = bearing;
+      tasks.push_back(t);
+    }
+  }
+  return tasks;
+}
+
+}  // namespace tvdp::crowd

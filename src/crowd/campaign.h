@@ -1,0 +1,50 @@
+#ifndef TVDP_CROWD_CAMPAIGN_H_
+#define TVDP_CROWD_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timeutil.h"
+#include "geo/bbox.h"
+#include "geo/coverage.h"
+
+namespace tvdp::crowd {
+
+/// A spatial-crowdsourcing task: capture an image at (near) a location,
+/// looking along a required bearing (paper Sec. III: proactive collection
+/// driven by coverage gaps).
+struct Task {
+  int64_t id = 0;
+  int64_t campaign_id = 0;
+  geo::GeoPoint location;       ///< target cell center
+  double bearing_deg = 0;       ///< required viewing direction
+  double tolerance_m = 60;      ///< how close the worker must get
+  enum class State { kOpen, kAssigned, kCompleted, kExpired };
+  State state = State::kOpen;
+  int64_t assigned_worker = -1;
+};
+
+/// A data-collection campaign over a region: a participant (government,
+/// researcher) requests imagery of a region until a coverage target is met.
+struct Campaign {
+  int64_t id = 0;
+  std::string name;
+  geo::BoundingBox region;
+  double target_coverage = 0.8;  ///< CoverageRatio goal in [0,1]
+  Timestamp created_at = 0;
+  /// Reward per completed task (drives worker acceptance).
+  double reward = 1.0;
+};
+
+/// Derives open tasks from the coverage gaps of `grid`, one task per
+/// missing (cell, direction); `max_tasks` caps the batch (0 = unlimited).
+/// Task ids are assigned sequentially starting at `first_task_id`.
+std::vector<Task> TasksFromGaps(const geo::CoverageGrid& grid,
+                                int64_t campaign_id, int64_t first_task_id,
+                                int max_tasks = 0);
+
+}  // namespace tvdp::crowd
+
+#endif  // TVDP_CROWD_CAMPAIGN_H_

@@ -1,0 +1,39 @@
+#include "crowd/worker.h"
+
+#include <algorithm>
+
+namespace tvdp::crowd {
+
+WorkerPool WorkerPool::MakeUniform(const geo::BoundingBox& region, int count,
+                                   Rng& rng) {
+  WorkerPool pool;
+  for (int i = 0; i < count; ++i) {
+    Worker w;
+    w.id = i + 1;
+    w.location = geo::GeoPoint{
+        rng.Uniform(region.min_lat, region.max_lat),
+        rng.Uniform(region.min_lon, region.max_lon)};
+    w.speed_mps = rng.Uniform(1.0, 2.0);
+    w.max_travel_m = rng.Uniform(600, 2000);
+    w.acceptance_prob = rng.Uniform(0.55, 0.95);
+    w.capacity = static_cast<int>(rng.UniformInt(1, 4));
+    w.camera_angle_deg = rng.Uniform(50, 75);
+    w.camera_radius_m = rng.Uniform(80, 160);
+    pool.workers_.push_back(w);
+  }
+  return pool;
+}
+
+void WorkerPool::Drift(const geo::BoundingBox& region, double max_step_m,
+                       Rng& rng) {
+  for (Worker& w : workers_) {
+    double bearing = rng.Uniform(0, 360);
+    double step = rng.Uniform(0, max_step_m);
+    geo::GeoPoint next = geo::Destination(w.location, bearing, step);
+    next.lat = std::clamp(next.lat, region.min_lat, region.max_lat);
+    next.lon = std::clamp(next.lon, region.min_lon, region.max_lon);
+    w.location = next;
+  }
+}
+
+}  // namespace tvdp::crowd

@@ -1,0 +1,58 @@
+#ifndef TVDP_CROWD_WORKER_H_
+#define TVDP_CROWD_WORKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timeutil.h"
+#include "geo/bbox.h"
+#include "geo/fov.h"
+
+namespace tvdp::crowd {
+
+/// A simulated crowdsourcing participant (a MediaQ-style mobile user):
+/// position, travel speed, a maximum range they will travel for a task,
+/// an acceptance probability, and the camera parameters of their device.
+struct Worker {
+  int64_t id = 0;
+  geo::GeoPoint location;
+  double speed_mps = 1.4;          ///< walking speed
+  double max_travel_m = 1200;      ///< beyond this they decline
+  double acceptance_prob = 0.8;    ///< chance of accepting a feasible task
+  int capacity = 3;                ///< tasks per round
+  // Camera model for the captures this worker produces.
+  double camera_angle_deg = 60;
+  double camera_radius_m = 120;
+};
+
+/// One produced geo-tagged capture.
+struct Capture {
+  int64_t worker_id = 0;
+  int64_t task_id = -1;  ///< -1 for opportunistic (passive) captures
+  geo::FieldOfView fov;
+  Timestamp captured_at = 0;
+};
+
+/// A pool of simulated workers scattered over a region.
+class WorkerPool {
+ public:
+  /// Creates `count` workers uniformly placed in `region`, with per-worker
+  /// speed/acceptance variation drawn from `rng`.
+  static WorkerPool MakeUniform(const geo::BoundingBox& region, int count,
+                                Rng& rng);
+
+  std::vector<Worker>& workers() { return workers_; }
+  const std::vector<Worker>& workers() const { return workers_; }
+  size_t size() const { return workers_.size(); }
+
+  /// Moves every worker a random step (drift within the region).
+  void Drift(const geo::BoundingBox& region, double max_step_m, Rng& rng);
+
+ private:
+  std::vector<Worker> workers_;
+};
+
+}  // namespace tvdp::crowd
+
+#endif  // TVDP_CROWD_WORKER_H_

@@ -1,0 +1,159 @@
+#include "edge/crowd_learning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/metrics.h"
+
+namespace tvdp::edge {
+
+std::string SelectionPolicyName(SelectionPolicy p) {
+  switch (p) {
+    case SelectionPolicy::kRandom: return "random";
+    case SelectionPolicy::kLowConfidence: return "low_confidence";
+    case SelectionPolicy::kMargin: return "margin";
+  }
+  return "unknown";
+}
+
+CrowdLearningLoop::CrowdLearningLoop(const ml::Classifier& prototype,
+                                     ml::Dataset seed_train, ml::Dataset test,
+                                     std::vector<EdgeNode> nodes,
+                                     Options options)
+    : prototype_(prototype.Clone()),
+      train_(std::move(seed_train)),
+      test_(std::move(test)),
+      nodes_(std::move(nodes)),
+      options_(options),
+      dispatcher_(ModelComplexityLadder()) {}
+
+Result<std::vector<LearningRound>> CrowdLearningLoop::Run() {
+  if (train_.empty()) return Status::InvalidArgument("empty seed train set");
+  if (test_.empty()) return Status::InvalidArgument("empty test set");
+
+  Rng rng(options_.seed);
+  InferenceSimulator::Options sim_opts;
+  sim_opts.seed = options_.seed ^ 0x5151;
+  InferenceSimulator sim(sim_opts);
+
+  std::vector<LearningRound> history;
+  std::unique_ptr<ml::Classifier> model = prototype_->Clone();
+  TVDP_RETURN_IF_ERROR(model->Train(train_));
+
+  auto evaluate = [&]() {
+    ml::ConfusionMatrix cm(std::max(train_.NumClasses(), test_.NumClasses()));
+    for (const auto& s : test_.samples()) cm.Add(s.label, model->Predict(s.x));
+    return cm.MacroF1();
+  };
+
+  LearningRound seed_round;
+  seed_round.round = 0;
+  seed_round.train_size = train_.size();
+  seed_round.test_macro_f1 = evaluate();
+  history.push_back(seed_round);
+
+  // Track which local samples each node has already uploaded.
+  std::vector<std::vector<bool>> uploaded(nodes_.size());
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    uploaded[n].assign(nodes_[n].local_data.size(), false);
+  }
+
+  for (int round = 1; round <= options_.rounds; ++round) {
+    LearningRound lr;
+    lr.round = round;
+    double total_inference_ms = 0;
+    double total_upload_ms = 0;
+    int64_t inference_count = 0;
+    int uploads = 0;
+
+    // Dispatch a model variant to each device for this round.
+    last_dispatch_.clear();
+    for (const EdgeNode& node : nodes_) {
+      TVDP_ASSIGN_OR_RETURN(
+          ModelProfile m,
+          dispatcher_.Dispatch(node.device, options_.latency_budget_ms));
+      last_dispatch_.push_back(m);
+    }
+
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      EdgeNode& node = nodes_[n];
+      const ModelProfile& deployed = last_dispatch_[n];
+      // Local inference over not-yet-uploaded captures.
+      struct Scored {
+        size_t idx;
+        double priority;  // higher = more valuable to upload
+      };
+      std::vector<Scored> scored;
+      for (size_t i = 0; i < node.local_data.size(); ++i) {
+        if (uploaded[n][i]) continue;
+        total_inference_ms += sim.SimulateInferenceMs(node.device, deployed);
+        ++inference_count;
+        std::vector<double> proba = model->PredictProba(node.local_data[i].x);
+        double priority = 0;
+        switch (options_.policy) {
+          case SelectionPolicy::kRandom:
+            priority = rng.Uniform();
+            break;
+          case SelectionPolicy::kLowConfidence: {
+            double top = *std::max_element(proba.begin(), proba.end());
+            priority = 1.0 - top;
+            break;
+          }
+          case SelectionPolicy::kMargin: {
+            double top1 = 0, top2 = 0;
+            for (double p : proba) {
+              if (p > top1) {
+                top2 = top1;
+                top1 = p;
+              } else if (p > top2) {
+                top2 = p;
+              }
+            }
+            priority = 1.0 - (top1 - top2);
+            break;
+          }
+        }
+        scored.push_back({i, priority});
+      }
+      std::sort(scored.begin(), scored.end(),
+                [](const Scored& a, const Scored& b) {
+                  if (a.priority != b.priority) return a.priority > b.priority;
+                  return a.idx < b.idx;
+                });
+
+      // Upload the prioritised prefix under the bandwidth budget.
+      double per_sample_bytes =
+          options_.upload_features
+              ? options_.bytes_per_feature_dim *
+                    static_cast<double>(train_.dim())
+              : options_.image_bytes;
+      double budget = options_.upload_budget_bytes;
+      for (const Scored& s : scored) {
+        if (budget < per_sample_bytes) break;
+        budget -= per_sample_bytes;
+        uploaded[n][s.idx] = true;
+        lr.bytes_uploaded += per_sample_bytes;
+        total_upload_ms += InferenceSimulator::TransferMs(node.device,
+                                                          per_sample_bytes);
+        ++uploads;
+        // Oracle labelling (Fig. 4's automatic/manual labeling step).
+        const ml::Sample& sample = node.local_data[s.idx];
+        TVDP_RETURN_IF_ERROR(train_.Add(sample.x, sample.label));
+      }
+    }
+
+    // Server-side retrain on the grown corpus.
+    model = prototype_->Clone();
+    TVDP_RETURN_IF_ERROR(model->Train(train_));
+
+    lr.train_size = train_.size();
+    lr.test_macro_f1 = evaluate();
+    lr.mean_inference_ms =
+        inference_count > 0 ? total_inference_ms / inference_count : 0;
+    lr.mean_upload_ms = uploads > 0 ? total_upload_ms / uploads : 0;
+    history.push_back(lr);
+  }
+  return history;
+}
+
+}  // namespace tvdp::edge

@@ -1,0 +1,96 @@
+#ifndef TVDP_EDGE_CROWD_LEARNING_H_
+#define TVDP_EDGE_CROWD_LEARNING_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "edge/device.h"
+#include "edge/dispatcher.h"
+#include "edge/simulator.h"
+#include "ml/classifier.h"
+
+namespace tvdp::edge {
+
+/// How an edge device prioritises which locally captured samples to
+/// upload to the server (the "distributed selection algorithm" of
+/// Sec. VI that limits bandwidth consumption).
+enum class SelectionPolicy {
+  kRandom,         ///< baseline: uniform choice
+  kLowConfidence,  ///< upload what the current model is least sure about
+  kMargin,         ///< smallest top1-top2 probability margin
+};
+
+/// Stable display name, e.g. "low_confidence".
+std::string SelectionPolicyName(SelectionPolicy p);
+
+/// One participating edge device with its local (as-yet-unlabelled from
+/// the server's perspective) captures. Labels are carried for the oracle
+/// that simulates the human/automatic labelling step of Fig. 4.
+struct EdgeNode {
+  DeviceProfile device;
+  std::vector<ml::Sample> local_data;
+};
+
+/// Per-round outcome of the crowd-based learning loop.
+struct LearningRound {
+  int round = 0;
+  size_t train_size = 0;
+  double test_macro_f1 = 0;
+  double bytes_uploaded = 0;
+  double mean_inference_ms = 0;
+  double mean_upload_ms = 0;
+};
+
+/// The crowd-based learning framework of paper Fig. 4 (Constantinou et
+/// al.): the server trains a model, dispatches variants to heterogeneous
+/// edge devices, devices score their local captures with the current model
+/// and upload a bandwidth-bounded prioritised subset — as extracted
+/// feature vectors, not raw images — the server labels and retrains, and
+/// the loop repeats, improving the model with crowd data each round.
+class CrowdLearningLoop {
+ public:
+  struct Options {
+    int rounds = 8;
+    /// Per-device upload budget per round, bytes.
+    double upload_budget_bytes = 4096;
+    /// true: devices upload extracted features; false: raw images.
+    bool upload_features = true;
+    /// Raw image payload size (bytes) when upload_features is false.
+    double image_bytes = 200.0 * 1024;
+    /// Bytes per feature dimension when upload_features is true.
+    double bytes_per_feature_dim = 8;
+    double latency_budget_ms = 150;
+    SelectionPolicy policy = SelectionPolicy::kLowConfidence;
+    uint64_t seed = 23;
+  };
+
+  /// `prototype` is cloned for every retrain. `seed_train` is the initial
+  /// labelled server-side dataset; `test` is the held-out evaluation set.
+  CrowdLearningLoop(const ml::Classifier& prototype, ml::Dataset seed_train,
+                    ml::Dataset test, std::vector<EdgeNode> nodes,
+                    Options options);
+
+  /// Runs the loop; round 0 reports the seed model before any uploads.
+  Result<std::vector<LearningRound>> Run();
+
+  /// The model dispatched to each node in the last round (parallel to the
+  /// node list), for inspection.
+  const std::vector<ModelProfile>& last_dispatch() const {
+    return last_dispatch_;
+  }
+
+ private:
+  std::unique_ptr<ml::Classifier> prototype_;
+  ml::Dataset train_;
+  ml::Dataset test_;
+  std::vector<EdgeNode> nodes_;
+  Options options_;
+  ModelDispatcher dispatcher_;
+  std::vector<ModelProfile> last_dispatch_;
+};
+
+}  // namespace tvdp::edge
+
+#endif  // TVDP_EDGE_CROWD_LEARNING_H_

@@ -1,0 +1,70 @@
+#include "edge/device.h"
+
+namespace tvdp::edge {
+
+std::string DeviceClassName(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::kDesktop: return "desktop";
+    case DeviceClass::kRaspberryPi: return "raspberry_pi";
+    case DeviceClass::kSmartphone: return "smartphone";
+  }
+  return "unknown";
+}
+
+DeviceProfile MakeDesktopProfile() {
+  DeviceProfile p;
+  p.name = "desktop-i7";
+  p.device_class = DeviceClass::kDesktop;
+  p.effective_gflops = 40.0;
+  p.memory_mb = 16384;
+  p.bandwidth_mbps = 500;
+  p.dispatch_overhead_ms = 1.0;
+  p.energy_per_gflop = 0.0;
+  return p;
+}
+
+DeviceProfile MakeRaspberryPiProfile() {
+  DeviceProfile p;
+  p.name = "raspberry-pi-3b+";
+  p.device_class = DeviceClass::kRaspberryPi;
+  // ~1.5 orders of magnitude below desktop, per the paper's measurement.
+  p.effective_gflops = 1.1;
+  p.memory_mb = 1024;
+  p.bandwidth_mbps = 40;
+  p.dispatch_overhead_ms = 25.0;
+  p.energy_per_gflop = 0.4;
+  return p;
+}
+
+DeviceProfile MakeSmartphoneProfile() {
+  DeviceProfile p;
+  p.name = "smartphone-mid";
+  p.device_class = DeviceClass::kSmartphone;
+  p.effective_gflops = 8.0;
+  p.memory_mb = 4096;
+  p.bandwidth_mbps = 60;
+  p.dispatch_overhead_ms = 8.0;
+  p.energy_per_gflop = 1.0;
+  return p;
+}
+
+std::vector<DeviceProfile> PaperDeviceProfiles() {
+  return {MakeDesktopProfile(), MakeRaspberryPiProfile(),
+          MakeSmartphoneProfile()};
+}
+
+DeviceProfile SampleProfile(DeviceClass c, Rng& rng) {
+  DeviceProfile base;
+  switch (c) {
+    case DeviceClass::kDesktop: base = MakeDesktopProfile(); break;
+    case DeviceClass::kRaspberryPi: base = MakeRaspberryPiProfile(); break;
+    case DeviceClass::kSmartphone: base = MakeSmartphoneProfile(); break;
+  }
+  // +-30% individual variation (thermal state, background load, SoC bin).
+  double f = rng.Uniform(0.7, 1.3);
+  base.effective_gflops *= f;
+  base.bandwidth_mbps *= rng.Uniform(0.6, 1.4);
+  return base;
+}
+
+}  // namespace tvdp::edge

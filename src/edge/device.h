@@ -1,0 +1,55 @@
+#ifndef TVDP_EDGE_DEVICE_H_
+#define TVDP_EDGE_DEVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tvdp::edge {
+
+/// Coarse device classes used in the paper's Fig. 8 evaluation.
+enum class DeviceClass {
+  kDesktop,
+  kRaspberryPi,
+  kSmartphone,
+};
+
+/// Stable display name, e.g. "raspberry_pi".
+std::string DeviceClassName(DeviceClass c);
+
+/// Capability profile of an edge device. The numbers model *effective*
+/// single-inference throughput of CPU inference frameworks (TF-Lite-class)
+/// on each device tier circa the paper's hardware (desktop CPU, Raspberry
+/// Pi 3 B+, mid-range smartphone), not peak datasheet FLOPS.
+struct DeviceProfile {
+  std::string name;
+  DeviceClass device_class = DeviceClass::kDesktop;
+  double effective_gflops = 10.0;  ///< sustained, single-image inference
+  double memory_mb = 8192;
+  double bandwidth_mbps = 100;     ///< uplink to the TVDP server
+  double dispatch_overhead_ms = 1; ///< per-inference fixed runtime overhead
+  /// Relative battery cost per GFLOP (0 for mains-powered devices).
+  double energy_per_gflop = 0.0;
+};
+
+/// Desktop-class machine (the paper's "common desktop machine").
+DeviceProfile MakeDesktopProfile();
+
+/// Raspberry Pi 3 B+ — the paper's constrained edge device; about 1.5
+/// orders of magnitude slower than desktop on CNN inference.
+DeviceProfile MakeRaspberryPiProfile();
+
+/// Mid-range smartphone — between the two.
+DeviceProfile MakeSmartphoneProfile();
+
+/// All three paper devices, in Fig. 8 order.
+std::vector<DeviceProfile> PaperDeviceProfiles();
+
+/// A randomly perturbed profile of the given class, for heterogeneous
+/// fleets in the crowd-learning simulation.
+DeviceProfile SampleProfile(DeviceClass c, Rng& rng);
+
+}  // namespace tvdp::edge
+
+#endif  // TVDP_EDGE_DEVICE_H_

@@ -1,0 +1,39 @@
+#include "edge/dispatcher.h"
+
+#include <algorithm>
+
+#include "edge/simulator.h"
+
+namespace tvdp::edge {
+
+ModelDispatcher::ModelDispatcher(std::vector<ModelProfile> ladder)
+    : ladder_(std::move(ladder)) {}
+
+Result<ModelProfile> ModelDispatcher::Dispatch(
+    const DeviceProfile& device, double latency_budget_ms) const {
+  if (ladder_.empty()) {
+    return Status::FailedPrecondition("model ladder is empty");
+  }
+  const ModelProfile* best = nullptr;
+  const ModelProfile* cheapest_fitting = nullptr;
+  for (const ModelProfile& m : ladder_) {
+    // Hard constraint: the model must fit in device memory at all.
+    if (m.size_mb * 2.0 > device.memory_mb) continue;
+    if (!cheapest_fitting ||
+        m.gflops_per_inference < cheapest_fitting->gflops_per_inference) {
+      cheapest_fitting = &m;
+    }
+    double latency = InferenceSimulator::ExpectedLatencyMs(device, m);
+    if (latency > latency_budget_ms) continue;
+    if (!best || m.accuracy > best->accuracy ||
+        (m.accuracy == best->accuracy &&
+         m.gflops_per_inference < best->gflops_per_inference)) {
+      best = &m;
+    }
+  }
+  if (best) return *best;
+  if (cheapest_fitting) return *cheapest_fitting;
+  return Status::NotFound("no model variant fits device memory");
+}
+
+}  // namespace tvdp::edge

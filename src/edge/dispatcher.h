@@ -1,0 +1,37 @@
+#ifndef TVDP_EDGE_DISPATCHER_H_
+#define TVDP_EDGE_DISPATCHER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "edge/device.h"
+#include "edge/model_profile.h"
+
+namespace tvdp::edge {
+
+/// Capability-aware model dispatch (paper Sec. VI): the server holds a
+/// ladder of model variants with diverse complexities and hands each edge
+/// device the most accurate variant that satisfies the device's latency
+/// budget and memory constraint. This is the mechanism Fig. 8 motivates —
+/// a single static model either starves high-end devices of accuracy or
+/// renders low-end devices unusable.
+class ModelDispatcher {
+ public:
+  explicit ModelDispatcher(std::vector<ModelProfile> ladder);
+
+  /// Picks the best model for `device` under `latency_budget_ms`. Falls
+  /// back to the cheapest variant when none meets the budget (degraded
+  /// mode beats no service); NotFound only when the ladder is empty or
+  /// nothing fits device memory.
+  Result<ModelProfile> Dispatch(const DeviceProfile& device,
+                                double latency_budget_ms) const;
+
+  const std::vector<ModelProfile>& ladder() const { return ladder_; }
+
+ private:
+  std::vector<ModelProfile> ladder_;
+};
+
+}  // namespace tvdp::edge
+
+#endif  // TVDP_EDGE_DISPATCHER_H_

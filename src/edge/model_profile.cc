@@ -1,0 +1,32 @@
+#include "edge/model_profile.h"
+
+namespace tvdp::edge {
+
+ModelProfile MakeMobileNetV1Profile() {
+  return ModelProfile{"mobilenet_v1", 0.569, 4.2, 16.9, 0.78};
+}
+
+ModelProfile MakeMobileNetV2Profile() {
+  return ModelProfile{"mobilenet_v2", 0.300, 3.4, 13.6, 0.80};
+}
+
+ModelProfile MakeInceptionV3Profile() {
+  return ModelProfile{"inception_v3", 5.70, 23.8, 95.3, 0.86};
+}
+
+std::vector<ModelProfile> PaperModelProfiles() {
+  return {MakeMobileNetV1Profile(), MakeMobileNetV2Profile(),
+          MakeInceptionV3Profile()};
+}
+
+std::vector<ModelProfile> ModelComplexityLadder() {
+  return {
+      ModelProfile{"mobilenet_v2_0.35_q", 0.060, 1.7, 1.7, 0.70},
+      ModelProfile{"mobilenet_v2_0.5", 0.100, 2.0, 8.0, 0.74},
+      MakeMobileNetV2Profile(),
+      MakeMobileNetV1Profile(),
+      MakeInceptionV3Profile(),
+  };
+}
+
+}  // namespace tvdp::edge

@@ -1,0 +1,38 @@
+#ifndef TVDP_EDGE_MODEL_PROFILE_H_
+#define TVDP_EDGE_MODEL_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+namespace tvdp::edge {
+
+/// Cost/quality profile of a deployable analysis model. FLOPs and
+/// parameter counts for the three named models are the published numbers
+/// for 224x224 inputs (MobileNetV1 1.0: ~569 MFLOPs / 4.2M params;
+/// MobileNetV2 1.0: ~300 MFLOPs / 3.4M; InceptionV3: ~5.7 GFLOPs / 23.8M).
+/// `accuracy` is the relative transfer-learning quality tier used by the
+/// dispatcher (higher-capacity models score higher, per Sec. VII-A).
+struct ModelProfile {
+  std::string name;
+  double gflops_per_inference = 0.5;
+  double params_millions = 4.0;
+  double size_mb = 16.0;
+  double accuracy = 0.8;
+};
+
+/// The three transfer-learned models of the paper's Fig. 8.
+ModelProfile MakeMobileNetV1Profile();
+ModelProfile MakeMobileNetV2Profile();
+ModelProfile MakeInceptionV3Profile();
+
+/// All three, in Fig. 8 order.
+std::vector<ModelProfile> PaperModelProfiles();
+
+/// A complexity ladder of model variants for dispatching (paper Fig. 4:
+/// "trains models on the server with diverse complexities"): from a tiny
+/// quantized student to the full-capacity model.
+std::vector<ModelProfile> ModelComplexityLadder();
+
+}  // namespace tvdp::edge
+
+#endif  // TVDP_EDGE_MODEL_PROFILE_H_

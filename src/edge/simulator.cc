@@ -1,0 +1,49 @@
+#include "edge/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvdp::edge {
+
+double InferenceSimulator::ExpectedLatencyMs(const DeviceProfile& device,
+                                             const ModelProfile& model,
+                                             double memory_headroom_factor) {
+  double compute_ms =
+      model.gflops_per_inference / std::max(device.effective_gflops, 1e-6) *
+      1000.0;
+  double latency = compute_ms + device.dispatch_overhead_ms;
+  // Memory pressure: models whose working set approaches device memory
+  // pay a superlinear penalty (cache thrash / swap on small boards).
+  double working_set_mb = model.size_mb * memory_headroom_factor;
+  if (working_set_mb > device.memory_mb) {
+    latency *= 1.0 + 2.0 * (working_set_mb / device.memory_mb - 1.0);
+  }
+  return latency;
+}
+
+double InferenceSimulator::SimulateInferenceMs(const DeviceProfile& device,
+                                               const ModelProfile& model) {
+  double base = ExpectedLatencyMs(device, model,
+                                  options_.memory_headroom_factor);
+  if (options_.noise_fraction <= 0) return base;
+  // Multiplicative noise, right-skewed like real tail latency.
+  double noise = std::exp(rng_.Normal(0, options_.noise_fraction));
+  return base * noise;
+}
+
+double InferenceSimulator::MeanLatencyMs(const DeviceProfile& device,
+                                         const ModelProfile& model,
+                                         int runs) {
+  runs = std::max(runs, 1);
+  double total = 0;
+  for (int i = 0; i < runs; ++i) total += SimulateInferenceMs(device, model);
+  return total / runs;
+}
+
+double InferenceSimulator::TransferMs(const DeviceProfile& device,
+                                      double bytes) {
+  double bits = bytes * 8.0;
+  return bits / std::max(device.bandwidth_mbps, 1e-6) / 1e6 * 1000.0;
+}
+
+}  // namespace tvdp::edge

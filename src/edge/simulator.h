@@ -1,0 +1,57 @@
+#ifndef TVDP_EDGE_SIMULATOR_H_
+#define TVDP_EDGE_SIMULATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "edge/device.h"
+#include "edge/model_profile.h"
+
+namespace tvdp::edge {
+
+/// Analytic inference-latency simulator: replaces the paper's physical
+/// desktop / Raspberry Pi / smartphone testbed. Latency is compute time
+/// (FLOPs over sustained device throughput) plus fixed runtime overhead,
+/// inflated when the model does not fit comfortably in device memory
+/// (swapping/thrashing on the Pi), with multiplicative run-to-run noise.
+class InferenceSimulator {
+ public:
+  struct Options {
+    /// Lognormal-ish noise spread; 0 disables noise.
+    double noise_fraction = 0.08;
+    /// Memory pressure: when model_size * this > memory, latency inflates.
+    /// 12x covers weights + activations + framework overhead; it puts
+    /// InceptionV3 (95 MB) past the Raspberry Pi's 1 GB, as observed.
+    double memory_headroom_factor = 12.0;
+    uint64_t seed = 17;
+  };
+
+  InferenceSimulator() : InferenceSimulator(Options()) {}
+  explicit InferenceSimulator(Options options)
+      : options_(options), rng_(options.seed) {}
+
+  /// One simulated inference; returns latency in milliseconds.
+  double SimulateInferenceMs(const DeviceProfile& device,
+                             const ModelProfile& model);
+
+  /// Mean latency over `runs` simulated inferences.
+  double MeanLatencyMs(const DeviceProfile& device, const ModelProfile& model,
+                       int runs);
+
+  /// Deterministic expected latency (no noise), for tests and dispatch.
+  static double ExpectedLatencyMs(const DeviceProfile& device,
+                                  const ModelProfile& model,
+                                  double memory_headroom_factor = 12.0);
+
+  /// Milliseconds to upload `bytes` over the device's uplink.
+  static double TransferMs(const DeviceProfile& device, double bytes);
+
+ private:
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace tvdp::edge
+
+#endif  // TVDP_EDGE_SIMULATOR_H_

@@ -1,0 +1,96 @@
+#include "geo/bbox.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace tvdp::geo {
+
+BoundingBox BoundingBox::FromCorners(const GeoPoint& a, const GeoPoint& b) {
+  BoundingBox box = Empty();
+  box.Extend(a);
+  box.Extend(b);
+  return box;
+}
+
+BoundingBox BoundingBox::FromCenterRadius(const GeoPoint& center,
+                                          double radius_m) {
+  double dlat = RadToDeg(radius_m / kEarthRadiusMeters);
+  double coslat = std::cos(DegToRad(center.lat));
+  double dlon = coslat > 1e-9
+                    ? RadToDeg(radius_m / (kEarthRadiusMeters * coslat))
+                    : 180.0;
+  BoundingBox box;
+  box.min_lat = center.lat - dlat;
+  box.max_lat = center.lat + dlat;
+  box.min_lon = center.lon - dlon;
+  box.max_lon = center.lon + dlon;
+  return box;
+}
+
+void BoundingBox::Extend(const GeoPoint& p) {
+  if (IsEmpty()) {
+    min_lat = max_lat = p.lat;
+    min_lon = max_lon = p.lon;
+    return;
+  }
+  min_lat = std::min(min_lat, p.lat);
+  max_lat = std::max(max_lat, p.lat);
+  min_lon = std::min(min_lon, p.lon);
+  max_lon = std::max(max_lon, p.lon);
+}
+
+void BoundingBox::Extend(const BoundingBox& other) {
+  if (other.IsEmpty()) return;
+  Extend(GeoPoint{other.min_lat, other.min_lon});
+  Extend(GeoPoint{other.max_lat, other.max_lon});
+}
+
+bool BoundingBox::Contains(const GeoPoint& p) const {
+  return !IsEmpty() && p.lat >= min_lat && p.lat <= max_lat &&
+         p.lon >= min_lon && p.lon <= max_lon;
+}
+
+bool BoundingBox::Contains(const BoundingBox& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  return other.min_lat >= min_lat && other.max_lat <= max_lat &&
+         other.min_lon >= min_lon && other.max_lon <= max_lon;
+}
+
+bool BoundingBox::Intersects(const BoundingBox& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  return !(other.min_lat > max_lat || other.max_lat < min_lat ||
+           other.min_lon > max_lon || other.max_lon < min_lon);
+}
+
+GeoPoint BoundingBox::Center() const {
+  return GeoPoint{(min_lat + max_lat) / 2.0, (min_lon + max_lon) / 2.0};
+}
+
+double BoundingBox::AreaDeg2() const {
+  if (IsEmpty()) return 0.0;
+  return (max_lat - min_lat) * (max_lon - min_lon);
+}
+
+double BoundingBox::PerimeterDeg() const {
+  if (IsEmpty()) return 0.0;
+  return 2.0 * ((max_lat - min_lat) + (max_lon - min_lon));
+}
+
+BoundingBox BoundingBox::Intersection(const BoundingBox& other) const {
+  if (!Intersects(other)) return Empty();
+  BoundingBox out;
+  out.min_lat = std::max(min_lat, other.min_lat);
+  out.max_lat = std::min(max_lat, other.max_lat);
+  out.min_lon = std::max(min_lon, other.min_lon);
+  out.max_lon = std::min(max_lon, other.max_lon);
+  return out;
+}
+
+std::string BoundingBox::ToString() const {
+  if (IsEmpty()) return "[empty]";
+  return StrFormat("[%.6f,%.6f]..[%.6f,%.6f]", min_lat, min_lon, max_lat,
+                   max_lon);
+}
+
+}  // namespace tvdp::geo

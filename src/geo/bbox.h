@@ -1,0 +1,71 @@
+#ifndef TVDP_GEO_BBOX_H_
+#define TVDP_GEO_BBOX_H_
+
+#include <string>
+
+#include "geo/geo_point.h"
+
+namespace tvdp::geo {
+
+/// An axis-aligned geographic bounding box (min/max latitude & longitude).
+/// Used for spatial range queries and as the "Scene Location" descriptor
+/// (the MBR of the region depicted by an image's FOV).
+///
+/// Longitude wrap-around at the antimeridian is not modelled; TVDP targets
+/// city-scale deployments.
+struct BoundingBox {
+  double min_lat = 1.0;
+  double min_lon = 1.0;
+  double max_lat = -1.0;
+  double max_lon = -1.0;
+
+  /// An empty (invalid) box; Extend() grows it from nothing.
+  static BoundingBox Empty() { return BoundingBox{1.0, 1.0, -1.0, -1.0}; }
+
+  /// Box spanning the two corner points.
+  static BoundingBox FromCorners(const GeoPoint& a, const GeoPoint& b);
+
+  /// Box around `center` reaching `radius_m` meters in each direction.
+  static BoundingBox FromCenterRadius(const GeoPoint& center, double radius_m);
+
+  /// True iff the box contains no points (never extended).
+  bool IsEmpty() const { return min_lat > max_lat || min_lon > max_lon; }
+
+  /// Grows the box to include `p`.
+  void Extend(const GeoPoint& p);
+
+  /// Grows the box to include `other`.
+  void Extend(const BoundingBox& other);
+
+  /// True iff `p` lies inside (inclusive).
+  bool Contains(const GeoPoint& p) const;
+
+  /// True iff `other` is fully inside this box.
+  bool Contains(const BoundingBox& other) const;
+
+  /// True iff the two boxes share any point.
+  bool Intersects(const BoundingBox& other) const;
+
+  /// Geometric center.
+  GeoPoint Center() const;
+
+  /// Degree-space area (used for index heuristics, not geodesy).
+  double AreaDeg2() const;
+
+  /// Degree-space perimeter.
+  double PerimeterDeg() const;
+
+  /// The intersection box (empty if disjoint).
+  BoundingBox Intersection(const BoundingBox& other) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const BoundingBox& a, const BoundingBox& b) {
+    return a.min_lat == b.min_lat && a.min_lon == b.min_lon &&
+           a.max_lat == b.max_lat && a.max_lon == b.max_lon;
+  }
+};
+
+}  // namespace tvdp::geo
+
+#endif  // TVDP_GEO_BBOX_H_

@@ -1,0 +1,141 @@
+#include "geo/coverage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvdp::geo {
+
+Result<CoverageGrid> CoverageGrid::Make(const BoundingBox& region, int rows,
+                                        int cols, int direction_sectors) {
+  if (region.IsEmpty()) {
+    return Status::InvalidArgument("coverage region must be non-empty");
+  }
+  if (rows < 1 || cols < 1) {
+    return Status::InvalidArgument("coverage grid needs >=1 rows and cols");
+  }
+  if (direction_sectors < 1 || direction_sectors > 360) {
+    return Status::InvalidArgument("direction sectors must be in [1, 360]");
+  }
+  CoverageGrid grid;
+  grid.region_ = region;
+  grid.rows_ = rows;
+  grid.cols_ = cols;
+  grid.sectors_ = direction_sectors;
+  grid.covered_.assign(
+      static_cast<size_t>(rows) * cols * direction_sectors, false);
+  return grid;
+}
+
+BoundingBox CoverageGrid::CellBounds(int row, int col) const {
+  double dlat = (region_.max_lat - region_.min_lat) / rows_;
+  double dlon = (region_.max_lon - region_.min_lon) / cols_;
+  BoundingBox box;
+  box.min_lat = region_.min_lat + row * dlat;
+  box.max_lat = box.min_lat + dlat;
+  box.min_lon = region_.min_lon + col * dlon;
+  box.max_lon = box.min_lon + dlon;
+  return box;
+}
+
+int CoverageGrid::AddFov(const FieldOfView& fov) {
+  ++fov_count_;
+  BoundingBox scene = fov.SceneLocation();
+  if (!scene.Intersects(region_)) return 0;
+
+  double dlat = (region_.max_lat - region_.min_lat) / rows_;
+  double dlon = (region_.max_lon - region_.min_lon) / cols_;
+  int row_lo = std::clamp(
+      static_cast<int>(std::floor((scene.min_lat - region_.min_lat) / dlat)), 0,
+      rows_ - 1);
+  int row_hi = std::clamp(
+      static_cast<int>(std::floor((scene.max_lat - region_.min_lat) / dlat)), 0,
+      rows_ - 1);
+  int col_lo = std::clamp(
+      static_cast<int>(std::floor((scene.min_lon - region_.min_lon) / dlon)), 0,
+      cols_ - 1);
+  int col_hi = std::clamp(
+      static_cast<int>(std::floor((scene.max_lon - region_.min_lon) / dlon)), 0,
+      cols_ - 1);
+
+  // The FOV views a cell "from" the bearing at which the camera sees the
+  // cell center; that bearing selects the direction sector being covered.
+  double sector_width = 360.0 / sectors_;
+  int newly_covered = 0;
+  for (int r = row_lo; r <= row_hi; ++r) {
+    for (int c = col_lo; c <= col_hi; ++c) {
+      BoundingBox cell = CellBounds(r, c);
+      if (!fov.IntersectsBBox(cell)) continue;
+      GeoPoint center = cell.Center();
+      double bearing;
+      double dist = HaversineMeters(fov.camera, center);
+      if (dist < 1e-6) {
+        bearing = fov.direction_deg;  // camera stands in the cell center
+      } else {
+        bearing = InitialBearingDeg(fov.camera, center);
+      }
+      int sector =
+          std::clamp(static_cast<int>(NormalizeBearing(bearing) / sector_width),
+                     0, sectors_ - 1);
+      size_t idx = BitIndex(r, c, sector);
+      if (!covered_[idx]) {
+        covered_[idx] = true;
+        ++newly_covered;
+      }
+    }
+  }
+  return newly_covered;
+}
+
+double CoverageGrid::CoverageRatio() const {
+  if (covered_.empty()) return 0.0;
+  size_t on = 0;
+  for (bool b : covered_) on += b ? 1 : 0;
+  return static_cast<double>(on) / covered_.size();
+}
+
+double CoverageGrid::CellCoverageRatio() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  int covered_cells = 0;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      for (int s = 0; s < sectors_; ++s) {
+        if (covered_[BitIndex(r, c, s)]) {
+          ++covered_cells;
+          break;
+        }
+      }
+    }
+  }
+  return static_cast<double>(covered_cells) / (rows_ * cols_);
+}
+
+std::vector<CoverageGrid::Gap> CoverageGrid::FindGaps() const {
+  std::vector<Gap> gaps;
+  double sector_width = 360.0 / sectors_;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      Gap gap;
+      for (int s = 0; s < sectors_; ++s) {
+        if (!covered_[BitIndex(r, c, s)]) {
+          gap.missing_bearings_deg.push_back((s + 0.5) * sector_width);
+        }
+      }
+      if (!gap.missing_bearings_deg.empty()) {
+        gap.cell_bounds = CellBounds(r, c);
+        gap.cell_center = gap.cell_bounds.Center();
+        gaps.push_back(std::move(gap));
+      }
+    }
+  }
+  return gaps;
+}
+
+bool CoverageGrid::IsCovered(int row, int col, int sector) const {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_ || sector < 0 ||
+      sector >= sectors_) {
+    return false;
+  }
+  return covered_[BitIndex(row, col, sector)];
+}
+
+}  // namespace tvdp::geo

@@ -1,0 +1,83 @@
+#ifndef TVDP_GEO_COVERAGE_H_
+#define TVDP_GEO_COVERAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/bbox.h"
+#include "geo/fov.h"
+
+namespace tvdp::geo {
+
+/// Spatial coverage measurement of geo-tagged visual data (paper Sec. III,
+/// after Alfarrarjeh et al., "Spatial coverage measurement of geo-tagged
+/// visual data: A database approach", BigMM'18).
+///
+/// The region of interest is divided into a uniform grid; each cell tracks
+/// which of `direction_sectors` viewing-direction sectors have been covered
+/// by at least one FOV. A cell+sector is covered when an FOV whose sector
+/// overlaps the cell views it from that direction. This captures the
+/// intuition that a street corner photographed only facing north is not
+/// fully documented.
+class CoverageGrid {
+ public:
+  /// Creates a grid over `region` with `rows` x `cols` cells and
+  /// `direction_sectors` angular sectors per cell.
+  static Result<CoverageGrid> Make(const BoundingBox& region, int rows,
+                                   int cols, int direction_sectors = 4);
+
+  /// Registers one FOV's contribution to the grid. Returns the number of
+  /// (cell, sector) pairs newly covered — i.e. the marginal coverage gain,
+  /// which iterative crowdsourcing uses to prioritise campaigns.
+  int AddFov(const FieldOfView& fov);
+
+  /// Fraction in [0,1] of (cell, sector) pairs covered.
+  double CoverageRatio() const;
+
+  /// Fraction of cells with at least one covered sector (direction-blind
+  /// coverage; the weaker measure based on camera point data only).
+  double CellCoverageRatio() const;
+
+  /// A coverage gap: a cell and the list of uncovered sector bearings.
+  struct Gap {
+    GeoPoint cell_center;
+    BoundingBox cell_bounds;
+    std::vector<double> missing_bearings_deg;
+  };
+
+  /// All gaps, ordered row-major. A fully covered grid returns {}.
+  std::vector<Gap> FindGaps() const;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int direction_sectors() const { return sectors_; }
+  const BoundingBox& region() const { return region_; }
+
+  /// Number of FOVs registered so far.
+  int64_t fov_count() const { return fov_count_; }
+
+  /// True iff (row, col, sector) is covered.
+  bool IsCovered(int row, int col, int sector) const;
+
+  /// Bounds of the (row, col) cell.
+  BoundingBox CellBounds(int row, int col) const;
+
+ private:
+  CoverageGrid() = default;
+
+  size_t BitIndex(int row, int col, int sector) const {
+    return (static_cast<size_t>(row) * cols_ + col) * sectors_ + sector;
+  }
+
+  BoundingBox region_;
+  int rows_ = 0;
+  int cols_ = 0;
+  int sectors_ = 0;
+  int64_t fov_count_ = 0;
+  std::vector<bool> covered_;
+};
+
+}  // namespace tvdp::geo
+
+#endif  // TVDP_GEO_COVERAGE_H_

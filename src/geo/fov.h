@@ -1,0 +1,62 @@
+#ifndef TVDP_GEO_FOV_H_
+#define TVDP_GEO_FOV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "geo/bbox.h"
+#include "geo/geo_point.h"
+
+namespace tvdp::geo {
+
+/// Field-of-View spatial descriptor (paper Fig. 3, after Ay et al. 2008):
+/// the spatial extent of an image is a circular sector defined by
+///   - camera location L (GPS),
+///   - viewing direction theta (compass bearing of the optical axis),
+///   - viewable angle alpha (full angular width of the sector), and
+///   - maximum visible distance R.
+/// The FOV descriptor is more accurate than the raw camera location because
+/// it captures *what the image shows*, not where the camera stood.
+struct FieldOfView {
+  GeoPoint camera;            ///< Camera location L.
+  double direction_deg = 0;   ///< Viewing direction theta, [0, 360).
+  double angle_deg = 60;      ///< Viewable angle alpha, (0, 360].
+  double radius_m = 100;      ///< Maximum visible distance R in meters.
+
+  /// Validates the descriptor fields.
+  static Result<FieldOfView> Make(const GeoPoint& camera, double direction_deg,
+                                  double angle_deg, double radius_m);
+
+  /// True iff geographic point `p` lies inside the viewable sector.
+  bool ContainsPoint(const GeoPoint& p) const;
+
+  /// The scene location: minimum bounding rectangle of the sector (the
+  /// "Scene Location" descriptor of the data model). Exact: accounts for
+  /// the arc crossing the cardinal bearings.
+  BoundingBox SceneLocation() const;
+
+  /// True iff the sector intersects `box` (conservative: tests the scene
+  /// MBR first, then samples the sector boundary).
+  bool IntersectsBBox(const BoundingBox& box) const;
+
+  /// Overlap between the viewing direction and a target bearing, as
+  /// |angular difference| <= alpha/2.
+  bool CoversBearing(double bearing_deg) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const FieldOfView& a, const FieldOfView& b) {
+    return a.camera == b.camera && a.direction_deg == b.direction_deg &&
+           a.angle_deg == b.angle_deg && a.radius_m == b.radius_m;
+  }
+};
+
+/// Fraction [0,1] of `fov`'s sector area that falls inside `box`, estimated
+/// by deterministic midpoint sampling over a polar grid. Used by coverage
+/// measurement and the oriented index's refinement step.
+double SectorFractionInsideBBox(const FieldOfView& fov, const BoundingBox& box,
+                                int radial_steps = 8, int angular_steps = 16);
+
+}  // namespace tvdp::geo
+
+#endif  // TVDP_GEO_FOV_H_

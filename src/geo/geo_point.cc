@@ -1,0 +1,85 @@
+#include "geo/geo_point.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace tvdp::geo {
+
+double NormalizeBearing(double deg) {
+  double d = std::fmod(deg, 360.0);
+  if (d < 0) d += 360.0;
+  return d;
+}
+
+double AngularDifference(double a_deg, double b_deg) {
+  double d = std::fmod(a_deg - b_deg, 360.0);
+  if (d > 180.0) d -= 360.0;
+  if (d <= -180.0) d += 360.0;
+  return d;
+}
+
+std::string GeoPoint::ToString() const {
+  return StrFormat("(%.6f, %.6f)", lat, lon);
+}
+
+bool IsValid(const GeoPoint& p) {
+  return p.lat >= -90.0 && p.lat <= 90.0 && p.lon >= -180.0 && p.lon <= 180.0;
+}
+
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b) {
+  double lat1 = DegToRad(a.lat), lat2 = DegToRad(b.lat);
+  double dlat = lat2 - lat1;
+  double dlon = DegToRad(b.lon - a.lon);
+  double s1 = std::sin(dlat / 2), s2 = std::sin(dlon / 2);
+  double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  h = std::clamp(h, 0.0, 1.0);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+double InitialBearingDeg(const GeoPoint& from, const GeoPoint& to) {
+  double lat1 = DegToRad(from.lat), lat2 = DegToRad(to.lat);
+  double dlon = DegToRad(to.lon - from.lon);
+  double y = std::sin(dlon) * std::cos(lat2);
+  double x = std::cos(lat1) * std::sin(lat2) -
+             std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  return NormalizeBearing(RadToDeg(std::atan2(y, x)));
+}
+
+GeoPoint Destination(const GeoPoint& start, double bearing_deg,
+                     double distance_m) {
+  double delta = distance_m / kEarthRadiusMeters;
+  double theta = DegToRad(bearing_deg);
+  double lat1 = DegToRad(start.lat);
+  double lon1 = DegToRad(start.lon);
+  double lat2 = std::asin(std::sin(lat1) * std::cos(delta) +
+                          std::cos(lat1) * std::sin(delta) * std::cos(theta));
+  double lon2 =
+      lon1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(lat1),
+                        std::cos(delta) - std::sin(lat1) * std::sin(lat2));
+  GeoPoint out{RadToDeg(lat2), RadToDeg(lon2)};
+  if (out.lon > 180.0) out.lon -= 360.0;
+  if (out.lon < -180.0) out.lon += 360.0;
+  return out;
+}
+
+double Distance(const Point2D& a, const Point2D& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+LocalProjection::LocalProjection(const GeoPoint& origin)
+    : origin_(origin), cos_lat_(std::cos(DegToRad(origin.lat))) {}
+
+Point2D LocalProjection::Project(const GeoPoint& p) const {
+  double x = DegToRad(p.lon - origin_.lon) * cos_lat_ * kEarthRadiusMeters;
+  double y = DegToRad(p.lat - origin_.lat) * kEarthRadiusMeters;
+  return {x, y};
+}
+
+GeoPoint LocalProjection::Unproject(const Point2D& p) const {
+  double lat = origin_.lat + RadToDeg(p.y / kEarthRadiusMeters);
+  double lon = origin_.lon + RadToDeg(p.x / (kEarthRadiusMeters * cos_lat_));
+  return {lat, lon};
+}
+
+}  // namespace tvdp::geo

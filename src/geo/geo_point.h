@@ -1,0 +1,85 @@
+#ifndef TVDP_GEO_GEO_POINT_H_
+#define TVDP_GEO_GEO_POINT_H_
+
+#include <cmath>
+#include <string>
+
+namespace tvdp::geo {
+
+/// Mean Earth radius in meters (spherical model).
+inline constexpr double kEarthRadiusMeters = 6371000.0;
+
+/// Degrees <-> radians.
+inline double DegToRad(double deg) { return deg * M_PI / 180.0; }
+inline double RadToDeg(double rad) { return rad * 180.0 / M_PI; }
+
+/// Normalizes a compass bearing into [0, 360).
+double NormalizeBearing(double deg);
+
+/// Signed smallest angular difference a-b in (-180, 180].
+double AngularDifference(double a_deg, double b_deg);
+
+/// A WGS84-style latitude/longitude pair in degrees. This is the "GPS
+/// Location" spatial descriptor of the TVDP data model.
+struct GeoPoint {
+  double lat = 0.0;  ///< Latitude in degrees, [-90, 90].
+  double lon = 0.0;  ///< Longitude in degrees, [-180, 180].
+
+  friend bool operator==(const GeoPoint& a, const GeoPoint& b) {
+    return a.lat == b.lat && a.lon == b.lon;
+  }
+
+  std::string ToString() const;
+};
+
+/// True iff the point is within valid latitude/longitude bounds.
+bool IsValid(const GeoPoint& p);
+
+/// Great-circle (haversine) distance in meters.
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b);
+
+/// Initial compass bearing (degrees, [0,360)) from `from` toward `to`.
+double InitialBearingDeg(const GeoPoint& from, const GeoPoint& to);
+
+/// Destination point when travelling `distance_m` meters from `start` along
+/// compass `bearing_deg` on the sphere.
+GeoPoint Destination(const GeoPoint& start, double bearing_deg,
+                     double distance_m);
+
+/// A point in a local planar (meters) frame.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2D& a, const Point2D& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two planar points.
+double Distance(const Point2D& a, const Point2D& b);
+
+/// Equirectangular projection centred on a reference point: accurate to
+/// well under 1% over city-scale extents, which is all TVDP needs for
+/// coverage measurement and index geometry.
+class LocalProjection {
+ public:
+  /// Creates a projection centred at `origin`.
+  explicit LocalProjection(const GeoPoint& origin);
+
+  /// Geographic -> local meters.
+  Point2D Project(const GeoPoint& p) const;
+
+  /// Local meters -> geographic.
+  GeoPoint Unproject(const Point2D& p) const;
+
+  const GeoPoint& origin() const { return origin_; }
+
+ private:
+  GeoPoint origin_;
+  double cos_lat_;
+};
+
+}  // namespace tvdp::geo
+
+#endif  // TVDP_GEO_GEO_POINT_H_

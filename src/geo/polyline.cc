@@ -1,0 +1,114 @@
+#include "geo/polyline.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace tvdp::geo {
+
+Polyline::Polyline(std::vector<GeoPoint> points) : points_(std::move(points)) {
+  cumulative_m_.resize(points_.size(), 0.0);
+  for (size_t i = 1; i < points_.size(); ++i) {
+    cumulative_m_[i] =
+        cumulative_m_[i - 1] + HaversineMeters(points_[i - 1], points_[i]);
+  }
+}
+
+double Polyline::LengthMeters() const {
+  return cumulative_m_.empty() ? 0.0 : cumulative_m_.back();
+}
+
+GeoPoint Polyline::PointAt(double meters) const {
+  if (points_.empty()) return GeoPoint{};
+  if (points_.size() == 1 || meters <= 0) return points_.front();
+  if (meters >= LengthMeters()) return points_.back();
+  auto it = std::upper_bound(cumulative_m_.begin(), cumulative_m_.end(), meters);
+  size_t seg = static_cast<size_t>(it - cumulative_m_.begin());  // in [1, n)
+  double seg_start = cumulative_m_[seg - 1];
+  double seg_len = cumulative_m_[seg] - seg_start;
+  double t = seg_len > 1e-12 ? (meters - seg_start) / seg_len : 0.0;
+  const GeoPoint& a = points_[seg - 1];
+  const GeoPoint& b = points_[seg];
+  return GeoPoint{a.lat + (b.lat - a.lat) * t, a.lon + (b.lon - a.lon) * t};
+}
+
+double Polyline::BearingAt(double meters) const {
+  if (points_.size() < 2) return 0.0;
+  double m = std::clamp(meters, 0.0, LengthMeters());
+  auto it = std::upper_bound(cumulative_m_.begin(), cumulative_m_.end(), m);
+  size_t seg = static_cast<size_t>(it - cumulative_m_.begin());
+  seg = std::clamp<size_t>(seg, 1, points_.size() - 1);
+  return InitialBearingDeg(points_[seg - 1], points_[seg]);
+}
+
+BoundingBox Polyline::Bounds() const {
+  BoundingBox box = BoundingBox::Empty();
+  for (const auto& p : points_) box.Extend(p);
+  return box;
+}
+
+StreetNetwork StreetNetwork::MakeGrid(const BoundingBox& region, int rows,
+                                      int cols, Rng& rng,
+                                      double jitter_fraction) {
+  StreetNetwork net;
+  net.region_ = region;
+  if (region.IsEmpty() || rows < 1 || cols < 1) return net;
+  double dlat = (region.max_lat - region.min_lat) / (rows + 1);
+  double dlon = (region.max_lon - region.min_lon) / (cols + 1);
+  constexpr int kVerticesPerStreet = 12;
+  auto jitter = [&](double scale) {
+    return rng.Uniform(-jitter_fraction, jitter_fraction) * scale;
+  };
+  // East-west streets.
+  for (int r = 1; r <= rows; ++r) {
+    std::vector<GeoPoint> pts;
+    double lat = region.min_lat + r * dlat;
+    for (int v = 0; v < kVerticesPerStreet; ++v) {
+      double lon = region.min_lon + (region.max_lon - region.min_lon) * v /
+                                        (kVerticesPerStreet - 1);
+      pts.push_back(GeoPoint{lat + jitter(dlat), lon});
+    }
+    net.streets_.push_back(
+        Street{StrFormat("ew-street-%d", r), Polyline(std::move(pts))});
+  }
+  // North-south streets.
+  for (int c = 1; c <= cols; ++c) {
+    std::vector<GeoPoint> pts;
+    double lon = region.min_lon + c * dlon;
+    for (int v = 0; v < kVerticesPerStreet; ++v) {
+      double lat = region.min_lat + (region.max_lat - region.min_lat) * v /
+                                        (kVerticesPerStreet - 1);
+      pts.push_back(GeoPoint{lat, lon + jitter(dlon)});
+    }
+    net.streets_.push_back(
+        Street{StrFormat("ns-street-%d", c), Polyline(std::move(pts))});
+  }
+  return net;
+}
+
+double StreetNetwork::TotalLengthMeters() const {
+  double total = 0;
+  for (const auto& s : streets_) total += s.line.LengthMeters();
+  return total;
+}
+
+StreetNetwork::SamplePoint StreetNetwork::Sample(Rng& rng) const {
+  SamplePoint out;
+  double total = TotalLengthMeters();
+  if (total <= 0 || streets_.empty()) return out;
+  double pick = rng.Uniform(0, total);
+  for (size_t i = 0; i < streets_.size(); ++i) {
+    double len = streets_[i].line.LengthMeters();
+    if (pick <= len || i + 1 == streets_.size()) {
+      double m = std::clamp(pick, 0.0, len);
+      out.location = streets_[i].line.PointAt(m);
+      out.street_bearing_deg = streets_[i].line.BearingAt(m);
+      out.street_index = i;
+      return out;
+    }
+    pick -= len;
+  }
+  return out;
+}
+
+}  // namespace tvdp::geo

@@ -1,0 +1,79 @@
+#ifndef TVDP_GEO_POLYLINE_H_
+#define TVDP_GEO_POLYLINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/bbox.h"
+#include "geo/geo_point.h"
+
+namespace tvdp::geo {
+
+/// A geographic polyline — TVDP uses polylines to model street segments
+/// along which collection vehicles (e.g. LASAN garbage trucks) and
+/// crowdsourcing workers travel.
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<GeoPoint> points);
+
+  const std::vector<GeoPoint>& points() const { return points_; }
+  bool empty() const { return points_.size() < 2; }
+
+  /// Total length along the line in meters.
+  double LengthMeters() const;
+
+  /// The point at distance `meters` from the start (clamped to the ends).
+  GeoPoint PointAt(double meters) const;
+
+  /// Compass bearing of the segment containing the point at `meters`.
+  double BearingAt(double meters) const;
+
+  /// Bounding box of all vertices.
+  BoundingBox Bounds() const;
+
+ private:
+  std::vector<GeoPoint> points_;
+  std::vector<double> cumulative_m_;  // prefix lengths, same size as points_
+};
+
+/// A street network: a set of named street polylines inside a region.
+/// StreetNetwork::MakeGrid builds a deterministic Manhattan-style grid that
+/// stands in for the real LA street map in all simulations.
+class StreetNetwork {
+ public:
+  struct Street {
+    std::string name;
+    Polyline line;
+  };
+
+  /// Builds a `rows` x `cols` grid of streets covering `region`, with
+  /// per-vertex jitter drawn from `rng` so streets are not perfectly
+  /// straight (shape matters for FOV coverage tests).
+  static StreetNetwork MakeGrid(const BoundingBox& region, int rows, int cols,
+                                Rng& rng, double jitter_fraction = 0.05);
+
+  const std::vector<Street>& streets() const { return streets_; }
+  const BoundingBox& region() const { return region_; }
+
+  /// Total length of all streets in meters.
+  double TotalLengthMeters() const;
+
+  /// Deterministically samples a (point, bearing) uniformly by length over
+  /// the whole network; useful for placing image captures along streets.
+  struct SamplePoint {
+    GeoPoint location;
+    double street_bearing_deg = 0;
+    size_t street_index = 0;
+  };
+  SamplePoint Sample(Rng& rng) const;
+
+ private:
+  std::vector<Street> streets_;
+  BoundingBox region_;
+};
+
+}  // namespace tvdp::geo
+
+#endif  // TVDP_GEO_POLYLINE_H_

@@ -1,0 +1,115 @@
+#include "image/augment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/draw.h"
+
+namespace tvdp::image {
+
+Image FlipHorizontal(const Image& img) {
+  Image out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      out.at(img.width() - 1 - x, y) = img.at(x, y);
+    }
+  }
+  return out;
+}
+
+Image FlipVertical(const Image& img) {
+  Image out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      out.at(x, img.height() - 1 - y) = img.at(x, y);
+    }
+  }
+  return out;
+}
+
+Image Rotate(const Image& img, double degrees, Rgb fill) {
+  Image out(img.width(), img.height(), fill);
+  if (img.empty()) return out;
+  double rad = degrees * M_PI / 180.0;
+  double c = std::cos(rad), s = std::sin(rad);
+  double cx = (img.width() - 1) / 2.0, cy = (img.height() - 1) / 2.0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      // Inverse-map destination -> source.
+      double dx = x - cx, dy = y - cy;
+      double sx = c * dx + s * dy + cx;
+      double sy = -s * dx + c * dy + cy;
+      int ix = static_cast<int>(std::lround(sx));
+      int iy = static_cast<int>(std::lround(sy));
+      if (img.Inside(ix, iy)) out.at(x, y) = img.at(ix, iy);
+    }
+  }
+  return out;
+}
+
+Result<Image> RandomCropResize(const Image& img, double keep_fraction,
+                               Rng& rng) {
+  if (keep_fraction <= 0 || keep_fraction > 1) {
+    return Status::InvalidArgument("keep_fraction must be in (0, 1]");
+  }
+  if (img.empty()) return Status::FailedPrecondition("empty image");
+  int cw = std::max(1, static_cast<int>(img.width() * keep_fraction));
+  int ch = std::max(1, static_cast<int>(img.height() * keep_fraction));
+  int max_x = img.width() - cw;
+  int max_y = img.height() - ch;
+  int x = max_x > 0 ? static_cast<int>(rng.UniformInt(0, max_x)) : 0;
+  int y = max_y > 0 ? static_cast<int>(rng.UniformInt(0, max_y)) : 0;
+  TVDP_ASSIGN_OR_RETURN(Image cropped, img.Crop(x, y, cw, ch));
+  return cropped.Resize(img.width(), img.height());
+}
+
+Augmentor::Augmentor()
+    : ops_{AugmentOp::kFlipHorizontal, AugmentOp::kRotateSmall,
+           AugmentOp::kCropResize, AugmentOp::kBrightness,
+           AugmentOp::kGaussianNoise} {}
+
+Augmentor::Augmentor(std::vector<AugmentOp> ops) : ops_(std::move(ops)) {}
+
+Image Augmentor::ApplyOp(const Image& img, AugmentOp op, Rng& rng) const {
+  switch (op) {
+    case AugmentOp::kFlipHorizontal:
+      return FlipHorizontal(img);
+    case AugmentOp::kRotateSmall:
+      return Rotate(img, rng.Uniform(-12.0, 12.0));
+    case AugmentOp::kCropResize: {
+      auto r = RandomCropResize(img, 0.85, rng);
+      return r.ok() ? std::move(r).value() : img;
+    }
+    case AugmentOp::kBrightness: {
+      Image out = img;
+      ScaleBrightness(out, rng.Uniform(0.75, 1.25));
+      return out;
+    }
+    case AugmentOp::kGaussianNoise: {
+      Image out = img;
+      AddGaussianNoise(out, 6.0, rng);
+      return out;
+    }
+  }
+  return img;
+}
+
+std::vector<Image> Augmentor::Generate(const Image& img, int count,
+                                       Rng& rng) const {
+  std::vector<Image> out;
+  if (ops_.empty() || count <= 0) return out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Image v = img;
+    int steps = static_cast<int>(rng.UniformInt(1, 3));
+    for (int s = 0; s < steps; ++s) {
+      AugmentOp op = ops_[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(ops_.size()) - 1))];
+      v = ApplyOp(v, op, rng);
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace tvdp::image

@@ -1,0 +1,61 @@
+#ifndef TVDP_IMAGE_AUGMENT_H_
+#define TVDP_IMAGE_AUGMENT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "image/image.h"
+
+namespace tvdp::image {
+
+/// Image augmentation operators (paper Sec. IV-B: stored visual data is
+/// "original" or "augmented"; augmented images are synthesized by image
+/// processing such as cropping and rotating — the Augmentor-style pipeline).
+
+/// Horizontal mirror.
+Image FlipHorizontal(const Image& img);
+
+/// Vertical mirror.
+Image FlipVertical(const Image& img);
+
+/// Rotation by an arbitrary angle about the image center (nearest-neighbour
+/// sampling; uncovered pixels take `fill`).
+Image Rotate(const Image& img, double degrees, Rgb fill = Rgb{0, 0, 0});
+
+/// Random crop keeping `keep_fraction` of each dimension, resized back to
+/// the original size.
+Result<Image> RandomCropResize(const Image& img, double keep_fraction,
+                               Rng& rng);
+
+/// One augmentation step description.
+enum class AugmentOp {
+  kFlipHorizontal,
+  kRotateSmall,    ///< rotate by U(-12, 12) degrees
+  kCropResize,     ///< random 85% crop, resized back
+  kBrightness,     ///< brightness scale U(0.75, 1.25)
+  kGaussianNoise,  ///< additive noise, stddev 6
+};
+
+/// A reproducible augmentation pipeline: applies a random subset/ordering
+/// of the configured ops to produce `count` augmented variants per input.
+class Augmentor {
+ public:
+  /// Uses all ops by default.
+  Augmentor();
+  explicit Augmentor(std::vector<AugmentOp> ops);
+
+  /// Generates `count` augmented variants of `img` using randomness from
+  /// `rng`. Each variant applies 1-3 ops.
+  std::vector<Image> Generate(const Image& img, int count, Rng& rng) const;
+
+  /// Applies a single op with randomness from `rng`.
+  Image ApplyOp(const Image& img, AugmentOp op, Rng& rng) const;
+
+ private:
+  std::vector<AugmentOp> ops_;
+};
+
+}  // namespace tvdp::image
+
+#endif  // TVDP_IMAGE_AUGMENT_H_

@@ -1,0 +1,149 @@
+#include "image/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvdp::image {
+namespace {
+
+uint8_t ClampByte(double v) {
+  return static_cast<uint8_t>(std::lround(std::clamp(v, 0.0, 255.0)));
+}
+
+}  // namespace
+
+void FillRect(Image& img, int x, int y, int w, int h, Rgb color) {
+  int x0 = std::max(x, 0), y0 = std::max(y, 0);
+  int x1 = std::min(x + w, img.width()), y1 = std::min(y + h, img.height());
+  for (int yy = y0; yy < y1; ++yy) {
+    for (int xx = x0; xx < x1; ++xx) img.at(xx, yy) = color;
+  }
+}
+
+void FillCircle(Image& img, int cx, int cy, int r, Rgb color) {
+  if (r < 0) return;
+  int x0 = std::max(cx - r, 0), x1 = std::min(cx + r, img.width() - 1);
+  int y0 = std::max(cy - r, 0), y1 = std::min(cy + r, img.height() - 1);
+  int r2 = r * r;
+  for (int yy = y0; yy <= y1; ++yy) {
+    for (int xx = x0; xx <= x1; ++xx) {
+      int dx = xx - cx, dy = yy - cy;
+      if (dx * dx + dy * dy <= r2) img.at(xx, yy) = color;
+    }
+  }
+}
+
+void FillTriangle(Image& img, int x0, int y0, int x1, int y1, int x2, int y2,
+                  Rgb color) {
+  int min_x = std::max(std::min({x0, x1, x2}), 0);
+  int max_x = std::min(std::max({x0, x1, x2}), img.width() - 1);
+  int min_y = std::max(std::min({y0, y1, y2}), 0);
+  int max_y = std::min(std::max({y0, y1, y2}), img.height() - 1);
+  auto edge = [](int ax, int ay, int bx, int by, int px, int py) {
+    return static_cast<long long>(bx - ax) * (py - ay) -
+           static_cast<long long>(by - ay) * (px - ax);
+  };
+  long long area = edge(x0, y0, x1, y1, x2, y2);
+  if (area == 0) return;
+  for (int yy = min_y; yy <= max_y; ++yy) {
+    for (int xx = min_x; xx <= max_x; ++xx) {
+      long long w0 = edge(x1, y1, x2, y2, xx, yy);
+      long long w1 = edge(x2, y2, x0, y0, xx, yy);
+      long long w2 = edge(x0, y0, x1, y1, xx, yy);
+      bool all_nonneg = w0 >= 0 && w1 >= 0 && w2 >= 0;
+      bool all_nonpos = w0 <= 0 && w1 <= 0 && w2 <= 0;
+      if (all_nonneg || all_nonpos) img.at(xx, yy) = color;
+    }
+  }
+}
+
+void DrawLine(Image& img, int x0, int y0, int x1, int y1, Rgb color) {
+  int dx = std::abs(x1 - x0), sx = x0 < x1 ? 1 : -1;
+  int dy = -std::abs(y1 - y0), sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    img.Set(x0, y0, color);
+    if (x0 == x1 && y0 == y1) break;
+    int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void DrawThickLine(Image& img, int x0, int y0, int x1, int y1, int thickness,
+                   Rgb color) {
+  int r = std::max(thickness / 2, 0);
+  int dx = std::abs(x1 - x0), sx = x0 < x1 ? 1 : -1;
+  int dy = -std::abs(y1 - y0), sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    FillCircle(img, x0, y0, r, color);
+    if (x0 == x1 && y0 == y1) break;
+    int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void VerticalGradient(Image& img, int y0, int y1, Rgb top, Rgb bottom) {
+  y0 = std::max(y0, 0);
+  y1 = std::min(y1, img.height());
+  if (y1 <= y0) return;
+  for (int y = y0; y < y1; ++y) {
+    double t = (y1 - y0) > 1 ? static_cast<double>(y - y0) / (y1 - y0 - 1) : 0;
+    Rgb c = Blend(top, bottom, t);
+    for (int x = 0; x < img.width(); ++x) img.at(x, y) = c;
+  }
+}
+
+void SpeckleRect(Image& img, int x, int y, int w, int h, int amplitude,
+                 Rng& rng) {
+  int x0 = std::max(x, 0), y0 = std::max(y, 0);
+  int x1 = std::min(x + w, img.width()), y1 = std::min(y + h, img.height());
+  for (int yy = y0; yy < y1; ++yy) {
+    for (int xx = x0; xx < x1; ++xx) {
+      int d = static_cast<int>(rng.UniformInt(-amplitude, amplitude));
+      Rgb& p = img.at(xx, yy);
+      p.r = ClampByte(p.r + d);
+      p.g = ClampByte(p.g + d);
+      p.b = ClampByte(p.b + d);
+    }
+  }
+}
+
+void AddGaussianNoise(Image& img, double stddev, Rng& rng) {
+  if (stddev <= 0) return;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      Rgb& p = img.at(x, y);
+      p.r = ClampByte(p.r + rng.Normal(0, stddev));
+      p.g = ClampByte(p.g + rng.Normal(0, stddev));
+      p.b = ClampByte(p.b + rng.Normal(0, stddev));
+    }
+  }
+}
+
+void ScaleBrightness(Image& img, double factor) {
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      Rgb& p = img.at(x, y);
+      p.r = ClampByte(p.r * factor);
+      p.g = ClampByte(p.g * factor);
+      p.b = ClampByte(p.b * factor);
+    }
+  }
+}
+
+}  // namespace tvdp::image

@@ -1,0 +1,45 @@
+#ifndef TVDP_IMAGE_DRAW_H_
+#define TVDP_IMAGE_DRAW_H_
+
+#include "common/rng.h"
+#include "image/image.h"
+
+namespace tvdp::image {
+
+/// Rasterization primitives used by the synthetic street-scene generator.
+/// All primitives clip against the image border.
+
+/// Fills the axis-aligned rectangle [x, x+w) x [y, y+h).
+void FillRect(Image& img, int x, int y, int w, int h, Rgb color);
+
+/// Fills a solid disc of radius `r` centred at (cx, cy).
+void FillCircle(Image& img, int cx, int cy, int r, Rgb color);
+
+/// Fills the triangle with the given vertices (scanline rasterization).
+void FillTriangle(Image& img, int x0, int y0, int x1, int y1, int x2, int y2,
+                  Rgb color);
+
+/// Draws a 1px Bresenham line.
+void DrawLine(Image& img, int x0, int y0, int x1, int y1, Rgb color);
+
+/// Draws a thick line by stamping discs along the Bresenham path.
+void DrawThickLine(Image& img, int x0, int y0, int x1, int y1, int thickness,
+                   Rgb color);
+
+/// Vertical gradient from `top` to `bottom` over rows [y0, y1).
+void VerticalGradient(Image& img, int y0, int y1, Rgb top, Rgb bottom);
+
+/// Perturbs every pixel of the rectangle with zero-mean uniform channel
+/// noise of amplitude `amplitude` (useful for matte textures).
+void SpeckleRect(Image& img, int x, int y, int w, int h, int amplitude,
+                 Rng& rng);
+
+/// Adds zero-mean Gaussian noise (stddev in 8-bit counts) to all pixels.
+void AddGaussianNoise(Image& img, double stddev, Rng& rng);
+
+/// Multiplies every channel by `factor` (global illumination change).
+void ScaleBrightness(Image& img, double factor);
+
+}  // namespace tvdp::image
+
+#endif  // TVDP_IMAGE_DRAW_H_

@@ -1,0 +1,169 @@
+#include "image/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace tvdp::image {
+
+Hsv RgbToHsv(const Rgb& c) {
+  double r = c.r / 255.0, g = c.g / 255.0, b = c.b / 255.0;
+  double mx = std::max({r, g, b});
+  double mn = std::min({r, g, b});
+  double d = mx - mn;
+  Hsv out;
+  out.v = mx;
+  out.s = mx > 0 ? d / mx : 0;
+  if (d < 1e-12) {
+    out.h = 0;
+  } else if (mx == r) {
+    out.h = 60.0 * std::fmod((g - b) / d, 6.0);
+  } else if (mx == g) {
+    out.h = 60.0 * ((b - r) / d + 2.0);
+  } else {
+    out.h = 60.0 * ((r - g) / d + 4.0);
+  }
+  if (out.h < 0) out.h += 360.0;
+  return out;
+}
+
+Rgb HsvToRgb(const Hsv& c) {
+  double h = std::fmod(c.h, 360.0);
+  if (h < 0) h += 360.0;
+  double s = std::clamp(c.s, 0.0, 1.0);
+  double v = std::clamp(c.v, 0.0, 1.0);
+  double cc = v * s;
+  double x = cc * (1 - std::abs(std::fmod(h / 60.0, 2.0) - 1));
+  double m = v - cc;
+  double r = 0, g = 0, b = 0;
+  if (h < 60) { r = cc; g = x; }
+  else if (h < 120) { r = x; g = cc; }
+  else if (h < 180) { g = cc; b = x; }
+  else if (h < 240) { g = x; b = cc; }
+  else if (h < 300) { r = x; b = cc; }
+  else { r = cc; b = x; }
+  auto to8 = [&](double t) {
+    return static_cast<uint8_t>(std::lround(std::clamp(t + m, 0.0, 1.0) * 255));
+  };
+  return Rgb{to8(r), to8(g), to8(b)};
+}
+
+Rgb Blend(const Rgb& a, const Rgb& b, double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  auto mix = [&](uint8_t x, uint8_t y) {
+    return static_cast<uint8_t>(std::lround(x * (1 - t) + y * t));
+  };
+  return Rgb{mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b)};
+}
+
+Image::Image(int width, int height, Rgb fill)
+    : width_(std::max(width, 0)),
+      height_(std::max(height, 0)),
+      pixels_(static_cast<size_t>(width_) * height_, fill) {}
+
+void Image::Fill(Rgb c) { std::fill(pixels_.begin(), pixels_.end(), c); }
+
+std::vector<float> Image::ToGray() const {
+  std::vector<float> out(pixel_count());
+  for (size_t i = 0; i < pixels_.size(); ++i) {
+    const Rgb& p = pixels_[i];
+    out[i] = (0.299f * p.r + 0.587f * p.g + 0.114f * p.b) / 255.0f;
+  }
+  return out;
+}
+
+Result<Image> Image::Resize(int new_width, int new_height) const {
+  if (new_width <= 0 || new_height <= 0) {
+    return Status::InvalidArgument("resize target must be positive");
+  }
+  if (empty()) return Status::FailedPrecondition("cannot resize empty image");
+  Image out(new_width, new_height);
+  double sx = static_cast<double>(width_) / new_width;
+  double sy = static_cast<double>(height_) / new_height;
+  for (int y = 0; y < new_height; ++y) {
+    double fy = (y + 0.5) * sy - 0.5;
+    int y0 = std::clamp(static_cast<int>(std::floor(fy)), 0, height_ - 1);
+    int y1 = std::min(y0 + 1, height_ - 1);
+    double ty = std::clamp(fy - y0, 0.0, 1.0);
+    for (int x = 0; x < new_width; ++x) {
+      double fx = (x + 0.5) * sx - 0.5;
+      int x0 = std::clamp(static_cast<int>(std::floor(fx)), 0, width_ - 1);
+      int x1 = std::min(x0 + 1, width_ - 1);
+      double tx = std::clamp(fx - x0, 0.0, 1.0);
+      auto lerp = [](double a, double b, double t) { return a + (b - a) * t; };
+      const Rgb& p00 = at(x0, y0);
+      const Rgb& p10 = at(x1, y0);
+      const Rgb& p01 = at(x0, y1);
+      const Rgb& p11 = at(x1, y1);
+      auto channel = [&](uint8_t Rgb::*ch) {
+        double top = lerp(p00.*ch, p10.*ch, tx);
+        double bot = lerp(p01.*ch, p11.*ch, tx);
+        return static_cast<uint8_t>(
+            std::lround(std::clamp(lerp(top, bot, ty), 0.0, 255.0)));
+      };
+      out.at(x, y) = Rgb{channel(&Rgb::r), channel(&Rgb::g), channel(&Rgb::b)};
+    }
+  }
+  return out;
+}
+
+Result<Image> Image::Crop(int x, int y, int w, int h) const {
+  int x0 = std::max(x, 0);
+  int y0 = std::max(y, 0);
+  int x1 = std::min(x + w, width_);
+  int y1 = std::min(y + h, height_);
+  if (x1 <= x0 || y1 <= y0) {
+    return Status::InvalidArgument("crop rectangle outside image");
+  }
+  Image out(x1 - x0, y1 - y0);
+  for (int yy = y0; yy < y1; ++yy) {
+    for (int xx = x0; xx < x1; ++xx) {
+      out.at(xx - x0, yy - y0) = at(xx, yy);
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodePpm(const Image& img) {
+  char header[64];
+  int n = std::snprintf(header, sizeof(header), "P6\n%d %d\n255\n",
+                        img.width(), img.height());
+  std::vector<uint8_t> out(header, header + n);
+  out.reserve(out.size() + img.pixel_count() * 3);
+  for (const Rgb& p : img.pixels()) {
+    out.push_back(p.r);
+    out.push_back(p.g);
+    out.push_back(p.b);
+  }
+  return out;
+}
+
+Result<Image> DecodePpm(const std::vector<uint8_t>& bytes) {
+  // Minimal P6 parser: "P6\n<w> <h>\n255\n" followed by raw bytes. Comments
+  // are not supported (we only parse what EncodePpm produces).
+  int w = 0, h = 0, maxv = 0, consumed = 0;
+  if (bytes.size() < 11 ||
+      std::sscanf(reinterpret_cast<const char*>(bytes.data()),
+                  "P6\n%d %d\n%d\n%n", &w, &h, &maxv, &consumed) != 3) {
+    return Status::InvalidArgument("not a P6 PPM");
+  }
+  if (w <= 0 || h <= 0 || maxv != 255) {
+    return Status::InvalidArgument("unsupported PPM geometry");
+  }
+  size_t need = static_cast<size_t>(consumed) + static_cast<size_t>(w) * h * 3;
+  if (bytes.size() < need) {
+    return Status::InvalidArgument("truncated PPM payload");
+  }
+  Image img(w, h);
+  const uint8_t* p = bytes.data() + consumed;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.at(x, y) = Rgb{p[0], p[1], p[2]};
+      p += 3;
+    }
+  }
+  return img;
+}
+
+}  // namespace tvdp::image

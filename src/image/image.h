@@ -1,0 +1,116 @@
+#ifndef TVDP_IMAGE_IMAGE_H_
+#define TVDP_IMAGE_IMAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tvdp::image {
+
+/// An 8-bit RGB pixel.
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  friend bool operator==(const Rgb& a, const Rgb& b) {
+    return a.r == b.r && a.g == b.g && a.b == b.b;
+  }
+};
+
+/// Hue/saturation/value with h in [0, 360), s and v in [0, 1].
+struct Hsv {
+  double h = 0;
+  double s = 0;
+  double v = 0;
+};
+
+/// Converts an RGB pixel to HSV.
+Hsv RgbToHsv(const Rgb& c);
+
+/// Converts HSV back to RGB (h wrapped into [0,360), s/v clamped to [0,1]).
+Rgb HsvToRgb(const Hsv& c);
+
+/// Linear blend of two colors: a*(1-t) + b*t.
+Rgb Blend(const Rgb& a, const Rgb& b, double t);
+
+/// An owned, dense, row-major 8-bit RGB raster. All of TVDP's visual
+/// descriptors (color histogram, SIFT-BoW, CNN features) are computed from
+/// this representation; the synthetic street-scene generator renders into it.
+class Image {
+ public:
+  /// An empty 0x0 image.
+  Image() = default;
+
+  /// A width x height image filled with `fill`.
+  Image(int width, int height, Rgb fill = Rgb{0, 0, 0});
+
+  Image(const Image&) = default;
+  Image& operator=(const Image&) = default;
+  Image(Image&&) = default;
+  Image& operator=(Image&&) = default;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+  size_t pixel_count() const {
+    return static_cast<size_t>(width_) * static_cast<size_t>(height_);
+  }
+
+  /// Unchecked pixel access; (x, y) must be inside the image.
+  const Rgb& at(int x, int y) const {
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+  Rgb& at(int x, int y) {
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+
+  /// Checked pixel write; silently ignores out-of-bounds coordinates
+  /// (convenient for drawing primitives that clip at the border).
+  void Set(int x, int y, Rgb c) {
+    if (x >= 0 && x < width_ && y >= 0 && y < height_) at(x, y) = c;
+  }
+
+  /// True iff (x, y) is inside the image.
+  bool Inside(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  /// Fills the whole image with `c`.
+  void Fill(Rgb c);
+
+  /// Luma (ITU-R BT.601) grayscale plane scaled to [0, 1].
+  std::vector<float> ToGray() const;
+
+  /// Bilinear resize; returns InvalidArgument for non-positive target sizes.
+  Result<Image> Resize(int new_width, int new_height) const;
+
+  /// Crop to the given rectangle; clipped against image bounds. Returns
+  /// InvalidArgument when the clipped rectangle is empty.
+  Result<Image> Crop(int x, int y, int w, int h) const;
+
+  /// Raw interleaved RGB bytes, row-major.
+  const std::vector<Rgb>& pixels() const { return pixels_; }
+
+  friend bool operator==(const Image& a, const Image& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.pixels_ == b.pixels_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Rgb> pixels_;
+};
+
+/// Serializes to binary PPM (P6) bytes — handy for eyeballing generated
+/// scenes and for size accounting in the storage layer.
+std::vector<uint8_t> EncodePpm(const Image& img);
+
+/// Parses binary PPM (P6) bytes.
+Result<Image> DecodePpm(const std::vector<uint8_t>& bytes);
+
+}  // namespace tvdp::image
+
+#endif  // TVDP_IMAGE_IMAGE_H_

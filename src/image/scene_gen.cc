@@ -1,0 +1,418 @@
+#include "image/scene_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/draw.h"
+
+namespace tvdp::image {
+namespace {
+
+// Layout fractions of the rendered scene (top to bottom):
+// sky | building facade | sidewalk | road.
+constexpr double kSkyFrac = 0.30;
+constexpr double kFacadeFrac = 0.30;
+constexpr double kSidewalkFrac = 0.22;
+
+struct Layout {
+  int sky_end;
+  int facade_end;
+  int sidewalk_end;  // road occupies [sidewalk_end, height)
+};
+
+Layout ComputeLayout(int height) {
+  Layout l;
+  l.sky_end = static_cast<int>(height * kSkyFrac);
+  l.facade_end = l.sky_end + static_cast<int>(height * kFacadeFrac);
+  l.sidewalk_end = l.facade_end + static_cast<int>(height * kSidewalkFrac);
+  return l;
+}
+
+Rgb JitterColor(Rgb base, int amp, Rng& rng) {
+  auto j = [&](uint8_t v) {
+    int d = static_cast<int>(rng.UniformInt(-amp, amp));
+    return static_cast<uint8_t>(std::clamp(v + d, 0, 255));
+  };
+  return Rgb{j(base.r), j(base.g), j(base.b)};
+}
+
+}  // namespace
+
+std::string SceneClassName(SceneClass c) {
+  switch (c) {
+    case SceneClass::kClean: return "clean";
+    case SceneClass::kBulkyItem: return "bulky_item";
+    case SceneClass::kIllegalDumping: return "illegal_dumping";
+    case SceneClass::kEncampment: return "encampment";
+    case SceneClass::kOvergrownVegetation: return "overgrown_vegetation";
+    case SceneClass::kGraffiti: return "graffiti";
+  }
+  return "clean";
+}
+
+SceneClass SceneClassFromName(const std::string& name) {
+  for (int i = 0; i < kNumSceneClasses; ++i) {
+    SceneClass c = static_cast<SceneClass>(i);
+    if (SceneClassName(c) == name) return c;
+  }
+  return SceneClass::kClean;
+}
+
+StreetSceneGenerator::StreetSceneGenerator(SceneGenConfig config)
+    : config_(config) {
+  config_.width = std::max(config_.width, 16);
+  config_.height = std::max(config_.height, 16);
+  config_.difficulty = std::clamp(config_.difficulty, 0.0, 1.0);
+}
+
+void StreetSceneGenerator::DrawBaseStreet(Image& img, Rng& rng) const {
+  const Layout l = ComputeLayout(img.height());
+  // Sky: light gradient with slight daily color variation.
+  Rgb sky_top = JitterColor(Rgb{150, 185, 225}, 25, rng);
+  Rgb sky_bot = JitterColor(Rgb{205, 220, 235}, 20, rng);
+  VerticalGradient(img, 0, l.sky_end, sky_top, sky_bot);
+
+  // Building facade: one or two buildings with window grid.
+  Rgb wall = JitterColor(Rgb{172, 150, 128}, 35, rng);
+  FillRect(img, 0, l.sky_end, img.width(), l.facade_end - l.sky_end, wall);
+  int split = -1;
+  if (rng.Bernoulli(0.5)) {
+    split = static_cast<int>(rng.UniformInt(img.width() / 4,
+                                            3 * img.width() / 4));
+    Rgb wall2 = JitterColor(Rgb{138, 132, 140}, 30, rng);
+    FillRect(img, split, l.sky_end, img.width() - split,
+             l.facade_end - l.sky_end, wall2);
+  }
+  // Windows.
+  Rgb window = JitterColor(Rgb{70, 85, 105}, 15, rng);
+  int win_w = std::max(img.width() / 16, 2);
+  int win_h = std::max((l.facade_end - l.sky_end) / 5, 2);
+  for (int y = l.sky_end + win_h / 2; y + win_h < l.facade_end;
+       y += 2 * win_h) {
+    for (int x = win_w; x + win_w < img.width(); x += 3 * win_w) {
+      FillRect(img, x, y, win_w, win_h, window);
+    }
+  }
+  // Sidewalk: light concrete with seam lines.
+  Rgb walk = JitterColor(Rgb{190, 188, 182}, 18, rng);
+  FillRect(img, 0, l.facade_end, img.width(), l.sidewalk_end - l.facade_end,
+           walk);
+  Rgb seam = Blend(walk, Rgb{90, 90, 90}, 0.4);
+  for (int x = img.width() / 6; x < img.width(); x += img.width() / 5) {
+    DrawLine(img, x, l.facade_end, x + img.width() / 20, l.sidewalk_end - 1,
+             seam);
+  }
+  // Road: dark asphalt with a lane marking.
+  Rgb road = JitterColor(Rgb{72, 72, 76}, 14, rng);
+  FillRect(img, 0, l.sidewalk_end, img.width(),
+           img.height() - l.sidewalk_end, road);
+  Rgb lane = Rgb{210, 200, 90};
+  int lane_y = l.sidewalk_end + (img.height() - l.sidewalk_end) * 2 / 3;
+  for (int x = 0; x < img.width(); x += img.width() / 6) {
+    FillRect(img, x, lane_y, img.width() / 12, 2, lane);
+  }
+}
+
+void StreetSceneGenerator::DrawDistractors(Image& img, Rng& rng) const {
+  const Layout l = ComputeLayout(img.height());
+  double density = 0.20 + 0.5 * config_.difficulty;
+  // Street pole.
+  if (rng.Bernoulli(density)) {
+    int x = static_cast<int>(rng.UniformInt(2, img.width() - 3));
+    Rgb pole = Rgb{60, 60, 62};
+    FillRect(img, x, l.sky_end, 2, l.sidewalk_end - l.sky_end, pole);
+  }
+  // Trash bin (benign street furniture: dark green cylinder-ish).
+  if (rng.Bernoulli(density * 0.8)) {
+    int w = img.width() / 12;
+    int x = static_cast<int>(rng.UniformInt(0, img.width() - w - 1));
+    int y = l.sidewalk_end - img.height() / 10;
+    FillRect(img, x, y, w, img.height() / 10, Rgb{40, 72, 48});
+  }
+  // Parked car silhouette on the road (rectangle + wheels) — intentionally
+  // shares coarse shape statistics with bulky items.
+  if (rng.Bernoulli(density)) {
+    int w = img.width() / 4;
+    int h = img.height() / 10;
+    int x = static_cast<int>(rng.UniformInt(0, img.width() - w - 1));
+    int y = l.sidewalk_end + 1;
+    Rgb body = JitterColor(Rgb{95, 100, 120}, 40, rng);
+    FillRect(img, x, y, w, h, body);
+    FillCircle(img, x + w / 5, y + h, h / 3, Rgb{25, 25, 25});
+    FillCircle(img, x + 4 * w / 5, y + h, h / 3, Rgb{25, 25, 25});
+  }
+  // Pedestrian (thin vertical blob).
+  if (rng.Bernoulli(density * 0.6)) {
+    int x = static_cast<int>(rng.UniformInt(2, img.width() - 4));
+    int h = img.height() / 7;
+    int y = l.sidewalk_end - h;
+    Rgb shirt = JitterColor(Rgb{150, 80, 80}, 60, rng);
+    FillRect(img, x, y, 3, h * 2 / 3, shirt);
+    FillCircle(img, x + 1, y - 2, 2, Rgb{205, 170, 140});
+  }
+}
+
+void StreetSceneGenerator::DrawBulkyItem(Scene& scene, Rng& rng,
+                                         bool contaminant) const {
+  Image& img = scene.image;
+  const Layout l = ComputeLayout(img.height());
+  double scale = contaminant ? 0.4 : 1.0;
+  int count = contaminant ? 1 : static_cast<int>(rng.UniformInt(1, 2));
+  for (int i = 0; i < count; ++i) {
+    int w = static_cast<int>(img.width() * rng.Uniform(0.22, 0.40) * scale);
+    int h = static_cast<int>(img.height() * rng.Uniform(0.14, 0.24) * scale);
+    w = std::max(w, 4);
+    h = std::max(h, 3);
+    int x = static_cast<int>(rng.UniformInt(0, std::max(img.width() - w - 1, 1)));
+    int base_y = l.sidewalk_end - 1;
+    int y = base_y - h;
+    // Furniture body: warm wood/upholstery tones.
+    Rgb body = JitterColor(rng.Bernoulli(0.5) ? Rgb{140, 96, 60}
+                                              : Rgb{120, 110, 130},
+                           25, rng);
+    FillRect(img, x, y, w, h, body);
+    if (rng.Bernoulli(0.7)) {
+      // Couch: backrest + armrests.
+      Rgb dark = Blend(body, Rgb{0, 0, 0}, 0.25);
+      FillRect(img, x, y - h / 2, w, h / 2, dark);
+      FillRect(img, x, y - h / 3, w / 6, h + h / 3, dark);
+      FillRect(img, x + w - w / 6, y - h / 3, w / 6, h + h / 3, dark);
+    } else {
+      // Dresser: drawer seams.
+      Rgb seam = Blend(body, Rgb{0, 0, 0}, 0.5);
+      for (int d = 1; d <= 2; ++d) {
+        DrawLine(img, x, y + d * h / 3, x + w - 1, y + d * h / 3, seam);
+      }
+    }
+    // Legs.
+    Rgb leg = Rgb{50, 40, 30};
+    FillRect(img, x + 1, base_y, 2, 2, leg);
+    FillRect(img, x + w - 3, base_y, 2, 2, leg);
+    scene.objects.push_back(
+        SceneObject{SceneClass::kBulkyItem, x, y - h / 2, w, h + h / 2});
+  }
+}
+
+void StreetSceneGenerator::DrawIllegalDumping(Scene& scene, Rng& rng,
+                                              bool contaminant) const {
+  Image& img = scene.image;
+  const Layout l = ComputeLayout(img.height());
+  int bags = contaminant ? 2 : static_cast<int>(rng.UniformInt(4, 9));
+  int cx = static_cast<int>(rng.UniformInt(img.width() / 6,
+                                           5 * img.width() / 6));
+  int spread = img.width() / (contaminant ? 10 : 5);
+  int min_x = img.width(), min_y = img.height(), max_x = 0, max_y = 0;
+  for (int i = 0; i < bags; ++i) {
+    int r = std::max(
+        2, static_cast<int>(img.width() * rng.Uniform(0.03, 0.07) *
+                            (contaminant ? 0.6 : 1.0)));
+    int x = cx + static_cast<int>(rng.UniformInt(-spread, spread));
+    int y = l.sidewalk_end - 2 -
+            static_cast<int>(rng.UniformInt(0, img.height() / 14));
+    // Trash bags: dark plastic, frequently white (the visually distinct
+    // municipal bags), occasionally brown debris.
+    double shade = rng.Uniform();
+    Rgb bag = shade < 0.45 ? JitterColor(Rgb{38, 38, 44}, 12, rng)
+              : shade < 0.80 ? JitterColor(Rgb{215, 215, 210}, 15, rng)
+                             : JitterColor(Rgb{90, 60, 45}, 20, rng);
+    FillCircle(img, x, y, r, bag);
+    // Specular highlight on plastic.
+    FillCircle(img, x - r / 3, y - r / 3, std::max(r / 4, 1),
+               Blend(bag, Rgb{255, 255, 255}, 0.45));
+    min_x = std::min(min_x, x - r);
+    min_y = std::min(min_y, y - r);
+    max_x = std::max(max_x, x + r);
+    max_y = std::max(max_y, y + r);
+  }
+  // Scattered loose debris.
+  int debris = contaminant ? 4 : static_cast<int>(rng.UniformInt(8, 20));
+  for (int i = 0; i < debris; ++i) {
+    int x = cx + static_cast<int>(rng.UniformInt(-spread * 2, spread * 2));
+    int y = l.sidewalk_end - 1 -
+            static_cast<int>(rng.UniformInt(0, img.height() / 12));
+    img.Set(x, y, JitterColor(Rgb{120, 110, 95}, 60, rng));
+  }
+  if (max_x > min_x) {
+    scene.objects.push_back(SceneObject{SceneClass::kIllegalDumping, min_x,
+                                        min_y, max_x - min_x, max_y - min_y});
+  }
+}
+
+void StreetSceneGenerator::DrawEncampment(Scene& scene, Rng& rng,
+                                          bool contaminant) const {
+  Image& img = scene.image;
+  const Layout l = ComputeLayout(img.height());
+  int tents = contaminant ? 1 : static_cast<int>(rng.UniformInt(1, 3));
+  for (int i = 0; i < tents; ++i) {
+    int w = static_cast<int>(img.width() * rng.Uniform(0.22, 0.38) *
+                             (contaminant ? 0.5 : 1.0));
+    int h = static_cast<int>(w * rng.Uniform(0.55, 0.8));
+    w = std::max(w, 5);
+    h = std::max(h, 4);
+    int x = static_cast<int>(
+        rng.UniformInt(0, std::max(img.width() - w - 1, 1)));
+    int base_y = l.sidewalk_end - 1;
+    // Tarp colors deliberately overlap bulky-item and dumping palettes
+    // (blue/grey/olive) so encampment is the hardest class, as in Fig. 7.
+    Rgb tarp;
+    double pick = rng.Uniform();
+    if (pick < 0.60) tarp = JitterColor(Rgb{60, 95, 150}, 25, rng);        // blue
+    else if (pick < 0.82) tarp = JitterColor(Rgb{120, 120, 125}, 20, rng); // grey
+    else tarp = JitterColor(Rgb{100, 110, 70}, 20, rng);                   // olive
+    // Ridge tent: triangle with a darker right face for shading.
+    int apex_x = x + w / 2;
+    int apex_y = base_y - h;
+    FillTriangle(img, x, base_y, apex_x, apex_y, x + w, base_y, tarp);
+    FillTriangle(img, apex_x, apex_y, x + w, base_y, x + w * 3 / 4,
+                 base_y, Blend(tarp, Rgb{0, 0, 0}, 0.3));
+    // Dark entrance.
+    FillTriangle(img, apex_x - w / 8, base_y, apex_x, base_y - h / 2,
+                 apex_x + w / 8, base_y, Rgb{25, 25, 28});
+    // Occasionally a shopping cart / belongings pile next to the tent.
+    if (!contaminant && rng.Bernoulli(0.5)) {
+      int px = std::min(x + w + 2, img.width() - 4);
+      FillRect(img, px, base_y - 4, 4, 4, JitterColor(Rgb{130, 130, 135}, 25, rng));
+    }
+    scene.objects.push_back(
+        SceneObject{SceneClass::kEncampment, x, apex_y, w, h});
+  }
+}
+
+void StreetSceneGenerator::DrawVegetation(Scene& scene, Rng& rng,
+                                          bool contaminant) const {
+  Image& img = scene.image;
+  const Layout l = ComputeLayout(img.height());
+  // Overgrown mass: many overlapping green discs spilling from the facade
+  // line over the sidewalk. Dominant distinctive hue => easiest class.
+  int clumps = contaminant ? 6 : static_cast<int>(rng.UniformInt(18, 36));
+  int cx = static_cast<int>(rng.UniformInt(img.width() / 5,
+                                           4 * img.width() / 5));
+  int cy = l.facade_end;
+  int spread_x = img.width() / (contaminant ? 8 : 3);
+  int spread_y = (l.sidewalk_end - l.sky_end) / 2;
+  int min_x = img.width(), min_y = img.height(), max_x = 0, max_y = 0;
+  for (int i = 0; i < clumps; ++i) {
+    int x = cx + static_cast<int>(rng.UniformInt(-spread_x, spread_x));
+    int y = cy + static_cast<int>(rng.UniformInt(-spread_y, spread_y / 2));
+    int r = std::max(2, static_cast<int>(img.width() * rng.Uniform(0.03, 0.08) *
+                                         (contaminant ? 0.6 : 1.0)));
+    double green = rng.Uniform(0.5, 1.0);
+    Rgb leaf{static_cast<uint8_t>(30 + 50 * rng.Uniform()),
+             static_cast<uint8_t>(90 + 110 * green),
+             static_cast<uint8_t>(25 + 45 * rng.Uniform())};
+    FillCircle(img, x, y, r, leaf);
+    min_x = std::min(min_x, x - r);
+    min_y = std::min(min_y, y - r);
+    max_x = std::max(max_x, x + r);
+    max_y = std::max(max_y, y + r);
+  }
+  // Grass tufts along the sidewalk seam.
+  int tufts = contaminant ? 3 : 12;
+  for (int i = 0; i < tufts; ++i) {
+    int x = static_cast<int>(rng.UniformInt(0, img.width() - 1));
+    int y = l.sidewalk_end - 1 - static_cast<int>(rng.UniformInt(0, 3));
+    DrawLine(img, x, y, x + static_cast<int>(rng.UniformInt(-1, 1)), y - 3,
+             Rgb{60, 140, 50});
+  }
+  if (max_x > min_x) {
+    scene.objects.push_back(SceneObject{SceneClass::kOvergrownVegetation,
+                                        min_x, min_y, max_x - min_x,
+                                        max_y - min_y});
+  }
+}
+
+void StreetSceneGenerator::DrawGraffiti(Scene& scene, Rng& rng,
+                                        bool contaminant) const {
+  Image& img = scene.image;
+  const Layout l = ComputeLayout(img.height());
+  int strokes = contaminant ? 2 : static_cast<int>(rng.UniformInt(3, 7));
+  int min_x = img.width(), min_y = img.height(), max_x = 0, max_y = 0;
+  for (int i = 0; i < strokes; ++i) {
+    // Saturated spray-paint hues on the facade band.
+    Hsv hsv{rng.Uniform(0, 360), rng.Uniform(0.7, 1.0), rng.Uniform(0.6, 1.0)};
+    Rgb paint = HsvToRgb(hsv);
+    int x0 = static_cast<int>(rng.UniformInt(2, std::max(img.width() - 3, 3)));
+    int y0 = static_cast<int>(rng.UniformInt(
+        l.sky_end + 2, std::max(l.facade_end - 3, l.sky_end + 2)));
+    int len = static_cast<int>(img.width() * rng.Uniform(0.15, 0.4) *
+                               (contaminant ? 0.5 : 1.0));
+    // Wavy stroke: a few connected segments.
+    int x = x0, y = y0;
+    int segs = 3;
+    for (int s = 0; s < segs; ++s) {
+      int nx = std::clamp(x + static_cast<int>(rng.UniformInt(-len / segs,
+                                                              len / segs)),
+                          0, img.width() - 1);
+      int ny = std::clamp(
+          y + static_cast<int>(rng.UniformInt(-img.height() / 12,
+                                              img.height() / 12)),
+          l.sky_end, l.facade_end - 1);
+      DrawThickLine(img, x, y, nx, ny, contaminant ? 1 : 2, paint);
+      min_x = std::min({min_x, x, nx});
+      max_x = std::max({max_x, x, nx});
+      min_y = std::min({min_y, y, ny});
+      max_y = std::max({max_y, y, ny});
+      x = nx;
+      y = ny;
+    }
+  }
+  if (max_x > min_x) {
+    scene.objects.push_back(SceneObject{SceneClass::kGraffiti, min_x, min_y,
+                                        max_x - min_x,
+                                        std::max(max_y - min_y, 1)});
+  }
+}
+
+void StreetSceneGenerator::DrawMotif(Scene& scene, SceneClass label, Rng& rng,
+                                     bool contaminant) const {
+  switch (label) {
+    case SceneClass::kClean:
+      break;
+    case SceneClass::kBulkyItem:
+      DrawBulkyItem(scene, rng, contaminant);
+      break;
+    case SceneClass::kIllegalDumping:
+      DrawIllegalDumping(scene, rng, contaminant);
+      break;
+    case SceneClass::kEncampment:
+      DrawEncampment(scene, rng, contaminant);
+      break;
+    case SceneClass::kOvergrownVegetation:
+      DrawVegetation(scene, rng, contaminant);
+      break;
+    case SceneClass::kGraffiti:
+      DrawGraffiti(scene, rng, contaminant);
+      break;
+  }
+}
+
+Scene StreetSceneGenerator::Generate(SceneClass label, Rng& rng) const {
+  Scene scene;
+  scene.label = label;
+  scene.image = Image(config_.width, config_.height);
+  DrawBaseStreet(scene.image, rng);
+  DrawDistractors(scene.image, rng);
+
+  // Off-class contamination: at high difficulty a small secondary motif
+  // from another class may appear in the background, as in real street
+  // photos where problems co-occur.
+  double contamination_p = 0.04 * config_.difficulty;
+  if (rng.Bernoulli(contamination_p)) {
+    int other = static_cast<int>(rng.UniformInt(1, kNumSceneClasses - 1));
+    if (static_cast<SceneClass>(other) != label) {
+      DrawMotif(scene, static_cast<SceneClass>(other), rng,
+                /*contaminant=*/true);
+    }
+  }
+
+  DrawMotif(scene, label, rng, /*contaminant=*/false);
+
+  // Global illumination + sensor noise keyed to difficulty.
+  double illum = rng.Uniform(1.0 - 0.25 * config_.difficulty,
+                             1.0 + 0.25 * config_.difficulty);
+  ScaleBrightness(scene.image, illum);
+  AddGaussianNoise(scene.image, 3.0 + 9.0 * config_.difficulty, rng);
+  return scene;
+}
+
+}  // namespace tvdp::image

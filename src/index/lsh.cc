@@ -1,0 +1,122 @@
+#include "index/lsh.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvdp::index {
+
+LshIndex::LshIndex(size_t dim, Options options)
+    : dim_(dim), options_(options) {
+  options_.num_tables = std::max(options_.num_tables, 1);
+  options_.hashes_per_table = std::max(options_.hashes_per_table, 1);
+  if (options_.bucket_width <= 0) options_.bucket_width = 1.0;
+  Rng rng(options_.seed);
+  projections_.resize(static_cast<size_t>(options_.num_tables));
+  offsets_.resize(static_cast<size_t>(options_.num_tables));
+  tables_.resize(static_cast<size_t>(options_.num_tables));
+  for (int t = 0; t < options_.num_tables; ++t) {
+    for (int h = 0; h < options_.hashes_per_table; ++h) {
+      ml::FeatureVector a(dim_);
+      for (double& x : a) x = rng.Normal();
+      projections_[static_cast<size_t>(t)].push_back(std::move(a));
+      offsets_[static_cast<size_t>(t)].push_back(
+          rng.Uniform(0, options_.bucket_width));
+    }
+  }
+}
+
+LshIndex::BucketKey LshIndex::Signature(const ml::FeatureVector& v, int table,
+                                        int perturb_index,
+                                        int perturb_delta) const {
+  // FNV-1a over the per-hash integer codes.
+  uint64_t key = 1469598103934665603ULL;
+  const auto& projs = projections_[static_cast<size_t>(table)];
+  const auto& offs = offsets_[static_cast<size_t>(table)];
+  for (int h = 0; h < options_.hashes_per_table; ++h) {
+    double proj = ml::Dot(projs[static_cast<size_t>(h)], v) +
+                  offs[static_cast<size_t>(h)];
+    int64_t code =
+        static_cast<int64_t>(std::floor(proj / options_.bucket_width));
+    if (h == perturb_index) code += perturb_delta;
+    uint64_t u = static_cast<uint64_t>(code);
+    for (int byte = 0; byte < 8; ++byte) {
+      key ^= (u >> (8 * byte)) & 0xFF;
+      key *= 1099511628211ULL;
+    }
+  }
+  return key;
+}
+
+Status LshIndex::Insert(const ml::FeatureVector& v, RecordId id) {
+  if (v.size() != dim_) {
+    return Status::InvalidArgument("vector dimensionality mismatch");
+  }
+  RecordId slot = static_cast<RecordId>(vectors_.size());
+  vectors_.push_back(v);
+  ids_.push_back(id);
+  for (int t = 0; t < options_.num_tables; ++t) {
+    tables_[static_cast<size_t>(t)][Signature(v, t, -1, 0)].push_back(slot);
+  }
+  return Status::OK();
+}
+
+std::vector<RecordId> LshIndex::CollectCandidates(
+    const ml::FeatureVector& query) const {
+  std::vector<RecordId> slots;
+  std::vector<bool> seen(vectors_.size(), false);
+  auto probe = [&](int t, int perturb_index, int perturb_delta) {
+    auto it = tables_[static_cast<size_t>(t)].find(
+        Signature(query, t, perturb_index, perturb_delta));
+    if (it == tables_[static_cast<size_t>(t)].end()) return;
+    for (RecordId slot : it->second) {
+      if (!seen[static_cast<size_t>(slot)]) {
+        seen[static_cast<size_t>(slot)] = true;
+        slots.push_back(slot);
+      }
+    }
+  };
+  for (int t = 0; t < options_.num_tables; ++t) {
+    probe(t, -1, 0);
+    // Multi-probe: perturb the first few hash coordinates by +-1.
+    for (int p = 0; p < options_.probes && p < options_.hashes_per_table;
+         ++p) {
+      probe(t, p, +1);
+      probe(t, p, -1);
+    }
+  }
+  last_candidates_ = static_cast<int64_t>(slots.size());
+  return slots;
+}
+
+std::vector<std::pair<RecordId, double>> LshIndex::KNearest(
+    const ml::FeatureVector& query, int k) const {
+  std::vector<std::pair<RecordId, double>> out;
+  if (k <= 0 || query.size() != dim_) return out;
+  for (RecordId slot : CollectCandidates(query)) {
+    out.emplace_back(ids_[static_cast<size_t>(slot)],
+                     ml::L2Distance(query, vectors_[static_cast<size_t>(slot)]));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second < b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > static_cast<size_t>(k)) out.resize(static_cast<size_t>(k));
+  return out;
+}
+
+std::vector<std::pair<RecordId, double>> LshIndex::RangeSearch(
+    const ml::FeatureVector& query, double threshold) const {
+  std::vector<std::pair<RecordId, double>> out;
+  if (threshold < 0 || query.size() != dim_) return out;
+  for (RecordId slot : CollectCandidates(query)) {
+    double d = ml::L2Distance(query, vectors_[static_cast<size_t>(slot)]);
+    if (d <= threshold) out.emplace_back(ids_[static_cast<size_t>(slot)], d);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second < b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace tvdp::index

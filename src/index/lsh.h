@@ -1,0 +1,77 @@
+#ifndef TVDP_INDEX_LSH_H_
+#define TVDP_INDEX_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "index/rtree.h"
+#include "ml/dataset.h"
+
+namespace tvdp::index {
+
+/// Locality-sensitive hashing for Euclidean distance, after Datar et al.
+/// (SoCG 2004): each of L tables hashes a vector with k p-stable (Gaussian)
+/// projections h(x) = floor((a.x + b) / w); candidates from matching
+/// buckets are re-ranked by exact distance. This serves TVDP's visual
+/// queries (top-k similar images, similarity threshold).
+class LshIndex {
+ public:
+  struct Options {
+    int num_tables = 8;        ///< L
+    int hashes_per_table = 8;  ///< k
+    double bucket_width = 1.0; ///< w, relative to feature scale
+    uint64_t seed = 31;
+    /// Number of neighbouring probes per table (multi-probe LSH); 0 means
+    /// exact bucket only.
+    int probes = 2;
+  };
+
+  /// Creates an index for vectors of dimensionality `dim`.
+  LshIndex(size_t dim, Options options);
+  LshIndex(size_t dim) : LshIndex(dim, Options()) {}  // NOLINT
+
+  /// Inserts a vector with its record id.
+  Status Insert(const ml::FeatureVector& v, RecordId id);
+
+  /// Approximate top-k by L2 distance. Results are (id, distance) sorted
+  /// ascending; may return fewer than k when buckets are sparse.
+  std::vector<std::pair<RecordId, double>> KNearest(
+      const ml::FeatureVector& query, int k) const;
+
+  /// All candidates within `threshold` L2 distance (approximate recall).
+  std::vector<std::pair<RecordId, double>> RangeSearch(
+      const ml::FeatureVector& query, double threshold) const;
+
+  size_t size() const { return vectors_.size(); }
+  size_t dim() const { return dim_; }
+
+  /// Candidates examined by the last query (ablation instrumentation).
+  int64_t last_candidates() const { return last_candidates_; }
+
+ private:
+  using BucketKey = uint64_t;
+
+  /// Hash signature of `v` in `table`, with optional perturbation of the
+  /// `perturb`-th hash by +-1 (multi-probe).
+  BucketKey Signature(const ml::FeatureVector& v, int table, int perturb_index,
+                      int perturb_delta) const;
+
+  std::vector<RecordId> CollectCandidates(const ml::FeatureVector& query) const;
+
+  size_t dim_;
+  Options options_;
+  // projections_[table][hash] is a dim-vector; offsets_[table][hash] in [0,w).
+  std::vector<std::vector<ml::FeatureVector>> projections_;
+  std::vector<std::vector<double>> offsets_;
+  std::vector<std::unordered_map<BucketKey, std::vector<RecordId>>> tables_;
+  std::vector<ml::FeatureVector> vectors_;  // slot = insertion order
+  std::vector<RecordId> ids_;
+  mutable int64_t last_candidates_ = 0;
+};
+
+}  // namespace tvdp::index
+
+#endif  // TVDP_INDEX_LSH_H_

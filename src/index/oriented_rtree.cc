@@ -1,0 +1,64 @@
+#include "index/oriented_rtree.h"
+
+#include <cmath>
+
+namespace tvdp::index {
+
+bool DirectionRange::Contains(double bearing_deg) const {
+  double diff = std::abs(geo::AngularDifference(bearing_deg, center_deg));
+  return diff <= half_width_deg + 1e-12;
+}
+
+OrientedRTree::OrientedRTree(Options options)
+    : options_(options), tree_(RTree::Options{options.max_entries}) {}
+
+Status OrientedRTree::Insert(const geo::FieldOfView& fov, RecordId id) {
+  geo::BoundingBox scene = fov.SceneLocation();
+  if (scene.IsEmpty()) {
+    return Status::InvalidArgument("FOV has an empty scene MBR");
+  }
+  RecordId slot = static_cast<RecordId>(fovs_.size());
+  fovs_.push_back(Stored{fov, id});
+  return tree_.Insert(scene, slot);
+}
+
+std::vector<RecordId> OrientedRTree::RangeSearch(
+    const geo::BoundingBox& box) const {
+  std::vector<RecordId> candidates = tree_.RangeSearch(box);
+  last_candidates_ = static_cast<int64_t>(candidates.size());
+  std::vector<RecordId> out;
+  for (RecordId slot : candidates) {
+    const Stored& s = fovs_[static_cast<size_t>(slot)];
+    if (s.fov.IntersectsBBox(box)) out.push_back(s.id);
+  }
+  return out;
+}
+
+std::vector<RecordId> OrientedRTree::RangeSearchDirected(
+    const geo::BoundingBox& box, const DirectionRange& dir) const {
+  std::vector<RecordId> candidates = tree_.RangeSearch(box);
+  last_candidates_ = static_cast<int64_t>(candidates.size());
+  std::vector<RecordId> out;
+  for (RecordId slot : candidates) {
+    const Stored& s = fovs_[static_cast<size_t>(slot)];
+    if (!dir.Contains(s.fov.direction_deg)) continue;
+    if (s.fov.IntersectsBBox(box)) out.push_back(s.id);
+  }
+  return out;
+}
+
+std::vector<RecordId> OrientedRTree::PointQuery(const geo::GeoPoint& p) const {
+  geo::BoundingBox probe;
+  probe.min_lat = probe.max_lat = p.lat;
+  probe.min_lon = probe.max_lon = p.lon;
+  std::vector<RecordId> candidates = tree_.RangeSearch(probe);
+  last_candidates_ = static_cast<int64_t>(candidates.size());
+  std::vector<RecordId> out;
+  for (RecordId slot : candidates) {
+    const Stored& s = fovs_[static_cast<size_t>(slot)];
+    if (s.fov.ContainsPoint(p)) out.push_back(s.id);
+  }
+  return out;
+}
+
+}  // namespace tvdp::index

@@ -1,0 +1,76 @@
+#ifndef TVDP_INDEX_ORIENTED_RTREE_H_
+#define TVDP_INDEX_ORIENTED_RTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/fov.h"
+#include "index/rtree.h"
+
+namespace tvdp::index {
+
+/// A half-open angular interval on the compass circle, used to prune by
+/// viewing direction.
+struct DirectionRange {
+  double center_deg = 0;  ///< target bearing
+  double half_width_deg = 180;  ///< tolerance; 180 accepts everything
+
+  /// True iff `bearing` lies within center +- half_width (mod 360).
+  bool Contains(double bearing_deg) const;
+};
+
+/// Oriented R-tree over FOV descriptors (after Lu, Shahabi & Kim,
+/// GeoInformatica 2016): the spatial hierarchy is an R-tree over scene
+/// MBRs, and every node entry carries the union of its subtree's viewing-
+/// direction intervals so direction predicates prune internal nodes too.
+///
+/// Supported queries:
+///  * RangeSearch(box)              — FOVs whose sector intersects the box
+///  * RangeSearchDirected(box, dir) — additionally filtered by direction
+///  * PointQuery(p)                 — FOVs that actually see point p
+class OrientedRTree {
+ public:
+  struct Options {
+    int max_entries = 16;
+  };
+
+  OrientedRTree() : OrientedRTree(Options()) {}
+  explicit OrientedRTree(Options options);
+
+  /// Inserts an FOV with its record id.
+  Status Insert(const geo::FieldOfView& fov, RecordId id);
+
+  /// Record ids whose FOV sector intersects `box` (exact refinement).
+  std::vector<RecordId> RangeSearch(const geo::BoundingBox& box) const;
+
+  /// Range search with an additional viewing-direction predicate.
+  std::vector<RecordId> RangeSearchDirected(const geo::BoundingBox& box,
+                                            const DirectionRange& dir) const;
+
+  /// Record ids of FOVs containing the point `p`.
+  std::vector<RecordId> PointQuery(const geo::GeoPoint& p) const;
+
+  size_t size() const { return fovs_.size(); }
+
+  /// Candidate count examined by the last Range/Point query; exposes the
+  /// filter-step selectivity for the index-ablation bench.
+  int64_t last_candidates() const { return last_candidates_; }
+
+ private:
+  struct Stored {
+    geo::FieldOfView fov;
+    RecordId id;
+  };
+
+  Options options_;
+  // Filter structure: R-tree over scene MBRs keyed by position in fovs_.
+  RTree tree_;
+  std::vector<Stored> fovs_;
+  mutable int64_t last_candidates_ = 0;
+};
+
+}  // namespace tvdp::index
+
+#endif  // TVDP_INDEX_ORIENTED_RTREE_H_

@@ -1,0 +1,390 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace tvdp::index {
+
+double MinDistDeg(const geo::GeoPoint& p, const geo::BoundingBox& box) {
+  if (box.IsEmpty()) return std::numeric_limits<double>::max();
+  double dlat = 0, dlon = 0;
+  if (p.lat < box.min_lat) dlat = box.min_lat - p.lat;
+  else if (p.lat > box.max_lat) dlat = p.lat - box.max_lat;
+  if (p.lon < box.min_lon) dlon = box.min_lon - p.lon;
+  else if (p.lon > box.max_lon) dlon = p.lon - box.max_lon;
+  return std::sqrt(dlat * dlat + dlon * dlon);
+}
+
+RTree::RTree(Options options) : options_(options) {
+  options_.max_entries = std::max(options_.max_entries, 4);
+  min_entries_ = std::max(2, options_.max_entries * 2 / 5);
+  root_ = NewNode(/*leaf=*/true);
+}
+
+int RTree::NewNode(bool leaf) {
+  nodes_.emplace_back();
+  nodes_.back().leaf = leaf;
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+geo::BoundingBox RTree::NodeBox(int node) const {
+  geo::BoundingBox box = geo::BoundingBox::Empty();
+  for (const Entry& e : nodes_[static_cast<size_t>(node)].entries) {
+    box.Extend(e.box);
+  }
+  return box;
+}
+
+int RTree::ChooseLeaf(int node, const geo::BoundingBox& box,
+                      int /*target_level*/, int /*level*/,
+                      std::vector<int>* path) const {
+  int cur = node;
+  while (true) {
+    path->push_back(cur);
+    const Node& n = nodes_[static_cast<size_t>(cur)];
+    if (n.leaf) return cur;
+    // Least area enlargement, ties by smallest area.
+    int best = -1;
+    double best_enlargement = std::numeric_limits<double>::max();
+    double best_area = std::numeric_limits<double>::max();
+    for (const Entry& e : n.entries) {
+      geo::BoundingBox merged = e.box;
+      merged.Extend(box);
+      double enlargement = merged.AreaDeg2() - e.box.AreaDeg2();
+      double area = e.box.AreaDeg2();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best_enlargement = enlargement;
+        best_area = area;
+        best = e.child;
+      }
+    }
+    cur = best;
+  }
+}
+
+int RTree::SplitNode(int node) {
+  Node& n = nodes_[static_cast<size_t>(node)];
+  std::vector<Entry> entries = std::move(n.entries);
+  n.entries.clear();
+
+  // R*-style split: pick the axis with the smaller total perimeter over
+  // candidate distributions, then the distribution with minimum overlap
+  // (ties: minimum total area).
+  auto evaluate_axis = [&](bool by_lat, double* out_perimeter) {
+    std::sort(entries.begin(), entries.end(),
+              [&](const Entry& a, const Entry& b) {
+                if (by_lat) {
+                  if (a.box.min_lat != b.box.min_lat)
+                    return a.box.min_lat < b.box.min_lat;
+                  return a.box.max_lat < b.box.max_lat;
+                }
+                if (a.box.min_lon != b.box.min_lon)
+                  return a.box.min_lon < b.box.min_lon;
+                return a.box.max_lon < b.box.max_lon;
+              });
+    double total = 0;
+    int n_entries = static_cast<int>(entries.size());
+    for (int split = min_entries_; split <= n_entries - min_entries_;
+         ++split) {
+      geo::BoundingBox left = geo::BoundingBox::Empty();
+      geo::BoundingBox right = geo::BoundingBox::Empty();
+      for (int i = 0; i < split; ++i) left.Extend(entries[static_cast<size_t>(i)].box);
+      for (int i = split; i < n_entries; ++i) right.Extend(entries[static_cast<size_t>(i)].box);
+      total += left.PerimeterDeg() + right.PerimeterDeg();
+    }
+    *out_perimeter = total;
+  };
+
+  double perim_lat = 0, perim_lon = 0;
+  evaluate_axis(true, &perim_lat);
+  evaluate_axis(false, &perim_lon);
+  bool by_lat = perim_lat <= perim_lon;
+  double dummy;
+  evaluate_axis(by_lat, &dummy);  // re-sort on the chosen axis
+
+  int n_entries = static_cast<int>(entries.size());
+  int best_split = min_entries_;
+  double best_overlap = std::numeric_limits<double>::max();
+  double best_area = std::numeric_limits<double>::max();
+  for (int split = min_entries_; split <= n_entries - min_entries_; ++split) {
+    geo::BoundingBox left = geo::BoundingBox::Empty();
+    geo::BoundingBox right = geo::BoundingBox::Empty();
+    for (int i = 0; i < split; ++i) left.Extend(entries[static_cast<size_t>(i)].box);
+    for (int i = split; i < n_entries; ++i) right.Extend(entries[static_cast<size_t>(i)].box);
+    double overlap = left.Intersection(right).AreaDeg2();
+    double area = left.AreaDeg2() + right.AreaDeg2();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_split = split;
+    }
+  }
+
+  int sibling = NewNode(nodes_[static_cast<size_t>(node)].leaf);
+  Node& n2 = nodes_[static_cast<size_t>(node)];  // re-resolve after push_back
+  Node& s = nodes_[static_cast<size_t>(sibling)];
+  for (int i = 0; i < n_entries; ++i) {
+    (i < best_split ? n2 : s).entries.push_back(std::move(entries[static_cast<size_t>(i)]));
+  }
+  return sibling;
+}
+
+Result<RTree> RTree::BulkLoad(
+    const std::vector<std::pair<geo::BoundingBox, RecordId>>& entries,
+    Options options) {
+  RTree tree(options);
+  if (entries.empty()) return tree;
+  for (const auto& [box, id] : entries) {
+    if (box.IsEmpty()) {
+      return Status::InvalidArgument("bulk load: empty bounding box");
+    }
+  }
+  const int capacity = tree.options_.max_entries;
+
+  // Level 0: sort by longitude, tile into sqrt(n/capacity) slices, sort
+  // each slice by latitude, pack runs of `capacity` into leaves.
+  struct Pending {
+    geo::BoundingBox box;
+    RecordId id;   // leaf payload
+    int child;     // internal payload (-1 for leaf level)
+  };
+  std::vector<Pending> level;
+  level.reserve(entries.size());
+  for (const auto& [box, id] : entries) level.push_back({box, id, -1});
+
+  bool leaf_level = true;
+  tree.nodes_.clear();
+  while (true) {
+    size_t n = level.size();
+    size_t num_nodes = (n + capacity - 1) / static_cast<size_t>(capacity);
+    size_t num_slices = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+    size_t slice_size = (n + num_slices - 1) / num_slices;
+
+    std::sort(level.begin(), level.end(), [](const Pending& a, const Pending& b) {
+      double ca = a.box.min_lon + a.box.max_lon;
+      double cb = b.box.min_lon + b.box.max_lon;
+      if (ca != cb) return ca < cb;
+      return a.box.min_lat < b.box.min_lat;
+    });
+    std::vector<Pending> next_level;
+    for (size_t start = 0; start < n; start += slice_size) {
+      size_t end = std::min(n, start + slice_size);
+      std::sort(level.begin() + static_cast<long>(start),
+                level.begin() + static_cast<long>(end),
+                [](const Pending& a, const Pending& b) {
+                  double ca = a.box.min_lat + a.box.max_lat;
+                  double cb = b.box.min_lat + b.box.max_lat;
+                  if (ca != cb) return ca < cb;
+                  return a.box.min_lon < b.box.min_lon;
+                });
+      for (size_t i = start; i < end; i += static_cast<size_t>(capacity)) {
+        size_t node_end = std::min(end, i + static_cast<size_t>(capacity));
+        int node = tree.NewNode(leaf_level);
+        geo::BoundingBox node_box = geo::BoundingBox::Empty();
+        for (size_t j = i; j < node_end; ++j) {
+          if (leaf_level) {
+            tree.nodes_[static_cast<size_t>(node)].entries.push_back(
+                Entry{level[j].box, level[j].id, -1});
+          } else {
+            tree.nodes_[static_cast<size_t>(node)].entries.push_back(
+                Entry{level[j].box, 0, level[j].child});
+          }
+          node_box.Extend(level[j].box);
+        }
+        next_level.push_back({node_box, 0, node});
+      }
+    }
+    if (leaf_level) tree.size_ = entries.size();
+    leaf_level = false;
+    if (next_level.size() == 1) {
+      tree.root_ = next_level[0].child;
+      break;
+    }
+    level = std::move(next_level);
+  }
+  return tree;
+}
+
+Status RTree::Insert(const geo::BoundingBox& box, RecordId id) {
+  if (box.IsEmpty()) {
+    return Status::InvalidArgument("cannot index an empty bounding box");
+  }
+  std::vector<int> path;
+  int leaf = ChooseLeaf(root_, box, 0, 0, &path);
+  nodes_[static_cast<size_t>(leaf)].entries.push_back(Entry{box, id, -1});
+  ++size_;
+
+  // Walk the path upward, splitting overflowing nodes.
+  for (int i = static_cast<int>(path.size()) - 1; i >= 0; --i) {
+    int node = path[static_cast<size_t>(i)];
+    if (static_cast<int>(nodes_[static_cast<size_t>(node)].entries.size()) <=
+        options_.max_entries) {
+      break;
+    }
+    int sibling = SplitNode(node);
+    if (i == 0) {
+      // Node was the root: grow the tree.
+      int new_root = NewNode(/*leaf=*/false);
+      nodes_[static_cast<size_t>(new_root)].entries.push_back(
+          Entry{NodeBox(node), 0, node});
+      nodes_[static_cast<size_t>(new_root)].entries.push_back(
+          Entry{NodeBox(sibling), 0, sibling});
+      root_ = new_root;
+    } else {
+      int parent = path[static_cast<size_t>(i) - 1];
+      nodes_[static_cast<size_t>(parent)].entries.push_back(
+          Entry{NodeBox(sibling), 0, sibling});
+    }
+  }
+  AdjustTree(path);
+  return Status::OK();
+}
+
+void RTree::AdjustTree(const std::vector<int>& path) {
+  // Refresh parent entry boxes bottom-up.
+  for (int i = static_cast<int>(path.size()) - 2; i >= 0; --i) {
+    Node& parent = nodes_[static_cast<size_t>(path[static_cast<size_t>(i)])];
+    for (Entry& e : parent.entries) {
+      if (e.child >= 0) e.box = NodeBox(e.child);
+    }
+  }
+}
+
+Status RTree::Remove(const geo::BoundingBox& box, RecordId id) {
+  // Find the leaf containing the entry via range search on the exact box.
+  struct Frame {
+    int node;
+    int parent;
+  };
+  std::vector<Frame> stack{{root_, -1}};
+  std::vector<int> parent_of(nodes_.size(), -1);
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    Node& n = nodes_[static_cast<size_t>(f.node)];
+    if (n.leaf) {
+      for (size_t i = 0; i < n.entries.size(); ++i) {
+        if (n.entries[i].id == id && n.entries[i].box == box) {
+          n.entries.erase(n.entries.begin() + static_cast<long>(i));
+          --size_;
+          // Refresh ancestor boxes (underflow handling: entries are kept
+          // in place; the tree stays valid, just possibly less tight).
+          int cur = f.node;
+          while (parent_of[static_cast<size_t>(cur)] >= 0) {
+            int parent = parent_of[static_cast<size_t>(cur)];
+            for (Entry& e :
+                 nodes_[static_cast<size_t>(parent)].entries) {
+              if (e.child == cur) e.box = NodeBox(cur);
+            }
+            cur = parent;
+          }
+          return Status::OK();
+        }
+      }
+      continue;
+    }
+    for (const Entry& e : n.entries) {
+      if (e.box.Intersects(box) || e.box.Contains(box)) {
+        parent_of[static_cast<size_t>(e.child)] = f.node;
+        stack.push_back({e.child, f.node});
+      }
+    }
+  }
+  return Status::NotFound("entry not present in R-tree");
+}
+
+std::vector<RecordId> RTree::RangeSearch(
+    const geo::BoundingBox& query) const {
+  std::vector<RecordId> out;
+  if (query.IsEmpty()) return out;
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    for (const Entry& e : n.entries) {
+      if (!e.box.Intersects(query)) continue;
+      if (n.leaf) {
+        out.push_back(e.id);
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<RecordId> RTree::KNearest(const geo::GeoPoint& point,
+                                      int k) const {
+  std::vector<RecordId> out;
+  if (k <= 0) return out;
+  // Best-first search over (min-dist, is_leaf_entry, node/id).
+  struct Item {
+    double dist;
+    bool is_record;
+    int node;
+    RecordId id;
+    bool operator>(const Item& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  pq.push({0.0, false, root_, 0});
+  while (!pq.empty() && static_cast<int>(out.size()) < k) {
+    Item item = pq.top();
+    pq.pop();
+    if (item.is_record) {
+      out.push_back(item.id);
+      continue;
+    }
+    const Node& n = nodes_[static_cast<size_t>(item.node)];
+    for (const Entry& e : n.entries) {
+      double d = MinDistDeg(point, e.box);
+      if (n.leaf) {
+        pq.push({d, true, -1, e.id});
+      } else {
+        pq.push({d, false, e.child, 0});
+      }
+    }
+  }
+  return out;
+}
+
+int RTree::height() const {
+  int h = 1;
+  int cur = root_;
+  while (!nodes_[static_cast<size_t>(cur)].leaf) {
+    cur = nodes_[static_cast<size_t>(cur)].entries.front().child;
+    ++h;
+  }
+  return h;
+}
+
+bool RTree::CheckInvariants() const {
+  std::vector<int> stack{root_};
+  size_t records = 0;
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    if (static_cast<int>(n.entries.size()) > options_.max_entries) {
+      return false;
+    }
+    for (const Entry& e : n.entries) {
+      if (n.leaf) {
+        ++records;
+        continue;
+      }
+      if (!NodeBox(e.child).IsEmpty() && !e.box.Contains(NodeBox(e.child))) {
+        return false;
+      }
+      stack.push_back(e.child);
+    }
+  }
+  return records == size_;
+}
+
+}  // namespace tvdp::index

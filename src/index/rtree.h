@@ -1,0 +1,102 @@
+#ifndef TVDP_INDEX_RTREE_H_
+#define TVDP_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/bbox.h"
+#include "geo/geo_point.h"
+
+namespace tvdp::index {
+
+/// Identifier of an indexed record (the Images table primary key).
+using RecordId = int64_t;
+
+/// Dynamic R-tree over geographic bounding boxes with R*-style split
+/// (axis chosen by minimum perimeter sum, distribution by minimum overlap).
+/// Serves TVDP's spatial queries: point/range containment and k-nearest
+/// neighbours (best-first with box min-distance).
+class RTree {
+ public:
+  struct Options {
+    /// Maximum entries per node (M). Minimum is 40% of M.
+    int max_entries = 16;
+  };
+
+  RTree() : RTree(Options()) {}
+  explicit RTree(Options options);
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
+
+  /// Inserts a record with its (non-empty) bounding box.
+  Status Insert(const geo::BoundingBox& box, RecordId id);
+
+  /// Builds a packed tree from scratch with Sort-Tile-Recursive bulk
+  /// loading (Leutenegger et al.): entries are tiled by longitude then
+  /// latitude into full leaves, and parent levels are packed the same
+  /// way. Produces near-100% node utilization — the right way to index a
+  /// large static corpus. Fails on any empty box; the returned tree still
+  /// accepts incremental Insert/Remove afterwards.
+  static Result<RTree> BulkLoad(
+      const std::vector<std::pair<geo::BoundingBox, RecordId>>& entries,
+      Options options);
+  static Result<RTree> BulkLoad(
+      const std::vector<std::pair<geo::BoundingBox, RecordId>>& entries) {
+    return BulkLoad(entries, Options());
+  }
+
+  /// Removes one entry matching (box, id); NotFound if absent.
+  Status Remove(const geo::BoundingBox& box, RecordId id);
+
+  /// All record ids whose boxes intersect `query`.
+  std::vector<RecordId> RangeSearch(const geo::BoundingBox& query) const;
+
+  /// The `k` records whose boxes are nearest to `point` (by box
+  /// min-distance in degree space, then insertion order for ties).
+  std::vector<RecordId> KNearest(const geo::GeoPoint& point, int k) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const;
+
+  /// Internal consistency check (every child box inside its parent box);
+  /// used by property tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Entry {
+    geo::BoundingBox box;
+    RecordId id = 0;        // valid in leaves
+    int child = -1;         // valid in internal nodes
+  };
+  struct Node {
+    bool leaf = true;
+    std::vector<Entry> entries;
+  };
+
+  int NewNode(bool leaf);
+  geo::BoundingBox NodeBox(int node) const;
+  int ChooseLeaf(int node, const geo::BoundingBox& box, int target_level,
+                 int level, std::vector<int>* path) const;
+  /// Splits `node` in place; returns the new sibling node index.
+  int SplitNode(int node);
+  void AdjustTree(const std::vector<int>& path);
+
+  Options options_;
+  int min_entries_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  size_t size_ = 0;
+};
+
+/// Minimum distance (degree space) from a point to a box; 0 when inside.
+double MinDistDeg(const geo::GeoPoint& p, const geo::BoundingBox& box);
+
+}  // namespace tvdp::index
+
+#endif  // TVDP_INDEX_RTREE_H_

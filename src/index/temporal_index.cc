@@ -1,0 +1,45 @@
+#include "index/temporal_index.h"
+
+#include <algorithm>
+
+namespace tvdp::index {
+
+TemporalIndex::TemporalIndex(
+    std::vector<std::pair<Timestamp, RecordId>> entries)
+    : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end());
+}
+
+void TemporalIndex::Insert(Timestamp ts, RecordId id) {
+  auto it = std::upper_bound(entries_.begin(), entries_.end(),
+                             std::make_pair(ts, id));
+  entries_.insert(it, {ts, id});
+}
+
+std::vector<RecordId> TemporalIndex::RangeSearch(Timestamp begin,
+                                                 Timestamp end) const {
+  std::vector<RecordId> out;
+  if (begin > end) return out;
+  auto lo = std::lower_bound(
+      entries_.begin(), entries_.end(), begin,
+      [](const auto& e, Timestamp t) { return e.first < t; });
+  for (auto it = lo; it != entries_.end() && it->first <= end; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<RecordId> TemporalIndex::MostRecent(Timestamp as_of, int k) const {
+  std::vector<RecordId> out;
+  if (k <= 0) return out;
+  auto hi = std::upper_bound(
+      entries_.begin(), entries_.end(), as_of,
+      [](Timestamp t, const auto& e) { return t < e.first; });
+  for (auto it = hi; it != entries_.begin() && static_cast<int>(out.size()) < k;) {
+    --it;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace tvdp::index

@@ -1,0 +1,45 @@
+#ifndef TVDP_INDEX_TEMPORAL_INDEX_H_
+#define TVDP_INDEX_TEMPORAL_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/timeutil.h"
+#include "index/rtree.h"
+
+namespace tvdp::index {
+
+/// Ordered index over capture timestamps, supporting temporal range
+/// queries ("all images captured in this window") and as-of scans. Backed
+/// by a sorted array with binary search; inserts keep the array sorted
+/// (bulk loads should use the batched constructor).
+class TemporalIndex {
+ public:
+  TemporalIndex() = default;
+
+  /// Bulk constructor from (timestamp, id) pairs in any order.
+  explicit TemporalIndex(std::vector<std::pair<Timestamp, RecordId>> entries);
+
+  /// Inserts one entry (O(n) worst case; fine for simulation-scale data).
+  void Insert(Timestamp ts, RecordId id);
+
+  /// Record ids with timestamp in [begin, end] (inclusive), time-ordered.
+  std::vector<RecordId> RangeSearch(Timestamp begin, Timestamp end) const;
+
+  /// The `k` most recent records at or before `as_of`, newest first.
+  std::vector<RecordId> MostRecent(Timestamp as_of, int k) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Earliest/latest timestamps (undefined when empty).
+  Timestamp min_timestamp() const { return entries_.front().first; }
+  Timestamp max_timestamp() const { return entries_.back().first; }
+
+ private:
+  std::vector<std::pair<Timestamp, RecordId>> entries_;  // sorted by time
+};
+
+}  // namespace tvdp::index
+
+#endif  // TVDP_INDEX_TEMPORAL_INDEX_H_

@@ -1,0 +1,261 @@
+#include "index/visual_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace tvdp::index {
+
+void VisualRTree::FeatureRect::Extend(const ml::FeatureVector& v) {
+  if (lo.empty()) {
+    lo = v;
+    hi = v;
+    return;
+  }
+  for (size_t d = 0; d < lo.size() && d < v.size(); ++d) {
+    lo[d] = std::min(lo[d], v[d]);
+    hi[d] = std::max(hi[d], v[d]);
+  }
+}
+
+void VisualRTree::FeatureRect::Extend(const FeatureRect& o) {
+  if (o.IsEmpty()) return;
+  Extend(o.lo);
+  Extend(o.hi);
+}
+
+double VisualRTree::FeatureRect::MinDist(const ml::FeatureVector& v) const {
+  if (IsEmpty()) return std::numeric_limits<double>::max();
+  double sum = 0;
+  for (size_t d = 0; d < lo.size() && d < v.size(); ++d) {
+    double diff = 0;
+    if (v[d] < lo[d]) diff = lo[d] - v[d];
+    else if (v[d] > hi[d]) diff = v[d] - hi[d];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+VisualRTree::VisualRTree(size_t feature_dim, Options options)
+    : dim_(feature_dim), options_(options) {
+  options_.max_entries = std::max(options_.max_entries, 4);
+  if (options_.spatial_norm_deg <= 0) options_.spatial_norm_deg = 1.0;
+  if (options_.visual_norm <= 0) options_.visual_norm = 1.0;
+  root_ = NewNode(true);
+}
+
+int VisualRTree::NewNode(bool leaf) {
+  nodes_.emplace_back();
+  nodes_.back().leaf = leaf;
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+geo::BoundingBox VisualRTree::NodeBox(int node) const {
+  geo::BoundingBox box = geo::BoundingBox::Empty();
+  for (const Entry& e : nodes_[static_cast<size_t>(node)].entries) {
+    box.Extend(e.box);
+  }
+  return box;
+}
+
+VisualRTree::FeatureRect VisualRTree::NodeRect(int node) const {
+  FeatureRect rect;
+  for (const Entry& e : nodes_[static_cast<size_t>(node)].entries) {
+    rect.Extend(e.rect);
+  }
+  return rect;
+}
+
+int VisualRTree::SplitNode(int node) {
+  // Spatial quadratic-ish split: sort on the longer spatial axis, split at
+  // the median. (The feature rects simply follow the chosen halves; the
+  // spatial dimension dominates locality for geo-tagged street imagery.)
+  std::vector<Entry> entries =
+      std::move(nodes_[static_cast<size_t>(node)].entries);
+  nodes_[static_cast<size_t>(node)].entries.clear();
+
+  geo::BoundingBox all = geo::BoundingBox::Empty();
+  for (const Entry& e : entries) all.Extend(e.box);
+  bool by_lat = (all.max_lat - all.min_lat) >= (all.max_lon - all.min_lon);
+  std::sort(entries.begin(), entries.end(),
+            [&](const Entry& a, const Entry& b) {
+              double ca = by_lat ? (a.box.min_lat + a.box.max_lat)
+                                 : (a.box.min_lon + a.box.max_lon);
+              double cb = by_lat ? (b.box.min_lat + b.box.max_lat)
+                                 : (b.box.min_lon + b.box.max_lon);
+              return ca < cb;
+            });
+  int sibling = NewNode(nodes_[static_cast<size_t>(node)].leaf);
+  Node& n = nodes_[static_cast<size_t>(node)];
+  Node& s = nodes_[static_cast<size_t>(sibling)];
+  size_t half = entries.size() / 2;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    (i < half ? n : s).entries.push_back(std::move(entries[i]));
+  }
+  return sibling;
+}
+
+Status VisualRTree::Insert(const geo::GeoPoint& location,
+                           const ml::FeatureVector& feature, RecordId id) {
+  if (feature.size() != dim_) {
+    return Status::InvalidArgument("feature dimensionality mismatch");
+  }
+  if (!geo::IsValid(location)) {
+    return Status::InvalidArgument("invalid location");
+  }
+  RecordId slot = static_cast<RecordId>(features_.size());
+  features_.push_back(feature);
+  locations_.push_back(location);
+  ids_.push_back(id);
+
+  geo::BoundingBox box;
+  box.min_lat = box.max_lat = location.lat;
+  box.min_lon = box.max_lon = location.lon;
+  FeatureRect rect;
+  rect.Extend(feature);
+
+  // Descend by least spatial enlargement.
+  std::vector<int> path;
+  int cur = root_;
+  while (true) {
+    path.push_back(cur);
+    Node& n = nodes_[static_cast<size_t>(cur)];
+    if (n.leaf) break;
+    int best = -1;
+    double best_enl = std::numeric_limits<double>::max();
+    for (const Entry& e : n.entries) {
+      geo::BoundingBox merged = e.box;
+      merged.Extend(box);
+      double enl = merged.AreaDeg2() - e.box.AreaDeg2();
+      if (enl < best_enl) {
+        best_enl = enl;
+        best = e.child;
+      }
+    }
+    cur = best;
+  }
+  nodes_[static_cast<size_t>(cur)].entries.push_back(Entry{box, rect, slot, -1});
+  ++size_;
+
+  for (int i = static_cast<int>(path.size()) - 1; i >= 0; --i) {
+    int node = path[static_cast<size_t>(i)];
+    if (static_cast<int>(nodes_[static_cast<size_t>(node)].entries.size()) <=
+        options_.max_entries) {
+      break;
+    }
+    int sibling = SplitNode(node);
+    if (i == 0) {
+      int new_root = NewNode(false);
+      nodes_[static_cast<size_t>(new_root)].entries.push_back(
+          Entry{NodeBox(node), NodeRect(node), 0, node});
+      nodes_[static_cast<size_t>(new_root)].entries.push_back(
+          Entry{NodeBox(sibling), NodeRect(sibling), 0, sibling});
+      root_ = new_root;
+    } else {
+      int parent = path[static_cast<size_t>(i) - 1];
+      nodes_[static_cast<size_t>(parent)].entries.push_back(
+          Entry{NodeBox(sibling), NodeRect(sibling), 0, sibling});
+    }
+  }
+  // Refresh bounds along the path.
+  for (int i = static_cast<int>(path.size()) - 2; i >= 0; --i) {
+    Node& parent = nodes_[static_cast<size_t>(path[static_cast<size_t>(i)])];
+    for (Entry& e : parent.entries) {
+      if (e.child >= 0) {
+        e.box = NodeBox(e.child);
+        e.rect = NodeRect(e.child);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<VisualRTree::Hit> VisualRTree::TopK(
+    const geo::GeoPoint& location, const ml::FeatureVector& feature, int k,
+    double alpha) const {
+  std::vector<Hit> out;
+  if (k <= 0 || feature.size() != dim_) return out;
+  alpha = std::clamp(alpha, 0.0, 1.0);
+  last_nodes_visited_ = 0;
+
+  auto blend = [&](double spatial_deg, double visual) {
+    return alpha * spatial_deg / options_.spatial_norm_deg +
+           (1.0 - alpha) * visual / options_.visual_norm;
+  };
+
+  struct Item {
+    double score;
+    bool is_record;
+    int node;
+    Hit hit;
+    bool operator>(const Item& o) const { return score > o.score; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  pq.push({0.0, false, root_, {}});
+  while (!pq.empty() && static_cast<int>(out.size()) < k) {
+    Item item = pq.top();
+    pq.pop();
+    if (item.is_record) {
+      out.push_back(item.hit);
+      continue;
+    }
+    ++last_nodes_visited_;
+    const Node& n = nodes_[static_cast<size_t>(item.node)];
+    for (const Entry& e : n.entries) {
+      if (n.leaf) {
+        size_t slot = static_cast<size_t>(e.id);
+        Hit hit;
+        hit.id = ids_[slot];
+        hit.spatial_deg = MinDistDeg(location, e.box);
+        hit.visual = ml::L2Distance(feature, features_[slot]);
+        hit.score = blend(hit.spatial_deg, hit.visual);
+        pq.push({hit.score, true, -1, hit});
+      } else {
+        double lb = blend(MinDistDeg(location, e.box), e.rect.MinDist(feature));
+        pq.push({lb, false, e.child, {}});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<VisualRTree::Hit> VisualRTree::RangeSearch(
+    const geo::BoundingBox& box, const ml::FeatureVector& feature,
+    double threshold) const {
+  std::vector<Hit> out;
+  if (box.IsEmpty() || feature.size() != dim_) return out;
+  last_nodes_visited_ = 0;
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    ++last_nodes_visited_;
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    for (const Entry& e : n.entries) {
+      if (!e.box.Intersects(box)) continue;
+      if (e.rect.MinDist(feature) > threshold) continue;
+      if (n.leaf) {
+        size_t slot = static_cast<size_t>(e.id);
+        double vd = ml::L2Distance(feature, features_[slot]);
+        if (vd <= threshold && box.Contains(locations_[slot])) {
+          Hit hit;
+          hit.id = ids_[slot];
+          hit.visual = vd;
+          hit.spatial_deg = 0;
+          hit.score = vd;
+          out.push_back(hit);
+        }
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Hit& a, const Hit& b) {
+    if (a.visual != b.visual) return a.visual < b.visual;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+}  // namespace tvdp::index

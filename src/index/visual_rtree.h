@@ -1,0 +1,107 @@
+#ifndef TVDP_INDEX_VISUAL_RTREE_H_
+#define TVDP_INDEX_VISUAL_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/bbox.h"
+#include "geo/geo_point.h"
+#include "index/rtree.h"
+#include "ml/dataset.h"
+
+namespace tvdp::index {
+
+/// Hybrid spatial-visual index (after Alfarrarjeh, Shahabi & Kim,
+/// "Hybrid indexes for spatial-visual search", ACM MM Workshops 2017):
+/// an R-tree in geographic space whose every node additionally maintains
+/// a feature-space minimum bounding hyper-rectangle of its subtree. Both
+/// bounds prune during a best-first search, so a spatial-visual top-k
+/// query ("images near X that look like Y") touches only the relevant
+/// fringe of the tree.
+///
+/// The ranking function is the convex combination used in that line of
+/// work:  score = alpha * d_spatial / s_norm + (1-alpha) * d_visual / v_norm,
+/// and the search is exact with respect to this score.
+class VisualRTree {
+ public:
+  struct Options {
+    int max_entries = 16;
+    /// Normalizers mapping raw distances into comparable [0,1]-ish ranges.
+    double spatial_norm_deg = 0.1;
+    double visual_norm = 1.0;
+  };
+
+  VisualRTree(size_t feature_dim, Options options);
+  explicit VisualRTree(size_t feature_dim)
+      : VisualRTree(feature_dim, Options()) {}
+
+  /// Inserts a record with camera location and visual feature.
+  Status Insert(const geo::GeoPoint& location, const ml::FeatureVector& feature,
+                RecordId id);
+
+  /// A scored result.
+  struct Hit {
+    RecordId id = 0;
+    double score = 0;
+    double spatial_deg = 0;
+    double visual = 0;
+  };
+
+  /// Exact top-k under the alpha-blended score from (location, feature).
+  std::vector<Hit> TopK(const geo::GeoPoint& location,
+                        const ml::FeatureVector& feature, int k,
+                        double alpha) const;
+
+  /// All records inside `box` whose feature distance is <= `threshold`.
+  std::vector<Hit> RangeSearch(const geo::BoundingBox& box,
+                               const ml::FeatureVector& feature,
+                               double threshold) const;
+
+  size_t size() const { return size_; }
+  size_t feature_dim() const { return dim_; }
+
+  /// Nodes visited by the last query (ablation instrumentation).
+  int64_t last_nodes_visited() const { return last_nodes_visited_; }
+
+ private:
+  struct FeatureRect {
+    ml::FeatureVector lo;
+    ml::FeatureVector hi;
+
+    void Extend(const ml::FeatureVector& v);
+    void Extend(const FeatureRect& o);
+    bool IsEmpty() const { return lo.empty(); }
+    /// Min L2 distance from `v` to the rectangle (0 when inside).
+    double MinDist(const ml::FeatureVector& v) const;
+  };
+  struct Entry {
+    geo::BoundingBox box;
+    FeatureRect rect;
+    RecordId id = 0;   // leaves: slot into features_/ids_
+    int child = -1;    // internal nodes
+  };
+  struct Node {
+    bool leaf = true;
+    std::vector<Entry> entries;
+  };
+
+  int NewNode(bool leaf);
+  geo::BoundingBox NodeBox(int node) const;
+  FeatureRect NodeRect(int node) const;
+  int SplitNode(int node);
+
+  size_t dim_;
+  Options options_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  size_t size_ = 0;
+  std::vector<ml::FeatureVector> features_;
+  std::vector<geo::GeoPoint> locations_;
+  std::vector<RecordId> ids_;
+  mutable int64_t last_nodes_visited_ = 0;
+};
+
+}  // namespace tvdp::index
+
+#endif  // TVDP_INDEX_VISUAL_RTREE_H_

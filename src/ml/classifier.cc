@@ -1,0 +1,89 @@
+#include "ml/classifier.h"
+
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+
+namespace tvdp::ml {
+
+std::vector<double> Classifier::PredictProba(const FeatureVector& x) const {
+  std::vector<double> proba(static_cast<size_t>(std::max(num_classes_, 1)),
+                            0.0);
+  int p = Predict(x);
+  if (p >= 0 && p < static_cast<int>(proba.size())) {
+    proba[static_cast<size_t>(p)] = 1.0;
+  }
+  return proba;
+}
+
+std::string ClassifierKindName(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kKnn: return "knn";
+    case ClassifierKind::kNaiveBayes: return "naive_bayes";
+    case ClassifierKind::kDecisionTree: return "decision_tree";
+    case ClassifierKind::kRandomForest: return "random_forest";
+    case ClassifierKind::kLogisticRegression: return "logistic_regression";
+    case ClassifierKind::kLinearSvm: return "svm";
+    case ClassifierKind::kMlp: return "mlp";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Classifier> MakeClassifier(ClassifierKind kind,
+                                           uint64_t seed) {
+  switch (kind) {
+    case ClassifierKind::kKnn:
+      return std::make_unique<KnnClassifier>(5);
+    case ClassifierKind::kNaiveBayes:
+      return std::make_unique<NaiveBayesClassifier>();
+    case ClassifierKind::kDecisionTree: {
+      DecisionTreeClassifier::Options o;
+      o.seed = seed;
+      return std::make_unique<DecisionTreeClassifier>(o);
+    }
+    case ClassifierKind::kRandomForest: {
+      RandomForestClassifier::Options o;
+      o.seed = seed;
+      return std::make_unique<RandomForestClassifier>(o);
+    }
+    case ClassifierKind::kLogisticRegression: {
+      LogisticRegressionClassifier::Options o;
+      o.seed = seed;
+      return std::make_unique<LogisticRegressionClassifier>(o);
+    }
+    case ClassifierKind::kLinearSvm: {
+      LinearSvmClassifier::Options o;
+      o.seed = seed;
+      return std::make_unique<LinearSvmClassifier>(o);
+    }
+    case ClassifierKind::kMlp: {
+      MlpClassifier::Options o;
+      o.seed = seed;
+      return std::make_unique<MlpClassifier>(o);
+    }
+  }
+  return nullptr;
+}
+
+std::vector<ClassifierKind> AllClassifierKinds() {
+  return {ClassifierKind::kKnn,
+          ClassifierKind::kNaiveBayes,
+          ClassifierKind::kDecisionTree,
+          ClassifierKind::kRandomForest,
+          ClassifierKind::kLogisticRegression,
+          ClassifierKind::kMlp,
+          ClassifierKind::kLinearSvm};
+}
+
+std::vector<int> PredictAll(const Classifier& model, const Dataset& data) {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (const auto& s : data.samples()) out.push_back(model.Predict(s.x));
+  return out;
+}
+
+}  // namespace tvdp::ml

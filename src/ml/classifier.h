@@ -1,0 +1,79 @@
+#ifndef TVDP_ML_CLASSIFIER_H_
+#define TVDP_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "ml/dataset.h"
+
+namespace tvdp::ml {
+
+/// Abstract multi-class classifier. Implementations mirror the classifier
+/// grid explored in the paper's Fig. 6 (all trained from scratch here, in
+/// place of scikit-learn).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Fits the model to `data`. Labels must be 0..k-1.
+  virtual Status Train(const Dataset& data) = 0;
+
+  /// Predicted label for `x`; must only be called after a successful Train.
+  virtual int Predict(const FeatureVector& x) const = 0;
+
+  /// Per-class scores summing to ~1. The default implementation returns a
+  /// one-hot distribution at the Predict result.
+  virtual std::vector<double> PredictProba(const FeatureVector& x) const;
+
+  /// Short stable name, e.g. "svm" (used in experiment tables).
+  virtual std::string name() const = 0;
+
+  /// A fresh untrained classifier with identical hyper-parameters.
+  virtual std::unique_ptr<Classifier> Clone() const = 0;
+
+  /// Serializes the trained model; Unimplemented for non-parametric models
+  /// (kNN keeps the training set, trees are structural). The edge-computing
+  /// "download model" API uses this for dispatchable model families.
+  virtual Result<Json> ToJson() const {
+    return Status::Unimplemented("serialization not supported for " + name());
+  }
+
+  /// Number of classes seen at training time (0 before Train).
+  int num_classes() const { return num_classes_; }
+  bool trained() const { return num_classes_ > 0; }
+
+ protected:
+  int num_classes_ = 0;
+};
+
+/// The classifier families evaluated in Fig. 6.
+enum class ClassifierKind {
+  kKnn,
+  kNaiveBayes,
+  kDecisionTree,
+  kRandomForest,
+  kLogisticRegression,
+  kLinearSvm,
+  kMlp,
+};
+
+/// Stable display name, e.g. "random_forest".
+std::string ClassifierKindName(ClassifierKind kind);
+
+/// Creates a classifier of the given kind with library-default
+/// hyper-parameters and a deterministic seed.
+std::unique_ptr<Classifier> MakeClassifier(ClassifierKind kind,
+                                           uint64_t seed = 42);
+
+/// All kinds, in the order they appear in experiment tables.
+std::vector<ClassifierKind> AllClassifierKinds();
+
+/// Convenience: predicts every sample of `data` and returns the labels.
+std::vector<int> PredictAll(const Classifier& model, const Dataset& data);
+
+}  // namespace tvdp::ml
+
+#endif  // TVDP_ML_CLASSIFIER_H_

@@ -1,0 +1,69 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+
+namespace tvdp::ml {
+
+Result<CrossValidationResult> KFoldCrossValidate(const Classifier& prototype,
+                                                 const Dataset& data,
+                                                 int folds, Rng& rng) {
+  if (folds < 2) return Status::InvalidArgument("need at least 2 folds");
+  if (data.size() < static_cast<size_t>(folds)) {
+    return Status::InvalidArgument("fewer samples than folds");
+  }
+  int num_classes = data.NumClasses();
+
+  // Stratified fold assignment: round-robin within each class.
+  std::vector<std::vector<size_t>> by_class(
+      static_cast<size_t>(std::max(num_classes, 1)));
+  for (size_t i = 0; i < data.size(); ++i) {
+    by_class[static_cast<size_t>(data[i].label)].push_back(i);
+  }
+  std::vector<int> fold_of(data.size(), 0);
+  int next_fold = 0;
+  for (auto& idxs : by_class) {
+    rng.Shuffle(idxs);
+    for (size_t i : idxs) {
+      fold_of[i] = next_fold;
+      next_fold = (next_fold + 1) % folds;
+    }
+  }
+
+  CrossValidationResult result;
+  result.pooled = ConfusionMatrix(num_classes);
+  for (int f = 0; f < folds; ++f) {
+    std::vector<size_t> train_idx, val_idx;
+    for (size_t i = 0; i < data.size(); ++i) {
+      (fold_of[i] == f ? val_idx : train_idx).push_back(i);
+    }
+    Dataset train = data.Subset(train_idx);
+    Dataset val = data.Subset(val_idx);
+    std::unique_ptr<Classifier> model = prototype.Clone();
+    TVDP_RETURN_IF_ERROR(model->Train(train));
+    ConfusionMatrix cm(num_classes);
+    for (const auto& s : val.samples()) {
+      int pred = model->Predict(s.x);
+      cm.Add(s.label, pred);
+      result.pooled.Add(s.label, pred);
+    }
+    result.fold_macro_f1.push_back(cm.MacroF1());
+    result.fold_accuracy.push_back(cm.Accuracy());
+  }
+  for (double v : result.fold_macro_f1) result.mean_macro_f1 += v;
+  for (double v : result.fold_accuracy) result.mean_accuracy += v;
+  result.mean_macro_f1 /= folds;
+  result.mean_accuracy /= folds;
+  return result;
+}
+
+Result<ConfusionMatrix> TrainAndEvaluate(Classifier& model,
+                                         const Dataset& train,
+                                         const Dataset& test) {
+  TVDP_RETURN_IF_ERROR(model.Train(train));
+  int num_classes = std::max(train.NumClasses(), test.NumClasses());
+  ConfusionMatrix cm(num_classes);
+  for (const auto& s : test.samples()) cm.Add(s.label, model.Predict(s.x));
+  return cm;
+}
+
+}  // namespace tvdp::ml

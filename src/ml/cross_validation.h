@@ -1,0 +1,39 @@
+#ifndef TVDP_ML_CROSS_VALIDATION_H_
+#define TVDP_ML_CROSS_VALIDATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ml/classifier.h"
+#include "ml/metrics.h"
+
+namespace tvdp::ml {
+
+/// Result of a k-fold cross-validation run.
+struct CrossValidationResult {
+  std::vector<double> fold_macro_f1;
+  std::vector<double> fold_accuracy;
+  double mean_macro_f1 = 0;
+  double mean_accuracy = 0;
+  /// Pooled confusion matrix over all validation folds.
+  ConfusionMatrix pooled{1};
+};
+
+/// Runs k-fold cross validation of `prototype` (cloned per fold) over
+/// `data`. Folds are stratified by label. Mirrors the paper's protocol:
+/// "all classifiers were trained on 80% of the dataset using 10-fold
+/// cross-validation."
+Result<CrossValidationResult> KFoldCrossValidate(const Classifier& prototype,
+                                                 const Dataset& data,
+                                                 int folds, Rng& rng);
+
+/// Trains `model` on `train` and evaluates it on `test`, returning the
+/// confusion matrix over `test`.
+Result<ConfusionMatrix> TrainAndEvaluate(Classifier& model,
+                                         const Dataset& train,
+                                         const Dataset& test);
+
+}  // namespace tvdp::ml
+
+#endif  // TVDP_ML_CROSS_VALIDATION_H_

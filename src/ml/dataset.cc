@@ -1,0 +1,138 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvdp::ml {
+
+Status Dataset::Add(FeatureVector x, int label) {
+  if (label < 0) return Status::InvalidArgument("labels must be >= 0");
+  if (samples_.empty()) {
+    dim_ = x.size();
+  } else if (x.size() != dim_) {
+    return Status::InvalidArgument("feature dimensionality mismatch");
+  }
+  samples_.push_back(Sample{std::move(x), label});
+  return Status::OK();
+}
+
+int Dataset::NumClasses() const {
+  int max_label = -1;
+  for (const auto& s : samples_) max_label = std::max(max_label, s.label);
+  return max_label + 1;
+}
+
+std::vector<int> Dataset::ClassCounts() const {
+  std::vector<int> counts(static_cast<size_t>(std::max(NumClasses(), 0)), 0);
+  for (const auto& s : samples_) ++counts[static_cast<size_t>(s.label)];
+  return counts;
+}
+
+void Dataset::Shuffle(Rng& rng) { rng.Shuffle(samples_); }
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction) const {
+  train_fraction = std::clamp(train_fraction, 0.0, 1.0);
+  size_t n_train = static_cast<size_t>(samples_.size() * train_fraction);
+  Dataset train, test;
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    (i < n_train ? train : test).Add(samples_[i].x, samples_[i].label).ok();
+  }
+  return {std::move(train), std::move(test)};
+}
+
+std::pair<Dataset, Dataset> Dataset::StratifiedSplit(double train_fraction,
+                                                     Rng& rng) const {
+  train_fraction = std::clamp(train_fraction, 0.0, 1.0);
+  int k = NumClasses();
+  std::vector<std::vector<size_t>> by_class(static_cast<size_t>(std::max(k, 0)));
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    by_class[static_cast<size_t>(samples_[i].label)].push_back(i);
+  }
+  std::vector<size_t> train_idx, test_idx;
+  for (auto& idxs : by_class) {
+    rng.Shuffle(idxs);
+    size_t n_train = static_cast<size_t>(idxs.size() * train_fraction);
+    for (size_t j = 0; j < idxs.size(); ++j) {
+      (j < n_train ? train_idx : test_idx).push_back(idxs[j]);
+    }
+  }
+  rng.Shuffle(train_idx);
+  rng.Shuffle(test_idx);
+  return {Subset(train_idx), Subset(test_idx)};
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out;
+  for (size_t i : indices) {
+    if (i < samples_.size()) out.Add(samples_[i].x, samples_[i].label).ok();
+  }
+  return out;
+}
+
+Dataset::Moments Dataset::ComputeMoments() const {
+  Moments m;
+  m.mean.assign(dim_, 0.0);
+  m.stddev.assign(dim_, 0.0);
+  if (samples_.empty()) return m;
+  for (const auto& s : samples_) {
+    for (size_t d = 0; d < dim_; ++d) m.mean[d] += s.x[d];
+  }
+  for (size_t d = 0; d < dim_; ++d) m.mean[d] /= samples_.size();
+  for (const auto& s : samples_) {
+    for (size_t d = 0; d < dim_; ++d) {
+      double diff = s.x[d] - m.mean[d];
+      m.stddev[d] += diff * diff;
+    }
+  }
+  for (size_t d = 0; d < dim_; ++d) {
+    m.stddev[d] = std::sqrt(m.stddev[d] / samples_.size());
+  }
+  return m;
+}
+
+void Dataset::Standardize(const Moments& m) {
+  for (auto& s : samples_) {
+    for (size_t d = 0; d < dim_ && d < m.mean.size(); ++d) {
+      double sd = m.stddev[d] > 1e-12 ? m.stddev[d] : 1.0;
+      s.x[d] = (s.x[d] - m.mean[d]) / sd;
+    }
+  }
+}
+
+double L2DistanceSquared(const FeatureVector& a, const FeatureVector& b) {
+  double sum = 0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double L2Distance(const FeatureVector& a, const FeatureVector& b) {
+  return std::sqrt(L2DistanceSquared(a, b));
+}
+
+double Dot(const FeatureVector& a, const FeatureVector& b) {
+  double sum = 0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double L2Norm(const FeatureVector& a) { return std::sqrt(Dot(a, a)); }
+
+void L2NormalizeInPlace(FeatureVector& v) {
+  double n = L2Norm(v);
+  if (n > 1e-12) {
+    for (double& x : v) x /= n;
+  }
+}
+
+double CosineSimilarity(const FeatureVector& a, const FeatureVector& b) {
+  double na = L2Norm(a), nb = L2Norm(b);
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+}  // namespace tvdp::ml

@@ -1,0 +1,94 @@
+#ifndef TVDP_ML_DATASET_H_
+#define TVDP_ML_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace tvdp::ml {
+
+/// A dense feature vector. All TVDP visual descriptors (color histogram,
+/// SIFT-BoW, CNN features) are represented this way.
+using FeatureVector = std::vector<double>;
+
+/// A labelled training/evaluation example.
+struct Sample {
+  FeatureVector x;
+  int label = 0;
+};
+
+/// An in-memory labelled dataset with a fixed feature dimensionality.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Appends a sample; the first sample fixes the dimensionality and later
+  /// mismatching samples are rejected.
+  Status Add(FeatureVector x, int label);
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  size_t dim() const { return dim_; }
+
+  const Sample& operator[](size_t i) const { return samples_[i]; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Number of distinct labels assuming labels are 0..k-1 (max label + 1).
+  int NumClasses() const;
+
+  /// Per-class sample counts (index = label).
+  std::vector<int> ClassCounts() const;
+
+  /// Shuffles sample order in place.
+  void Shuffle(Rng& rng);
+
+  /// Splits into (train, test) with `train_fraction` of samples in train,
+  /// preserving current order (call Shuffle first for a random split).
+  std::pair<Dataset, Dataset> Split(double train_fraction) const;
+
+  /// Stratified split: preserves per-class proportions in both halves.
+  std::pair<Dataset, Dataset> StratifiedSplit(double train_fraction,
+                                              Rng& rng) const;
+
+  /// Returns a dataset containing the samples at `indices`.
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  /// Mean and standard deviation per dimension (for standardization).
+  struct Moments {
+    FeatureVector mean;
+    FeatureVector stddev;
+  };
+  Moments ComputeMoments() const;
+
+  /// Standardizes all samples in place with the given moments
+  /// (x := (x - mean) / stddev, guarding stddev == 0).
+  void Standardize(const Moments& m);
+
+ private:
+  std::vector<Sample> samples_;
+  size_t dim_ = 0;
+};
+
+/// Euclidean (L2) distance between equal-length vectors.
+double L2Distance(const FeatureVector& a, const FeatureVector& b);
+
+/// Squared Euclidean distance.
+double L2DistanceSquared(const FeatureVector& a, const FeatureVector& b);
+
+/// Dot product.
+double Dot(const FeatureVector& a, const FeatureVector& b);
+
+/// L2 norm.
+double L2Norm(const FeatureVector& a);
+
+/// Normalizes `v` to unit L2 norm in place (no-op on the zero vector).
+void L2NormalizeInPlace(FeatureVector& v);
+
+/// Cosine similarity in [-1, 1]; 0 when either vector is zero.
+double CosineSimilarity(const FeatureVector& a, const FeatureVector& b);
+
+}  // namespace tvdp::ml
+
+#endif  // TVDP_ML_DATASET_H_

@@ -1,0 +1,159 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tvdp::ml {
+namespace {
+
+/// Gini impurity from class counts.
+double Gini(const std::vector<int64_t>& counts, int64_t total) {
+  if (total <= 0) return 0.0;
+  double g = 1.0;
+  for (int64_t c : counts) {
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+Status DecisionTreeClassifier::Train(const Dataset& data) {
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+  num_classes_ = data.NumClasses();
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  Rng rng(options_.seed);
+  BuildNode(data, indices, 0, rng);
+  return Status::OK();
+}
+
+int DecisionTreeClassifier::BuildNode(const Dataset& data,
+                                      std::vector<size_t>& indices, int depth,
+                                      Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  size_t k = static_cast<size_t>(num_classes_);
+  std::vector<int64_t> counts(k, 0);
+  for (size_t i : indices) ++counts[static_cast<size_t>(data[i].label)];
+  int64_t total = static_cast<int64_t>(indices.size());
+
+  int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  auto make_leaf = [&]() {
+    Node& node = nodes_[static_cast<size_t>(node_index)];
+    node.class_distribution.assign(k, 0.0);
+    for (size_t c = 0; c < k; ++c) {
+      node.class_distribution[c] =
+          total > 0 ? static_cast<double>(counts[c]) / total : 0.0;
+    }
+    return node_index;
+  };
+
+  double parent_gini = Gini(counts, total);
+  bool pure = false;
+  for (int64_t c : counts) {
+    if (c == total) pure = true;
+  }
+  if (pure || depth >= options_.max_depth ||
+      total < options_.min_samples_split) {
+    return make_leaf();
+  }
+
+  // Candidate features: all, or a random subset in forest mode.
+  size_t dim = data.dim();
+  std::vector<size_t> features(dim);
+  std::iota(features.begin(), features.end(), 0);
+  if (options_.max_features > 0 &&
+      static_cast<size_t>(options_.max_features) < dim) {
+    rng.Shuffle(features);
+    features.resize(static_cast<size_t>(options_.max_features));
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0;
+  double best_impurity = parent_gini - 1e-9;  // require strict improvement
+
+  std::vector<std::pair<double, int>> column(indices.size());
+  for (size_t f : features) {
+    for (size_t i = 0; i < indices.size(); ++i) {
+      column[i] = {data[indices[i]].x[f], data[indices[i]].label};
+    }
+    std::sort(column.begin(), column.end());
+    // Sweep thresholds between distinct consecutive values.
+    std::vector<int64_t> left_counts(k, 0);
+    std::vector<int64_t> right_counts = counts;
+    for (size_t i = 0; i + 1 < column.size(); ++i) {
+      size_t lbl = static_cast<size_t>(column[i].second);
+      ++left_counts[lbl];
+      --right_counts[lbl];
+      if (column[i].first == column[i + 1].first) continue;
+      int64_t nl = static_cast<int64_t>(i) + 1;
+      int64_t nr = total - nl;
+      double weighted = (nl * Gini(left_counts, nl) +
+                         nr * Gini(right_counts, nr)) /
+                        static_cast<double>(total);
+      if (weighted < best_impurity) {
+        best_impurity = weighted;
+        best_feature = static_cast<int>(f);
+        best_threshold = (column[i].first + column[i + 1].first) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  std::vector<size_t> left_idx, right_idx;
+  for (size_t i : indices) {
+    if (data[i].x[static_cast<size_t>(best_feature)] <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return make_leaf();
+
+  // Free the parent's index list before recursing to bound memory.
+  indices.clear();
+  indices.shrink_to_fit();
+
+  int left_child = BuildNode(data, left_idx, depth + 1, rng);
+  int right_child = BuildNode(data, right_idx, depth + 1, rng);
+  Node& node = nodes_[static_cast<size_t>(node_index)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left_child;
+  node.right = right_child;
+  return node_index;
+}
+
+const DecisionTreeClassifier::Node& DecisionTreeClassifier::Descend(
+    const FeatureVector& x) const {
+  size_t cur = 0;
+  while (true) {
+    const Node& node = nodes_[cur];
+    if (node.feature < 0) return node;
+    size_t f = static_cast<size_t>(node.feature);
+    double v = f < x.size() ? x[f] : 0.0;
+    cur = static_cast<size_t>(v <= node.threshold ? node.left : node.right);
+  }
+}
+
+int DecisionTreeClassifier::Predict(const FeatureVector& x) const {
+  const Node& leaf = Descend(x);
+  return static_cast<int>(
+      std::max_element(leaf.class_distribution.begin(),
+                       leaf.class_distribution.end()) -
+      leaf.class_distribution.begin());
+}
+
+std::vector<double> DecisionTreeClassifier::PredictProba(
+    const FeatureVector& x) const {
+  return Descend(x).class_distribution;
+}
+
+}  // namespace tvdp::ml

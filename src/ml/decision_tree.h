@@ -1,0 +1,60 @@
+#ifndef TVDP_ML_DECISION_TREE_H_
+#define TVDP_ML_DECISION_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace tvdp::ml {
+
+/// CART-style decision tree with Gini impurity, axis-aligned threshold
+/// splits, and depth / leaf-size stopping rules. Supports optional feature
+/// subsampling per split (used by RandomForestClassifier).
+class DecisionTreeClassifier : public Classifier {
+ public:
+  struct Options {
+    int max_depth = 12;
+    int min_samples_split = 4;
+    /// When > 0, consider only this many randomly chosen features per
+    /// split (random-forest mode). 0 means all features.
+    int max_features = 0;
+    uint64_t seed = 42;
+  };
+
+  DecisionTreeClassifier() : DecisionTreeClassifier(Options()) {}
+  explicit DecisionTreeClassifier(Options options) : options_(options) {}
+
+  Status Train(const Dataset& data) override;
+  int Predict(const FeatureVector& x) const override;
+  std::vector<double> PredictProba(const FeatureVector& x) const override;
+  std::string name() const override { return "decision_tree"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<DecisionTreeClassifier>(options_);
+  }
+
+  /// Number of nodes in the fitted tree (0 before Train).
+  size_t node_count() const { return nodes_.size(); }
+  int depth() const { return depth_; }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 => leaf
+    double threshold = 0;
+    int left = -1;           // child indices into nodes_
+    int right = -1;
+    std::vector<double> class_distribution;  // leaf posterior
+  };
+
+  int BuildNode(const Dataset& data, std::vector<size_t>& indices, int depth,
+                Rng& rng);
+  const Node& Descend(const FeatureVector& x) const;
+
+  Options options_;
+  std::vector<Node> nodes_;
+  int depth_ = 0;
+};
+
+}  // namespace tvdp::ml
+
+#endif  // TVDP_ML_DECISION_TREE_H_

@@ -1,0 +1,104 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tvdp::ml {
+
+Result<KMeans> KMeans::Fit(const std::vector<FeatureVector>& points,
+                           const Options& options, Rng& rng) {
+  if (options.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (points.size() < static_cast<size_t>(options.k)) {
+    return Status::InvalidArgument("need at least k points");
+  }
+  size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("inconsistent point dimensionality");
+    }
+  }
+
+  KMeans model;
+  // k-means++ seeding.
+  std::vector<double> min_dist2(points.size(),
+                                std::numeric_limits<double>::max());
+  size_t first =
+      static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(points.size()) - 1));
+  model.centroids_.push_back(points[first]);
+  while (model.centroids_.size() < static_cast<size_t>(options.k)) {
+    const FeatureVector& last = model.centroids_.back();
+    for (size_t i = 0; i < points.size(); ++i) {
+      min_dist2[i] = std::min(min_dist2[i], L2DistanceSquared(points[i], last));
+    }
+    size_t next = rng.WeightedIndex(min_dist2);
+    model.centroids_.push_back(points[next]);
+  }
+
+  // Lloyd iterations.
+  std::vector<size_t> assignment(points.size(), 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    model.iterations_run_ = iter + 1;
+    bool changed = false;
+    for (size_t i = 0; i < points.size(); ++i) {
+      size_t a = model.Assign(points[i]);
+      if (a != assignment[i]) {
+        assignment[i] = a;
+        changed = true;
+      }
+    }
+    if (!changed && options.early_stop && iter > 0) break;
+    // Recompute centroids.
+    std::vector<FeatureVector> sums(model.centroids_.size(),
+                                    FeatureVector(dim, 0.0));
+    std::vector<int64_t> counts(model.centroids_.size(), 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      ++counts[assignment[i]];
+      for (size_t d = 0; d < dim; ++d) sums[assignment[i]][d] += points[i][d];
+    }
+    for (size_t c = 0; c < sums.size(); ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: reseed at the point farthest from its centroid.
+        size_t worst = 0;
+        double worst_d = -1;
+        for (size_t i = 0; i < points.size(); ++i) {
+          double d = L2DistanceSquared(points[i],
+                                       model.centroids_[assignment[i]]);
+          if (d > worst_d) {
+            worst_d = d;
+            worst = i;
+          }
+        }
+        model.centroids_[c] = points[worst];
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) sums[c][d] /= counts[c];
+      model.centroids_[c] = std::move(sums[c]);
+    }
+    if (!changed && !options.early_stop) break;
+  }
+  return model;
+}
+
+size_t KMeans::Assign(const FeatureVector& x) const {
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    double d = L2DistanceSquared(x, centroids_[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double KMeans::Inertia(const std::vector<FeatureVector>& points) const {
+  if (points.empty()) return 0;
+  double sum = 0;
+  for (const auto& p : points) {
+    sum += L2DistanceSquared(p, centroids_[Assign(p)]);
+  }
+  return sum / points.size();
+}
+
+}  // namespace tvdp::ml

@@ -1,0 +1,47 @@
+#ifndef TVDP_ML_KMEANS_H_
+#define TVDP_ML_KMEANS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace tvdp::ml {
+
+/// Lloyd's k-means with k-means++ initialization. Used to build the
+/// SIFT-BoW visual-word dictionary (paper Sec. VII-A: SIFT key points
+/// "clustered into 1000 clusters (using kMeans)").
+class KMeans {
+ public:
+  struct Options {
+    int k = 8;
+    int max_iterations = 50;
+    /// Stop early when no assignment changes.
+    bool early_stop = true;
+  };
+
+  /// Fits `options.k` centroids to `points`. Requires points.size() >= k
+  /// and consistent dimensionality.
+  static Result<KMeans> Fit(const std::vector<FeatureVector>& points,
+                            const Options& options, Rng& rng);
+
+  /// Index of the nearest centroid to `x`.
+  size_t Assign(const FeatureVector& x) const;
+
+  /// Mean squared distance of points to their assigned centroid.
+  double Inertia(const std::vector<FeatureVector>& points) const;
+
+  const std::vector<FeatureVector>& centroids() const { return centroids_; }
+  int iterations_run() const { return iterations_run_; }
+
+ private:
+  KMeans() = default;
+
+  std::vector<FeatureVector> centroids_;
+  int iterations_run_ = 0;
+};
+
+}  // namespace tvdp::ml
+
+#endif  // TVDP_ML_KMEANS_H_

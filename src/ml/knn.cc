@@ -1,0 +1,51 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvdp::ml {
+
+Status KnnClassifier::Train(const Dataset& data) {
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+  if (k_ < 1) return Status::InvalidArgument("k must be >= 1");
+  train_ = data;
+  num_classes_ = data.NumClasses();
+  return Status::OK();
+}
+
+std::vector<double> KnnClassifier::Votes(const FeatureVector& x) const {
+  // Partial sort of (distance, label) pairs for the k nearest.
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(train_.size());
+  for (const auto& s : train_.samples()) {
+    dist.emplace_back(L2DistanceSquared(x, s.x), s.label);
+  }
+  size_t k = std::min<size_t>(static_cast<size_t>(k_), dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                    dist.end());
+  std::vector<double> votes(static_cast<size_t>(num_classes_), 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    // Inverse-distance weighting; epsilon guards exact matches.
+    double w = 1.0 / (std::sqrt(dist[i].first) + 1e-6);
+    votes[static_cast<size_t>(dist[i].second)] += w;
+  }
+  return votes;
+}
+
+int KnnClassifier::Predict(const FeatureVector& x) const {
+  std::vector<double> votes = Votes(x);
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+std::vector<double> KnnClassifier::PredictProba(const FeatureVector& x) const {
+  std::vector<double> votes = Votes(x);
+  double total = 0;
+  for (double v : votes) total += v;
+  if (total > 0) {
+    for (double& v : votes) v /= total;
+  }
+  return votes;
+}
+
+}  // namespace tvdp::ml

@@ -1,0 +1,36 @@
+#ifndef TVDP_ML_KNN_H_
+#define TVDP_ML_KNN_H_
+
+#include <memory>
+
+#include "ml/classifier.h"
+
+namespace tvdp::ml {
+
+/// k-nearest-neighbours classifier (brute force, Euclidean metric, ties
+/// broken toward the nearer neighbour's class).
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(int k = 5) : k_(k) {}
+
+  Status Train(const Dataset& data) override;
+  int Predict(const FeatureVector& x) const override;
+  std::vector<double> PredictProba(const FeatureVector& x) const override;
+  std::string name() const override { return "knn"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<KnnClassifier>(k_);
+  }
+
+  int k() const { return k_; }
+
+ private:
+  /// Returns per-class vote weights among the k nearest training samples.
+  std::vector<double> Votes(const FeatureVector& x) const;
+
+  int k_;
+  Dataset train_;
+};
+
+}  // namespace tvdp::ml
+
+#endif  // TVDP_ML_KNN_H_

@@ -1,0 +1,126 @@
+#include "ml/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/logistic_regression.h"
+
+namespace tvdp::ml {
+
+Status LinearSvmClassifier::Train(const Dataset& data) {
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+  num_classes_ = data.NumClasses();
+  dim_ = data.dim();
+  size_t k = static_cast<size_t>(num_classes_);
+  weights_.assign(k, std::vector<double>(dim_, 0.0));
+  bias_.assign(k, 0.0);
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  // Pegasos: eta_t = 1 / (lambda * t); one binary problem per class,
+  // trained jointly over the same sample stream.
+  int64_t t = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t idx : order) {
+      ++t;
+      const Sample& s = data[idx];
+      double eta = 1.0 / (options_.lambda * static_cast<double>(t));
+      for (size_t c = 0; c < k; ++c) {
+        double y = (static_cast<int>(c) == s.label) ? 1.0 : -1.0;
+        double margin = bias_[c];
+        for (size_t d = 0; d < dim_; ++d) margin += weights_[c][d] * s.x[d];
+        margin *= y;
+        // w := (1 - eta*lambda) w [+ eta y x when margin violated].
+        double shrink = 1.0 - eta * options_.lambda;
+        if (shrink < 0) shrink = 0;
+        for (size_t d = 0; d < dim_; ++d) weights_[c][d] *= shrink;
+        if (margin < 1.0) {
+          for (size_t d = 0; d < dim_; ++d) {
+            weights_[c][d] += eta * y * s.x[d];
+          }
+          bias_[c] += eta * y * 0.1;  // unregularized, damped bias update
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> LinearSvmClassifier::DecisionFunction(
+    const FeatureVector& x) const {
+  size_t k = static_cast<size_t>(num_classes_);
+  std::vector<double> out(k, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    double s = bias_[c];
+    size_t n = std::min(x.size(), dim_);
+    for (size_t d = 0; d < n; ++d) s += weights_[c][d] * x[d];
+    out[c] = s;
+  }
+  return out;
+}
+
+int LinearSvmClassifier::Predict(const FeatureVector& x) const {
+  std::vector<double> m = DecisionFunction(x);
+  return static_cast<int>(std::max_element(m.begin(), m.end()) - m.begin());
+}
+
+std::vector<double> LinearSvmClassifier::PredictProba(
+    const FeatureVector& x) const {
+  // Softmax over margins: not calibrated probabilities, but a usable
+  // confidence signal for the edge-learning selection policy.
+  std::vector<double> m = DecisionFunction(x);
+  SoftmaxInPlace(m);
+  return m;
+}
+
+Result<Json> LinearSvmClassifier::ToJson() const {
+  if (!trained()) return Status::FailedPrecondition("model not trained");
+  Json j = Json::MakeObject();
+  j["type"] = name();
+  j["num_classes"] = num_classes_;
+  j["dim"] = dim_;
+  Json w = Json::MakeArray();
+  for (const auto& row : weights_) {
+    Json r = Json::MakeArray();
+    for (double v : row) r.Append(v);
+    w.Append(std::move(r));
+  }
+  j["weights"] = std::move(w);
+  Json b = Json::MakeArray();
+  for (double v : bias_) b.Append(v);
+  j["bias"] = std::move(b);
+  return j;
+}
+
+Result<std::unique_ptr<LinearSvmClassifier>> LinearSvmClassifier::FromJson(
+    const Json& j) {
+  if (j["type"].AsString() != "svm") {
+    return Status::InvalidArgument("not an svm model");
+  }
+  auto model = std::make_unique<LinearSvmClassifier>();
+  model->num_classes_ = static_cast<int>(j["num_classes"].AsInt());
+  model->dim_ = static_cast<size_t>(j["dim"].AsInt());
+  if (model->num_classes_ < 1 ||
+      j["weights"].size() != static_cast<size_t>(model->num_classes_) ||
+      j["bias"].size() != static_cast<size_t>(model->num_classes_)) {
+    return Status::InvalidArgument("malformed svm payload");
+  }
+  for (const Json& row : j["weights"].AsArray()) {
+    std::vector<double> w;
+    for (const Json& v : row.AsArray()) w.push_back(v.AsDouble());
+    if (w.size() != model->dim_) {
+      return Status::InvalidArgument("weight row dimension mismatch");
+    }
+    model->weights_.push_back(std::move(w));
+  }
+  for (const Json& v : j["bias"].AsArray()) {
+    model->bias_.push_back(v.AsDouble());
+  }
+  return model;
+}
+
+}  // namespace tvdp::ml

@@ -1,0 +1,50 @@
+#ifndef TVDP_ML_LINEAR_SVM_H_
+#define TVDP_ML_LINEAR_SVM_H_
+
+#include <memory>
+
+#include "ml/classifier.h"
+
+namespace tvdp::ml {
+
+/// Linear support vector machine trained one-vs-rest with the Pegasos
+/// stochastic sub-gradient algorithm on the hinge loss. This is the "SVM"
+/// of the paper's Fig. 6 — the best-performing classifier with both
+/// SIFT-BoW and CNN features.
+class LinearSvmClassifier : public Classifier {
+ public:
+  struct Options {
+    int epochs = 80;
+    /// Pegasos regularization parameter (lambda).
+    double lambda = 1e-4;
+    uint64_t seed = 42;
+  };
+
+  LinearSvmClassifier() : LinearSvmClassifier(Options()) {}
+  explicit LinearSvmClassifier(Options options) : options_(options) {}
+
+  Status Train(const Dataset& data) override;
+  int Predict(const FeatureVector& x) const override;
+  std::vector<double> PredictProba(const FeatureVector& x) const override;
+  std::string name() const override { return "svm"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<LinearSvmClassifier>(options_);
+  }
+  Result<Json> ToJson() const override;
+
+  /// Restores a trained model from ToJson output.
+  static Result<std::unique_ptr<LinearSvmClassifier>> FromJson(const Json& j);
+
+  /// Raw per-class margins w_c . x + b_c.
+  std::vector<double> DecisionFunction(const FeatureVector& x) const;
+
+ private:
+  Options options_;
+  size_t dim_ = 0;
+  std::vector<std::vector<double>> weights_;  // [class][dim]
+  std::vector<double> bias_;                  // [class]
+};
+
+}  // namespace tvdp::ml
+
+#endif  // TVDP_ML_LINEAR_SVM_H_

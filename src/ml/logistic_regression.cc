@@ -1,0 +1,139 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tvdp::ml {
+
+void SoftmaxInPlace(std::vector<double>& logits) {
+  if (logits.empty()) return;
+  double mx = *std::max_element(logits.begin(), logits.end());
+  double total = 0;
+  for (double& v : logits) {
+    v = std::exp(v - mx);
+    total += v;
+  }
+  if (total > 0) {
+    for (double& v : logits) v /= total;
+  }
+}
+
+Status LogisticRegressionClassifier::Train(const Dataset& data) {
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+  num_classes_ = data.NumClasses();
+  dim_ = data.dim();
+  size_t k = static_cast<size_t>(num_classes_);
+  weights_.assign(k, std::vector<double>(dim_, 0.0));
+  bias_.assign(k, 0.0);
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  int batch = std::max(options_.batch_size, 1);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    // 1/sqrt decay keeps early progress fast and the tail stable.
+    double lr = options_.learning_rate / std::sqrt(1.0 + epoch);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(batch)) {
+      size_t end = std::min(order.size(), start + static_cast<size_t>(batch));
+      // Accumulate gradient over the mini-batch.
+      std::vector<std::vector<double>> gw(k, std::vector<double>(dim_, 0.0));
+      std::vector<double> gb(k, 0.0);
+      for (size_t i = start; i < end; ++i) {
+        const Sample& s = data[order[i]];
+        std::vector<double> p = Logits(s.x);
+        SoftmaxInPlace(p);
+        for (size_t c = 0; c < k; ++c) {
+          double err = p[c] - (static_cast<int>(c) == s.label ? 1.0 : 0.0);
+          gb[c] += err;
+          for (size_t d = 0; d < dim_; ++d) gw[c][d] += err * s.x[d];
+        }
+      }
+      double inv = 1.0 / static_cast<double>(end - start);
+      for (size_t c = 0; c < k; ++c) {
+        bias_[c] -= lr * gb[c] * inv;
+        for (size_t d = 0; d < dim_; ++d) {
+          weights_[c][d] -=
+              lr * (gw[c][d] * inv + options_.l2 * weights_[c][d]);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> LogisticRegressionClassifier::Logits(
+    const FeatureVector& x) const {
+  size_t k = static_cast<size_t>(num_classes_);
+  std::vector<double> out(k, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    double s = bias_[c];
+    size_t n = std::min(x.size(), dim_);
+    for (size_t d = 0; d < n; ++d) s += weights_[c][d] * x[d];
+    out[c] = s;
+  }
+  return out;
+}
+
+int LogisticRegressionClassifier::Predict(const FeatureVector& x) const {
+  std::vector<double> l = Logits(x);
+  return static_cast<int>(std::max_element(l.begin(), l.end()) - l.begin());
+}
+
+std::vector<double> LogisticRegressionClassifier::PredictProba(
+    const FeatureVector& x) const {
+  std::vector<double> l = Logits(x);
+  SoftmaxInPlace(l);
+  return l;
+}
+
+Result<Json> LogisticRegressionClassifier::ToJson() const {
+  if (!trained()) return Status::FailedPrecondition("model not trained");
+  Json j = Json::MakeObject();
+  j["type"] = name();
+  j["num_classes"] = num_classes_;
+  j["dim"] = dim_;
+  Json w = Json::MakeArray();
+  for (const auto& row : weights_) {
+    Json r = Json::MakeArray();
+    for (double v : row) r.Append(v);
+    w.Append(std::move(r));
+  }
+  j["weights"] = std::move(w);
+  Json b = Json::MakeArray();
+  for (double v : bias_) b.Append(v);
+  j["bias"] = std::move(b);
+  return j;
+}
+
+Result<std::unique_ptr<LogisticRegressionClassifier>>
+LogisticRegressionClassifier::FromJson(const Json& j) {
+  if (j["type"].AsString() != "logistic_regression") {
+    return Status::InvalidArgument("not a logistic_regression model");
+  }
+  auto model = std::make_unique<LogisticRegressionClassifier>();
+  model->num_classes_ = static_cast<int>(j["num_classes"].AsInt());
+  model->dim_ = static_cast<size_t>(j["dim"].AsInt());
+  if (model->num_classes_ < 1 ||
+      j["weights"].size() != static_cast<size_t>(model->num_classes_) ||
+      j["bias"].size() != static_cast<size_t>(model->num_classes_)) {
+    return Status::InvalidArgument("malformed logistic_regression payload");
+  }
+  for (const Json& row : j["weights"].AsArray()) {
+    std::vector<double> w;
+    for (const Json& v : row.AsArray()) w.push_back(v.AsDouble());
+    if (w.size() != model->dim_) {
+      return Status::InvalidArgument("weight row dimension mismatch");
+    }
+    model->weights_.push_back(std::move(w));
+  }
+  for (const Json& v : j["bias"].AsArray()) {
+    model->bias_.push_back(v.AsDouble());
+  }
+  return model;
+}
+
+}  // namespace tvdp::ml

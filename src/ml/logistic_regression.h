@@ -1,0 +1,53 @@
+#ifndef TVDP_ML_LOGISTIC_REGRESSION_H_
+#define TVDP_ML_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+
+#include "ml/classifier.h"
+
+namespace tvdp::ml {
+
+/// Multinomial (softmax) logistic regression trained with mini-batch SGD
+/// and L2 regularization.
+class LogisticRegressionClassifier : public Classifier {
+ public:
+  struct Options {
+    int epochs = 60;
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+    int batch_size = 32;
+    uint64_t seed = 42;
+  };
+
+  LogisticRegressionClassifier() : LogisticRegressionClassifier(Options()) {}
+  explicit LogisticRegressionClassifier(Options options)
+      : options_(options) {}
+
+  Status Train(const Dataset& data) override;
+  int Predict(const FeatureVector& x) const override;
+  std::vector<double> PredictProba(const FeatureVector& x) const override;
+  std::string name() const override { return "logistic_regression"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<LogisticRegressionClassifier>(options_);
+  }
+  Result<Json> ToJson() const override;
+
+  /// Restores a trained model from ToJson output.
+  static Result<std::unique_ptr<LogisticRegressionClassifier>> FromJson(
+      const Json& j);
+
+ private:
+  std::vector<double> Logits(const FeatureVector& x) const;
+
+  Options options_;
+  size_t dim_ = 0;
+  std::vector<std::vector<double>> weights_;  // [class][dim]
+  std::vector<double> bias_;                  // [class]
+};
+
+/// Numerically stable softmax of `logits` (in place).
+void SoftmaxInPlace(std::vector<double>& logits);
+
+}  // namespace tvdp::ml
+
+#endif  // TVDP_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,98 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace tvdp::ml {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(std::max(num_classes, 1)),
+      cells_(static_cast<size_t>(num_classes_) * num_classes_, 0) {}
+
+void ConfusionMatrix::Add(int truth, int predicted) {
+  ++total_;
+  if (truth < 0 || truth >= num_classes_ || predicted < 0 ||
+      predicted >= num_classes_) {
+    ++overflow_;
+    return;
+  }
+  ++cells_[static_cast<size_t>(truth) * num_classes_ + predicted];
+}
+
+int64_t ConfusionMatrix::At(int truth, int predicted) const {
+  if (truth < 0 || truth >= num_classes_ || predicted < 0 ||
+      predicted >= num_classes_) {
+    return 0;
+  }
+  return cells_[static_cast<size_t>(truth) * num_classes_ + predicted];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == overflow_) return 0.0;
+  int64_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += At(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_ - overflow_);
+}
+
+double ConfusionMatrix::Precision(int cls) const {
+  int64_t tp = At(cls, cls);
+  int64_t predicted = 0;
+  for (int t = 0; t < num_classes_; ++t) predicted += At(t, cls);
+  return predicted > 0 ? static_cast<double>(tp) / predicted : 0.0;
+}
+
+double ConfusionMatrix::Recall(int cls) const {
+  int64_t tp = At(cls, cls);
+  int64_t actual = 0;
+  for (int p = 0; p < num_classes_; ++p) actual += At(cls, p);
+  return actual > 0 ? static_cast<double>(tp) / actual : 0.0;
+}
+
+double ConfusionMatrix::F1(int cls) const {
+  double p = Precision(cls), r = Recall(cls);
+  return (p + r) > 1e-12 ? 2 * p * r / (p + r) : 0.0;
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double sum = 0;
+  for (int c = 0; c < num_classes_; ++c) sum += F1(c);
+  return sum / num_classes_;
+}
+
+std::string ConfusionMatrix::ToString(
+    const std::vector<std::string>& class_names) const {
+  std::string out = "truth\\pred";
+  auto name = [&](int c) {
+    return c < static_cast<int>(class_names.size())
+               ? class_names[static_cast<size_t>(c)]
+               : StrFormat("c%d", c);
+  };
+  for (int c = 0; c < num_classes_; ++c) out += StrFormat("\t%s", name(c).c_str());
+  out += "\n";
+  for (int t = 0; t < num_classes_; ++t) {
+    out += name(t);
+    for (int p = 0; p < num_classes_; ++p) {
+      out += StrFormat("\t%lld", static_cast<long long>(At(t, p)));
+    }
+    out += "\n";
+  }
+  out += StrFormat("accuracy=%.4f macroF1=%.4f\n", Accuracy(), MacroF1());
+  return out;
+}
+
+Result<ConfusionMatrix> BuildConfusion(const std::vector<int>& truth,
+                                       const std::vector<int>& predicted,
+                                       int num_classes) {
+  if (truth.size() != predicted.size()) {
+    return Status::InvalidArgument("truth/prediction size mismatch");
+  }
+  if (num_classes < 1) {
+    return Status::InvalidArgument("num_classes must be >= 1");
+  }
+  ConfusionMatrix cm(num_classes);
+  for (size_t i = 0; i < truth.size(); ++i) cm.Add(truth[i], predicted[i]);
+  return cm;
+}
+
+}  // namespace tvdp::ml

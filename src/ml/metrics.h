@@ -1,0 +1,65 @@
+#ifndef TVDP_ML_METRICS_H_
+#define TVDP_ML_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tvdp::ml {
+
+/// A k x k confusion matrix over integer class labels 0..k-1.
+/// Rows are true labels, columns are predicted labels.
+class ConfusionMatrix {
+ public:
+  /// Creates an empty matrix over `num_classes` classes (>= 1).
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Records one (truth, prediction) pair; out-of-range labels are counted
+  /// in the overflow bucket and ignored by metric computations.
+  void Add(int truth, int predicted);
+
+  int num_classes() const { return num_classes_; }
+  int64_t total() const { return total_; }
+
+  /// Count at (truth, predicted).
+  int64_t At(int truth, int predicted) const;
+
+  /// Overall accuracy in [0,1]; 0 when empty.
+  double Accuracy() const;
+
+  /// Per-class precision: tp / (tp + fp); 0 when the class was never
+  /// predicted.
+  double Precision(int cls) const;
+
+  /// Per-class recall: tp / (tp + fn); 0 when the class never occurs.
+  double Recall(int cls) const;
+
+  /// Per-class F1 (harmonic mean of precision and recall).
+  double F1(int cls) const;
+
+  /// Unweighted mean of per-class F1 ("macro F1" — the score reported in
+  /// the paper's Figs. 6 and 7).
+  double MacroF1() const;
+
+  /// Micro F1 == accuracy for single-label multi-class problems.
+  double MicroF1() const { return Accuracy(); }
+
+  /// Human-readable rendering with optional class names.
+  std::string ToString(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  int num_classes_;
+  int64_t total_ = 0;
+  int64_t overflow_ = 0;
+  std::vector<int64_t> cells_;  // row-major num_classes x num_classes
+};
+
+/// Builds a confusion matrix from parallel truth/prediction arrays.
+Result<ConfusionMatrix> BuildConfusion(const std::vector<int>& truth,
+                                       const std::vector<int>& predicted,
+                                       int num_classes);
+
+}  // namespace tvdp::ml
+
+#endif  // TVDP_ML_METRICS_H_

@@ -1,0 +1,156 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/logistic_regression.h"
+
+namespace tvdp::ml {
+
+Status MlpClassifier::Train(const Dataset& data) {
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+  if (options_.hidden_units < 1) {
+    return Status::InvalidArgument("hidden_units must be >= 1");
+  }
+  num_classes_ = data.NumClasses();
+  dim_ = data.dim();
+  size_t h = static_cast<size_t>(options_.hidden_units);
+  size_t k = static_cast<size_t>(num_classes_);
+
+  Rng rng(options_.seed);
+  // He initialization for the ReLU layer; Xavier-ish for the head.
+  double s1 = std::sqrt(2.0 / std::max<size_t>(dim_, 1));
+  double s2 = std::sqrt(1.0 / h);
+  w1_.assign(h * dim_, 0.0);
+  b1_.assign(h, 0.0);
+  w2_.assign(k * h, 0.0);
+  b2_.assign(k, 0.0);
+  for (double& w : w1_) w = rng.Normal(0, s1);
+  for (double& w : w2_) w = rng.Normal(0, s2);
+
+  std::vector<double> vw1(w1_.size(), 0.0), vb1(b1_.size(), 0.0);
+  std::vector<double> vw2(w2_.size(), 0.0), vb2(b2_.size(), 0.0);
+
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  size_t batch = static_cast<size_t>(std::max(options_.batch_size, 1));
+
+  std::vector<double> hidden(h), delta_h(h);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double lr = options_.learning_rate / std::sqrt(1.0 + 0.3 * epoch);
+    for (size_t start = 0; start < order.size(); start += batch) {
+      size_t end = std::min(order.size(), start + batch);
+      std::vector<double> gw1(w1_.size(), 0.0), gb1(b1_.size(), 0.0);
+      std::vector<double> gw2(w2_.size(), 0.0), gb2(b2_.size(), 0.0);
+      for (size_t i = start; i < end; ++i) {
+        const Sample& s = data[order[i]];
+        std::vector<double> probs = Forward(s.x, &hidden);
+        SoftmaxInPlace(probs);
+        // Output layer gradient.
+        for (size_t c = 0; c < k; ++c) {
+          double err = probs[c] - (static_cast<int>(c) == s.label ? 1.0 : 0.0);
+          gb2[c] += err;
+          for (size_t j = 0; j < h; ++j) gw2[c * h + j] += err * hidden[j];
+        }
+        // Backprop into hidden layer.
+        for (size_t j = 0; j < h; ++j) {
+          double grad = 0;
+          if (hidden[j] > 0) {
+            for (size_t c = 0; c < k; ++c) {
+              double err =
+                  probs[c] - (static_cast<int>(c) == s.label ? 1.0 : 0.0);
+              grad += err * w2_[c * h + j];
+            }
+          }
+          delta_h[j] = grad;
+        }
+        for (size_t j = 0; j < h; ++j) {
+          if (delta_h[j] == 0) continue;
+          gb1[j] += delta_h[j];
+          size_t n = std::min(s.x.size(), dim_);
+          for (size_t d = 0; d < n; ++d) {
+            gw1[j * dim_ + d] += delta_h[j] * s.x[d];
+          }
+        }
+      }
+      double inv = 1.0 / static_cast<double>(end - start);
+      auto apply = [&](std::vector<double>& w, std::vector<double>& v,
+                       const std::vector<double>& g) {
+        for (size_t i = 0; i < w.size(); ++i) {
+          v[i] = options_.momentum * v[i] -
+                 lr * (g[i] * inv + options_.l2 * w[i]);
+          w[i] += v[i];
+        }
+      };
+      apply(w1_, vw1, gw1);
+      apply(b1_, vb1, gb1);
+      apply(w2_, vw2, gw2);
+      apply(b2_, vb2, gb2);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> MlpClassifier::Forward(
+    const FeatureVector& x, std::vector<double>* hidden_out) const {
+  size_t h = b1_.size();
+  size_t k = b2_.size();
+  std::vector<double> hidden(h, 0.0);
+  size_t n = std::min(x.size(), dim_);
+  for (size_t j = 0; j < h; ++j) {
+    double a = b1_[j];
+    const double* row = &w1_[j * dim_];
+    for (size_t d = 0; d < n; ++d) a += row[d] * x[d];
+    hidden[j] = a > 0 ? a : 0;  // ReLU
+  }
+  std::vector<double> logits(k, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    double a = b2_[c];
+    const double* row = &w2_[c * h];
+    for (size_t j = 0; j < h; ++j) a += row[j] * hidden[j];
+    logits[c] = a;
+  }
+  if (hidden_out) *hidden_out = std::move(hidden);
+  return logits;
+}
+
+int MlpClassifier::Predict(const FeatureVector& x) const {
+  std::vector<double> logits = Forward(x, nullptr);
+  return static_cast<int>(std::max_element(logits.begin(), logits.end()) -
+                          logits.begin());
+}
+
+std::vector<double> MlpClassifier::PredictProba(const FeatureVector& x) const {
+  std::vector<double> logits = Forward(x, nullptr);
+  SoftmaxInPlace(logits);
+  return logits;
+}
+
+FeatureVector MlpClassifier::HiddenActivations(const FeatureVector& x) const {
+  std::vector<double> hidden;
+  Forward(x, &hidden);
+  return hidden;
+}
+
+Result<Json> MlpClassifier::ToJson() const {
+  if (!trained()) return Status::FailedPrecondition("model not trained");
+  Json j = Json::MakeObject();
+  j["type"] = name();
+  j["num_classes"] = num_classes_;
+  j["dim"] = dim_;
+  j["hidden_units"] = options_.hidden_units;
+  auto dump = [](const std::vector<double>& v) {
+    Json a = Json::MakeArray();
+    for (double x : v) a.Append(x);
+    return a;
+  };
+  j["w1"] = dump(w1_);
+  j["b1"] = dump(b1_);
+  j["w2"] = dump(w2_);
+  j["b2"] = dump(b2_);
+  return j;
+}
+
+}  // namespace tvdp::ml

@@ -1,0 +1,56 @@
+#ifndef TVDP_ML_MLP_H_
+#define TVDP_ML_MLP_H_
+
+#include <memory>
+
+#include "ml/classifier.h"
+
+namespace tvdp::ml {
+
+/// One-hidden-layer multilayer perceptron (ReLU hidden units, softmax
+/// output, mini-batch SGD with momentum). Doubles as the "fine-tuning"
+/// head of the CNN feature extractor: after training, HiddenActivations()
+/// exposes the learned representation.
+class MlpClassifier : public Classifier {
+ public:
+  struct Options {
+    int hidden_units = 64;
+    int epochs = 80;
+    double learning_rate = 0.05;
+    double momentum = 0.9;
+    double l2 = 1e-5;
+    int batch_size = 32;
+    uint64_t seed = 42;
+  };
+
+  MlpClassifier() : MlpClassifier(Options()) {}
+  explicit MlpClassifier(Options options) : options_(options) {}
+
+  Status Train(const Dataset& data) override;
+  int Predict(const FeatureVector& x) const override;
+  std::vector<double> PredictProba(const FeatureVector& x) const override;
+  std::string name() const override { return "mlp"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<MlpClassifier>(options_);
+  }
+  Result<Json> ToJson() const override;
+
+  /// The hidden-layer (post-ReLU) activations for `x` — the fine-tuned
+  /// feature embedding used by the CNN feature pipeline.
+  FeatureVector HiddenActivations(const FeatureVector& x) const;
+
+  int hidden_units() const { return options_.hidden_units; }
+
+ private:
+  std::vector<double> Forward(const FeatureVector& x,
+                              std::vector<double>* hidden_out) const;
+
+  Options options_;
+  size_t dim_ = 0;
+  // Layer 1: hidden x dim (+ hidden bias). Layer 2: classes x hidden.
+  std::vector<double> w1_, b1_, w2_, b2_;
+};
+
+}  // namespace tvdp::ml
+
+#endif  // TVDP_ML_MLP_H_

@@ -1,0 +1,96 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tvdp::ml {
+
+Status NaiveBayesClassifier::Train(const Dataset& data) {
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+  num_classes_ = data.NumClasses();
+  size_t dim = data.dim();
+  size_t k = static_cast<size_t>(num_classes_);
+
+  std::vector<int64_t> counts(k, 0);
+  mean_.assign(k, std::vector<double>(dim, 0.0));
+  variance_.assign(k, std::vector<double>(dim, 0.0));
+  for (const auto& s : data.samples()) {
+    size_t c = static_cast<size_t>(s.label);
+    ++counts[c];
+    for (size_t d = 0; d < dim; ++d) mean_[c][d] += s.x[d];
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) continue;
+    for (size_t d = 0; d < dim; ++d) mean_[c][d] /= counts[c];
+  }
+  // Global max variance scales the smoothing term (sklearn-style).
+  double max_var = 0.0;
+  for (const auto& s : data.samples()) {
+    size_t c = static_cast<size_t>(s.label);
+    for (size_t d = 0; d < dim; ++d) {
+      double diff = s.x[d] - mean_[c][d];
+      variance_[c][d] += diff * diff;
+    }
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) continue;
+    for (size_t d = 0; d < dim; ++d) {
+      variance_[c][d] /= counts[c];
+      max_var = std::max(max_var, variance_[c][d]);
+    }
+  }
+  double eps = var_smoothing_ * std::max(max_var, 1e-12);
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t d = 0; d < dim; ++d) variance_[c][d] += eps;
+  }
+  log_prior_.assign(k, -std::numeric_limits<double>::infinity());
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      log_prior_[c] = std::log(static_cast<double>(counts[c]) /
+                               static_cast<double>(data.size()));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> NaiveBayesClassifier::ClassLogScores(
+    const FeatureVector& x) const {
+  size_t k = static_cast<size_t>(num_classes_);
+  std::vector<double> scores(k, -std::numeric_limits<double>::infinity());
+  for (size_t c = 0; c < k; ++c) {
+    if (std::isinf(log_prior_[c])) continue;
+    double s = log_prior_[c];
+    size_t dim = std::min(x.size(), mean_[c].size());
+    for (size_t d = 0; d < dim; ++d) {
+      double var = variance_[c][d];
+      double diff = x[d] - mean_[c][d];
+      s += -0.5 * (std::log(2 * M_PI * var) + diff * diff / var);
+    }
+    scores[c] = s;
+  }
+  return scores;
+}
+
+int NaiveBayesClassifier::Predict(const FeatureVector& x) const {
+  std::vector<double> scores = ClassLogScores(x);
+  return static_cast<int>(std::max_element(scores.begin(), scores.end()) -
+                          scores.begin());
+}
+
+std::vector<double> NaiveBayesClassifier::PredictProba(
+    const FeatureVector& x) const {
+  std::vector<double> scores = ClassLogScores(x);
+  double mx = *std::max_element(scores.begin(), scores.end());
+  double total = 0;
+  for (double& s : scores) {
+    s = std::isinf(s) ? 0.0 : std::exp(s - mx);
+    total += s;
+  }
+  if (total > 0) {
+    for (double& s : scores) s /= total;
+  }
+  return scores;
+}
+
+}  // namespace tvdp::ml

@@ -1,0 +1,36 @@
+#ifndef TVDP_ML_NAIVE_BAYES_H_
+#define TVDP_ML_NAIVE_BAYES_H_
+
+#include <memory>
+
+#include "ml/classifier.h"
+
+namespace tvdp::ml {
+
+/// Gaussian naive Bayes: per-class, per-dimension normal likelihoods with
+/// variance smoothing, plus class log-priors.
+class NaiveBayesClassifier : public Classifier {
+ public:
+  explicit NaiveBayesClassifier(double var_smoothing = 1e-9)
+      : var_smoothing_(var_smoothing) {}
+
+  Status Train(const Dataset& data) override;
+  int Predict(const FeatureVector& x) const override;
+  std::vector<double> PredictProba(const FeatureVector& x) const override;
+  std::string name() const override { return "naive_bayes"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<NaiveBayesClassifier>(var_smoothing_);
+  }
+
+ private:
+  std::vector<double> ClassLogScores(const FeatureVector& x) const;
+
+  double var_smoothing_;
+  std::vector<double> log_prior_;                // [class]
+  std::vector<std::vector<double>> mean_;        // [class][dim]
+  std::vector<std::vector<double>> variance_;    // [class][dim]
+};
+
+}  // namespace tvdp::ml
+
+#endif  // TVDP_ML_NAIVE_BAYES_H_

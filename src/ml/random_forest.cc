@@ -1,0 +1,61 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvdp::ml {
+
+Status RandomForestClassifier::Train(const Dataset& data) {
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+  if (options_.num_trees < 1) {
+    return Status::InvalidArgument("need at least one tree");
+  }
+  num_classes_ = data.NumClasses();
+  trees_.clear();
+  Rng rng(options_.seed);
+
+  int max_features = options_.max_features;
+  if (max_features <= 0) {
+    max_features = std::max(
+        1, static_cast<int>(std::sqrt(static_cast<double>(data.dim()))));
+  }
+
+  for (int t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap sample (with replacement) of the full training set size.
+    std::vector<size_t> bootstrap(data.size());
+    for (auto& idx : bootstrap) {
+      idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(data.size()) - 1));
+    }
+    Dataset sample = data.Subset(bootstrap);
+    DecisionTreeClassifier::Options tree_opts;
+    tree_opts.max_depth = options_.max_depth;
+    tree_opts.min_samples_split = options_.min_samples_split;
+    tree_opts.max_features = max_features;
+    tree_opts.seed = rng.NextU64();
+    DecisionTreeClassifier tree(tree_opts);
+    TVDP_RETURN_IF_ERROR(tree.Train(sample));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+std::vector<double> RandomForestClassifier::PredictProba(
+    const FeatureVector& x) const {
+  std::vector<double> proba(static_cast<size_t>(num_classes_), 0.0);
+  if (trees_.empty()) return proba;
+  for (const auto& tree : trees_) {
+    std::vector<double> p = tree.PredictProba(x);
+    for (size_t c = 0; c < proba.size() && c < p.size(); ++c) proba[c] += p[c];
+  }
+  for (double& v : proba) v /= static_cast<double>(trees_.size());
+  return proba;
+}
+
+int RandomForestClassifier::Predict(const FeatureVector& x) const {
+  std::vector<double> proba = PredictProba(x);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) -
+                          proba.begin());
+}
+
+}  // namespace tvdp::ml

@@ -1,0 +1,45 @@
+#ifndef TVDP_ML_RANDOM_FOREST_H_
+#define TVDP_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace tvdp::ml {
+
+/// Random forest: bootstrap-aggregated CART trees with per-split feature
+/// subsampling (sqrt(dim) features per split by default).
+class RandomForestClassifier : public Classifier {
+ public:
+  struct Options {
+    int num_trees = 40;
+    int max_depth = 12;
+    int min_samples_split = 4;
+    /// 0 => sqrt(dim), chosen at train time.
+    int max_features = 0;
+    uint64_t seed = 42;
+  };
+
+  RandomForestClassifier() : RandomForestClassifier(Options()) {}
+  explicit RandomForestClassifier(Options options) : options_(options) {}
+
+  Status Train(const Dataset& data) override;
+  int Predict(const FeatureVector& x) const override;
+  std::vector<double> PredictProba(const FeatureVector& x) const override;
+  std::string name() const override { return "random_forest"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<RandomForestClassifier>(options_);
+  }
+
+  size_t tree_count() const { return trees_.size(); }
+
+ private:
+  Options options_;
+  std::vector<DecisionTreeClassifier> trees_;
+};
+
+}  // namespace tvdp::ml
+
+#endif  // TVDP_ML_RANDOM_FOREST_H_

@@ -1,0 +1,328 @@
+#include "platform/api.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+
+namespace tvdp::platform {
+namespace {
+
+/// Parses a JSON array of numbers into a feature vector.
+Result<ml::FeatureVector> ParseFeature(const Json& j) {
+  if (!j.is_array() || j.size() == 0) {
+    return Status::InvalidArgument("feature must be a non-empty array");
+  }
+  ml::FeatureVector out;
+  out.reserve(j.size());
+  for (const Json& v : j.AsArray()) {
+    if (!v.is_number()) {
+      return Status::InvalidArgument("feature entries must be numbers");
+    }
+    out.push_back(v.AsDouble());
+  }
+  return out;
+}
+
+Json FeatureToJson(const ml::FeatureVector& v) {
+  Json out = Json::MakeArray();
+  for (double x : v) out.Append(x);
+  return out;
+}
+
+}  // namespace
+
+ApiService::ApiService(Tvdp* platform, ModelRegistry* registry)
+    : platform_(platform), registry_(registry) {}
+
+std::string ApiService::CreateApiKey(const std::string& owner) {
+  // Deterministic but unguessable-looking keys: FNV over owner + counter.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (char c : owner) mix(static_cast<uint64_t>(c));
+  mix(++key_counter_);
+  std::string key = StrFormat("tvdp_%016llx", static_cast<unsigned long long>(h));
+  keys_[key] = owner;
+  return key;
+}
+
+Status ApiService::RevokeApiKey(const std::string& key) {
+  if (keys_.erase(key) == 0) return Status::NotFound("unknown API key");
+  return Status::OK();
+}
+
+Result<std::string> ApiService::KeyOwner(const std::string& key) const {
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return Status::NotFound("unknown API key");
+  return it->second;
+}
+
+std::vector<std::string> ApiService::Endpoints() const {
+  return {"add_data",        "search_datasets", "download_datasets",
+          "get_visual_features", "use_model",   "download_model",
+          "register_model"};
+}
+
+Result<Json> ApiService::HandleRequest(const std::string& api_key,
+                                       const std::string& endpoint,
+                                       const Json& request) {
+  auto key_it = keys_.find(api_key);
+  if (key_it == keys_.end()) {
+    return Status::PermissionDenied("invalid API key");
+  }
+  const std::string& owner = key_it->second;
+  if (endpoint == "add_data") return AddData(owner, request);
+  if (endpoint == "search_datasets") return SearchDatasets(request);
+  if (endpoint == "download_datasets") return DownloadDatasets(request);
+  if (endpoint == "get_visual_features") return GetVisualFeatures(request);
+  if (endpoint == "use_model") return UseModel(request);
+  if (endpoint == "download_model") return DownloadModel(request);
+  if (endpoint == "register_model") return RegisterModel(owner, request);
+  return Status::NotFound("unknown endpoint: " + endpoint);
+}
+
+Json ApiService::HandleEnvelope(const std::string& api_key,
+                                const std::string& endpoint,
+                                const Json& request) {
+  Result<Json> result = HandleRequest(api_key, endpoint, request);
+  Json out = Json::MakeObject();
+  if (result.ok()) {
+    out["status"] = "ok";
+    out["data"] = std::move(result).value();
+  } else {
+    out["status"] = "error";
+    out["code"] = std::string(StatusCodeName(result.status().code()));
+    out["message"] = result.status().message();
+  }
+  return out;
+}
+
+Result<Json> ApiService::AddData(const std::string& owner,
+                                 const Json& request) {
+  if (!request["lat"].is_number() || !request["lon"].is_number()) {
+    return Status::InvalidArgument("add_data requires numeric lat and lon");
+  }
+  if (request.Has("captured_at") && !request["captured_at"].is_number()) {
+    return Status::InvalidArgument("captured_at must be a number");
+  }
+  ImageRecord record;
+  record.location = geo::GeoPoint{request["lat"].AsDouble(),
+                                  request["lon"].AsDouble()};
+  record.uri = request.Has("uri") ? request["uri"].AsString()
+                                  : "tvdp://images/api/unnamed";
+  record.source = request.Has("source") ? request["source"].AsString() : owner;
+  if (request.Has("captured_at")) {
+    record.captured_at = request["captured_at"].AsInt();
+  }
+  if (request.Has("fov")) {
+    const Json& f = request["fov"];
+    TVDP_ASSIGN_OR_RETURN(
+        geo::FieldOfView fov,
+        geo::FieldOfView::Make(record.location, f["direction"].AsDouble(),
+                               f["angle"].AsDouble(), f["radius"].AsDouble()));
+    record.fov = fov;
+  }
+  if (request.Has("keywords")) {
+    for (const Json& kw : request["keywords"].AsArray()) {
+      record.keywords.push_back(kw.AsString());
+    }
+  }
+  TVDP_ASSIGN_OR_RETURN(int64_t id, platform_->IngestImage(record));
+  // Optional inline feature payloads: {"features": {"cnn": [...], ...}}.
+  if (request.Has("features")) {
+    for (const auto& [kind, vec] : request["features"].AsObject()) {
+      TVDP_ASSIGN_OR_RETURN(ml::FeatureVector feature, ParseFeature(vec));
+      TVDP_RETURN_IF_ERROR(platform_->StoreFeature(id, kind, feature));
+    }
+  }
+  Json out = Json::MakeObject();
+  out["image_id"] = id;
+  return out;
+}
+
+Result<Json> ApiService::SearchDatasets(const Json& request) {
+  query::HybridQuery q;
+  if (request.Has("bbox")) {
+    const Json& b = request["bbox"];
+    if (b.size() != 4) {
+      return Status::InvalidArgument(
+          "bbox must be [min_lat, min_lon, max_lat, max_lon]");
+    }
+    for (const Json& v : b.AsArray()) {
+      if (!v.is_number()) {
+        return Status::InvalidArgument("bbox entries must be numbers");
+      }
+    }
+    query::SpatialPredicate sp;
+    sp.kind = query::SpatialPredicate::Kind::kRange;
+    sp.range.min_lat = b.AsArray()[0].AsDouble();
+    sp.range.min_lon = b.AsArray()[1].AsDouble();
+    sp.range.max_lat = b.AsArray()[2].AsDouble();
+    sp.range.max_lon = b.AsArray()[3].AsDouble();
+    q.spatial = sp;
+  }
+  if (request.Has("keywords")) {
+    query::TextualPredicate tp;
+    tp.mode = request["keyword_mode"].AsString() == "or"
+                  ? query::TextualPredicate::Mode::kOr
+                  : query::TextualPredicate::Mode::kAnd;
+    for (const Json& kw : request["keywords"].AsArray()) {
+      tp.keywords.push_back(kw.AsString());
+    }
+    q.textual = tp;
+  }
+  if (request.Has("time_begin") && request.Has("time_end")) {
+    q.temporal = query::TemporalPredicate{request["time_begin"].AsInt(),
+                                          request["time_end"].AsInt()};
+  }
+  if (request.Has("classification") && request.Has("label")) {
+    query::CategoricalPredicate cp;
+    cp.classification = request["classification"].AsString();
+    cp.label = request["label"].AsString();
+    if (request.Has("min_confidence")) {
+      cp.min_confidence = request["min_confidence"].AsDouble();
+    }
+    q.categorical = cp;
+  }
+  if (request.Has("limit")) q.limit = static_cast<int>(request["limit"].AsInt());
+
+  TVDP_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
+                        platform_->query().Execute(q));
+  Json ids = Json::MakeArray();
+  for (const auto& h : hits) ids.Append(h.image_id);
+  Json out = Json::MakeObject();
+  out["image_ids"] = std::move(ids);
+  out["count"] = hits.size();
+  out["plan"] = platform_->query().last_plan();
+  return out;
+}
+
+Result<Json> ApiService::DownloadDatasets(const Json& request) {
+  if (!request.Has("image_ids")) {
+    return Status::InvalidArgument("download_datasets requires image_ids");
+  }
+  const storage::Table* images =
+      platform_->catalog().GetTable(storage::tables::kImages);
+  const storage::Schema& s = images->schema();
+  Json rows = Json::MakeArray();
+  for (const Json& idj : request["image_ids"].AsArray()) {
+    TVDP_ASSIGN_OR_RETURN(storage::Row row, images->Get(idj.AsInt()));
+    Json r = Json::MakeObject();
+    r["id"] = row[0].AsInt64();
+    r["uri"] = row[static_cast<size_t>(s.ColumnIndex("uri"))].AsString();
+    r["lat"] = row[static_cast<size_t>(s.ColumnIndex("lat"))].AsDouble();
+    r["lon"] = row[static_cast<size_t>(s.ColumnIndex("lon"))].AsDouble();
+    r["captured_at"] =
+        row[static_cast<size_t>(s.ColumnIndex("timestamp_capturing"))]
+            .AsInt64();
+    r["source"] =
+        row[static_cast<size_t>(s.ColumnIndex("source"))].AsString();
+    rows.Append(std::move(r));
+  }
+  Json out = Json::MakeObject();
+  out["rows"] = std::move(rows);
+  return out;
+}
+
+Result<Json> ApiService::GetVisualFeatures(const Json& request) {
+  if (!request.Has("image_id") || !request.Has("kind")) {
+    return Status::InvalidArgument(
+        "get_visual_features requires image_id and kind");
+  }
+  TVDP_ASSIGN_OR_RETURN(
+      ml::FeatureVector feature,
+      platform_->GetFeature(request["image_id"].AsInt(),
+                            request["kind"].AsString()));
+  Json out = Json::MakeObject();
+  out["feature"] = FeatureToJson(feature);
+  out["dim"] = feature.size();
+  return out;
+}
+
+Result<Json> ApiService::UseModel(const Json& request) {
+  if (!request.Has("model")) {
+    return Status::InvalidArgument("use_model requires model");
+  }
+  std::string model = request["model"].AsString();
+  ml::FeatureVector feature;
+  if (request.Has("feature")) {
+    TVDP_ASSIGN_OR_RETURN(feature, ParseFeature(request["feature"]));
+  } else if (request.Has("image_id")) {
+    TVDP_ASSIGN_OR_RETURN(ModelSpec spec, registry_->GetSpec(model));
+    TVDP_ASSIGN_OR_RETURN(
+        feature,
+        platform_->GetFeature(request["image_id"].AsInt(), spec.feature_kind));
+  } else {
+    return Status::InvalidArgument("use_model requires feature or image_id");
+  }
+  TVDP_ASSIGN_OR_RETURN(auto prediction,
+                        registry_->PredictWithConfidence(model, feature));
+  Json out = Json::MakeObject();
+  out["label"] = prediction.first;
+  out["confidence"] = prediction.second;
+  // Augmented-knowledge write-back (Sec. VII-B): annotate the image with
+  // the machine prediction so other analyses can reuse it.
+  if (request.Has("image_id") && request["annotate"].AsBool()) {
+    TVDP_ASSIGN_OR_RETURN(ModelSpec spec, registry_->GetSpec(model));
+    AnnotationRecord ann;
+    ann.classification = spec.classification;
+    ann.label = prediction.first;
+    ann.confidence = prediction.second;
+    ann.machine = true;
+    TVDP_ASSIGN_OR_RETURN(
+        int64_t ann_id,
+        platform_->AnnotateImage(request["image_id"].AsInt(), ann));
+    out["annotation_id"] = ann_id;
+  }
+  return out;
+}
+
+Result<Json> ApiService::DownloadModel(const Json& request) {
+  if (!request.Has("model")) {
+    return Status::InvalidArgument("download_model requires model");
+  }
+  return registry_->Download(request["model"].AsString());
+}
+
+Result<Json> ApiService::RegisterModel(const std::string& owner,
+                                       const Json& request) {
+  if (!request.Has("spec") || !request.Has("model")) {
+    return Status::InvalidArgument("register_model requires spec and model");
+  }
+  const Json& spec_json = request["spec"];
+  ModelSpec spec;
+  spec.name = spec_json["name"].AsString();
+  spec.feature_kind = spec_json["feature_kind"].AsString();
+  spec.classification = spec_json["classification"].AsString();
+  for (const Json& l : spec_json["labels"].AsArray()) {
+    spec.labels.push_back(l.AsString());
+  }
+  spec.owner = owner;
+
+  const Json& model_json = request["model"];
+  std::unique_ptr<ml::Classifier> model;
+  std::string type = model_json["type"].AsString();
+  if (type == "svm") {
+    TVDP_ASSIGN_OR_RETURN(auto svm,
+                          ml::LinearSvmClassifier::FromJson(model_json));
+    model = std::move(svm);
+  } else if (type == "logistic_regression") {
+    TVDP_ASSIGN_OR_RETURN(
+        auto lr, ml::LogisticRegressionClassifier::FromJson(model_json));
+    model = std::move(lr);
+  } else {
+    return Status::InvalidArgument(
+        "register_model supports serialized linear-family models (svm, "
+        "logistic_regression); got: " + type);
+  }
+  TVDP_RETURN_IF_ERROR(registry_->Register(std::move(spec), std::move(model)));
+  Json out = Json::MakeObject();
+  out["registered"] = true;
+  return out;
+}
+
+}  // namespace tvdp::platform

@@ -1,0 +1,77 @@
+#ifndef TVDP_PLATFORM_API_H_
+#define TVDP_PLATFORM_API_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "platform/model_registry.h"
+#include "platform/tvdp.h"
+
+namespace tvdp::platform {
+
+/// The Restful-style API surface of TVDP (paper Sec. V). Requests and
+/// responses are JSON envelopes; transport is in-process (an HTTP server
+/// would be a thin wrapper around HandleRequest). Every call carries an
+/// API key created via CreateApiKey — "users can create API keys to use
+/// TVDP features".
+///
+/// Endpoints (the seven API families of Sec. V):
+///   add_data         — ingest a new geo-tagged image (metadata).
+///   search_datasets  — hybrid metadata search (spatial/temporal/textual/
+///                      categorical filters).
+///   download_datasets— fetch metadata rows for a list of image ids.
+///   get_visual_features — fetch stored feature vectors of an image.
+///   use_model        — run a registered model on a feature or image id.
+///   download_model   — serialized model for edge deployment.
+///   register_model   — share a model (serialized linear-family payload).
+class ApiService {
+ public:
+  /// `platform` and `registry` must outlive the service.
+  ApiService(Tvdp* platform, ModelRegistry* registry);
+
+  /// Issues a new API key for `owner` (e.g. "lasan", "usc_research").
+  std::string CreateApiKey(const std::string& owner);
+
+  /// Revokes a key; NotFound if unknown.
+  Status RevokeApiKey(const std::string& key);
+
+  /// Dispatches one API call. PermissionDenied for bad keys, NotFound for
+  /// unknown endpoints, InvalidArgument for malformed requests.
+  Result<Json> HandleRequest(const std::string& api_key,
+                             const std::string& endpoint,
+                             const Json& request);
+
+  /// Like HandleRequest but never fails: errors become
+  /// {"status":"error","code":...,"message":...} envelopes, successes are
+  /// wrapped as {"status":"ok","data":...}.
+  Json HandleEnvelope(const std::string& api_key, const std::string& endpoint,
+                      const Json& request);
+
+  /// Owner of a key, or NotFound.
+  Result<std::string> KeyOwner(const std::string& key) const;
+
+  /// Endpoint names, sorted (for discovery / documentation endpoints).
+  std::vector<std::string> Endpoints() const;
+
+ private:
+  Result<Json> AddData(const std::string& owner, const Json& request);
+  Result<Json> SearchDatasets(const Json& request);
+  Result<Json> DownloadDatasets(const Json& request);
+  Result<Json> GetVisualFeatures(const Json& request);
+  Result<Json> UseModel(const Json& request);
+  Result<Json> DownloadModel(const Json& request);
+  Result<Json> RegisterModel(const std::string& owner, const Json& request);
+
+  Tvdp* platform_;
+  ModelRegistry* registry_;
+  std::map<std::string, std::string> keys_;  // key -> owner
+  uint64_t key_counter_ = 0;
+};
+
+}  // namespace tvdp::platform
+
+#endif  // TVDP_PLATFORM_API_H_

@@ -1,0 +1,144 @@
+#include "platform/dataset_gen.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace tvdp::platform {
+namespace {
+
+/// Per-class spatial hotspot model: each problem class draws its capture
+/// locations near a few class-specific centers with Gaussian spread, which
+/// is what makes the clustering study of Sec. VII-B meaningful.
+struct Hotspots {
+  std::vector<geo::GeoPoint> centers;
+  double sigma_m = 400;
+};
+
+Hotspots MakeHotspots(const geo::BoundingBox& region, int count, Rng& rng) {
+  Hotspots h;
+  for (int i = 0; i < count; ++i) {
+    h.centers.push_back(geo::GeoPoint{
+        rng.Uniform(region.min_lat, region.max_lat),
+        rng.Uniform(region.min_lon, region.max_lon)});
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::string> KeywordsForClass(image::SceneClass label, Rng& rng) {
+  static const char* kCommon[] = {"street", "sidewalk", "losangeles", "city"};
+  std::vector<std::string> out;
+  out.push_back(kCommon[rng.UniformInt(0, 3)]);
+  switch (label) {
+    case image::SceneClass::kClean:
+      out.push_back("clean");
+      break;
+    case image::SceneClass::kBulkyItem:
+      out.push_back("furniture");
+      out.push_back(rng.Bernoulli(0.5) ? "couch" : "mattress");
+      break;
+    case image::SceneClass::kIllegalDumping:
+      out.push_back("trash");
+      out.push_back("dumping");
+      break;
+    case image::SceneClass::kEncampment:
+      out.push_back("tent");
+      out.push_back("homeless");
+      break;
+    case image::SceneClass::kOvergrownVegetation:
+      out.push_back("vegetation");
+      out.push_back("weeds");
+      break;
+    case image::SceneClass::kGraffiti:
+      out.push_back("graffiti");
+      out.push_back("wall");
+      break;
+  }
+  return out;
+}
+
+std::vector<GeoImage> GenerateStreetDataset(const DatasetConfig& config) {
+  std::vector<GeoImage> out;
+  if (config.count <= 0 || config.region.IsEmpty()) return out;
+
+  Rng rng(config.seed);
+  geo::StreetNetwork streets = geo::StreetNetwork::MakeGrid(
+      config.region, config.streets_rows, config.streets_cols, rng);
+  image::StreetSceneGenerator generator(config.scene);
+
+  int num_classes = config.include_graffiti ? image::kNumSceneClasses
+                                            : image::kNumCleanlinessClasses;
+  std::vector<double> weights = config.class_weights;
+  if (weights.empty()) {
+    weights.assign(static_cast<size_t>(num_classes), 1.0);
+  }
+  weights.resize(static_cast<size_t>(num_classes), 0.0);
+
+  // Hotspots for the non-clean classes.
+  std::vector<Hotspots> hotspots(static_cast<size_t>(num_classes));
+  if (config.hotspots_per_class > 0) {
+    for (int c = 1; c < num_classes; ++c) {
+      hotspots[static_cast<size_t>(c)] =
+          MakeHotspots(config.region, config.hotspots_per_class, rng);
+    }
+  }
+
+  out.reserve(static_cast<size_t>(config.count));
+  for (int i = 0; i < config.count; ++i) {
+    int cls = static_cast<int>(rng.WeightedIndex(weights));
+    image::SceneClass label = static_cast<image::SceneClass>(cls);
+
+    // Capture point: along a street; problem classes snap toward one of
+    // their hotspots by resampling a few street points and keeping the
+    // one nearest a hotspot center.
+    geo::StreetNetwork::SamplePoint sample = streets.Sample(rng);
+    if (cls > 0 && !hotspots[static_cast<size_t>(cls)].centers.empty()) {
+      const Hotspots& h = hotspots[static_cast<size_t>(cls)];
+      double best_d = 1e18;
+      geo::StreetNetwork::SamplePoint best = sample;
+      for (int attempt = 0; attempt < 6; ++attempt) {
+        geo::StreetNetwork::SamplePoint cand =
+            attempt == 0 ? sample : streets.Sample(rng);
+        for (const auto& center : h.centers) {
+          double d = geo::HaversineMeters(cand.location, center);
+          if (d < best_d) {
+            best_d = d;
+            best = cand;
+          }
+        }
+      }
+      sample = best;
+    }
+
+    image::Scene scene = generator.Generate(label, rng);
+
+    GeoImage gi;
+    gi.pixels = std::move(scene.image);
+    gi.label = label;
+    gi.objects = std::move(scene.objects);
+
+    // Camera faces the sidewalk: street bearing +- 90 degrees.
+    double facing = sample.street_bearing_deg +
+                    (rng.Bernoulli(0.5) ? 90.0 : -90.0) +
+                    rng.Normal(0, 8.0);
+    auto fov = geo::FieldOfView::Make(sample.location, facing,
+                                      rng.Uniform(50, 70),
+                                      rng.Uniform(60, 140));
+    gi.record.location = sample.location;
+    if (fov.ok()) gi.record.fov = *fov;
+    gi.record.captured_at =
+        config.start_time +
+        rng.UniformInt(0, std::max<int64_t>(config.time_span_seconds - 1, 0));
+    gi.record.uploaded_at =
+        gi.record.captured_at + rng.UniformInt(60, 7200);
+    gi.record.source = "lasan_truck";
+    gi.record.uri = StrFormat("tvdp://images/synth/%06d.ppm", i);
+    gi.record.keywords = KeywordsForClass(label, rng);
+    out.push_back(std::move(gi));
+  }
+  return out;
+}
+
+}  // namespace tvdp::platform

@@ -1,0 +1,59 @@
+#ifndef TVDP_PLATFORM_DATASET_GEN_H_
+#define TVDP_PLATFORM_DATASET_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timeutil.h"
+#include "geo/bbox.h"
+#include "geo/polyline.h"
+#include "image/scene_gen.h"
+#include "platform/tvdp.h"
+
+namespace tvdp::platform {
+
+/// One synthetic geo-tagged labelled street image, as a LASAN collection
+/// truck would have produced it: pixels, cleanliness ground truth, FOV
+/// metadata along a street, capture time, and a few free-text keywords.
+struct GeoImage {
+  image::Image pixels;
+  image::SceneClass label = image::SceneClass::kClean;
+  ImageRecord record;  ///< everything IngestImage needs (uri, FOV, time...)
+  std::vector<image::SceneObject> objects;  ///< ground-truth regions
+};
+
+/// Configuration of the synthetic LASAN-style corpus.
+struct DatasetConfig {
+  /// Total images (the paper's real corpus is 22K; benches scale down).
+  int count = 1000;
+  /// Region of interest (defaults to a downtown-LA-sized box).
+  geo::BoundingBox region = geo::BoundingBox{33.99, -118.28, 34.07, -118.20};
+  int streets_rows = 6;
+  int streets_cols = 6;
+  image::SceneGenConfig scene;
+  /// Include graffiti as a 6th class (for the translational second task).
+  bool include_graffiti = false;
+  /// Class mixture: uniform over classes when empty.
+  std::vector<double> class_weights;
+  /// Problem classes cluster at hotspots (encampments and dumping are not
+  /// uniform in a real city); 0 disables clustering.
+  int hotspots_per_class = 3;
+  Timestamp start_time = 1546300800;  // 2019-01-01
+  Timestamp time_span_seconds = 90 * 86400;
+  uint64_t seed = 2019;
+};
+
+/// Generates a deterministic labelled geo-tagged corpus: a street grid is
+/// synthesized over the region, capture points are sampled along streets,
+/// per-class spatial hotspots skew where problem classes appear, and each
+/// image is rendered by StreetSceneGenerator. This is the reproduction's
+/// stand-in for the LASAN 22K-image dataset (see DESIGN.md).
+std::vector<GeoImage> GenerateStreetDataset(const DatasetConfig& config);
+
+/// Keyword pool per class (used for the textual descriptors).
+std::vector<std::string> KeywordsForClass(image::SceneClass label, Rng& rng);
+
+}  // namespace tvdp::platform
+
+#endif  // TVDP_PLATFORM_DATASET_GEN_H_

@@ -1,0 +1,97 @@
+#include "platform/export.h"
+
+#include "common/strings.h"
+
+namespace tvdp::platform {
+namespace {
+
+struct ImageMeta {
+  int64_t id;
+  std::string uri;
+  double lat;
+  double lon;
+  Timestamp captured_at;
+  Timestamp uploaded_at;
+  std::string source;
+};
+
+Result<ImageMeta> FetchMeta(const Tvdp& tvdp, int64_t image_id) {
+  const storage::Table* images =
+      tvdp.catalog().GetTable(storage::tables::kImages);
+  if (!images) return Status::FailedPrecondition("images table missing");
+  TVDP_ASSIGN_OR_RETURN(storage::Row row, images->Get(image_id));
+  const storage::Schema& s = images->schema();
+  auto col = [&](const char* name) {
+    return static_cast<size_t>(s.ColumnIndex(name));
+  };
+  ImageMeta meta;
+  meta.id = image_id;
+  meta.uri = row[col("uri")].AsString();
+  meta.lat = row[col("lat")].AsDouble();
+  meta.lon = row[col("lon")].AsDouble();
+  meta.captured_at = row[col("timestamp_capturing")].AsInt64();
+  meta.uploaded_at = row[col("timestamp_uploading")].AsInt64();
+  meta.source = row[col("source")].AsString();
+  return meta;
+}
+
+}  // namespace
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quoting = field.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+Result<std::string> ExportMetadataCsv(const Tvdp& tvdp,
+                                      const std::vector<int64_t>& image_ids) {
+  std::string out = "id,uri,lat,lon,captured_at,uploaded_at,source\n";
+  for (int64_t id : image_ids) {
+    TVDP_ASSIGN_OR_RETURN(ImageMeta meta, FetchMeta(tvdp, id));
+    out += StrFormat("%lld,%s,%.6f,%.6f,%s,%s,%s\n",
+                     static_cast<long long>(meta.id),
+                     CsvEscape(meta.uri).c_str(), meta.lat, meta.lon,
+                     CsvEscape(FormatTimestamp(meta.captured_at)).c_str(),
+                     CsvEscape(FormatTimestamp(meta.uploaded_at)).c_str(),
+                     CsvEscape(meta.source).c_str());
+  }
+  return out;
+}
+
+Result<Json> ExportGeoJson(const Tvdp& tvdp,
+                           const std::vector<int64_t>& image_ids) {
+  Json features = Json::MakeArray();
+  for (int64_t id : image_ids) {
+    TVDP_ASSIGN_OR_RETURN(ImageMeta meta, FetchMeta(tvdp, id));
+    Json geometry = Json::MakeObject();
+    geometry["type"] = "Point";
+    Json coords = Json::MakeArray();
+    coords.Append(meta.lon);  // GeoJSON is [lon, lat]
+    coords.Append(meta.lat);
+    geometry["coordinates"] = std::move(coords);
+
+    Json properties = Json::MakeObject();
+    properties["id"] = meta.id;
+    properties["uri"] = meta.uri;
+    properties["captured_at"] = FormatTimestamp(meta.captured_at);
+    properties["source"] = meta.source;
+
+    Json feature = Json::MakeObject();
+    feature["type"] = "Feature";
+    feature["geometry"] = std::move(geometry);
+    feature["properties"] = std::move(properties);
+    features.Append(std::move(feature));
+  }
+  Json collection = Json::MakeObject();
+  collection["type"] = "FeatureCollection";
+  collection["features"] = std::move(features);
+  return collection;
+}
+
+}  // namespace tvdp::platform

@@ -1,0 +1,75 @@
+#include "platform/model_registry.h"
+
+#include <algorithm>
+
+namespace tvdp::platform {
+
+Status ModelRegistry::Register(ModelSpec spec,
+                               std::unique_ptr<ml::Classifier> model) {
+  if (spec.name.empty()) return Status::InvalidArgument("empty model name");
+  if (!model) return Status::InvalidArgument("null model");
+  if (!model->trained()) {
+    return Status::FailedPrecondition("model must be trained before sharing");
+  }
+  if (spec.labels.size() != static_cast<size_t>(model->num_classes())) {
+    return Status::InvalidArgument(
+        "label list must match the model's class count");
+  }
+  if (entries_.count(spec.name)) {
+    return Status::AlreadyExists("model already registered: " + spec.name);
+  }
+  std::string name = spec.name;
+  entries_.emplace(name, Entry{std::move(spec), std::move(model)});
+  return Status::OK();
+}
+
+Result<ModelSpec> ModelRegistry::GetSpec(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return Status::NotFound("no model: " + name);
+  return it->second.spec;
+}
+
+Result<std::string> ModelRegistry::Predict(
+    const std::string& name, const ml::FeatureVector& feature) const {
+  TVDP_ASSIGN_OR_RETURN(auto result, PredictWithConfidence(name, feature));
+  return result.first;
+}
+
+Result<std::pair<std::string, double>> ModelRegistry::PredictWithConfidence(
+    const std::string& name, const ml::FeatureVector& feature) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return Status::NotFound("no model: " + name);
+  std::vector<double> proba = it->second.model->PredictProba(feature);
+  size_t best = 0;
+  for (size_t c = 1; c < proba.size(); ++c) {
+    if (proba[c] > proba[best]) best = c;
+  }
+  if (best >= it->second.spec.labels.size()) {
+    return Status::Internal("prediction outside label range");
+  }
+  return std::make_pair(it->second.spec.labels[best], proba[best]);
+}
+
+Result<Json> ModelRegistry::Download(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return Status::NotFound("no model: " + name);
+  TVDP_ASSIGN_OR_RETURN(Json payload, it->second.model->ToJson());
+  Json out = Json::MakeObject();
+  out["name"] = it->second.spec.name;
+  out["feature_kind"] = it->second.spec.feature_kind;
+  out["classification"] = it->second.spec.classification;
+  Json labels = Json::MakeArray();
+  for (const auto& l : it->second.spec.labels) labels.Append(l);
+  out["labels"] = std::move(labels);
+  out["model"] = std::move(payload);
+  return out;
+}
+
+std::vector<std::string> ModelRegistry::List() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) names.push_back(name);
+  return names;
+}
+
+}  // namespace tvdp::platform

@@ -1,0 +1,68 @@
+#ifndef TVDP_PLATFORM_MODEL_REGISTRY_H_
+#define TVDP_PLATFORM_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "ml/classifier.h"
+
+namespace tvdp::platform {
+
+/// Metadata describing a shared analysis model (paper Sec. V, API #7:
+/// "Devise new ML models ... by defining its input and output
+/// specifications").
+struct ModelSpec {
+  std::string name;                  ///< registry key
+  std::string feature_kind;          ///< expected input descriptor, e.g. "cnn"
+  std::string classification;        ///< the task whose labels it emits
+  std::vector<std::string> labels;   ///< output label per class index
+  std::string owner;                 ///< registering collaborator
+};
+
+/// The shared model registry of the Analysis service: collaborators
+/// register trained models; other participants run them ("use machine
+/// learning models") or download them for edge deployment ("download
+/// machine learning models").
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  /// Registers a trained model under spec.name; AlreadyExists on clash.
+  Status Register(ModelSpec spec, std::unique_ptr<ml::Classifier> model);
+
+  /// True iff a model with that name exists.
+  bool Has(const std::string& name) const { return entries_.count(name) > 0; }
+
+  /// The spec of a registered model.
+  Result<ModelSpec> GetSpec(const std::string& name) const;
+
+  /// Runs the named model on a feature vector; returns the label string.
+  Result<std::string> Predict(const std::string& name,
+                              const ml::FeatureVector& feature) const;
+
+  /// Runs the named model and returns (label, confidence).
+  Result<std::pair<std::string, double>> PredictWithConfidence(
+      const std::string& name, const ml::FeatureVector& feature) const;
+
+  /// Serializes the model for edge download (Unimplemented for model
+  /// families without a portable representation).
+  Result<Json> Download(const std::string& name) const;
+
+  /// Names of all registered models, sorted.
+  std::vector<std::string> List() const;
+
+ private:
+  struct Entry {
+    ModelSpec spec;
+    std::unique_ptr<ml::Classifier> model;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace tvdp::platform
+
+#endif  // TVDP_PLATFORM_MODEL_REGISTRY_H_

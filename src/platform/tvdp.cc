@@ -1,0 +1,234 @@
+#include "platform/tvdp.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace tvdp::platform {
+
+using storage::Row;
+using storage::Value;
+namespace tables = storage::tables;
+
+Result<Tvdp> Tvdp::Create() {
+  Tvdp t;
+  TVDP_ASSIGN_OR_RETURN(storage::Catalog catalog, storage::MakeTvdpCatalog());
+  t.catalog_ = std::make_unique<storage::Catalog>(std::move(catalog));
+  t.engine_ = std::make_unique<query::QueryEngine>(t.catalog_.get());
+  return t;
+}
+
+Result<int64_t> Tvdp::IngestImage(const ImageRecord& record) {
+  if (!geo::IsValid(record.location)) {
+    return Status::InvalidArgument("invalid image location");
+  }
+  Row image_row{
+      Value(record.uri),
+      Value(record.location.lat),
+      Value(record.location.lon),
+      Value(record.captured_at),
+      Value(record.uploaded_at != 0 ? record.uploaded_at
+                                    : record.captured_at),
+      Value(record.source),
+      Value(record.is_augmented),
+      record.original_image_id ? Value(*record.original_image_id) : Value(),
+  };
+  TVDP_ASSIGN_OR_RETURN(int64_t image_id,
+                        catalog_->Insert(tables::kImages,
+                                         std::move(image_row)));
+
+  if (record.fov) {
+    TVDP_RETURN_IF_ERROR(
+        catalog_
+            ->Insert(tables::kImageFov,
+                     Row{Value(image_id), Value(record.fov->direction_deg),
+                         Value(record.fov->angle_deg),
+                         Value(record.fov->radius_m)})
+            .status());
+    geo::BoundingBox scene = record.fov->SceneLocation();
+    TVDP_RETURN_IF_ERROR(
+        catalog_
+            ->Insert(tables::kImageSceneLocation,
+                     Row{Value(image_id), Value(scene.min_lat),
+                         Value(scene.min_lon), Value(scene.max_lat),
+                         Value(scene.max_lon)})
+            .status());
+  }
+  for (const std::string& kw : record.keywords) {
+    TVDP_RETURN_IF_ERROR(
+        catalog_
+            ->Insert(tables::kImageManualKeywords,
+                     Row{Value(image_id), Value(kw)})
+            .status());
+  }
+  TVDP_RETURN_IF_ERROR(engine_->IndexImage(image_id));
+  return image_id;
+}
+
+Result<std::vector<int64_t>> Tvdp::IngestImages(
+    const std::vector<ImageRecord>& records) {
+  std::vector<int64_t> ids;
+  ids.reserve(records.size());
+  for (const auto& r : records) {
+    TVDP_ASSIGN_OR_RETURN(int64_t id, IngestImage(r));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Result<int64_t> Tvdp::RegisterClassification(
+    const std::string& name, const std::vector<std::string>& labels,
+    const std::string& description) {
+  if (name.empty()) return Status::InvalidArgument("empty task name");
+  if (labels.empty()) return Status::InvalidArgument("no labels given");
+
+  auto it = classifications_.find(name);
+  if (it == classifications_.end()) {
+    TVDP_ASSIGN_OR_RETURN(
+        int64_t cls_id,
+        catalog_->Insert(tables::kImageContentClassification,
+                         Row{Value(name), description.empty()
+                                              ? Value()
+                                              : Value(description)}));
+    it = classifications_
+             .emplace(name, std::make_pair(cls_id,
+                                           std::map<std::string, int64_t>()))
+             .first;
+  }
+  for (const std::string& label : labels) {
+    if (it->second.second.count(label)) continue;
+    TVDP_ASSIGN_OR_RETURN(
+        int64_t type_id,
+        catalog_->Insert(tables::kImageContentClassificationTypes,
+                         Row{Value(it->second.first), Value(label)}));
+    it->second.second[label] = type_id;
+  }
+  return it->second.first;
+}
+
+Result<int64_t> Tvdp::AnnotateImage(int64_t image_id,
+                                    const AnnotationRecord& annotation) {
+  auto cls_it = classifications_.find(annotation.classification);
+  if (cls_it == classifications_.end()) {
+    return Status::NotFound("unregistered classification: " +
+                            annotation.classification);
+  }
+  auto label_it = cls_it->second.second.find(annotation.label);
+  if (label_it == cls_it->second.second.end()) {
+    return Status::NotFound(StrFormat("label %s not in classification %s",
+                                      annotation.label.c_str(),
+                                      annotation.classification.c_str()));
+  }
+  if (annotation.confidence < 0 || annotation.confidence > 1) {
+    return Status::InvalidArgument("confidence must be in [0, 1]");
+  }
+  Row row{Value(image_id),
+          Value(label_it->second),
+          Value(annotation.confidence),
+          Value(annotation.machine ? "machine" : "manual"),
+          annotation.region ? Value(int64_t{(*annotation.region)[0]}) : Value(),
+          annotation.region ? Value(int64_t{(*annotation.region)[1]}) : Value(),
+          annotation.region ? Value(int64_t{(*annotation.region)[2]}) : Value(),
+          annotation.region ? Value(int64_t{(*annotation.region)[3]}) : Value()};
+  return catalog_->Insert(tables::kImageContentAnnotation, std::move(row));
+}
+
+Status Tvdp::StoreFeature(int64_t image_id, const std::string& kind,
+                          const ml::FeatureVector& feature) {
+  if (feature.empty()) return Status::InvalidArgument("empty feature");
+  TVDP_RETURN_IF_ERROR(
+      catalog_
+          ->Insert(tables::kImageVisualFeatures,
+                   Row{Value(image_id), Value(kind),
+                       Value(std::vector<double>(feature))})
+          .status());
+  return engine_->IndexFeature(image_id, kind, feature);
+}
+
+size_t Tvdp::image_count() const {
+  const storage::Table* t = catalog_->GetTable(tables::kImages);
+  return t ? t->size() : 0;
+}
+
+Result<std::string> Tvdp::GetLabel(int64_t image_id,
+                                   const std::string& classification) const {
+  auto cls_it = classifications_.find(classification);
+  if (cls_it == classifications_.end()) {
+    return Status::NotFound("unregistered classification: " + classification);
+  }
+  const storage::Table* ann =
+      catalog_->GetTable(tables::kImageContentAnnotation);
+  TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                        ann->FindBy("image_id", Value(image_id)));
+  const storage::Schema& s = ann->schema();
+  size_t type_idx = static_cast<size_t>(s.ColumnIndex("type_id"));
+  size_t conf_idx = static_cast<size_t>(s.ColumnIndex("confidence"));
+
+  // type id -> label for this classification.
+  std::map<int64_t, std::string> label_of;
+  for (const auto& [label, type_id] : cls_it->second.second) {
+    label_of[type_id] = label;
+  }
+  std::string best;
+  double best_conf = -1;
+  for (const Row& r : rows) {
+    auto it = label_of.find(r[type_idx].AsInt64());
+    if (it == label_of.end()) continue;
+    if (r[conf_idx].AsDouble() > best_conf) {
+      best_conf = r[conf_idx].AsDouble();
+      best = it->second;
+    }
+  }
+  if (best_conf < 0) {
+    return Status::NotFound(StrFormat("image %lld has no %s annotation",
+                                      static_cast<long long>(image_id),
+                                      classification.c_str()));
+  }
+  return best;
+}
+
+Result<ml::FeatureVector> Tvdp::GetFeature(int64_t image_id,
+                                           const std::string& kind) const {
+  const storage::Table* feats =
+      catalog_->GetTable(tables::kImageVisualFeatures);
+  TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                        feats->FindBy("image_id", Value(image_id)));
+  const storage::Schema& s = feats->schema();
+  size_t kind_idx = static_cast<size_t>(s.ColumnIndex("feature_kind"));
+  size_t feat_idx = static_cast<size_t>(s.ColumnIndex("feature"));
+  for (const Row& r : rows) {
+    if (r[kind_idx].AsString() == kind) return r[feat_idx].AsFloatVector();
+  }
+  return Status::NotFound(StrFormat("image %lld has no %s feature",
+                                    static_cast<long long>(image_id),
+                                    kind.c_str()));
+}
+
+Result<std::vector<geo::GeoPoint>> Tvdp::LocationsWithLabel(
+    const std::string& classification, const std::string& label,
+    double min_confidence) const {
+  query::CategoricalPredicate pred;
+  pred.classification = classification;
+  pred.label = label;
+  pred.min_confidence = min_confidence;
+  TVDP_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
+                        engine_->Categorical(pred));
+  const storage::Table* images = catalog_->GetTable(tables::kImages);
+  const storage::Schema& s = images->schema();
+  size_t lat_idx = static_cast<size_t>(s.ColumnIndex("lat"));
+  size_t lon_idx = static_cast<size_t>(s.ColumnIndex("lon"));
+  std::vector<geo::GeoPoint> out;
+  out.reserve(hits.size());
+  for (const auto& h : hits) {
+    TVDP_ASSIGN_OR_RETURN(Row img, images->Get(h.image_id));
+    out.push_back(
+        geo::GeoPoint{img[lat_idx].AsDouble(), img[lon_idx].AsDouble()});
+  }
+  return out;
+}
+
+Status Tvdp::SaveToFile(const std::string& path) const {
+  return catalog_->SaveToFile(path);
+}
+
+}  // namespace tvdp::platform

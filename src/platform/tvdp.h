@@ -1,0 +1,132 @@
+#ifndef TVDP_PLATFORM_TVDP_H_
+#define TVDP_PLATFORM_TVDP_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timeutil.h"
+#include "geo/coverage.h"
+#include "geo/fov.h"
+#include "query/engine.h"
+#include "storage/catalog.h"
+#include "storage/tvdp_schema.h"
+
+namespace tvdp::platform {
+
+/// Everything known about an image at ingest time.
+struct ImageRecord {
+  std::string uri;
+  geo::GeoPoint location;
+  std::optional<geo::FieldOfView> fov;
+  Timestamp captured_at = 0;
+  Timestamp uploaded_at = 0;
+  std::string source = "upload";  ///< e.g. "lasan_truck", "crowd", "upload"
+  std::vector<std::string> keywords;
+  bool is_augmented = false;
+  std::optional<int64_t> original_image_id;
+};
+
+/// One annotation to attach to an image.
+struct AnnotationRecord {
+  std::string classification;  ///< task name, e.g. "street_cleanliness"
+  std::string label;           ///< e.g. "encampment"
+  double confidence = 1.0;
+  bool machine = false;        ///< machine vs manual provenance
+  /// Optional sub-image region.
+  std::optional<std::array<int, 4>> region;  // x, y, w, h
+};
+
+/// The Translational Visual Data Platform facade: one object wiring the
+/// four core services of Fig. 1 over the embedded store and indexes.
+///
+///  * Acquisition — IngestImage / IngestCapture (crowdsourced uploads).
+///  * Access      — query() exposes the five query families + hybrids.
+///  * Analysis    — feature storage, classification registry, annotation
+///                  write-back (augmented knowledge, Sec. VII-B).
+///  * Action      — annotations and features are readable by every other
+///                  participant, enabling translational reuse; edge
+///                  dispatch lives in tvdp::edge and is driven from here
+///                  by the examples.
+class Tvdp {
+ public:
+  /// Creates a platform with a fresh TVDP-schema catalog.
+  static Result<Tvdp> Create();
+
+  Tvdp(Tvdp&&) = default;
+  Tvdp& operator=(Tvdp&&) = default;
+
+  // --- Acquisition ---
+
+  /// Stores an image's metadata rows and indexes it. Returns the image id.
+  Result<int64_t> IngestImage(const ImageRecord& record);
+
+  /// Batch ingest; returns ids in order.
+  Result<std::vector<int64_t>> IngestImages(
+      const std::vector<ImageRecord>& records);
+
+  // --- Analysis ---
+
+  /// Registers a classification task with its label set; idempotent on
+  /// name. Returns the classification id.
+  Result<int64_t> RegisterClassification(const std::string& name,
+                                         const std::vector<std::string>& labels,
+                                         const std::string& description = "");
+
+  /// Attaches an annotation (manual or machine) to an image; the task and
+  /// label must have been registered. Returns the annotation id.
+  Result<int64_t> AnnotateImage(int64_t image_id,
+                                const AnnotationRecord& annotation);
+
+  /// Stores (and indexes) a visual feature vector for an image.
+  Status StoreFeature(int64_t image_id, const std::string& kind,
+                      const ml::FeatureVector& feature);
+
+  // --- Access ---
+
+  query::QueryEngine& query() { return *engine_; }
+  const query::QueryEngine& query() const { return *engine_; }
+
+  storage::Catalog& catalog() { return *catalog_; }
+  const storage::Catalog& catalog() const { return *catalog_; }
+
+  /// Number of live images.
+  size_t image_count() const;
+
+  /// The label (annotation) of `image_id` under `classification` with the
+  /// highest confidence, or NotFound.
+  Result<std::string> GetLabel(int64_t image_id,
+                               const std::string& classification) const;
+
+  /// Retrieves the stored feature of the given kind.
+  Result<ml::FeatureVector> GetFeature(int64_t image_id,
+                                       const std::string& kind) const;
+
+  /// All camera locations of images annotated (classification, label) with
+  /// confidence >= min_confidence — the translational primitive behind the
+  /// homeless-counting study (Sec. VII-B: reuse encampment annotations).
+  Result<std::vector<geo::GeoPoint>> LocationsWithLabel(
+      const std::string& classification, const std::string& label,
+      double min_confidence = 0.0) const;
+
+  // --- Persistence ---
+
+  Status SaveToFile(const std::string& path) const;
+
+ private:
+  Tvdp() = default;
+
+  std::unique_ptr<storage::Catalog> catalog_;
+  std::unique_ptr<query::QueryEngine> engine_;
+  // classification name -> (classification id, label -> type id)
+  std::map<std::string, std::pair<int64_t, std::map<std::string, int64_t>>>
+      classifications_;
+};
+
+}  // namespace tvdp::platform
+
+#endif  // TVDP_PLATFORM_TVDP_H_

@@ -1,0 +1,106 @@
+#include "platform/video.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace tvdp::platform {
+
+Result<std::vector<size_t>> KeyframeSelector::Select(
+    const std::vector<VideoFrame>& frames) const {
+  std::vector<size_t> selected;
+  if (frames.empty()) return selected;
+
+  // Coverage model over the trajectory's own extent.
+  geo::BoundingBox extent = geo::BoundingBox::Empty();
+  for (const auto& f : frames) extent.Extend(f.fov.SceneLocation());
+  TVDP_ASSIGN_OR_RETURN(
+      geo::CoverageGrid grid,
+      geo::CoverageGrid::Make(extent, options_.grid_rows, options_.grid_cols,
+                              options_.direction_sectors));
+
+  // Greedy max-marginal-gain selection. Gain evaluation must not mutate
+  // the shared grid, so each candidate is scored against a copy; the
+  // winner is then applied. Frame counts are video-scale (hundreds), and
+  // the loop caps at max_keyframes, so the quadratic scan is fine.
+  std::vector<bool> used(frames.size(), false);
+  while (options_.max_keyframes <= 0 ||
+         static_cast<int>(selected.size()) < options_.max_keyframes) {
+    int best = -1;
+    int best_gain = options_.min_marginal_gain - 1;
+    for (size_t i = 0; i < frames.size(); ++i) {
+      if (used[i]) continue;
+      geo::CoverageGrid probe = grid;
+      int gain = probe.AddFov(frames[i].fov);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    used[static_cast<size_t>(best)] = true;
+    grid.AddFov(frames[static_cast<size_t>(best)].fov);
+    selected.push_back(static_cast<size_t>(best));
+  }
+  return selected;
+}
+
+Result<std::vector<int64_t>> IngestVideo(Tvdp& tvdp, const VideoRecord& video,
+                                         const KeyframeSelector& selector) {
+  if (video.frames.empty()) {
+    return Status::InvalidArgument("video has no frames");
+  }
+  TVDP_ASSIGN_OR_RETURN(std::vector<size_t> keyframes,
+                        selector.Select(video.frames));
+  if (keyframes.empty()) {
+    return Status::FailedPrecondition("no key frames add spatial coverage");
+  }
+  std::sort(keyframes.begin(), keyframes.end());  // store in frame order
+
+  std::vector<int64_t> ids;
+  ids.reserve(keyframes.size());
+  for (size_t idx : keyframes) {
+    const VideoFrame& frame = video.frames[idx];
+    ImageRecord rec;
+    rec.uri = StrFormat("%s#frame%d", video.uri.c_str(), frame.frame_index);
+    rec.location = frame.fov.camera;
+    rec.fov = frame.fov;
+    rec.captured_at = frame.captured_at;
+    rec.uploaded_at = frame.captured_at;
+    rec.source = "video:" + video.uri;
+    rec.keywords = video.keywords;
+    rec.keywords.push_back(StrFormat("frame%d", frame.frame_index));
+    TVDP_ASSIGN_OR_RETURN(int64_t id, tvdp.IngestImage(rec));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<VideoFrame> SimulateDriveVideo(const geo::GeoPoint& start,
+                                           double bearing_deg,
+                                           double speed_mps, int num_frames,
+                                           double fps, Timestamp start_time,
+                                           Rng& rng) {
+  std::vector<VideoFrame> frames;
+  if (num_frames <= 0 || fps <= 0) return frames;
+  double side = rng.Bernoulli(0.5) ? 90.0 : -90.0;
+  for (int i = 0; i < num_frames; ++i) {
+    double t = i / fps;
+    geo::GeoPoint position =
+        geo::Destination(start, bearing_deg, speed_mps * t);
+    position = geo::Destination(position, rng.Uniform(0, 360),
+                                rng.Uniform(0, 2.0));  // GPS noise
+    auto fov = geo::FieldOfView::Make(
+        position, bearing_deg + side + rng.Normal(0, 4.0),
+        60 + rng.Normal(0, 3.0), 110 + rng.Normal(0, 10.0));
+    if (!fov.ok()) continue;
+    VideoFrame frame;
+    frame.fov = *fov;
+    frame.captured_at = start_time + static_cast<Timestamp>(t);
+    frame.frame_index = i;
+    frames.push_back(frame);
+  }
+  return frames;
+}
+
+}  // namespace tvdp::platform

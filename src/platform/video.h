@@ -1,0 +1,83 @@
+#ifndef TVDP_PLATFORM_VIDEO_H_
+#define TVDP_PLATFORM_VIDEO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/coverage.h"
+#include "geo/fov.h"
+#include "platform/tvdp.h"
+
+namespace tvdp::platform {
+
+/// One frame of a geo-tagged mobile video: MediaQ-style capture tags every
+/// frame with its own FOV (paper Sec. III: "each frame of the collected
+/// video is tagged with spatial metadata").
+struct VideoFrame {
+  geo::FieldOfView fov;
+  Timestamp captured_at = 0;
+  int frame_index = 0;
+};
+
+/// A geo-tagged video to ingest: TVDP stores a video as a sequence of key
+/// frames, "where each one is tagged with various descriptors" (Sec. IV-B).
+struct VideoRecord {
+  std::string uri;
+  std::string source = "mediaq";
+  std::vector<VideoFrame> frames;
+  std::vector<std::string> keywords;
+};
+
+/// Key-frame selection for geo-tagged video (after Kim et al., "Key Frame
+/// Selection Algorithms for Automatic Generation of Panoramic Images from
+/// Crowdsourced Geo-tagged Videos", W2GIS 2014): instead of sampling every
+/// Nth frame, greedily pick the frames whose FOVs add the most *new*
+/// spatial coverage, so a 30 fps drive-by collapses into a handful of
+/// frames that still document the whole street.
+class KeyframeSelector {
+ public:
+  struct Options {
+    /// Maximum key frames to keep (0 = no cap; selection stops when no
+    /// frame adds coverage).
+    int max_keyframes = 16;
+    /// Grid resolution of the coverage model used for marginal gain.
+    int grid_rows = 24;
+    int grid_cols = 24;
+    int direction_sectors = 8;
+    /// Frames adding fewer than this many newly covered (cell, sector)
+    /// pairs are not worth keeping.
+    int min_marginal_gain = 1;
+  };
+
+  KeyframeSelector() : KeyframeSelector(Options()) {}
+  explicit KeyframeSelector(Options options) : options_(options) {}
+
+  /// Returns the indices (into `frames`) of the selected key frames, in
+  /// greedy selection order. Empty input yields an empty selection.
+  Result<std::vector<size_t>> Select(
+      const std::vector<VideoFrame>& frames) const;
+
+ private:
+  Options options_;
+};
+
+/// Ingests a geo-tagged video into the platform: key frames are selected
+/// with `selector`, and each becomes an image row (frame-level FOV, the
+/// video's keywords, source "video:<uri>", and a "#frame<n>" keyword so
+/// textual queries can address individual frames). Returns the image ids
+/// of the stored key frames, in frame order.
+Result<std::vector<int64_t>> IngestVideo(Tvdp& tvdp, const VideoRecord& video,
+                                         const KeyframeSelector& selector);
+
+/// Synthesizes a drive-by video trajectory for tests/benches: `num_frames`
+/// FOVs at `fps` along a straight street from `start` toward `bearing`,
+/// with camera facing sideways (toward the curb), plus GPS/compass noise.
+std::vector<VideoFrame> SimulateDriveVideo(const geo::GeoPoint& start,
+                                           double bearing_deg, double speed_mps,
+                                           int num_frames, double fps,
+                                           Timestamp start_time, Rng& rng);
+
+}  // namespace tvdp::platform
+
+#endif  // TVDP_PLATFORM_VIDEO_H_

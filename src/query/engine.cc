@@ -1,0 +1,548 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/strings.h"
+
+namespace tvdp::query {
+
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+using storage::Value;
+namespace tables = storage::tables;
+
+QueryEngine::QueryEngine(storage::Catalog* catalog) : catalog_(catalog) {}
+
+Status QueryEngine::IndexImage(RowId image_id) {
+  const Table* images = catalog_->GetTable(tables::kImages);
+  if (!images) return Status::FailedPrecondition("images table missing");
+  TVDP_ASSIGN_OR_RETURN(Row img, images->Get(image_id));
+  const storage::Schema& schema = images->schema();
+  double lat = img[static_cast<size_t>(schema.ColumnIndex("lat"))].AsDouble();
+  double lon = img[static_cast<size_t>(schema.ColumnIndex("lon"))].AsDouble();
+  Timestamp captured =
+      img[static_cast<size_t>(schema.ColumnIndex("timestamp_capturing"))]
+          .AsInt64();
+
+  geo::GeoPoint location{lat, lon};
+  geo::BoundingBox point_box;
+  point_box.min_lat = point_box.max_lat = lat;
+  point_box.min_lon = point_box.max_lon = lon;
+  TVDP_RETURN_IF_ERROR(points_.Insert(point_box, image_id));
+  temporal_.Insert(captured, image_id);
+
+  // FOV rows (0 or 1 per image in practice).
+  const Table* fov_table = catalog_->GetTable(tables::kImageFov);
+  if (fov_table) {
+    TVDP_ASSIGN_OR_RETURN(std::vector<Row> fov_rows,
+                          fov_table->FindBy("image_id", Value(image_id)));
+    const storage::Schema& fs = fov_table->schema();
+    for (const Row& r : fov_rows) {
+      TVDP_ASSIGN_OR_RETURN(
+          geo::FieldOfView fov,
+          geo::FieldOfView::Make(
+              location,
+              r[static_cast<size_t>(fs.ColumnIndex("direction_deg"))].AsDouble(),
+              r[static_cast<size_t>(fs.ColumnIndex("angle_deg"))].AsDouble(),
+              r[static_cast<size_t>(fs.ColumnIndex("radius_m"))].AsDouble()));
+      TVDP_RETURN_IF_ERROR(fovs_.Insert(fov, image_id));
+    }
+  }
+
+  // Keywords.
+  const Table* kw_table = catalog_->GetTable(tables::kImageManualKeywords);
+  if (kw_table) {
+    TVDP_ASSIGN_OR_RETURN(std::vector<Row> kw_rows,
+                          kw_table->FindBy("image_id", Value(image_id)));
+    const storage::Schema& ks = kw_table->schema();
+    std::vector<std::string> terms;
+    for (const Row& r : kw_rows) {
+      for (const std::string& t : TokenizeWords(
+               r[static_cast<size_t>(ks.ColumnIndex("keyword"))].AsString())) {
+        terms.push_back(t);
+      }
+    }
+    if (!terms.empty()) {
+      TVDP_RETURN_IF_ERROR(keywords_.AddDocument(image_id, terms));
+    }
+  }
+  ++indexed_images_;
+  return Status::OK();
+}
+
+Status QueryEngine::IndexFeature(RowId image_id, const std::string& kind,
+                                 const ml::FeatureVector& feature) {
+  if (feature.empty()) return Status::InvalidArgument("empty feature");
+  auto lsh_it = lsh_.find(kind);
+  if (lsh_it == lsh_.end()) {
+    lsh_it = lsh_.emplace(kind, std::make_unique<index::LshIndex>(feature.size()))
+                 .first;
+    // The hybrid spatial-visual tree shares the same feature space.
+    visual_rtree_.emplace(
+        kind, std::make_unique<index::VisualRTree>(feature.size()));
+  }
+  TVDP_RETURN_IF_ERROR(lsh_it->second->Insert(feature, image_id));
+
+  // Fetch the image location for the hybrid tree.
+  const Table* images = catalog_->GetTable(tables::kImages);
+  TVDP_ASSIGN_OR_RETURN(Row img, images->Get(image_id));
+  const storage::Schema& schema = images->schema();
+  geo::GeoPoint loc{
+      img[static_cast<size_t>(schema.ColumnIndex("lat"))].AsDouble(),
+      img[static_cast<size_t>(schema.ColumnIndex("lon"))].AsDouble()};
+  return visual_rtree_[kind]->Insert(loc, feature, image_id);
+}
+
+namespace {
+
+std::vector<QueryHit> ToHits(const std::vector<index::RecordId>& ids) {
+  std::vector<QueryHit> out;
+  out.reserve(ids.size());
+  for (index::RecordId id : ids) out.push_back(QueryHit{id, 0});
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<QueryHit>> QueryEngine::SpatialRange(
+    const geo::BoundingBox& box) const {
+  if (box.IsEmpty()) return Status::InvalidArgument("empty query box");
+  // Prefer FOV semantics when FOVs exist; union with camera-point hits so
+  // images without FOV metadata still surface.
+  std::set<index::RecordId> ids;
+  for (index::RecordId id : fovs_.RangeSearch(box)) ids.insert(id);
+  for (index::RecordId id : points_.RangeSearch(box)) ids.insert(id);
+  return ToHits(std::vector<index::RecordId>(ids.begin(), ids.end()));
+}
+
+Result<std::vector<QueryHit>> QueryEngine::SpatialKnn(const geo::GeoPoint& p,
+                                                      int k) const {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  return ToHits(points_.KNearest(p, k));
+}
+
+Result<std::vector<QueryHit>> QueryEngine::VisibleAt(
+    const geo::GeoPoint& p) const {
+  if (!geo::IsValid(p)) return Status::InvalidArgument("invalid point");
+  return ToHits(fovs_.PointQuery(p));
+}
+
+Result<std::vector<QueryHit>> QueryEngine::VisualTopK(
+    const std::string& kind, const ml::FeatureVector& feature, int k) const {
+  auto it = lsh_.find(kind);
+  if (it == lsh_.end()) {
+    return Status::NotFound("no feature index for kind: " + kind);
+  }
+  std::vector<QueryHit> out;
+  for (const auto& [id, dist] : it->second->KNearest(feature, k)) {
+    out.push_back(QueryHit{id, dist});
+  }
+  return out;
+}
+
+Result<std::vector<QueryHit>> QueryEngine::VisualThreshold(
+    const std::string& kind, const ml::FeatureVector& feature,
+    double threshold) const {
+  auto it = lsh_.find(kind);
+  if (it == lsh_.end()) {
+    return Status::NotFound("no feature index for kind: " + kind);
+  }
+  std::vector<QueryHit> out;
+  for (const auto& [id, dist] : it->second->RangeSearch(feature, threshold)) {
+    out.push_back(QueryHit{id, dist});
+  }
+  return out;
+}
+
+Result<int64_t> QueryEngine::LookupTypeId(
+    const CategoricalPredicate& pred) const {
+  const Table* cls = catalog_->GetTable(tables::kImageContentClassification);
+  const Table* types =
+      catalog_->GetTable(tables::kImageContentClassificationTypes);
+  if (!cls || !types) {
+    return Status::FailedPrecondition("classification tables missing");
+  }
+  TVDP_ASSIGN_OR_RETURN(std::vector<Row> cls_rows,
+                        cls->FindBy("name", Value(pred.classification)));
+  if (cls_rows.empty()) {
+    return Status::NotFound("no classification named " + pred.classification);
+  }
+  int64_t cls_id = cls_rows[0][0].AsInt64();
+  TVDP_ASSIGN_OR_RETURN(std::vector<Row> type_rows,
+                        types->FindBy("classification_id", Value(cls_id)));
+  const storage::Schema& ts = types->schema();
+  for (const Row& r : type_rows) {
+    if (r[static_cast<size_t>(ts.ColumnIndex("label"))].AsString() ==
+        pred.label) {
+      return r[0].AsInt64();
+    }
+  }
+  return Status::NotFound("no label " + pred.label + " in " +
+                          pred.classification);
+}
+
+Result<std::vector<QueryHit>> QueryEngine::Categorical(
+    const CategoricalPredicate& pred) const {
+  TVDP_ASSIGN_OR_RETURN(int64_t type_id, LookupTypeId(pred));
+  const Table* ann = catalog_->GetTable(tables::kImageContentAnnotation);
+  TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                        ann->FindBy("type_id", Value(type_id)));
+  const storage::Schema& as = ann->schema();
+  size_t conf_idx = static_cast<size_t>(as.ColumnIndex("confidence"));
+  size_t src_idx = static_cast<size_t>(as.ColumnIndex("annotation_source"));
+  size_t img_idx = static_cast<size_t>(as.ColumnIndex("image_id"));
+  std::set<index::RecordId> ids;
+  for (const Row& r : rows) {
+    if (r[conf_idx].AsDouble() < pred.min_confidence) continue;
+    if (!pred.source.empty() && r[src_idx].AsString() != pred.source) continue;
+    ids.insert(r[img_idx].AsInt64());
+  }
+  return ToHits(std::vector<index::RecordId>(ids.begin(), ids.end()));
+}
+
+Result<std::vector<QueryHit>> QueryEngine::Textual(
+    const TextualPredicate& pred) const {
+  if (pred.keywords.empty()) {
+    return Status::InvalidArgument("no keywords given");
+  }
+  std::vector<std::string> terms;
+  for (const auto& kw : pred.keywords) {
+    for (const auto& t : TokenizeWords(kw)) terms.push_back(t);
+  }
+  std::vector<index::RecordId> ids = pred.mode == TextualPredicate::Mode::kAnd
+                                         ? keywords_.QueryAnd(terms)
+                                         : keywords_.QueryOr(terms);
+  return ToHits(ids);
+}
+
+Result<std::vector<QueryHit>> QueryEngine::Temporal(Timestamp begin,
+                                                    Timestamp end) const {
+  if (begin > end) return Status::InvalidArgument("begin after end");
+  return ToHits(temporal_.RangeSearch(begin, end));
+}
+
+Result<std::vector<QueryHit>> QueryEngine::SpatialVisualTopK(
+    const geo::GeoPoint& p, const std::string& kind,
+    const ml::FeatureVector& feature, int k, double alpha) const {
+  auto it = visual_rtree_.find(kind);
+  if (it == visual_rtree_.end()) {
+    return Status::NotFound("no hybrid index for kind: " + kind);
+  }
+  std::vector<QueryHit> out;
+  for (const auto& hit : it->second->TopK(p, feature, k, alpha)) {
+    out.push_back(QueryHit{hit.id, hit.visual});
+  }
+  return out;
+}
+
+double QueryEngine::EstimateSelectivity(const HybridQuery& q,
+                                        const std::string& family) const {
+  double n = static_cast<double>(std::max<size_t>(indexed_images_, 1));
+  if (family == "categorical" && q.categorical) {
+    // Annotations are typically sparse: assume 1/NumLabels of the corpus.
+    return n / 8.0;
+  }
+  if (family == "textual" && q.textual) {
+    // Use the rarest keyword's document frequency.
+    double best = n;
+    for (const auto& kw : q.textual->keywords) {
+      for (const auto& t : TokenizeWords(kw)) {
+        best = std::min(best,
+                        static_cast<double>(keywords_.DocumentFrequency(t)));
+      }
+    }
+    return best;
+  }
+  if (family == "spatial" && q.spatial) {
+    if (q.spatial->kind == SpatialPredicate::Kind::kKnn) {
+      return static_cast<double>(q.spatial->k);
+    }
+    return n / 4.0;  // coarse: a range box typically covers a district
+  }
+  if (family == "temporal" && q.temporal) {
+    double span = static_cast<double>(q.temporal->end - q.temporal->begin);
+    double total = temporal_.empty()
+                       ? 1.0
+                       : static_cast<double>(temporal_.max_timestamp() -
+                                             temporal_.min_timestamp() + 1);
+    return n * std::clamp(span / total, 0.0, 1.0);
+  }
+  if (family == "visual" && q.visual) {
+    if (q.visual->kind == VisualPredicate::Kind::kTopK) {
+      return static_cast<double>(q.visual->k);
+    }
+    return n / 4.0;
+  }
+  return n;
+}
+
+Result<bool> QueryEngine::Verify(RowId id, const HybridQuery& q,
+                                 const std::string& seed_family,
+                                 double* visual_distance) const {
+  const Table* images = catalog_->GetTable(tables::kImages);
+  TVDP_ASSIGN_OR_RETURN(Row img, images->Get(id));
+  const storage::Schema& schema = images->schema();
+
+  if (q.temporal && seed_family != "temporal") {
+    Timestamp t =
+        img[static_cast<size_t>(schema.ColumnIndex("timestamp_capturing"))]
+            .AsInt64();
+    if (t < q.temporal->begin || t > q.temporal->end) return false;
+  }
+  if (q.spatial && seed_family != "spatial") {
+    geo::GeoPoint loc{
+        img[static_cast<size_t>(schema.ColumnIndex("lat"))].AsDouble(),
+        img[static_cast<size_t>(schema.ColumnIndex("lon"))].AsDouble()};
+    switch (q.spatial->kind) {
+      case SpatialPredicate::Kind::kRange:
+        if (!q.spatial->range.Contains(loc)) return false;
+        break;
+      case SpatialPredicate::Kind::kKnn:
+        // kNN cannot be verified per-candidate; treated as a seed-only
+        // predicate (the planner always seeds with it when present).
+        break;
+      case SpatialPredicate::Kind::kVisibleAt: {
+        TVDP_ASSIGN_OR_RETURN(std::vector<QueryHit> vis,
+                              VisibleAt(q.spatial->point));
+        bool found = false;
+        for (const auto& h : vis) {
+          if (h.image_id == id) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+        break;
+      }
+    }
+  }
+  if (q.categorical && seed_family != "categorical") {
+    TVDP_ASSIGN_OR_RETURN(std::vector<QueryHit> cat, Categorical(*q.categorical));
+    bool found = false;
+    for (const auto& h : cat) {
+      if (h.image_id == id) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  if (q.textual && seed_family != "textual") {
+    TVDP_ASSIGN_OR_RETURN(std::vector<QueryHit> txt, Textual(*q.textual));
+    bool found = false;
+    for (const auto& h : txt) {
+      if (h.image_id == id) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  if (q.visual && seed_family != "visual") {
+    // Verify by exact feature distance from the stored feature row.
+    const Table* feats = catalog_->GetTable(tables::kImageVisualFeatures);
+    TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                          feats->FindBy("image_id", Value(id)));
+    const storage::Schema& fs = feats->schema();
+    size_t kind_idx = static_cast<size_t>(fs.ColumnIndex("feature_kind"));
+    size_t feat_idx = static_cast<size_t>(fs.ColumnIndex("feature"));
+    bool found = false;
+    for (const Row& r : rows) {
+      if (r[kind_idx].AsString() != q.visual->feature_kind) continue;
+      double d = ml::L2Distance(r[feat_idx].AsFloatVector(), q.visual->feature);
+      if (q.visual->kind == VisualPredicate::Kind::kThreshold &&
+          d > q.visual->threshold) {
+        return false;
+      }
+      if (visual_distance) *visual_distance = d;
+      found = true;
+      break;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+Result<std::vector<QueryHit>> QueryEngine::Execute(
+    const HybridQuery& q) const {
+  // Collect present predicate families and their selectivity estimates.
+  std::vector<std::string> families;
+  if (q.spatial) families.push_back("spatial");
+  if (q.visual) families.push_back("visual");
+  if (q.categorical) families.push_back("categorical");
+  if (q.textual) families.push_back("textual");
+  if (q.temporal) families.push_back("temporal");
+  if (families.empty()) {
+    return Status::InvalidArgument("hybrid query has no predicates");
+  }
+
+  // kNN spatial and top-k visual predicates must seed (they are ranking
+  // predicates, not filters). Otherwise pick the lowest-cardinality one.
+  std::string seed;
+  if (q.spatial && q.spatial->kind == SpatialPredicate::Kind::kKnn) {
+    seed = "spatial";
+  } else if (q.visual && q.visual->kind == VisualPredicate::Kind::kTopK) {
+    seed = "visual";
+  } else {
+    double best = -1;
+    for (const auto& f : families) {
+      double est = EstimateSelectivity(q, f);
+      if (best < 0 || est < best) {
+        best = est;
+        seed = f;
+      }
+    }
+  }
+
+  // Seed candidates.
+  std::vector<QueryHit> candidates;
+  if (seed == "spatial") {
+    switch (q.spatial->kind) {
+      case SpatialPredicate::Kind::kRange: {
+        TVDP_ASSIGN_OR_RETURN(candidates, SpatialRange(q.spatial->range));
+        break;
+      }
+      case SpatialPredicate::Kind::kKnn: {
+        TVDP_ASSIGN_OR_RETURN(candidates,
+                              SpatialKnn(q.spatial->point, q.spatial->k));
+        break;
+      }
+      case SpatialPredicate::Kind::kVisibleAt: {
+        TVDP_ASSIGN_OR_RETURN(candidates, VisibleAt(q.spatial->point));
+        break;
+      }
+    }
+  } else if (seed == "visual") {
+    if (q.visual->kind == VisualPredicate::Kind::kTopK) {
+      // Over-fetch so post-filtering can still fill k results.
+      int fetch = q.visual->k * 4 + 16;
+      TVDP_ASSIGN_OR_RETURN(
+          candidates,
+          VisualTopK(q.visual->feature_kind, q.visual->feature, fetch));
+    } else {
+      TVDP_ASSIGN_OR_RETURN(
+          candidates, VisualThreshold(q.visual->feature_kind, q.visual->feature,
+                                      q.visual->threshold));
+    }
+  } else if (seed == "categorical") {
+    TVDP_ASSIGN_OR_RETURN(candidates, Categorical(*q.categorical));
+  } else if (seed == "textual") {
+    TVDP_ASSIGN_OR_RETURN(candidates, Textual(*q.textual));
+  } else {
+    TVDP_ASSIGN_OR_RETURN(candidates,
+                          Temporal(q.temporal->begin, q.temporal->end));
+  }
+
+  std::string verify_list;
+  for (const auto& f : families) {
+    if (f != seed) verify_list += (verify_list.empty() ? "" : " ") + f;
+  }
+  last_plan_ = StrFormat("seed=%s(%zu) verify=[%s]", seed.c_str(),
+                         candidates.size(), verify_list.c_str());
+
+  // Verify remaining predicates per candidate.
+  std::vector<QueryHit> out;
+  for (QueryHit& hit : candidates) {
+    double vd = hit.visual_distance;
+    TVDP_ASSIGN_OR_RETURN(bool keep, Verify(hit.image_id, q, seed, &vd));
+    if (!keep) continue;
+    hit.visual_distance = vd;
+    out.push_back(hit);
+    if (q.visual && q.visual->kind == VisualPredicate::Kind::kTopK &&
+        static_cast<int>(out.size()) >= q.visual->k) {
+      break;
+    }
+    if (q.limit > 0 && static_cast<int>(out.size()) >= q.limit &&
+        !(q.visual && q.visual->kind == VisualPredicate::Kind::kTopK)) {
+      break;
+    }
+  }
+  if (q.visual) {
+    std::sort(out.begin(), out.end(), [](const QueryHit& a, const QueryHit& b) {
+      if (a.visual_distance != b.visual_distance) {
+        return a.visual_distance < b.visual_distance;
+      }
+      return a.image_id < b.image_id;
+    });
+  }
+  if (q.limit > 0 && out.size() > static_cast<size_t>(q.limit)) {
+    out.resize(static_cast<size_t>(q.limit));
+  }
+  return out;
+}
+
+Result<std::vector<QueryHit>> QueryEngine::SpatialRangeScan(
+    const geo::BoundingBox& box) const {
+  const Table* images = catalog_->GetTable(tables::kImages);
+  const Table* fov_table = catalog_->GetTable(tables::kImageFov);
+  if (!images || !fov_table) {
+    return Status::FailedPrecondition("schema tables missing");
+  }
+  const storage::Schema& is = images->schema();
+  const storage::Schema& fs = fov_table->schema();
+  size_t lat_idx = static_cast<size_t>(is.ColumnIndex("lat"));
+  size_t lon_idx = static_cast<size_t>(is.ColumnIndex("lon"));
+
+  std::set<index::RecordId> ids;
+  // Camera-point membership.
+  images->ForEach([&](const Row& r) {
+    geo::GeoPoint loc{r[lat_idx].AsDouble(), r[lon_idx].AsDouble()};
+    if (box.Contains(loc)) ids.insert(r[0].AsInt64());
+    return true;
+  });
+  // FOV intersection (requires the image row for the camera location).
+  Status status = Status::OK();
+  fov_table->ForEach([&](const Row& r) {
+    int64_t image_id =
+        r[static_cast<size_t>(fs.ColumnIndex("image_id"))].AsInt64();
+    auto img = images->Get(image_id);
+    if (!img.ok()) {
+      status = img.status();
+      return false;
+    }
+    geo::GeoPoint loc{img->at(lat_idx).AsDouble(),
+                      img->at(lon_idx).AsDouble()};
+    auto fov = geo::FieldOfView::Make(
+        loc, r[static_cast<size_t>(fs.ColumnIndex("direction_deg"))].AsDouble(),
+        r[static_cast<size_t>(fs.ColumnIndex("angle_deg"))].AsDouble(),
+        r[static_cast<size_t>(fs.ColumnIndex("radius_m"))].AsDouble());
+    if (fov.ok() && fov->IntersectsBBox(box)) ids.insert(image_id);
+    return true;
+  });
+  TVDP_RETURN_IF_ERROR(status);
+  return ToHits(std::vector<index::RecordId>(ids.begin(), ids.end()));
+}
+
+Result<std::vector<QueryHit>> QueryEngine::VisualTopKScan(
+    const std::string& kind, const ml::FeatureVector& feature, int k) const {
+  const Table* feats = catalog_->GetTable(tables::kImageVisualFeatures);
+  if (!feats) return Status::FailedPrecondition("features table missing");
+  const storage::Schema& fs = feats->schema();
+  size_t kind_idx = static_cast<size_t>(fs.ColumnIndex("feature_kind"));
+  size_t feat_idx = static_cast<size_t>(fs.ColumnIndex("feature"));
+  size_t img_idx = static_cast<size_t>(fs.ColumnIndex("image_id"));
+  std::vector<QueryHit> all;
+  feats->ForEach([&](const Row& r) {
+    if (r[kind_idx].AsString() == kind) {
+      all.push_back(QueryHit{
+          r[img_idx].AsInt64(),
+          ml::L2Distance(r[feat_idx].AsFloatVector(), feature)});
+    }
+    return true;
+  });
+  std::sort(all.begin(), all.end(), [](const QueryHit& a, const QueryHit& b) {
+    if (a.visual_distance != b.visual_distance) {
+      return a.visual_distance < b.visual_distance;
+    }
+    return a.image_id < b.image_id;
+  });
+  if (all.size() > static_cast<size_t>(std::max(k, 0))) {
+    all.resize(static_cast<size_t>(std::max(k, 0)));
+  }
+  return all;
+}
+
+}  // namespace tvdp::query

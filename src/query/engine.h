@@ -1,0 +1,131 @@
+#ifndef TVDP_QUERY_ENGINE_H_
+#define TVDP_QUERY_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/fov.h"
+#include "index/inverted_index.h"
+#include "index/lsh.h"
+#include "index/oriented_rtree.h"
+#include "index/rtree.h"
+#include "index/temporal_index.h"
+#include "index/visual_rtree.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "storage/tvdp_schema.h"
+
+namespace tvdp::query {
+
+/// The access layer of TVDP: maintains the per-modality indexes over the
+/// catalog (Sec. IV-C) and evaluates single-modality and hybrid queries
+/// with a selectivity-ordered plan. Index maintenance is explicit — call
+/// IndexImage after inserting the corresponding rows — which mirrors the
+/// ingest pipeline of the platform.
+class QueryEngine {
+ public:
+  /// `catalog` must outlive the engine and contain the TVDP schema.
+  explicit QueryEngine(storage::Catalog* catalog);
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Registers image `image_id` in the spatial/temporal/textual indexes,
+  /// reading its rows from the catalog. FOV and keywords are optional in
+  /// the data, features are indexed separately via IndexFeature.
+  Status IndexImage(storage::RowId image_id);
+
+  /// Registers one visual feature vector of an image. The first vector of
+  /// each kind fixes that kind's dimensionality.
+  Status IndexFeature(storage::RowId image_id, const std::string& kind,
+                      const ml::FeatureVector& feature);
+
+  // --- Single-modality queries (Sec. IV-C's five families) ---
+
+  /// Spatial: images whose FOV (or camera point if no FOV) intersects box.
+  Result<std::vector<QueryHit>> SpatialRange(const geo::BoundingBox& box) const;
+
+  /// Spatial: k nearest camera locations.
+  Result<std::vector<QueryHit>> SpatialKnn(const geo::GeoPoint& p, int k) const;
+
+  /// Spatial: images whose FOV sees point p.
+  Result<std::vector<QueryHit>> VisibleAt(const geo::GeoPoint& p) const;
+
+  /// Visual: approximate top-k similar images by feature kind.
+  Result<std::vector<QueryHit>> VisualTopK(const std::string& kind,
+                                           const ml::FeatureVector& feature,
+                                           int k) const;
+
+  /// Visual: all images within a feature-distance threshold.
+  Result<std::vector<QueryHit>> VisualThreshold(
+      const std::string& kind, const ml::FeatureVector& feature,
+      double threshold) const;
+
+  /// Categorical: images annotated with (classification, label).
+  Result<std::vector<QueryHit>> Categorical(
+      const CategoricalPredicate& pred) const;
+
+  /// Textual: keyword search over manual keywords.
+  Result<std::vector<QueryHit>> Textual(const TextualPredicate& pred) const;
+
+  /// Temporal: capture-time range.
+  Result<std::vector<QueryHit>> Temporal(Timestamp begin, Timestamp end) const;
+
+  // --- Hybrid queries ---
+
+  /// Evaluates a hybrid query: the most selective indexed predicate seeds
+  /// the candidate set, remaining predicates verify against the catalog.
+  Result<std::vector<QueryHit>> Execute(const HybridQuery& q) const;
+
+  /// Spatial-visual top-k through the hybrid VisualRTree (single index,
+  /// blended alpha score) — the paper's hybrid-index fast path.
+  Result<std::vector<QueryHit>> SpatialVisualTopK(
+      const geo::GeoPoint& p, const std::string& kind,
+      const ml::FeatureVector& feature, int k, double alpha) const;
+
+  // --- Full-scan baselines (index ablation) ---
+
+  /// SpatialRange evaluated by scanning all FOV rows.
+  Result<std::vector<QueryHit>> SpatialRangeScan(
+      const geo::BoundingBox& box) const;
+
+  /// VisualTopK evaluated by exact exhaustive distance computation.
+  Result<std::vector<QueryHit>> VisualTopKScan(const std::string& kind,
+                                               const ml::FeatureVector& feature,
+                                               int k) const;
+
+  /// The plan chosen by the last Execute call, e.g.
+  /// "seed=categorical(12) verify=[spatial temporal]".
+  const std::string& last_plan() const { return last_plan_; }
+
+  size_t indexed_images() const { return indexed_images_; }
+
+ private:
+  /// Estimated result cardinality of each predicate (lower = run first).
+  double EstimateSelectivity(const HybridQuery& q,
+                             const std::string& family) const;
+
+  /// Verifies a candidate against every non-seed predicate.
+  Result<bool> Verify(storage::RowId id, const HybridQuery& q,
+                      const std::string& seed_family,
+                      double* visual_distance) const;
+
+  Result<int64_t> LookupTypeId(const CategoricalPredicate& pred) const;
+
+  storage::Catalog* catalog_;
+  index::RTree points_;
+  index::OrientedRTree fovs_;
+  index::TemporalIndex temporal_;
+  index::InvertedIndex keywords_;
+  std::map<std::string, std::unique_ptr<index::LshIndex>> lsh_;
+  std::map<std::string, std::unique_ptr<index::VisualRTree>> visual_rtree_;
+  size_t indexed_images_ = 0;
+  mutable std::string last_plan_;
+};
+
+}  // namespace tvdp::query
+
+#endif  // TVDP_QUERY_ENGINE_H_

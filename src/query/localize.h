@@ -1,0 +1,48 @@
+#ifndef TVDP_QUERY_LOCALIZE_H_
+#define TVDP_QUERY_LOCALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "geo/geo_point.h"
+#include "query/engine.h"
+
+namespace tvdp::query {
+
+/// Result of visually localizing an un-geo-tagged image.
+struct Localization {
+  geo::GeoPoint estimate;
+  /// Similarity-weighted dispersion of the supporting matches, meters; a
+  /// small radius means the matches agree about where this scene is.
+  double spread_m = 0;
+  /// Number of matches that contributed.
+  int support = 0;
+};
+
+/// Data-centric image scene localization (after Alfarrarjeh et al.,
+/// "A data-centric approach for image scene localization", Big Data 2018):
+/// an image with no GPS tag is located by retrieving its visually nearest
+/// geo-tagged neighbours and aggregating their camera locations with
+/// similarity weighting. This is a translational service: it gets better
+/// for free as collaborators contribute more tagged imagery.
+class SceneLocalizer {
+ public:
+  /// Both pointers must outlive the localizer.
+  SceneLocalizer(const QueryEngine* engine, const storage::Catalog* catalog)
+      : engine_(engine), catalog_(catalog) {}
+
+  /// Localizes from a visual feature of the given kind using the `k`
+  /// nearest tagged images. NotFound when no feature index exists;
+  /// FailedPrecondition when no neighbours are retrievable.
+  Result<Localization> Localize(const std::string& feature_kind,
+                                const ml::FeatureVector& feature,
+                                int k = 8) const;
+
+ private:
+  const QueryEngine* engine_;
+  const storage::Catalog* catalog_;
+};
+
+}  // namespace tvdp::query
+
+#endif  // TVDP_QUERY_LOCALIZE_H_

@@ -1,0 +1,20 @@
+#include "query/query.h"
+
+namespace tvdp::query {
+
+std::string DescribeQuery(const HybridQuery& q) {
+  std::string out;
+  auto add = [&](const char* name) {
+    if (!out.empty()) out += "+";
+    out += name;
+  };
+  if (q.spatial) add("spatial");
+  if (q.visual) add("visual");
+  if (q.categorical) add("categorical");
+  if (q.textual) add("textual");
+  if (q.temporal) add("temporal");
+  if (out.empty()) out = "empty";
+  return out;
+}
+
+}  // namespace tvdp::query

@@ -1,0 +1,55 @@
+#ifndef TVDP_STORAGE_CATALOG_H_
+#define TVDP_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace tvdp::storage {
+
+/// The database catalog: named tables plus foreign-key enforcement on
+/// insert, and whole-database binary persistence.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Creates a table; AlreadyExists if the name is taken.
+  Status CreateTable(const std::string& name, Schema schema);
+
+  /// Looks up a table (nullptr when absent).
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  /// Inserts with foreign-key validation: any column declared with a
+  /// ForeignKey must reference an existing live row (or be null).
+  Result<RowId> Insert(const std::string& table, Row row);
+
+  /// Names of all tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Serializes every table (schema + rows) into one buffer.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Restores a catalog from Serialize() output.
+  static Result<Catalog> Deserialize(const std::vector<uint8_t>& bytes);
+
+  /// Convenience: Serialize to / Deserialize from a file.
+  Status SaveToFile(const std::string& path) const;
+  static Result<Catalog> LoadFromFile(const std::string& path);
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace tvdp::storage
+
+#endif  // TVDP_STORAGE_CATALOG_H_

@@ -1,0 +1,47 @@
+#include "storage/schema.h"
+
+#include "common/strings.h"
+
+namespace tvdp::storage {
+
+Schema::Schema(std::vector<Column> columns) {
+  columns_.push_back(Column{"id", ValueType::kInt64, false, std::nullopt});
+  for (auto& c : columns) columns_.push_back(std::move(c));
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  // Caller provides all columns except the implicit id.
+  if (row.size() + 1 != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, schema expects %zu", row.size(),
+                  columns_.size() - 1));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = columns_[i + 1];
+    if (row[i].is_null()) {
+      if (!col.nullable) {
+        return Status::InvalidArgument("null in non-nullable column " +
+                                       col.name);
+      }
+      continue;
+    }
+    ValueType t = row[i].type();
+    // Ints are acceptable where doubles are expected.
+    if (t != col.type &&
+        !(col.type == ValueType::kDouble && t == ValueType::kInt64)) {
+      return Status::InvalidArgument(
+          StrFormat("column %s expects %s, got %s", col.name.c_str(),
+                    ValueTypeName(col.type).c_str(), ValueTypeName(t).c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tvdp::storage

@@ -1,0 +1,50 @@
+#ifndef TVDP_STORAGE_SCHEMA_H_
+#define TVDP_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace tvdp::storage {
+
+/// A foreign-key declaration: this column references `table`.id.
+struct ForeignKey {
+  std::string table;
+};
+
+/// One column of a table schema.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool nullable = false;
+  std::optional<ForeignKey> references;
+};
+
+/// A table schema. Every table has an implicit auto-increment primary key
+/// column "id" (int64) at position 0, added by Schema itself.
+class Schema {
+ public:
+  Schema() = default;
+  /// Builds a schema with the implicit id column followed by `columns`.
+  explicit Schema(std::vector<Column> columns);
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of `name`, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Validates that `row` (excluding id, which the table assigns) matches
+  /// the schema: arity, types, nullability.
+  Status ValidateRow(const Row& row) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace tvdp::storage
+
+#endif  // TVDP_STORAGE_SCHEMA_H_

@@ -1,0 +1,184 @@
+#include "storage/serializer.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tvdp::storage {
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::WriteI64(int64_t v) {
+  uint64_t u = static_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(u >> (8 * i)));
+}
+
+void BinaryWriter::WriteDouble(double v) {
+  uint64_t u;
+  std::memcpy(&u, &v, 8);
+  WriteI64(static_cast<int64_t>(u));
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::WriteBytes(const std::vector<uint8_t>& b) {
+  WriteU32(static_cast<uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void BinaryWriter::WriteValue(const Value& v) {
+  WriteU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      WriteI64(v.AsInt64());
+      break;
+    case ValueType::kDouble:
+      WriteDouble(v.AsDouble());
+      break;
+    case ValueType::kBool:
+      WriteU8(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kString:
+      WriteString(v.AsString());
+      break;
+    case ValueType::kBlob:
+      WriteBytes(v.AsBlob());
+      break;
+    case ValueType::kFloatVector: {
+      const auto& vec = v.AsFloatVector();
+      WriteU32(static_cast<uint32_t>(vec.size()));
+      for (double d : vec) WriteDouble(d);
+      break;
+    }
+  }
+}
+
+Status BinaryReader::Need(size_t n) const {
+  if (pos_ + n > buf_.size()) {
+    return Status::IOError("unexpected end of serialized data");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  TVDP_RETURN_IF_ERROR(Need(1));
+  return buf_[pos_++];
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  TVDP_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+Result<int64_t> BinaryReader::ReadI64() {
+  TVDP_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf_[pos_++]) << (8 * i);
+  return static_cast<int64_t>(v);
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  TVDP_ASSIGN_OR_RETURN(int64_t bits, ReadI64());
+  double d;
+  uint64_t u = static_cast<uint64_t>(bits);
+  std::memcpy(&d, &u, 8);
+  return d;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  TVDP_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  TVDP_RETURN_IF_ERROR(Need(n));
+  std::string s(reinterpret_cast<const char*>(&buf_[pos_]), n);
+  pos_ += n;
+  return s;
+}
+
+Result<std::vector<uint8_t>> BinaryReader::ReadBytes() {
+  TVDP_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  TVDP_RETURN_IF_ERROR(Need(n));
+  std::vector<uint8_t> b(buf_.begin() + static_cast<long>(pos_),
+                         buf_.begin() + static_cast<long>(pos_ + n));
+  pos_ += n;
+  return b;
+}
+
+Result<Value> BinaryReader::ReadValue() {
+  TVDP_ASSIGN_OR_RETURN(uint8_t tag, ReadU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value();
+    case ValueType::kInt64: {
+      TVDP_ASSIGN_OR_RETURN(int64_t v, ReadI64());
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      TVDP_ASSIGN_OR_RETURN(double v, ReadDouble());
+      return Value(v);
+    }
+    case ValueType::kBool: {
+      TVDP_ASSIGN_OR_RETURN(uint8_t v, ReadU8());
+      return Value(v != 0);
+    }
+    case ValueType::kString: {
+      TVDP_ASSIGN_OR_RETURN(std::string v, ReadString());
+      return Value(std::move(v));
+    }
+    case ValueType::kBlob: {
+      TVDP_ASSIGN_OR_RETURN(std::vector<uint8_t> v, ReadBytes());
+      return Value(std::move(v));
+    }
+    case ValueType::kFloatVector: {
+      TVDP_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+      // Guard against corrupted counts before reserving memory.
+      TVDP_RETURN_IF_ERROR(Need(static_cast<size_t>(n) * 8));
+      std::vector<double> v;
+      v.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        TVDP_ASSIGN_OR_RETURN(double d, ReadDouble());
+        v.push_back(d);
+      }
+      return Value(std::move(v));
+    }
+  }
+  return Status::IOError("unknown value tag in serialized data");
+}
+
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return Status::IOError("cannot open " + tmp + " for writing");
+  size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != bytes.size() || close_rc != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size > 0 ? size : 0));
+  size_t read = bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) return Status::IOError("short read from " + path);
+  return bytes;
+}
+
+}  // namespace tvdp::storage

@@ -1,0 +1,66 @@
+#ifndef TVDP_STORAGE_SERIALIZER_H_
+#define TVDP_STORAGE_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace tvdp::storage {
+
+/// Little-endian binary writer used by the catalog persistence format.
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+  void WriteU32(uint32_t v);
+  void WriteI64(int64_t v);
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  void WriteBytes(const std::vector<uint8_t>& b);
+  void WriteValue(const Value& v);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t>&& Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked reader for the same format.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Result<std::vector<uint8_t>> ReadBytes();
+  Result<Value> ReadValue();
+
+  bool AtEnd() const { return pos_ == buf_.size(); }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+  /// Fails unless at least `n` more bytes are available (public so that
+  /// callers can validate counts before reserving memory).
+  Status Need(size_t n) const;
+
+ private:
+
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+/// Writes `bytes` to `path` atomically-ish (tmp file + rename).
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes);
+
+/// Reads all of `path`.
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+}  // namespace tvdp::storage
+
+#endif  // TVDP_STORAGE_SERIALIZER_H_

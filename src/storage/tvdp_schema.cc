@@ -1,0 +1,99 @@
+#include "storage/tvdp_schema.h"
+
+namespace tvdp::storage {
+
+Status CreateTvdpSchema(Catalog& catalog) {
+  using VT = ValueType;
+  auto fk = [](const char* table) {
+    return std::optional<ForeignKey>(ForeignKey{table});
+  };
+
+  TVDP_RETURN_IF_ERROR(catalog.CreateTable(
+      tables::kImages,
+      Schema({
+          {"uri", VT::kString, false, std::nullopt},
+          {"lat", VT::kDouble, false, std::nullopt},
+          {"lon", VT::kDouble, false, std::nullopt},
+          {"timestamp_capturing", VT::kInt64, false, std::nullopt},
+          {"timestamp_uploading", VT::kInt64, false, std::nullopt},
+          {"source", VT::kString, false, std::nullopt},
+          {"is_augmented", VT::kBool, false, std::nullopt},
+          // Augmented images point back at their original.
+          {"original_image_id", VT::kInt64, true, fk(tables::kImages)},
+      })));
+
+  TVDP_RETURN_IF_ERROR(catalog.CreateTable(
+      tables::kImageFov,
+      Schema({
+          {"image_id", VT::kInt64, false, fk(tables::kImages)},
+          {"direction_deg", VT::kDouble, false, std::nullopt},
+          {"angle_deg", VT::kDouble, false, std::nullopt},
+          {"radius_m", VT::kDouble, false, std::nullopt},
+      })));
+
+  TVDP_RETURN_IF_ERROR(catalog.CreateTable(
+      tables::kImageSceneLocation,
+      Schema({
+          {"image_id", VT::kInt64, false, fk(tables::kImages)},
+          {"min_lat", VT::kDouble, false, std::nullopt},
+          {"min_lon", VT::kDouble, false, std::nullopt},
+          {"max_lat", VT::kDouble, false, std::nullopt},
+          {"max_lon", VT::kDouble, false, std::nullopt},
+      })));
+
+  TVDP_RETURN_IF_ERROR(catalog.CreateTable(
+      tables::kImageVisualFeatures,
+      Schema({
+          {"image_id", VT::kInt64, false, fk(tables::kImages)},
+          {"feature_kind", VT::kString, false, std::nullopt},
+          {"feature", VT::kFloatVector, false, std::nullopt},
+      })));
+
+  TVDP_RETURN_IF_ERROR(catalog.CreateTable(
+      tables::kImageContentClassification,
+      Schema({
+          {"name", VT::kString, false, std::nullopt},
+          {"description", VT::kString, true, std::nullopt},
+      })));
+
+  TVDP_RETURN_IF_ERROR(catalog.CreateTable(
+      tables::kImageContentClassificationTypes,
+      Schema({
+          {"classification_id", VT::kInt64, false,
+           fk(tables::kImageContentClassification)},
+          {"label", VT::kString, false, std::nullopt},
+      })));
+
+  TVDP_RETURN_IF_ERROR(catalog.CreateTable(
+      tables::kImageContentAnnotation,
+      Schema({
+          {"image_id", VT::kInt64, false, fk(tables::kImages)},
+          {"type_id", VT::kInt64, false,
+           fk(tables::kImageContentClassificationTypes)},
+          {"confidence", VT::kDouble, false, std::nullopt},
+          // "manual" or "machine" (Sec. IV-A annotation descriptors).
+          {"annotation_source", VT::kString, false, std::nullopt},
+          // Optional region for part-of-image labels.
+          {"region_x", VT::kInt64, true, std::nullopt},
+          {"region_y", VT::kInt64, true, std::nullopt},
+          {"region_w", VT::kInt64, true, std::nullopt},
+          {"region_h", VT::kInt64, true, std::nullopt},
+      })));
+
+  TVDP_RETURN_IF_ERROR(catalog.CreateTable(
+      tables::kImageManualKeywords,
+      Schema({
+          {"image_id", VT::kInt64, false, fk(tables::kImages)},
+          {"keyword", VT::kString, false, std::nullopt},
+      })));
+
+  return Status::OK();
+}
+
+Result<Catalog> MakeTvdpCatalog() {
+  Catalog catalog;
+  TVDP_RETURN_IF_ERROR(CreateTvdpSchema(catalog));
+  return catalog;
+}
+
+}  // namespace tvdp::storage

@@ -1,0 +1,47 @@
+#ifndef TVDP_STORAGE_TVDP_SCHEMA_H_
+#define TVDP_STORAGE_TVDP_SCHEMA_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace tvdp::storage {
+
+/// Table names of the TVDP database schema (paper Fig. 2).
+namespace tables {
+inline constexpr char kImages[] = "images";
+inline constexpr char kImageFov[] = "image_fov";
+inline constexpr char kImageSceneLocation[] = "image_scene_location";
+inline constexpr char kImageVisualFeatures[] = "image_visual_features";
+inline constexpr char kImageContentClassification[] =
+    "image_content_classification";
+inline constexpr char kImageContentClassificationTypes[] =
+    "image_content_classification_types";
+inline constexpr char kImageContentAnnotation[] = "image_content_annotation";
+inline constexpr char kImageManualKeywords[] = "image_manual_keywords";
+}  // namespace tables
+
+/// Creates all tables of the TVDP data model in `catalog`:
+///
+///  * images — the core entity: URI, GPS location (spatial descriptor #1),
+///    capture/upload timestamps (temporal descriptor), source, and the
+///    original/augmented distinction of Sec. IV-B.
+///  * image_fov — the FOV descriptor (L via images.lat/lon, theta, alpha, R).
+///  * image_scene_location — the scene-location MBR descriptor.
+///  * image_visual_features — one row per (image, feature kind): the
+///    visual descriptors (color histogram / SIFT-BoW / CNN).
+///  * image_content_classification — a classification task, e.g.
+///    "street_cleanliness" or "graffiti".
+///  * image_content_classification_types — the labels of each task.
+///  * image_content_annotation — image (or region) annotations referencing
+///    a label, with confidence and manual/machine provenance.
+///  * image_manual_keywords — the textual descriptor.
+Status CreateTvdpSchema(Catalog& catalog);
+
+/// A catalog pre-populated with the TVDP schema.
+Result<Catalog> MakeTvdpCatalog();
+
+}  // namespace tvdp::storage
+
+#endif  // TVDP_STORAGE_TVDP_SCHEMA_H_

@@ -1,0 +1,50 @@
+#include "storage/value.h"
+
+#include "common/strings.h"
+
+namespace tvdp::storage {
+
+std::string ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt64: return "int64";
+    case ValueType::kDouble: return "double";
+    case ValueType::kBool: return "bool";
+    case ValueType::kString: return "string";
+    case ValueType::kBlob: return "blob";
+    case ValueType::kFloatVector: return "float_vector";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(v_.index());
+}
+
+double Value::AsDouble() const {
+  if (std::holds_alternative<int64_t>(v_)) {
+    return static_cast<double>(std::get<int64_t>(v_));
+  }
+  return std::get<double>(v_);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt64: return StrFormat("%lld", static_cast<long long>(AsInt64()));
+    case ValueType::kDouble: return StrFormat("%.6g", std::get<double>(v_));
+    case ValueType::kBool: return AsBool() ? "true" : "false";
+    case ValueType::kString: return AsString();
+    case ValueType::kBlob: return StrFormat("<blob:%zu>", AsBlob().size());
+    case ValueType::kFloatVector:
+      return StrFormat("<vec:%zu>", AsFloatVector().size());
+  }
+  return "?";
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.v_.index() != b.v_.index()) return a.v_.index() < b.v_.index();
+  return a.v_ < b.v_;
+}
+
+}  // namespace tvdp::storage

@@ -1,0 +1,78 @@
+#ifndef TVDP_STORAGE_VALUE_H_
+#define TVDP_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tvdp::storage {
+
+/// Column value types supported by the embedded store. kFloatVector exists
+/// because visual feature vectors are first-class data in TVDP's schema
+/// (the Image_Visual_Features entity).
+enum class ValueType {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kBool,
+  kString,
+  kBlob,
+  kFloatVector,
+};
+
+/// Stable type name, e.g. "int64".
+std::string ValueTypeName(ValueType type);
+
+/// A dynamically typed cell value.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  Value(int64_t v) : v_(v) {}                       // NOLINT
+  Value(int v) : v_(static_cast<int64_t>(v)) {}     // NOLINT
+  Value(double v) : v_(v) {}                        // NOLINT
+  Value(bool v) : v_(v) {}                          // NOLINT
+  Value(const char* v) : v_(std::string(v)) {}      // NOLINT
+  Value(std::string v) : v_(std::move(v)) {}        // NOLINT
+  Value(std::vector<uint8_t> v) : v_(std::move(v)) {}  // NOLINT
+  Value(std::vector<double> v) : v_(std::move(v)) {}   // NOLINT
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; behaviour defined only for matching type.
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const;
+  bool AsBool() const { return std::get<bool>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  const std::vector<uint8_t>& AsBlob() const {
+    return std::get<std::vector<uint8_t>>(v_);
+  }
+  const std::vector<double>& AsFloatVector() const {
+    return std::get<std::vector<double>>(v_);
+  }
+
+  /// Render for debugging (blobs/vectors abbreviated).
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+
+  /// Ordering for index/sort use; values of different types order by type.
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string,
+               std::vector<uint8_t>, std::vector<double>>
+      v_;
+};
+
+/// A tuple of cell values (one per schema column).
+using Row = std::vector<Value>;
+
+}  // namespace tvdp::storage
+
+#endif  // TVDP_STORAGE_VALUE_H_

@@ -1,0 +1,68 @@
+#include "vision/bow.h"
+
+#include <algorithm>
+
+namespace tvdp::vision {
+
+Status BowEncoder::Fit(
+    const std::vector<std::vector<ml::FeatureVector>>& descriptors) {
+  std::vector<ml::FeatureVector> pool;
+  for (const auto& per_image : descriptors) {
+    for (const auto& d : per_image) pool.push_back(d);
+  }
+  if (pool.size() < static_cast<size_t>(options_.vocabulary_size)) {
+    return Status::FailedPrecondition(
+        "not enough descriptors to build BoW dictionary");
+  }
+  Rng rng(options_.seed);
+  if (pool.size() > options_.max_training_descriptors) {
+    rng.Shuffle(pool);
+    pool.resize(options_.max_training_descriptors);
+  }
+  ml::KMeans::Options km;
+  km.k = options_.vocabulary_size;
+  km.max_iterations = options_.kmeans_iterations;
+  TVDP_ASSIGN_OR_RETURN(ml::KMeans model, ml::KMeans::Fit(pool, km, rng));
+  kmeans_ = std::make_unique<ml::KMeans>(std::move(model));
+  return Status::OK();
+}
+
+Result<FeatureVector> BowEncoder::Encode(
+    const std::vector<ml::FeatureVector>& descriptors) const {
+  if (!fitted()) return Status::FailedPrecondition("BoW dictionary not fitted");
+  FeatureVector hist(vocabulary_size(), 0.0);
+  for (const auto& d : descriptors) {
+    hist[kmeans_->Assign(d)] += 1.0;
+  }
+  ml::L2NormalizeInPlace(hist);
+  return hist;
+}
+
+Status SiftBowExtractor::Fit(const std::vector<image::Image>& images,
+                             const std::vector<int>& /*labels*/) {
+  if (images.empty()) return Status::InvalidArgument("no training images");
+  std::vector<std::vector<ml::FeatureVector>> descriptor_sets;
+  descriptor_sets.reserve(images.size());
+  for (const auto& img : images) {
+    TVDP_ASSIGN_OR_RETURN(std::vector<SiftFeature> feats,
+                          detector_.DetectAndDescribe(img));
+    std::vector<ml::FeatureVector> descs;
+    descs.reserve(feats.size());
+    for (auto& f : feats) descs.push_back(std::move(f.descriptor));
+    descriptor_sets.push_back(std::move(descs));
+  }
+  return encoder_.Fit(descriptor_sets);
+}
+
+Result<FeatureVector> SiftBowExtractor::Extract(
+    const image::Image& img) const {
+  if (!ready()) return Status::FailedPrecondition("extractor not fitted");
+  TVDP_ASSIGN_OR_RETURN(std::vector<SiftFeature> feats,
+                        detector_.DetectAndDescribe(img));
+  std::vector<ml::FeatureVector> descs;
+  descs.reserve(feats.size());
+  for (auto& f : feats) descs.push_back(std::move(f.descriptor));
+  return encoder_.Encode(descs);
+}
+
+}  // namespace tvdp::vision

@@ -1,0 +1,78 @@
+#ifndef TVDP_VISION_BOW_H_
+#define TVDP_VISION_BOW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/kmeans.h"
+#include "vision/feature.h"
+#include "vision/sift.h"
+
+namespace tvdp::vision {
+
+/// Bag-of-visual-words encoder: quantizes a set of local descriptors
+/// against a k-means dictionary and emits a normalized word histogram.
+class BowEncoder {
+ public:
+  struct Options {
+    /// Dictionary size. The paper clusters SIFT points into 1000 words for
+    /// full-resolution photographs; the default here is scaled down for
+    /// the synthetic 64x64 corpus.
+    int vocabulary_size = 96;
+    /// Cap on descriptors sampled for dictionary training.
+    size_t max_training_descriptors = 60000;
+    int kmeans_iterations = 25;
+    uint64_t seed = 7;
+  };
+
+  BowEncoder() : BowEncoder(Options()) {}
+  explicit BowEncoder(Options options) : options_(options) {}
+
+  /// Builds the visual-word dictionary from per-image descriptor sets.
+  Status Fit(const std::vector<std::vector<ml::FeatureVector>>& descriptors);
+
+  /// Encodes one image's descriptors as an L2-normalized word histogram.
+  Result<FeatureVector> Encode(
+      const std::vector<ml::FeatureVector>& descriptors) const;
+
+  bool fitted() const { return kmeans_ != nullptr; }
+  size_t vocabulary_size() const {
+    return fitted() ? kmeans_->centroids().size() : 0;
+  }
+
+ private:
+  Options options_;
+  std::unique_ptr<ml::KMeans> kmeans_;
+};
+
+/// The SIFT-BoW visual descriptor of the TVDP data model: SIFT keypoints,
+/// quantized against a corpus-fitted dictionary.
+class SiftBowExtractor : public TrainableFeatureExtractor {
+ public:
+  SiftBowExtractor() = default;
+  SiftBowExtractor(SiftDetector::Options sift_options,
+                   BowEncoder::Options bow_options)
+      : detector_(sift_options), encoder_(bow_options) {}
+
+  /// Detects SIFT features on every image and fits the BoW dictionary.
+  /// Labels are ignored (unsupervised).
+  Status Fit(const std::vector<image::Image>& images,
+             const std::vector<int>& labels) override;
+
+  Result<FeatureVector> Extract(const image::Image& img) const override;
+  size_t dim() const override { return encoder_.vocabulary_size(); }
+  std::string name() const override { return "sift_bow"; }
+  bool ready() const override { return encoder_.fitted(); }
+
+  const SiftDetector& detector() const { return detector_; }
+
+ private:
+  SiftDetector detector_;
+  BowEncoder encoder_;
+};
+
+}  // namespace tvdp::vision
+
+#endif  // TVDP_VISION_BOW_H_

@@ -1,0 +1,255 @@
+#include "vision/cnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace tvdp::vision {
+namespace {
+
+/// Writes one hand-designed 3x3 kernel applied to input channel `in_ch`
+/// of filter `out_ch` into the bank.
+void SetKernel(std::vector<float>& bank, int out_ch, int in_channels,
+               int in_ch, const float k[9]) {
+  size_t base = (static_cast<size_t>(out_ch) * in_channels + in_ch) * 9;
+  for (int i = 0; i < 9; ++i) bank[base + i] = k[i];
+}
+
+}  // namespace
+
+CnnFeatureExtractor::CnnFeatureExtractor(Options options) : options_(options) {
+  options_.input_size = std::max(options_.input_size, 16);
+  options_.conv1_filters = std::max(options_.conv1_filters, 4);
+  options_.conv2_filters = std::max(options_.conv2_filters, 4);
+  options_.conv3_filters = std::max(options_.conv3_filters, 4);
+  InitFilters();
+}
+
+void CnnFeatureExtractor::InitFilters() {
+  Rng rng(options_.seed);
+  auto he_init = [&](std::vector<float>& bank, int out_c, int in_c) {
+    bank.assign(static_cast<size_t>(out_c) * in_c * 9, 0.0f);
+    float scale = std::sqrt(2.0f / (in_c * 9));
+    for (float& w : bank) w = static_cast<float>(rng.Normal(0, scale));
+  };
+
+  he_init(f1_, options_.conv1_filters, 3);
+  b1_.assign(static_cast<size_t>(options_.conv1_filters), 0.0f);
+  // First filters are hand-designed: luminance edges and color opponency,
+  // the same primitives early layers of trained CNNs converge to.
+  const float sobel_x[9] = {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+  const float sobel_y[9] = {-1, -2, -1, 0, 0, 0, 1, 2, 1};
+  const float diag[9] = {0, 1, 2, -1, 0, 1, -2, -1, 0};
+  const float laplace[9] = {0, -1, 0, -1, 4, -1, 0, -1, 0};
+  const float avg_third[9] = {0.11f, 0.11f, 0.11f, 0.11f, 0.11f, 0.11f,
+                              0.11f, 0.11f, 0.11f};
+  const float neg_third[9] = {-0.11f, -0.11f, -0.11f, -0.11f, -0.11f, -0.11f,
+                              -0.11f, -0.11f, -0.11f};
+  int n = options_.conv1_filters;
+  // Filters 0-3: grayscale edge detectors (same kernel on all channels,
+  // scaled by luma weights).
+  const float* edges[4] = {sobel_x, sobel_y, diag, laplace};
+  for (int f = 0; f < 4 && f < n; ++f) {
+    float kr[9], kg[9], kb[9];
+    for (int i = 0; i < 9; ++i) {
+      kr[i] = 0.299f * edges[f][i];
+      kg[i] = 0.587f * edges[f][i];
+      kb[i] = 0.114f * edges[f][i];
+    }
+    SetKernel(f1_, f, 3, 0, kr);
+    SetKernel(f1_, f, 3, 1, kg);
+    SetKernel(f1_, f, 3, 2, kb);
+  }
+  // Filter 4: green-vs-red opponency (vegetation detector primitive).
+  if (n > 4) {
+    SetKernel(f1_, 4, 3, 0, neg_third);
+    SetKernel(f1_, 4, 3, 1, avg_third);
+    SetKernel(f1_, 4, 3, 2, neg_third);
+  }
+  // Filter 5: blue-vs-yellow opponency (tarp / sky primitive).
+  if (n > 5) {
+    SetKernel(f1_, 5, 3, 0, neg_third);
+    SetKernel(f1_, 5, 3, 1, neg_third);
+    SetKernel(f1_, 5, 3, 2, avg_third);
+  }
+  // Remaining conv1 filters keep their seeded random init.
+
+  he_init(f2_, options_.conv2_filters, options_.conv1_filters);
+  b2_.assign(static_cast<size_t>(options_.conv2_filters), 0.0f);
+  he_init(f3_, options_.conv3_filters, options_.conv2_filters);
+  b3_.assign(static_cast<size_t>(options_.conv3_filters), 0.0f);
+}
+
+CnnFeatureExtractor::Tensor CnnFeatureExtractor::ImageToTensor(
+    const image::Image& img) const {
+  image::Image input = img;
+  if (img.width() != options_.input_size ||
+      img.height() != options_.input_size) {
+    auto resized = img.Resize(options_.input_size, options_.input_size);
+    if (resized.ok()) input = std::move(resized).value();
+  }
+  Tensor t;
+  t.channels = 3;
+  t.width = input.width();
+  t.height = input.height();
+  t.data.resize(static_cast<size_t>(3) * t.width * t.height);
+  for (int y = 0; y < t.height; ++y) {
+    for (int x = 0; x < t.width; ++x) {
+      const image::Rgb& p = input.at(x, y);
+      t.at(0, x, y) = p.r / 255.0f - 0.5f;
+      t.at(1, x, y) = p.g / 255.0f - 0.5f;
+      t.at(2, x, y) = p.b / 255.0f - 0.5f;
+    }
+  }
+  return t;
+}
+
+CnnFeatureExtractor::Tensor CnnFeatureExtractor::ConvReluPool(
+    const Tensor& in, const std::vector<float>& filters,
+    const std::vector<float>& bias, int out_channels) {
+  // 3x3 same-padding convolution + ReLU.
+  Tensor conv;
+  conv.channels = out_channels;
+  conv.width = in.width;
+  conv.height = in.height;
+  conv.data.assign(
+      static_cast<size_t>(out_channels) * in.width * in.height, 0.0f);
+  for (int oc = 0; oc < out_channels; ++oc) {
+    for (int ic = 0; ic < in.channels; ++ic) {
+      const float* k =
+          &filters[(static_cast<size_t>(oc) * in.channels + ic) * 9];
+      for (int y = 0; y < in.height; ++y) {
+        int ym = std::max(y - 1, 0), yp = std::min(y + 1, in.height - 1);
+        for (int x = 0; x < in.width; ++x) {
+          int xm = std::max(x - 1, 0), xp = std::min(x + 1, in.width - 1);
+          float acc = k[0] * in.at(ic, xm, ym) + k[1] * in.at(ic, x, ym) +
+                      k[2] * in.at(ic, xp, ym) + k[3] * in.at(ic, xm, y) +
+                      k[4] * in.at(ic, x, y) + k[5] * in.at(ic, xp, y) +
+                      k[6] * in.at(ic, xm, yp) + k[7] * in.at(ic, x, yp) +
+                      k[8] * in.at(ic, xp, yp);
+          conv.at(oc, x, y) += acc;
+        }
+      }
+    }
+    // Bias + ReLU.
+    for (int y = 0; y < conv.height; ++y) {
+      for (int x = 0; x < conv.width; ++x) {
+        float v = conv.at(oc, x, y) + bias[static_cast<size_t>(oc)];
+        conv.at(oc, x, y) = v > 0 ? v : 0;
+      }
+    }
+  }
+  // 2x2 max pool, stride 2.
+  Tensor out;
+  out.channels = out_channels;
+  out.width = std::max(conv.width / 2, 1);
+  out.height = std::max(conv.height / 2, 1);
+  out.data.resize(static_cast<size_t>(out_channels) * out.width * out.height);
+  for (int c = 0; c < out_channels; ++c) {
+    for (int y = 0; y < out.height; ++y) {
+      for (int x = 0; x < out.width; ++x) {
+        int x0 = 2 * x, y0 = 2 * y;
+        int x1 = std::min(x0 + 1, conv.width - 1);
+        int y1 = std::min(y0 + 1, conv.height - 1);
+        out.at(c, x, y) = std::max(
+            std::max(conv.at(c, x0, y0), conv.at(c, x1, y0)),
+            std::max(conv.at(c, x0, y1), conv.at(c, x1, y1)));
+      }
+    }
+  }
+  return out;
+}
+
+size_t CnnFeatureExtractor::raw_dim() const {
+  // Global average (C) + 2x2 average pyramid (4C).
+  return static_cast<size_t>(options_.conv3_filters) * 5;
+}
+
+size_t CnnFeatureExtractor::dim() const {
+  return fine_tuned() ? static_cast<size_t>(options_.finetune_units)
+                      : raw_dim();
+}
+
+Result<FeatureVector> CnnFeatureExtractor::ExtractRaw(
+    const image::Image& img) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  Tensor t = ImageToTensor(img);
+  t = ConvReluPool(t, f1_, b1_, options_.conv1_filters);
+  t = ConvReluPool(t, f2_, b2_, options_.conv2_filters);
+  t = ConvReluPool(t, f3_, b3_, options_.conv3_filters);
+
+  FeatureVector feat(raw_dim(), 0.0);
+  int c3 = options_.conv3_filters;
+  // Global average pool.
+  for (int c = 0; c < c3; ++c) {
+    double sum = 0;
+    for (int y = 0; y < t.height; ++y) {
+      for (int x = 0; x < t.width; ++x) sum += t.at(c, x, y);
+    }
+    feat[static_cast<size_t>(c)] = sum / (t.width * t.height);
+  }
+  // 2x2 spatial pyramid of average pools (keeps coarse layout: sky vs
+  // sidewalk vs road matters for street scenes).
+  int hw = std::max(t.width / 2, 1), hh = std::max(t.height / 2, 1);
+  for (int qy = 0; qy < 2; ++qy) {
+    for (int qx = 0; qx < 2; ++qx) {
+      int x0 = qx * hw, y0 = qy * hh;
+      int x1 = qx == 1 ? t.width : hw;
+      int y1 = qy == 1 ? t.height : hh;
+      for (int c = 0; c < c3; ++c) {
+        double sum = 0;
+        int count = 0;
+        for (int y = y0; y < y1; ++y) {
+          for (int x = x0; x < x1; ++x) {
+            sum += t.at(c, x, y);
+            ++count;
+          }
+        }
+        feat[static_cast<size_t>(c3 + (qy * 2 + qx) * c3 + c)] =
+            count > 0 ? sum / count : 0;
+      }
+    }
+  }
+  ml::L2NormalizeInPlace(feat);
+  return feat;
+}
+
+Status CnnFeatureExtractor::Fit(const std::vector<image::Image>& images,
+                                const std::vector<int>& labels) {
+  if (images.empty()) return Status::InvalidArgument("no training images");
+  if (images.size() != labels.size()) {
+    return Status::InvalidArgument("images/labels size mismatch");
+  }
+  ml::Dataset data;
+  for (size_t i = 0; i < images.size(); ++i) {
+    TVDP_ASSIGN_OR_RETURN(FeatureVector f, ExtractRaw(images[i]));
+    TVDP_RETURN_IF_ERROR(data.Add(std::move(f), labels[i]));
+  }
+  moments_ = data.ComputeMoments();
+  data.Standardize(moments_);
+  ml::MlpClassifier::Options mlp;
+  mlp.hidden_units = options_.finetune_units;
+  mlp.epochs = options_.finetune_epochs;
+  mlp.seed = options_.seed;
+  auto head = std::make_unique<ml::MlpClassifier>(mlp);
+  TVDP_RETURN_IF_ERROR(head->Train(data));
+  head_ = std::move(head);
+  return Status::OK();
+}
+
+Result<FeatureVector> CnnFeatureExtractor::Extract(
+    const image::Image& img) const {
+  TVDP_ASSIGN_OR_RETURN(FeatureVector raw, ExtractRaw(img));
+  if (!fine_tuned()) return raw;
+  for (size_t d = 0; d < raw.size() && d < moments_.mean.size(); ++d) {
+    double sd = moments_.stddev[d] > 1e-12 ? moments_.stddev[d] : 1.0;
+    raw[d] = (raw[d] - moments_.mean[d]) / sd;
+  }
+  FeatureVector embedded = head_->HiddenActivations(raw);
+  ml::L2NormalizeInPlace(embedded);
+  return embedded;
+}
+
+}  // namespace tvdp::vision

@@ -1,0 +1,103 @@
+#ifndef TVDP_VISION_CNN_H_
+#define TVDP_VISION_CNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/mlp.h"
+#include "vision/feature.h"
+
+namespace tvdp::vision {
+
+/// CNN-based feature extractor, built from scratch in place of the
+/// fine-tuned Caffe network of the paper's experiments.
+///
+/// Architecture: three convolution blocks with fixed filter banks —
+/// the first mixes hand-designed edge/color-opponent kernels with seeded
+/// random kernels, the deeper ones use seeded random (He-scaled) kernels —
+/// each followed by ReLU and 2x2 max pooling. The head concatenates a
+/// global average pool with a 2x2 spatial average-pool pyramid, giving a
+/// dense "deep feature".
+///
+/// "Fine-tuning" (the transfer-learning step of Sec. VII-A) trains a
+/// one-hidden-layer MLP on the deep features of a labelled corpus; after
+/// fitting, Extract() returns the learned hidden-layer embedding, which is
+/// what gives CNN features their edge over SIFT-BoW in Fig. 6. Random
+/// convolutional features with a trained readout are a faithful small-scale
+/// analogue of a fine-tuned pretrained network: the convolutional trunk is
+/// generic and fixed, the task adaptation happens in the trained head.
+class CnnFeatureExtractor : public TrainableFeatureExtractor {
+ public:
+  struct Options {
+    /// Input is resized to input_size x input_size before the trunk.
+    int input_size = 64;
+    int conv1_filters = 12;
+    int conv2_filters = 24;
+    int conv3_filters = 32;
+    /// Hidden width of the fine-tuning head (= output dim once fitted).
+    int finetune_units = 64;
+    int finetune_epochs = 60;
+    uint64_t seed = 1234;
+  };
+
+  CnnFeatureExtractor() : CnnFeatureExtractor(Options()) {}
+  explicit CnnFeatureExtractor(Options options);
+
+  /// Fine-tunes the head on the labelled corpus. Labels are required.
+  Status Fit(const std::vector<image::Image>& images,
+             const std::vector<int>& labels) override;
+
+  /// Returns the fine-tuned embedding when fitted, otherwise the raw deep
+  /// feature (both L2-normalized).
+  Result<FeatureVector> Extract(const image::Image& img) const override;
+
+  size_t dim() const override;
+  std::string name() const override { return "cnn"; }
+  /// The raw (pre-fine-tuning) trunk is always usable.
+  bool ready() const override { return true; }
+  bool fine_tuned() const { return head_ != nullptr; }
+
+  /// The raw trunk feature (before any fine-tuning head).
+  Result<FeatureVector> ExtractRaw(const image::Image& img) const;
+
+  /// Dimensionality of the raw trunk feature.
+  size_t raw_dim() const;
+
+ private:
+  /// A [channels][h*w] activation tensor.
+  struct Tensor {
+    int channels = 0;
+    int height = 0;
+    int width = 0;
+    std::vector<float> data;  // channel-major
+
+    float at(int c, int x, int y) const {
+      return data[(static_cast<size_t>(c) * height + y) * width + x];
+    }
+    float& at(int c, int x, int y) {
+      return data[(static_cast<size_t>(c) * height + y) * width + x];
+    }
+  };
+
+  /// 3x3 same-padding convolution + ReLU using `filters` laid out as
+  /// [out][in][3*3], followed by 2x2 max pool.
+  static Tensor ConvReluPool(const Tensor& in, const std::vector<float>& filters,
+                             const std::vector<float>& bias, int out_channels);
+
+  void InitFilters();
+  Tensor ImageToTensor(const image::Image& img) const;
+
+  Options options_;
+  std::vector<float> f1_, b1_, f2_, b2_, f3_, b3_;
+  /// Per-dimension moments of the raw trunk features on the fine-tuning
+  /// corpus; Extract standardizes with these before applying the head
+  /// (the scale-free trunk output needs whitening, as batch-norm would
+  /// provide in a real network).
+  ml::Dataset::Moments moments_;
+  std::unique_ptr<ml::MlpClassifier> head_;
+};
+
+}  // namespace tvdp::vision
+
+#endif  // TVDP_VISION_CNN_H_

@@ -1,0 +1,46 @@
+#include "vision/color_histogram.h"
+
+#include <algorithm>
+
+namespace tvdp::vision {
+
+ColorHistogramExtractor::ColorHistogramExtractor(Options options)
+    : options_(options) {
+  options_.h_bins = std::max(options_.h_bins, 1);
+  options_.s_bins = std::max(options_.s_bins, 1);
+  options_.v_bins = std::max(options_.v_bins, 1);
+}
+
+size_t ColorHistogramExtractor::dim() const {
+  return static_cast<size_t>(options_.h_bins + options_.s_bins +
+                             options_.v_bins);
+}
+
+Result<FeatureVector> ColorHistogramExtractor::Extract(
+    const image::Image& img) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  FeatureVector feat(dim(), 0.0);
+  double* h_hist = feat.data();
+  double* s_hist = feat.data() + options_.h_bins;
+  double* v_hist = s_hist + options_.s_bins;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      image::Hsv hsv = image::RgbToHsv(img.at(x, y));
+      int hb = std::min(static_cast<int>(hsv.h / 360.0 * options_.h_bins),
+                        options_.h_bins - 1);
+      int sb = std::min(static_cast<int>(hsv.s * options_.s_bins),
+                        options_.s_bins - 1);
+      int vb = std::min(static_cast<int>(hsv.v * options_.v_bins),
+                        options_.v_bins - 1);
+      h_hist[std::max(hb, 0)] += 1.0;
+      s_hist[std::max(sb, 0)] += 1.0;
+      v_hist[std::max(vb, 0)] += 1.0;
+    }
+  }
+  // Each marginal is L1-normalized so the three blocks contribute equally.
+  double n = static_cast<double>(img.pixel_count());
+  for (double& v : feat) v /= n;
+  return feat;
+}
+
+}  // namespace tvdp::vision

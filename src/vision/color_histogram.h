@@ -1,0 +1,36 @@
+#ifndef TVDP_VISION_COLOR_HISTOGRAM_H_
+#define TVDP_VISION_COLOR_HISTOGRAM_H_
+
+#include <string>
+
+#include "vision/feature.h"
+
+namespace tvdp::vision {
+
+/// HSV color histogram descriptor. Matches the paper's configuration
+/// (Sec. VII-A): "images were processed in the HSV color space, and the
+/// color histogram was divided into 20, 20, and 10 bins in H, S, and V" —
+/// i.e. three marginal histograms concatenated into a 50-d vector, each
+/// marginal L1-normalized.
+class ColorHistogramExtractor : public FeatureExtractor {
+ public:
+  struct Options {
+    int h_bins = 20;
+    int s_bins = 20;
+    int v_bins = 10;
+  };
+
+  ColorHistogramExtractor() : ColorHistogramExtractor(Options()) {}
+  explicit ColorHistogramExtractor(Options options);
+
+  Result<FeatureVector> Extract(const image::Image& img) const override;
+  size_t dim() const override;
+  std::string name() const override { return "color_histogram"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace tvdp::vision
+
+#endif  // TVDP_VISION_COLOR_HISTOGRAM_H_

@@ -1,0 +1,26 @@
+#include "vision/feature.h"
+
+namespace tvdp::vision {
+
+std::string FeatureKindName(FeatureKind kind) {
+  switch (kind) {
+    case FeatureKind::kColorHistogram: return "color_histogram";
+    case FeatureKind::kSiftBow: return "sift_bow";
+    case FeatureKind::kCnn: return "cnn";
+  }
+  return "unknown";
+}
+
+Result<std::vector<FeatureVector>> ExtractAll(
+    const FeatureExtractor& extractor,
+    const std::vector<image::Image>& images) {
+  std::vector<FeatureVector> out;
+  out.reserve(images.size());
+  for (const auto& img : images) {
+    TVDP_ASSIGN_OR_RETURN(FeatureVector f, extractor.Extract(img));
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace tvdp::vision

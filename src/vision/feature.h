@@ -1,0 +1,64 @@
+#ifndef TVDP_VISION_FEATURE_H_
+#define TVDP_VISION_FEATURE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "image/image.h"
+#include "ml/dataset.h"
+
+namespace tvdp::vision {
+
+/// Feature vectors reuse the ML representation so descriptors flow
+/// directly into classifiers and indexes.
+using ml::FeatureVector;
+
+/// The visual-descriptor families of the TVDP data model (paper Sec. IV-A):
+/// color histogram, SIFT-based bag of words, and CNN-based features.
+enum class FeatureKind {
+  kColorHistogram,
+  kSiftBow,
+  kCnn,
+};
+
+/// Stable display name, e.g. "sift_bow".
+std::string FeatureKindName(FeatureKind kind);
+
+/// Extracts a fixed-length feature vector from an image.
+class FeatureExtractor {
+ public:
+  virtual ~FeatureExtractor() = default;
+
+  /// Computes the descriptor for `img`.
+  virtual Result<FeatureVector> Extract(const image::Image& img) const = 0;
+
+  /// Output dimensionality (fixed once the extractor is ready).
+  virtual size_t dim() const = 0;
+
+  /// Short stable name, e.g. "cnn".
+  virtual std::string name() const = 0;
+
+  /// Whether Extract may be called (some extractors must be fitted first).
+  virtual bool ready() const { return true; }
+};
+
+/// A feature extractor that must be fitted on a training corpus before use
+/// (the SIFT-BoW dictionary, the CNN fine-tuning head).
+class TrainableFeatureExtractor : public FeatureExtractor {
+ public:
+  /// Fits the extractor. `labels` is parallel to `images` and may be
+  /// ignored by unsupervised extractors (BoW); supervised fine-tuning
+  /// (CNN) uses it.
+  virtual Status Fit(const std::vector<image::Image>& images,
+                     const std::vector<int>& labels) = 0;
+};
+
+/// Extracts features for a batch of images, failing on the first error.
+Result<std::vector<FeatureVector>> ExtractAll(
+    const FeatureExtractor& extractor, const std::vector<image::Image>& images);
+
+}  // namespace tvdp::vision
+
+#endif  // TVDP_VISION_FEATURE_H_

@@ -1,0 +1,276 @@
+#include "vision/sift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvdp::vision {
+namespace {
+
+constexpr int kDescriptorGrid = 4;   // 4x4 spatial cells
+constexpr int kDescriptorBins = 8;   // orientations per cell
+constexpr int kDescriptorDim = kDescriptorGrid * kDescriptorGrid *
+                               kDescriptorBins;
+
+/// Gradient magnitude/orientation at (x, y) with border clamping.
+void GradientAt(const GrayImage& img, int x, int y, double* magnitude,
+                double* orientation) {
+  int xm = std::max(x - 1, 0), xp = std::min(x + 1, img.width - 1);
+  int ym = std::max(y - 1, 0), yp = std::min(y + 1, img.height - 1);
+  double dx = img.at(xp, y) - img.at(xm, y);
+  double dy = img.at(x, yp) - img.at(x, ym);
+  *magnitude = std::sqrt(dx * dx + dy * dy);
+  *orientation = std::atan2(dy, dx);  // (-pi, pi]
+}
+
+/// True iff DoG value at (x,y) in `cur` is a local extremum across the
+/// 3x3x3 neighbourhood spanned by prev/cur/next.
+bool IsExtremum(const GrayImage& prev, const GrayImage& cur,
+                const GrayImage& next, int x, int y) {
+  float v = cur.at(x, y);
+  bool is_max = true, is_min = true;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (const GrayImage* level : {&prev, &cur, &next}) {
+        if (level == &cur && dx == 0 && dy == 0) continue;
+        float n = level->at(x + dx, y + dy);
+        if (n >= v) is_max = false;
+        if (n <= v) is_min = false;
+        if (!is_max && !is_min) return false;
+      }
+    }
+  }
+  return is_max || is_min;
+}
+
+/// Rejects edge-like responses via the Hessian trace/determinant test.
+bool PassesEdgeTest(const GrayImage& dog, int x, int y, double r) {
+  double dxx = dog.at(x + 1, y) + dog.at(x - 1, y) - 2.0 * dog.at(x, y);
+  double dyy = dog.at(x, y + 1) + dog.at(x, y - 1) - 2.0 * dog.at(x, y);
+  double dxy = (dog.at(x + 1, y + 1) - dog.at(x - 1, y + 1) -
+                dog.at(x + 1, y - 1) + dog.at(x - 1, y - 1)) /
+               4.0;
+  double trace = dxx + dyy;
+  double det = dxx * dyy - dxy * dxy;
+  if (det <= 0) return false;
+  double threshold = (r + 1) * (r + 1) / r;
+  return trace * trace / det < threshold;
+}
+
+}  // namespace
+
+GrayImage ToGrayImage(const image::Image& img) {
+  GrayImage out;
+  out.width = img.width();
+  out.height = img.height();
+  out.data = img.ToGray();
+  return out;
+}
+
+GrayImage GaussianBlur(const GrayImage& src, double sigma) {
+  if (sigma <= 0.01) return src;
+  int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<float> kernel(static_cast<size_t>(2 * radius + 1));
+  double sum = 0;
+  for (int i = -radius; i <= radius; ++i) {
+    double v = std::exp(-(i * i) / (2.0 * sigma * sigma));
+    kernel[static_cast<size_t>(i + radius)] = static_cast<float>(v);
+    sum += v;
+  }
+  for (float& k : kernel) k = static_cast<float>(k / sum);
+
+  GrayImage tmp = src;
+  // Horizontal pass.
+  for (int y = 0; y < src.height; ++y) {
+    for (int x = 0; x < src.width; ++x) {
+      float acc = 0;
+      for (int i = -radius; i <= radius; ++i) {
+        int xx = std::clamp(x + i, 0, src.width - 1);
+        acc += kernel[static_cast<size_t>(i + radius)] * src.at(xx, y);
+      }
+      tmp.at(x, y) = acc;
+    }
+  }
+  GrayImage out = tmp;
+  // Vertical pass.
+  for (int y = 0; y < src.height; ++y) {
+    for (int x = 0; x < src.width; ++x) {
+      float acc = 0;
+      for (int i = -radius; i <= radius; ++i) {
+        int yy = std::clamp(y + i, 0, src.height - 1);
+        acc += kernel[static_cast<size_t>(i + radius)] * tmp.at(x, yy);
+      }
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+GrayImage Downsample2x(const GrayImage& src) {
+  GrayImage out;
+  out.width = std::max(src.width / 2, 1);
+  out.height = std::max(src.height / 2, 1);
+  out.data.resize(static_cast<size_t>(out.width) * out.height);
+  for (int y = 0; y < out.height; ++y) {
+    for (int x = 0; x < out.width; ++x) {
+      out.at(x, y) = src.at(std::min(2 * x, src.width - 1),
+                            std::min(2 * y, src.height - 1));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<SiftFeature>> SiftDetector::DetectAndDescribe(
+    const image::Image& img) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  if (img.width() < 16 || img.height() < 16) {
+    return Status::InvalidArgument("image too small for SIFT (min 16x16)");
+  }
+
+  std::vector<SiftFeature> features;
+  const int s = std::max(options_.scales_per_octave, 1);
+  const double k = std::pow(2.0, 1.0 / s);
+
+  GrayImage base = ToGrayImage(img);
+  double octave_scale = 1.0;  // base-image pixels per octave pixel
+
+  for (int octave = 0; octave < options_.num_octaves; ++octave) {
+    if (base.width < 16 || base.height < 16) break;
+    // Gaussian stack: s + 3 levels.
+    std::vector<GrayImage> gauss;
+    gauss.reserve(static_cast<size_t>(s) + 3);
+    gauss.push_back(GaussianBlur(base, options_.base_sigma));
+    for (int i = 1; i < s + 3; ++i) {
+      double sigma_prev = options_.base_sigma * std::pow(k, i - 1);
+      double sigma_next = sigma_prev * k;
+      double delta = std::sqrt(std::max(
+          sigma_next * sigma_next - sigma_prev * sigma_prev, 1e-6));
+      gauss.push_back(GaussianBlur(gauss.back(), delta));
+    }
+    // DoG stack: s + 2 levels.
+    std::vector<GrayImage> dog;
+    dog.reserve(gauss.size() - 1);
+    for (size_t i = 0; i + 1 < gauss.size(); ++i) {
+      GrayImage d = gauss[i];
+      for (size_t p = 0; p < d.data.size(); ++p) {
+        d.data[p] = gauss[i + 1].data[p] - gauss[i].data[p];
+      }
+      dog.push_back(std::move(d));
+    }
+
+    for (int level = 1; level + 1 < static_cast<int>(dog.size()); ++level) {
+      const GrayImage& cur = dog[static_cast<size_t>(level)];
+      const GrayImage& prev = dog[static_cast<size_t>(level) - 1];
+      const GrayImage& next = dog[static_cast<size_t>(level) + 1];
+      const GrayImage& grad_img = gauss[static_cast<size_t>(level)];
+      double sigma = options_.base_sigma * std::pow(k, level);
+
+      for (int y = 2; y < cur.height - 2; ++y) {
+        for (int x = 2; x < cur.width - 2; ++x) {
+          float v = cur.at(x, y);
+          if (std::abs(v) < options_.contrast_threshold) continue;
+          if (!IsExtremum(prev, cur, next, x, y)) continue;
+          if (!PassesEdgeTest(cur, x, y, options_.edge_threshold)) continue;
+
+          // Orientation assignment: 36-bin histogram of gradient
+          // directions in a sigma-scaled window.
+          constexpr int kOriBins = 36;
+          double hist[kOriBins] = {0};
+          int radius = std::max(2, static_cast<int>(std::lround(3.0 * sigma)));
+          for (int dy = -radius; dy <= radius; ++dy) {
+            for (int dx = -radius; dx <= radius; ++dx) {
+              int xx = x + dx, yy = y + dy;
+              if (xx < 1 || xx >= grad_img.width - 1 || yy < 1 ||
+                  yy >= grad_img.height - 1) {
+                continue;
+              }
+              double mag, ori;
+              GradientAt(grad_img, xx, yy, &mag, &ori);
+              double w = std::exp(-(dx * dx + dy * dy) /
+                                  (2.0 * (1.5 * sigma) * (1.5 * sigma)));
+              int bin = static_cast<int>(
+                            std::floor((ori + M_PI) / (2 * M_PI) * kOriBins)) %
+                        kOriBins;
+              hist[bin] += w * mag;
+            }
+          }
+          int best_bin = 0;
+          for (int b = 1; b < kOriBins; ++b) {
+            if (hist[b] > hist[best_bin]) best_bin = b;
+          }
+          double orientation =
+              (best_bin + 0.5) / kOriBins * 2 * M_PI - M_PI;
+
+          // Descriptor: 4x4 cells of 8-bin orientation histograms over a
+          // rotated window of width 16 * (sigma / base_sigma) pixels.
+          ml::FeatureVector desc(kDescriptorDim, 0.0);
+          double cell = 4.0 * sigma / options_.base_sigma;  // pixels/cell
+          double cos_o = std::cos(orientation), sin_o = std::sin(orientation);
+          int win = static_cast<int>(std::ceil(cell * kDescriptorGrid / 2 *
+                                               std::sqrt(2.0)));
+          for (int dy = -win; dy <= win; ++dy) {
+            for (int dx = -win; dx <= win; ++dx) {
+              int xx = x + dx, yy = y + dy;
+              if (xx < 1 || xx >= grad_img.width - 1 || yy < 1 ||
+                  yy >= grad_img.height - 1) {
+                continue;
+              }
+              // Rotate the offset into the keypoint frame.
+              double rx = (cos_o * dx + sin_o * dy) / cell +
+                          kDescriptorGrid / 2.0 - 0.5;
+              double ry = (-sin_o * dx + cos_o * dy) / cell +
+                          kDescriptorGrid / 2.0 - 0.5;
+              int cx = static_cast<int>(std::floor(rx + 0.5));
+              int cy = static_cast<int>(std::floor(ry + 0.5));
+              if (cx < 0 || cx >= kDescriptorGrid || cy < 0 ||
+                  cy >= kDescriptorGrid) {
+                continue;
+              }
+              double mag, ori;
+              GradientAt(grad_img, xx, yy, &mag, &ori);
+              double rel = ori - orientation;
+              while (rel < 0) rel += 2 * M_PI;
+              while (rel >= 2 * M_PI) rel -= 2 * M_PI;
+              int ob = std::min(static_cast<int>(rel / (2 * M_PI) *
+                                                 kDescriptorBins),
+                                kDescriptorBins - 1);
+              double w = std::exp(-(dx * dx + dy * dy) /
+                                  (2.0 * (cell * kDescriptorGrid / 2) *
+                                   (cell * kDescriptorGrid / 2)));
+              desc[static_cast<size_t>((cy * kDescriptorGrid + cx) *
+                                       kDescriptorBins + ob)] += w * mag;
+            }
+          }
+          // Normalize, clip at 0.2 (illumination robustness), renormalize.
+          ml::L2NormalizeInPlace(desc);
+          for (double& d : desc) d = std::min(d, 0.2);
+          ml::L2NormalizeInPlace(desc);
+
+          SiftFeature feat;
+          feat.keypoint.x = x * octave_scale;
+          feat.keypoint.y = y * octave_scale;
+          feat.keypoint.scale = sigma * octave_scale;
+          feat.keypoint.orientation = orientation;
+          feat.keypoint.response = std::abs(v);
+          feat.descriptor = std::move(desc);
+          features.push_back(std::move(feat));
+        }
+      }
+    }
+    base = Downsample2x(base);
+    octave_scale *= 2.0;
+  }
+
+  if (options_.max_keypoints > 0 &&
+      features.size() > static_cast<size_t>(options_.max_keypoints)) {
+    std::partial_sort(features.begin(),
+                      features.begin() + options_.max_keypoints,
+                      features.end(),
+                      [](const SiftFeature& a, const SiftFeature& b) {
+                        return a.keypoint.response > b.keypoint.response;
+                      });
+    features.resize(static_cast<size_t>(options_.max_keypoints));
+  }
+  return features;
+}
+
+}  // namespace tvdp::vision

@@ -1,0 +1,86 @@
+#ifndef TVDP_VISION_SIFT_H_
+#define TVDP_VISION_SIFT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "image/image.h"
+#include "ml/dataset.h"
+
+namespace tvdp::vision {
+
+/// A detected scale-space keypoint.
+struct SiftKeypoint {
+  double x = 0;            ///< column, pixels, base-image coordinates
+  double y = 0;            ///< row, pixels, base-image coordinates
+  double scale = 1;        ///< sigma of the detection scale
+  double orientation = 0;  ///< dominant gradient direction, radians
+  double response = 0;     ///< |DoG| contrast at the extremum
+};
+
+/// A keypoint with its 128-d gradient-histogram descriptor.
+struct SiftFeature {
+  SiftKeypoint keypoint;
+  ml::FeatureVector descriptor;  // 4x4 cells x 8 orientations = 128 dims
+};
+
+/// From-scratch simplified SIFT (Lowe 2004): Gaussian scale space,
+/// difference-of-Gaussians extrema with contrast and edge-response
+/// filtering, orientation assignment from a 36-bin gradient histogram,
+/// and the classic 4x4x8 descriptor with trilinear-ish binning, clipped
+/// at 0.2 and renormalized. This is the engineering method behind the
+/// data model's SIFT-BoW visual descriptor.
+class SiftDetector {
+ public:
+  struct Options {
+    int num_octaves = 3;
+    /// DoG levels per octave used for extrema (s); 2+s Gaussians built.
+    int scales_per_octave = 3;
+    double base_sigma = 1.6;
+    /// Minimum |DoG| contrast for a keypoint (on [0,1] intensities).
+    double contrast_threshold = 0.015;
+    /// Maximum principal-curvature ratio (Lowe's r = 10).
+    double edge_threshold = 10.0;
+    /// Hard cap on keypoints per image (strongest kept); 0 = unlimited.
+    int max_keypoints = 128;
+  };
+
+  SiftDetector() : SiftDetector(Options()) {}
+  explicit SiftDetector(Options options) : options_(options) {}
+
+  /// Detects keypoints and computes their descriptors.
+  Result<std::vector<SiftFeature>> DetectAndDescribe(
+      const image::Image& img) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+/// A single-channel float image used by the scale-space pipeline.
+struct GrayImage {
+  int width = 0;
+  int height = 0;
+  std::vector<float> data;  // row-major, [0,1]
+
+  float at(int x, int y) const {
+    return data[static_cast<size_t>(y) * width + x];
+  }
+  float& at(int x, int y) {
+    return data[static_cast<size_t>(y) * width + x];
+  }
+};
+
+/// Converts an RGB image to a GrayImage.
+GrayImage ToGrayImage(const image::Image& img);
+
+/// Separable Gaussian blur with the given sigma.
+GrayImage GaussianBlur(const GrayImage& src, double sigma);
+
+/// 2x downsampling (picks every other pixel).
+GrayImage Downsample2x(const GrayImage& src);
+
+}  // namespace tvdp::vision
+
+#endif  // TVDP_VISION_SIFT_H_

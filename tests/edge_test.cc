@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "edge/crowd_learning.h"
+#include "edge/device.h"
+#include "edge/dispatcher.h"
+#include "edge/model_profile.h"
+#include "edge/simulator.h"
+#include "ml/linear_svm.h"
+
+namespace tvdp::edge {
+namespace {
+
+// ---------- Profiles ----------
+
+TEST(DeviceTest, PaperProfilesExist) {
+  auto devices = PaperDeviceProfiles();
+  ASSERT_EQ(devices.size(), 3u);
+  EXPECT_EQ(devices[0].device_class, DeviceClass::kDesktop);
+  EXPECT_EQ(devices[1].device_class, DeviceClass::kRaspberryPi);
+  EXPECT_EQ(devices[2].device_class, DeviceClass::kSmartphone);
+  // Throughput ordering: desktop > smartphone > pi.
+  EXPECT_GT(devices[0].effective_gflops, devices[2].effective_gflops);
+  EXPECT_GT(devices[2].effective_gflops, devices[1].effective_gflops);
+}
+
+TEST(DeviceTest, ClassNames) {
+  EXPECT_EQ(DeviceClassName(DeviceClass::kDesktop), "desktop");
+  EXPECT_EQ(DeviceClassName(DeviceClass::kRaspberryPi), "raspberry_pi");
+  EXPECT_EQ(DeviceClassName(DeviceClass::kSmartphone), "smartphone");
+}
+
+TEST(DeviceTest, SampleProfileVariesButKeepsClass) {
+  Rng rng(1);
+  DeviceProfile a = SampleProfile(DeviceClass::kRaspberryPi, rng);
+  DeviceProfile b = SampleProfile(DeviceClass::kRaspberryPi, rng);
+  EXPECT_EQ(a.device_class, DeviceClass::kRaspberryPi);
+  EXPECT_NE(a.effective_gflops, b.effective_gflops);
+}
+
+TEST(ModelTest, PublishedComplexityOrdering) {
+  ModelProfile v1 = MakeMobileNetV1Profile();
+  ModelProfile v2 = MakeMobileNetV2Profile();
+  ModelProfile inception = MakeInceptionV3Profile();
+  EXPECT_LT(v2.gflops_per_inference, v1.gflops_per_inference);
+  EXPECT_GT(inception.gflops_per_inference, v1.gflops_per_inference * 5);
+  EXPECT_GT(inception.accuracy, v2.accuracy);
+  EXPECT_EQ(PaperModelProfiles().size(), 3u);
+}
+
+TEST(ModelTest, LadderIsSortedByCost) {
+  auto ladder = ModelComplexityLadder();
+  ASSERT_GE(ladder.size(), 3u);
+  for (size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GE(ladder[i].gflops_per_inference,
+              ladder[i - 1].gflops_per_inference);
+  }
+}
+
+// ---------- Inference simulator (Fig. 8 shape) ----------
+
+TEST(SimulatorTest, ExpectedLatencyScalesWithFlops) {
+  DeviceProfile desktop = MakeDesktopProfile();
+  double v2 = InferenceSimulator::ExpectedLatencyMs(desktop,
+                                                    MakeMobileNetV2Profile());
+  double inception = InferenceSimulator::ExpectedLatencyMs(
+      desktop, MakeInceptionV3Profile());
+  EXPECT_GT(inception, v2);
+}
+
+TEST(SimulatorTest, PaperDeviceOrderingHolds) {
+  // Fig. 8: for every model, RPi >> smartphone > desktop.
+  for (const ModelProfile& model : PaperModelProfiles()) {
+    double desktop = InferenceSimulator::ExpectedLatencyMs(
+        MakeDesktopProfile(), model);
+    double phone = InferenceSimulator::ExpectedLatencyMs(
+        MakeSmartphoneProfile(), model);
+    double pi = InferenceSimulator::ExpectedLatencyMs(
+        MakeRaspberryPiProfile(), model);
+    EXPECT_GT(phone, desktop) << model.name;
+    EXPECT_GT(pi, phone) << model.name;
+    // "on average 1.5x order of magnitude slower": at least one order.
+    EXPECT_GT(pi / desktop, 10.0) << model.name;
+  }
+}
+
+TEST(SimulatorTest, MemoryPressureInflatesLatency) {
+  DeviceProfile pi = MakeRaspberryPiProfile();
+  ModelProfile big = MakeInceptionV3Profile();
+  ModelProfile small = MakeMobileNetV2Profile();
+  double big_ratio =
+      InferenceSimulator::ExpectedLatencyMs(pi, big) /
+      (big.gflops_per_inference / pi.effective_gflops * 1000.0 +
+       pi.dispatch_overhead_ms);
+  double small_ratio =
+      InferenceSimulator::ExpectedLatencyMs(pi, small) /
+      (small.gflops_per_inference / pi.effective_gflops * 1000.0 +
+       pi.dispatch_overhead_ms);
+  EXPECT_GT(big_ratio, 1.05);       // InceptionV3 thrashes on 1GB
+  EXPECT_NEAR(small_ratio, 1.0, 1e-9);  // MobileNet fits fine
+}
+
+TEST(SimulatorTest, NoiseIsBoundedAndMeanConverges) {
+  InferenceSimulator sim;
+  DeviceProfile desktop = MakeDesktopProfile();
+  ModelProfile model = MakeMobileNetV1Profile();
+  double expected = InferenceSimulator::ExpectedLatencyMs(desktop, model);
+  double mean = sim.MeanLatencyMs(desktop, model, 3000);
+  EXPECT_NEAR(mean / expected, 1.0, 0.05);
+}
+
+TEST(SimulatorTest, DeterministicForSeed) {
+  InferenceSimulator::Options opts;
+  opts.seed = 5;
+  InferenceSimulator a(opts), b(opts);
+  DeviceProfile phone = MakeSmartphoneProfile();
+  ModelProfile model = MakeMobileNetV2Profile();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.SimulateInferenceMs(phone, model),
+                     b.SimulateInferenceMs(phone, model));
+  }
+}
+
+TEST(SimulatorTest, TransferTimeScalesWithBytesAndBandwidth) {
+  DeviceProfile pi = MakeRaspberryPiProfile();
+  DeviceProfile desktop = MakeDesktopProfile();
+  EXPECT_GT(InferenceSimulator::TransferMs(pi, 1e6),
+            InferenceSimulator::TransferMs(desktop, 1e6));
+  EXPECT_NEAR(InferenceSimulator::TransferMs(pi, 2e6),
+              2 * InferenceSimulator::TransferMs(pi, 1e6), 1e-9);
+}
+
+// ---------- Dispatcher ----------
+
+TEST(DispatcherTest, DesktopGetsFullModelPiGetsSmall) {
+  ModelDispatcher dispatcher(ModelComplexityLadder());
+  auto desktop = dispatcher.Dispatch(MakeDesktopProfile(), 200);
+  ASSERT_TRUE(desktop.ok());
+  EXPECT_EQ(desktop->name, "inception_v3");
+  auto pi = dispatcher.Dispatch(MakeRaspberryPiProfile(), 200);
+  ASSERT_TRUE(pi.ok());
+  EXPECT_LT(pi->gflops_per_inference, 0.5);
+}
+
+TEST(DispatcherTest, TighterBudgetMeansCheaperModel) {
+  ModelDispatcher dispatcher(ModelComplexityLadder());
+  DeviceProfile phone = MakeSmartphoneProfile();
+  auto generous = dispatcher.Dispatch(phone, 2000);
+  auto tight = dispatcher.Dispatch(phone, 30);
+  ASSERT_TRUE(generous.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GE(generous->accuracy, tight->accuracy);
+  EXPECT_GE(generous->gflops_per_inference, tight->gflops_per_inference);
+}
+
+TEST(DispatcherTest, ImpossibleBudgetFallsBackToCheapest) {
+  ModelDispatcher dispatcher(ModelComplexityLadder());
+  auto result = dispatcher.Dispatch(MakeRaspberryPiProfile(), 0.001);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->name, ModelComplexityLadder().front().name);
+}
+
+TEST(DispatcherTest, EmptyLadderFails) {
+  ModelDispatcher dispatcher({});
+  EXPECT_FALSE(dispatcher.Dispatch(MakeDesktopProfile(), 100).ok());
+}
+
+TEST(DispatcherTest, MemoryConstraintExcludesHugeModels) {
+  DeviceProfile tiny = MakeRaspberryPiProfile();
+  tiny.memory_mb = 64;
+  ModelDispatcher dispatcher({MakeInceptionV3Profile()});
+  EXPECT_FALSE(dispatcher.Dispatch(tiny, 1e9).ok());
+}
+
+// ---------- Crowd learning loop (Fig. 4) ----------
+
+/// Gaussian-blob corpus shared by the loop tests.
+void MakeBlobData(int n, int num_classes, uint64_t seed, ml::Dataset* out) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    int c = static_cast<int>(rng.UniformInt(0, num_classes - 1));
+    ml::FeatureVector x(6);
+    for (size_t d = 0; d < x.size(); ++d) {
+      x[d] = (static_cast<int>(d) % num_classes == c ? 3.0 : 0.0) +
+             rng.Normal(0, 1.0);
+    }
+    ASSERT_TRUE(out->Add(std::move(x), c).ok());
+  }
+}
+
+std::vector<EdgeNode> MakeNodes(int per_class_count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EdgeNode> nodes;
+  DeviceClass classes[] = {DeviceClass::kDesktop, DeviceClass::kRaspberryPi,
+                           DeviceClass::kSmartphone};
+  for (DeviceClass c : classes) {
+    for (int i = 0; i < per_class_count; ++i) {
+      EdgeNode node;
+      node.device = SampleProfile(c, rng);
+      ml::Dataset local;
+      MakeBlobData(40, 3, rng.NextU64(), &local);
+      node.local_data = local.samples();
+      nodes.push_back(std::move(node));
+    }
+  }
+  return nodes;
+}
+
+TEST(CrowdLearningTest, AccuracyImprovesWithRounds) {
+  ml::Dataset seed_train, test;
+  MakeBlobData(30, 3, 11, &seed_train);   // small seed: weak initial model
+  MakeBlobData(300, 3, 12, &test);
+  ml::LinearSvmClassifier prototype;
+  CrowdLearningLoop::Options opts;
+  opts.rounds = 6;
+  opts.upload_budget_bytes = 16 * 48;  // a few samples per device per round
+  CrowdLearningLoop loop(prototype, seed_train, test, MakeNodes(2, 13), opts);
+  auto history = loop.Run();
+  ASSERT_TRUE(history.ok()) << history.status();
+  ASSERT_EQ(history->size(), 7u);  // round 0 + 6
+  EXPECT_GT(history->back().test_macro_f1,
+            history->front().test_macro_f1 - 1e-9);
+  EXPECT_GT(history->back().train_size, history->front().train_size);
+  // Bytes uploaded every active round.
+  EXPECT_GT((*history)[1].bytes_uploaded, 0);
+}
+
+TEST(CrowdLearningTest, FeatureUploadUsesLessBandwidthThanImages) {
+  ml::Dataset seed_train, test;
+  MakeBlobData(50, 3, 21, &seed_train);
+  MakeBlobData(100, 3, 22, &test);
+  ml::LinearSvmClassifier prototype;
+
+  CrowdLearningLoop::Options feat_opts;
+  feat_opts.rounds = 2;
+  feat_opts.upload_features = true;
+  feat_opts.upload_budget_bytes = 500 * 1024;
+  CrowdLearningLoop feat_loop(prototype, seed_train, test, MakeNodes(1, 23),
+                              feat_opts);
+  auto feat_hist = feat_loop.Run();
+  ASSERT_TRUE(feat_hist.ok());
+
+  CrowdLearningLoop::Options img_opts = feat_opts;
+  img_opts.upload_features = false;
+  CrowdLearningLoop img_loop(prototype, seed_train, test, MakeNodes(1, 23),
+                             img_opts);
+  auto img_hist = img_loop.Run();
+  ASSERT_TRUE(img_hist.ok());
+
+  // Same number of samples moved => far fewer bytes with features.
+  double feat_bytes = 0, img_bytes = 0;
+  for (const auto& r : *feat_hist) feat_bytes += r.bytes_uploaded;
+  for (const auto& r : *img_hist) img_bytes += r.bytes_uploaded;
+  EXPECT_LT(feat_bytes * 100, img_bytes);
+}
+
+TEST(CrowdLearningTest, ConfidenceSelectionBeatsRandomAtEqualBudget) {
+  ml::Dataset seed_train, test;
+  MakeBlobData(24, 3, 31, &seed_train);
+  MakeBlobData(400, 3, 32, &test);
+  ml::LinearSvmClassifier prototype;
+
+  auto run_policy = [&](SelectionPolicy policy) {
+    CrowdLearningLoop::Options opts;
+    opts.rounds = 5;
+    opts.policy = policy;
+    opts.upload_budget_bytes = 8 * 48;
+    CrowdLearningLoop loop(prototype, seed_train, test, MakeNodes(2, 33),
+                           opts);
+    auto history = loop.Run();
+    EXPECT_TRUE(history.ok());
+    return history->back().test_macro_f1;
+  };
+  double random_f1 = run_policy(SelectionPolicy::kRandom);
+  double confident_f1 = run_policy(SelectionPolicy::kLowConfidence);
+  // Active selection should not be materially worse; usually better.
+  EXPECT_GE(confident_f1 + 0.05, random_f1);
+}
+
+TEST(CrowdLearningTest, DispatchAdaptsToDeviceClass) {
+  ml::Dataset seed_train, test;
+  MakeBlobData(60, 3, 41, &seed_train);
+  MakeBlobData(60, 3, 42, &test);
+  ml::LinearSvmClassifier prototype;
+  CrowdLearningLoop::Options opts;
+  opts.rounds = 1;
+  opts.latency_budget_ms = 150;
+  auto nodes = MakeNodes(1, 43);
+  CrowdLearningLoop loop(prototype, seed_train, test, nodes, opts);
+  ASSERT_TRUE(loop.Run().ok());
+  const auto& dispatch = loop.last_dispatch();
+  ASSERT_EQ(dispatch.size(), nodes.size());
+  // Node 0 is the desktop, node 1 the Pi: the desktop gets a bigger model.
+  EXPECT_GT(dispatch[0].gflops_per_inference,
+            dispatch[1].gflops_per_inference);
+}
+
+TEST(CrowdLearningTest, Validation) {
+  ml::LinearSvmClassifier prototype;
+  ml::Dataset empty, test;
+  MakeBlobData(10, 2, 51, &test);
+  CrowdLearningLoop bad_seed(prototype, empty, test, {}, {});
+  EXPECT_FALSE(bad_seed.Run().ok());
+  CrowdLearningLoop bad_test(prototype, test, empty, {}, {});
+  EXPECT_FALSE(bad_test.Run().ok());
+}
+
+TEST(SelectionPolicyTest, Names) {
+  EXPECT_EQ(SelectionPolicyName(SelectionPolicy::kRandom), "random");
+  EXPECT_EQ(SelectionPolicyName(SelectionPolicy::kLowConfidence),
+            "low_confidence");
+  EXPECT_EQ(SelectionPolicyName(SelectionPolicy::kMargin), "margin");
+}
+
+}  // namespace
+}  // namespace tvdp::edge

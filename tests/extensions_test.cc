@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "index/rtree.h"
+#include "platform/dataset_gen.h"
+#include "platform/export.h"
+#include "platform/video.h"
+#include "query/localize.h"
+
+namespace tvdp {
+namespace {
+
+// ---------- R-tree STR bulk loading ----------
+
+geo::BoundingBox RandomBox(Rng& rng) {
+  double lat = rng.Uniform(33.9, 34.2);
+  double lon = rng.Uniform(-118.5, -118.1);
+  geo::BoundingBox box;
+  box.min_lat = lat;
+  box.min_lon = lon;
+  box.max_lat = lat + rng.Uniform(0, 0.01);
+  box.max_lon = lon + rng.Uniform(0, 0.01);
+  return box;
+}
+
+class BulkLoadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BulkLoadTest, EquivalentToIncrementalInsert) {
+  const int n = GetParam();
+  Rng rng(500 + n);
+  std::vector<std::pair<geo::BoundingBox, index::RecordId>> entries;
+  index::RTree incremental;
+  for (int i = 0; i < n; ++i) {
+    geo::BoundingBox box = RandomBox(rng);
+    entries.emplace_back(box, i);
+    ASSERT_TRUE(incremental.Insert(box, i).ok());
+  }
+  auto bulk = index::RTree::BulkLoad(entries);
+  ASSERT_TRUE(bulk.ok()) << bulk.status();
+  EXPECT_EQ(bulk->size(), static_cast<size_t>(n));
+  EXPECT_TRUE(bulk->CheckInvariants());
+  for (int q = 0; q < 20; ++q) {
+    geo::BoundingBox query = RandomBox(rng);
+    query.max_lat += 0.05;
+    query.max_lon += 0.05;
+    auto a = incremental.RangeSearch(query);
+    auto b = bulk->RangeSearch(query);
+    EXPECT_EQ(std::set<index::RecordId>(a.begin(), a.end()),
+              std::set<index::RecordId>(b.begin(), b.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BulkLoadTest,
+                         ::testing::Values(1, 15, 16, 17, 256, 2000));
+
+TEST(BulkLoadTest, EmptyInputYieldsEmptyTree) {
+  auto tree = index::RTree::BulkLoad({});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->empty());
+  Rng rng(1);
+  EXPECT_TRUE(tree->RangeSearch(RandomBox(rng)).empty());
+}
+
+TEST(BulkLoadTest, RejectsEmptyBoxes) {
+  EXPECT_FALSE(
+      index::RTree::BulkLoad({{geo::BoundingBox::Empty(), 1}}).ok());
+}
+
+TEST(BulkLoadTest, PackedTreeIsShallow) {
+  Rng rng(7);
+  std::vector<std::pair<geo::BoundingBox, index::RecordId>> entries;
+  index::RTree incremental;
+  for (int i = 0; i < 4000; ++i) {
+    geo::BoundingBox box = RandomBox(rng);
+    entries.emplace_back(box, i);
+    ASSERT_TRUE(incremental.Insert(box, i).ok());
+  }
+  auto bulk = index::RTree::BulkLoad(entries);
+  ASSERT_TRUE(bulk.ok());
+  // STR packs nodes full, so the bulk tree is never taller than the
+  // incrementally grown one.
+  EXPECT_LE(bulk->height(), incremental.height());
+}
+
+TEST(BulkLoadTest, SupportsSubsequentInserts) {
+  Rng rng(8);
+  std::vector<std::pair<geo::BoundingBox, index::RecordId>> entries;
+  for (int i = 0; i < 100; ++i) entries.emplace_back(RandomBox(rng), i);
+  auto tree = index::RTree::BulkLoad(entries);
+  ASSERT_TRUE(tree.ok());
+  geo::BoundingBox extra = RandomBox(rng);
+  ASSERT_TRUE(tree->Insert(extra, 999).ok());
+  EXPECT_EQ(tree->size(), 101u);
+  EXPECT_TRUE(tree->CheckInvariants());
+  auto hits = tree->RangeSearch(extra);
+  EXPECT_NE(std::find(hits.begin(), hits.end(), 999), hits.end());
+}
+
+// ---------- Video ingest / keyframe selection ----------
+
+TEST(VideoTest, SimulatedDriveProducesOrderedFrames) {
+  Rng rng(1);
+  auto frames = platform::SimulateDriveVideo(
+      geo::GeoPoint{34.05, -118.25}, 90, 10, 120, 30, 1546300800, rng);
+  ASSERT_EQ(frames.size(), 120u);
+  for (size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_GE(frames[i].captured_at, frames[i - 1].captured_at);
+    EXPECT_EQ(frames[i].frame_index, static_cast<int>(i));
+  }
+  // The car moved: first and last cameras are far apart.
+  EXPECT_GT(geo::HaversineMeters(frames.front().fov.camera,
+                                 frames.back().fov.camera),
+            20.0);
+}
+
+TEST(VideoTest, KeyframeSelectionCollapsesRedundantFrames) {
+  Rng rng(2);
+  auto frames = platform::SimulateDriveVideo(
+      geo::GeoPoint{34.05, -118.25}, 90, 10, 300, 30, 1546300800, rng);
+  platform::KeyframeSelector selector;
+  auto keys = selector.Select(frames);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_GT(keys->size(), 2u);
+  EXPECT_LE(keys->size(), 16u);  // default cap
+  // No duplicates.
+  std::set<size_t> unique(keys->begin(), keys->end());
+  EXPECT_EQ(unique.size(), keys->size());
+}
+
+TEST(VideoTest, KeyframesBeatUniformSamplingOnCoverage) {
+  Rng rng(3);
+  auto frames = platform::SimulateDriveVideo(
+      geo::GeoPoint{34.05, -118.25}, 90, 12, 300, 30, 1546300800, rng);
+  platform::KeyframeSelector::Options opts;
+  opts.max_keyframes = 8;
+  platform::KeyframeSelector selector(opts);
+  auto keys = selector.Select(frames);
+  ASSERT_TRUE(keys.ok());
+
+  geo::BoundingBox extent = geo::BoundingBox::Empty();
+  for (const auto& f : frames) extent.Extend(f.fov.SceneLocation());
+  auto coverage_of = [&](const std::vector<size_t>& picks) {
+    auto grid = geo::CoverageGrid::Make(extent, 24, 24, 8);
+    for (size_t i : picks) grid->AddFov(frames[i].fov);
+    return grid->CoverageRatio();
+  };
+  // Uniform pick of the same count.
+  std::vector<size_t> uniform;
+  for (size_t i = 0; i < keys->size(); ++i) {
+    uniform.push_back(i * frames.size() / keys->size());
+  }
+  EXPECT_GE(coverage_of(*keys) + 1e-12, coverage_of(uniform));
+}
+
+TEST(VideoTest, SelectorValidation) {
+  platform::KeyframeSelector selector;
+  auto empty = selector.Select({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(VideoTest, IngestVideoStoresKeyframesAsImages) {
+  auto created = platform::Tvdp::Create();
+  ASSERT_TRUE(created.ok());
+  platform::Tvdp tvdp = std::move(created).value();
+  Rng rng(4);
+  platform::VideoRecord video;
+  video.uri = "mediaq://drive42";
+  video.keywords = {"lasan", "route7"};
+  video.frames = platform::SimulateDriveVideo(
+      geo::GeoPoint{34.05, -118.25}, 90, 10, 150, 30, 1546300800, rng);
+  platform::KeyframeSelector selector;
+  auto ids = platform::IngestVideo(tvdp, video, selector);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  EXPECT_GT(ids->size(), 1u);
+  EXPECT_EQ(tvdp.image_count(), ids->size());
+
+  // Frames are individually addressable by keyword; the whole video is
+  // findable via its shared keywords.
+  query::TextualPredicate pred;
+  pred.keywords = {"route7"};
+  auto hits = tvdp.query().Textual(pred);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), ids->size());
+
+  // Spatial query along the drive path finds key frames.
+  auto spatial = tvdp.query().SpatialRange(
+      geo::BoundingBox::FromCenterRadius({34.05, -118.25}, 400));
+  ASSERT_TRUE(spatial.ok());
+  EXPECT_GE(spatial->size(), 1u);
+
+  EXPECT_FALSE(
+      platform::IngestVideo(tvdp, platform::VideoRecord{}, selector).ok());
+}
+
+// ---------- Scene localization ----------
+
+TEST(SceneLocalizerTest, LocalizesFromVisualNeighbours) {
+  auto created = platform::Tvdp::Create();
+  ASSERT_TRUE(created.ok());
+  platform::Tvdp tvdp = std::move(created).value();
+  Rng rng(5);
+
+  // Two visually distinct districts: features near e0 in the north-west,
+  // near e1 in the south-east.
+  geo::GeoPoint nw{34.09, -118.29}, se{34.01, -118.21};
+  for (int i = 0; i < 60; ++i) {
+    bool north = i % 2 == 0;
+    platform::ImageRecord rec;
+    rec.uri = "img" + std::to_string(i);
+    const geo::GeoPoint& base = north ? nw : se;
+    rec.location = geo::GeoPoint{base.lat + rng.Uniform(-0.004, 0.004),
+                                 base.lon + rng.Uniform(-0.004, 0.004)};
+    rec.captured_at = 1546300800;
+    auto id = tvdp.IngestImage(rec);
+    ASSERT_TRUE(id.ok());
+    ml::FeatureVector f(8, 0.0);
+    f[north ? 0 : 1] = 1.0;
+    for (double& v : f) v += rng.Normal(0, 0.05);
+    ASSERT_TRUE(tvdp.StoreFeature(*id, "cnn", f).ok());
+  }
+
+  query::SceneLocalizer localizer(&tvdp.query(), &tvdp.catalog());
+  ml::FeatureVector probe(8, 0.0);
+  probe[0] = 1.0;  // "looks like" the north-west district
+  auto loc = localizer.Localize("cnn", probe, 8);
+  ASSERT_TRUE(loc.ok()) << loc.status();
+  EXPECT_LT(geo::HaversineMeters(loc->estimate, nw), 800);
+  EXPECT_GT(geo::HaversineMeters(loc->estimate, se), 3000);
+  EXPECT_EQ(loc->support, 8);
+  EXPECT_LT(loc->spread_m, 1500);
+}
+
+TEST(SceneLocalizerTest, Validation) {
+  auto created = platform::Tvdp::Create();
+  ASSERT_TRUE(created.ok());
+  platform::Tvdp tvdp = std::move(created).value();
+  query::SceneLocalizer localizer(&tvdp.query(), &tvdp.catalog());
+  ml::FeatureVector probe(8, 0.0);
+  EXPECT_FALSE(localizer.Localize("cnn", probe, 0).ok());
+  // No features indexed yet.
+  EXPECT_FALSE(localizer.Localize("cnn", probe, 5).ok());
+}
+
+TEST(SceneLocalizerTest, SpreadReflectsAmbiguity) {
+  auto created = platform::Tvdp::Create();
+  ASSERT_TRUE(created.ok());
+  platform::Tvdp tvdp = std::move(created).value();
+  Rng rng(6);
+  // The same visual feature appears in two far-apart places (ambiguous
+  // scene, e.g. a chain storefront).
+  geo::GeoPoint a{34.09, -118.29}, b{34.01, -118.21};
+  for (int i = 0; i < 20; ++i) {
+    platform::ImageRecord rec;
+    rec.uri = "amb" + std::to_string(i);
+    rec.location = i % 2 == 0 ? a : b;
+    rec.captured_at = 1546300800;
+    auto id = tvdp.IngestImage(rec);
+    ASSERT_TRUE(id.ok());
+    ml::FeatureVector f(4, 1.0);
+    for (double& v : f) v += rng.Normal(0, 0.02);
+    ASSERT_TRUE(tvdp.StoreFeature(*id, "cnn", f).ok());
+  }
+  query::SceneLocalizer localizer(&tvdp.query(), &tvdp.catalog());
+  auto loc = localizer.Localize("cnn", ml::FeatureVector(4, 1.0), 10);
+  ASSERT_TRUE(loc.ok());
+  // Ambiguity shows up as a kilometre-scale spread.
+  EXPECT_GT(loc->spread_m, 2000);
+}
+
+// ---------- Dataset export ----------
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto created = platform::Tvdp::Create();
+    ASSERT_TRUE(created.ok());
+    tvdp_ = std::make_unique<platform::Tvdp>(std::move(created).value());
+    platform::ImageRecord rec;
+    rec.uri = "plain://img";
+    rec.location = geo::GeoPoint{34.05, -118.25};
+    rec.captured_at = 1546300800;
+    rec.source = "lasan_truck";
+    ids_.push_back(*tvdp_->IngestImage(rec));
+    // A record whose uri needs CSV quoting.
+    rec.uri = "weird://a,b\"c";
+    rec.location = geo::GeoPoint{34.06, -118.24};
+    ids_.push_back(*tvdp_->IngestImage(rec));
+  }
+  std::unique_ptr<platform::Tvdp> tvdp_;
+  std::vector<int64_t> ids_;
+};
+
+TEST_F(ExportTest, CsvEscaping) {
+  EXPECT_EQ(platform::CsvEscape("plain"), "plain");
+  EXPECT_EQ(platform::CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(platform::CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(platform::CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST_F(ExportTest, CsvHasHeaderAndEscapedRows) {
+  auto csv = platform::ExportMetadataCsv(*tvdp_, ids_);
+  ASSERT_TRUE(csv.ok()) << csv.status();
+  auto lines = StrSplit(*csv, '\n', /*skip_empty=*/true);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "id,uri,lat,lon,captured_at,uploaded_at,source");
+  EXPECT_NE(lines[1].find("plain://img"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"weird://a,b\"\"c\""), std::string::npos);
+  EXPECT_NE(lines[1].find("2019-01-01 00:00:00"), std::string::npos);
+}
+
+TEST_F(ExportTest, CsvMissingIdFails) {
+  EXPECT_FALSE(platform::ExportMetadataCsv(*tvdp_, {9999}).ok());
+}
+
+TEST_F(ExportTest, GeoJsonFeatureCollection) {
+  auto geojson = platform::ExportGeoJson(*tvdp_, ids_);
+  ASSERT_TRUE(geojson.ok()) << geojson.status();
+  EXPECT_EQ((*geojson)["type"].AsString(), "FeatureCollection");
+  ASSERT_EQ((*geojson)["features"].size(), 2u);
+  const Json& f0 = (*geojson)["features"].AsArray()[0];
+  EXPECT_EQ(f0["type"].AsString(), "Feature");
+  EXPECT_EQ(f0["geometry"]["type"].AsString(), "Point");
+  // GeoJSON coordinate order is [lon, lat].
+  EXPECT_NEAR(f0["geometry"]["coordinates"].AsArray()[0].AsDouble(), -118.25,
+              1e-9);
+  EXPECT_NEAR(f0["geometry"]["coordinates"].AsArray()[1].AsDouble(), 34.05,
+              1e-9);
+  EXPECT_EQ(f0["properties"]["source"].AsString(), "lasan_truck");
+  // The document must be valid JSON end-to-end.
+  auto reparsed = Json::Parse(geojson->Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, *geojson);
+}
+
+TEST_F(ExportTest, GeoJsonEmptySelection) {
+  auto geojson = platform::ExportGeoJson(*tvdp_, {});
+  ASSERT_TRUE(geojson.ok());
+  EXPECT_EQ((*geojson)["features"].size(), 0u);
+}
+
+}  // namespace
+}  // namespace tvdp

@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/bbox.h"
+#include "geo/coverage.h"
+#include "geo/fov.h"
+#include "geo/geo_point.h"
+#include "geo/polyline.h"
+
+namespace tvdp::geo {
+namespace {
+
+constexpr double kLaLat = 34.05;
+constexpr double kLaLon = -118.25;
+
+// ---------- GeoPoint / geodesy ----------
+
+TEST(GeodesyTest, HaversineZeroForSamePoint) {
+  GeoPoint p{kLaLat, kLaLon};
+  EXPECT_DOUBLE_EQ(HaversineMeters(p, p), 0.0);
+}
+
+TEST(GeodesyTest, HaversineKnownDistance) {
+  // LAX (33.9416, -118.4085) to SFO (37.6213, -122.3790) ~ 543 km.
+  GeoPoint lax{33.9416, -118.4085}, sfo{37.6213, -122.3790};
+  EXPECT_NEAR(HaversineMeters(lax, sfo), 543000, 5000);
+}
+
+TEST(GeodesyTest, HaversineSymmetry) {
+  GeoPoint a{34.0, -118.0}, b{34.3, -118.4};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(GeodesyTest, BearingCardinalDirections) {
+  GeoPoint origin{34.0, -118.0};
+  EXPECT_NEAR(InitialBearingDeg(origin, GeoPoint{34.1, -118.0}), 0.0, 0.1);
+  EXPECT_NEAR(InitialBearingDeg(origin, GeoPoint{34.0, -117.9}), 90.0, 0.1);
+  EXPECT_NEAR(InitialBearingDeg(origin, GeoPoint{33.9, -118.0}), 180.0, 0.1);
+  EXPECT_NEAR(InitialBearingDeg(origin, GeoPoint{34.0, -118.1}), 270.0, 0.1);
+}
+
+TEST(GeodesyTest, DestinationRoundtrip) {
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    GeoPoint start{rng.Uniform(33.5, 34.5), rng.Uniform(-118.9, -117.9)};
+    double bearing = rng.Uniform(0, 360);
+    double dist = rng.Uniform(10, 5000);
+    GeoPoint end = Destination(start, bearing, dist);
+    EXPECT_NEAR(HaversineMeters(start, end), dist, dist * 0.001 + 0.01);
+    EXPECT_NEAR(AngularDifference(InitialBearingDeg(start, end), bearing), 0.0,
+                0.5);
+  }
+}
+
+TEST(GeodesyTest, NormalizeBearing) {
+  EXPECT_DOUBLE_EQ(NormalizeBearing(0), 0);
+  EXPECT_DOUBLE_EQ(NormalizeBearing(360), 0);
+  EXPECT_DOUBLE_EQ(NormalizeBearing(-90), 270);
+  EXPECT_DOUBLE_EQ(NormalizeBearing(725), 5);
+}
+
+TEST(GeodesyTest, AngularDifferenceWraps) {
+  EXPECT_NEAR(AngularDifference(350, 10), -20, 1e-9);
+  EXPECT_NEAR(AngularDifference(10, 350), 20, 1e-9);
+  EXPECT_NEAR(AngularDifference(180, 0), 180, 1e-9);
+}
+
+TEST(GeodesyTest, Validity) {
+  EXPECT_TRUE(IsValid(GeoPoint{0, 0}));
+  EXPECT_TRUE(IsValid(GeoPoint{-90, 180}));
+  EXPECT_FALSE(IsValid(GeoPoint{91, 0}));
+  EXPECT_FALSE(IsValid(GeoPoint{0, -181}));
+}
+
+TEST(ProjectionTest, RoundtripCityScale) {
+  LocalProjection proj(GeoPoint{kLaLat, kLaLon});
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    GeoPoint p{kLaLat + rng.Uniform(-0.1, 0.1),
+               kLaLon + rng.Uniform(-0.1, 0.1)};
+    GeoPoint back = proj.Unproject(proj.Project(p));
+    EXPECT_NEAR(back.lat, p.lat, 1e-9);
+    EXPECT_NEAR(back.lon, p.lon, 1e-9);
+  }
+}
+
+TEST(ProjectionTest, DistancePreservedApproximately) {
+  LocalProjection proj(GeoPoint{kLaLat, kLaLon});
+  GeoPoint a{34.05, -118.25}, b{34.06, -118.24};
+  double planar = Distance(proj.Project(a), proj.Project(b));
+  double sphere = HaversineMeters(a, b);
+  EXPECT_NEAR(planar / sphere, 1.0, 0.01);
+}
+
+// ---------- BoundingBox ----------
+
+TEST(BBoxTest, EmptyBehaviour) {
+  BoundingBox box = BoundingBox::Empty();
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_FALSE(box.Contains(GeoPoint{0, 0}));
+  EXPECT_EQ(box.AreaDeg2(), 0.0);
+}
+
+TEST(BBoxTest, ExtendAndContain) {
+  BoundingBox box = BoundingBox::Empty();
+  box.Extend(GeoPoint{34.0, -118.3});
+  box.Extend(GeoPoint{34.1, -118.2});
+  EXPECT_TRUE(box.Contains(GeoPoint{34.05, -118.25}));
+  EXPECT_FALSE(box.Contains(GeoPoint{34.2, -118.25}));
+  EXPECT_TRUE(box.Contains(GeoPoint{34.0, -118.3}));  // boundary inclusive
+}
+
+TEST(BBoxTest, IntersectionCases) {
+  BoundingBox a = BoundingBox::FromCorners({34.0, -118.3}, {34.1, -118.2});
+  BoundingBox b = BoundingBox::FromCorners({34.05, -118.25}, {34.2, -118.1});
+  BoundingBox c = BoundingBox::FromCorners({35.0, -118.3}, {35.1, -118.2});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  BoundingBox inter = a.Intersection(b);
+  EXPECT_NEAR(inter.min_lat, 34.05, 1e-12);
+  EXPECT_NEAR(inter.max_lat, 34.1, 1e-12);
+  EXPECT_TRUE(a.Intersection(c).IsEmpty());
+}
+
+TEST(BBoxTest, ContainsBox) {
+  BoundingBox outer = BoundingBox::FromCorners({34.0, -118.4}, {34.2, -118.0});
+  BoundingBox inner = BoundingBox::FromCorners({34.05, -118.3}, {34.1, -118.2});
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(inner.Contains(outer));
+}
+
+TEST(BBoxTest, FromCenterRadiusCoversCircle) {
+  GeoPoint center{34.05, -118.25};
+  BoundingBox box = BoundingBox::FromCenterRadius(center, 500);
+  for (double bearing = 0; bearing < 360; bearing += 30) {
+    EXPECT_TRUE(box.Contains(Destination(center, bearing, 499)));
+  }
+  // And it is not wildly larger than needed.
+  EXPECT_FALSE(box.Contains(Destination(center, 45, 1200)));
+}
+
+TEST(BBoxTest, PerimeterAndArea) {
+  BoundingBox box = BoundingBox::FromCorners({0, 0}, {2, 3});
+  EXPECT_DOUBLE_EQ(box.AreaDeg2(), 6.0);
+  EXPECT_DOUBLE_EQ(box.PerimeterDeg(), 10.0);
+}
+
+// ---------- FieldOfView ----------
+
+TEST(FovTest, MakeValidation) {
+  GeoPoint cam{34.05, -118.25};
+  EXPECT_TRUE(FieldOfView::Make(cam, 90, 60, 100).ok());
+  EXPECT_FALSE(FieldOfView::Make(GeoPoint{100, 0}, 90, 60, 100).ok());
+  EXPECT_FALSE(FieldOfView::Make(cam, 90, 0, 100).ok());
+  EXPECT_FALSE(FieldOfView::Make(cam, 90, 361, 100).ok());
+  EXPECT_FALSE(FieldOfView::Make(cam, 90, 60, 0).ok());
+  auto wrapped = FieldOfView::Make(cam, -90, 60, 100);
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_DOUBLE_EQ(wrapped->direction_deg, 270);
+}
+
+TEST(FovTest, ContainsPointGeometry) {
+  GeoPoint cam{34.05, -118.25};
+  auto fov = FieldOfView::Make(cam, 0 /*north*/, 60, 200);
+  ASSERT_TRUE(fov.ok());
+  EXPECT_TRUE(fov->ContainsPoint(Destination(cam, 0, 100)));
+  EXPECT_TRUE(fov->ContainsPoint(Destination(cam, 25, 150)));
+  EXPECT_FALSE(fov->ContainsPoint(Destination(cam, 45, 100)));  // outside angle
+  EXPECT_FALSE(fov->ContainsPoint(Destination(cam, 0, 250)));   // beyond R
+  EXPECT_FALSE(fov->ContainsPoint(Destination(cam, 180, 50)));  // behind
+  EXPECT_TRUE(fov->ContainsPoint(cam));  // camera location itself
+}
+
+TEST(FovTest, FullCircleFovSeesAllDirectionsWithinRadius) {
+  GeoPoint cam{34.05, -118.25};
+  auto fov = FieldOfView::Make(cam, 123, 360, 100);
+  ASSERT_TRUE(fov.ok());
+  for (double b = 0; b < 360; b += 20) {
+    EXPECT_TRUE(fov->ContainsPoint(Destination(cam, b, 90)));
+  }
+}
+
+TEST(FovTest, SceneLocationContainsSectorSamples) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    GeoPoint cam{rng.Uniform(33.9, 34.2), rng.Uniform(-118.5, -118.0)};
+    auto fov = FieldOfView::Make(cam, rng.Uniform(0, 360),
+                                 rng.Uniform(20, 120), rng.Uniform(50, 400));
+    ASSERT_TRUE(fov.ok());
+    BoundingBox scene = fov->SceneLocation();
+    EXPECT_TRUE(scene.Contains(cam));
+    double half = fov->angle_deg / 2;
+    for (int i = 0; i <= 10; ++i) {
+      double b = fov->direction_deg - half + fov->angle_deg * i / 10.0;
+      double r = fov->radius_m * (i % 2 == 0 ? 1.0 : 0.5);
+      EXPECT_TRUE(scene.Contains(Destination(cam, b, r)))
+          << fov->ToString() << " sample bearing " << b;
+    }
+  }
+}
+
+TEST(FovTest, SceneLocationTightOnCardinalCrossing) {
+  GeoPoint cam{34.05, -118.25};
+  // FOV sweeping across north: the northmost point is at full radius due
+  // north, not at the boundary rays.
+  auto fov = FieldOfView::Make(cam, 0, 90, 300);
+  ASSERT_TRUE(fov.ok());
+  BoundingBox scene = fov->SceneLocation();
+  GeoPoint north = Destination(cam, 0, 300);
+  EXPECT_NEAR(scene.max_lat, north.lat, 1e-9);
+}
+
+TEST(FovTest, IntersectsBBoxAgreesWithContainment) {
+  GeoPoint cam{34.05, -118.25};
+  auto fov = FieldOfView::Make(cam, 90, 60, 300);
+  ASSERT_TRUE(fov.ok());
+  // A box around a point inside the sector.
+  GeoPoint inside = Destination(cam, 90, 150);
+  EXPECT_TRUE(fov->IntersectsBBox(BoundingBox::FromCenterRadius(inside, 20)));
+  // A box far behind the camera.
+  GeoPoint behind = Destination(cam, 270, 400);
+  EXPECT_FALSE(fov->IntersectsBBox(BoundingBox::FromCenterRadius(behind, 20)));
+  // A giant box containing the camera.
+  EXPECT_TRUE(fov->IntersectsBBox(BoundingBox::FromCenterRadius(cam, 1000)));
+}
+
+TEST(FovTest, CoversBearing) {
+  GeoPoint cam{34.05, -118.25};
+  auto fov = FieldOfView::Make(cam, 350, 40, 100);
+  ASSERT_TRUE(fov.ok());
+  EXPECT_TRUE(fov->CoversBearing(350));
+  EXPECT_TRUE(fov->CoversBearing(5));    // wraps through north
+  EXPECT_TRUE(fov->CoversBearing(330));
+  EXPECT_FALSE(fov->CoversBearing(90));
+}
+
+TEST(FovTest, SectorFractionInsideBBox) {
+  GeoPoint cam{34.05, -118.25};
+  auto fov = FieldOfView::Make(cam, 0, 60, 200);
+  ASSERT_TRUE(fov.ok());
+  // Whole scene box => fraction ~1.
+  EXPECT_GT(SectorFractionInsideBBox(*fov, fov->SceneLocation()), 0.95);
+  // Disjoint box => 0.
+  BoundingBox far_box =
+      BoundingBox::FromCenterRadius(Destination(cam, 180, 5000), 100);
+  EXPECT_DOUBLE_EQ(SectorFractionInsideBBox(*fov, far_box), 0.0);
+}
+
+// ---------- Polyline / StreetNetwork ----------
+
+TEST(PolylineTest, LengthAndPointAt) {
+  GeoPoint a{34.0, -118.25};
+  GeoPoint b = Destination(a, 90, 1000);
+  Polyline line({a, b});
+  EXPECT_NEAR(line.LengthMeters(), 1000, 1);
+  GeoPoint mid = line.PointAt(500);
+  EXPECT_NEAR(HaversineMeters(a, mid), 500, 5);
+  EXPECT_EQ(line.PointAt(-5), a);
+  EXPECT_EQ(line.PointAt(99999), b);
+}
+
+TEST(PolylineTest, BearingFollowsSegments) {
+  GeoPoint a{34.0, -118.25};
+  GeoPoint b = Destination(a, 90, 500);
+  GeoPoint c = Destination(b, 0, 500);
+  Polyline line({a, b, c});
+  EXPECT_NEAR(line.BearingAt(100), 90, 1);
+  EXPECT_NEAR(line.BearingAt(700), 0, 1);
+}
+
+TEST(StreetNetworkTest, GridShape) {
+  Rng rng(5);
+  BoundingBox region = BoundingBox::FromCorners({34.0, -118.3}, {34.1, -118.2});
+  StreetNetwork net = StreetNetwork::MakeGrid(region, 4, 3, rng);
+  EXPECT_EQ(net.streets().size(), 7u);
+  EXPECT_GT(net.TotalLengthMeters(), 0);
+}
+
+TEST(StreetNetworkTest, SamplesLieInRegionEnvelope) {
+  Rng rng(6);
+  BoundingBox region = BoundingBox::FromCorners({34.0, -118.3}, {34.1, -118.2});
+  StreetNetwork net = StreetNetwork::MakeGrid(region, 5, 5, rng);
+  // Allow jitter margin.
+  BoundingBox envelope = region;
+  envelope.Extend(GeoPoint{region.min_lat - 0.01, region.min_lon - 0.01});
+  envelope.Extend(GeoPoint{region.max_lat + 0.01, region.max_lon + 0.01});
+  for (int i = 0; i < 300; ++i) {
+    auto s = net.Sample(rng);
+    EXPECT_TRUE(envelope.Contains(s.location));
+    EXPECT_LT(s.street_index, net.streets().size());
+  }
+}
+
+TEST(StreetNetworkTest, EmptyForDegenerateInput) {
+  Rng rng(1);
+  StreetNetwork net = StreetNetwork::MakeGrid(BoundingBox::Empty(), 3, 3, rng);
+  EXPECT_TRUE(net.streets().empty());
+}
+
+// ---------- CoverageGrid ----------
+
+TEST(CoverageTest, MakeValidation) {
+  BoundingBox region = BoundingBox::FromCorners({34.0, -118.3}, {34.1, -118.2});
+  EXPECT_TRUE(CoverageGrid::Make(region, 4, 4, 4).ok());
+  EXPECT_FALSE(CoverageGrid::Make(BoundingBox::Empty(), 4, 4).ok());
+  EXPECT_FALSE(CoverageGrid::Make(region, 0, 4).ok());
+  EXPECT_FALSE(CoverageGrid::Make(region, 4, 4, 0).ok());
+  EXPECT_FALSE(CoverageGrid::Make(region, 4, 4, 999).ok());
+}
+
+TEST(CoverageTest, StartsEmpty) {
+  BoundingBox region = BoundingBox::FromCorners({34.0, -118.3}, {34.1, -118.2});
+  auto grid = CoverageGrid::Make(region, 4, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_DOUBLE_EQ(grid->CoverageRatio(), 0.0);
+  EXPECT_EQ(grid->FindGaps().size(), 16u);
+}
+
+TEST(CoverageTest, SingleFovCoversSomething) {
+  BoundingBox region = BoundingBox::FromCorners({34.0, -118.3}, {34.1, -118.2});
+  auto grid = CoverageGrid::Make(region, 8, 8, 4);
+  ASSERT_TRUE(grid.ok());
+  auto fov = FieldOfView::Make(region.Center(), 0, 90, 500);
+  ASSERT_TRUE(fov.ok());
+  int gained = grid->AddFov(*fov);
+  EXPECT_GT(gained, 0);
+  EXPECT_GT(grid->CoverageRatio(), 0.0);
+  EXPECT_GE(grid->CellCoverageRatio(), grid->CoverageRatio());
+}
+
+TEST(CoverageTest, MarginalGainIsMonotonicInformation) {
+  BoundingBox region = BoundingBox::FromCorners({34.0, -118.3}, {34.1, -118.2});
+  auto grid = CoverageGrid::Make(region, 8, 8, 4);
+  ASSERT_TRUE(grid.ok());
+  auto fov = FieldOfView::Make(region.Center(), 0, 90, 500);
+  ASSERT_TRUE(fov.ok());
+  int first = grid->AddFov(*fov);
+  int second = grid->AddFov(*fov);  // identical FOV adds nothing new
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(second, 0);
+  EXPECT_EQ(grid->fov_count(), 2);
+}
+
+TEST(CoverageTest, OutOfRegionFovIgnored) {
+  BoundingBox region = BoundingBox::FromCorners({34.0, -118.3}, {34.1, -118.2});
+  auto grid = CoverageGrid::Make(region, 4, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  auto fov = FieldOfView::Make(GeoPoint{35.0, -118.25}, 0, 60, 100);
+  ASSERT_TRUE(fov.ok());
+  EXPECT_EQ(grid->AddFov(*fov), 0);
+  EXPECT_DOUBLE_EQ(grid->CoverageRatio(), 0.0);
+}
+
+TEST(CoverageTest, ManyFovsApproachFullCoverage) {
+  BoundingBox region = BoundingBox::FromCorners({34.0, -118.3}, {34.05, -118.25});
+  auto grid = CoverageGrid::Make(region, 4, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  Rng rng(9);
+  double prev = 0;
+  for (int i = 0; i < 600; ++i) {
+    GeoPoint cam{rng.Uniform(region.min_lat, region.max_lat),
+                 rng.Uniform(region.min_lon, region.max_lon)};
+    auto fov = FieldOfView::Make(cam, rng.Uniform(0, 360), 70, 600);
+    ASSERT_TRUE(fov.ok());
+    grid->AddFov(*fov);
+    double cur = grid->CoverageRatio();
+    EXPECT_GE(cur, prev);  // coverage never decreases
+    prev = cur;
+  }
+  EXPECT_GT(grid->CoverageRatio(), 0.9);
+  EXPECT_LT(grid->FindGaps().size(), 16u);
+}
+
+TEST(CoverageTest, GapsReportMissingBearings) {
+  BoundingBox region = BoundingBox::FromCorners({34.0, -118.3}, {34.1, -118.2});
+  auto grid = CoverageGrid::Make(region, 1, 1, 4);
+  ASSERT_TRUE(grid.ok());
+  // Cover from the south looking north => bearing ~0 sector covered.
+  GeoPoint south{region.min_lat + 0.001, -118.25};
+  auto fov = FieldOfView::Make(south, 0, 90, 9000);
+  ASSERT_TRUE(fov.ok());
+  grid->AddFov(*fov);
+  auto gaps = grid->FindGaps();
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].missing_bearings_deg.size(), 3u);
+}
+
+}  // namespace
+}  // namespace tvdp::geo

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "image/augment.h"
+#include "image/draw.h"
+#include "image/image.h"
+#include "image/scene_gen.h"
+
+namespace tvdp::image {
+namespace {
+
+// ---------- Color conversions ----------
+
+TEST(ColorTest, PrimariesToHsv) {
+  Hsv red = RgbToHsv(Rgb{255, 0, 0});
+  EXPECT_NEAR(red.h, 0, 0.01);
+  EXPECT_NEAR(red.s, 1, 0.01);
+  EXPECT_NEAR(red.v, 1, 0.01);
+  Hsv green = RgbToHsv(Rgb{0, 255, 0});
+  EXPECT_NEAR(green.h, 120, 0.01);
+  Hsv blue = RgbToHsv(Rgb{0, 0, 255});
+  EXPECT_NEAR(blue.h, 240, 0.01);
+  Hsv grey = RgbToHsv(Rgb{128, 128, 128});
+  EXPECT_NEAR(grey.s, 0, 0.01);
+}
+
+class HsvRoundtripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HsvRoundtripTest, RgbHsvRgbIsLossless) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    Rgb c{static_cast<uint8_t>(rng.UniformInt(0, 255)),
+          static_cast<uint8_t>(rng.UniformInt(0, 255)),
+          static_cast<uint8_t>(rng.UniformInt(0, 255))};
+    Rgb back = HsvToRgb(RgbToHsv(c));
+    EXPECT_NEAR(back.r, c.r, 1);
+    EXPECT_NEAR(back.g, c.g, 1);
+    EXPECT_NEAR(back.b, c.b, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HsvRoundtripTest, ::testing::Values(1, 2, 3));
+
+TEST(ColorTest, BlendEndpoints) {
+  Rgb a{10, 20, 30}, b{200, 100, 50};
+  EXPECT_EQ(Blend(a, b, 0.0), a);
+  EXPECT_EQ(Blend(a, b, 1.0), b);
+  Rgb mid = Blend(a, b, 0.5);
+  EXPECT_NEAR(mid.r, 105, 1);
+}
+
+// ---------- Image ----------
+
+TEST(ImageTest, ConstructAndFill) {
+  Image img(8, 6, Rgb{1, 2, 3});
+  EXPECT_EQ(img.width(), 8);
+  EXPECT_EQ(img.height(), 6);
+  EXPECT_EQ(img.pixel_count(), 48u);
+  EXPECT_EQ(img.at(7, 5), (Rgb{1, 2, 3}));
+  img.Fill(Rgb{9, 9, 9});
+  EXPECT_EQ(img.at(0, 0), (Rgb{9, 9, 9}));
+}
+
+TEST(ImageTest, SetClipsOutOfBounds) {
+  Image img(4, 4);
+  img.Set(-1, 0, Rgb{255, 0, 0});
+  img.Set(4, 4, Rgb{255, 0, 0});
+  img.Set(2, 2, Rgb{255, 0, 0});
+  EXPECT_EQ(img.at(2, 2).r, 255);
+}
+
+TEST(ImageTest, ToGrayWeights) {
+  Image img(1, 1, Rgb{255, 255, 255});
+  EXPECT_NEAR(img.ToGray()[0], 1.0, 1e-5);
+  img.Fill(Rgb{0, 0, 0});
+  EXPECT_NEAR(img.ToGray()[0], 0.0, 1e-5);
+}
+
+TEST(ImageTest, ResizePreservesFlatColor) {
+  Image img(10, 10, Rgb{50, 100, 150});
+  auto resized = img.Resize(23, 7);
+  ASSERT_TRUE(resized.ok());
+  EXPECT_EQ(resized->width(), 23);
+  EXPECT_EQ(resized->height(), 7);
+  EXPECT_EQ(resized->at(11, 3), (Rgb{50, 100, 150}));
+}
+
+TEST(ImageTest, ResizeRejectsBadTargets) {
+  Image img(10, 10);
+  EXPECT_FALSE(img.Resize(0, 5).ok());
+  EXPECT_FALSE(img.Resize(5, -1).ok());
+  EXPECT_FALSE(Image().Resize(5, 5).ok());
+}
+
+TEST(ImageTest, CropClipsAndValidates) {
+  Image img(10, 10);
+  img.at(5, 5) = Rgb{255, 0, 0};
+  auto crop = img.Crop(4, 4, 3, 3);
+  ASSERT_TRUE(crop.ok());
+  EXPECT_EQ(crop->width(), 3);
+  EXPECT_EQ(crop->at(1, 1).r, 255);
+  auto clipped = img.Crop(8, 8, 10, 10);
+  ASSERT_TRUE(clipped.ok());
+  EXPECT_EQ(clipped->width(), 2);
+  EXPECT_FALSE(img.Crop(20, 20, 5, 5).ok());
+}
+
+TEST(ImageTest, PpmRoundtrip) {
+  Rng rng(4);
+  Image img(9, 7);
+  for (int y = 0; y < 7; ++y) {
+    for (int x = 0; x < 9; ++x) {
+      img.at(x, y) = Rgb{static_cast<uint8_t>(rng.UniformInt(0, 255)),
+                         static_cast<uint8_t>(rng.UniformInt(0, 255)),
+                         static_cast<uint8_t>(rng.UniformInt(0, 255))};
+    }
+  }
+  auto decoded = DecodePpm(EncodePpm(img));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, img);
+}
+
+TEST(ImageTest, PpmRejectsGarbage) {
+  EXPECT_FALSE(DecodePpm({}).ok());
+  EXPECT_FALSE(DecodePpm({'P', '5', '\n'}).ok());
+  std::vector<uint8_t> truncated = EncodePpm(Image(4, 4));
+  truncated.resize(truncated.size() - 5);
+  EXPECT_FALSE(DecodePpm(truncated).ok());
+}
+
+// ---------- Drawing ----------
+
+TEST(DrawTest, FillRectClips) {
+  Image img(10, 10, Rgb{0, 0, 0});
+  FillRect(img, 8, 8, 5, 5, Rgb{255, 255, 255});
+  EXPECT_EQ(img.at(9, 9).r, 255);
+  EXPECT_EQ(img.at(7, 7).r, 0);
+}
+
+TEST(DrawTest, FillCircleGeometry) {
+  Image img(21, 21, Rgb{0, 0, 0});
+  FillCircle(img, 10, 10, 5, Rgb{255, 0, 0});
+  EXPECT_EQ(img.at(10, 10).r, 255);
+  EXPECT_EQ(img.at(10, 5).r, 255);   // on radius
+  EXPECT_EQ(img.at(10, 4).r, 0);     // just outside
+  EXPECT_EQ(img.at(14, 14).r, 0);    // corner of bbox, outside circle
+}
+
+TEST(DrawTest, LineEndpoints) {
+  Image img(10, 10, Rgb{0, 0, 0});
+  DrawLine(img, 1, 1, 8, 6, Rgb{0, 255, 0});
+  EXPECT_EQ(img.at(1, 1).g, 255);
+  EXPECT_EQ(img.at(8, 6).g, 255);
+}
+
+TEST(DrawTest, TriangleFillsInterior) {
+  Image img(20, 20, Rgb{0, 0, 0});
+  FillTriangle(img, 2, 18, 10, 2, 18, 18, Rgb{0, 0, 255});
+  EXPECT_EQ(img.at(10, 12).b, 255);  // interior
+  EXPECT_EQ(img.at(2, 2).b, 0);      // outside
+}
+
+TEST(DrawTest, VerticalGradientMonotone) {
+  Image img(4, 10);
+  VerticalGradient(img, 0, 10, Rgb{0, 0, 0}, Rgb{200, 200, 200});
+  EXPECT_LT(img.at(0, 0).r, img.at(0, 5).r);
+  EXPECT_LT(img.at(0, 5).r, img.at(0, 9).r);
+}
+
+TEST(DrawTest, NoiseChangesPixelsButBounded) {
+  Rng rng(10);
+  Image img(16, 16, Rgb{128, 128, 128});
+  AddGaussianNoise(img, 5, rng);
+  int changed = 0;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      if (img.at(x, y).r != 128) ++changed;
+      EXPECT_NEAR(img.at(x, y).r, 128, 40);
+    }
+  }
+  EXPECT_GT(changed, 100);
+}
+
+TEST(DrawTest, BrightnessScaleClamps) {
+  Image img(2, 2, Rgb{200, 200, 200});
+  ScaleBrightness(img, 2.0);
+  EXPECT_EQ(img.at(0, 0).r, 255);
+  ScaleBrightness(img, 0.0);
+  EXPECT_EQ(img.at(0, 0).r, 0);
+}
+
+// ---------- Augmentation ----------
+
+TEST(AugmentTest, FlipHorizontalInvolution) {
+  Rng rng(2);
+  Image img(8, 8);
+  img.at(1, 3) = Rgb{255, 0, 0};
+  Image once = FlipHorizontal(img);
+  EXPECT_EQ(once.at(6, 3).r, 255);
+  EXPECT_EQ(FlipHorizontal(once), img);
+}
+
+TEST(AugmentTest, FlipVerticalInvolution) {
+  Image img(8, 8);
+  img.at(2, 1) = Rgb{0, 255, 0};
+  Image once = FlipVertical(img);
+  EXPECT_EQ(once.at(2, 6).g, 255);
+  EXPECT_EQ(FlipVertical(once), img);
+}
+
+TEST(AugmentTest, RotatePreservesSize) {
+  Image img(12, 9, Rgb{10, 10, 10});
+  Image rotated = Rotate(img, 33.0, Rgb{0, 0, 0});
+  EXPECT_EQ(rotated.width(), 12);
+  EXPECT_EQ(rotated.height(), 9);
+}
+
+TEST(AugmentTest, Rotate360ApproximatesIdentity) {
+  Image img(16, 16);
+  img.at(4, 4) = Rgb{255, 255, 255};
+  Image rotated = Rotate(img, 360.0);
+  EXPECT_EQ(rotated.at(4, 4).r, 255);
+}
+
+TEST(AugmentTest, CropResizeValidation) {
+  Rng rng(3);
+  Image img(16, 16, Rgb{77, 77, 77});
+  auto ok = RandomCropResize(img, 0.8, rng);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->width(), 16);
+  EXPECT_FALSE(RandomCropResize(img, 0.0, rng).ok());
+  EXPECT_FALSE(RandomCropResize(img, 1.5, rng).ok());
+  EXPECT_FALSE(RandomCropResize(Image(), 0.5, rng).ok());
+}
+
+TEST(AugmentTest, GeneratorProducesRequestedCount) {
+  Rng rng(6);
+  Augmentor augmentor;
+  Image img(16, 16, Rgb{100, 120, 140});
+  auto variants = augmentor.Generate(img, 5, rng);
+  ASSERT_EQ(variants.size(), 5u);
+  for (const auto& v : variants) {
+    EXPECT_EQ(v.width(), 16);
+    EXPECT_EQ(v.height(), 16);
+  }
+  EXPECT_TRUE(augmentor.Generate(img, 0, rng).empty());
+}
+
+TEST(AugmentTest, GeneratorDeterministicForSeed) {
+  Image img(16, 16, Rgb{100, 120, 140});
+  Rng rng1(77), rng2(77);
+  Augmentor augmentor;
+  auto a = augmentor.Generate(img, 3, rng1);
+  auto b = augmentor.Generate(img, 3, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+// ---------- Scene generator ----------
+
+TEST(SceneGenTest, ClassNamesRoundtrip) {
+  for (int c = 0; c < kNumSceneClasses; ++c) {
+    SceneClass cls = static_cast<SceneClass>(c);
+    EXPECT_EQ(SceneClassFromName(SceneClassName(cls)), cls);
+  }
+  EXPECT_EQ(SceneClassFromName("bogus"), SceneClass::kClean);
+}
+
+TEST(SceneGenTest, GeneratesConfiguredSize) {
+  Rng rng(1);
+  StreetSceneGenerator gen(SceneGenConfig{48, 32, 0.5});
+  Scene s = gen.Generate(SceneClass::kClean, rng);
+  EXPECT_EQ(s.image.width(), 48);
+  EXPECT_EQ(s.image.height(), 32);
+  EXPECT_EQ(s.label, SceneClass::kClean);
+}
+
+TEST(SceneGenTest, DeterministicForSeed) {
+  StreetSceneGenerator gen;
+  Rng a(5), b(5);
+  Scene sa = gen.Generate(SceneClass::kEncampment, a);
+  Scene sb = gen.Generate(SceneClass::kEncampment, b);
+  EXPECT_EQ(sa.image, sb.image);
+}
+
+TEST(SceneGenTest, NonCleanScenesCarryObjects) {
+  StreetSceneGenerator gen;
+  Rng rng(7);
+  for (int c = 1; c < kNumSceneClasses; ++c) {
+    Scene s = gen.Generate(static_cast<SceneClass>(c), rng);
+    bool has_own_class = false;
+    for (const auto& obj : s.objects) {
+      if (obj.label == s.label) has_own_class = true;
+    }
+    EXPECT_TRUE(has_own_class) << SceneClassName(s.label);
+  }
+}
+
+TEST(SceneGenTest, VegetationScenesAreGreener) {
+  StreetSceneGenerator gen;
+  Rng rng(11);
+  auto green_mass = [](const Image& img) {
+    double green = 0;
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        const Rgb& p = img.at(x, y);
+        if (p.g > p.r + 20 && p.g > p.b + 20) green += 1;
+      }
+    }
+    return green / img.pixel_count();
+  };
+  double veg = 0, clean = 0;
+  for (int i = 0; i < 10; ++i) {
+    veg += green_mass(
+        gen.Generate(SceneClass::kOvergrownVegetation, rng).image);
+    clean += green_mass(gen.Generate(SceneClass::kClean, rng).image);
+  }
+  EXPECT_GT(veg, clean * 2 + 0.01);
+}
+
+TEST(SceneGenTest, IntraClassVariation) {
+  StreetSceneGenerator gen;
+  Rng rng(13);
+  Scene a = gen.Generate(SceneClass::kBulkyItem, rng);
+  Scene b = gen.Generate(SceneClass::kBulkyItem, rng);
+  EXPECT_FALSE(a.image == b.image);
+}
+
+TEST(SceneGenTest, DifficultyZeroReducesNoise) {
+  Rng r1(3), r2(3);
+  StreetSceneGenerator easy(SceneGenConfig{64, 64, 0.0});
+  StreetSceneGenerator hard(SceneGenConfig{64, 64, 1.0});
+  // Same seed; the hard generator should apply stronger perturbation, so
+  // images differ from the easy ones.
+  Scene se = easy.Generate(SceneClass::kClean, r1);
+  Scene sh = hard.Generate(SceneClass::kClean, r2);
+  EXPECT_FALSE(se.image == sh.image);
+}
+
+TEST(SceneGenTest, TinyConfigClamped) {
+  StreetSceneGenerator gen(SceneGenConfig{2, 2, 0.5});
+  Rng rng(1);
+  Scene s = gen.Generate(SceneClass::kGraffiti, rng);
+  EXPECT_GE(s.image.width(), 16);
+  EXPECT_GE(s.image.height(), 16);
+}
+
+}  // namespace
+}  // namespace tvdp::image

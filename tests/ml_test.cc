@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+#include "ml/cross_validation.h"
+#include "ml/dataset.h"
+#include "ml/kmeans.h"
+#include "ml/knn.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+
+namespace tvdp::ml {
+namespace {
+
+/// Three well-separated Gaussian blobs in `dim` dimensions.
+Dataset MakeBlobs(int per_class, int num_classes, size_t dim, double spread,
+                  uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  for (int c = 0; c < num_classes; ++c) {
+    FeatureVector center(dim, 0.0);
+    for (size_t d = 0; d < dim; ++d) {
+      center[d] = (d % static_cast<size_t>(num_classes)) ==
+                          static_cast<size_t>(c)
+                      ? 4.0
+                      : 0.0;
+    }
+    for (int i = 0; i < per_class; ++i) {
+      FeatureVector x(dim);
+      for (size_t d = 0; d < dim; ++d) x[d] = center[d] + rng.Normal(0, spread);
+      EXPECT_TRUE(data.Add(std::move(x), c).ok());
+    }
+  }
+  return data;
+}
+
+// ---------- Dataset ----------
+
+TEST(DatasetTest, AddValidatesDimensionality) {
+  Dataset d;
+  EXPECT_TRUE(d.Add({1, 2}, 0).ok());
+  EXPECT_FALSE(d.Add({1, 2, 3}, 0).ok());
+  EXPECT_FALSE(d.Add({1, 2}, -1).ok());
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.dim(), 2u);
+}
+
+TEST(DatasetTest, ClassCountsAndNumClasses) {
+  Dataset d;
+  d.Add({0.0}, 0).ok();
+  d.Add({1.0}, 2).ok();
+  d.Add({2.0}, 2).ok();
+  EXPECT_EQ(d.NumClasses(), 3);
+  auto counts = d.ClassCounts();
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_EQ(counts[2], 2);
+}
+
+TEST(DatasetTest, StratifiedSplitPreservesProportions) {
+  Dataset d = MakeBlobs(50, 4, 3, 1.0, 1);
+  Rng rng(2);
+  auto [train, test] = d.StratifiedSplit(0.8, rng);
+  EXPECT_EQ(train.size(), 160u);
+  EXPECT_EQ(test.size(), 40u);
+  for (int count : train.ClassCounts()) EXPECT_EQ(count, 40);
+  for (int count : test.ClassCounts()) EXPECT_EQ(count, 10);
+}
+
+TEST(DatasetTest, StandardizeCentersData) {
+  Dataset d = MakeBlobs(100, 2, 4, 2.0, 3);
+  auto m = d.ComputeMoments();
+  d.Standardize(m);
+  auto m2 = d.ComputeMoments();
+  for (size_t i = 0; i < m2.mean.size(); ++i) {
+    EXPECT_NEAR(m2.mean[i], 0.0, 1e-9);
+    EXPECT_NEAR(m2.stddev[i], 1.0, 1e-9);
+  }
+}
+
+TEST(DatasetTest, VectorMath) {
+  FeatureVector a{3, 4}, b{0, 0};
+  EXPECT_DOUBLE_EQ(L2Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(L2DistanceSquared(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(L2Norm(a), 5.0);
+  FeatureVector c = a;
+  L2NormalizeInPlace(c);
+  EXPECT_NEAR(L2Norm(c), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity(a, c), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+}
+
+// ---------- Metrics ----------
+
+TEST(MetricsTest, PerfectPredictions) {
+  ConfusionMatrix cm(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 10; ++i) cm.Add(c, c);
+  }
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.MacroF1(), 1.0);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(cm.Precision(c), 1.0);
+    EXPECT_DOUBLE_EQ(cm.Recall(c), 1.0);
+  }
+}
+
+TEST(MetricsTest, KnownValues) {
+  // Binary: class0 tp=8 fn=2; class1: 5 correct, 2->0 errors... construct:
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 8; ++i) cm.Add(0, 0);
+  for (int i = 0; i < 2; ++i) cm.Add(0, 1);
+  for (int i = 0; i < 5; ++i) cm.Add(1, 1);
+  for (int i = 0; i < 1; ++i) cm.Add(1, 0);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 13.0 / 16.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(0), 8.0 / 9.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(0), 8.0 / 10.0);
+  double p = 8.0 / 9.0, r = 0.8;
+  EXPECT_DOUBLE_EQ(cm.F1(0), 2 * p * r / (p + r));
+}
+
+TEST(MetricsTest, NeverPredictedClassHasZeroF1) {
+  ConfusionMatrix cm(3);
+  cm.Add(0, 0);
+  cm.Add(1, 0);
+  cm.Add(2, 0);
+  EXPECT_DOUBLE_EQ(cm.F1(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.F1(2), 0.0);
+  EXPECT_GT(cm.MacroF1(), 0.0);
+  EXPECT_LT(cm.MacroF1(), 0.4);
+}
+
+TEST(MetricsTest, OutOfRangeCountedAsOverflow) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 0);
+  cm.Add(5, 1);  // overflow
+  EXPECT_EQ(cm.total(), 2);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 1.0);  // overflow excluded
+}
+
+TEST(MetricsTest, BuildConfusionValidates) {
+  EXPECT_FALSE(BuildConfusion({0, 1}, {0}, 2).ok());
+  EXPECT_FALSE(BuildConfusion({0}, {0}, 0).ok());
+  auto cm = BuildConfusion({0, 1, 1}, {0, 1, 0}, 2);
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(cm->At(1, 0), 1);
+}
+
+// ---------- KMeans ----------
+
+TEST(KMeansTest, RecoverWellSeparatedClusters) {
+  Rng rng(5);
+  std::vector<FeatureVector> points;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      points.push_back({c * 10.0 + rng.Normal(0, 0.5),
+                        c * -10.0 + rng.Normal(0, 0.5)});
+    }
+  }
+  KMeans::Options opts;
+  opts.k = 3;
+  auto model = KMeans::Fit(points, opts, rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->Inertia(points), 1.0);
+  // All three centers distinct and near the blob centers.
+  std::set<size_t> assignments;
+  for (const auto& p : points) assignments.insert(model->Assign(p));
+  EXPECT_EQ(assignments.size(), 3u);
+}
+
+TEST(KMeansTest, Validation) {
+  Rng rng(1);
+  std::vector<FeatureVector> two = {{0.0}, {1.0}};
+  KMeans::Options opts;
+  opts.k = 3;
+  EXPECT_FALSE(KMeans::Fit(two, opts, rng).ok());
+  opts.k = 0;
+  EXPECT_FALSE(KMeans::Fit(two, opts, rng).ok());
+  std::vector<FeatureVector> ragged = {{0.0}, {1.0, 2.0}};
+  opts.k = 2;
+  EXPECT_FALSE(KMeans::Fit(ragged, opts, rng).ok());
+}
+
+TEST(KMeansTest, KEqualsNPutsCentroidOnEachPoint) {
+  Rng rng(2);
+  std::vector<FeatureVector> points = {{0.0, 0.0}, {5.0, 5.0}, {9.0, 1.0}};
+  KMeans::Options opts;
+  opts.k = 3;
+  auto model = KMeans::Fit(points, opts, rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->Inertia(points), 0.0, 1e-18);
+}
+
+// ---------- Classifiers (parameterized over the whole Fig. 6 grid) ----------
+
+class ClassifierGridTest : public ::testing::TestWithParam<ClassifierKind> {};
+
+TEST_P(ClassifierGridTest, LearnsSeparableBlobs) {
+  Dataset data = MakeBlobs(60, 3, 6, 0.7, 42);
+  Rng rng(7);
+  data.Shuffle(rng);
+  auto [train, test] = data.StratifiedSplit(0.8, rng);
+  auto model = MakeClassifier(GetParam());
+  ASSERT_NE(model, nullptr);
+  auto cm = TrainAndEvaluate(*model, train, test);
+  ASSERT_TRUE(cm.ok()) << cm.status();
+  EXPECT_GT(cm->MacroF1(), 0.9) << ClassifierKindName(GetParam());
+}
+
+TEST_P(ClassifierGridTest, RejectsEmptyTrainingSet) {
+  auto model = MakeClassifier(GetParam());
+  EXPECT_FALSE(model->Train(Dataset()).ok());
+}
+
+TEST_P(ClassifierGridTest, ProbabilitiesFormDistribution) {
+  Dataset data = MakeBlobs(30, 3, 4, 1.0, 9);
+  auto model = MakeClassifier(GetParam());
+  ASSERT_TRUE(model->Train(data).ok());
+  FeatureVector probe(4, 1.0);
+  std::vector<double> proba = model->PredictProba(probe);
+  ASSERT_EQ(proba.size(), 3u);
+  double total = 0;
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-9);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST_P(ClassifierGridTest, CloneIsIndependentAndUntrained) {
+  Dataset data = MakeBlobs(20, 2, 3, 0.5, 11);
+  auto model = MakeClassifier(GetParam());
+  auto clone = model->Clone();
+  ASSERT_TRUE(model->Train(data).ok());
+  EXPECT_TRUE(model->trained());
+  EXPECT_FALSE(clone->trained());
+  EXPECT_EQ(clone->name(), model->name());
+}
+
+TEST_P(ClassifierGridTest, DeterministicTraining) {
+  Dataset data = MakeBlobs(30, 3, 4, 0.8, 13);
+  auto m1 = MakeClassifier(GetParam());
+  auto m2 = MakeClassifier(GetParam());
+  ASSERT_TRUE(m1->Train(data).ok());
+  ASSERT_TRUE(m2->Train(data).ok());
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    FeatureVector x(4);
+    for (double& v : x) v = rng.Uniform(-2, 6);
+    EXPECT_EQ(m1->Predict(x), m2->Predict(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ClassifierGridTest,
+    ::testing::Values(ClassifierKind::kKnn, ClassifierKind::kNaiveBayes,
+                      ClassifierKind::kDecisionTree,
+                      ClassifierKind::kRandomForest,
+                      ClassifierKind::kLogisticRegression,
+                      ClassifierKind::kLinearSvm, ClassifierKind::kMlp),
+    [](const ::testing::TestParamInfo<ClassifierKind>& info) {
+      return ClassifierKindName(info.param);
+    });
+
+TEST(ClassifierFactoryTest, NamesAreStable) {
+  EXPECT_EQ(ClassifierKindName(ClassifierKind::kLinearSvm), "svm");
+  EXPECT_EQ(MakeClassifier(ClassifierKind::kRandomForest)->name(),
+            "random_forest");
+  EXPECT_EQ(AllClassifierKinds().size(), 7u);
+}
+
+// ---------- Specific classifier behaviours ----------
+
+TEST(KnnTest, SingleNeighborMemorizes) {
+  Dataset data;
+  data.Add({0.0, 0.0}, 0).ok();
+  data.Add({10.0, 10.0}, 1).ok();
+  KnnClassifier knn(1);
+  ASSERT_TRUE(knn.Train(data).ok());
+  EXPECT_EQ(knn.Predict({0.1, 0.1}), 0);
+  EXPECT_EQ(knn.Predict({9.0, 9.0}), 1);
+}
+
+TEST(DecisionTreeTest, AxisAlignedSplitIsExact) {
+  Dataset data;
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.Uniform(0, 1);
+    data.Add({x, rng.Uniform(0, 1)}, x < 0.5 ? 0 : 1).ok();
+  }
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Train(data).ok());
+  EXPECT_EQ(tree.Predict({0.1, 0.9}), 0);
+  EXPECT_EQ(tree.Predict({0.9, 0.1}), 1);
+  EXPECT_GT(tree.node_count(), 1u);
+}
+
+TEST(DecisionTreeTest, DepthLimitRespected) {
+  Dataset data = MakeBlobs(50, 3, 4, 2.0, 21);
+  DecisionTreeClassifier::Options opts;
+  opts.max_depth = 2;
+  DecisionTreeClassifier tree(opts);
+  ASSERT_TRUE(tree.Train(data).ok());
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(RandomForestTest, HasConfiguredTreeCount) {
+  Dataset data = MakeBlobs(30, 2, 3, 1.0, 22);
+  RandomForestClassifier::Options opts;
+  opts.num_trees = 7;
+  RandomForestClassifier forest(opts);
+  ASSERT_TRUE(forest.Train(data).ok());
+  EXPECT_EQ(forest.tree_count(), 7u);
+}
+
+TEST(RandomForestTest, BeatsSingleTreeOnNoisyData) {
+  Dataset data = MakeBlobs(80, 4, 8, 2.4, 23);
+  Rng rng(24);
+  data.Shuffle(rng);
+  auto [train, test] = data.StratifiedSplit(0.7, rng);
+  DecisionTreeClassifier::Options topt;
+  topt.max_depth = 4;
+  DecisionTreeClassifier tree(topt);
+  RandomForestClassifier forest;
+  auto cm_tree = TrainAndEvaluate(tree, train, test);
+  auto cm_forest = TrainAndEvaluate(forest, train, test);
+  ASSERT_TRUE(cm_tree.ok());
+  ASSERT_TRUE(cm_forest.ok());
+  EXPECT_GE(cm_forest->MacroF1() + 0.02, cm_tree->MacroF1());
+}
+
+TEST(SvmTest, MarginsSeparateBlobs) {
+  Dataset data = MakeBlobs(50, 2, 4, 0.5, 31);
+  LinearSvmClassifier svm;
+  ASSERT_TRUE(svm.Train(data).ok());
+  FeatureVector class0_like{4, 0, 4, 0};
+  auto margins = svm.DecisionFunction(class0_like);
+  EXPECT_GT(margins[0], margins[1]);
+}
+
+TEST(SvmTest, SerializationRoundtrip) {
+  Dataset data = MakeBlobs(40, 3, 5, 0.8, 32);
+  LinearSvmClassifier svm;
+  ASSERT_TRUE(svm.Train(data).ok());
+  auto json = svm.ToJson();
+  ASSERT_TRUE(json.ok());
+  auto restored = LinearSvmClassifier::FromJson(*json);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  Rng rng(33);
+  for (int i = 0; i < 50; ++i) {
+    FeatureVector x(5);
+    for (double& v : x) v = rng.Uniform(-2, 6);
+    EXPECT_EQ(svm.Predict(x), (*restored)->Predict(x));
+  }
+}
+
+TEST(SvmTest, FromJsonRejectsMalformed) {
+  EXPECT_FALSE(LinearSvmClassifier::FromJson(Json::MakeObject()).ok());
+  Json j = Json::MakeObject();
+  j["type"] = "svm";
+  j["num_classes"] = 2;
+  j["dim"] = 3;
+  j["weights"] = Json::MakeArray();  // wrong arity
+  j["bias"] = Json::MakeArray();
+  EXPECT_FALSE(LinearSvmClassifier::FromJson(j).ok());
+}
+
+TEST(LogRegTest, SerializationRoundtrip) {
+  Dataset data = MakeBlobs(40, 2, 4, 0.8, 34);
+  LogisticRegressionClassifier lr;
+  ASSERT_TRUE(lr.Train(data).ok());
+  auto json = lr.ToJson();
+  ASSERT_TRUE(json.ok());
+  auto restored = LogisticRegressionClassifier::FromJson(*json);
+  ASSERT_TRUE(restored.ok());
+  FeatureVector x{4, 0, 4, 0};
+  EXPECT_EQ(lr.Predict(x), (*restored)->Predict(x));
+}
+
+TEST(LogRegTest, UntrainedSerializationFails) {
+  LogisticRegressionClassifier lr;
+  EXPECT_FALSE(lr.ToJson().ok());
+}
+
+TEST(MlpTest, HiddenActivationsHaveConfiguredWidth) {
+  Dataset data = MakeBlobs(30, 2, 4, 0.6, 35);
+  MlpClassifier::Options opts;
+  opts.hidden_units = 12;
+  MlpClassifier mlp(opts);
+  ASSERT_TRUE(mlp.Train(data).ok());
+  EXPECT_EQ(mlp.HiddenActivations(FeatureVector(4, 0.0)).size(), 12u);
+}
+
+TEST(SoftmaxTest, StableAndNormalized) {
+  std::vector<double> v{1000, 1001, 999};
+  SoftmaxInPlace(v);
+  double total = v[0] + v[1] + v[2];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(v[1], v[0]);
+  EXPECT_GT(v[0], v[2]);
+}
+
+// ---------- Cross-validation ----------
+
+TEST(CrossValidationTest, TenFoldMatchesPaperProtocol) {
+  Dataset data = MakeBlobs(30, 3, 4, 0.7, 51);
+  Rng rng(52);
+  NaiveBayesClassifier nb;
+  auto result = KFoldCrossValidate(nb, data, 10, rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->fold_macro_f1.size(), 10u);
+  EXPECT_GT(result->mean_macro_f1, 0.9);
+  EXPECT_EQ(result->pooled.total(), static_cast<int64_t>(data.size()));
+}
+
+TEST(CrossValidationTest, Validation) {
+  Dataset data = MakeBlobs(2, 2, 2, 0.5, 53);
+  Rng rng(54);
+  NaiveBayesClassifier nb;
+  EXPECT_FALSE(KFoldCrossValidate(nb, data, 1, rng).ok());
+  EXPECT_FALSE(KFoldCrossValidate(nb, data, 50, rng).ok());
+}
+
+TEST(CrossValidationTest, FoldScoresAreReasonablyStable) {
+  Dataset data = MakeBlobs(40, 2, 3, 0.5, 55);
+  Rng rng(56);
+  KnnClassifier knn(3);
+  auto result = KFoldCrossValidate(knn, data, 5, rng);
+  ASSERT_TRUE(result.ok());
+  for (double f1 : result->fold_macro_f1) EXPECT_GT(f1, 0.8);
+}
+
+}  // namespace
+}  // namespace tvdp::ml

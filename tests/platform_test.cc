@@ -1,0 +1,479 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/linear_svm.h"
+#include "platform/api.h"
+#include "platform/dataset_gen.h"
+#include "platform/model_registry.h"
+#include "platform/tvdp.h"
+
+namespace tvdp::platform {
+namespace {
+
+ImageRecord SimpleRecord(double lat, double lon, Timestamp t = 1546300800) {
+  ImageRecord rec;
+  rec.uri = "test://img";
+  rec.location = geo::GeoPoint{lat, lon};
+  rec.captured_at = t;
+  return rec;
+}
+
+// ---------- Tvdp facade ----------
+
+TEST(TvdpTest, IngestAndCount) {
+  auto tvdp = Tvdp::Create();
+  ASSERT_TRUE(tvdp.ok());
+  auto id = tvdp->IngestImage(SimpleRecord(34.05, -118.25));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 1);
+  EXPECT_EQ(tvdp->image_count(), 1u);
+  EXPECT_FALSE(tvdp->IngestImage(SimpleRecord(999, 0)).ok());
+}
+
+TEST(TvdpTest, IngestWithFovPopulatesSceneLocation) {
+  auto tvdp = Tvdp::Create();
+  ASSERT_TRUE(tvdp.ok());
+  ImageRecord rec = SimpleRecord(34.05, -118.25);
+  rec.fov = *geo::FieldOfView::Make(rec.location, 90, 60, 100);
+  auto id = tvdp->IngestImage(rec);
+  ASSERT_TRUE(id.ok());
+  const storage::Table* scene =
+      tvdp->catalog().GetTable(storage::tables::kImageSceneLocation);
+  auto rows = scene->FindBy("image_id", storage::Value(*id));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(TvdpTest, RegisterClassificationIdempotent) {
+  auto tvdp = Tvdp::Create();
+  ASSERT_TRUE(tvdp.ok());
+  auto id1 = tvdp->RegisterClassification("cleanliness", {"a", "b"});
+  auto id2 = tvdp->RegisterClassification("cleanliness", {"b", "c"});
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(*id1, *id2);
+  EXPECT_FALSE(tvdp->RegisterClassification("", {"x"}).ok());
+  EXPECT_FALSE(tvdp->RegisterClassification("x", {}).ok());
+}
+
+TEST(TvdpTest, AnnotateAndGetLabel) {
+  auto tvdp = Tvdp::Create();
+  ASSERT_TRUE(tvdp.ok());
+  auto id = tvdp->IngestImage(SimpleRecord(34.05, -118.25));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(tvdp->RegisterClassification("cleanliness",
+                                           {"clean", "encampment"})
+                  .ok());
+  AnnotationRecord low;
+  low.classification = "cleanliness";
+  low.label = "clean";
+  low.confidence = 0.4;
+  ASSERT_TRUE(tvdp->AnnotateImage(*id, low).ok());
+  AnnotationRecord high;
+  high.classification = "cleanliness";
+  high.label = "encampment";
+  high.confidence = 0.9;
+  high.machine = true;
+  ASSERT_TRUE(tvdp->AnnotateImage(*id, high).ok());
+  // Highest-confidence annotation wins.
+  auto label = tvdp->GetLabel(*id, "cleanliness");
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(*label, "encampment");
+
+  AnnotationRecord bad;
+  bad.classification = "unknown_task";
+  bad.label = "x";
+  EXPECT_FALSE(tvdp->AnnotateImage(*id, bad).ok());
+  bad.classification = "cleanliness";
+  bad.label = "not_a_label";
+  EXPECT_FALSE(tvdp->AnnotateImage(*id, bad).ok());
+  bad.label = "clean";
+  bad.confidence = 1.5;
+  EXPECT_FALSE(tvdp->AnnotateImage(*id, bad).ok());
+}
+
+TEST(TvdpTest, StoreAndGetFeature) {
+  auto tvdp = Tvdp::Create();
+  ASSERT_TRUE(tvdp.ok());
+  auto id = tvdp->IngestImage(SimpleRecord(34.05, -118.25));
+  ASSERT_TRUE(id.ok());
+  ml::FeatureVector f{1, 2, 3};
+  ASSERT_TRUE(tvdp->StoreFeature(*id, "cnn", f).ok());
+  auto back = tvdp->GetFeature(*id, "cnn");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, f);
+  EXPECT_FALSE(tvdp->GetFeature(*id, "sift_bow").ok());
+  EXPECT_FALSE(tvdp->StoreFeature(*id, "cnn", {}).ok());
+}
+
+TEST(TvdpTest, TranslationalLocationsWithLabel) {
+  auto tvdp = Tvdp::Create();
+  ASSERT_TRUE(tvdp.ok());
+  ASSERT_TRUE(tvdp->RegisterClassification("cleanliness",
+                                           {"clean", "encampment"})
+                  .ok());
+  for (int i = 0; i < 10; ++i) {
+    auto id = tvdp->IngestImage(SimpleRecord(34.0 + i * 0.01, -118.25));
+    ASSERT_TRUE(id.ok());
+    AnnotationRecord ann;
+    ann.classification = "cleanliness";
+    ann.label = i < 3 ? "encampment" : "clean";
+    ann.confidence = 0.9;
+    ASSERT_TRUE(tvdp->AnnotateImage(*id, ann).ok());
+  }
+  auto tents = tvdp->LocationsWithLabel("cleanliness", "encampment", 0.5);
+  ASSERT_TRUE(tents.ok());
+  EXPECT_EQ(tents->size(), 3u);
+}
+
+TEST(TvdpTest, SaveToFileRoundtripsThroughCatalog) {
+  std::string path = ::testing::TempDir() + "/tvdp_platform_test.bin";
+  auto tvdp = Tvdp::Create();
+  ASSERT_TRUE(tvdp.ok());
+  ASSERT_TRUE(tvdp->IngestImage(SimpleRecord(34.05, -118.25)).ok());
+  ASSERT_TRUE(tvdp->SaveToFile(path).ok());
+  auto loaded = storage::Catalog::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->GetTable(storage::tables::kImages)->size(), 1u);
+  std::remove(path.c_str());
+}
+
+// ---------- Dataset generator ----------
+
+TEST(DatasetGenTest, GeneratesRequestedCountWithValidMetadata) {
+  DatasetConfig config;
+  config.count = 50;
+  config.scene.width = 32;
+  config.scene.height = 32;
+  auto data = GenerateStreetDataset(config);
+  ASSERT_EQ(data.size(), 50u);
+  for (const auto& gi : data) {
+    EXPECT_FALSE(gi.pixels.empty());
+    EXPECT_TRUE(geo::IsValid(gi.record.location));
+    EXPECT_TRUE(gi.record.fov.has_value());
+    EXPECT_GE(gi.record.captured_at, config.start_time);
+    EXPECT_GT(gi.record.uploaded_at, gi.record.captured_at);
+    EXPECT_FALSE(gi.record.keywords.empty());
+    EXPECT_LT(static_cast<int>(gi.label), image::kNumCleanlinessClasses);
+  }
+}
+
+TEST(DatasetGenTest, DeterministicForSeed) {
+  DatasetConfig config;
+  config.count = 10;
+  config.scene.width = 24;
+  config.scene.height = 24;
+  auto a = GenerateStreetDataset(config);
+  auto b = GenerateStreetDataset(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pixels, b[i].pixels);
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].record.location, b[i].record.location);
+  }
+}
+
+TEST(DatasetGenTest, ClassWeightsRespected) {
+  DatasetConfig config;
+  config.count = 300;
+  config.scene.width = 16;
+  config.scene.height = 16;
+  config.class_weights = {1, 0, 0, 1, 0};  // only clean + encampment
+  auto data = GenerateStreetDataset(config);
+  int clean = 0, encampment = 0;
+  for (const auto& gi : data) {
+    EXPECT_TRUE(gi.label == image::SceneClass::kClean ||
+                gi.label == image::SceneClass::kEncampment);
+    (gi.label == image::SceneClass::kClean ? clean : encampment)++;
+  }
+  EXPECT_GT(clean, 100);
+  EXPECT_GT(encampment, 100);
+}
+
+TEST(DatasetGenTest, GraffitiOnlyWhenEnabled) {
+  DatasetConfig config;
+  config.count = 200;
+  config.scene.width = 16;
+  config.scene.height = 16;
+  config.include_graffiti = true;
+  auto data = GenerateStreetDataset(config);
+  bool saw_graffiti = false;
+  for (const auto& gi : data) {
+    if (gi.label == image::SceneClass::kGraffiti) saw_graffiti = true;
+  }
+  EXPECT_TRUE(saw_graffiti);
+}
+
+TEST(DatasetGenTest, HotspotsClusterProblemClasses) {
+  DatasetConfig config;
+  config.count = 400;
+  config.scene.width = 16;
+  config.scene.height = 16;
+  config.class_weights = {1, 0, 0, 1, 0};
+  config.hotspots_per_class = 2;
+  auto data = GenerateStreetDataset(config);
+  // Mean pairwise distance of encampment images should be smaller than of
+  // clean images (which are uniform over the street grid).
+  auto mean_pairwise = [&](image::SceneClass cls) {
+    std::vector<geo::GeoPoint> pts;
+    for (const auto& gi : data) {
+      if (gi.label == cls) pts.push_back(gi.record.location);
+    }
+    double total = 0;
+    int count = 0;
+    for (size_t i = 0; i < pts.size(); i += 3) {
+      for (size_t j = i + 3; j < pts.size(); j += 3) {
+        total += geo::HaversineMeters(pts[i], pts[j]);
+        ++count;
+      }
+    }
+    return count ? total / count : 0.0;
+  };
+  EXPECT_LT(mean_pairwise(image::SceneClass::kEncampment),
+            mean_pairwise(image::SceneClass::kClean));
+}
+
+TEST(DatasetGenTest, EmptyConfigYieldsNothing) {
+  DatasetConfig config;
+  config.count = 0;
+  EXPECT_TRUE(GenerateStreetDataset(config).empty());
+}
+
+// ---------- ModelRegistry ----------
+
+std::unique_ptr<ml::Classifier> TrainToyModel(int num_classes = 2) {
+  ml::Dataset data;
+  Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    int c = i % num_classes;
+    ml::FeatureVector x(3);
+    for (size_t d = 0; d < 3; ++d) {
+      x[d] = (static_cast<int>(d) == c ? 3.0 : 0.0) + rng.Normal(0, 0.4);
+    }
+    data.Add(std::move(x), c).ok();
+  }
+  auto model = std::make_unique<ml::LinearSvmClassifier>();
+  EXPECT_TRUE(model->Train(data).ok());
+  return model;
+}
+
+ModelSpec ToySpec(const std::string& name = "toy") {
+  ModelSpec spec;
+  spec.name = name;
+  spec.feature_kind = "cnn";
+  spec.classification = "cleanliness";
+  spec.labels = {"clean", "encampment"};
+  spec.owner = "usc";
+  return spec;
+}
+
+TEST(ModelRegistryTest, RegisterAndPredict) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register(ToySpec(), TrainToyModel()).ok());
+  EXPECT_TRUE(registry.Has("toy"));
+  auto label = registry.Predict("toy", {3.0, 0.0, 0.0});
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(*label, "clean");
+  auto with_conf = registry.PredictWithConfidence("toy", {0.0, 3.0, 0.0});
+  ASSERT_TRUE(with_conf.ok());
+  EXPECT_EQ(with_conf->first, "encampment");
+  EXPECT_GT(with_conf->second, 0.3);
+  EXPECT_EQ(registry.List(), std::vector<std::string>{"toy"});
+}
+
+TEST(ModelRegistryTest, RegistrationValidation) {
+  ModelRegistry registry;
+  EXPECT_FALSE(registry.Register(ToySpec(""), TrainToyModel()).ok());
+  EXPECT_FALSE(registry.Register(ToySpec(), nullptr).ok());
+  auto untrained = std::make_unique<ml::LinearSvmClassifier>();
+  EXPECT_FALSE(registry.Register(ToySpec(), std::move(untrained)).ok());
+  ModelSpec wrong_labels = ToySpec();
+  wrong_labels.labels = {"only_one"};
+  EXPECT_FALSE(registry.Register(wrong_labels, TrainToyModel()).ok());
+  ASSERT_TRUE(registry.Register(ToySpec(), TrainToyModel()).ok());
+  EXPECT_FALSE(registry.Register(ToySpec(), TrainToyModel()).ok());  // dup
+  EXPECT_FALSE(registry.Predict("ghost", {1, 2, 3}).ok());
+}
+
+TEST(ModelRegistryTest, DownloadContainsSpecAndWeights) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register(ToySpec(), TrainToyModel()).ok());
+  auto payload = registry.Download("toy");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ((*payload)["name"].AsString(), "toy");
+  EXPECT_EQ((*payload)["model"]["type"].AsString(), "svm");
+  EXPECT_EQ((*payload)["labels"].size(), 2u);
+  // Downloaded payload restores to an equivalent model.
+  auto restored = ml::LinearSvmClassifier::FromJson((*payload)["model"]);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->Predict({3.0, 0.0, 0.0}), 0);
+}
+
+// ---------- ApiService ----------
+
+class ApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = Tvdp::Create();
+    ASSERT_TRUE(t.ok());
+    tvdp_ = std::make_unique<Tvdp>(std::move(*t));
+    ASSERT_TRUE(tvdp_->RegisterClassification("cleanliness",
+                                              {"clean", "encampment"})
+                    .ok());
+    registry_ = std::make_unique<ModelRegistry>();
+    ModelSpec spec = ToySpec("shared_svm");
+    spec.classification = "cleanliness";
+    ASSERT_TRUE(registry_->Register(spec, TrainToyModel()).ok());
+    api_ = std::make_unique<ApiService>(tvdp_.get(), registry_.get());
+    key_ = api_->CreateApiKey("lasan");
+  }
+
+  Json AddImage(double lat, double lon) {
+    Json req = Json::MakeObject();
+    req["lat"] = lat;
+    req["lon"] = lon;
+    req["uri"] = "api://img";
+    req["captured_at"] = 1546300800;
+    Json keywords = Json::MakeArray();
+    keywords.Append("street");
+    req["keywords"] = std::move(keywords);
+    Json features = Json::MakeObject();
+    Json cnn = Json::MakeArray();
+    cnn.Append(3.0);
+    cnn.Append(0.0);
+    cnn.Append(0.0);
+    features["cnn"] = std::move(cnn);
+    req["features"] = std::move(features);
+    auto resp = api_->HandleRequest(key_, "add_data", req);
+    EXPECT_TRUE(resp.ok()) << resp.status();
+    return resp.ok() ? *resp : Json();
+  }
+
+  std::unique_ptr<Tvdp> tvdp_;
+  std::unique_ptr<ModelRegistry> registry_;
+  std::unique_ptr<ApiService> api_;
+  std::string key_;
+};
+
+TEST_F(ApiTest, KeyManagement) {
+  auto owner = api_->KeyOwner(key_);
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, "lasan");
+  EXPECT_FALSE(api_->KeyOwner("bogus").ok());
+  auto resp = api_->HandleRequest("bogus", "add_data", Json::MakeObject());
+  EXPECT_EQ(resp.status().code(), StatusCode::kPermissionDenied);
+  ASSERT_TRUE(api_->RevokeApiKey(key_).ok());
+  EXPECT_FALSE(api_->RevokeApiKey(key_).ok());
+  EXPECT_FALSE(
+      api_->HandleRequest(key_, "add_data", Json::MakeObject()).ok());
+}
+
+TEST_F(ApiTest, AddDataAndSearch) {
+  Json added = AddImage(34.05, -118.25);
+  EXPECT_GT(added["image_id"].AsInt(), 0);
+  AddImage(34.06, -118.26);
+
+  Json search = Json::MakeObject();
+  Json bbox = Json::MakeArray();
+  bbox.Append(34.0);
+  bbox.Append(-118.3);
+  bbox.Append(34.1);
+  bbox.Append(-118.2);
+  search["bbox"] = std::move(bbox);
+  auto resp = api_->HandleRequest(key_, "search_datasets", search);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ((*resp)["count"].AsInt(), 2);
+}
+
+TEST_F(ApiTest, DownloadDatasets) {
+  Json added = AddImage(34.05, -118.25);
+  Json req = Json::MakeObject();
+  Json ids = Json::MakeArray();
+  ids.Append(added["image_id"]);
+  req["image_ids"] = std::move(ids);
+  auto resp = api_->HandleRequest(key_, "download_datasets", req);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ((*resp)["rows"].size(), 1u);
+  EXPECT_EQ((*resp)["rows"].AsArray()[0]["uri"].AsString(), "api://img");
+}
+
+TEST_F(ApiTest, GetVisualFeatures) {
+  Json added = AddImage(34.05, -118.25);
+  Json req = Json::MakeObject();
+  req["image_id"] = added["image_id"];
+  req["kind"] = "cnn";
+  auto resp = api_->HandleRequest(key_, "get_visual_features", req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ((*resp)["dim"].AsInt(), 3);
+  req["kind"] = "sift_bow";
+  EXPECT_FALSE(api_->HandleRequest(key_, "get_visual_features", req).ok());
+}
+
+TEST_F(ApiTest, UseModelWithAnnotationWriteback) {
+  Json added = AddImage(34.05, -118.25);
+  Json req = Json::MakeObject();
+  req["model"] = "shared_svm";
+  req["image_id"] = added["image_id"];
+  req["annotate"] = true;
+  auto resp = api_->HandleRequest(key_, "use_model", req);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ((*resp)["label"].AsString(), "clean");
+  EXPECT_GT((*resp)["annotation_id"].AsInt(), 0);
+  // The annotation is now translational knowledge: readable via GetLabel.
+  auto label = tvdp_->GetLabel(added["image_id"].AsInt(), "cleanliness");
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(*label, "clean");
+}
+
+TEST_F(ApiTest, DownloadAndReRegisterModel) {
+  Json req = Json::MakeObject();
+  req["model"] = "shared_svm";
+  auto download = api_->HandleRequest(key_, "download_model", req);
+  ASSERT_TRUE(download.ok());
+
+  Json reg = Json::MakeObject();
+  Json spec = Json::MakeObject();
+  spec["name"] = "edge_copy";
+  spec["feature_kind"] = "cnn";
+  spec["classification"] = "cleanliness";
+  Json labels = Json::MakeArray();
+  labels.Append("clean");
+  labels.Append("encampment");
+  spec["labels"] = std::move(labels);
+  reg["spec"] = std::move(spec);
+  reg["model"] = (*download)["model"];
+  auto resp = api_->HandleRequest(key_, "register_model", reg);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_TRUE(registry_->Has("edge_copy"));
+}
+
+TEST_F(ApiTest, ErrorEnvelopes) {
+  Json env = api_->HandleEnvelope(key_, "nonexistent", Json::MakeObject());
+  EXPECT_EQ(env["status"].AsString(), "error");
+  EXPECT_EQ(env["code"].AsString(), "NotFound");
+  Json ok_env = api_->HandleEnvelope(key_, "search_datasets",
+                                     Json::MakeObject());
+  // Search with no predicates is invalid -> error envelope, not a crash.
+  EXPECT_EQ(ok_env["status"].AsString(), "error");
+}
+
+TEST_F(ApiTest, EndpointListStable) {
+  EXPECT_EQ(api_->Endpoints().size(), 7u);
+}
+
+TEST_F(ApiTest, MalformedRequestsRejected) {
+  EXPECT_FALSE(
+      api_->HandleRequest(key_, "add_data", Json::MakeObject()).ok());
+  EXPECT_FALSE(
+      api_->HandleRequest(key_, "download_datasets", Json::MakeObject()).ok());
+  EXPECT_FALSE(
+      api_->HandleRequest(key_, "use_model", Json::MakeObject()).ok());
+  Json bad_model = Json::MakeObject();
+  bad_model["model"] = "ghost";
+  bad_model["feature"] = Json::MakeArray();
+  EXPECT_FALSE(api_->HandleRequest(key_, "use_model", bad_model).ok());
+}
+
+}  // namespace
+}  // namespace tvdp::platform

@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "platform/tvdp.h"
+#include "query/engine.h"
+#include "query/query.h"
+
+namespace tvdp::query {
+namespace {
+
+using platform::AnnotationRecord;
+using platform::ImageRecord;
+using platform::Tvdp;
+
+/// A platform pre-loaded with a deterministic corpus:
+///  * 40 images on a grid across the region;
+///  * even ids have keyword "tent" + "street", odd have "clean" + "street";
+///  * even ids annotated encampment, odd annotated clean;
+///  * all have a 4-d "cnn" feature: ~one-hot by quadrant;
+///  * capture times spread at 1h intervals.
+struct Fixture {
+  Tvdp tvdp;
+  std::vector<int64_t> ids;
+  geo::BoundingBox region;
+
+  static Fixture Make() {
+    auto created = Tvdp::Create();
+    EXPECT_TRUE(created.ok());
+    Fixture f{std::move(created).value(), {}, geo::BoundingBox()};
+    f.region = geo::BoundingBox::FromCorners({34.00, -118.30}, {34.10, -118.20});
+    EXPECT_TRUE(f.tvdp
+                    .RegisterClassification(
+                        "street_cleanliness",
+                        {"clean", "bulky_item", "illegal_dumping",
+                         "encampment", "overgrown_vegetation"})
+                    .ok());
+    for (int i = 0; i < 40; ++i) {
+      int row = i / 8, col = i % 8;
+      ImageRecord rec;
+      rec.uri = "img" + std::to_string(i);
+      rec.location = geo::GeoPoint{34.00 + row * 0.02, -118.30 + col * 0.0125};
+      auto fov = geo::FieldOfView::Make(rec.location, (i * 37) % 360, 60, 120);
+      EXPECT_TRUE(fov.ok());
+      rec.fov = *fov;
+      rec.captured_at = 1546300800 + i * 3600;
+      rec.keywords = i % 2 == 0
+                         ? std::vector<std::string>{"tent", "street"}
+                         : std::vector<std::string>{"clean", "street"};
+      auto id = f.tvdp.IngestImage(rec);
+      EXPECT_TRUE(id.ok()) << id.status();
+      f.ids.push_back(*id);
+
+      AnnotationRecord ann;
+      ann.classification = "street_cleanliness";
+      ann.label = i % 2 == 0 ? "encampment" : "clean";
+      ann.confidence = 0.5 + 0.01 * i;
+      ann.machine = true;
+      EXPECT_TRUE(f.tvdp.AnnotateImage(*id, ann).ok());
+
+      ml::FeatureVector feat(4, 0.1);
+      feat[static_cast<size_t>(i % 4)] = 1.0;
+      EXPECT_TRUE(f.tvdp.StoreFeature(*id, "cnn", feat).ok());
+    }
+    return f;
+  }
+};
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fixture_ = std::make_unique<Fixture>(Fixture::Make()); }
+  QueryEngine& engine() { return fixture_->tvdp.query(); }
+  Fixture& fixture() { return *fixture_; }
+  std::unique_ptr<Fixture> fixture_;
+};
+
+// ---------- single-modality ----------
+
+TEST_F(QueryEngineTest, SpatialRangeFindsSubsets) {
+  auto all = engine().SpatialRange(fixture().region);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 40u);
+  // A small box around the first image.
+  geo::BoundingBox small = geo::BoundingBox::FromCenterRadius(
+      geo::GeoPoint{34.00, -118.30}, 200);
+  auto few = engine().SpatialRange(small);
+  ASSERT_TRUE(few.ok());
+  EXPECT_GE(few->size(), 1u);
+  EXPECT_LT(few->size(), 40u);
+  EXPECT_FALSE(engine().SpatialRange(geo::BoundingBox::Empty()).ok());
+}
+
+TEST_F(QueryEngineTest, SpatialRangeMatchesScanBaseline) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    geo::BoundingBox box = geo::BoundingBox::FromCenterRadius(
+        geo::GeoPoint{rng.Uniform(34.0, 34.1), rng.Uniform(-118.3, -118.2)},
+        rng.Uniform(300, 3000));
+    auto indexed = engine().SpatialRange(box);
+    auto scanned = engine().SpatialRangeScan(box);
+    ASSERT_TRUE(indexed.ok());
+    ASSERT_TRUE(scanned.ok());
+    std::set<int64_t> a, b;
+    for (const auto& h : *indexed) a.insert(h.image_id);
+    for (const auto& h : *scanned) b.insert(h.image_id);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(QueryEngineTest, SpatialKnnOrdersByDistance) {
+  geo::GeoPoint probe{34.05, -118.25};
+  auto hits = engine().SpatialKnn(probe, 5);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 5u);
+  EXPECT_FALSE(engine().SpatialKnn(probe, 0).ok());
+}
+
+TEST_F(QueryEngineTest, VisibleAtUsesFovs) {
+  // Pick an image's FOV interior point.
+  auto hits = engine().VisibleAt(geo::GeoPoint{34.00, -118.30});
+  ASSERT_TRUE(hits.ok());
+  // The camera location itself is visible to its own FOV.
+  bool found = false;
+  for (const auto& h : *hits) {
+    if (h.image_id == fixture().ids[0]) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(QueryEngineTest, VisualTopKReturnsExactDuplicateFirst) {
+  ml::FeatureVector probe(4, 0.1);
+  probe[2] = 1.0;
+  auto hits = engine().VisualTopK("cnn", probe, 3);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_NEAR((*hits)[0].visual_distance, 0.0, 1e-12);
+  // Unknown kind errors.
+  EXPECT_FALSE(engine().VisualTopK("sift_bow", probe, 3).ok());
+}
+
+TEST_F(QueryEngineTest, VisualTopKAgreesWithScan) {
+  ml::FeatureVector probe(4, 0.1);
+  probe[1] = 1.0;
+  auto approx = engine().VisualTopK("cnn", probe, 10);
+  auto exact = engine().VisualTopKScan("cnn", probe, 10);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(exact->size(), 10u);
+  // LSH recall on this small exact-match corpus should be high: compare
+  // distance of last returned result.
+  EXPECT_GE(approx->size(), 5u);
+  EXPECT_NEAR((*approx)[0].visual_distance, (*exact)[0].visual_distance, 1e-9);
+}
+
+TEST_F(QueryEngineTest, CategoricalFiltersByLabelConfidenceSource) {
+  CategoricalPredicate pred;
+  pred.classification = "street_cleanliness";
+  pred.label = "encampment";
+  auto hits = engine().Categorical(pred);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 20u);
+  pred.min_confidence = 0.8;  // only the later (higher-confidence) ones
+  auto confident = engine().Categorical(pred);
+  ASSERT_TRUE(confident.ok());
+  EXPECT_LT(confident->size(), 20u);
+  EXPECT_GT(confident->size(), 0u);
+  pred.min_confidence = 0;
+  pred.source = "manual";
+  auto manual = engine().Categorical(pred);
+  ASSERT_TRUE(manual.ok());
+  EXPECT_TRUE(manual->empty());
+  pred.label = "not_a_label";
+  EXPECT_FALSE(engine().Categorical(pred).ok());
+}
+
+TEST_F(QueryEngineTest, TextualAndOrSemantics) {
+  TextualPredicate tent_and;
+  tent_and.keywords = {"tent", "street"};
+  auto both = engine().Textual(tent_and);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->size(), 20u);
+  TextualPredicate any;
+  any.mode = TextualPredicate::Mode::kOr;
+  any.keywords = {"tent", "clean"};
+  auto either = engine().Textual(any);
+  ASSERT_TRUE(either.ok());
+  EXPECT_EQ(either->size(), 40u);
+  TextualPredicate empty;
+  EXPECT_FALSE(engine().Textual(empty).ok());
+}
+
+TEST_F(QueryEngineTest, TemporalRange) {
+  auto first_ten = engine().Temporal(1546300800, 1546300800 + 9 * 3600);
+  ASSERT_TRUE(first_ten.ok());
+  EXPECT_EQ(first_ten->size(), 10u);
+  EXPECT_FALSE(engine().Temporal(100, 50).ok());
+}
+
+// ---------- hybrid ----------
+
+TEST_F(QueryEngineTest, HybridSpatialTextual) {
+  HybridQuery q;
+  SpatialPredicate sp;
+  sp.kind = SpatialPredicate::Kind::kRange;
+  sp.range = fixture().region;
+  q.spatial = sp;
+  TextualPredicate tp;
+  tp.keywords = {"tent"};
+  q.textual = tp;
+  auto hits = engine().Execute(q);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 20u);
+  EXPECT_FALSE(engine().last_plan().empty());
+}
+
+TEST_F(QueryEngineTest, HybridCategoricalTemporal) {
+  HybridQuery q;
+  CategoricalPredicate cp;
+  cp.classification = "street_cleanliness";
+  cp.label = "encampment";
+  q.categorical = cp;
+  q.temporal = TemporalPredicate{1546300800, 1546300800 + 9 * 3600};
+  auto hits = engine().Execute(q);
+  ASSERT_TRUE(hits.ok());
+  // Even ids among the first 10 images -> 5.
+  EXPECT_EQ(hits->size(), 5u);
+}
+
+TEST_F(QueryEngineTest, HybridVisualTopKWithCategoricalFilter) {
+  HybridQuery q;
+  VisualPredicate vp;
+  vp.feature_kind = "cnn";
+  vp.feature = ml::FeatureVector(4, 0.1);
+  vp.feature[0] = 1.0;
+  vp.k = 5;
+  q.visual = vp;
+  CategoricalPredicate cp;
+  cp.classification = "street_cleanliness";
+  cp.label = "encampment";
+  q.categorical = cp;
+  auto hits = engine().Execute(q);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_LE(hits->size(), 5u);
+  // Every hit must be annotated encampment (even id).
+  for (const auto& h : *hits) {
+    auto label = fixture().tvdp.GetLabel(h.image_id, "street_cleanliness");
+    ASSERT_TRUE(label.ok());
+    EXPECT_EQ(*label, "encampment");
+  }
+  // Results sorted by visual distance.
+  for (size_t i = 1; i < hits->size(); ++i) {
+    EXPECT_GE((*hits)[i].visual_distance, (*hits)[i - 1].visual_distance);
+  }
+}
+
+TEST_F(QueryEngineTest, HybridRespectsLimit) {
+  HybridQuery q;
+  TextualPredicate tp;
+  tp.keywords = {"street"};
+  q.textual = tp;
+  q.limit = 7;
+  auto hits = engine().Execute(q);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 7u);
+}
+
+TEST_F(QueryEngineTest, EmptyHybridRejected) {
+  EXPECT_FALSE(engine().Execute(HybridQuery{}).ok());
+}
+
+TEST_F(QueryEngineTest, PlannerSeedsWithMostSelectivePredicate) {
+  // A very rare keyword should seed the plan rather than the broad
+  // spatial range.
+  ImageRecord rec;
+  rec.uri = "special";
+  rec.location = geo::GeoPoint{34.05, -118.25};
+  rec.captured_at = 1546300800;
+  rec.keywords = {"zebraunicorn"};
+  auto id = fixture().tvdp.IngestImage(rec);
+  ASSERT_TRUE(id.ok());
+
+  HybridQuery q;
+  SpatialPredicate sp;
+  sp.kind = SpatialPredicate::Kind::kRange;
+  sp.range = fixture().region;
+  q.spatial = sp;
+  TextualPredicate tp;
+  tp.keywords = {"zebraunicorn"};
+  q.textual = tp;
+  auto hits = engine().Execute(q);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].image_id, *id);
+  EXPECT_NE(engine().last_plan().find("seed=textual"), std::string::npos)
+      << engine().last_plan();
+}
+
+TEST_F(QueryEngineTest, SpatialVisualTopKThroughHybridIndex) {
+  ml::FeatureVector probe(4, 0.1);
+  probe[0] = 1.0;
+  auto hits = engine().SpatialVisualTopK(geo::GeoPoint{34.0, -118.3}, "cnn",
+                                         probe, 5, 0.5);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 5u);
+  EXPECT_FALSE(
+      engine().SpatialVisualTopK(geo::GeoPoint{34.0, -118.3}, "nope", probe,
+                                 5, 0.5)
+          .ok());
+}
+
+TEST(QueryDescribeTest, ListsFamilies) {
+  HybridQuery q;
+  EXPECT_EQ(DescribeQuery(q), "empty");
+  q.spatial = SpatialPredicate{};
+  q.visual = VisualPredicate{};
+  EXPECT_EQ(DescribeQuery(q), "spatial+visual");
+}
+
+}  // namespace
+}  // namespace tvdp::query

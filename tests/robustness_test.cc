@@ -1,0 +1,263 @@
+// Failure-injection and cross-module property tests: corrupted persisted
+// state, adversarial API payloads, and invariants that must hold across
+// randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "geo/fov.h"
+#include "index/lsh.h"
+#include "platform/api.h"
+#include "platform/model_registry.h"
+#include "platform/tvdp.h"
+#include "storage/catalog.h"
+#include "storage/tvdp_schema.h"
+
+namespace tvdp {
+namespace {
+
+// ---------- Corrupted persisted state ----------
+
+TEST(CorruptionTest, CatalogSurvivesBitFlipsWithoutCrashing) {
+  auto catalog = storage::MakeTvdpCatalog();
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_TRUE(catalog
+                  ->Insert(storage::tables::kImages,
+                           {storage::Value("uri"), storage::Value(34.0),
+                            storage::Value(-118.0), storage::Value(int64_t{1}),
+                            storage::Value(int64_t{2}), storage::Value("s"),
+                            storage::Value(false), storage::Value()})
+                  .ok());
+  std::vector<uint8_t> bytes = catalog->Serialize();
+  Rng rng(42);
+  // Flip one byte at a time in 200 random positions: every attempt must
+  // either fail cleanly or produce a catalog — never crash or hang.
+  int failed = 0, succeeded = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> corrupted = bytes;
+    size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+    corrupted[pos] ^= static_cast<uint8_t>(1 + rng.UniformInt(0, 254));
+    auto restored = storage::Catalog::Deserialize(corrupted);
+    (restored.ok() ? succeeded : failed)++;
+  }
+  // A substantial share of corruptions is detected (magic, tags, lengths,
+  // ids...); flips inside string/number payloads legitimately parse. The
+  // property under test is that nothing crashes, hangs or over-allocates.
+  EXPECT_GT(failed, 40);
+  EXPECT_GT(succeeded, 0);
+  // And truncations always fail.
+  std::vector<uint8_t> truncated(bytes.begin(),
+                                 bytes.begin() + static_cast<long>(bytes.size() / 2));
+  EXPECT_FALSE(storage::Catalog::Deserialize(truncated).ok());
+}
+
+TEST(CorruptionTest, JsonParserNeverCrashesOnMutations) {
+  const std::string base =
+      R"({"spec":{"name":"m","labels":["a","b"]},"model":{"type":"svm"}})";
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = base;
+    int edits = static_cast<int>(rng.UniformInt(1, 4));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    }
+    auto parsed = Json::Parse(mutated);  // must not crash; ok either way
+    if (parsed.ok()) {
+      // Whatever parsed must re-serialize and re-parse to itself.
+      auto again = Json::Parse(parsed->Dump());
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(*again, *parsed);
+    }
+  }
+}
+
+// ---------- Adversarial API payloads ----------
+
+class ApiRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto created = platform::Tvdp::Create();
+    ASSERT_TRUE(created.ok());
+    tvdp_ = std::make_unique<platform::Tvdp>(std::move(created).value());
+    registry_ = std::make_unique<platform::ModelRegistry>();
+    api_ = std::make_unique<platform::ApiService>(tvdp_.get(), registry_.get());
+    key_ = api_->CreateApiKey("attacker");
+  }
+  std::unique_ptr<platform::Tvdp> tvdp_;
+  std::unique_ptr<platform::ModelRegistry> registry_;
+  std::unique_ptr<platform::ApiService> api_;
+  std::string key_;
+};
+
+TEST_F(ApiRobustnessTest, WrongTypesAreRejectedNotCrashed) {
+  // lat as string.
+  auto r1 = Json::Parse(R"({"lat":"north","lon":-118.0})");
+  ASSERT_TRUE(r1.ok());
+  Json env1 = api_->HandleEnvelope(key_, "add_data", *r1);
+  EXPECT_EQ(env1["status"].AsString(), "error");
+
+  // bbox with the wrong arity.
+  auto r2 = Json::Parse(R"({"bbox":[1,2,3]})");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(api_->HandleEnvelope(key_, "search_datasets", *r2)["status"]
+                .AsString(),
+            "error");
+
+  // Feature containing a string.
+  auto r3 = Json::Parse(R"({"model":"m","feature":[1,"x"]})");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(api_->HandleEnvelope(key_, "use_model", *r3)["status"].AsString(),
+            "error");
+
+  // register_model with a bogus serialized model.
+  auto r4 = Json::Parse(
+      R"({"spec":{"name":"m","feature_kind":"cnn","classification":"c",
+          "labels":["a"]},"model":{"type":"svm","num_classes":9999}})");
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(
+      api_->HandleEnvelope(key_, "register_model", *r4)["status"].AsString(),
+      "error");
+}
+
+TEST_F(ApiRobustnessTest, OutOfRangeCoordinatesRejected) {
+  auto req = Json::Parse(R"({"lat":9999,"lon":0})");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(api_->HandleEnvelope(key_, "add_data", *req)["status"].AsString(),
+            "error");
+  EXPECT_EQ(tvdp_->image_count(), 0u);
+}
+
+TEST_F(ApiRobustnessTest, InvalidFovRejectedAtomicaly) {
+  // A bad FOV must not leave a half-ingested image behind.
+  auto req = Json::Parse(
+      R"({"lat":34.0,"lon":-118.0,
+          "fov":{"direction":0,"angle":-5,"radius":100}})");
+  ASSERT_TRUE(req.ok());
+  Json env = api_->HandleEnvelope(key_, "add_data", *req);
+  EXPECT_EQ(env["status"].AsString(), "error");
+}
+
+TEST_F(ApiRobustnessTest, DownloadOfMissingImageIsNotFound) {
+  auto req = Json::Parse(R"({"image_ids":[12345]})");
+  ASSERT_TRUE(req.ok());
+  Json env = api_->HandleEnvelope(key_, "download_datasets", *req);
+  EXPECT_EQ(env["status"].AsString(), "error");
+  EXPECT_EQ(env["code"].AsString(), "NotFound");
+}
+
+// ---------- Randomized cross-module invariants ----------
+
+class FovInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FovInvariantTest, ContainedPointsLieInSceneMbr) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    geo::GeoPoint cam{rng.Uniform(33.5, 34.5), rng.Uniform(-119, -117)};
+    auto fov = geo::FieldOfView::Make(cam, rng.Uniform(0, 360),
+                                      rng.Uniform(10, 359),
+                                      rng.Uniform(20, 800));
+    ASSERT_TRUE(fov.ok());
+    geo::BoundingBox scene = fov->SceneLocation();
+    for (int s = 0; s < 40; ++s) {
+      geo::GeoPoint p = geo::Destination(cam, rng.Uniform(0, 360),
+                                         rng.Uniform(0, fov->radius_m));
+      if (fov->ContainsPoint(p)) {
+        EXPECT_TRUE(scene.Contains(p))
+            << fov->ToString() << " point " << p.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FovInvariantTest,
+                         ::testing::Values(11, 22, 33));
+
+class LshDimensionTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LshDimensionTest, SelfQueryAlwaysFirstAcrossDimensions) {
+  const size_t dim = GetParam();
+  Rng rng(dim);
+  index::LshIndex lsh(dim);
+  std::vector<ml::FeatureVector> stored;
+  for (int i = 0; i < 200; ++i) {
+    ml::FeatureVector v(dim);
+    for (double& x : v) x = rng.Normal();
+    stored.push_back(v);
+    ASSERT_TRUE(lsh.Insert(v, i).ok());
+  }
+  for (int i = 0; i < 200; i += 20) {
+    auto hits = lsh.KNearest(stored[static_cast<size_t>(i)], 1);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits[0].first, i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LshDimensionTest,
+                         ::testing::Values(2, 16, 50, 128));
+
+TEST(PlatformInvariantTest, IngestIsAtomicOnBadKeywordlessRecords) {
+  auto created = platform::Tvdp::Create();
+  ASSERT_TRUE(created.ok());
+  platform::Tvdp tvdp = std::move(created).value();
+  platform::ImageRecord bad;
+  bad.uri = "x";
+  bad.location = geo::GeoPoint{999, 999};
+  EXPECT_FALSE(tvdp.IngestImage(bad).ok());
+  EXPECT_EQ(tvdp.image_count(), 0u);
+  // A valid ingest right after still works and gets id 1.
+  platform::ImageRecord good;
+  good.uri = "y";
+  good.location = geo::GeoPoint{34.0, -118.0};
+  good.captured_at = 1;
+  auto id = tvdp.IngestImage(good);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 1);
+}
+
+TEST(PlatformInvariantTest, QueryFamiliesAgreeOnTheSameCorpus) {
+  // Every indexed image must be reachable through spatial, temporal and
+  // (if tagged) textual paths — no index silently drops rows.
+  auto created = platform::Tvdp::Create();
+  ASSERT_TRUE(created.ok());
+  platform::Tvdp tvdp = std::move(created).value();
+  Rng rng(3);
+  geo::BoundingBox region =
+      geo::BoundingBox::FromCorners({34.0, -118.3}, {34.1, -118.2});
+  std::set<int64_t> all_ids;
+  for (int i = 0; i < 100; ++i) {
+    platform::ImageRecord rec;
+    rec.uri = "img" + std::to_string(i);
+    rec.location = geo::GeoPoint{rng.Uniform(region.min_lat, region.max_lat),
+                                 rng.Uniform(region.min_lon, region.max_lon)};
+    rec.captured_at = 1000 + i;
+    rec.keywords = {"corpus"};
+    auto id = tvdp.IngestImage(rec);
+    ASSERT_TRUE(id.ok());
+    all_ids.insert(*id);
+  }
+  auto spatial = tvdp.query().SpatialRange(region);
+  auto temporal = tvdp.query().Temporal(1000, 1099);
+  query::TextualPredicate pred;
+  pred.keywords = {"corpus"};
+  auto textual = tvdp.query().Textual(pred);
+  ASSERT_TRUE(spatial.ok());
+  ASSERT_TRUE(temporal.ok());
+  ASSERT_TRUE(textual.ok());
+  auto to_set = [](const std::vector<query::QueryHit>& hits) {
+    std::set<int64_t> out;
+    for (const auto& h : hits) out.insert(h.image_id);
+    return out;
+  };
+  EXPECT_EQ(to_set(*spatial), all_ids);
+  EXPECT_EQ(to_set(*temporal), all_ids);
+  EXPECT_EQ(to_set(*textual), all_ids);
+}
+
+}  // namespace
+}  // namespace tvdp

@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "image/augment.h"
+#include "image/draw.h"
+#include "image/scene_gen.h"
+#include "ml/cross_validation.h"
+#include "ml/linear_svm.h"
+#include "vision/bow.h"
+#include "vision/cnn.h"
+#include "vision/color_histogram.h"
+#include "vision/feature.h"
+#include "vision/sift.h"
+
+namespace tvdp::vision {
+namespace {
+
+/// A labelled toy corpus from the street-scene generator.
+void MakeCorpus(int per_class, uint64_t seed, std::vector<image::Image>* images,
+                std::vector<int>* labels) {
+  Rng rng(seed);
+  image::StreetSceneGenerator gen;
+  for (int c = 0; c < image::kNumCleanlinessClasses; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      images->push_back(
+          gen.Generate(static_cast<image::SceneClass>(c), rng).image);
+      labels->push_back(c);
+    }
+  }
+}
+
+// ---------- FeatureKind ----------
+
+TEST(FeatureKindTest, Names) {
+  EXPECT_EQ(FeatureKindName(FeatureKind::kColorHistogram), "color_histogram");
+  EXPECT_EQ(FeatureKindName(FeatureKind::kSiftBow), "sift_bow");
+  EXPECT_EQ(FeatureKindName(FeatureKind::kCnn), "cnn");
+}
+
+// ---------- Color histogram ----------
+
+TEST(ColorHistogramTest, PaperConfiguration) {
+  ColorHistogramExtractor ex;
+  EXPECT_EQ(ex.dim(), 50u);  // 20 + 20 + 10
+  EXPECT_EQ(ex.name(), "color_histogram");
+  EXPECT_TRUE(ex.ready());
+}
+
+TEST(ColorHistogramTest, MarginalsEachSumToOne) {
+  ColorHistogramExtractor ex;
+  Rng rng(1);
+  image::Image img(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      img.at(x, y) = image::Rgb{static_cast<uint8_t>(rng.UniformInt(0, 255)),
+                                static_cast<uint8_t>(rng.UniformInt(0, 255)),
+                                static_cast<uint8_t>(rng.UniformInt(0, 255))};
+    }
+  }
+  auto feat = ex.Extract(img);
+  ASSERT_TRUE(feat.ok());
+  double h = 0, s = 0, v = 0;
+  for (int i = 0; i < 20; ++i) h += (*feat)[static_cast<size_t>(i)];
+  for (int i = 20; i < 40; ++i) s += (*feat)[static_cast<size_t>(i)];
+  for (int i = 40; i < 50; ++i) v += (*feat)[static_cast<size_t>(i)];
+  EXPECT_NEAR(h, 1.0, 1e-9);
+  EXPECT_NEAR(s, 1.0, 1e-9);
+  EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(ColorHistogramTest, PureColorConcentratesHueBin) {
+  ColorHistogramExtractor ex;
+  image::Image green(8, 8, image::Rgb{0, 255, 0});
+  auto feat = ex.Extract(green);
+  ASSERT_TRUE(feat.ok());
+  // Hue 120 of 360 with 20 bins -> bin 6.
+  EXPECT_NEAR((*feat)[6], 1.0, 1e-9);
+}
+
+TEST(ColorHistogramTest, RejectsEmptyImage) {
+  ColorHistogramExtractor ex;
+  EXPECT_FALSE(ex.Extract(image::Image()).ok());
+}
+
+TEST(ColorHistogramTest, InvariantToPixelShuffle) {
+  // A histogram ignores layout: the same pixels in any order give the
+  // same descriptor.
+  Rng rng(2);
+  image::Image img(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      img.at(x, y) = image::Rgb{static_cast<uint8_t>(rng.UniformInt(0, 255)),
+                                static_cast<uint8_t>(rng.UniformInt(0, 255)),
+                                static_cast<uint8_t>(rng.UniformInt(0, 255))};
+    }
+  }
+  image::Image flipped = image::FlipHorizontal(img);
+  ColorHistogramExtractor ex;
+  auto f1 = ex.Extract(img);
+  auto f2 = ex.Extract(flipped);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  for (size_t i = 0; i < f1->size(); ++i) {
+    EXPECT_NEAR((*f1)[i], (*f2)[i], 1e-12);
+  }
+}
+
+// ---------- SIFT ----------
+
+TEST(SiftTest, RejectsTinyImages) {
+  SiftDetector det;
+  EXPECT_FALSE(det.DetectAndDescribe(image::Image(8, 8)).ok());
+  EXPECT_FALSE(det.DetectAndDescribe(image::Image()).ok());
+}
+
+TEST(SiftTest, FlatImageHasNoKeypoints) {
+  SiftDetector det;
+  auto feats = det.DetectAndDescribe(image::Image(64, 64, image::Rgb{128, 128, 128}));
+  ASSERT_TRUE(feats.ok());
+  EXPECT_TRUE(feats->empty());
+}
+
+TEST(SiftTest, BlobsProduceKeypointsNearBlobs) {
+  image::Image img(64, 64, image::Rgb{220, 220, 220});
+  image::FillCircle(img, 16, 16, 4, image::Rgb{20, 20, 20});
+  image::FillCircle(img, 48, 48, 4, image::Rgb{20, 20, 20});
+  SiftDetector det;
+  auto feats = det.DetectAndDescribe(img);
+  ASSERT_TRUE(feats.ok());
+  ASSERT_FALSE(feats->empty());
+  // Every keypoint should be near one of the two blobs (DoG responds to
+  // the blobs, not the flat background).
+  for (const auto& f : *feats) {
+    double d1 = std::hypot(f.keypoint.x - 16, f.keypoint.y - 16);
+    double d2 = std::hypot(f.keypoint.x - 48, f.keypoint.y - 48);
+    EXPECT_LT(std::min(d1, d2), 12.0);
+  }
+}
+
+TEST(SiftTest, DescriptorsAreUnitNormClipped) {
+  Rng rng(3);
+  image::StreetSceneGenerator gen;
+  image::Image img = gen.Generate(image::SceneClass::kBulkyItem, rng).image;
+  SiftDetector det;
+  auto feats = det.DetectAndDescribe(img);
+  ASSERT_TRUE(feats.ok());
+  ASSERT_FALSE(feats->empty());
+  for (const auto& f : *feats) {
+    ASSERT_EQ(f.descriptor.size(), 128u);
+    EXPECT_NEAR(ml::L2Norm(f.descriptor), 1.0, 1e-6);
+    for (double v : f.descriptor) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 0.2 / 0.2 + 1e-6);  // post-renormalization bound is loose
+    }
+  }
+}
+
+TEST(SiftTest, MaxKeypointsCapRespected) {
+  Rng rng(4);
+  image::StreetSceneGenerator gen;
+  image::Image img = gen.Generate(image::SceneClass::kIllegalDumping, rng).image;
+  SiftDetector::Options opts;
+  opts.max_keypoints = 10;
+  SiftDetector det(opts);
+  auto feats = det.DetectAndDescribe(img);
+  ASSERT_TRUE(feats.ok());
+  EXPECT_LE(feats->size(), 10u);
+}
+
+TEST(SiftTest, GaussianBlurReducesVariance) {
+  Rng rng(5);
+  GrayImage img;
+  img.width = 32;
+  img.height = 32;
+  img.data.resize(32 * 32);
+  for (float& v : img.data) v = static_cast<float>(rng.Uniform());
+  GrayImage blurred = GaussianBlur(img, 2.0);
+  auto variance = [](const GrayImage& g) {
+    double mean = 0;
+    for (float v : g.data) mean += v;
+    mean /= g.data.size();
+    double var = 0;
+    for (float v : g.data) var += (v - mean) * (v - mean);
+    return var / g.data.size();
+  };
+  EXPECT_LT(variance(blurred), variance(img) * 0.5);
+}
+
+TEST(SiftTest, DownsampleHalvesDimensions) {
+  GrayImage img;
+  img.width = 33;
+  img.height = 20;
+  img.data.resize(33 * 20, 0.5f);
+  GrayImage down = Downsample2x(img);
+  EXPECT_EQ(down.width, 16);
+  EXPECT_EQ(down.height, 10);
+}
+
+// ---------- BoW ----------
+
+TEST(BowTest, FitRequiresEnoughDescriptors) {
+  BowEncoder::Options opts;
+  opts.vocabulary_size = 8;
+  BowEncoder enc(opts);
+  EXPECT_FALSE(enc.Fit({{}}).ok());
+  EXPECT_FALSE(enc.fitted());
+  EXPECT_FALSE(enc.Encode({}).ok());
+}
+
+TEST(BowTest, EncodeProducesNormalizedHistogram) {
+  Rng rng(6);
+  BowEncoder::Options opts;
+  opts.vocabulary_size = 8;
+  BowEncoder enc(opts);
+  std::vector<std::vector<ml::FeatureVector>> sets(4);
+  for (auto& s : sets) {
+    for (int i = 0; i < 20; ++i) {
+      ml::FeatureVector d(16);
+      for (double& x : d) x = rng.Normal();
+      s.push_back(std::move(d));
+    }
+  }
+  ASSERT_TRUE(enc.Fit(sets).ok());
+  EXPECT_EQ(enc.vocabulary_size(), 8u);
+  auto hist = enc.Encode(sets[0]);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->size(), 8u);
+  EXPECT_NEAR(ml::L2Norm(*hist), 1.0, 1e-9);
+  // Empty descriptor set encodes to the zero vector (no crash).
+  auto empty = enc.Encode({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_NEAR(ml::L2Norm(*empty), 0.0, 1e-12);
+}
+
+TEST(SiftBowExtractorTest, FitThenExtract) {
+  std::vector<image::Image> images;
+  std::vector<int> labels;
+  MakeCorpus(8, 77, &images, &labels);
+  BowEncoder::Options bow;
+  bow.vocabulary_size = 32;
+  SiftBowExtractor ex(SiftDetector::Options{}, bow);
+  EXPECT_FALSE(ex.ready());
+  EXPECT_FALSE(ex.Extract(images[0]).ok());  // must fit first
+  ASSERT_TRUE(ex.Fit(images, labels).ok());
+  EXPECT_TRUE(ex.ready());
+  EXPECT_EQ(ex.dim(), 32u);
+  auto feat = ex.Extract(images[0]);
+  ASSERT_TRUE(feat.ok());
+  EXPECT_EQ(feat->size(), 32u);
+}
+
+// ---------- CNN ----------
+
+TEST(CnnTest, RawFeatureDimensions) {
+  CnnFeatureExtractor cnn;
+  EXPECT_EQ(cnn.raw_dim(), 32u * 5);
+  EXPECT_EQ(cnn.dim(), cnn.raw_dim());  // not fine-tuned yet
+  EXPECT_FALSE(cnn.fine_tuned());
+  Rng rng(8);
+  image::StreetSceneGenerator gen;
+  image::Image img = gen.Generate(image::SceneClass::kClean, rng).image;
+  auto feat = cnn.Extract(img);
+  ASSERT_TRUE(feat.ok());
+  EXPECT_EQ(feat->size(), cnn.raw_dim());
+  EXPECT_NEAR(ml::L2Norm(*feat), 1.0, 1e-6);
+}
+
+TEST(CnnTest, FineTuneChangesOutputDim) {
+  std::vector<image::Image> images;
+  std::vector<int> labels;
+  MakeCorpus(10, 88, &images, &labels);
+  CnnFeatureExtractor::Options opts;
+  opts.finetune_units = 24;
+  opts.finetune_epochs = 10;
+  CnnFeatureExtractor cnn(opts);
+  ASSERT_TRUE(cnn.Fit(images, labels).ok());
+  EXPECT_TRUE(cnn.fine_tuned());
+  EXPECT_EQ(cnn.dim(), 24u);
+  auto feat = cnn.Extract(images[0]);
+  ASSERT_TRUE(feat.ok());
+  EXPECT_EQ(feat->size(), 24u);
+}
+
+TEST(CnnTest, FitValidatesInput) {
+  CnnFeatureExtractor cnn;
+  EXPECT_FALSE(cnn.Fit({}, {}).ok());
+  std::vector<image::Image> one{image::Image(32, 32)};
+  EXPECT_FALSE(cnn.Fit(one, {0, 1}).ok());
+}
+
+TEST(CnnTest, DeterministicExtraction) {
+  CnnFeatureExtractor a, b;
+  Rng rng(9);
+  image::StreetSceneGenerator gen;
+  image::Image img = gen.Generate(image::SceneClass::kGraffiti, rng).image;
+  auto fa = a.Extract(img);
+  auto fb = b.Extract(img);
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  EXPECT_EQ(*fa, *fb);
+}
+
+TEST(CnnTest, HandlesNonSquareInputByResizing) {
+  CnnFeatureExtractor cnn;
+  image::Image img(100, 40, image::Rgb{120, 90, 60});
+  auto feat = cnn.Extract(img);
+  ASSERT_TRUE(feat.ok());
+  EXPECT_EQ(feat->size(), cnn.raw_dim());
+}
+
+// ---------- The paper's Fig. 6 shape, in miniature ----------
+
+TEST(FeatureQualityTest, CnnBeatsColorHistogramAfterFineTuning) {
+  std::vector<image::Image> images;
+  std::vector<int> labels;
+  MakeCorpus(70, 2019, &images, &labels);
+
+  // Train/test split indices (80/20 interleaved for stratification).
+  std::vector<image::Image> train_imgs, test_imgs;
+  std::vector<int> train_labels, test_labels;
+  for (size_t i = 0; i < images.size(); ++i) {
+    if (i % 5 == 4) {
+      test_imgs.push_back(images[i]);
+      test_labels.push_back(labels[i]);
+    } else {
+      train_imgs.push_back(images[i]);
+      train_labels.push_back(labels[i]);
+    }
+  }
+
+  auto evaluate = [&](FeatureExtractor& ex) {
+    ml::Dataset train, test;
+    for (size_t i = 0; i < train_imgs.size(); ++i) {
+      auto f = ex.Extract(train_imgs[i]);
+      EXPECT_TRUE(f.ok());
+      train.Add(std::move(*f), train_labels[i]).ok();
+    }
+    for (size_t i = 0; i < test_imgs.size(); ++i) {
+      auto f = ex.Extract(test_imgs[i]);
+      EXPECT_TRUE(f.ok());
+      test.Add(std::move(*f), test_labels[i]).ok();
+    }
+    ml::LinearSvmClassifier svm;
+    auto cm = ml::TrainAndEvaluate(svm, train, test);
+    EXPECT_TRUE(cm.ok());
+    return cm->MacroF1();
+  };
+
+  ColorHistogramExtractor color;
+  double color_f1 = evaluate(color);
+
+  CnnFeatureExtractor::Options copts;
+  copts.finetune_epochs = 40;
+  CnnFeatureExtractor cnn(copts);
+  ASSERT_TRUE(cnn.Fit(train_imgs, train_labels).ok());
+  double cnn_f1 = evaluate(cnn);
+
+  EXPECT_GT(cnn_f1, color_f1 + 0.1)
+      << "cnn=" << cnn_f1 << " color=" << color_f1;
+  // The full bench corpus reaches ~0.85; this deliberately small test
+  // corpus (280 train images) clears a lower bar.
+  EXPECT_GT(cnn_f1, 0.65);
+}
+
+}  // namespace
+}  // namespace tvdp::vision
