@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_acquisition_coverage.dir/bench_acquisition_coverage.cc.o"
+  "CMakeFiles/bench_acquisition_coverage.dir/bench_acquisition_coverage.cc.o.d"
+  "bench_acquisition_coverage"
+  "bench_acquisition_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_acquisition_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crowd_learning.dir/bench_crowd_learning.cc.o"
+  "CMakeFiles/bench_crowd_learning.dir/bench_crowd_learning.cc.o.d"
+  "bench_crowd_learning"
+  "bench_crowd_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crowd_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_edge_inference.dir/bench_fig8_edge_inference.cc.o"
+  "CMakeFiles/bench_fig8_edge_inference.dir/bench_fig8_edge_inference.cc.o.d"
+  "bench_fig8_edge_inference"
+  "bench_fig8_edge_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_edge_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_translational.dir/bench_fig9_translational.cc.o"
+  "CMakeFiles/bench_fig9_translational.dir/bench_fig9_translational.cc.o.d"
+  "bench_fig9_translational"
+  "bench_fig9_translational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_translational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homeless_tracking.dir/homeless_tracking.cpp.o"
+  "CMakeFiles/homeless_tracking.dir/homeless_tracking.cpp.o.d"
+  "homeless_tracking"
+  "homeless_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homeless_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

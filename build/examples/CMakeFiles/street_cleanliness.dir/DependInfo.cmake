@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/street_cleanliness.cpp" "examples/CMakeFiles/street_cleanliness.dir/street_cleanliness.cpp.o" "gcc" "examples/CMakeFiles/street_cleanliness.dir/street_cleanliness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/tvdp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/tvdp_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/tvdp_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/tvdp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/tvdp_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tvdp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/tvdp_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tvdp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/tvdp_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/tvdp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tvdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

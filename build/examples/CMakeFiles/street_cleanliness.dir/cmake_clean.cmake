@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/street_cleanliness.dir/street_cleanliness.cpp.o"
+  "CMakeFiles/street_cleanliness.dir/street_cleanliness.cpp.o.d"
+  "street_cleanliness"
+  "street_cleanliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/street_cleanliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for street_cleanliness.
+# This may be replaced when dependencies are built.

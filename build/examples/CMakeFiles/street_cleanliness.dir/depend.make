@@ -1,0 +1,2 @@
+# Empty dependencies file for street_cleanliness.
+# This may be replaced when dependencies are built.

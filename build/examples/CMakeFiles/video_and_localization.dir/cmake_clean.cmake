@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_and_localization.dir/video_and_localization.cpp.o"
+  "CMakeFiles/video_and_localization.dir/video_and_localization.cpp.o.d"
+  "video_and_localization"
+  "video_and_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_and_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

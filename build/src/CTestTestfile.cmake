@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geo")
+subdirs("image")
+subdirs("vision")
+subdirs("ml")
+subdirs("index")
+subdirs("storage")
+subdirs("query")
+subdirs("crowd")
+subdirs("edge")
+subdirs("platform")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvdp_common.dir/json.cc.o"
+  "CMakeFiles/tvdp_common.dir/json.cc.o.d"
+  "CMakeFiles/tvdp_common.dir/logging.cc.o"
+  "CMakeFiles/tvdp_common.dir/logging.cc.o.d"
+  "CMakeFiles/tvdp_common.dir/rng.cc.o"
+  "CMakeFiles/tvdp_common.dir/rng.cc.o.d"
+  "CMakeFiles/tvdp_common.dir/status.cc.o"
+  "CMakeFiles/tvdp_common.dir/status.cc.o.d"
+  "CMakeFiles/tvdp_common.dir/strings.cc.o"
+  "CMakeFiles/tvdp_common.dir/strings.cc.o.d"
+  "CMakeFiles/tvdp_common.dir/timeutil.cc.o"
+  "CMakeFiles/tvdp_common.dir/timeutil.cc.o.d"
+  "libtvdp_common.a"
+  "libtvdp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvdp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

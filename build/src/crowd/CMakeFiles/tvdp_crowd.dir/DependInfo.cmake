@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crowd/acquisition.cc" "src/crowd/CMakeFiles/tvdp_crowd.dir/acquisition.cc.o" "gcc" "src/crowd/CMakeFiles/tvdp_crowd.dir/acquisition.cc.o.d"
+  "/root/repo/src/crowd/assignment.cc" "src/crowd/CMakeFiles/tvdp_crowd.dir/assignment.cc.o" "gcc" "src/crowd/CMakeFiles/tvdp_crowd.dir/assignment.cc.o.d"
+  "/root/repo/src/crowd/campaign.cc" "src/crowd/CMakeFiles/tvdp_crowd.dir/campaign.cc.o" "gcc" "src/crowd/CMakeFiles/tvdp_crowd.dir/campaign.cc.o.d"
+  "/root/repo/src/crowd/worker.cc" "src/crowd/CMakeFiles/tvdp_crowd.dir/worker.cc.o" "gcc" "src/crowd/CMakeFiles/tvdp_crowd.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tvdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tvdp_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvdp_crowd.dir/acquisition.cc.o"
+  "CMakeFiles/tvdp_crowd.dir/acquisition.cc.o.d"
+  "CMakeFiles/tvdp_crowd.dir/assignment.cc.o"
+  "CMakeFiles/tvdp_crowd.dir/assignment.cc.o.d"
+  "CMakeFiles/tvdp_crowd.dir/campaign.cc.o"
+  "CMakeFiles/tvdp_crowd.dir/campaign.cc.o.d"
+  "CMakeFiles/tvdp_crowd.dir/worker.cc.o"
+  "CMakeFiles/tvdp_crowd.dir/worker.cc.o.d"
+  "libtvdp_crowd.a"
+  "libtvdp_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvdp_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

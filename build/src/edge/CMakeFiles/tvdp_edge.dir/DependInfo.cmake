@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/crowd_learning.cc" "src/edge/CMakeFiles/tvdp_edge.dir/crowd_learning.cc.o" "gcc" "src/edge/CMakeFiles/tvdp_edge.dir/crowd_learning.cc.o.d"
+  "/root/repo/src/edge/device.cc" "src/edge/CMakeFiles/tvdp_edge.dir/device.cc.o" "gcc" "src/edge/CMakeFiles/tvdp_edge.dir/device.cc.o.d"
+  "/root/repo/src/edge/dispatcher.cc" "src/edge/CMakeFiles/tvdp_edge.dir/dispatcher.cc.o" "gcc" "src/edge/CMakeFiles/tvdp_edge.dir/dispatcher.cc.o.d"
+  "/root/repo/src/edge/model_profile.cc" "src/edge/CMakeFiles/tvdp_edge.dir/model_profile.cc.o" "gcc" "src/edge/CMakeFiles/tvdp_edge.dir/model_profile.cc.o.d"
+  "/root/repo/src/edge/simulator.cc" "src/edge/CMakeFiles/tvdp_edge.dir/simulator.cc.o" "gcc" "src/edge/CMakeFiles/tvdp_edge.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tvdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/tvdp_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvdp_edge.dir/crowd_learning.cc.o"
+  "CMakeFiles/tvdp_edge.dir/crowd_learning.cc.o.d"
+  "CMakeFiles/tvdp_edge.dir/device.cc.o"
+  "CMakeFiles/tvdp_edge.dir/device.cc.o.d"
+  "CMakeFiles/tvdp_edge.dir/dispatcher.cc.o"
+  "CMakeFiles/tvdp_edge.dir/dispatcher.cc.o.d"
+  "CMakeFiles/tvdp_edge.dir/model_profile.cc.o"
+  "CMakeFiles/tvdp_edge.dir/model_profile.cc.o.d"
+  "CMakeFiles/tvdp_edge.dir/simulator.cc.o"
+  "CMakeFiles/tvdp_edge.dir/simulator.cc.o.d"
+  "libtvdp_edge.a"
+  "libtvdp_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvdp_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

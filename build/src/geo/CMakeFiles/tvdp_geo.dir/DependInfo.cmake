@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/bbox.cc" "src/geo/CMakeFiles/tvdp_geo.dir/bbox.cc.o" "gcc" "src/geo/CMakeFiles/tvdp_geo.dir/bbox.cc.o.d"
+  "/root/repo/src/geo/coverage.cc" "src/geo/CMakeFiles/tvdp_geo.dir/coverage.cc.o" "gcc" "src/geo/CMakeFiles/tvdp_geo.dir/coverage.cc.o.d"
+  "/root/repo/src/geo/fov.cc" "src/geo/CMakeFiles/tvdp_geo.dir/fov.cc.o" "gcc" "src/geo/CMakeFiles/tvdp_geo.dir/fov.cc.o.d"
+  "/root/repo/src/geo/geo_point.cc" "src/geo/CMakeFiles/tvdp_geo.dir/geo_point.cc.o" "gcc" "src/geo/CMakeFiles/tvdp_geo.dir/geo_point.cc.o.d"
+  "/root/repo/src/geo/polyline.cc" "src/geo/CMakeFiles/tvdp_geo.dir/polyline.cc.o" "gcc" "src/geo/CMakeFiles/tvdp_geo.dir/polyline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tvdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvdp_geo.dir/bbox.cc.o"
+  "CMakeFiles/tvdp_geo.dir/bbox.cc.o.d"
+  "CMakeFiles/tvdp_geo.dir/coverage.cc.o"
+  "CMakeFiles/tvdp_geo.dir/coverage.cc.o.d"
+  "CMakeFiles/tvdp_geo.dir/fov.cc.o"
+  "CMakeFiles/tvdp_geo.dir/fov.cc.o.d"
+  "CMakeFiles/tvdp_geo.dir/geo_point.cc.o"
+  "CMakeFiles/tvdp_geo.dir/geo_point.cc.o.d"
+  "CMakeFiles/tvdp_geo.dir/polyline.cc.o"
+  "CMakeFiles/tvdp_geo.dir/polyline.cc.o.d"
+  "libtvdp_geo.a"
+  "libtvdp_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvdp_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvdp_image.dir/augment.cc.o"
+  "CMakeFiles/tvdp_image.dir/augment.cc.o.d"
+  "CMakeFiles/tvdp_image.dir/draw.cc.o"
+  "CMakeFiles/tvdp_image.dir/draw.cc.o.d"
+  "CMakeFiles/tvdp_image.dir/image.cc.o"
+  "CMakeFiles/tvdp_image.dir/image.cc.o.d"
+  "CMakeFiles/tvdp_image.dir/scene_gen.cc.o"
+  "CMakeFiles/tvdp_image.dir/scene_gen.cc.o.d"
+  "libtvdp_image.a"
+  "libtvdp_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvdp_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/inverted_index.cc" "src/index/CMakeFiles/tvdp_index.dir/inverted_index.cc.o" "gcc" "src/index/CMakeFiles/tvdp_index.dir/inverted_index.cc.o.d"
+  "/root/repo/src/index/lsh.cc" "src/index/CMakeFiles/tvdp_index.dir/lsh.cc.o" "gcc" "src/index/CMakeFiles/tvdp_index.dir/lsh.cc.o.d"
+  "/root/repo/src/index/oriented_rtree.cc" "src/index/CMakeFiles/tvdp_index.dir/oriented_rtree.cc.o" "gcc" "src/index/CMakeFiles/tvdp_index.dir/oriented_rtree.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/index/CMakeFiles/tvdp_index.dir/rtree.cc.o" "gcc" "src/index/CMakeFiles/tvdp_index.dir/rtree.cc.o.d"
+  "/root/repo/src/index/temporal_index.cc" "src/index/CMakeFiles/tvdp_index.dir/temporal_index.cc.o" "gcc" "src/index/CMakeFiles/tvdp_index.dir/temporal_index.cc.o.d"
+  "/root/repo/src/index/visual_rtree.cc" "src/index/CMakeFiles/tvdp_index.dir/visual_rtree.cc.o" "gcc" "src/index/CMakeFiles/tvdp_index.dir/visual_rtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tvdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tvdp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/tvdp_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

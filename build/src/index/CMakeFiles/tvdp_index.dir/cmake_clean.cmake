@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvdp_index.dir/inverted_index.cc.o"
+  "CMakeFiles/tvdp_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/tvdp_index.dir/lsh.cc.o"
+  "CMakeFiles/tvdp_index.dir/lsh.cc.o.d"
+  "CMakeFiles/tvdp_index.dir/oriented_rtree.cc.o"
+  "CMakeFiles/tvdp_index.dir/oriented_rtree.cc.o.d"
+  "CMakeFiles/tvdp_index.dir/rtree.cc.o"
+  "CMakeFiles/tvdp_index.dir/rtree.cc.o.d"
+  "CMakeFiles/tvdp_index.dir/temporal_index.cc.o"
+  "CMakeFiles/tvdp_index.dir/temporal_index.cc.o.d"
+  "CMakeFiles/tvdp_index.dir/visual_rtree.cc.o"
+  "CMakeFiles/tvdp_index.dir/visual_rtree.cc.o.d"
+  "libtvdp_index.a"
+  "libtvdp_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvdp_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvdp_ml.dir/classifier.cc.o"
+  "CMakeFiles/tvdp_ml.dir/classifier.cc.o.d"
+  "CMakeFiles/tvdp_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/tvdp_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/tvdp_ml.dir/dataset.cc.o"
+  "CMakeFiles/tvdp_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/tvdp_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/tvdp_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/tvdp_ml.dir/kmeans.cc.o"
+  "CMakeFiles/tvdp_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/tvdp_ml.dir/knn.cc.o"
+  "CMakeFiles/tvdp_ml.dir/knn.cc.o.d"
+  "CMakeFiles/tvdp_ml.dir/linear_svm.cc.o"
+  "CMakeFiles/tvdp_ml.dir/linear_svm.cc.o.d"
+  "CMakeFiles/tvdp_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/tvdp_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/tvdp_ml.dir/metrics.cc.o"
+  "CMakeFiles/tvdp_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/tvdp_ml.dir/mlp.cc.o"
+  "CMakeFiles/tvdp_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/tvdp_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/tvdp_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/tvdp_ml.dir/random_forest.cc.o"
+  "CMakeFiles/tvdp_ml.dir/random_forest.cc.o.d"
+  "libtvdp_ml.a"
+  "libtvdp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvdp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/api.cc" "src/platform/CMakeFiles/tvdp_platform.dir/api.cc.o" "gcc" "src/platform/CMakeFiles/tvdp_platform.dir/api.cc.o.d"
+  "/root/repo/src/platform/dataset_gen.cc" "src/platform/CMakeFiles/tvdp_platform.dir/dataset_gen.cc.o" "gcc" "src/platform/CMakeFiles/tvdp_platform.dir/dataset_gen.cc.o.d"
+  "/root/repo/src/platform/export.cc" "src/platform/CMakeFiles/tvdp_platform.dir/export.cc.o" "gcc" "src/platform/CMakeFiles/tvdp_platform.dir/export.cc.o.d"
+  "/root/repo/src/platform/model_registry.cc" "src/platform/CMakeFiles/tvdp_platform.dir/model_registry.cc.o" "gcc" "src/platform/CMakeFiles/tvdp_platform.dir/model_registry.cc.o.d"
+  "/root/repo/src/platform/tvdp.cc" "src/platform/CMakeFiles/tvdp_platform.dir/tvdp.cc.o" "gcc" "src/platform/CMakeFiles/tvdp_platform.dir/tvdp.cc.o.d"
+  "/root/repo/src/platform/video.cc" "src/platform/CMakeFiles/tvdp_platform.dir/video.cc.o" "gcc" "src/platform/CMakeFiles/tvdp_platform.dir/video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tvdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tvdp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/tvdp_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/tvdp_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/tvdp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/tvdp_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tvdp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/tvdp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/tvdp_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/tvdp_edge.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

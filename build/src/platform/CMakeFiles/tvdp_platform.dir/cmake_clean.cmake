@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvdp_platform.dir/api.cc.o"
+  "CMakeFiles/tvdp_platform.dir/api.cc.o.d"
+  "CMakeFiles/tvdp_platform.dir/dataset_gen.cc.o"
+  "CMakeFiles/tvdp_platform.dir/dataset_gen.cc.o.d"
+  "CMakeFiles/tvdp_platform.dir/export.cc.o"
+  "CMakeFiles/tvdp_platform.dir/export.cc.o.d"
+  "CMakeFiles/tvdp_platform.dir/model_registry.cc.o"
+  "CMakeFiles/tvdp_platform.dir/model_registry.cc.o.d"
+  "CMakeFiles/tvdp_platform.dir/tvdp.cc.o"
+  "CMakeFiles/tvdp_platform.dir/tvdp.cc.o.d"
+  "CMakeFiles/tvdp_platform.dir/video.cc.o"
+  "CMakeFiles/tvdp_platform.dir/video.cc.o.d"
+  "libtvdp_platform.a"
+  "libtvdp_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvdp_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

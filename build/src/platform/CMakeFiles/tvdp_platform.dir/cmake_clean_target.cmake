@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtvdp_platform.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/engine.cc" "src/query/CMakeFiles/tvdp_query.dir/engine.cc.o" "gcc" "src/query/CMakeFiles/tvdp_query.dir/engine.cc.o.d"
+  "/root/repo/src/query/localize.cc" "src/query/CMakeFiles/tvdp_query.dir/localize.cc.o" "gcc" "src/query/CMakeFiles/tvdp_query.dir/localize.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/tvdp_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/tvdp_query.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tvdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tvdp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/tvdp_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tvdp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/tvdp_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

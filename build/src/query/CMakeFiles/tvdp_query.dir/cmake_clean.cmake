@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvdp_query.dir/engine.cc.o"
+  "CMakeFiles/tvdp_query.dir/engine.cc.o.d"
+  "CMakeFiles/tvdp_query.dir/localize.cc.o"
+  "CMakeFiles/tvdp_query.dir/localize.cc.o.d"
+  "CMakeFiles/tvdp_query.dir/query.cc.o"
+  "CMakeFiles/tvdp_query.dir/query.cc.o.d"
+  "libtvdp_query.a"
+  "libtvdp_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvdp_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

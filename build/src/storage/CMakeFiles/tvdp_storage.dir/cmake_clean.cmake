@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvdp_storage.dir/catalog.cc.o"
+  "CMakeFiles/tvdp_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/tvdp_storage.dir/schema.cc.o"
+  "CMakeFiles/tvdp_storage.dir/schema.cc.o.d"
+  "CMakeFiles/tvdp_storage.dir/serializer.cc.o"
+  "CMakeFiles/tvdp_storage.dir/serializer.cc.o.d"
+  "CMakeFiles/tvdp_storage.dir/table.cc.o"
+  "CMakeFiles/tvdp_storage.dir/table.cc.o.d"
+  "CMakeFiles/tvdp_storage.dir/tvdp_schema.cc.o"
+  "CMakeFiles/tvdp_storage.dir/tvdp_schema.cc.o.d"
+  "CMakeFiles/tvdp_storage.dir/value.cc.o"
+  "CMakeFiles/tvdp_storage.dir/value.cc.o.d"
+  "libtvdp_storage.a"
+  "libtvdp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvdp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

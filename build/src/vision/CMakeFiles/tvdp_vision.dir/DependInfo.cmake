@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/bow.cc" "src/vision/CMakeFiles/tvdp_vision.dir/bow.cc.o" "gcc" "src/vision/CMakeFiles/tvdp_vision.dir/bow.cc.o.d"
+  "/root/repo/src/vision/cnn.cc" "src/vision/CMakeFiles/tvdp_vision.dir/cnn.cc.o" "gcc" "src/vision/CMakeFiles/tvdp_vision.dir/cnn.cc.o.d"
+  "/root/repo/src/vision/color_histogram.cc" "src/vision/CMakeFiles/tvdp_vision.dir/color_histogram.cc.o" "gcc" "src/vision/CMakeFiles/tvdp_vision.dir/color_histogram.cc.o.d"
+  "/root/repo/src/vision/feature.cc" "src/vision/CMakeFiles/tvdp_vision.dir/feature.cc.o" "gcc" "src/vision/CMakeFiles/tvdp_vision.dir/feature.cc.o.d"
+  "/root/repo/src/vision/sift.cc" "src/vision/CMakeFiles/tvdp_vision.dir/sift.cc.o" "gcc" "src/vision/CMakeFiles/tvdp_vision.dir/sift.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tvdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/tvdp_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/tvdp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tvdp_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

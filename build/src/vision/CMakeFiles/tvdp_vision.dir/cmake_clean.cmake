@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvdp_vision.dir/bow.cc.o"
+  "CMakeFiles/tvdp_vision.dir/bow.cc.o.d"
+  "CMakeFiles/tvdp_vision.dir/cnn.cc.o"
+  "CMakeFiles/tvdp_vision.dir/cnn.cc.o.d"
+  "CMakeFiles/tvdp_vision.dir/color_histogram.cc.o"
+  "CMakeFiles/tvdp_vision.dir/color_histogram.cc.o.d"
+  "CMakeFiles/tvdp_vision.dir/feature.cc.o"
+  "CMakeFiles/tvdp_vision.dir/feature.cc.o.d"
+  "CMakeFiles/tvdp_vision.dir/sift.cc.o"
+  "CMakeFiles/tvdp_vision.dir/sift.cc.o.d"
+  "libtvdp_vision.a"
+  "libtvdp_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvdp_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

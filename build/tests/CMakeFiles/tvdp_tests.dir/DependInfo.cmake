@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/tvdp_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/tvdp_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/crowd_test.cc" "tests/CMakeFiles/tvdp_tests.dir/crowd_test.cc.o" "gcc" "tests/CMakeFiles/tvdp_tests.dir/crowd_test.cc.o.d"
+  "/root/repo/tests/edge_test.cc" "tests/CMakeFiles/tvdp_tests.dir/edge_test.cc.o" "gcc" "tests/CMakeFiles/tvdp_tests.dir/edge_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/tvdp_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/tvdp_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/geo_test.cc" "tests/CMakeFiles/tvdp_tests.dir/geo_test.cc.o" "gcc" "tests/CMakeFiles/tvdp_tests.dir/geo_test.cc.o.d"
+  "/root/repo/tests/image_test.cc" "tests/CMakeFiles/tvdp_tests.dir/image_test.cc.o" "gcc" "tests/CMakeFiles/tvdp_tests.dir/image_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/tvdp_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/tvdp_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/ml_test.cc" "tests/CMakeFiles/tvdp_tests.dir/ml_test.cc.o" "gcc" "tests/CMakeFiles/tvdp_tests.dir/ml_test.cc.o.d"
+  "/root/repo/tests/platform_test.cc" "tests/CMakeFiles/tvdp_tests.dir/platform_test.cc.o" "gcc" "tests/CMakeFiles/tvdp_tests.dir/platform_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/tvdp_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/tvdp_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/tvdp_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/tvdp_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/tvdp_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/tvdp_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/vision_test.cc" "tests/CMakeFiles/tvdp_tests.dir/vision_test.cc.o" "gcc" "tests/CMakeFiles/tvdp_tests.dir/vision_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/tvdp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/tvdp_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/tvdp_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/tvdp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/tvdp_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tvdp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/tvdp_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tvdp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/tvdp_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/tvdp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tvdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

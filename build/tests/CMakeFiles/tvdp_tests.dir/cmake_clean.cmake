@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvdp_tests.dir/common_test.cc.o"
+  "CMakeFiles/tvdp_tests.dir/common_test.cc.o.d"
+  "CMakeFiles/tvdp_tests.dir/crowd_test.cc.o"
+  "CMakeFiles/tvdp_tests.dir/crowd_test.cc.o.d"
+  "CMakeFiles/tvdp_tests.dir/edge_test.cc.o"
+  "CMakeFiles/tvdp_tests.dir/edge_test.cc.o.d"
+  "CMakeFiles/tvdp_tests.dir/extensions_test.cc.o"
+  "CMakeFiles/tvdp_tests.dir/extensions_test.cc.o.d"
+  "CMakeFiles/tvdp_tests.dir/geo_test.cc.o"
+  "CMakeFiles/tvdp_tests.dir/geo_test.cc.o.d"
+  "CMakeFiles/tvdp_tests.dir/image_test.cc.o"
+  "CMakeFiles/tvdp_tests.dir/image_test.cc.o.d"
+  "CMakeFiles/tvdp_tests.dir/index_test.cc.o"
+  "CMakeFiles/tvdp_tests.dir/index_test.cc.o.d"
+  "CMakeFiles/tvdp_tests.dir/ml_test.cc.o"
+  "CMakeFiles/tvdp_tests.dir/ml_test.cc.o.d"
+  "CMakeFiles/tvdp_tests.dir/platform_test.cc.o"
+  "CMakeFiles/tvdp_tests.dir/platform_test.cc.o.d"
+  "CMakeFiles/tvdp_tests.dir/query_test.cc.o"
+  "CMakeFiles/tvdp_tests.dir/query_test.cc.o.d"
+  "CMakeFiles/tvdp_tests.dir/robustness_test.cc.o"
+  "CMakeFiles/tvdp_tests.dir/robustness_test.cc.o.d"
+  "CMakeFiles/tvdp_tests.dir/storage_test.cc.o"
+  "CMakeFiles/tvdp_tests.dir/storage_test.cc.o.d"
+  "CMakeFiles/tvdp_tests.dir/vision_test.cc.o"
+  "CMakeFiles/tvdp_tests.dir/vision_test.cc.o.d"
+  "tvdp_tests"
+  "tvdp_tests.pdb"
+  "tvdp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvdp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
