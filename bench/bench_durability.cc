@@ -1,0 +1,161 @@
+// Durability-layer microbenchmarks: WAL append throughput with and without
+// per-commit fsync, and recovery time as a function of log length. Emits a
+// JSON summary (one object, keyed per case) after the human-readable table.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/file.h"
+#include "common/json.h"
+#include "storage/durable_catalog.h"
+#include "storage/wal.h"
+
+namespace tvdp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+storage::WalRecord MakeRecord(int i) {
+  storage::WalRecord rec;
+  rec.table = "images";
+  rec.row_id = i;
+  rec.values = storage::Row{
+      storage::Value("bench://image/" + std::to_string(i)),
+      storage::Value(34.0 + i * 1e-6),
+      storage::Value(-118.3 + i * 1e-6),
+      storage::Value(int64_t{1546300800} + i),
+  };
+  return rec;
+}
+
+std::string ScratchDir() {
+  std::string templ = "/tmp/tvdp_bench_durXXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  if (!mkdtemp(buf.data())) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  return buf.data();
+}
+
+/// Appends `n` records; returns records/second.
+double BenchAppend(const std::string& path, int n, bool sync) {
+  Fs* fs = Fs::Default();
+  if (fs->Exists(path)) (void)fs->Remove(path);
+  auto wal = storage::Wal::Open(fs, path);
+  if (!wal.ok()) {
+    std::fprintf(stderr, "wal open: %s\n", wal.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto start = Clock::now();
+  for (int i = 1; i <= n; ++i) {
+    if (!wal->Append(MakeRecord(i), sync).ok()) {
+      std::fprintf(stderr, "append failed at %d\n", i);
+      std::exit(1);
+    }
+  }
+  if (!sync && !wal->Sync().ok()) std::exit(1);
+  return n / SecondsSince(start);
+}
+
+/// Builds a WAL of `n` records and times recovery; returns (seconds, MB).
+std::pair<double, double> BenchRecovery(const std::string& path, int n) {
+  Fs* fs = Fs::Default();
+  if (fs->Exists(path)) (void)fs->Remove(path);
+  {
+    auto wal = storage::Wal::Open(fs, path);
+    for (int i = 1; i <= n; ++i) (void)wal->Append(MakeRecord(i), false);
+    (void)wal->Sync();
+  }
+  double mb = static_cast<double>(*fs->FileSize(path)) / (1024.0 * 1024.0);
+  auto start = Clock::now();
+  auto recovery = storage::Wal::Recover(fs, path);
+  double secs = SecondsSince(start);
+  if (!recovery.ok() || recovery->records.size() != static_cast<size_t>(n)) {
+    std::fprintf(stderr, "recovery failed or short\n");
+    std::exit(1);
+  }
+  return {secs, mb};
+}
+
+int Run() {
+  const int append_n = bench::EnvInt("TVDP_BENCH_WAL_APPENDS", 2000);
+  const int sync_n = bench::EnvInt("TVDP_BENCH_WAL_SYNC_APPENDS", 300);
+  std::string dir = ScratchDir();
+  std::string wal_path = dir + "/bench.wal";
+  Json summary = Json::MakeObject();
+
+  std::printf("== durability microbench: WAL append + recovery ==\n\n");
+
+  double nosync_rps = BenchAppend(wal_path, append_n, /*sync=*/false);
+  double sync_rps = BenchAppend(wal_path, sync_n, /*sync=*/true);
+  std::printf("%-34s %12.0f records/s  (n=%d)\n",
+              "append, fsync per commit:", sync_rps, sync_n);
+  std::printf("%-34s %12.0f records/s  (n=%d)\n",
+              "append, single fsync at end:", nosync_rps, append_n);
+  std::printf("%-34s %12.1fx\n\n", "fsync cost factor:",
+              nosync_rps / sync_rps);
+  summary["wal_append_sync_rps"] = sync_rps;
+  summary["wal_append_nosync_rps"] = nosync_rps;
+
+  std::printf("%-14s %10s %12s %16s\n", "log records", "size MB",
+              "recover s", "records/s");
+  Json recovery_points = Json::MakeArray();
+  for (int n : {1000, 10000, 50000}) {
+    auto [secs, mb] = BenchRecovery(wal_path, n);
+    std::printf("%-14d %10.2f %12.4f %16.0f\n", n, mb, secs, n / secs);
+    Json point = Json::MakeObject();
+    point["records"] = n;
+    point["log_mb"] = mb;
+    point["recover_seconds"] = secs;
+    recovery_points.Append(std::move(point));
+  }
+  summary["recovery"] = std::move(recovery_points);
+
+  // End-to-end: durable catalog ingest rate with compaction enabled.
+  {
+    storage::DurableCatalogOptions options;
+    options.sync_on_commit = false;
+    options.compaction_threshold_bytes = 1u << 20;
+    auto dc = storage::DurableCatalog::Open(dir + "/db", options);
+    if (!dc.ok()) std::exit(1);
+    storage::Catalog initial;
+    if (!storage::CreateTvdpSchema(initial).ok() ||
+        !dc->Bootstrap(std::move(initial)).ok()) {
+      std::exit(1);
+    }
+    auto start = Clock::now();
+    for (int i = 0; i < append_n; ++i) {
+      storage::WalRecord rec = MakeRecord(i);
+      auto id = dc->Insert("images", storage::Row{
+          rec.values[0], rec.values[1], rec.values[2], rec.values[3],
+          rec.values[3], storage::Value("bench"), storage::Value(false),
+          storage::Value()});
+      if (!id.ok()) std::exit(1);
+    }
+    double rps = append_n / SecondsSince(start);
+    std::printf("\n%-34s %12.0f inserts/s  (%zu checkpoints)\n",
+                "durable catalog insert:", rps, dc->checkpoints_taken());
+    summary["durable_insert_rps"] = rps;
+    summary["checkpoints"] = dc->checkpoints_taken();
+  }
+
+  std::printf("\nJSON: %s\n", summary.Dump().c_str());
+  std::string cleanup = "rm -rf '" + dir + "'";
+  (void)std::system(cleanup.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tvdp
+
+int main() { return tvdp::Run(); }

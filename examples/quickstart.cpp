@@ -7,6 +7,7 @@
 //   ./build/examples/quickstart
 
 #include <cstdio>
+#include <string>
 
 #include "geo/fov.h"
 #include "platform/tvdp.h"
@@ -107,5 +108,24 @@ int main() {
   auto hits = tvdp.query().Execute(hybrid);
   std::printf("hybrid             -> %zu hits, plan: %s\n", hits->size(),
               tvdp.query().last_plan().c_str());
+
+  // 10. Durable mode: the same facade over a crash-safe WAL + snapshot
+  // store — reopening recovers everything committed.
+  const std::string db = "/tmp/tvdp_quickstart_db";
+  std::remove((db + ".snapshot").c_str());  // fresh run each invocation
+  std::remove((db + ".wal").c_str());
+  {
+    auto durable = platform::Tvdp::Open(db);
+    if (!durable.ok()) return 1;
+    platform::ImageRecord rec;
+    rec.uri = "quickstart://durable";
+    rec.location = geo::GeoPoint{34.0553, -118.2430};
+    rec.captured_at = 1546310000;
+    if (!durable->IngestImage(rec).ok()) return 1;
+  }  // "crash": the platform object goes away without any explicit save
+  auto reopened = platform::Tvdp::Open(db);
+  if (!reopened.ok()) return 1;
+  std::printf("durable reopen     -> %zu image(s) recovered from WAL\n",
+              reopened->image_count());
   return 0;
 }

@@ -1,0 +1,57 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace tvdp {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78;  // reflected Castagnoli polynomial
+
+/// Builds the 4 slice tables at static-init time (4 KiB total).
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int b = 0; b < 8; ++b) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n) {
+  const Tables& tb = GetTables();
+  crc = ~crc;
+  // Slice-by-4 over the aligned middle, byte-at-a-time for the tail.
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(data[0]) |
+           (static_cast<uint32_t>(data[1]) << 8) |
+           (static_cast<uint32_t>(data[2]) << 16) |
+           (static_cast<uint32_t>(data[3]) << 24);
+    crc = tb.t[3][crc & 0xFF] ^ tb.t[2][(crc >> 8) & 0xFF] ^
+          tb.t[1][(crc >> 16) & 0xFF] ^ tb.t[0][crc >> 24];
+    data += 4;
+    n -= 4;
+  }
+  while (n--) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *data++) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace tvdp

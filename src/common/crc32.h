@@ -1,0 +1,34 @@
+#ifndef TVDP_COMMON_CRC32_H_
+#define TVDP_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tvdp {
+
+/// CRC32C (Castagnoli polynomial, reflected 0x82F63B78) — the checksum used
+/// by the durable-storage layer for WAL records and catalog snapshots.
+/// Table-driven (slice-by-4), no hardware dependency.
+///
+/// `Crc32c(data, n)` computes the checksum of a buffer from scratch;
+/// `Crc32cExtend(crc, data, n)` continues a running checksum so that framed
+/// records can checksum header and payload without concatenating them.
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n);
+
+inline uint32_t Crc32c(const uint8_t* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+inline uint32_t Crc32c(const std::vector<uint8_t>& bytes) {
+  return Crc32c(bytes.data(), bytes.size());
+}
+
+inline uint32_t Crc32c(const std::string& s) {
+  return Crc32c(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+}  // namespace tvdp
+
+#endif  // TVDP_COMMON_CRC32_H_

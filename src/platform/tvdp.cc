@@ -18,6 +18,73 @@ Result<Tvdp> Tvdp::Create() {
   return t;
 }
 
+Result<Tvdp> Tvdp::Open(const std::string& base_path,
+                        storage::DurableCatalogOptions options) {
+  Tvdp t;
+  TVDP_ASSIGN_OR_RETURN(storage::DurableCatalog durable,
+                        storage::DurableCatalog::Open(base_path, options));
+  t.durable_ = std::make_unique<storage::DurableCatalog>(std::move(durable));
+  if (!t.durable_->recovered_from_disk()) {
+    TVDP_ASSIGN_OR_RETURN(storage::Catalog fresh, storage::MakeTvdpCatalog());
+    TVDP_RETURN_IF_ERROR(t.durable_->Bootstrap(std::move(fresh)));
+  }
+  t.engine_ = std::make_unique<query::QueryEngine>(&t.durable_->catalog());
+  TVDP_RETURN_IF_ERROR(t.RebuildFromCatalog());
+  return t;
+}
+
+Status Tvdp::RebuildFromCatalog() {
+  storage::Catalog& cat = catalog();
+
+  // Classification registry: name -> (id, label -> type id).
+  const storage::Table* cls = cat.GetTable(tables::kImageContentClassification);
+  const storage::Table* types =
+      cat.GetTable(tables::kImageContentClassificationTypes);
+  if (!cls || !types) {
+    return Status::Internal("recovered catalog is missing the TVDP schema");
+  }
+  std::map<int64_t, std::string> cls_name_of;
+  cls->ForEach([&](const Row& r) {
+    int64_t id = r[0].AsInt64();
+    classifications_[r[1].AsString()] = {id, {}};
+    cls_name_of[id] = r[1].AsString();
+    return true;
+  });
+  types->ForEach([&](const Row& r) {
+    auto name_it = cls_name_of.find(r[1].AsInt64());
+    if (name_it != cls_name_of.end()) {
+      classifications_[name_it->second].second[r[2].AsString()] = r[0].AsInt64();
+    }
+    return true;
+  });
+
+  // Query indexes: every image, then every stored feature vector.
+  Status index_status = Status::OK();
+  const storage::Table* images = cat.GetTable(tables::kImages);
+  images->ForEach([&](const Row& r) {
+    index_status = engine_->IndexImage(r[0].AsInt64());
+    return index_status.ok();
+  });
+  TVDP_RETURN_IF_ERROR(index_status);
+  const storage::Table* feats = cat.GetTable(tables::kImageVisualFeatures);
+  const storage::Schema& fs = feats->schema();
+  size_t img_idx = static_cast<size_t>(fs.ColumnIndex("image_id"));
+  size_t kind_idx = static_cast<size_t>(fs.ColumnIndex("feature_kind"));
+  size_t feat_idx = static_cast<size_t>(fs.ColumnIndex("feature"));
+  feats->ForEach([&](const Row& r) {
+    index_status = engine_->IndexFeature(r[img_idx].AsInt64(),
+                                         r[kind_idx].AsString(),
+                                         r[feat_idx].AsFloatVector());
+    return index_status.ok();
+  });
+  return index_status;
+}
+
+Result<int64_t> Tvdp::InsertRow(const std::string& table, storage::Row row) {
+  return durable_ ? durable_->Insert(table, std::move(row))
+                  : catalog_->Insert(table, std::move(row));
+}
+
 Result<int64_t> Tvdp::IngestImage(const ImageRecord& record) {
   if (!geo::IsValid(record.location)) {
     return Status::InvalidArgument("invalid image location");
@@ -34,31 +101,27 @@ Result<int64_t> Tvdp::IngestImage(const ImageRecord& record) {
       record.original_image_id ? Value(*record.original_image_id) : Value(),
   };
   TVDP_ASSIGN_OR_RETURN(int64_t image_id,
-                        catalog_->Insert(tables::kImages,
-                                         std::move(image_row)));
+                        InsertRow(tables::kImages, std::move(image_row)));
 
   if (record.fov) {
     TVDP_RETURN_IF_ERROR(
-        catalog_
-            ->Insert(tables::kImageFov,
-                     Row{Value(image_id), Value(record.fov->direction_deg),
-                         Value(record.fov->angle_deg),
-                         Value(record.fov->radius_m)})
+        InsertRow(tables::kImageFov,
+                  Row{Value(image_id), Value(record.fov->direction_deg),
+                      Value(record.fov->angle_deg),
+                      Value(record.fov->radius_m)})
             .status());
     geo::BoundingBox scene = record.fov->SceneLocation();
     TVDP_RETURN_IF_ERROR(
-        catalog_
-            ->Insert(tables::kImageSceneLocation,
-                     Row{Value(image_id), Value(scene.min_lat),
-                         Value(scene.min_lon), Value(scene.max_lat),
-                         Value(scene.max_lon)})
+        InsertRow(tables::kImageSceneLocation,
+                  Row{Value(image_id), Value(scene.min_lat),
+                      Value(scene.min_lon), Value(scene.max_lat),
+                      Value(scene.max_lon)})
             .status());
   }
   for (const std::string& kw : record.keywords) {
     TVDP_RETURN_IF_ERROR(
-        catalog_
-            ->Insert(tables::kImageManualKeywords,
-                     Row{Value(image_id), Value(kw)})
+        InsertRow(tables::kImageManualKeywords,
+                  Row{Value(image_id), Value(kw)})
             .status());
   }
   TVDP_RETURN_IF_ERROR(engine_->IndexImage(image_id));
@@ -86,10 +149,10 @@ Result<int64_t> Tvdp::RegisterClassification(
   if (it == classifications_.end()) {
     TVDP_ASSIGN_OR_RETURN(
         int64_t cls_id,
-        catalog_->Insert(tables::kImageContentClassification,
-                         Row{Value(name), description.empty()
-                                              ? Value()
-                                              : Value(description)}));
+        InsertRow(tables::kImageContentClassification,
+                  Row{Value(name), description.empty()
+                                       ? Value()
+                                       : Value(description)}));
     it = classifications_
              .emplace(name, std::make_pair(cls_id,
                                            std::map<std::string, int64_t>()))
@@ -99,8 +162,8 @@ Result<int64_t> Tvdp::RegisterClassification(
     if (it->second.second.count(label)) continue;
     TVDP_ASSIGN_OR_RETURN(
         int64_t type_id,
-        catalog_->Insert(tables::kImageContentClassificationTypes,
-                         Row{Value(it->second.first), Value(label)}));
+        InsertRow(tables::kImageContentClassificationTypes,
+                  Row{Value(it->second.first), Value(label)}));
     it->second.second[label] = type_id;
   }
   return it->second.first;
@@ -130,23 +193,22 @@ Result<int64_t> Tvdp::AnnotateImage(int64_t image_id,
           annotation.region ? Value(int64_t{(*annotation.region)[1]}) : Value(),
           annotation.region ? Value(int64_t{(*annotation.region)[2]}) : Value(),
           annotation.region ? Value(int64_t{(*annotation.region)[3]}) : Value()};
-  return catalog_->Insert(tables::kImageContentAnnotation, std::move(row));
+  return InsertRow(tables::kImageContentAnnotation, std::move(row));
 }
 
 Status Tvdp::StoreFeature(int64_t image_id, const std::string& kind,
                           const ml::FeatureVector& feature) {
   if (feature.empty()) return Status::InvalidArgument("empty feature");
   TVDP_RETURN_IF_ERROR(
-      catalog_
-          ->Insert(tables::kImageVisualFeatures,
-                   Row{Value(image_id), Value(kind),
-                       Value(std::vector<double>(feature))})
+      InsertRow(tables::kImageVisualFeatures,
+                Row{Value(image_id), Value(kind),
+                    Value(std::vector<double>(feature))})
           .status());
   return engine_->IndexFeature(image_id, kind, feature);
 }
 
 size_t Tvdp::image_count() const {
-  const storage::Table* t = catalog_->GetTable(tables::kImages);
+  const storage::Table* t = catalog().GetTable(tables::kImages);
   return t ? t->size() : 0;
 }
 
@@ -157,7 +219,7 @@ Result<std::string> Tvdp::GetLabel(int64_t image_id,
     return Status::NotFound("unregistered classification: " + classification);
   }
   const storage::Table* ann =
-      catalog_->GetTable(tables::kImageContentAnnotation);
+      catalog().GetTable(tables::kImageContentAnnotation);
   TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
                         ann->FindBy("image_id", Value(image_id)));
   const storage::Schema& s = ann->schema();
@@ -190,7 +252,7 @@ Result<std::string> Tvdp::GetLabel(int64_t image_id,
 Result<ml::FeatureVector> Tvdp::GetFeature(int64_t image_id,
                                            const std::string& kind) const {
   const storage::Table* feats =
-      catalog_->GetTable(tables::kImageVisualFeatures);
+      catalog().GetTable(tables::kImageVisualFeatures);
   TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
                         feats->FindBy("image_id", Value(image_id)));
   const storage::Schema& s = feats->schema();
@@ -213,7 +275,7 @@ Result<std::vector<geo::GeoPoint>> Tvdp::LocationsWithLabel(
   pred.min_confidence = min_confidence;
   TVDP_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
                         engine_->Categorical(pred));
-  const storage::Table* images = catalog_->GetTable(tables::kImages);
+  const storage::Table* images = catalog().GetTable(tables::kImages);
   const storage::Schema& s = images->schema();
   size_t lat_idx = static_cast<size_t>(s.ColumnIndex("lat"));
   size_t lon_idx = static_cast<size_t>(s.ColumnIndex("lon"));
@@ -228,7 +290,11 @@ Result<std::vector<geo::GeoPoint>> Tvdp::LocationsWithLabel(
 }
 
 Status Tvdp::SaveToFile(const std::string& path) const {
-  return catalog_->SaveToFile(path);
+  return catalog().SaveToFile(path);
+}
+
+Status Tvdp::Checkpoint() {
+  return durable_ ? durable_->Checkpoint() : Status::OK();
 }
 
 }  // namespace tvdp::platform

@@ -14,6 +14,7 @@
 #include "geo/fov.h"
 #include "query/engine.h"
 #include "storage/catalog.h"
+#include "storage/durable_catalog.h"
 #include "storage/tvdp_schema.h"
 
 namespace tvdp::platform {
@@ -54,8 +55,16 @@ struct AnnotationRecord {
 ///                  by the examples.
 class Tvdp {
  public:
-  /// Creates a platform with a fresh TVDP-schema catalog.
+  /// Creates a platform with a fresh in-memory TVDP-schema catalog.
   static Result<Tvdp> Create();
+
+  /// Opens (or creates) a crash-safe platform rooted at `base_path`
+  /// (`<base_path>.snapshot` + `<base_path>.wal`). Every ingest, annotation
+  /// and feature write is committed through the write-ahead log; reopening
+  /// after a crash recovers all committed records, rebuilds the query
+  /// indexes and the classification registry.
+  static Result<Tvdp> Open(const std::string& base_path,
+                           storage::DurableCatalogOptions options = {});
 
   Tvdp(Tvdp&&) = default;
   Tvdp& operator=(Tvdp&&) = default;
@@ -91,8 +100,18 @@ class Tvdp {
   query::QueryEngine& query() { return *engine_; }
   const query::QueryEngine& query() const { return *engine_; }
 
-  storage::Catalog& catalog() { return *catalog_; }
-  const storage::Catalog& catalog() const { return *catalog_; }
+  storage::Catalog& catalog() {
+    return durable_ ? durable_->catalog() : *catalog_;
+  }
+  const storage::Catalog& catalog() const {
+    return durable_ ? durable_->catalog() : *catalog_;
+  }
+
+  /// True when this platform persists through a durable catalog.
+  bool durable() const { return durable_ != nullptr; }
+
+  /// The durable store (nullptr for in-memory platforms).
+  storage::DurableCatalog* durable_catalog() { return durable_.get(); }
 
   /// Number of live images.
   size_t image_count() const;
@@ -117,10 +136,22 @@ class Tvdp {
 
   Status SaveToFile(const std::string& path) const;
 
+  /// Durable mode: forces a snapshot + WAL reset now. No-op in-memory.
+  Status Checkpoint();
+
  private:
   Tvdp() = default;
 
+  /// Routes a row insert through the WAL when durable, else straight to the
+  /// in-memory catalog.
+  Result<int64_t> InsertRow(const std::string& table, storage::Row row);
+
+  /// Rebuilds query indexes and the classification registry from the
+  /// recovered catalog after a durable Open.
+  Status RebuildFromCatalog();
+
   std::unique_ptr<storage::Catalog> catalog_;
+  std::unique_ptr<storage::DurableCatalog> durable_;
   std::unique_ptr<query::QueryEngine> engine_;
   // classification name -> (classification id, label -> type id)
   std::map<std::string, std::pair<int64_t, std::map<std::string, int64_t>>>

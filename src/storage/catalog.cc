@@ -1,5 +1,6 @@
 #include "storage/catalog.h"
 
+#include "common/crc32.h"
 #include "common/strings.h"
 #include "storage/serializer.h"
 
@@ -7,7 +8,8 @@ namespace tvdp::storage {
 namespace {
 
 constexpr uint32_t kMagic = 0x54564450;  // "TVDP"
-constexpr uint32_t kVersion = 1;
+// v2 added the whole-body CRC32C; v1 (unchecksummed) files are rejected.
+constexpr uint32_t kVersion = 2;
 
 }  // namespace
 
@@ -71,9 +73,10 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 std::vector<uint8_t> Catalog::Serialize() const {
+  // Body first, so the header can carry its checksum: any single corrupted
+  // byte anywhere in the output is detected on load (magic/version flips by
+  // the field checks, everything else by the CRC).
   BinaryWriter w;
-  w.WriteU32(kMagic);
-  w.WriteU32(kVersion);
   w.WriteU32(static_cast<uint32_t>(tables_.size()));
   for (const auto& [name, table] : tables_) {
     w.WriteString(name);
@@ -95,7 +98,15 @@ std::vector<uint8_t> Catalog::Serialize() const {
       for (const Value& v : row) w.WriteValue(v);
     }
   }
-  return std::move(w.Take());
+  std::vector<uint8_t> body = std::move(w.Take());
+
+  BinaryWriter out;
+  out.WriteU32(kMagic);
+  out.WriteU32(kVersion);
+  out.WriteU32(Crc32c(body));
+  std::vector<uint8_t> framed = std::move(out.Take());
+  framed.insert(framed.end(), body.begin(), body.end());
+  return framed;
 }
 
 Result<Catalog> Catalog::Deserialize(const std::vector<uint8_t>& bytes) {
@@ -105,6 +116,11 @@ Result<Catalog> Catalog::Deserialize(const std::vector<uint8_t>& bytes) {
   TVDP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
   if (version != kVersion) {
     return Status::IOError(StrFormat("unsupported catalog version %u", version));
+  }
+  TVDP_ASSIGN_OR_RETURN(uint32_t body_crc, r.ReadU32());
+  if (Crc32c(bytes.data() + r.position(), bytes.size() - r.position()) !=
+      body_crc) {
+    return Status::IOError("catalog snapshot checksum mismatch");
   }
   TVDP_ASSIGN_OR_RETURN(uint32_t n_tables, r.ReadU32());
   Catalog catalog;

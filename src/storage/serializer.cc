@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/file.h"
+
 namespace tvdp::storage {
 
 void BinaryWriter::WriteU32(uint32_t v) {
@@ -152,20 +154,9 @@ Result<Value> BinaryReader::ReadValue() {
 }
 
 Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
-  std::string tmp = path + ".tmp";
-  FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (!f) return Status::IOError("cannot open " + tmp + " for writing");
-  size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
-  int close_rc = std::fclose(f);
-  if (written != bytes.size() || close_rc != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot rename " + tmp + " to " + path);
-  }
-  return Status::OK();
+  // Crash-safe replace: tmp + fsync + rename + directory fsync, with the
+  // tmp file unlinked on every failure path (see common/file.cc).
+  return AtomicWriteFile(*Fs::Default(), path, bytes);
 }
 
 Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {

@@ -32,6 +32,8 @@ class BinaryWriter {
 class BinaryReader {
  public:
   explicit BinaryReader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+  // The reader only borrows the buffer; a temporary would dangle.
+  explicit BinaryReader(std::vector<uint8_t>&&) = delete;
 
   Result<uint8_t> ReadU8();
   Result<uint32_t> ReadU32();

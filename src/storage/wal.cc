@@ -1,0 +1,117 @@
+#include "storage/wal.h"
+
+#include "common/crc32.h"
+#include "storage/serializer.h"
+
+namespace tvdp::storage {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+uint32_t ReadU32At(const std::vector<uint8_t>& b, size_t pos) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(b[pos + i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> WalRecord::Encode() const {
+  BinaryWriter w;
+  w.WriteString(table);
+  w.WriteI64(row_id);
+  w.WriteU32(static_cast<uint32_t>(values.size()));
+  for (const Value& v : values) w.WriteValue(v);
+  return std::move(w.Take());
+}
+
+Result<WalRecord> WalRecord::Decode(const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  WalRecord rec;
+  TVDP_ASSIGN_OR_RETURN(rec.table, r.ReadString());
+  TVDP_ASSIGN_OR_RETURN(rec.row_id, r.ReadI64());
+  TVDP_ASSIGN_OR_RETURN(uint32_t arity, r.ReadU32());
+  TVDP_RETURN_IF_ERROR(r.Need(arity));  // each value is at least 1 tag byte
+  rec.values.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    TVDP_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+    rec.values.push_back(std::move(v));
+  }
+  if (!r.AtEnd()) {
+    return Status::IOError("trailing bytes in WAL record payload");
+  }
+  return rec;
+}
+
+Result<Wal> Wal::Open(Fs* fs, const std::string& path) {
+  uint64_t size = 0;
+  if (fs->Exists(path)) {
+    TVDP_ASSIGN_OR_RETURN(size, fs->FileSize(path));
+  }
+  TVDP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        fs->OpenWritable(path, /*truncate=*/false));
+  return Wal(fs, path, std::move(file), size);
+}
+
+Status Wal::Append(const WalRecord& record, bool sync) {
+  std::vector<uint8_t> payload = record.Encode();
+  BinaryWriter frame;
+  frame.WriteU32(static_cast<uint32_t>(payload.size()));
+  frame.WriteU32(Crc32c(payload));
+  Status s = file_->Append(frame.buffer());
+  if (s.ok()) s = file_->Append(payload);
+  if (s.ok() && sync) s = file_->Sync();
+  if (!s.ok()) {
+    // Roll the file back to the last record boundary: a half-written (or
+    // written-but-unsynced) frame must not linger, or it would shadow the
+    // commits appended after it. If the repair itself fails the handle is
+    // left closed, so later appends fail loudly instead of corrupting.
+    (void)file_->Close();
+    Status repaired = fs_->Truncate(path_, size_bytes_);
+    if (repaired.ok()) {
+      auto reopened = fs_->OpenWritable(path_, /*truncate=*/false);
+      if (reopened.ok()) file_ = std::move(*reopened);
+    }
+    return s;
+  }
+  size_bytes_ += kFrameHeaderBytes + payload.size();
+  return Status::OK();
+}
+
+Status Wal::Sync() { return file_->Sync(); }
+
+Status Wal::Reset() {
+  TVDP_RETURN_IF_ERROR(file_->Close());
+  TVDP_ASSIGN_OR_RETURN(file_, fs_->OpenWritable(path_, /*truncate=*/true));
+  TVDP_RETURN_IF_ERROR(file_->Sync());
+  size_bytes_ = 0;
+  return fs_->SyncDirOf(path_);
+}
+
+Result<WalRecovery> Wal::Recover(Fs* fs, const std::string& path) {
+  WalRecovery out;
+  if (!fs->Exists(path)) return out;
+  TVDP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, fs->ReadAll(path));
+  size_t pos = 0;
+  while (bytes.size() - pos >= kFrameHeaderBytes) {
+    uint32_t len = ReadU32At(bytes, pos);
+    uint32_t crc = ReadU32At(bytes, pos + 4);
+    if (bytes.size() - pos - kFrameHeaderBytes < len) break;  // torn tail
+    const uint8_t* payload = bytes.data() + pos + kFrameHeaderBytes;
+    if (Crc32c(payload, len) != crc) break;  // corrupt frame
+    auto record =
+        WalRecord::Decode(std::vector<uint8_t>(payload, payload + len));
+    if (!record.ok()) break;  // checksummed garbage (should not happen)
+    out.records.push_back(std::move(*record));
+    pos += kFrameHeaderBytes + len;
+  }
+  out.valid_bytes = pos;
+  out.dropped_bytes = bytes.size() - pos;
+  if (out.dropped_bytes > 0) {
+    TVDP_RETURN_IF_ERROR(fs->Truncate(path, out.valid_bytes));
+  }
+  return out;
+}
+
+}  // namespace tvdp::storage

@@ -1,0 +1,90 @@
+#ifndef TVDP_STORAGE_WAL_H_
+#define TVDP_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/file.h"
+#include "common/result.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace tvdp::storage {
+
+/// One logged catalog mutation: a row inserted into `table` with its already
+/// assigned primary key. Replaying records in order reproduces the exact
+/// post-crash row set, ids included.
+struct WalRecord {
+  std::string table;
+  RowId row_id = 0;
+  Row values;  ///< non-id columns, in schema order
+
+  std::vector<uint8_t> Encode() const;
+  static Result<WalRecord> Decode(const std::vector<uint8_t>& payload);
+};
+
+/// What `Wal::Recover` found on disk.
+struct WalRecovery {
+  std::vector<WalRecord> records;  ///< the longest valid prefix, in order
+  uint64_t valid_bytes = 0;        ///< prefix length kept
+  uint64_t dropped_bytes = 0;      ///< garbage tail truncated away
+};
+
+/// An append-only write-ahead log of catalog mutations.
+///
+/// On-disk framing per record:
+///
+///   [u32 payload_len][u32 crc32c(payload)][payload bytes]
+///
+/// all little-endian. A record is committed once `Append(..., sync=true)`
+/// returns OK. Recovery scans from the start and keeps the longest prefix of
+/// records whose length fits the file and whose checksum verifies; anything
+/// after the first bad frame (torn write, power-cut truncation, bit rot) is
+/// truncated away, matching the recovery discipline of log-structured stores.
+class Wal {
+ public:
+  /// Opens (creating if needed) `path` for appending. Run `Recover` first:
+  /// opening does not validate existing contents.
+  static Result<Wal> Open(Fs* fs, const std::string& path);
+
+  Wal(Wal&&) = default;
+  Wal& operator=(Wal&&) = default;
+
+  /// Appends one record; with `sync` the record is fsynced (committed)
+  /// before returning.
+  Status Append(const WalRecord& record, bool sync);
+
+  /// fsyncs any unsynced appends.
+  Status Sync();
+
+  /// Truncates the log to empty (after a snapshot made its contents
+  /// redundant) and syncs the truncation.
+  Status Reset();
+
+  /// Bytes appended so far (current log length).
+  uint64_t size_bytes() const { return size_bytes_; }
+
+  const std::string& path() const { return path_; }
+
+  /// Reads `path`, returning the longest valid record prefix and truncating
+  /// the file down to it so a subsequent Open appends after valid data.
+  /// A missing file is an empty recovery, not an error.
+  static Result<WalRecovery> Recover(Fs* fs, const std::string& path);
+
+ private:
+  Wal(Fs* fs, std::string path, std::unique_ptr<WritableFile> file,
+      uint64_t size)
+      : fs_(fs), path_(std::move(path)), file_(std::move(file)),
+        size_bytes_(size) {}
+
+  Fs* fs_;
+  std::string path_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t size_bytes_;
+};
+
+}  // namespace tvdp::storage
+
+#endif  // TVDP_STORAGE_WAL_H_

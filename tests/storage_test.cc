@@ -164,7 +164,8 @@ TEST(SerializerTest, ValueRoundtripAllTypes) {
 }
 
 TEST(SerializerTest, ReaderBoundsChecked) {
-  BinaryReader r(std::vector<uint8_t>{1, 2});
+  std::vector<uint8_t> two_bytes{1, 2};  // named: BinaryReader keeps a ref
+  BinaryReader r(two_bytes);
   EXPECT_FALSE(r.ReadU32().ok());
   BinaryWriter w;
   w.WriteString("long string");
