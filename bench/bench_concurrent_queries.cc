@@ -1,0 +1,228 @@
+// Concurrent query-serving benchmark: aggregate throughput (QPS) of the
+// thread-safe platform facade as a function of client thread count, over
+// visual, hybrid and mixed workloads. Emits a JSON summary (one object,
+// keyed per workload) after the human-readable table, in the style of
+// bench_durability.
+//
+// Scaling is bounded by the host: on a single-core container every thread
+// count serializes onto one CPU and the curve is flat — the JSON records
+// hardware_concurrency so downstream tooling can interpret the numbers.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "platform/tvdp.h"
+#include "query/engine.h"
+#include "query/query.h"
+
+namespace tvdp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using platform::AnnotationRecord;
+using platform::ImageRecord;
+using platform::Tvdp;
+
+constexpr size_t kFeatureDim = 16;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A deterministic city-scale corpus: images on a jittered grid, 4 visual
+/// clusters in 16-d feature space, alternating keywords and labels.
+Tvdp BuildCorpus(int n_images) {
+  auto created = Tvdp::Create();
+  if (!created.ok()) {
+    std::fprintf(stderr, "create: %s\n", created.status().ToString().c_str());
+    std::exit(1);
+  }
+  Tvdp tvdp = std::move(created).value();
+  if (!tvdp.RegisterClassification("street_cleanliness",
+                                   {"clean", "encampment"})
+           .ok()) {
+    std::exit(1);
+  }
+  Rng rng(17);
+  for (int i = 0; i < n_images; ++i) {
+    ImageRecord rec;
+    rec.uri = "bench://img/" + std::to_string(i);
+    rec.location = geo::GeoPoint{34.00 + rng.Uniform(0, 0.1),
+                                 -118.30 + rng.Uniform(0, 0.1)};
+    rec.captured_at = 1546300800 + i * 60;
+    rec.keywords = i % 2 == 0 ? std::vector<std::string>{"tent", "street"}
+                              : std::vector<std::string>{"clean", "street"};
+    auto id = tvdp.IngestImage(rec);
+    if (!id.ok()) std::exit(1);
+
+    AnnotationRecord ann;
+    ann.classification = "street_cleanliness";
+    ann.label = i % 2 == 0 ? "encampment" : "clean";
+    ann.confidence = 0.9;
+    ann.machine = true;
+    if (!tvdp.AnnotateImage(*id, ann).ok()) std::exit(1);
+
+    // Clustered features: cluster center one-hot-ish + noise.
+    ml::FeatureVector feat(kFeatureDim, 0.1);
+    feat[static_cast<size_t>(i % 4)] = 1.0;
+    for (double& v : feat) v += rng.Normal(0, 0.05);
+    if (!tvdp.StoreFeature(*id, "cnn", feat).ok()) std::exit(1);
+  }
+  return tvdp;
+}
+
+ml::FeatureVector Probe(int salt) {
+  ml::FeatureVector probe(kFeatureDim, 0.1);
+  probe[static_cast<size_t>(salt % 4)] = 1.0;
+  return probe;
+}
+
+/// One query of the given workload; `salt` varies the probe. Exits on any
+/// query error (a benchmark that silently drops failed queries lies).
+void QueryOnce(const Tvdp& tvdp, const std::string& workload, int salt,
+               const geo::BoundingBox& region) {
+  const query::QueryEngine& engine = tvdp.query();
+  auto check = [](const auto& result) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+  };
+  if (workload == "visual") {
+    if (salt % 2 == 0) {
+      check(engine.VisualTopK("cnn", Probe(salt), 10));
+    } else {
+      check(engine.VisualThreshold("cnn", Probe(salt), 1.0));
+    }
+    return;
+  }
+  if (workload == "hybrid") {
+    query::HybridQuery q;
+    query::SpatialPredicate sp;
+    sp.kind = query::SpatialPredicate::Kind::kRange;
+    sp.range = region;
+    q.spatial = sp;
+    query::VisualPredicate vp;
+    vp.kind = query::VisualPredicate::Kind::kThreshold;
+    vp.feature_kind = "cnn";
+    vp.feature = Probe(salt);
+    vp.threshold = 1.0;
+    q.visual = vp;
+    query::TextualPredicate tp;
+    tp.keywords = {salt % 2 == 0 ? "tent" : "clean"};
+    q.textual = tp;
+    check(engine.Execute(q));
+    return;
+  }
+  // mixed: rotate through the remaining families.
+  switch (salt % 5) {
+    case 0:
+      check(engine.SpatialRange(region));
+      break;
+    case 1:
+      check(engine.SpatialKnn(geo::GeoPoint{34.05, -118.25}, 10));
+      break;
+    case 2: {
+      query::TextualPredicate tp;
+      tp.keywords = {"street"};
+      check(engine.Textual(tp));
+      break;
+    }
+    case 3:
+      check(engine.Temporal(1546300800, 1546300800 + 1000 * 60));
+      break;
+    default: {
+      query::CategoricalPredicate cp;
+      cp.classification = "street_cleanliness";
+      cp.label = "encampment";
+      check(engine.Categorical(cp));
+      break;
+    }
+  }
+}
+
+/// Runs `ops_per_thread` queries on each of `num_threads` client threads;
+/// returns aggregate queries/second.
+double RunWorkload(const Tvdp& tvdp, const std::string& workload,
+                   int num_threads, int ops_per_thread,
+                   const geo::BoundingBox& region) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  auto start = Clock::now();
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < ops_per_thread; ++i) {
+        QueryOnce(tvdp, workload, t * 131 + i, region);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double secs = SecondsSince(start);
+  return num_threads * ops_per_thread / secs;
+}
+
+int Run() {
+  const int n_images = bench::EnvInt("TVDP_BENCH_CONC_IMAGES", 3000);
+  const int ops = bench::EnvInt("TVDP_BENCH_CONC_OPS", 150);
+  const int max_threads = bench::EnvInt("TVDP_BENCH_CONC_MAX_THREADS", 8);
+
+  std::printf("== concurrent query serving: QPS vs client threads ==\n");
+  std::printf("corpus: %d images, %zu-d features; %d queries/thread; "
+              "hardware_concurrency=%u, shared pool workers=%zu\n\n",
+              n_images, kFeatureDim, ops, std::thread::hardware_concurrency(),
+              ThreadPool::Shared().size());
+
+  Tvdp tvdp = BuildCorpus(n_images);
+  geo::BoundingBox region =
+      geo::BoundingBox::FromCorners({34.0, -118.3}, {34.1, -118.2});
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+
+  Json summary = Json::MakeObject();
+  summary["images"] = n_images;
+  summary["ops_per_thread"] = ops;
+  summary["hardware_concurrency"] =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
+  summary["pool_workers"] = static_cast<int64_t>(ThreadPool::Shared().size());
+
+  for (const std::string workload : {"visual", "hybrid", "mixed"}) {
+    std::printf("workload: %s\n", workload.c_str());
+    std::printf("%-10s %14s %10s\n", "threads", "aggregate QPS", "speedup");
+    Json points = Json::MakeArray();
+    double qps_1 = 0, qps_4 = 0;
+    for (int t : thread_counts) {
+      double qps = RunWorkload(tvdp, workload, t, ops, region);
+      if (t == 1) qps_1 = qps;
+      if (t == 4) qps_4 = qps;
+      std::printf("%-10d %14.0f %9.2fx\n", t, qps,
+                  qps_1 > 0 ? qps / qps_1 : 0.0);
+      Json point = Json::MakeObject();
+      point["threads"] = t;
+      point["qps"] = qps;
+      points.Append(std::move(point));
+    }
+    summary[workload] = std::move(points);
+    if (qps_1 > 0 && qps_4 > 0) {
+      summary[workload + "_speedup_4v1"] = qps_4 / qps_1;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("JSON: %s\n", summary.Dump().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tvdp
+
+int main() { return tvdp::Run(); }

@@ -1,0 +1,88 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace tvdp {
+namespace {
+
+/// True on threads currently executing pool work; nested ParallelFor calls
+/// detect this and run inline rather than waiting on their own pool.
+thread_local bool t_inside_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+Status ThreadPool::ParallelFor(
+    size_t n, size_t min_per_chunk,
+    const std::function<Status(size_t, size_t)>& body) {
+  if (n == 0) return Status::OK();
+  min_per_chunk = std::max<size_t>(min_per_chunk, 1);
+  // Caller participates, so up to size()+1 chunks; never more than the
+  // range supports at min_per_chunk granularity.
+  size_t max_chunks = std::min(threads_.size() + 1, n / min_per_chunk);
+  if (max_chunks <= 1 || t_inside_pool_worker) {
+    return body(0, n);
+  }
+  size_t chunk = (n + max_chunks - 1) / max_chunks;
+  std::vector<std::future<Status>> pending;
+  pending.reserve(max_chunks - 1);
+  size_t begin = chunk;  // chunk [0, chunk) runs on the caller below
+  for (; begin < n; begin += chunk) {
+    size_t end = std::min(begin + chunk, n);
+    pending.push_back(Submit([&body, begin, end] { return body(begin, end); }));
+  }
+  Status status = body(0, std::min(chunk, n));
+  for (std::future<Status>& f : pending) {
+    Status s = f.get();
+    if (status.ok() && !s.ok()) status = s;
+  }
+  return status;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    return new ThreadPool(hw > 1 ? hw - 1 : 0);
+  }();
+  return *pool;
+}
+
+}  // namespace tvdp

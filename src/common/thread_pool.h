@@ -1,0 +1,89 @@
+#ifndef TVDP_COMMON_THREAD_POOL_H_
+#define TVDP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tvdp {
+
+/// A fixed-size worker pool for fan-out on read-heavy paths (LSH probing,
+/// hybrid-query candidate verification, concurrent benchmark drivers).
+///
+/// Design points:
+///  * `Submit` hands back a `std::future` of the callable's result, so a
+///    `Status`-returning task naturally propagates its error to the waiter.
+///  * `ParallelFor` statically partitions an index range into chunks, runs
+///    them on the workers with the calling thread participating, and joins
+///    before returning the first non-OK chunk status. With zero workers
+///    (single-core machines) it degrades to an inline sequential loop.
+///  * Nested `ParallelFor` from inside a worker runs inline instead of
+///    re-submitting, so a pool can never deadlock on its own tasks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. Zero is valid: all work then runs on the
+  /// calling thread at ParallelFor/Submit time (Submit still returns a
+  /// future; it is satisfied synchronously).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (not counting callers participating in
+  /// ParallelFor).
+  size_t size() const { return threads_.size(); }
+
+  /// Schedules `fn` and returns a future for its result. When the pool has
+  /// no workers the callable runs immediately on the calling thread.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (threads_.empty()) {
+      (*task)();
+      return future;
+    }
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs `body(begin, end)` over a static partition of [0, n), with the
+  /// calling thread executing its own share. Chunks hold at least
+  /// `min_per_chunk` indices, so tiny ranges never pay scheduling overhead.
+  /// Returns the first non-OK status any chunk produced (all chunks still
+  /// run to completion — no partial joins).
+  Status ParallelFor(size_t n, size_t min_per_chunk,
+                     const std::function<Status(size_t, size_t)>& body);
+
+  /// A process-wide pool sized to the hardware (hardware_concurrency - 1
+  /// workers, so ParallelFor saturates the machine including the caller).
+  /// Intended for query-serving read paths; long-running exclusive jobs
+  /// should bring their own pool.
+  static ThreadPool& Shared();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tvdp
+
+#endif  // TVDP_COMMON_THREAD_POOL_H_

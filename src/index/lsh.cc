@@ -60,42 +60,88 @@ Status LshIndex::Insert(const ml::FeatureVector& v, RecordId id) {
   return Status::OK();
 }
 
+namespace {
+
+/// Work thresholds below which a query skips the pool: the fan-out only
+/// pays off once signature or distance arithmetic dominates scheduling.
+constexpr size_t kParallelProbeMinVectors = 1024;
+constexpr size_t kParallelRankMinCandidates = 256;
+
+}  // namespace
+
 std::vector<RecordId> LshIndex::CollectCandidates(
     const ml::FeatureVector& query) const {
+  // Per-table probing is independent: each table's signatures (the k·dim
+  // dot products, times 1 + 2·probes perturbations) can be computed on a
+  // worker. Bucket contents are read-only during queries; the per-table
+  // result lists are merged with a seen-bitmap on the calling thread.
+  size_t num_tables = static_cast<size_t>(options_.num_tables);
+  std::vector<std::vector<RecordId>> per_table(num_tables);
+  auto probe_table = [&](size_t t) {
+    std::vector<RecordId>& local = per_table[t];
+    auto probe = [&](int perturb_index, int perturb_delta) {
+      auto it = tables_[t].find(Signature(query, static_cast<int>(t),
+                                          perturb_index, perturb_delta));
+      if (it == tables_[t].end()) return;
+      local.insert(local.end(), it->second.begin(), it->second.end());
+    };
+    probe(-1, 0);
+    // Multi-probe: perturb the first few hash coordinates by +-1.
+    for (int p = 0; p < options_.probes && p < options_.hashes_per_table;
+         ++p) {
+      probe(p, +1);
+      probe(p, -1);
+    }
+  };
+  if (options_.pool && num_tables >= 2 &&
+      vectors_.size() >= kParallelProbeMinVectors) {
+    (void)options_.pool->ParallelFor(
+        num_tables, 1, [&](size_t begin, size_t end) {
+          for (size_t t = begin; t < end; ++t) probe_table(t);
+          return Status::OK();
+        });
+  } else {
+    for (size_t t = 0; t < num_tables; ++t) probe_table(t);
+  }
+
   std::vector<RecordId> slots;
   std::vector<bool> seen(vectors_.size(), false);
-  auto probe = [&](int t, int perturb_index, int perturb_delta) {
-    auto it = tables_[static_cast<size_t>(t)].find(
-        Signature(query, t, perturb_index, perturb_delta));
-    if (it == tables_[static_cast<size_t>(t)].end()) return;
-    for (RecordId slot : it->second) {
+  for (const std::vector<RecordId>& local : per_table) {
+    for (RecordId slot : local) {
       if (!seen[static_cast<size_t>(slot)]) {
         seen[static_cast<size_t>(slot)] = true;
         slots.push_back(slot);
       }
     }
-  };
-  for (int t = 0; t < options_.num_tables; ++t) {
-    probe(t, -1, 0);
-    // Multi-probe: perturb the first few hash coordinates by +-1.
-    for (int p = 0; p < options_.probes && p < options_.hashes_per_table;
-         ++p) {
-      probe(t, p, +1);
-      probe(t, p, -1);
-    }
   }
-  last_candidates_ = static_cast<int64_t>(slots.size());
+  last_candidates_.store(static_cast<int64_t>(slots.size()),
+                         std::memory_order_relaxed);
   return slots;
+}
+
+std::vector<std::pair<RecordId, double>> LshIndex::RankCandidates(
+    const ml::FeatureVector& query, const std::vector<RecordId>& slots) const {
+  std::vector<std::pair<RecordId, double>> out(slots.size());
+  auto rank_span = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      size_t slot = static_cast<size_t>(slots[i]);
+      out[i] = {ids_[slot], ml::L2Distance(query, vectors_[slot])};
+    }
+    return Status::OK();
+  };
+  if (options_.pool && slots.size() >= kParallelRankMinCandidates) {
+    (void)options_.pool->ParallelFor(slots.size(), 64, rank_span);
+  } else {
+    (void)rank_span(0, slots.size());
+  }
+  return out;
 }
 
 std::vector<std::pair<RecordId, double>> LshIndex::KNearest(
     const ml::FeatureVector& query, int k) const {
   std::vector<std::pair<RecordId, double>> out;
   if (k <= 0 || query.size() != dim_) return out;
-  for (RecordId slot : CollectCandidates(query)) {
-    out.emplace_back(ids_[static_cast<size_t>(slot)],
-                     ml::L2Distance(query, vectors_[static_cast<size_t>(slot)]));
-  }
+  out = RankCandidates(query, CollectCandidates(query));
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second < b.second;
     return a.first < b.first;
@@ -108,9 +154,8 @@ std::vector<std::pair<RecordId, double>> LshIndex::RangeSearch(
     const ml::FeatureVector& query, double threshold) const {
   std::vector<std::pair<RecordId, double>> out;
   if (threshold < 0 || query.size() != dim_) return out;
-  for (RecordId slot : CollectCandidates(query)) {
-    double d = ml::L2Distance(query, vectors_[static_cast<size_t>(slot)]);
-    if (d <= threshold) out.emplace_back(ids_[static_cast<size_t>(slot)], d);
+  for (auto& [id, d] : RankCandidates(query, CollectCandidates(query))) {
+    if (d <= threshold) out.emplace_back(id, d);
   }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second < b.second;

@@ -1,12 +1,14 @@
 #ifndef TVDP_INDEX_LSH_H_
 #define TVDP_INDEX_LSH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "index/rtree.h"
 #include "ml/dataset.h"
 
@@ -27,6 +29,11 @@ class LshIndex {
     /// Number of neighbouring probes per table (multi-probe LSH); 0 means
     /// exact bucket only.
     int probes = 2;
+    /// Pool for parallel multi-table probing and exact-distance re-ranking
+    /// of large candidate sets; nullptr = sequential. Queries are safe to
+    /// run concurrently; Insert needs external exclusion (the QueryEngine
+    /// holds its writer lock).
+    ThreadPool* pool = nullptr;
   };
 
   /// Creates an index for vectors of dimensionality `dim`.
@@ -49,7 +56,10 @@ class LshIndex {
   size_t dim() const { return dim_; }
 
   /// Candidates examined by the last query (ablation instrumentation).
-  int64_t last_candidates() const { return last_candidates_; }
+  /// Under concurrent queries this is a point-in-time observation.
+  int64_t last_candidates() const {
+    return last_candidates_.load(std::memory_order_relaxed);
+  }
 
  private:
   using BucketKey = uint64_t;
@@ -61,6 +71,11 @@ class LshIndex {
 
   std::vector<RecordId> CollectCandidates(const ml::FeatureVector& query) const;
 
+  /// Exact L2 distances of `slots` against `query`, fanned out across the
+  /// pool when the set is large.
+  std::vector<std::pair<RecordId, double>> RankCandidates(
+      const ml::FeatureVector& query, const std::vector<RecordId>& slots) const;
+
   size_t dim_;
   Options options_;
   // projections_[table][hash] is a dim-vector; offsets_[table][hash] in [0,w).
@@ -69,7 +84,7 @@ class LshIndex {
   std::vector<std::unordered_map<BucketKey, std::vector<RecordId>>> tables_;
   std::vector<ml::FeatureVector> vectors_;  // slot = insertion order
   std::vector<RecordId> ids_;
-  mutable int64_t last_candidates_ = 0;
+  mutable std::atomic<int64_t> last_candidates_ = 0;
 };
 
 }  // namespace tvdp::index

@@ -3,8 +3,16 @@
 #include <cmath>
 
 namespace tvdp::index {
+namespace {
+
+/// Below this many candidates the exact refinement runs inline.
+constexpr size_t kParallelRefineMin = 128;
+
+}  // namespace
 
 bool DirectionRange::Contains(double bearing_deg) const {
+  // AngularDifference wraps into (-180, 180], so the test is seam-safe:
+  // a bearing of 5° against center 350° yields a 15° difference.
   double diff = std::abs(geo::AngularDifference(bearing_deg, center_deg));
   return diff <= half_width_deg + 1e-12;
 }
@@ -22,43 +30,53 @@ Status OrientedRTree::Insert(const geo::FieldOfView& fov, RecordId id) {
   return tree_.Insert(scene, slot);
 }
 
-std::vector<RecordId> OrientedRTree::RangeSearch(
-    const geo::BoundingBox& box) const {
-  std::vector<RecordId> candidates = tree_.RangeSearch(box);
-  last_candidates_ = static_cast<int64_t>(candidates.size());
+std::vector<RecordId> OrientedRTree::Refine(
+    const std::vector<RecordId>& candidates,
+    const std::function<bool(const Stored&)>& match) const {
+  last_candidates_.store(static_cast<int64_t>(candidates.size()),
+                         std::memory_order_relaxed);
+  if (options_.pool && candidates.size() >= kParallelRefineMin) {
+    std::vector<char> hit(candidates.size(), 0);
+    (void)options_.pool->ParallelFor(
+        candidates.size(), 32, [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            hit[i] = match(fovs_[static_cast<size_t>(candidates[i])]) ? 1 : 0;
+          }
+          return Status::OK();
+        });
+    std::vector<RecordId> out;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (hit[i]) out.push_back(fovs_[static_cast<size_t>(candidates[i])].id);
+    }
+    return out;
+  }
   std::vector<RecordId> out;
   for (RecordId slot : candidates) {
     const Stored& s = fovs_[static_cast<size_t>(slot)];
-    if (s.fov.IntersectsBBox(box)) out.push_back(s.id);
+    if (match(s)) out.push_back(s.id);
   }
   return out;
 }
 
+std::vector<RecordId> OrientedRTree::RangeSearch(
+    const geo::BoundingBox& box) const {
+  return Refine(tree_.RangeSearch(box),
+                [&box](const Stored& s) { return s.fov.IntersectsBBox(box); });
+}
+
 std::vector<RecordId> OrientedRTree::RangeSearchDirected(
     const geo::BoundingBox& box, const DirectionRange& dir) const {
-  std::vector<RecordId> candidates = tree_.RangeSearch(box);
-  last_candidates_ = static_cast<int64_t>(candidates.size());
-  std::vector<RecordId> out;
-  for (RecordId slot : candidates) {
-    const Stored& s = fovs_[static_cast<size_t>(slot)];
-    if (!dir.Contains(s.fov.direction_deg)) continue;
-    if (s.fov.IntersectsBBox(box)) out.push_back(s.id);
-  }
-  return out;
+  return Refine(tree_.RangeSearch(box), [&box, &dir](const Stored& s) {
+    return dir.Contains(s.fov.direction_deg) && s.fov.IntersectsBBox(box);
+  });
 }
 
 std::vector<RecordId> OrientedRTree::PointQuery(const geo::GeoPoint& p) const {
   geo::BoundingBox probe;
   probe.min_lat = probe.max_lat = p.lat;
   probe.min_lon = probe.max_lon = p.lon;
-  std::vector<RecordId> candidates = tree_.RangeSearch(probe);
-  last_candidates_ = static_cast<int64_t>(candidates.size());
-  std::vector<RecordId> out;
-  for (RecordId slot : candidates) {
-    const Stored& s = fovs_[static_cast<size_t>(slot)];
-    if (s.fov.ContainsPoint(p)) out.push_back(s.id);
-  }
-  return out;
+  return Refine(tree_.RangeSearch(probe),
+                [&p](const Stored& s) { return s.fov.ContainsPoint(p); });
 }
 
 }  // namespace tvdp::index

@@ -1,18 +1,22 @@
 #ifndef TVDP_INDEX_ORIENTED_RTREE_H_
 #define TVDP_INDEX_ORIENTED_RTREE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "geo/fov.h"
 #include "index/rtree.h"
 
 namespace tvdp::index {
 
-/// A half-open angular interval on the compass circle, used to prune by
-/// viewing direction.
+/// A closed angular interval on the compass circle, used to prune by
+/// viewing direction. Wraps across the 0°/360° seam: center 350° with
+/// half-width 30° contains bearings in [320°, 20°].
 struct DirectionRange {
   double center_deg = 0;  ///< target bearing
   double half_width_deg = 180;  ///< tolerance; 180 accepts everything
@@ -30,10 +34,17 @@ struct DirectionRange {
 ///  * RangeSearch(box)              — FOVs whose sector intersects the box
 ///  * RangeSearchDirected(box, dir) — additionally filtered by direction
 ///  * PointQuery(p)                 — FOVs that actually see point p
+///
+/// Thread safety: concurrent queries are safe against each other; Insert
+/// requires external exclusion against queries (the QueryEngine provides
+/// it through its reader-writer lock). Exact sector refinement of large
+/// candidate sets fans out across the optional pool.
 class OrientedRTree {
  public:
   struct Options {
     int max_entries = 16;
+    /// Pool for parallel candidate refinement; nullptr = sequential.
+    ThreadPool* pool = nullptr;
   };
 
   OrientedRTree() : OrientedRTree(Options()) {}
@@ -55,8 +66,11 @@ class OrientedRTree {
   size_t size() const { return fovs_.size(); }
 
   /// Candidate count examined by the last Range/Point query; exposes the
-  /// filter-step selectivity for the index-ablation bench.
-  int64_t last_candidates() const { return last_candidates_; }
+  /// filter-step selectivity for the index-ablation bench. Under
+  /// concurrent queries this is a point-in-time observation.
+  int64_t last_candidates() const {
+    return last_candidates_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Stored {
@@ -64,11 +78,18 @@ class OrientedRTree {
     RecordId id;
   };
 
+  /// Runs `match(stored)` over every candidate slot — in parallel via the
+  /// pool when the set is large — and returns matching record ids in
+  /// candidate order.
+  std::vector<RecordId> Refine(
+      const std::vector<RecordId>& candidates,
+      const std::function<bool(const Stored&)>& match) const;
+
   Options options_;
   // Filter structure: R-tree over scene MBRs keyed by position in fovs_.
   RTree tree_;
   std::vector<Stored> fovs_;
-  mutable int64_t last_candidates_ = 0;
+  mutable std::atomic<int64_t> last_candidates_ = 0;
 };
 
 }  // namespace tvdp::index

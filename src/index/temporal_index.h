@@ -23,7 +23,11 @@ class TemporalIndex {
   /// Inserts one entry (O(n) worst case; fine for simulation-scale data).
   void Insert(Timestamp ts, RecordId id);
 
-  /// Record ids with timestamp in [begin, end] (inclusive), time-ordered.
+  /// Record ids with timestamp in the closed interval [begin, end] — both
+  /// boundaries included — time-ordered. An inverted range (begin > end)
+  /// yields no results here; the query engine rejects it as
+  /// InvalidArgument before reaching the index, so callers can tell "empty
+  /// window" from "nonsensical window".
   std::vector<RecordId> RangeSearch(Timestamp begin, Timestamp end) const;
 
   /// The `k` most recent records at or before `as_of`, newest first.

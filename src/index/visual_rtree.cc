@@ -177,7 +177,7 @@ std::vector<VisualRTree::Hit> VisualRTree::TopK(
   std::vector<Hit> out;
   if (k <= 0 || feature.size() != dim_) return out;
   alpha = std::clamp(alpha, 0.0, 1.0);
-  last_nodes_visited_ = 0;
+  int64_t nodes_visited = 0;
 
   auto blend = [&](double spatial_deg, double visual) {
     return alpha * spatial_deg / options_.spatial_norm_deg +
@@ -200,7 +200,7 @@ std::vector<VisualRTree::Hit> VisualRTree::TopK(
       out.push_back(item.hit);
       continue;
     }
-    ++last_nodes_visited_;
+    ++nodes_visited;
     const Node& n = nodes_[static_cast<size_t>(item.node)];
     for (const Entry& e : n.entries) {
       if (n.leaf) {
@@ -217,6 +217,7 @@ std::vector<VisualRTree::Hit> VisualRTree::TopK(
       }
     }
   }
+  last_nodes_visited_.store(nodes_visited, std::memory_order_relaxed);
   return out;
 }
 
@@ -225,12 +226,12 @@ std::vector<VisualRTree::Hit> VisualRTree::RangeSearch(
     double threshold) const {
   std::vector<Hit> out;
   if (box.IsEmpty() || feature.size() != dim_) return out;
-  last_nodes_visited_ = 0;
+  int64_t nodes_visited = 0;
   std::vector<int> stack{root_};
   while (!stack.empty()) {
     int node = stack.back();
     stack.pop_back();
-    ++last_nodes_visited_;
+    ++nodes_visited;
     const Node& n = nodes_[static_cast<size_t>(node)];
     for (const Entry& e : n.entries) {
       if (!e.box.Intersects(box)) continue;
@@ -255,6 +256,7 @@ std::vector<VisualRTree::Hit> VisualRTree::RangeSearch(
     if (a.visual != b.visual) return a.visual < b.visual;
     return a.id < b.id;
   });
+  last_nodes_visited_.store(nodes_visited, std::memory_order_relaxed);
   return out;
 }
 

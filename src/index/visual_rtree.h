@@ -1,6 +1,7 @@
 #ifndef TVDP_INDEX_VISUAL_RTREE_H_
 #define TVDP_INDEX_VISUAL_RTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -61,8 +62,11 @@ class VisualRTree {
   size_t size() const { return size_; }
   size_t feature_dim() const { return dim_; }
 
-  /// Nodes visited by the last query (ablation instrumentation).
-  int64_t last_nodes_visited() const { return last_nodes_visited_; }
+  /// Nodes visited by the last query (ablation instrumentation). Under
+  /// concurrent queries this is a point-in-time observation.
+  int64_t last_nodes_visited() const {
+    return last_nodes_visited_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct FeatureRect {
@@ -99,7 +103,7 @@ class VisualRTree {
   std::vector<ml::FeatureVector> features_;
   std::vector<geo::GeoPoint> locations_;
   std::vector<RecordId> ids_;
-  mutable int64_t last_nodes_visited_ = 0;
+  mutable std::atomic<int64_t> last_nodes_visited_ = 0;
 };
 
 }  // namespace tvdp::index

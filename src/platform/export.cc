@@ -1,5 +1,7 @@
 #include "platform/export.h"
 
+#include <shared_mutex>
+
 #include "common/strings.h"
 
 namespace tvdp::platform {
@@ -38,9 +40,16 @@ Result<ImageMeta> FetchMeta(const Tvdp& tvdp, int64_t image_id) {
 }  // namespace
 
 std::string CsvEscape(const std::string& field) {
-  bool needs_quoting = field.find_first_of(",\"\r\n") != std::string::npos;
+  // A leading =, +, - or @ would be executed as a formula by spreadsheet
+  // software opening the export; quote it and neutralize with a leading
+  // single quote so the cell stays inert text.
+  bool formula = !field.empty() && (field[0] == '=' || field[0] == '+' ||
+                                    field[0] == '-' || field[0] == '@');
+  bool needs_quoting =
+      formula || field.find_first_of(",\"\r\n") != std::string::npos;
   if (!needs_quoting) return field;
   std::string out = "\"";
+  if (formula) out += '\'';
   for (char c : field) {
     if (c == '"') out += "\"\"";
     else out += c;
@@ -51,10 +60,12 @@ std::string CsvEscape(const std::string& field) {
 
 Result<std::string> ExportMetadataCsv(const Tvdp& tvdp,
                                       const std::vector<int64_t>& image_ids) {
-  std::string out = "id,uri,lat,lon,captured_at,uploaded_at,source\n";
+  std::shared_lock lock(tvdp.mutex());
+  // RFC 4180 terminates every record (header included) with CRLF.
+  std::string out = "id,uri,lat,lon,captured_at,uploaded_at,source\r\n";
   for (int64_t id : image_ids) {
     TVDP_ASSIGN_OR_RETURN(ImageMeta meta, FetchMeta(tvdp, id));
-    out += StrFormat("%lld,%s,%.6f,%.6f,%s,%s,%s\n",
+    out += StrFormat("%lld,%s,%.6f,%.6f,%s,%s,%s\r\n",
                      static_cast<long long>(meta.id),
                      CsvEscape(meta.uri).c_str(), meta.lat, meta.lon,
                      CsvEscape(FormatTimestamp(meta.captured_at)).c_str(),
@@ -66,6 +77,7 @@ Result<std::string> ExportMetadataCsv(const Tvdp& tvdp,
 
 Result<Json> ExportGeoJson(const Tvdp& tvdp,
                            const std::vector<int64_t>& image_ids) {
+  std::shared_lock lock(tvdp.mutex());
   Json features = Json::MakeArray();
   for (int64_t id : image_ids) {
     TVDP_ASSIGN_OR_RETURN(ImageMeta meta, FetchMeta(tvdp, id));

@@ -1,6 +1,8 @@
 #include "platform/tvdp.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/strings.h"
 
@@ -89,6 +91,11 @@ Result<int64_t> Tvdp::IngestImage(const ImageRecord& record) {
   if (!geo::IsValid(record.location)) {
     return Status::InvalidArgument("invalid image location");
   }
+  // Writer: the catalog rows and the index entries of one image become
+  // visible atomically — a concurrent query never sees a half-ingested
+  // image. The durable catalog's own lock nests inside (engine -> durable;
+  // never the reverse).
+  std::unique_lock lock(engine_->mutex());
   Row image_row{
       Value(record.uri),
       Value(record.location.lat),
@@ -124,7 +131,7 @@ Result<int64_t> Tvdp::IngestImage(const ImageRecord& record) {
                   Row{Value(image_id), Value(kw)})
             .status());
   }
-  TVDP_RETURN_IF_ERROR(engine_->IndexImage(image_id));
+  TVDP_RETURN_IF_ERROR(engine_->IndexImageLocked(image_id));
   return image_id;
 }
 
@@ -145,6 +152,7 @@ Result<int64_t> Tvdp::RegisterClassification(
   if (name.empty()) return Status::InvalidArgument("empty task name");
   if (labels.empty()) return Status::InvalidArgument("no labels given");
 
+  std::unique_lock lock(engine_->mutex());
   auto it = classifications_.find(name);
   if (it == classifications_.end()) {
     TVDP_ASSIGN_OR_RETURN(
@@ -171,6 +179,7 @@ Result<int64_t> Tvdp::RegisterClassification(
 
 Result<int64_t> Tvdp::AnnotateImage(int64_t image_id,
                                     const AnnotationRecord& annotation) {
+  std::unique_lock lock(engine_->mutex());
   auto cls_it = classifications_.find(annotation.classification);
   if (cls_it == classifications_.end()) {
     return Status::NotFound("unregistered classification: " +
@@ -199,21 +208,24 @@ Result<int64_t> Tvdp::AnnotateImage(int64_t image_id,
 Status Tvdp::StoreFeature(int64_t image_id, const std::string& kind,
                           const ml::FeatureVector& feature) {
   if (feature.empty()) return Status::InvalidArgument("empty feature");
+  std::unique_lock lock(engine_->mutex());
   TVDP_RETURN_IF_ERROR(
       InsertRow(tables::kImageVisualFeatures,
                 Row{Value(image_id), Value(kind),
                     Value(std::vector<double>(feature))})
           .status());
-  return engine_->IndexFeature(image_id, kind, feature);
+  return engine_->IndexFeatureLocked(image_id, kind, feature);
 }
 
 size_t Tvdp::image_count() const {
+  std::shared_lock lock(engine_->mutex());
   const storage::Table* t = catalog().GetTable(tables::kImages);
   return t ? t->size() : 0;
 }
 
 Result<std::string> Tvdp::GetLabel(int64_t image_id,
                                    const std::string& classification) const {
+  std::shared_lock lock(engine_->mutex());
   auto cls_it = classifications_.find(classification);
   if (cls_it == classifications_.end()) {
     return Status::NotFound("unregistered classification: " + classification);
@@ -251,6 +263,7 @@ Result<std::string> Tvdp::GetLabel(int64_t image_id,
 
 Result<ml::FeatureVector> Tvdp::GetFeature(int64_t image_id,
                                            const std::string& kind) const {
+  std::shared_lock lock(engine_->mutex());
   const storage::Table* feats =
       catalog().GetTable(tables::kImageVisualFeatures);
   TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
@@ -273,8 +286,11 @@ Result<std::vector<geo::GeoPoint>> Tvdp::LocationsWithLabel(
   pred.classification = classification;
   pred.label = label;
   pred.min_confidence = min_confidence;
+  // Shared (reader) lock; CategoricalLocked avoids the engine re-acquiring
+  // the same shared_mutex on this thread (undefined behaviour).
+  std::shared_lock lock(engine_->mutex());
   TVDP_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
-                        engine_->Categorical(pred));
+                        engine_->CategoricalLocked(pred));
   const storage::Table* images = catalog().GetTable(tables::kImages);
   const storage::Schema& s = images->schema();
   size_t lat_idx = static_cast<size_t>(s.ColumnIndex("lat"));
@@ -290,6 +306,7 @@ Result<std::vector<geo::GeoPoint>> Tvdp::LocationsWithLabel(
 }
 
 Status Tvdp::SaveToFile(const std::string& path) const {
+  std::shared_lock lock(engine_->mutex());
   return catalog().SaveToFile(path);
 }
 

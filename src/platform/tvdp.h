@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,14 @@ struct AnnotationRecord {
 ///                  participant, enabling translational reuse; edge
 ///                  dispatch lives in tvdp::edge and is driven from here
 ///                  by the examples.
+///
+/// Thread safety: the facade is internally synchronized with reader-writer
+/// semantics over one platform-wide lock (shared with the query engine, see
+/// `mutex()`). Any number of query/read calls run concurrently; ingest,
+/// annotation write-back, feature storage and checkpointing take the writer
+/// side, so a write is observed atomically — catalog rows and index entries
+/// never tear apart. WAL commit ordering matches in-memory apply ordering
+/// (writers are fully serialized). See DESIGN.md "Concurrency model".
 class Tvdp {
  public:
   /// Creates a platform with a fresh in-memory TVDP-schema catalog.
@@ -99,6 +108,12 @@ class Tvdp {
 
   query::QueryEngine& query() { return *engine_; }
   const query::QueryEngine& query() const { return *engine_; }
+
+  /// The platform-wide reader-writer lock (owned by the query engine so
+  /// facade and engine callers synchronize on the same object). External
+  /// readers that walk `catalog()` directly (e.g. exports) take it shared;
+  /// every facade mutation takes it exclusively.
+  std::shared_mutex& mutex() const { return engine_->mutex(); }
 
   storage::Catalog& catalog() {
     return durable_ ? durable_->catalog() : *catalog_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <unordered_set>
 
 #include "common/strings.h"
 
@@ -14,9 +15,51 @@ using storage::Table;
 using storage::Value;
 namespace tables = storage::tables;
 
-QueryEngine::QueryEngine(storage::Catalog* catalog) : catalog_(catalog) {}
+namespace {
+
+/// Below this many candidates a hybrid verification runs sequentially —
+/// scheduling would cost more than the verification itself.
+constexpr size_t kParallelVerifyMin = 64;
+
+/// Below this many kNN candidates the exact-distance re-rank runs inline.
+constexpr size_t kParallelKnnRerankMin = 64;
+
+/// Keeps the first hit per image id, preserving order. Seeds such as LSH
+/// (one entry per stored vector) can surface the same image several times;
+/// hits arrive sorted by distance for visual seeds, so "first" is also
+/// "closest".
+void DedupHitsById(std::vector<QueryHit>* hits) {
+  std::unordered_set<int64_t> seen;
+  seen.reserve(hits->size());
+  size_t w = 0;
+  for (size_t r = 0; r < hits->size(); ++r) {
+    if (seen.insert((*hits)[r].image_id).second) {
+      (*hits)[w++] = (*hits)[r];
+    }
+  }
+  hits->resize(w);
+}
+
+std::vector<QueryHit> ToHits(const std::vector<index::RecordId>& ids) {
+  std::vector<QueryHit> out;
+  out.reserve(ids.size());
+  for (index::RecordId id : ids) out.push_back(QueryHit{id, 0});
+  return out;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(storage::Catalog* catalog, ThreadPool* pool)
+    : catalog_(catalog),
+      pool_(pool ? pool : &ThreadPool::Shared()),
+      fovs_(index::OrientedRTree::Options{16, pool_}) {}
 
 Status QueryEngine::IndexImage(RowId image_id) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  return IndexImageLocked(image_id);
+}
+
+Status QueryEngine::IndexImageLocked(RowId image_id) {
   const Table* images = catalog_->GetTable(tables::kImages);
   if (!images) return Status::FailedPrecondition("images table missing");
   TVDP_ASSIGN_OR_RETURN(Row img, images->Get(image_id));
@@ -69,16 +112,25 @@ Status QueryEngine::IndexImage(RowId image_id) {
       TVDP_RETURN_IF_ERROR(keywords_.AddDocument(image_id, terms));
     }
   }
-  ++indexed_images_;
+  indexed_images_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status QueryEngine::IndexFeature(RowId image_id, const std::string& kind,
                                  const ml::FeatureVector& feature) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  return IndexFeatureLocked(image_id, kind, feature);
+}
+
+Status QueryEngine::IndexFeatureLocked(RowId image_id, const std::string& kind,
+                                       const ml::FeatureVector& feature) {
   if (feature.empty()) return Status::InvalidArgument("empty feature");
   auto lsh_it = lsh_.find(kind);
   if (lsh_it == lsh_.end()) {
-    lsh_it = lsh_.emplace(kind, std::make_unique<index::LshIndex>(feature.size()))
+    index::LshIndex::Options lsh_options;
+    lsh_options.pool = pool_;
+    lsh_it = lsh_.emplace(kind, std::make_unique<index::LshIndex>(
+                                    feature.size(), lsh_options))
                  .first;
     // The hybrid spatial-visual tree shares the same feature space.
     visual_rtree_.emplace(
@@ -96,18 +148,18 @@ Status QueryEngine::IndexFeature(RowId image_id, const std::string& kind,
   return visual_rtree_[kind]->Insert(loc, feature, image_id);
 }
 
-namespace {
-
-std::vector<QueryHit> ToHits(const std::vector<index::RecordId>& ids) {
-  std::vector<QueryHit> out;
-  out.reserve(ids.size());
-  for (index::RecordId id : ids) out.push_back(QueryHit{id, 0});
-  return out;
+std::string QueryEngine::last_plan() const {
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  return last_plan_;
 }
 
-}  // namespace
-
 Result<std::vector<QueryHit>> QueryEngine::SpatialRange(
+    const geo::BoundingBox& box) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return SpatialRangeLocked(box);
+}
+
+Result<std::vector<QueryHit>> QueryEngine::SpatialRangeLocked(
     const geo::BoundingBox& box) const {
   if (box.IsEmpty()) return Status::InvalidArgument("empty query box");
   // Prefer FOV semantics when FOVs exist; union with camera-point hits so
@@ -120,17 +172,69 @@ Result<std::vector<QueryHit>> QueryEngine::SpatialRange(
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialKnn(const geo::GeoPoint& p,
                                                       int k) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return SpatialKnnLocked(p, k);
+}
+
+Result<std::vector<QueryHit>> QueryEngine::SpatialKnnLocked(
+    const geo::GeoPoint& p, int k) const {
   if (k <= 0) return Status::InvalidArgument("k must be positive");
-  return ToHits(points_.KNearest(p, k));
+  // The R-tree orders candidates by box min-distance in *degree* space,
+  // where a degree of longitude counts the same as a degree of latitude;
+  // away from the equator that misorders near-ties. Over-fetch by degree
+  // distance, then re-rank the candidates by exact geodesic distance,
+  // fanning the distance computations (each a catalog row read + haversine)
+  // out across the pool when the set is large.
+  int fetch = k + k / 2 + 8;
+  std::vector<index::RecordId> ids = points_.KNearest(p, fetch);
+  const Table* images = catalog_->GetTable(tables::kImages);
+  if (!images) return Status::FailedPrecondition("images table missing");
+  const storage::Schema& schema = images->schema();
+  const size_t lat_idx = static_cast<size_t>(schema.ColumnIndex("lat"));
+  const size_t lon_idx = static_cast<size_t>(schema.ColumnIndex("lon"));
+  std::vector<std::pair<double, index::RecordId>> ranked(ids.size());
+  auto rank_span = [&](size_t begin, size_t end) -> Status {
+    for (size_t i = begin; i < end; ++i) {
+      TVDP_ASSIGN_OR_RETURN(Row img, images->Get(ids[i]));
+      geo::GeoPoint loc{img[lat_idx].AsDouble(), img[lon_idx].AsDouble()};
+      ranked[i] = {geo::HaversineMeters(p, loc), ids[i]};
+    }
+    return Status::OK();
+  };
+  if (ranked.size() >= kParallelKnnRerankMin) {
+    TVDP_RETURN_IF_ERROR(pool_->ParallelFor(ranked.size(), 16, rank_span));
+  } else {
+    TVDP_RETURN_IF_ERROR(rank_span(0, ranked.size()));
+  }
+  std::sort(ranked.begin(), ranked.end());
+  if (ranked.size() > static_cast<size_t>(k)) {
+    ranked.resize(static_cast<size_t>(k));
+  }
+  std::vector<QueryHit> out;
+  out.reserve(ranked.size());
+  for (const auto& [dist, id] : ranked) out.push_back(QueryHit{id, 0});
+  return out;
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisibleAt(
+    const geo::GeoPoint& p) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return VisibleAtLocked(p);
+}
+
+Result<std::vector<QueryHit>> QueryEngine::VisibleAtLocked(
     const geo::GeoPoint& p) const {
   if (!geo::IsValid(p)) return Status::InvalidArgument("invalid point");
   return ToHits(fovs_.PointQuery(p));
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisualTopK(
+    const std::string& kind, const ml::FeatureVector& feature, int k) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return VisualTopKLocked(kind, feature, k);
+}
+
+Result<std::vector<QueryHit>> QueryEngine::VisualTopKLocked(
     const std::string& kind, const ml::FeatureVector& feature, int k) const {
   auto it = lsh_.find(kind);
   if (it == lsh_.end()) {
@@ -140,10 +244,18 @@ Result<std::vector<QueryHit>> QueryEngine::VisualTopK(
   for (const auto& [id, dist] : it->second->KNearest(feature, k)) {
     out.push_back(QueryHit{id, dist});
   }
+  DedupHitsById(&out);
   return out;
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisualThreshold(
+    const std::string& kind, const ml::FeatureVector& feature,
+    double threshold) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return VisualThresholdLocked(kind, feature, threshold);
+}
+
+Result<std::vector<QueryHit>> QueryEngine::VisualThresholdLocked(
     const std::string& kind, const ml::FeatureVector& feature,
     double threshold) const {
   auto it = lsh_.find(kind);
@@ -154,6 +266,7 @@ Result<std::vector<QueryHit>> QueryEngine::VisualThreshold(
   for (const auto& [id, dist] : it->second->RangeSearch(feature, threshold)) {
     out.push_back(QueryHit{id, dist});
   }
+  DedupHitsById(&out);
   return out;
 }
 
@@ -186,6 +299,12 @@ Result<int64_t> QueryEngine::LookupTypeId(
 
 Result<std::vector<QueryHit>> QueryEngine::Categorical(
     const CategoricalPredicate& pred) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return CategoricalLocked(pred);
+}
+
+Result<std::vector<QueryHit>> QueryEngine::CategoricalLocked(
+    const CategoricalPredicate& pred) const {
   TVDP_ASSIGN_OR_RETURN(int64_t type_id, LookupTypeId(pred));
   const Table* ann = catalog_->GetTable(tables::kImageContentAnnotation);
   TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
@@ -205,6 +324,12 @@ Result<std::vector<QueryHit>> QueryEngine::Categorical(
 
 Result<std::vector<QueryHit>> QueryEngine::Textual(
     const TextualPredicate& pred) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return TextualLocked(pred);
+}
+
+Result<std::vector<QueryHit>> QueryEngine::TextualLocked(
+    const TextualPredicate& pred) const {
   if (pred.keywords.empty()) {
     return Status::InvalidArgument("no keywords given");
   }
@@ -220,13 +345,24 @@ Result<std::vector<QueryHit>> QueryEngine::Textual(
 
 Result<std::vector<QueryHit>> QueryEngine::Temporal(Timestamp begin,
                                                     Timestamp end) const {
-  if (begin > end) return Status::InvalidArgument("begin after end");
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return TemporalLocked(begin, end);
+}
+
+Result<std::vector<QueryHit>> QueryEngine::TemporalLocked(Timestamp begin,
+                                                          Timestamp end) const {
+  // Boundary contract: [begin, end] inclusive on both ends; an inverted
+  // range is a caller error, never an unspecified scan.
+  if (begin > end) {
+    return Status::InvalidArgument("temporal range inverted: begin after end");
+  }
   return ToHits(temporal_.RangeSearch(begin, end));
 }
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialVisualTopK(
     const geo::GeoPoint& p, const std::string& kind,
     const ml::FeatureVector& feature, int k, double alpha) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = visual_rtree_.find(kind);
   if (it == visual_rtree_.end()) {
     return Status::NotFound("no hybrid index for kind: " + kind);
@@ -235,12 +371,13 @@ Result<std::vector<QueryHit>> QueryEngine::SpatialVisualTopK(
   for (const auto& hit : it->second->TopK(p, feature, k, alpha)) {
     out.push_back(QueryHit{hit.id, hit.visual});
   }
+  DedupHitsById(&out);
   return out;
 }
 
 double QueryEngine::EstimateSelectivity(const HybridQuery& q,
                                         const std::string& family) const {
-  double n = static_cast<double>(std::max<size_t>(indexed_images_, 1));
+  double n = static_cast<double>(std::max<size_t>(indexed_images(), 1));
   if (family == "categorical" && q.categorical) {
     // Annotations are typically sparse: assume 1/NumLabels of the corpus.
     return n / 8.0;
@@ -279,9 +416,9 @@ double QueryEngine::EstimateSelectivity(const HybridQuery& q,
   return n;
 }
 
-Result<bool> QueryEngine::Verify(RowId id, const HybridQuery& q,
-                                 const std::string& seed_family,
-                                 double* visual_distance) const {
+Result<bool> QueryEngine::VerifyLocked(RowId id, const HybridQuery& q,
+                                       const std::string& seed_family,
+                                       double* visual_distance) const {
   const Table* images = catalog_->GetTable(tables::kImages);
   TVDP_ASSIGN_OR_RETURN(Row img, images->Get(id));
   const storage::Schema& schema = images->schema();
@@ -306,7 +443,7 @@ Result<bool> QueryEngine::Verify(RowId id, const HybridQuery& q,
         break;
       case SpatialPredicate::Kind::kVisibleAt: {
         TVDP_ASSIGN_OR_RETURN(std::vector<QueryHit> vis,
-                              VisibleAt(q.spatial->point));
+                              VisibleAtLocked(q.spatial->point));
         bool found = false;
         for (const auto& h : vis) {
           if (h.image_id == id) {
@@ -320,7 +457,8 @@ Result<bool> QueryEngine::Verify(RowId id, const HybridQuery& q,
     }
   }
   if (q.categorical && seed_family != "categorical") {
-    TVDP_ASSIGN_OR_RETURN(std::vector<QueryHit> cat, Categorical(*q.categorical));
+    TVDP_ASSIGN_OR_RETURN(std::vector<QueryHit> cat,
+                          CategoricalLocked(*q.categorical));
     bool found = false;
     for (const auto& h : cat) {
       if (h.image_id == id) {
@@ -331,7 +469,7 @@ Result<bool> QueryEngine::Verify(RowId id, const HybridQuery& q,
     if (!found) return false;
   }
   if (q.textual && seed_family != "textual") {
-    TVDP_ASSIGN_OR_RETURN(std::vector<QueryHit> txt, Textual(*q.textual));
+    TVDP_ASSIGN_OR_RETURN(std::vector<QueryHit> txt, TextualLocked(*q.textual));
     bool found = false;
     for (const auto& h : txt) {
       if (h.image_id == id) {
@@ -366,7 +504,12 @@ Result<bool> QueryEngine::Verify(RowId id, const HybridQuery& q,
   return true;
 }
 
-Result<std::vector<QueryHit>> QueryEngine::Execute(
+Result<std::vector<QueryHit>> QueryEngine::Execute(const HybridQuery& q) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return ExecuteLocked(q);
+}
+
+Result<std::vector<QueryHit>> QueryEngine::ExecuteLocked(
     const HybridQuery& q) const {
   // Collect present predicate families and their selectivity estimates.
   std::vector<std::string> families;
@@ -377,6 +520,11 @@ Result<std::vector<QueryHit>> QueryEngine::Execute(
   if (q.temporal) families.push_back("temporal");
   if (families.empty()) {
     return Status::InvalidArgument("hybrid query has no predicates");
+  }
+  // Malformed predicates fail the whole query up front, whichever role
+  // they would have played in the plan.
+  if (q.temporal && q.temporal->begin > q.temporal->end) {
+    return Status::InvalidArgument("temporal range inverted: begin after end");
   }
 
   // kNN spatial and top-k visual predicates must seed (they are ranking
@@ -402,16 +550,16 @@ Result<std::vector<QueryHit>> QueryEngine::Execute(
   if (seed == "spatial") {
     switch (q.spatial->kind) {
       case SpatialPredicate::Kind::kRange: {
-        TVDP_ASSIGN_OR_RETURN(candidates, SpatialRange(q.spatial->range));
+        TVDP_ASSIGN_OR_RETURN(candidates, SpatialRangeLocked(q.spatial->range));
         break;
       }
       case SpatialPredicate::Kind::kKnn: {
         TVDP_ASSIGN_OR_RETURN(candidates,
-                              SpatialKnn(q.spatial->point, q.spatial->k));
+                              SpatialKnnLocked(q.spatial->point, q.spatial->k));
         break;
       }
       case SpatialPredicate::Kind::kVisibleAt: {
-        TVDP_ASSIGN_OR_RETURN(candidates, VisibleAt(q.spatial->point));
+        TVDP_ASSIGN_OR_RETURN(candidates, VisibleAtLocked(q.spatial->point));
         break;
       }
     }
@@ -421,36 +569,65 @@ Result<std::vector<QueryHit>> QueryEngine::Execute(
       int fetch = q.visual->k * 4 + 16;
       TVDP_ASSIGN_OR_RETURN(
           candidates,
-          VisualTopK(q.visual->feature_kind, q.visual->feature, fetch));
+          VisualTopKLocked(q.visual->feature_kind, q.visual->feature, fetch));
     } else {
-      TVDP_ASSIGN_OR_RETURN(
-          candidates, VisualThreshold(q.visual->feature_kind, q.visual->feature,
-                                      q.visual->threshold));
+      TVDP_ASSIGN_OR_RETURN(candidates, VisualThresholdLocked(
+                                            q.visual->feature_kind,
+                                            q.visual->feature,
+                                            q.visual->threshold));
     }
   } else if (seed == "categorical") {
-    TVDP_ASSIGN_OR_RETURN(candidates, Categorical(*q.categorical));
+    TVDP_ASSIGN_OR_RETURN(candidates, CategoricalLocked(*q.categorical));
   } else if (seed == "textual") {
-    TVDP_ASSIGN_OR_RETURN(candidates, Textual(*q.textual));
+    TVDP_ASSIGN_OR_RETURN(candidates, TextualLocked(*q.textual));
   } else {
     TVDP_ASSIGN_OR_RETURN(candidates,
-                          Temporal(q.temporal->begin, q.temporal->end));
+                          TemporalLocked(q.temporal->begin, q.temporal->end));
   }
+
+  // An image that matched the seed through several index entries (several
+  // stored vectors, repeated keywords, ...) must be verified — and
+  // returned — at most once.
+  DedupHitsById(&candidates);
 
   std::string verify_list;
   for (const auto& f : families) {
     if (f != seed) verify_list += (verify_list.empty() ? "" : " ") + f;
   }
-  last_plan_ = StrFormat("seed=%s(%zu) verify=[%s]", seed.c_str(),
-                         candidates.size(), verify_list.c_str());
+  {
+    std::lock_guard<std::mutex> plan_lock(plan_mutex_);
+    last_plan_ = StrFormat("seed=%s(%zu) verify=[%s]", seed.c_str(),
+                           candidates.size(), verify_list.c_str());
+  }
 
-  // Verify remaining predicates per candidate.
+  // Verify remaining predicates per candidate. Large candidate sets fan
+  // out across the pool (each verification is independent); the selection
+  // pass below stays sequential so k/limit semantics match the
+  // single-threaded path exactly.
+  std::vector<char> keep(candidates.size(), 1);
+  std::vector<double> distances(candidates.size(), 0);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    distances[i] = candidates[i].visual_distance;
+  }
+  auto verify_span = [&](size_t chunk_begin, size_t chunk_end) -> Status {
+    for (size_t i = chunk_begin; i < chunk_end; ++i) {
+      TVDP_ASSIGN_OR_RETURN(
+          bool ok_hit,
+          VerifyLocked(candidates[i].image_id, q, seed, &distances[i]));
+      keep[i] = ok_hit ? 1 : 0;
+    }
+    return Status::OK();
+  };
+  if (candidates.size() >= kParallelVerifyMin) {
+    TVDP_RETURN_IF_ERROR(pool_->ParallelFor(candidates.size(), 16, verify_span));
+  } else {
+    TVDP_RETURN_IF_ERROR(verify_span(0, candidates.size()));
+  }
+
   std::vector<QueryHit> out;
-  for (QueryHit& hit : candidates) {
-    double vd = hit.visual_distance;
-    TVDP_ASSIGN_OR_RETURN(bool keep, Verify(hit.image_id, q, seed, &vd));
-    if (!keep) continue;
-    hit.visual_distance = vd;
-    out.push_back(hit);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!keep[i]) continue;
+    out.push_back(QueryHit{candidates[i].image_id, distances[i]});
     if (q.visual && q.visual->kind == VisualPredicate::Kind::kTopK &&
         static_cast<int>(out.size()) >= q.visual->k) {
       break;
@@ -476,6 +653,7 @@ Result<std::vector<QueryHit>> QueryEngine::Execute(
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialRangeScan(
     const geo::BoundingBox& box) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const Table* images = catalog_->GetTable(tables::kImages);
   const Table* fov_table = catalog_->GetTable(tables::kImageFov);
   if (!images || !fov_table) {
@@ -518,6 +696,7 @@ Result<std::vector<QueryHit>> QueryEngine::SpatialRangeScan(
 
 Result<std::vector<QueryHit>> QueryEngine::VisualTopKScan(
     const std::string& kind, const ml::FeatureVector& feature, int k) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const Table* feats = catalog_->GetTable(tables::kImageVisualFeatures);
   if (!feats) return Status::FailedPrecondition("features table missing");
   const storage::Schema& fs = feats->schema();

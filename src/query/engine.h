@@ -1,12 +1,16 @@
 #ifndef TVDP_QUERY_ENGINE_H_
 #define TVDP_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "geo/fov.h"
 #include "index/inverted_index.h"
 #include "index/lsh.h"
@@ -18,6 +22,10 @@
 #include "storage/catalog.h"
 #include "storage/tvdp_schema.h"
 
+namespace tvdp::platform {
+class Tvdp;
+}  // namespace tvdp::platform
+
 namespace tvdp::query {
 
 /// The access layer of TVDP: maintains the per-modality indexes over the
@@ -25,10 +33,23 @@ namespace tvdp::query {
 /// with a selectivity-ordered plan. Index maintenance is explicit — call
 /// IndexImage after inserting the corresponding rows — which mirrors the
 /// ingest pipeline of the platform.
+///
+/// Thread safety: the engine is internally synchronized with reader-writer
+/// semantics. Any number of query calls may run concurrently; IndexImage /
+/// IndexFeature take the writer side of `mutex()` and are serialized
+/// against all queries. The platform facade (`platform::Tvdp`) shares this
+/// same mutex so catalog mutations and index updates form one atomic write
+/// section — see DESIGN.md "Concurrency model".
+///
+/// Heavy read paths (hybrid candidate verification, LSH probing and
+/// re-ranking, FOV refinement, spatial-kNN exact re-ranking) fan out
+/// across `pool` when the work is large enough to amortize scheduling.
 class QueryEngine {
  public:
   /// `catalog` must outlive the engine and contain the TVDP schema.
-  explicit QueryEngine(storage::Catalog* catalog);
+  /// `pool` (default: the process-shared pool) runs intra-query fan-out;
+  /// pass a zero-worker pool to force sequential execution.
+  explicit QueryEngine(storage::Catalog* catalog, ThreadPool* pool = nullptr);
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
@@ -48,18 +69,21 @@ class QueryEngine {
   /// Spatial: images whose FOV (or camera point if no FOV) intersects box.
   Result<std::vector<QueryHit>> SpatialRange(const geo::BoundingBox& box) const;
 
-  /// Spatial: k nearest camera locations.
+  /// Spatial: k nearest camera locations, ordered by exact geodesic
+  /// distance (candidates over-fetched by index distance, then re-ranked).
   Result<std::vector<QueryHit>> SpatialKnn(const geo::GeoPoint& p, int k) const;
 
   /// Spatial: images whose FOV sees point p.
   Result<std::vector<QueryHit>> VisibleAt(const geo::GeoPoint& p) const;
 
-  /// Visual: approximate top-k similar images by feature kind.
+  /// Visual: approximate top-k similar images by feature kind. Each image
+  /// appears at most once (the closest of its stored vectors).
   Result<std::vector<QueryHit>> VisualTopK(const std::string& kind,
                                            const ml::FeatureVector& feature,
                                            int k) const;
 
-  /// Visual: all images within a feature-distance threshold.
+  /// Visual: all images within a feature-distance threshold, deduplicated
+  /// by image id (closest match per image).
   Result<std::vector<QueryHit>> VisualThreshold(
       const std::string& kind, const ml::FeatureVector& feature,
       double threshold) const;
@@ -71,13 +95,17 @@ class QueryEngine {
   /// Textual: keyword search over manual keywords.
   Result<std::vector<QueryHit>> Textual(const TextualPredicate& pred) const;
 
-  /// Temporal: capture-time range.
+  /// Temporal: capture-time range. Boundary semantics are inclusive on
+  /// both ends — the result is every image with captured_at in
+  /// [begin, end]. An inverted range (begin > end) is InvalidArgument.
   Result<std::vector<QueryHit>> Temporal(Timestamp begin, Timestamp end) const;
 
   // --- Hybrid queries ---
 
   /// Evaluates a hybrid query: the most selective indexed predicate seeds
   /// the candidate set, remaining predicates verify against the catalog.
+  /// Every returned image id is unique, even when the image matches the
+  /// seed through multiple index entries.
   Result<std::vector<QueryHit>> Execute(const HybridQuery& q) const;
 
   /// Spatial-visual top-k through the hybrid VisualRTree (single index,
@@ -98,31 +126,74 @@ class QueryEngine {
                                                int k) const;
 
   /// The plan chosen by the last Execute call, e.g.
-  /// "seed=categorical(12) verify=[spatial temporal]".
-  const std::string& last_plan() const { return last_plan_; }
+  /// "seed=categorical(12) verify=[spatial temporal]". Returned by value:
+  /// under concurrent Execute calls the string is only a point-in-time
+  /// observation.
+  std::string last_plan() const;
 
-  size_t indexed_images() const { return indexed_images_; }
+  size_t indexed_images() const {
+    return indexed_images_.load(std::memory_order_relaxed);
+  }
+
+  /// The reader-writer lock guarding the indexes. Held shared by every
+  /// query method and exclusively by IndexImage/IndexFeature; the platform
+  /// facade acquires it exclusively around catalog-mutation + index-update
+  /// pairs so readers never observe a torn write.
+  std::shared_mutex& mutex() const { return mutex_; }
 
  private:
+  friend class tvdp::platform::Tvdp;
+
+  // --- Locked variants: caller must hold mutex() (exclusively for the
+  // Index* pair, shared or exclusive for the query methods). ---
+  Status IndexImageLocked(storage::RowId image_id);
+  Status IndexFeatureLocked(storage::RowId image_id, const std::string& kind,
+                            const ml::FeatureVector& feature);
+  Result<std::vector<QueryHit>> SpatialRangeLocked(
+      const geo::BoundingBox& box) const;
+  Result<std::vector<QueryHit>> SpatialKnnLocked(const geo::GeoPoint& p,
+                                                 int k) const;
+  Result<std::vector<QueryHit>> VisibleAtLocked(const geo::GeoPoint& p) const;
+  Result<std::vector<QueryHit>> VisualTopKLocked(
+      const std::string& kind, const ml::FeatureVector& feature, int k) const;
+  Result<std::vector<QueryHit>> VisualThresholdLocked(
+      const std::string& kind, const ml::FeatureVector& feature,
+      double threshold) const;
+  Result<std::vector<QueryHit>> CategoricalLocked(
+      const CategoricalPredicate& pred) const;
+  Result<std::vector<QueryHit>> TextualLocked(
+      const TextualPredicate& pred) const;
+  Result<std::vector<QueryHit>> TemporalLocked(Timestamp begin,
+                                               Timestamp end) const;
+  Result<std::vector<QueryHit>> ExecuteLocked(const HybridQuery& q) const;
+
   /// Estimated result cardinality of each predicate (lower = run first).
   double EstimateSelectivity(const HybridQuery& q,
                              const std::string& family) const;
 
   /// Verifies a candidate against every non-seed predicate.
-  Result<bool> Verify(storage::RowId id, const HybridQuery& q,
-                      const std::string& seed_family,
-                      double* visual_distance) const;
+  Result<bool> VerifyLocked(storage::RowId id, const HybridQuery& q,
+                            const std::string& seed_family,
+                            double* visual_distance) const;
 
   Result<int64_t> LookupTypeId(const CategoricalPredicate& pred) const;
 
   storage::Catalog* catalog_;
+  ThreadPool* pool_;
   index::RTree points_;
   index::OrientedRTree fovs_;
   index::TemporalIndex temporal_;
   index::InvertedIndex keywords_;
   std::map<std::string, std::unique_ptr<index::LshIndex>> lsh_;
   std::map<std::string, std::unique_ptr<index::VisualRTree>> visual_rtree_;
-  size_t indexed_images_ = 0;
+  std::atomic<size_t> indexed_images_ = 0;
+
+  /// Reader-writer lock over every index and (through the facade) the
+  /// catalog. Mutable: query methods are logically const readers.
+  mutable std::shared_mutex mutex_;
+  /// last_plan_ is written by concurrent readers of mutex_, so it has its
+  /// own tiny lock.
+  mutable std::mutex plan_mutex_;
   mutable std::string last_plan_;
 };
 

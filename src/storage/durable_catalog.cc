@@ -60,15 +60,19 @@ Result<DurableCatalog> DurableCatalog::Open(const std::string& base_path,
 }
 
 Status DurableCatalog::Bootstrap(Catalog initial) {
+  std::unique_lock<std::shared_mutex> lock(*mutex_);
   if (recovered_from_disk_ || !catalog_->TableNames().empty()) {
     return Status::FailedPrecondition(
         "Bootstrap on a non-empty durable catalog");
   }
   *catalog_ = std::move(initial);
-  return Checkpoint();
+  return CheckpointLocked();
 }
 
 Result<RowId> DurableCatalog::Insert(const std::string& table, Row row) {
+  // The writer lock spans apply + WAL append + (possible) compaction, so
+  // the commit order in the log always matches the in-memory apply order.
+  std::unique_lock<std::shared_mutex> lock(*mutex_);
   Row logged = row;  // keep a copy for the WAL record
   TVDP_ASSIGN_OR_RETURN(RowId id, catalog_->Insert(table, std::move(row)));
   WalRecord record{table, id, std::move(logged)};
@@ -83,7 +87,7 @@ Result<RowId> DurableCatalog::Insert(const std::string& table, Row row) {
   if (wal_->size_bytes() > options_.compaction_threshold_bytes) {
     // Best-effort: the record is already durable in the WAL, so a failed
     // compaction loses nothing — it is retried on the next threshold cross.
-    Status compacted = Checkpoint();
+    Status compacted = CheckpointLocked();
     if (!compacted.ok()) {
       TVDP_LOG(Warning) << "WAL compaction failed (will retry): "
                         << compacted.ToString();
@@ -93,6 +97,11 @@ Result<RowId> DurableCatalog::Insert(const std::string& table, Row row) {
 }
 
 Status DurableCatalog::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lock(*mutex_);
+  return CheckpointLocked();
+}
+
+Status DurableCatalog::CheckpointLocked() {
   TVDP_RETURN_IF_ERROR(AtomicWriteFile(*fs_, snapshot_path_,
                                        catalog_->Serialize()));
   TVDP_RETURN_IF_ERROR(wal_->Reset());
@@ -100,6 +109,9 @@ Status DurableCatalog::Checkpoint() {
   return Status::OK();
 }
 
-Status DurableCatalog::Flush() { return wal_->Sync(); }
+Status DurableCatalog::Flush() {
+  std::unique_lock<std::shared_mutex> lock(*mutex_);
+  return wal_->Sync();
+}
 
 }  // namespace tvdp::storage

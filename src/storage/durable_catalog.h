@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "common/file.h"
@@ -30,6 +32,13 @@ struct DurableCatalogOptions {
 
 /// Crash-safe persistence for `Catalog`: a checksummed snapshot plus a
 /// write-ahead log of inserts since that snapshot.
+///
+/// Thread safety: `Insert`, `Checkpoint`, `Flush` and `Bootstrap` are
+/// serialized by an internal writer lock, so WAL commit ordering always
+/// matches in-memory apply ordering. Reading `catalog()` concurrently with
+/// writers is NOT synchronized here — the owning facade (platform::Tvdp)
+/// holds its reader-writer lock around catalog reads; standalone users
+/// doing concurrent reads should do the same via `mutex()`.
 ///
 /// Disk layout for base path `p`:
 ///   p.snapshot — `Catalog::Serialize()` output (magic, version, body CRC),
@@ -73,6 +82,11 @@ class DurableCatalog {
   /// Forces a snapshot now and resets the WAL.
   Status Checkpoint();
 
+  /// The reader-writer lock serializing mutations. Writers (Insert,
+  /// Checkpoint, ...) take it exclusively; external readers of `catalog()`
+  /// may take it shared when no higher-level lock already excludes writers.
+  std::shared_mutex& mutex() const { return *mutex_; }
+
   /// fsyncs outstanding WAL appends (useful with sync_on_commit=false).
   Status Flush();
 
@@ -90,8 +104,13 @@ class DurableCatalog {
  private:
   DurableCatalog() = default;
 
+  Status CheckpointLocked();
+
   Fs* fs_ = nullptr;
   DurableCatalogOptions options_;
+  /// Owned through a pointer so the catalog stays movable.
+  std::unique_ptr<std::shared_mutex> mutex_ =
+      std::make_unique<std::shared_mutex>();
   std::string snapshot_path_;
   std::string wal_path_;
   std::unique_ptr<Catalog> catalog_;

@@ -1,0 +1,352 @@
+// Concurrency suite: ThreadPool unit tests plus reader/writer stress tests
+// over the platform facade. The stress tests are the TSan workload — they
+// race N query threads (every query family, label/feature reads, CSV
+// export) against a writer doing ingest, annotation write-back, feature
+// storage and durable compaction. Run them plain, under ASan and under
+// TSan (see tests/CMakeLists.txt and the TVDP_TSAN option).
+
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "platform/export.h"
+#include "platform/tvdp.h"
+#include "query/engine.h"
+#include "query/query.h"
+
+namespace tvdp {
+namespace {
+
+using platform::AnnotationRecord;
+using platform::ImageRecord;
+using platform::Tvdp;
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPoolTest, SubmitReturnsValues) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  auto f1 = pool.Submit([] { return 41 + 1; });
+  auto f2 = pool.Submit([] { return std::string("done"); });
+  auto f3 = pool.Submit([] { return Status::InvalidArgument("nope"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "done");
+  EXPECT_EQ(f3.get().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::thread::id caller = std::this_thread::get_id();
+  auto f = pool.Submit([caller] { return std::this_thread::get_id() == caller; });
+  EXPECT_TRUE(f.get());
+  std::vector<int> seen(100, 0);
+  ASSERT_TRUE(pool.ParallelFor(seen.size(), 1,
+                               [&](size_t begin, size_t end) {
+                                 for (size_t i = begin; i < end; ++i) ++seen[i];
+                                 return Status::OK();
+                               })
+                  .ok());
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> seen(1000);
+  ASSERT_TRUE(pool.ParallelFor(seen.size(), 16,
+                               [&](size_t begin, size_t end) {
+                                 for (size_t i = begin; i < end; ++i) {
+                                   seen[i].fetch_add(1);
+                                 }
+                                 return Status::OK();
+                               })
+                  .ok());
+  for (const auto& count : seen) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstError) {
+  ThreadPool pool(2);
+  std::atomic<int> chunks_run{0};
+  Status s = pool.ParallelFor(100, 10, [&](size_t begin, size_t end) {
+    chunks_run.fetch_add(1);
+    if (begin <= 55 && 55 < end) {
+      return Status::InvalidArgument("poisoned index");
+    }
+    return Status::OK();
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // All chunks still ran to completion despite the error.
+  EXPECT_GE(chunks_run.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> seen(256);
+  Status s = pool.ParallelFor(4, 1, [&](size_t obegin, size_t oend) {
+    for (size_t o = obegin; o < oend; ++o) {
+      // A worker re-entering the pool must degrade to inline execution —
+      // waiting on its own queue would deadlock.
+      Status inner = pool.ParallelFor(64, 1, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          seen[o * 64 + i].fetch_add(1);
+        }
+        return Status::OK();
+      });
+      if (!inner.ok()) return inner;
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok()) << s;
+  for (const auto& count : seen) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, TinyRangeSkipsFanOut) {
+  ThreadPool pool(4);
+  std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> on_caller{true};
+  ASSERT_TRUE(pool.ParallelFor(8, 64,
+                               [&](size_t, size_t) {
+                                 if (std::this_thread::get_id() != caller) {
+                                   on_caller = false;
+                                 }
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_TRUE(on_caller.load());
+}
+
+// ---------- stress scaffolding ----------
+
+/// Seeds `tvdp` with `n` images mirroring the query-test corpus: grid
+/// locations, FOVs, alternating keywords/labels, 4-d one-hot features.
+void SeedCorpus(Tvdp& tvdp, int n, std::vector<int64_t>* ids) {
+  ASSERT_TRUE(tvdp.RegisterClassification("street_cleanliness",
+                                          {"clean", "encampment"})
+                  .ok());
+  for (int i = 0; i < n; ++i) {
+    int row = i / 8, col = i % 8;
+    ImageRecord rec;
+    rec.uri = "seed" + std::to_string(i);
+    rec.location = geo::GeoPoint{34.00 + row * 0.01, -118.30 + col * 0.0125};
+    auto fov = geo::FieldOfView::Make(rec.location, (i * 37) % 360, 60, 120);
+    ASSERT_TRUE(fov.ok());
+    rec.fov = *fov;
+    rec.captured_at = 1546300800 + i * 3600;
+    rec.keywords = i % 2 == 0 ? std::vector<std::string>{"tent", "street"}
+                              : std::vector<std::string>{"clean", "street"};
+    auto id = tvdp.IngestImage(rec);
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids->push_back(*id);
+
+    AnnotationRecord ann;
+    ann.classification = "street_cleanliness";
+    ann.label = i % 2 == 0 ? "encampment" : "clean";
+    ann.confidence = 0.9;
+    ann.machine = true;
+    ASSERT_TRUE(tvdp.AnnotateImage(*id, ann).ok());
+
+    ml::FeatureVector feat(4, 0.1);
+    feat[static_cast<size_t>(i % 4)] = 1.0;
+    ASSERT_TRUE(tvdp.StoreFeature(*id, "cnn", feat).ok());
+  }
+}
+
+/// One reader iteration: every query family plus facade reads and a CSV
+/// export, all over the immutable seeded prefix. Returns false (with a
+/// test failure recorded) on any unexpected error.
+bool ReaderPass(Tvdp& tvdp, const std::vector<int64_t>& seed_ids,
+                const geo::BoundingBox& region, int salt) {
+  query::QueryEngine& engine = tvdp.query();
+  ml::FeatureVector probe(4, 0.1);
+  probe[static_cast<size_t>(salt % 4)] = 1.0;
+
+  auto spatial = engine.SpatialRange(region);
+  EXPECT_TRUE(spatial.ok()) << spatial.status();
+  if (!spatial.ok()) return false;
+  EXPECT_GE(spatial->size(), seed_ids.size());
+
+  auto knn = engine.SpatialKnn(geo::GeoPoint{34.02, -118.27}, 5);
+  EXPECT_TRUE(knn.ok()) << knn.status();
+
+  auto visible = engine.VisibleAt(geo::GeoPoint{34.01, -118.29});
+  EXPECT_TRUE(visible.ok()) << visible.status();
+
+  auto topk = engine.VisualTopK("cnn", probe, 8);
+  EXPECT_TRUE(topk.ok()) << topk.status();
+
+  auto thresh = engine.VisualThreshold("cnn", probe, 1.5);
+  EXPECT_TRUE(thresh.ok()) << thresh.status();
+
+  query::CategoricalPredicate cp;
+  cp.classification = "street_cleanliness";
+  cp.label = "encampment";
+  auto categorical = engine.Categorical(cp);
+  EXPECT_TRUE(categorical.ok()) << categorical.status();
+
+  query::TextualPredicate tp;
+  tp.keywords = {"tent"};
+  auto textual = engine.Textual(tp);
+  EXPECT_TRUE(textual.ok()) << textual.status();
+
+  auto temporal = engine.Temporal(1546300800, 1546300800 + 200 * 3600);
+  EXPECT_TRUE(temporal.ok()) << temporal.status();
+
+  query::HybridQuery hq;
+  query::SpatialPredicate sp;
+  sp.kind = query::SpatialPredicate::Kind::kRange;
+  sp.range = region;
+  hq.spatial = sp;
+  query::VisualPredicate vp;
+  vp.kind = query::VisualPredicate::Kind::kThreshold;
+  vp.feature_kind = "cnn";
+  vp.feature = probe;
+  vp.threshold = 1.5;
+  hq.visual = vp;
+  hq.textual = tp;
+  auto hybrid = engine.Execute(hq);
+  EXPECT_TRUE(hybrid.ok()) << hybrid.status();
+  if (hybrid.ok()) {
+    std::set<int64_t> unique;
+    for (const auto& h : *hybrid) unique.insert(h.image_id);
+    EXPECT_EQ(unique.size(), hybrid->size()) << "hybrid returned duplicates";
+  }
+
+  int64_t probe_id = seed_ids[static_cast<size_t>(salt) % seed_ids.size()];
+  auto label = tvdp.GetLabel(probe_id, "street_cleanliness");
+  EXPECT_TRUE(label.ok()) << label.status();
+  auto feature = tvdp.GetFeature(probe_id, "cnn");
+  EXPECT_TRUE(feature.ok()) << feature.status();
+  auto locations = tvdp.LocationsWithLabel("street_cleanliness", "encampment");
+  EXPECT_TRUE(locations.ok()) << locations.status();
+
+  auto csv = platform::ExportMetadataCsv(
+      tvdp, {seed_ids.front(), probe_id, seed_ids.back()});
+  EXPECT_TRUE(csv.ok()) << csv.status();
+
+  (void)tvdp.image_count();
+  return spatial.ok() && hybrid.ok();
+}
+
+/// Writer loop: ingest + annotate + feature per iteration, periodically a
+/// checkpoint (durable platforms compact through it).
+void WriterLoop(Tvdp& tvdp, int iterations, std::atomic<bool>* done) {
+  for (int i = 0; i < iterations; ++i) {
+    ImageRecord rec;
+    rec.uri = "live" + std::to_string(i);
+    rec.location = geo::GeoPoint{34.05 + (i % 5) * 0.001, -118.25};
+    rec.captured_at = 1546300800 + (100 + i) * 3600;
+    rec.keywords = {"street", i % 2 == 0 ? "tent" : "clean"};
+    auto id = tvdp.IngestImage(rec);
+    ASSERT_TRUE(id.ok()) << id.status();
+
+    AnnotationRecord ann;
+    ann.classification = "street_cleanliness";
+    ann.label = i % 2 == 0 ? "encampment" : "clean";
+    ann.confidence = 0.8;
+    ann.machine = true;
+    ASSERT_TRUE(tvdp.AnnotateImage(*id, ann).ok());
+
+    ml::FeatureVector feat(4, 0.1);
+    feat[static_cast<size_t>(i % 4)] = 1.0;
+    ASSERT_TRUE(tvdp.StoreFeature(*id, "cnn", feat).ok());
+
+    if (i % 16 == 15) {
+      ASSERT_TRUE(tvdp.Checkpoint().ok());
+    }
+  }
+  done->store(true);
+}
+
+void RunStress(Tvdp& tvdp, int num_readers, int writer_iterations,
+               int reader_passes) {
+  std::vector<int64_t> seed_ids;
+  SeedCorpus(tvdp, 48, &seed_ids);
+  geo::BoundingBox region =
+      geo::BoundingBox::FromCorners({33.99, -118.31}, {34.12, -118.19});
+
+  // Fixed work on both sides (readers do NOT spin until the writer ends):
+  // std::shared_mutex makes no fairness promise, and on glibc continuous
+  // re-acquiring readers can starve the writer indefinitely. Launching
+  // everything together still overlaps reads and writes throughout.
+  std::atomic<bool> writer_done{false};
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<size_t>(num_readers));
+  for (int r = 0; r < num_readers; ++r) {
+    readers.emplace_back([&, r] {
+      for (int pass = 0; pass < reader_passes; ++pass) {
+        if (!ReaderPass(tvdp, seed_ids, region, r * 31 + pass)) break;
+      }
+    });
+  }
+  std::thread writer(
+      [&] { WriterLoop(tvdp, writer_iterations, &writer_done); });
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_TRUE(writer_done.load());
+
+  // Post-conditions: every write landed and is queryable.
+  EXPECT_EQ(tvdp.image_count(),
+            seed_ids.size() + static_cast<size_t>(writer_iterations));
+  auto locations = tvdp.LocationsWithLabel("street_cleanliness", "encampment");
+  ASSERT_TRUE(locations.ok());
+  EXPECT_EQ(locations->size(),
+            (seed_ids.size() + static_cast<size_t>(writer_iterations) + 1) / 2);
+}
+
+int EnvOr(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+// ---------- stress tests ----------
+
+TEST(ConcurrencyStressTest, InMemoryReadersVsWriter) {
+  auto created = Tvdp::Create();
+  ASSERT_TRUE(created.ok());
+  Tvdp tvdp = std::move(created).value();
+  RunStress(tvdp, /*num_readers=*/EnvOr("TVDP_STRESS_READERS", 4),
+            /*writer_iterations=*/EnvOr("TVDP_STRESS_WRITES", 256),
+            /*reader_passes=*/EnvOr("TVDP_STRESS_PASSES", 48));
+}
+
+TEST(ConcurrencyStressTest, DurableReadersVsWriterWithCompaction) {
+  std::string templ = ::testing::TempDir() + "tvdp_concXXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  ASSERT_NE(mkdtemp(buf.data()), nullptr);
+  std::string dir = buf.data();
+  std::string base = dir + "/platform";
+
+  size_t expected_images = 0;
+  {
+    storage::DurableCatalogOptions options;
+    options.sync_on_commit = false;
+    // Tiny threshold: the writer's WAL appends trip compactions while the
+    // readers are mid-query, exercising snapshot-under-read.
+    options.compaction_threshold_bytes = 16 << 10;
+    auto opened = Tvdp::Open(base, options);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    Tvdp tvdp = std::move(opened).value();
+    RunStress(tvdp, /*num_readers=*/EnvOr("TVDP_STRESS_READERS", 2),
+              /*writer_iterations=*/EnvOr("TVDP_STRESS_WRITES", 128),
+              /*reader_passes=*/EnvOr("TVDP_STRESS_PASSES", 24));
+    expected_images = tvdp.image_count();
+  }
+  // Everything committed under concurrency must survive a reopen.
+  auto reopened = Tvdp::Open(base);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->image_count(), expected_images);
+
+  std::string cmd = "rm -rf '" + dir + "'";
+  (void)std::system(cmd.c_str());
+}
+
+}  // namespace
+}  // namespace tvdp

@@ -301,15 +301,51 @@ TEST_F(ExportTest, CsvEscaping) {
   EXPECT_EQ(platform::CsvEscape("line\nbreak"), "\"line\nbreak\"");
 }
 
+TEST_F(ExportTest, CsvEscapingDefusesFormulas) {
+  // Fields a spreadsheet would evaluate must come out quoted and prefixed
+  // with a single quote so the cell stays inert (CSV injection).
+  EXPECT_EQ(platform::CsvEscape("=1+2"), "\"'=1+2\"");
+  EXPECT_EQ(platform::CsvEscape("+1234567"), "\"'+1234567\"");
+  EXPECT_EQ(platform::CsvEscape("-cmd"), "\"'-cmd\"");
+  EXPECT_EQ(platform::CsvEscape("@SUM(A1:A9)"), "\"'@SUM(A1:A9)\"");
+  EXPECT_EQ(platform::CsvEscape("=HYPERLINK(\"http://evil\")"),
+            "\"'=HYPERLINK(\"\"http://evil\"\")\"");
+  // Interior formula characters are harmless.
+  EXPECT_EQ(platform::CsvEscape("a=b"), "a=b");
+  EXPECT_EQ(platform::CsvEscape(""), "");
+}
+
 TEST_F(ExportTest, CsvHasHeaderAndEscapedRows) {
   auto csv = platform::ExportMetadataCsv(*tvdp_, ids_);
   ASSERT_TRUE(csv.ok()) << csv.status();
   auto lines = StrSplit(*csv, '\n', /*skip_empty=*/true);
   ASSERT_EQ(lines.size(), 3u);
+  // RFC 4180 records terminate with CRLF, so each '\n'-split line keeps a
+  // trailing '\r'.
+  for (std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\r');
+    line.pop_back();
+  }
   EXPECT_EQ(lines[0], "id,uri,lat,lon,captured_at,uploaded_at,source");
   EXPECT_NE(lines[1].find("plain://img"), std::string::npos);
   EXPECT_NE(lines[2].find("\"weird://a,b\"\"c\""), std::string::npos);
   EXPECT_NE(lines[1].find("2019-01-01 00:00:00"), std::string::npos);
+}
+
+TEST_F(ExportTest, CsvNeutralizesFormulaUri) {
+  // A crowdsourced "uri" crafted as a spreadsheet formula must not survive
+  // into an executable cell.
+  platform::ImageRecord rec;
+  rec.uri = "=HYPERLINK(\"http://evil.example\",\"click\")";
+  rec.location = geo::GeoPoint{34.07, -118.23};
+  rec.captured_at = 1546300800;
+  auto id = tvdp_->IngestImage(rec);
+  ASSERT_TRUE(id.ok());
+  auto csv = platform::ExportMetadataCsv(*tvdp_, {*id});
+  ASSERT_TRUE(csv.ok()) << csv.status();
+  EXPECT_EQ(csv->find(",=HYPERLINK"), std::string::npos);
+  EXPECT_NE(csv->find("\"'=HYPERLINK"), std::string::npos);
 }
 
 TEST_F(ExportTest, CsvMissingIdFails) {

@@ -217,6 +217,89 @@ TEST(DirectionRangeTest, WrapsAroundNorth) {
   EXPECT_FALSE(r.Contains(180));
 }
 
+// Seam sweep: every direction-sector predicate must behave identically for
+// headings that straddle the 0°/360° wraparound as for interior headings.
+// A camera looking theta=350° with a 30° aperture sees bearings on BOTH
+// sides of north ([335°, 5°]); naive |bearing - theta| comparisons break
+// exactly here.
+class SeamHeadingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SeamHeadingTest, DirectionRangeContains) {
+  const double theta = GetParam();
+  DirectionRange r{theta, 15};
+  for (double off : {-14.0, 0.0, 14.0}) {
+    EXPECT_TRUE(r.Contains(geo::NormalizeBearing(theta + off)))
+        << "theta=" << theta << " off=" << off;
+  }
+  for (double off : {-20.0, 20.0, 90.0, 180.0}) {
+    EXPECT_FALSE(r.Contains(geo::NormalizeBearing(theta + off)))
+        << "theta=" << theta << " off=" << off;
+  }
+}
+
+TEST_P(SeamHeadingTest, FovCoversBearing) {
+  const double theta = GetParam();
+  auto fov =
+      geo::FieldOfView::Make(geo::GeoPoint{34.05, -118.25}, theta, 30, 300);
+  ASSERT_TRUE(fov.ok());
+  for (double off : {-14.0, 0.0, 14.0}) {
+    EXPECT_TRUE(fov->CoversBearing(geo::NormalizeBearing(theta + off)))
+        << "theta=" << theta << " off=" << off;
+  }
+  for (double off : {-20.0, 20.0, 180.0}) {
+    EXPECT_FALSE(fov->CoversBearing(geo::NormalizeBearing(theta + off)))
+        << "theta=" << theta << " off=" << off;
+  }
+}
+
+TEST_P(SeamHeadingTest, PointQueryAcrossSeam) {
+  const double theta = GetParam();
+  geo::GeoPoint cam{34.05, -118.25};
+  auto fov = geo::FieldOfView::Make(cam, theta, 30, 300);
+  ASSERT_TRUE(fov.ok());
+  OrientedRTree tree;
+  ASSERT_TRUE(tree.Insert(*fov, 7).ok());
+  // Probes just inside each sector edge — for seam-straddling headings one
+  // of these lies on the far side of north from the heading itself.
+  for (double off : {-12.0, 0.0, 12.0}) {
+    geo::GeoPoint p =
+        geo::Destination(cam, geo::NormalizeBearing(theta + off), 150);
+    EXPECT_EQ(tree.PointQuery(p), std::vector<RecordId>{7})
+        << "theta=" << theta << " off=" << off;
+  }
+  // Probes safely outside the aperture (and one behind the camera).
+  for (double off : {-30.0, 30.0, 180.0}) {
+    geo::GeoPoint p =
+        geo::Destination(cam, geo::NormalizeBearing(theta + off), 150);
+    EXPECT_TRUE(tree.PointQuery(p).empty())
+        << "theta=" << theta << " off=" << off;
+  }
+}
+
+TEST_P(SeamHeadingTest, DirectedSearchAcrossSeam) {
+  const double theta = GetParam();
+  geo::GeoPoint cam{34.05, -118.25};
+  OrientedRTree tree;
+  auto fov = geo::FieldOfView::Make(cam, theta, 30, 300);
+  ASSERT_TRUE(fov.ok());
+  ASSERT_TRUE(tree.Insert(*fov, 1).ok());
+  auto south = geo::FieldOfView::Make(cam, 180, 30, 300);
+  ASSERT_TRUE(south.ok());
+  ASSERT_TRUE(tree.Insert(*south, 2).ok());
+  geo::BoundingBox everything = geo::BoundingBox::FromCenterRadius(cam, 2000);
+  // A query sector offset across the seam from the heading still matches it.
+  DirectionRange probe{geo::NormalizeBearing(theta + 20), 25};
+  std::vector<RecordId> hits = tree.RangeSearchDirected(everything, probe);
+  EXPECT_EQ(hits, std::vector<RecordId>{1}) << "theta=" << theta;
+  DirectionRange away{geo::NormalizeBearing(theta + 90), 20};
+  EXPECT_TRUE(tree.RangeSearchDirected(everything, away).empty())
+      << "theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeamCrossingHeadings, SeamHeadingTest,
+                         ::testing::Values(345.0, 350.0, 355.0, 358.0, 0.0,
+                                           2.0, 5.0, 15.0));
+
 // ---------- LSH ----------
 
 TEST(LshTest, InsertValidatesDimension) {
@@ -367,6 +450,23 @@ TEST(TemporalIndexTest, RangeInclusive) {
   EXPECT_EQ(idx.RangeSearch(101, 299), std::vector<RecordId>{2});
   EXPECT_TRUE(idx.RangeSearch(400, 500).empty());
   EXPECT_TRUE(idx.RangeSearch(300, 100).empty());
+}
+
+TEST(TemporalIndexTest, BoundarySemantics) {
+  // Contract: [begin, end] closed on BOTH ends.
+  TemporalIndex idx({{100, 1}, {200, 2}, {300, 3}});
+  // Exact-boundary timestamps are included.
+  EXPECT_EQ(idx.RangeSearch(100, 100), std::vector<RecordId>{1});
+  EXPECT_EQ(idx.RangeSearch(300, 300), std::vector<RecordId>{3});
+  EXPECT_EQ(idx.RangeSearch(200, 300), (std::vector<RecordId>{2, 3}));
+  // One past either boundary excludes it.
+  EXPECT_TRUE(idx.RangeSearch(99, 99).empty());
+  EXPECT_TRUE(idx.RangeSearch(301, 400).empty());
+  // Degenerate begin == end between entries.
+  EXPECT_TRUE(idx.RangeSearch(150, 150).empty());
+  // Inverted ranges never scan, including the one-off case.
+  EXPECT_TRUE(idx.RangeSearch(101, 100).empty());
+  EXPECT_TRUE(idx.RangeSearch(1000, 0).empty());
 }
 
 TEST(TemporalIndexTest, BulkConstructorSorts) {

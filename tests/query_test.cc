@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/rng.h"
+#include "geo/geo_point.h"
 #include "platform/tvdp.h"
 #include "query/engine.h"
 #include "query/query.h"
@@ -117,6 +118,30 @@ TEST_F(QueryEngineTest, SpatialKnnOrdersByDistance) {
   EXPECT_FALSE(engine().SpatialKnn(probe, 0).ok());
 }
 
+TEST_F(QueryEngineTest, SpatialKnnRanksByGeodesicMeters) {
+  // Off-grid probe: the nearest-k order by exact haversine meters differs
+  // from naive degree-space ordering (a degree of longitude is ~17%
+  // shorter than a degree of latitude at this latitude). The engine must
+  // return the brute-force geodesic order.
+  geo::GeoPoint probe{34.051, -118.256};
+  const int k = 10;
+  auto hits = engine().SpatialKnn(probe, k);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), static_cast<size_t>(k));
+  std::vector<std::pair<double, int64_t>> expect;
+  for (int i = 0; i < 40; ++i) {
+    int row = i / 8, col = i % 8;
+    geo::GeoPoint loc{34.00 + row * 0.02, -118.30 + col * 0.0125};
+    expect.emplace_back(geo::HaversineMeters(probe, loc), fixture().ids[i]);
+  }
+  std::sort(expect.begin(), expect.end());
+  for (int i = 0; i < k; ++i) {
+    EXPECT_EQ((*hits)[static_cast<size_t>(i)].image_id,
+              expect[static_cast<size_t>(i)].second)
+        << "rank " << i;
+  }
+}
+
 TEST_F(QueryEngineTest, VisibleAtUsesFovs) {
   // Pick an image's FOV interior point.
   auto hits = engine().VisibleAt(geo::GeoPoint{34.00, -118.30});
@@ -198,6 +223,40 @@ TEST_F(QueryEngineTest, TemporalRange) {
   EXPECT_FALSE(engine().Temporal(100, 50).ok());
 }
 
+TEST_F(QueryEngineTest, TemporalBoundariesAreInclusive) {
+  // Fixture capture times are 1546300800 + i*3600. Both window boundaries
+  // are part of the result ([begin, end] closed on both ends).
+  const Timestamp t0 = 1546300800;
+  auto exact = engine().Temporal(t0, t0);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->size(), 1u);
+  auto both_ends = engine().Temporal(t0 + 3600, t0 + 2 * 3600);
+  ASSERT_TRUE(both_ends.ok());
+  EXPECT_EQ(both_ends->size(), 2u);
+  // One second short of a capture time excludes it.
+  auto short_of = engine().Temporal(t0 + 1, t0 + 3600 - 1);
+  ASSERT_TRUE(short_of.ok());
+  EXPECT_TRUE(short_of->empty());
+  // An inverted range is InvalidArgument, not an empty (or full) scan —
+  // even when inverted by a single tick.
+  auto inverted = engine().Temporal(t0 + 1, t0);
+  ASSERT_FALSE(inverted.ok());
+  EXPECT_EQ(inverted.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryEngineTest, HybridRejectsInvertedTemporal) {
+  // Before the fix the planner silently treated an inverted window as
+  // non-selective; it must fail the whole query up front instead.
+  HybridQuery q;
+  TextualPredicate tp;
+  tp.keywords = {"tent"};
+  q.textual = tp;
+  q.temporal = TemporalPredicate{1546300800 + 3600, 1546300800};
+  auto hits = engine().Execute(q);
+  ASSERT_FALSE(hits.ok());
+  EXPECT_EQ(hits.status().code(), StatusCode::kInvalidArgument);
+}
+
 // ---------- hybrid ----------
 
 TEST_F(QueryEngineTest, HybridSpatialTextual) {
@@ -253,6 +312,55 @@ TEST_F(QueryEngineTest, HybridVisualTopKWithCategoricalFilter) {
   for (size_t i = 1; i < hits->size(); ++i) {
     EXPECT_GE((*hits)[i].visual_distance, (*hits)[i - 1].visual_distance);
   }
+}
+
+TEST_F(QueryEngineTest, HybridReturnsEachImageOnce) {
+  // An image with several stored vectors of the same kind used to surface
+  // once per vector: the LSH/visual indexes keep one entry per insert, and
+  // the hybrid executor verified (and emitted) every candidate entry.
+  int64_t dup_id = fixture().ids[0];
+  ml::FeatureVector near_first(4, 0.1);
+  near_first[0] = 1.0;
+  // Two more vectors for the same image, same kind, both close to probe.
+  ml::FeatureVector v2 = near_first, v3 = near_first;
+  v2[1] = 0.15;
+  v3[2] = 0.15;
+  ASSERT_TRUE(fixture().tvdp.StoreFeature(dup_id, "cnn", v2).ok());
+  ASSERT_TRUE(fixture().tvdp.StoreFeature(dup_id, "cnn", v3).ok());
+
+  auto count_of = [&](const std::vector<QueryHit>& hits, int64_t id) {
+    return std::count_if(hits.begin(), hits.end(),
+                         [&](const QueryHit& h) { return h.image_id == id; });
+  };
+
+  // Visual threshold: wide enough to pull in every stored vector.
+  auto thr = engine().VisualThreshold("cnn", near_first, 10.0);
+  ASSERT_TRUE(thr.ok());
+  EXPECT_EQ(count_of(*thr, dup_id), 1) << "VisualThreshold duplicated a hit";
+
+  // Visual top-k: k larger than the duplicate count.
+  auto topk = engine().VisualTopK("cnn", near_first, 10);
+  ASSERT_TRUE(topk.ok());
+  EXPECT_EQ(count_of(*topk, dup_id), 1) << "VisualTopK duplicated a hit";
+
+  // Hybrid visual + textual: the seed fans out over index entries but the
+  // result must carry the image at most once.
+  HybridQuery q;
+  VisualPredicate vp;
+  vp.kind = VisualPredicate::Kind::kThreshold;
+  vp.feature_kind = "cnn";
+  vp.feature = near_first;
+  vp.threshold = 10.0;
+  q.visual = vp;
+  TextualPredicate tp;
+  tp.keywords = {"tent"};
+  q.textual = tp;
+  auto hits = engine().Execute(q);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(count_of(*hits, dup_id), 1) << "hybrid Execute duplicated a hit";
+  std::set<int64_t> unique_ids;
+  for (const auto& h : *hits) unique_ids.insert(h.image_id);
+  EXPECT_EQ(unique_ids.size(), hits->size());
 }
 
 TEST_F(QueryEngineTest, HybridRespectsLimit) {
