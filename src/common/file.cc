@@ -178,6 +178,10 @@ class FaultInjectingFile : public WritableFile {
 };
 
 bool FaultInjectingFs::ShouldFail() {
+  if (errors_skip_ > 0) {
+    --errors_skip_;
+    return false;
+  }
   if (errors_to_inject_ > 0) {
     --errors_to_inject_;
     ++injected_faults_;

@@ -83,7 +83,18 @@ class FaultInjectingFs : public Fs {
   // --- fault configuration ---
 
   /// The next `n` Append/Sync calls fail with kIOError (state unchanged).
-  void InjectErrors(int n) { errors_to_inject_ = n; }
+  void InjectErrors(int n) {
+    errors_skip_ = 0;
+    errors_to_inject_ = n;
+  }
+
+  /// Like `InjectErrors`, but lets the next `skip` mutating calls through
+  /// unharmed first. Lets a test fault a specific later operation, e.g. the
+  /// compaction triggered by an otherwise healthy insert.
+  void InjectErrorsAfter(int skip, int n) {
+    errors_skip_ = skip;
+    errors_to_inject_ = n;
+  }
 
   /// The next Append persists only `prefix_bytes` of its payload, then
   /// returns kIOError.
@@ -125,6 +136,7 @@ class FaultInjectingFs : public Fs {
   bool ShouldFail();
 
   Fs* base_;
+  int errors_skip_ = 0;
   int errors_to_inject_ = 0;
   int64_t short_write_prefix_ = -1;
   int64_t power_cut_offset_ = -1;

@@ -1,0 +1,68 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace tvdp {
+
+bool IsRetryableStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kIOError:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsRetryableStatus(const Status& status) {
+  return IsRetryableStatus(status.code());
+}
+
+RetryState::RetryState(RetryPolicy policy, uint64_t seed)
+    : policy_(policy), rng_(seed) {}
+
+bool RetryState::ShouldRetry(const Status& status, double elapsed_ms) {
+  ++failures_;
+  if (status.ok() || !IsRetryableStatus(status)) return false;
+  if (policy_.max_attempts > 0 && failures_ >= policy_.max_attempts) {
+    return false;
+  }
+  if (policy_.deadline_ms > 0 && elapsed_ms >= policy_.deadline_ms) {
+    return false;
+  }
+  return true;
+}
+
+double RetryState::NextBackoffMs() {
+  double hi = backoff_ms_ <= 0 ? policy_.initial_backoff_ms : backoff_ms_ * 3;
+  hi = std::min(hi, policy_.max_backoff_ms);
+  double lo = std::min(policy_.initial_backoff_ms, hi);
+  backoff_ms_ = hi > lo ? rng_.Uniform(lo, hi) : lo;
+  return backoff_ms_;
+}
+
+Status RunWithRetries(const RetryPolicy& policy, uint64_t seed,
+                      const std::function<Status()>& op,
+                      const std::function<void(double)>& sleep_ms) {
+  RetryState state(policy, seed);
+  double elapsed_ms = 0;
+  while (true) {
+    Status s = op();
+    if (s.ok()) return s;
+    if (!state.ShouldRetry(s, elapsed_ms)) return s;
+    double wait = state.NextBackoffMs();
+    elapsed_ms += wait;
+    if (sleep_ms) {
+      sleep_ms(wait);
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(wait));
+    }
+  }
+}
+
+}  // namespace tvdp

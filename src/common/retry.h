@@ -1,0 +1,77 @@
+#ifndef TVDP_COMMON_RETRY_H_
+#define TVDP_COMMON_RETRY_H_
+
+#include <functional>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace tvdp {
+
+/// Declarative retry policy shared by every subsystem that re-attempts
+/// fallible work (edge inference dispatch, WAL compaction, crowd rounds).
+/// All times are milliseconds; a zero limit means "unlimited".
+struct RetryPolicy {
+  /// Total attempts including the first; <= 1 disables retries.
+  int max_attempts = 3;
+  /// First backoff; also the lower bound of every jittered draw.
+  double initial_backoff_ms = 10;
+  /// Upper bound on any single backoff.
+  double max_backoff_ms = 1000;
+  /// Budget for a single attempt, enforced by the caller (the edge
+  /// orchestrator passes it to the fault model as the attempt timeout).
+  double per_attempt_timeout_ms = 0;
+  /// Overall budget across attempts and backoffs.
+  double deadline_ms = 0;
+};
+
+/// True for failures worth re-attempting: the same call may succeed on a
+/// later try or a different replica — kUnavailable (crash, partition),
+/// kDeadlineExceeded (straggler, timeout), kIOError (transient disk), and
+/// kResourceExhausted (capacity that may free up or exist elsewhere).
+/// Semantic errors (kInvalidArgument, kNotFound, kFailedPrecondition, ...)
+/// are deterministic and never retried.
+bool IsRetryableStatus(StatusCode code);
+bool IsRetryableStatus(const Status& status);
+
+/// Per-operation retry bookkeeping: counts failures against the policy and
+/// produces decorrelated-jitter backoffs — each wait is drawn uniformly
+/// from [initial_backoff, 3 * previous wait], capped at max_backoff. The
+/// jitter decorrelates retry storms across clients better than plain
+/// exponential backoff while keeping the same expected growth.
+class RetryState {
+ public:
+  RetryState(RetryPolicy policy, uint64_t seed);
+
+  /// Call after a failed attempt: true when another attempt may run —
+  /// `status` is retryable, attempts remain, and `elapsed_ms` (total time
+  /// spent so far, including backoffs) is still inside the deadline.
+  bool ShouldRetry(const Status& status, double elapsed_ms = 0);
+
+  /// The wait before the next attempt; advances the jitter state.
+  double NextBackoffMs();
+
+  /// Failed attempts recorded so far via ShouldRetry.
+  int failures() const { return failures_; }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  double backoff_ms_ = 0;  ///< last wait; 0 until the first NextBackoffMs
+  int failures_ = 0;
+};
+
+/// Runs `op` under `policy`, waiting the jittered backoff between attempts
+/// via `sleep_ms` (defaults to a real std::this_thread sleep; tests inject
+/// a recorder). Deadline accounting uses the sum of backoffs, not the wall
+/// clock, so behaviour is deterministic for a given seed. Returns OK as
+/// soon as an attempt succeeds, otherwise the last attempt's error.
+Status RunWithRetries(const RetryPolicy& policy, uint64_t seed,
+                      const std::function<Status()>& op,
+                      const std::function<void(double)>& sleep_ms = {});
+
+}  // namespace tvdp
+
+#endif  // TVDP_COMMON_RETRY_H_

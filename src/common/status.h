@@ -22,6 +22,9 @@ enum class StatusCode {
   kUnimplemented,
   kIOError,
   kInternal,
+  kUnavailable,        ///< endpoint unreachable / crashed; usually transient
+  kDeadlineExceeded,   ///< attempt or budget timed out
+  kResourceExhausted,  ///< capacity gone (battery, quota, queue slots)
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -72,6 +75,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff this status represents success.

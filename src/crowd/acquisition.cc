@@ -1,6 +1,9 @@
 #include "crowd/acquisition.h"
 
+#include <algorithm>
 #include <map>
+#include <set>
+#include <tuple>
 
 namespace tvdp::crowd {
 
@@ -18,15 +21,44 @@ IterativeAcquisition::IterativeAcquisition(const Campaign& campaign,
 std::vector<RoundStats> IterativeAcquisition::Run(
     const std::function<void(const Capture&)>& on_capture) {
   std::vector<RoundStats> history;
+  std::vector<Task> requeued;  // expired tasks carried into the next round
   for (int round = 1; round <= options_.max_rounds; ++round) {
     if (grid_.CoverageRatio() >= campaign_.target_coverage) break;
 
     RoundStats stats;
     stats.round = round;
 
-    std::vector<Task> tasks = TasksFromGaps(
+    // Re-open expired tasks from earlier rounds first; they keep their id
+    // and retry count. Fresh gap-derived tasks fill the rest of the round's
+    // budget, skipping gaps a requeued task already targets.
+    std::vector<Task> tasks = std::move(requeued);
+    requeued.clear();
+    stats.tasks_requeued = static_cast<int>(tasks.size());
+    for (Task& t : tasks) {
+      t.state = Task::State::kOpen;
+      t.assigned_worker = -1;
+    }
+    std::set<std::tuple<double, double, double>> requeued_gaps;
+    for (const Task& t : tasks) {
+      requeued_gaps.insert({t.location.lat, t.location.lon,
+                            t.bearing_deg});
+    }
+    std::vector<Task> fresh = TasksFromGaps(
         grid_, campaign_.id, next_task_id_, options_.max_tasks_per_round);
-    next_task_id_ += static_cast<int64_t>(tasks.size());
+    int64_t fresh_issued = 0;
+    for (Task& t : fresh) {
+      if (options_.max_tasks_per_round > 0 &&
+          static_cast<int>(tasks.size()) >= options_.max_tasks_per_round) {
+        break;
+      }
+      if (requeued_gaps.count({t.location.lat, t.location.lon,
+                               t.bearing_deg})) {
+        continue;  // a requeued task already covers this gap
+      }
+      t.id = next_task_id_ + fresh_issued++;
+      tasks.push_back(std::move(t));
+    }
+    next_task_id_ += fresh_issued;
     stats.tasks_issued = static_cast<int>(tasks.size());
 
     std::vector<Assignment> assignments =
@@ -73,6 +105,16 @@ std::vector<RoundStats> IterativeAcquisition::Run(
         c.captured_at = clock_.Now() + rng_.UniformInt(
             0, options_.seconds_per_round - 1);
         on_capture(c);
+      }
+    }
+
+    // Expired tasks get re-opened next round until their retry budget is
+    // spent; after that their gap may still produce a fresh task.
+    for (Task& t : tasks) {
+      if (t.state == Task::State::kExpired &&
+          t.retries < options_.max_task_retries) {
+        ++t.retries;
+        requeued.push_back(t);
       }
     }
 

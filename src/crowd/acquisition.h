@@ -20,6 +20,9 @@ struct RoundStats {
   int tasks_issued = 0;
   int tasks_assigned = 0;
   int tasks_completed = 0;
+  /// Expired tasks from earlier rounds re-opened this round (bounded by
+  /// Options::max_task_retries per task).
+  int tasks_requeued = 0;
   double travel_m = 0;
   double coverage_after = 0;       ///< direction-aware coverage ratio
   double cell_coverage_after = 0;  ///< direction-blind coverage ratio
@@ -39,6 +42,10 @@ class IterativeAcquisition {
     double drift_m = 300;
     /// Simulated seconds per round (timestamps of captures).
     int64_t seconds_per_round = 3600;
+    /// Expired tasks are re-opened in later rounds at most this many times
+    /// before the loop stops carrying them (their gap may still produce a
+    /// fresh task). 0 makes expiry terminal, the pre-retry behaviour.
+    int max_task_retries = 2;
   };
 
   IterativeAcquisition(const Campaign& campaign, geo::CoverageGrid grid,

@@ -24,6 +24,9 @@ struct Task {
   enum class State { kOpen, kAssigned, kCompleted, kExpired };
   State state = State::kOpen;
   int64_t assigned_worker = -1;
+  /// Times this task has been re-opened after expiring (worker declined or
+  /// produced an unusable capture). Bounded by the acquisition loop.
+  int retries = 0;
 };
 
 /// A data-collection campaign over a region: a participant (government,

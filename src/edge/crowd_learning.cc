@@ -78,7 +78,20 @@ Result<std::vector<LearningRound>> CrowdLearningLoop::Run() {
     for (size_t n = 0; n < nodes_.size(); ++n) {
       EdgeNode& node = nodes_[n];
       const ModelProfile& deployed = last_dispatch_[n];
-      // Local inference over not-yet-uploaded captures.
+      // Fault model: a node may drop mid-round (crash, network loss). Its
+      // work this round is lost; the samples stay local and are retried
+      // next round — the round itself is never stalled by the loss.
+      if (options_.node_dropout_prob > 0 &&
+          rng.Bernoulli(options_.node_dropout_prob)) {
+        ++lr.nodes_dropped;
+        continue;
+      }
+      // Local inference over not-yet-uploaded captures. The node's round
+      // time (inference + upload) is accumulated and compared against the
+      // aggregation wait budget below; nothing is committed until the node
+      // is known to have finished in time.
+      double node_inference_ms = 0;
+      int64_t node_inference_count = 0;
       struct Scored {
         size_t idx;
         double priority;  // higher = more valuable to upload
@@ -86,8 +99,8 @@ Result<std::vector<LearningRound>> CrowdLearningLoop::Run() {
       std::vector<Scored> scored;
       for (size_t i = 0; i < node.local_data.size(); ++i) {
         if (uploaded[n][i]) continue;
-        total_inference_ms += sim.SimulateInferenceMs(node.device, deployed);
-        ++inference_count;
+        node_inference_ms += sim.SimulateInferenceMs(node.device, deployed);
+        ++node_inference_count;
         std::vector<double> proba = model->PredictProba(node.local_data[i].x);
         double priority = 0;
         switch (options_.policy) {
@@ -121,23 +134,45 @@ Result<std::vector<LearningRound>> CrowdLearningLoop::Run() {
                   return a.idx < b.idx;
                 });
 
-      // Upload the prioritised prefix under the bandwidth budget.
+      // Stage the prioritised prefix under the bandwidth budget; commit
+      // only if the node finishes inside the aggregation wait budget.
       double per_sample_bytes =
           options_.upload_features
               ? options_.bytes_per_feature_dim *
                     static_cast<double>(train_.dim())
               : options_.image_bytes;
       double budget = options_.upload_budget_bytes;
+      double node_upload_ms = 0;
+      std::vector<size_t> staged;
       for (const Scored& s : scored) {
         if (budget < per_sample_bytes) break;
         budget -= per_sample_bytes;
-        uploaded[n][s.idx] = true;
+        node_upload_ms += InferenceSimulator::TransferMs(node.device,
+                                                         per_sample_bytes);
+        staged.push_back(s.idx);
+      }
+
+      // Bounded-wait aggregation: a straggler past the budget is cut off
+      // and its uploads deferred to the next round (uploaded[] stays
+      // false), so one slow Raspberry Pi delays its own contribution
+      // instead of deadlocking the whole round.
+      double node_time_ms = node_inference_ms + node_upload_ms;
+      if (options_.round_wait_budget_ms > 0 &&
+          node_time_ms > options_.round_wait_budget_ms) {
+        ++lr.nodes_dropped;
+        continue;
+      }
+
+      ++lr.nodes_participated;
+      total_inference_ms += node_inference_ms;
+      inference_count += node_inference_count;
+      total_upload_ms += node_upload_ms;
+      for (size_t idx : staged) {
+        uploaded[n][idx] = true;
         lr.bytes_uploaded += per_sample_bytes;
-        total_upload_ms += InferenceSimulator::TransferMs(node.device,
-                                                          per_sample_bytes);
         ++uploads;
         // Oracle labelling (Fig. 4's automatic/manual labeling step).
-        const ml::Sample& sample = node.local_data[s.idx];
+        const ml::Sample& sample = node.local_data[idx];
         TVDP_RETURN_IF_ERROR(train_.Add(sample.x, sample.label));
       }
     }

@@ -41,6 +41,11 @@ struct LearningRound {
   double bytes_uploaded = 0;
   double mean_inference_ms = 0;
   double mean_upload_ms = 0;
+  /// Devices whose round contribution was aggregated.
+  int nodes_participated = 0;
+  /// Devices dropped this round (crashed mid-round, or straggled past the
+  /// aggregation wait budget); their uploads are deferred, not lost.
+  int nodes_dropped = 0;
 };
 
 /// The crowd-based learning framework of paper Fig. 4 (Constantinou et
@@ -63,6 +68,16 @@ class CrowdLearningLoop {
     double bytes_per_feature_dim = 8;
     double latency_budget_ms = 150;
     SelectionPolicy policy = SelectionPolicy::kLowConfidence;
+    /// Per-round, per-node probability that the device drops mid-round
+    /// (crash, network loss): its uploads are lost for this round and
+    /// retried in the next one.
+    double node_dropout_prob = 0;
+    /// Bounded aggregation wait: a node whose simulated round time
+    /// (inference + upload) exceeds this budget is cut off — its uploads
+    /// are deferred to the next round instead of stalling the aggregation
+    /// step. 0 = wait for everyone (the pre-fault-model behaviour, where a
+    /// straggler or dropped device would stall the round indefinitely).
+    double round_wait_budget_ms = 0;
     uint64_t seed = 23;
   };
 

@@ -12,7 +12,7 @@ ModelDispatcher::ModelDispatcher(std::vector<ModelProfile> ladder)
 Result<ModelProfile> ModelDispatcher::Dispatch(
     const DeviceProfile& device, double latency_budget_ms) const {
   if (ladder_.empty()) {
-    return Status::FailedPrecondition("model ladder is empty");
+    return Status::NotFound("model ladder is empty");
   }
   const ModelProfile* best = nullptr;
   const ModelProfile* cheapest_fitting = nullptr;

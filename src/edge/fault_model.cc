@@ -1,0 +1,120 @@
+#include "edge/fault_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvdp::edge {
+
+EdgeFaultModel::EdgeFaultModel(std::vector<DeviceProfile> fleet,
+                               FaultModelOptions options,
+                               InferenceSimulator::Options sim_options)
+    : fleet_(std::move(fleet)),
+      options_(options),
+      sim_options_(sim_options) {
+  Rng root(options_.seed);
+  states_.resize(fleet_.size());
+  for (size_t i = 0; i < fleet_.size(); ++i) {
+    states_[i].rng = root.Fork();
+    states_[i].battery_powered =
+        options_.battery_capacity > 0 && fleet_[i].energy_per_gflop > 0;
+    states_[i].battery = options_.battery_capacity;
+  }
+}
+
+double EdgeFaultModel::battery_level(size_t i) const {
+  const DeviceState& d = states_[i];
+  if (!d.battery_powered) return 1.0;
+  return std::max(0.0, d.battery / options_.battery_capacity);
+}
+
+bool EdgeFaultModel::battery_dead(size_t i) const {
+  return states_[i].battery_powered && states_[i].battery <= 0;
+}
+
+Status EdgeFaultModel::Ping(size_t i) const {
+  if (battery_dead(i)) {
+    return Status::ResourceExhausted(fleet_[i].name + ": battery exhausted");
+  }
+  if (states_[i].partitioned) {
+    return Status::Unavailable(fleet_[i].name + ": network partition");
+  }
+  return Status::OK();
+}
+
+EdgeFaultModel::Attempt EdgeFaultModel::RunInference(size_t i,
+                                                     const ModelProfile& model,
+                                                     double timeout_ms) {
+  DeviceState& d = states_[i];
+  const DeviceProfile& dev = fleet_[i];
+  Attempt out;
+
+  // Unreachable device: the caller burns the connect timeout finding out.
+  double probe_ms = options_.network_timeout_ms;
+  if (timeout_ms > 0) probe_ms = std::min(probe_ms, timeout_ms);
+  if (battery_dead(i)) {
+    out.status = Status::ResourceExhausted(dev.name + ": battery exhausted");
+    out.latency_ms = probe_ms;
+    return out;
+  }
+  if (d.partitioned) {
+    out.status = Status::Unavailable(dev.name + ": network partition");
+    out.latency_ms = probe_ms;
+    return out;
+  }
+
+  double latency = InferenceSimulator::ExpectedLatencyMs(
+      dev, model, sim_options_.memory_headroom_factor);
+  if (sim_options_.noise_fraction > 0) {
+    latency *= std::exp(d.rng.Normal(0, sim_options_.noise_fraction));
+  }
+  if (options_.straggler_prob > 0 && d.rng.Bernoulli(options_.straggler_prob)) {
+    // Lognormal tail, at least straggler_min_multiplier deep: thermal
+    // throttling, background load, GC pauses.
+    latency *= options_.straggler_min_multiplier *
+               std::exp(std::abs(d.rng.Normal(0, options_.straggler_sigma)));
+  }
+
+  // The inference ran (fully or partially) on-device, so it drains battery
+  // even when the attempt ultimately fails.
+  if (d.battery_powered) {
+    d.battery -= dev.energy_per_gflop * model.gflops_per_inference;
+    if (d.battery <= 0) {
+      out.status = Status::ResourceExhausted(dev.name +
+                                             ": battery died mid-inference");
+      out.latency_ms = timeout_ms > 0 ? std::min(latency, timeout_ms) : latency;
+      return out;
+    }
+  }
+
+  if (options_.crash_prob > 0 && d.rng.Bernoulli(options_.crash_prob)) {
+    double partial = latency * d.rng.Uniform();
+    out.status = Status::Unavailable(dev.name + ": crashed mid-inference");
+    out.latency_ms = timeout_ms > 0 ? std::min(partial, timeout_ms) : partial;
+    return out;
+  }
+
+  if (timeout_ms > 0 && latency > timeout_ms) {
+    out.status = Status::DeadlineExceeded(dev.name + ": attempt timed out");
+    out.latency_ms = timeout_ms;
+    return out;
+  }
+
+  out.latency_ms = latency;
+  return out;
+}
+
+void EdgeFaultModel::AdvanceRound() {
+  for (DeviceState& d : states_) {
+    if (d.partitioned) {
+      if (options_.partition_recover_prob > 0 &&
+          d.rng.Bernoulli(options_.partition_recover_prob)) {
+        d.partitioned = false;
+      }
+    } else if (options_.partition_prob > 0 &&
+               d.rng.Bernoulli(options_.partition_prob)) {
+      d.partitioned = true;
+    }
+  }
+}
+
+}  // namespace tvdp::edge

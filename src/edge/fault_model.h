@@ -1,0 +1,104 @@
+#ifndef TVDP_EDGE_FAULT_MODEL_H_
+#define TVDP_EDGE_FAULT_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "edge/device.h"
+#include "edge/model_profile.h"
+#include "edge/simulator.h"
+
+namespace tvdp::edge {
+
+/// Knobs of the deterministic edge fault injector. Probabilities are per
+/// attempt (crash, straggler) or per round (partitions); everything draws
+/// from per-device forked Rng streams, so a fleet's failure history is
+/// bit-reproducible for a given seed regardless of dispatch order across
+/// devices.
+struct FaultModelOptions {
+  /// Per-attempt chance the device dies mid-inference (process crash,
+  /// watchdog reboot). The attempt fails kUnavailable after a partial run.
+  double crash_prob = 0.0;
+  /// Per-attempt chance of tail latency: the attempt's latency is
+  /// multiplied by straggler_min_multiplier * exp(|N(0, straggler_sigma)|),
+  /// a lognormal tail at least straggler_min_multiplier deep.
+  double straggler_prob = 0.0;
+  double straggler_sigma = 0.6;
+  double straggler_min_multiplier = 4.0;
+  /// Per-round chance a connected device drops off the network, and per
+  /// round chance a partitioned one comes back (AdvanceRound applies both).
+  double partition_prob = 0.0;
+  double partition_recover_prob = 0.5;
+  /// Time wasted discovering that an unreachable device will not answer
+  /// (connect timeout), charged to attempts against partitioned or dead
+  /// devices. A per-attempt timeout below this caps it.
+  double network_timeout_ms = 50.0;
+  /// Battery budget, in energy units, for devices with energy_per_gflop >
+  /// 0; an inference drains energy_per_gflop * model GFLOPs. 0 disables
+  /// battery exhaustion. Mains-powered devices (energy_per_gflop == 0)
+  /// never drain.
+  double battery_capacity = 0.0;
+  uint64_t seed = 29;
+};
+
+/// Deterministic, seeded fault injection layered on the analytic
+/// InferenceSimulator: crash faults, straggler tail latency, intermittent
+/// network partitions, and battery exhaustion. This stands in for the
+/// unreliable Raspberry Pi / smartphone fleet of the paper's Sec. VI
+/// deployment, the failure modes a smart-city fleet actually exhibits.
+class EdgeFaultModel {
+ public:
+  /// Outcome of one inference attempt. Failures still consume simulated
+  /// time (a crash burns a partial run; a partition burns the connect
+  /// timeout), which is what makes retries a real latency trade-off.
+  struct Attempt {
+    Status status = Status::OK();
+    double latency_ms = 0;
+  };
+
+  EdgeFaultModel(std::vector<DeviceProfile> fleet, FaultModelOptions options,
+                 InferenceSimulator::Options sim_options = {});
+
+  size_t fleet_size() const { return fleet_.size(); }
+  const std::vector<DeviceProfile>& fleet() const { return fleet_; }
+  const DeviceProfile& device(size_t i) const { return fleet_[i]; }
+
+  /// One inference attempt of `model` on device `i`. `timeout_ms` > 0 caps
+  /// the attempt: a run that would exceed it returns kDeadlineExceeded
+  /// after exactly `timeout_ms` (the caller gave up waiting).
+  Attempt RunInference(size_t i, const ModelProfile& model,
+                       double timeout_ms = 0);
+
+  /// Cheap reachability probe (heartbeat): OK, kUnavailable when
+  /// partitioned, kResourceExhausted when the battery is flat.
+  Status Ping(size_t i) const;
+
+  /// Advances the per-round fault state: partitioned devices may recover,
+  /// connected ones may partition.
+  void AdvanceRound();
+
+  bool partitioned(size_t i) const { return states_[i].partitioned; }
+  /// Remaining battery fraction in [0,1]; 1.0 for mains-powered devices or
+  /// when battery modelling is off.
+  double battery_level(size_t i) const;
+  bool battery_dead(size_t i) const;
+
+ private:
+  struct DeviceState {
+    Rng rng{0};
+    bool partitioned = false;
+    bool battery_powered = false;
+    double battery = 0;  ///< remaining energy units
+  };
+
+  std::vector<DeviceProfile> fleet_;
+  FaultModelOptions options_;
+  InferenceSimulator::Options sim_options_;
+  std::vector<DeviceState> states_;
+};
+
+}  // namespace tvdp::edge
+
+#endif  // TVDP_EDGE_FAULT_MODEL_H_

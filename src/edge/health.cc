@@ -1,0 +1,105 @@
+#include "edge/health.h"
+
+namespace tvdp::edge {
+
+std::string CircuitStateName(CircuitState s) {
+  switch (s) {
+    case CircuitState::kClosed: return "closed";
+    case CircuitState::kOpen: return "open";
+    case CircuitState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+DeviceHealthTracker::DeviceHealthTracker(size_t fleet_size,
+                                         HealthOptions options)
+    : options_(options), devices_(fleet_size) {}
+
+void DeviceHealthTracker::Open(Device& d, double now_ms) {
+  d.state = CircuitState::kOpen;
+  d.opened_at_ms = now_ms;
+  d.probe_in_flight = false;
+  ++circuits_opened_total_;
+}
+
+void DeviceHealthTracker::RecordSuccess(size_t i, double now_ms) {
+  Device& d = devices_[i];
+  d.score += options_.ewma_alpha * (1.0 - d.score);
+  d.consecutive_failures = 0;
+  d.last_heartbeat_ms = now_ms;
+  if (d.state == CircuitState::kHalfOpen) {
+    // The probe succeeded: the device is back.
+    d.state = CircuitState::kClosed;
+  }
+  d.probe_in_flight = false;
+}
+
+void DeviceHealthTracker::RecordFailure(size_t i, double now_ms) {
+  Device& d = devices_[i];
+  d.score += options_.ewma_alpha * (0.0 - d.score);
+  ++d.consecutive_failures;
+  if (d.state == CircuitState::kHalfOpen) {
+    // The probe failed: back to open, restart the cooldown.
+    Open(d, now_ms);
+  } else if (d.state == CircuitState::kClosed &&
+             d.consecutive_failures >= options_.failure_threshold) {
+    Open(d, now_ms);
+  }
+}
+
+void DeviceHealthTracker::RecordHeartbeat(size_t i, double now_ms) {
+  devices_[i].last_heartbeat_ms = now_ms;
+}
+
+bool DeviceHealthTracker::WouldAllowRequest(size_t i, double now_ms) const {
+  const Device& d = devices_[i];
+  switch (d.state) {
+    case CircuitState::kClosed:
+      return true;
+    case CircuitState::kOpen:
+      return now_ms - d.opened_at_ms >= options_.open_cooldown_ms;
+    case CircuitState::kHalfOpen:
+      return !d.probe_in_flight;
+  }
+  return false;
+}
+
+bool DeviceHealthTracker::AllowRequest(size_t i, double now_ms) {
+  Device& d = devices_[i];
+  switch (d.state) {
+    case CircuitState::kClosed:
+      return true;
+    case CircuitState::kOpen:
+      if (now_ms - d.opened_at_ms < options_.open_cooldown_ms) return false;
+      d.state = CircuitState::kHalfOpen;
+      d.probe_in_flight = true;
+      return true;
+    case CircuitState::kHalfOpen:
+      if (d.probe_in_flight) return false;
+      d.probe_in_flight = true;
+      return true;
+  }
+  return false;
+}
+
+bool DeviceHealthTracker::suspect(size_t i, double now_ms) const {
+  return now_ms - devices_[i].last_heartbeat_ms > options_.heartbeat_timeout_ms;
+}
+
+std::vector<size_t> DeviceHealthTracker::HealthyDevices(double now_ms) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    if (!suspect(i, now_ms) && WouldAllowRequest(i, now_ms)) out.push_back(i);
+  }
+  return out;
+}
+
+size_t DeviceHealthTracker::open_circuits() const {
+  size_t n = 0;
+  for (const Device& d : devices_) {
+    if (d.state == CircuitState::kOpen) ++n;
+  }
+  return n;
+}
+
+}  // namespace tvdp::edge

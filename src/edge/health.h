@@ -1,0 +1,94 @@
+#ifndef TVDP_EDGE_HEALTH_H_
+#define TVDP_EDGE_HEALTH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tvdp::edge {
+
+/// Circuit-breaker state of one device's dispatch path.
+///   closed    — healthy, requests flow;
+///   open      — tripped after consecutive failures, requests blocked;
+///   half-open — cooldown elapsed, a single probe request is admitted; its
+///               outcome either closes the circuit or re-opens it.
+enum class CircuitState { kClosed, kOpen, kHalfOpen };
+
+/// Stable display name, e.g. "half_open".
+std::string CircuitStateName(CircuitState s);
+
+/// Tuning knobs of the failure detector. Times are simulated milliseconds
+/// on whatever clock the caller advances.
+struct HealthOptions {
+  /// Consecutive failures that trip the breaker closed -> open.
+  int failure_threshold = 3;
+  /// How long an open circuit blocks before admitting a half-open probe.
+  double open_cooldown_ms = 500;
+  /// EWMA weight of the newest success/failure observation in the health
+  /// score (score in [0,1], 1 = perfectly healthy).
+  double ewma_alpha = 0.3;
+  /// Heartbeat silence beyond this marks the device suspect; suspects are
+  /// skipped by dispatch until they are heard from again.
+  double heartbeat_timeout_ms = 5000;
+};
+
+/// Heartbeat-driven failure detector over a fixed fleet: per-device EWMA
+/// health scores, last-heard-from tracking, and a circuit breaker per
+/// device that the orchestrator consults before handing a device work.
+/// Not thread-safe; the orchestrator serializes access.
+class DeviceHealthTracker {
+ public:
+  explicit DeviceHealthTracker(size_t fleet_size, HealthOptions options = {});
+
+  /// Records an attempt outcome at simulated time `now_ms`. A success also
+  /// counts as a heartbeat (the device evidently answered).
+  void RecordSuccess(size_t i, double now_ms);
+  void RecordFailure(size_t i, double now_ms);
+
+  /// Records a liveness probe answer (the orchestrator pings each round).
+  void RecordHeartbeat(size_t i, double now_ms);
+
+  /// Admission gate: true when device `i` may receive a request now. An
+  /// open circuit whose cooldown has elapsed transitions to half-open and
+  /// admits exactly one probe request until its outcome is recorded.
+  bool AllowRequest(size_t i, double now_ms);
+
+  /// Same admission decision without the open -> half-open side effect,
+  /// for scanning candidates before committing to one.
+  bool WouldAllowRequest(size_t i, double now_ms) const;
+
+  CircuitState state(size_t i) const { return devices_[i].state; }
+  double health_score(size_t i) const { return devices_[i].score; }
+
+  /// True when the device has been silent past the heartbeat timeout.
+  bool suspect(size_t i, double now_ms) const;
+
+  /// Devices currently dispatchable (admissible and not suspect).
+  std::vector<size_t> HealthyDevices(double now_ms) const;
+
+  size_t fleet_size() const { return devices_.size(); }
+  /// Circuits currently open.
+  size_t open_circuits() const;
+  /// Total closed/half-open -> open transitions since construction.
+  size_t circuits_opened_total() const { return circuits_opened_total_; }
+
+ private:
+  struct Device {
+    CircuitState state = CircuitState::kClosed;
+    int consecutive_failures = 0;
+    double score = 1.0;
+    double opened_at_ms = 0;
+    bool probe_in_flight = false;
+    double last_heartbeat_ms = 0;
+  };
+
+  void Open(Device& d, double now_ms);
+
+  HealthOptions options_;
+  std::vector<Device> devices_;
+  size_t circuits_opened_total_ = 0;
+};
+
+}  // namespace tvdp::edge
+
+#endif  // TVDP_EDGE_HEALTH_H_

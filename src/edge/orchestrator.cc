@@ -1,0 +1,207 @@
+#include "edge/orchestrator.h"
+
+#include <algorithm>
+
+#include "edge/simulator.h"
+
+namespace tvdp::edge {
+namespace {
+
+/// Termination backstop for pathological policies (max_attempts == 0 and
+/// deadline == 0 would otherwise loop forever against a persistent fault).
+constexpr int kAttemptHardCap = 64;
+
+}  // namespace
+
+EdgeOrchestrator::EdgeOrchestrator(std::vector<DeviceProfile> fleet,
+                                   std::vector<ModelProfile> ladder,
+                                   FaultModelOptions faults,
+                                   OrchestratorOptions options)
+    : dispatcher_(std::move(ladder)),
+      faults_(std::move(fleet), faults),
+      options_(options),
+      health_(faults_.fleet_size(), options.health),
+      rng_(options.seed) {}
+
+int EdgeOrchestrator::PickDevice(const std::vector<char>& failed_on,
+                                 double now_ms) {
+  int best = -1;
+  double best_key = -1;
+  for (size_t i = 0; i < faults_.fleet_size(); ++i) {
+    if (health_.suspect(i, now_ms)) continue;
+    if (!health_.WouldAllowRequest(i, now_ms)) continue;
+    // Untried devices dominate; among them the healthiest wins, with a
+    // little jitter so equally healthy devices share the load.
+    double key = health_.health_score(i) + (failed_on[i] ? 0.0 : 2.0) +
+                 rng_.Uniform() * 0.05;
+    if (key > best_key) {
+      best_key = key;
+      best = static_cast<int>(i);
+    }
+  }
+  if (best >= 0) health_.AllowRequest(static_cast<size_t>(best), now_ms);
+  return best;
+}
+
+void EdgeOrchestrator::RoundMaintenance() {
+  faults_.AdvanceRound();
+  for (size_t i = 0; i < faults_.fleet_size(); ++i) {
+    // A failed ping is a missed heartbeat: silence accumulates until the
+    // failure detector marks the device suspect.
+    if (faults_.Ping(i).ok()) health_.RecordHeartbeat(i, now_ms_);
+  }
+}
+
+JobResult EdgeOrchestrator::RunJob(int job_id) {
+  JobResult r;
+  r.job_id = job_id;
+  RetryState retry(options_.retry,
+                   options_.seed ^ (0x9E3779B9ULL * (job_id + 1)));
+  std::vector<char> failed_on(faults_.fleet_size(), 0);
+  double elapsed = 0;
+  bool degraded = false;
+  int dispatch_misses = 0;
+
+  while (r.attempts < kAttemptHardCap) {
+    int dev = PickDevice(failed_on, now_ms_);
+    if (dev < 0) {
+      if (r.final_status.ok()) {
+        r.final_status = Status::Unavailable("no healthy device available");
+      }
+      break;
+    }
+    Result<ModelProfile> model = dispatcher_.Dispatch(
+        faults_.device(dev), degraded ? 0.0 : options_.latency_budget_ms);
+    if (!model.ok()) {
+      // Nothing in the ladder fits this device at all; skip it for this job.
+      failed_on[dev] = 1;
+      r.final_status = model.status();
+      if (++dispatch_misses >= static_cast<int>(faults_.fleet_size())) break;
+      continue;
+    }
+
+    ++r.attempts;
+    EdgeFaultModel::Attempt att = faults_.RunInference(
+        dev, *model, options_.retry.per_attempt_timeout_ms);
+    elapsed += att.latency_ms;
+
+    if (att.status.ok()) {
+      health_.RecordSuccess(dev, now_ms_);
+      int final_dev = dev;
+      std::string final_model = model->name;
+      // Hedge the long tail: when this attempt ran far past the device's
+      // expected latency, a duplicate request raced on another healthy
+      // device would already have been launched; the earlier finish wins.
+      double expected =
+          InferenceSimulator::ExpectedLatencyMs(faults_.device(dev), *model);
+      double hedge_trigger = options_.hedge_multiplier * expected;
+      if (options_.enable_hedging && att.latency_ms > hedge_trigger) {
+        std::vector<char> exclude = failed_on;
+        exclude[dev] = 1;
+        int hedge_dev = PickDevice(exclude, now_ms_);
+        if (hedge_dev >= 0 && hedge_dev != dev) {
+          Result<ModelProfile> hedge_model = dispatcher_.Dispatch(
+              faults_.device(hedge_dev),
+              degraded ? 0.0 : options_.latency_budget_ms);
+          if (hedge_model.ok()) {
+            r.hedged = true;
+            ++r.attempts;
+            EdgeFaultModel::Attempt hatt = faults_.RunInference(
+                hedge_dev, *hedge_model, options_.retry.per_attempt_timeout_ms);
+            if (hatt.status.ok()) {
+              health_.RecordSuccess(hedge_dev, now_ms_);
+              double hedge_total = hedge_trigger + hatt.latency_ms;
+              if (hedge_total < att.latency_ms) {
+                elapsed += hedge_total - att.latency_ms;  // the hedge won
+                final_dev = hedge_dev;
+                final_model = hedge_model->name;
+              }
+            } else {
+              health_.RecordFailure(hedge_dev, now_ms_);
+            }
+          }
+        }
+      }
+      r.completed = true;
+      r.device_index = final_dev;
+      r.model_name = std::move(final_model);
+      r.degraded = degraded;
+      r.final_status = Status::OK();
+      break;
+    }
+
+    health_.RecordFailure(dev, now_ms_);
+    failed_on[dev] = 1;
+    r.final_status = att.status;
+    if (!options_.enable_retries) break;
+    if (!retry.ShouldRetry(att.status, elapsed)) break;
+    elapsed += retry.NextBackoffMs();
+    if (options_.enable_degradation &&
+        retry.failures() >= options_.degrade_after_failures) {
+      degraded = true;
+    }
+  }
+
+  if (!r.completed && options_.enable_server_fallback) {
+    // Graceful degradation's last rung: serve the job on the TVDP server.
+    elapsed += options_.server_latency_ms;
+    r.completed = true;
+    r.server_fallback = true;
+    r.device_index = -1;
+    r.model_name = "server";
+    r.degraded = degraded;
+    r.final_status = Status::OK();
+  }
+  r.latency_ms = elapsed;
+  return r;
+}
+
+Result<BatchReport> EdgeOrchestrator::RunBatch(int num_jobs) {
+  if (num_jobs <= 0) {
+    return Status::InvalidArgument("num_jobs must be positive");
+  }
+  if (faults_.fleet_size() == 0) {
+    return Status::InvalidArgument("empty device fleet");
+  }
+  if (dispatcher_.ladder().empty()) {
+    return Status::InvalidArgument("empty model ladder");
+  }
+
+  BatchReport report;
+  report.jobs.reserve(static_cast<size_t>(num_jobs));
+  size_t opened_before = health_.circuits_opened_total();
+  RoundMaintenance();  // initial heartbeat sweep
+  for (int j = 0; j < num_jobs; ++j) {
+    if (jobs_since_round_ >= options_.jobs_per_round) {
+      jobs_since_round_ = 0;
+      RoundMaintenance();
+    }
+    JobResult r = RunJob(j);
+    report.total_attempts += r.attempts;
+    if (r.completed) ++report.completed;
+    report.retries += std::max(0, r.attempts - 1 - (r.hedged ? 1 : 0));
+    if (r.hedged) ++report.hedges;
+    if (r.degraded && r.completed && !r.server_fallback) ++report.degradations;
+    if (r.server_fallback) ++report.server_fallbacks;
+    report.jobs.push_back(std::move(r));
+    now_ms_ += options_.job_interarrival_ms;
+    ++jobs_since_round_;
+  }
+  report.completion_rate =
+      static_cast<double>(report.completed) / static_cast<double>(num_jobs);
+  report.circuits_opened = health_.circuits_opened_total() - opened_before;
+
+  std::vector<double> latencies;
+  latencies.reserve(report.jobs.size());
+  for (const JobResult& r : report.jobs) {
+    if (r.completed) latencies.push_back(r.latency_ms);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    report.p50_latency_ms = latencies[(latencies.size() - 1) * 50 / 100];
+    report.p99_latency_ms = latencies[(latencies.size() - 1) * 99 / 100];
+  }
+  return report;
+}
+
+}  // namespace tvdp::edge

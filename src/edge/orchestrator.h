@@ -1,0 +1,128 @@
+#ifndef TVDP_EDGE_ORCHESTRATOR_H_
+#define TVDP_EDGE_ORCHESTRATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/retry.h"
+#include "common/rng.h"
+#include "edge/device.h"
+#include "edge/dispatcher.h"
+#include "edge/fault_model.h"
+#include "edge/health.h"
+#include "edge/model_profile.h"
+
+namespace tvdp::edge {
+
+/// Per-job outcome of a fault-tolerant batch dispatch.
+struct JobResult {
+  int job_id = 0;
+  bool completed = false;
+  int attempts = 0;           ///< device attempts, including hedges
+  int device_index = -1;      ///< device that served the final attempt; -1 = server
+  std::string model_name;     ///< model that ultimately ran
+  bool degraded = false;      ///< served by a cheaper rung than first choice
+  bool server_fallback = false;
+  bool hedged = false;        ///< a hedge request was launched for this job
+  double latency_ms = 0;      ///< submit -> done, incl. failures and backoffs
+  Status final_status = Status::OK();  ///< last error for failed jobs
+};
+
+/// Aggregate outcome of one batch.
+struct BatchReport {
+  std::vector<JobResult> jobs;
+  int completed = 0;
+  double completion_rate = 0;
+  int total_attempts = 0;
+  int retries = 0;            ///< re-dispatches after a failed attempt
+  int hedges = 0;
+  int degradations = 0;       ///< jobs served by a stepped-down model
+  int server_fallbacks = 0;
+  size_t circuits_opened = 0; ///< breaker trips over the batch
+  double p50_latency_ms = 0;  ///< over completed jobs
+  double p99_latency_ms = 0;
+};
+
+/// Tuning of the fault-tolerant dispatch loop.
+struct OrchestratorOptions {
+  /// Per-job retry budget. per_attempt_timeout_ms is handed to the fault
+  /// model as the attempt timeout; deadline_ms bounds a job's total time
+  /// across attempts and backoffs.
+  RetryPolicy retry{/*max_attempts=*/4, /*initial_backoff_ms=*/5,
+                    /*max_backoff_ms=*/100, /*per_attempt_timeout_ms=*/4000,
+                    /*deadline_ms=*/20000};
+  /// Master switch measured by bench_edge_faults: off = fail a job on its
+  /// first error, exactly what the pre-fault-model platform did.
+  bool enable_retries = true;
+  /// Hedge successful-but-slow attempts: when an attempt exceeds
+  /// hedge_multiplier x the device's expected latency, a duplicate request
+  /// is (conceptually) raced on another healthy device and the earlier
+  /// completion wins.
+  bool enable_hedging = true;
+  double hedge_multiplier = 3.0;
+  /// Step down the model ladder after this many failed attempts on a job
+  /// (cheaper models run faster and fit weaker devices: degraded beats
+  /// failed).
+  bool enable_degradation = true;
+  int degrade_after_failures = 2;
+  /// Last rung: run the inference on the TVDP server itself when the fleet
+  /// cannot serve the job. Always succeeds, at server_latency_ms.
+  bool enable_server_fallback = true;
+  double server_latency_ms = 40;
+  /// Latency budget handed to ModelDispatcher when picking a device's rung.
+  double latency_budget_ms = 1000;
+  /// Jobs between fault-model rounds (partition churn) and heartbeat sweeps.
+  int jobs_per_round = 64;
+  /// Simulated inter-arrival time between jobs; this is what lets circuit
+  /// cooldowns elapse while the batch streams through the fleet.
+  double job_interarrival_ms = 2.0;
+  HealthOptions health;
+  uint64_t seed = 31;
+};
+
+/// Fault-tolerant edge inference orchestration (the machinery the paper's
+/// Sec. VI edge framework needs to survive a real device fleet): dispatches
+/// a batch of inference jobs across heterogeneous devices under a deadline,
+/// consults the circuit-breaker health tracker so unhealthy devices stop
+/// receiving work, retries failed jobs on other healthy devices per the
+/// RetryPolicy, hedges long-tail stragglers, and degrades gracefully —
+/// cheaper model rung, then server-side inference — rather than failing
+/// the batch.
+class EdgeOrchestrator {
+ public:
+  EdgeOrchestrator(std::vector<DeviceProfile> fleet,
+                   std::vector<ModelProfile> ladder,
+                   FaultModelOptions faults,
+                   OrchestratorOptions options = {});
+
+  /// Dispatches `num_jobs` inference jobs and reports per-job outcomes,
+  /// attempt counts, and completion rate.
+  Result<BatchReport> RunBatch(int num_jobs);
+
+  const DeviceHealthTracker& health() const { return health_; }
+  const EdgeFaultModel& fault_model() const { return faults_; }
+  double now_ms() const { return now_ms_; }
+
+ private:
+  /// The healthiest admissible non-suspect device, preferring ones the job
+  /// has not failed on yet; -1 when none qualifies.
+  int PickDevice(const std::vector<char>& failed_on, double now_ms);
+
+  /// Heartbeat sweep + fault-model round churn.
+  void RoundMaintenance();
+
+  JobResult RunJob(int job_id);
+
+  ModelDispatcher dispatcher_;
+  EdgeFaultModel faults_;
+  OrchestratorOptions options_;
+  DeviceHealthTracker health_;
+  Rng rng_;
+  double now_ms_ = 0;
+  int jobs_since_round_ = 0;
+};
+
+}  // namespace tvdp::edge
+
+#endif  // TVDP_EDGE_ORCHESTRATOR_H_

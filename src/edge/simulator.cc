@@ -34,7 +34,7 @@ double InferenceSimulator::SimulateInferenceMs(const DeviceProfile& device,
 double InferenceSimulator::MeanLatencyMs(const DeviceProfile& device,
                                          const ModelProfile& model,
                                          int runs) {
-  runs = std::max(runs, 1);
+  if (runs <= 0) return 0.0;
   double total = 0;
   for (int i = 0; i < runs; ++i) total += SimulateInferenceMs(device, model);
   return total / runs;

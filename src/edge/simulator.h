@@ -35,7 +35,7 @@ class InferenceSimulator {
   double SimulateInferenceMs(const DeviceProfile& device,
                              const ModelProfile& model);
 
-  /// Mean latency over `runs` simulated inferences.
+  /// Mean latency over `runs` simulated inferences; 0 when `runs <= 0`.
   double MeanLatencyMs(const DeviceProfile& device, const ModelProfile& model,
                        int runs);
 

@@ -86,12 +86,20 @@ Result<RowId> DurableCatalog::Insert(const std::string& table, Row row) {
   }
   if (wal_->size_bytes() > options_.compaction_threshold_bytes) {
     // Best-effort: the record is already durable in the WAL, so a failed
-    // compaction loses nothing — it is retried on the next threshold cross.
-    Status compacted = CheckpointLocked();
-    if (!compacted.ok()) {
-      TVDP_LOG(Warning) << "WAL compaction failed (will retry): "
-                        << compacted.ToString();
-    }
+    // compaction loses nothing. Transient IO errors are retried with
+    // bounded jittered backoff inside this insert; if the budget runs out
+    // the next threshold cross tries again.
+    Status compacted = RunWithRetries(
+        options_.compaction_retry,
+        /*seed=*/0x7e7u + static_cast<uint64_t>(checkpoints_taken_), [&] {
+          Status s = CheckpointLocked();
+          if (!s.ok()) {
+            TVDP_LOG(Warning) << "WAL compaction failed (will retry): "
+                              << s.ToString();
+          }
+          return s;
+        });
+    (void)compacted;
   }
   return id;
 }

@@ -9,6 +9,7 @@
 
 #include "common/file.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "storage/catalog.h"
 #include "storage/wal.h"
 
@@ -24,6 +25,14 @@ struct DurableCatalogOptions {
   /// Once the WAL grows past this many bytes, the next insert triggers a
   /// compaction: snapshot the catalog and reset the log.
   uint64_t compaction_threshold_bytes = 4u << 20;
+
+  /// Retry budget for the best-effort WAL compaction that Insert triggers
+  /// at the threshold crossing. Transient IO errors (a busy disk, a full
+  /// page cache flush) are retried with jittered backoff inside the same
+  /// insert; if the budget runs out the compaction waits for the next
+  /// threshold cross, exactly as before.
+  RetryPolicy compaction_retry{/*max_attempts=*/3, /*initial_backoff_ms=*/1,
+                               /*max_backoff_ms=*/16};
 
   /// Filesystem to operate on; nullptr means `Fs::Default()`. Tests pass a
   /// `FaultInjectingFs` here.

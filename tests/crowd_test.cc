@@ -240,5 +240,67 @@ TEST(AcquisitionTest, DeterministicForSeed) {
   EXPECT_TRUE(any_diff);
 }
 
+TEST(AcquisitionTest, ExpiredTasksAreRequeuedWithBoundedRetries) {
+  auto run_with_retries = [](int max_task_retries) {
+    Rng rng(11);
+    auto grid = geo::CoverageGrid::Make(TestRegion(), 3, 3, 4);
+    WorkerPool pool = WorkerPool::MakeUniform(TestRegion(), 30, rng);
+    // Every worker declines every task, so every assigned task expires.
+    for (Worker& w : pool.workers()) w.acceptance_prob = 0.0;
+    Campaign campaign;
+    campaign.id = 4;
+    campaign.region = TestRegion();
+    campaign.target_coverage = 0.9;
+    IterativeAcquisition::Options opts;
+    opts.max_rounds = 4;
+    opts.max_task_retries = max_task_retries;
+    IterativeAcquisition acq(campaign, std::move(*grid), std::move(pool),
+                             opts, 5);
+    return acq.Run();
+  };
+
+  auto with_retries = run_with_retries(2);
+  ASSERT_EQ(with_retries.size(), 4u);
+  EXPECT_EQ(with_retries[0].tasks_requeued, 0);  // nothing expired yet
+  EXPECT_GT(with_retries[1].tasks_requeued, 0);  // round 1 expiries re-open
+  int total_requeued = 0;
+  for (const RoundStats& r : with_retries) {
+    EXPECT_LE(r.tasks_requeued, r.tasks_issued);
+    EXPECT_EQ(r.tasks_completed, 0);
+    total_requeued += r.tasks_requeued;
+  }
+  EXPECT_GT(total_requeued, 0);
+
+  // max_task_retries = 0 makes expiry terminal: the pre-retry behaviour.
+  auto no_retries = run_with_retries(0);
+  for (const RoundStats& r : no_retries) {
+    EXPECT_EQ(r.tasks_requeued, 0);
+  }
+}
+
+TEST(AcquisitionTest, RequeuedTasksDoNotDuplicateGapTasks) {
+  Rng rng(12);
+  auto grid = geo::CoverageGrid::Make(TestRegion(), 2, 2, 4);
+  WorkerPool pool = WorkerPool::MakeUniform(TestRegion(), 20, rng);
+  for (Worker& w : pool.workers()) w.acceptance_prob = 0.0;
+  Campaign campaign;
+  campaign.id = 5;
+  campaign.region = TestRegion();
+  campaign.target_coverage = 0.9;
+  IterativeAcquisition::Options opts;
+  opts.max_rounds = 3;
+  opts.max_task_retries = 2;
+  IterativeAcquisition acq(campaign, std::move(*grid), std::move(pool), opts,
+                           6);
+  auto history = acq.Run();
+  ASSERT_EQ(history.size(), 3u);
+  // The grid has 16 (cell, direction) gaps and nothing ever completes, so a
+  // round may never issue more than one task per gap — requeued tasks must
+  // replace, not duplicate, the fresh tasks for their gap.
+  for (const RoundStats& r : history) {
+    EXPECT_LE(r.tasks_issued, 16);
+  }
+}
+
 }  // namespace
 }  // namespace tvdp::crowd

@@ -563,5 +563,64 @@ TEST_F(DurabilityTest, TvdpIngestHitsIoErrorAndStaysUsable) {
   EXPECT_TRUE(by_uri->empty());
 }
 
+TEST_F(DurabilityTest, CompactionRetriesThroughTransientFaults) {
+  const std::string base = Path("db");
+  FaultInjectingFs fault_fs(Fs::Default());
+  storage::DurableCatalogOptions options;
+  options.fs = &fault_fs;
+  options.sync_on_commit = false;       // an insert is exactly 2 appends
+  options.compaction_threshold_bytes = 0;  // every insert compacts
+  auto dc = storage::DurableCatalog::Open(base, options);
+  ASSERT_TRUE(dc.ok());
+  ASSERT_TRUE(dc->Bootstrap(MakeItemsCatalog()).ok());
+  ASSERT_TRUE(dc->Insert("items", ItemRow("warm", 1)).ok());
+  size_t checkpoints_before = dc->checkpoints_taken();
+  int64_t faults_before = fault_fs.injected_faults();
+
+  // Let the insert's own WAL commit (frame + payload appends) through, then
+  // fail the first two compaction attempts at the snapshot write; the third
+  // retry must succeed.
+  fault_fs.InjectErrorsAfter(/*skip=*/2, /*n=*/2);
+  auto inserted = dc->Insert("items", ItemRow("compacted", 2));
+  ASSERT_TRUE(inserted.ok()) << inserted.status();
+  EXPECT_EQ(fault_fs.injected_faults() - faults_before, 2);
+  EXPECT_EQ(dc->checkpoints_taken(), checkpoints_before + 1);
+  EXPECT_EQ(dc->wal_size_bytes(), 0u);  // compaction reset the log
+
+  // A reopen agrees with memory.
+  auto reopened = storage::DurableCatalog::Open(base);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->catalog().GetTable("items")->size(), 2u);
+}
+
+TEST_F(DurabilityTest, CompactionStaysBestEffortWhenRetryBudgetRunsOut) {
+  const std::string base = Path("db");
+  FaultInjectingFs fault_fs(Fs::Default());
+  storage::DurableCatalogOptions options;
+  options.fs = &fault_fs;
+  options.sync_on_commit = false;
+  options.compaction_threshold_bytes = 0;
+  auto dc = storage::DurableCatalog::Open(base, options);
+  ASSERT_TRUE(dc.ok());
+  ASSERT_TRUE(dc->Bootstrap(MakeItemsCatalog()).ok());
+  size_t checkpoints_before = dc->checkpoints_taken();
+
+  // All three attempts (the default budget) fail: the insert still commits
+  // — compaction is best-effort, the record is already durable in the WAL.
+  fault_fs.InjectErrorsAfter(/*skip=*/2, /*n=*/3);
+  ASSERT_TRUE(dc->Insert("items", ItemRow("logged", 1)).ok());
+  EXPECT_EQ(dc->checkpoints_taken(), checkpoints_before);
+  EXPECT_GT(dc->wal_size_bytes(), 0u);  // the record is still in the log
+
+  // The next threshold cross compacts normally once the disk heals.
+  ASSERT_TRUE(dc->Insert("items", ItemRow("healed", 2)).ok());
+  EXPECT_EQ(dc->checkpoints_taken(), checkpoints_before + 1);
+  EXPECT_EQ(dc->wal_size_bytes(), 0u);
+
+  auto reopened = storage::DurableCatalog::Open(base);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->catalog().GetTable("items")->size(), 2u);
+}
+
 }  // namespace
 }  // namespace tvdp

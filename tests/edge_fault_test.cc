@@ -1,0 +1,653 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "edge/device.h"
+#include "edge/fault_model.h"
+#include "edge/health.h"
+#include "edge/model_profile.h"
+#include "edge/orchestrator.h"
+#include "edge/simulator.h"
+
+namespace tvdp::edge {
+namespace {
+
+// ---------- Retry policy ----------
+
+TEST(RetryPolicyTest, RetryableClassification) {
+  EXPECT_TRUE(IsRetryableStatus(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryableStatus(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsRetryableStatus(StatusCode::kIOError));
+  EXPECT_TRUE(IsRetryableStatus(StatusCode::kResourceExhausted));
+
+  EXPECT_FALSE(IsRetryableStatus(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryableStatus(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryableStatus(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryableStatus(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetryableStatus(StatusCode::kInternal));
+
+  EXPECT_TRUE(IsRetryableStatus(Status::Unavailable("down")));
+  EXPECT_FALSE(IsRetryableStatus(Status::InvalidArgument("bad")));
+}
+
+TEST(RetryPolicyTest, NewStatusCodesHaveNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded), "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+}
+
+TEST(RetryPolicyTest, BackoffStaysWithinBounds) {
+  RetryPolicy policy{/*max_attempts=*/0, /*initial_backoff_ms=*/10,
+                     /*max_backoff_ms=*/100};
+  RetryState state(policy, 5);
+  double first = state.NextBackoffMs();
+  EXPECT_DOUBLE_EQ(first, 10.0);  // first wait is exactly the initial backoff
+  double prev = first;
+  for (int i = 0; i < 50; ++i) {
+    double wait = state.NextBackoffMs();
+    EXPECT_GE(wait, policy.initial_backoff_ms);
+    EXPECT_LE(wait, policy.max_backoff_ms);
+    // Decorrelated jitter: each wait is bounded by 3x the previous (capped).
+    EXPECT_LE(wait, std::min(prev * 3, policy.max_backoff_ms) + 1e-9);
+    prev = wait;
+  }
+}
+
+TEST(RetryPolicyTest, StopsAtMaxAttempts) {
+  RetryState state(RetryPolicy{/*max_attempts=*/3}, 7);
+  EXPECT_TRUE(state.ShouldRetry(Status::Unavailable("x")));
+  EXPECT_TRUE(state.ShouldRetry(Status::Unavailable("x")));
+  EXPECT_FALSE(state.ShouldRetry(Status::Unavailable("x")));  // 3rd failure
+  EXPECT_EQ(state.failures(), 3);
+}
+
+TEST(RetryPolicyTest, NonRetryableStopsImmediately) {
+  RetryState state(RetryPolicy{/*max_attempts=*/10}, 7);
+  EXPECT_FALSE(state.ShouldRetry(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(state.ShouldRetry(Status::NotFound("gone")));
+}
+
+TEST(RetryPolicyTest, DeadlineBoundsRetries) {
+  RetryPolicy policy{/*max_attempts=*/100, /*initial_backoff_ms=*/1,
+                     /*max_backoff_ms=*/2, /*per_attempt_timeout_ms=*/0,
+                     /*deadline_ms=*/50};
+  RetryState state(policy, 11);
+  EXPECT_TRUE(state.ShouldRetry(Status::Unavailable("x"), 10));
+  EXPECT_FALSE(state.ShouldRetry(Status::Unavailable("x"), 60));
+}
+
+TEST(RetryPolicyTest, RunWithRetriesSucceedsAfterTransients) {
+  int calls = 0;
+  std::vector<double> sleeps;
+  RetryPolicy policy{/*max_attempts=*/5, /*initial_backoff_ms=*/1,
+                     /*max_backoff_ms=*/8};
+  Status s = RunWithRetries(
+      policy, 3,
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("transient") : Status::OK();
+      },
+      [&](double ms) { sleeps.push_back(ms); });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(sleeps.size(), 2u);
+  for (double ms : sleeps) {
+    EXPECT_GE(ms, policy.initial_backoff_ms);
+    EXPECT_LE(ms, policy.max_backoff_ms);
+  }
+}
+
+TEST(RetryPolicyTest, RunWithRetriesGivesUpAfterBudget) {
+  int calls = 0;
+  Status s = RunWithRetries(
+      RetryPolicy{/*max_attempts=*/4, /*initial_backoff_ms=*/0.01,
+                  /*max_backoff_ms=*/0.01},
+      3, [&] {
+        ++calls;
+        return Status::Unavailable("still down");
+      });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryPolicyTest, RunWithRetriesDoesNotRetrySemanticErrors) {
+  int calls = 0;
+  std::vector<double> sleeps;
+  Status s = RunWithRetries(
+      RetryPolicy{/*max_attempts=*/10}, 3,
+      [&] {
+        ++calls;
+        return Status::InvalidArgument("bad request");
+      },
+      [&](double ms) { sleeps.push_back(ms); });
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+// ---------- Fault model ----------
+
+InferenceSimulator::Options NoNoise() {
+  InferenceSimulator::Options o;
+  o.noise_fraction = 0;
+  return o;
+}
+
+TEST(FaultModelTest, CleanFleetRunsClean) {
+  EdgeFaultModel fm(PaperDeviceProfiles(), FaultModelOptions{});
+  ModelProfile model = MakeMobileNetV2Profile();
+  for (size_t i = 0; i < fm.fleet_size(); ++i) {
+    EdgeFaultModel::Attempt att = fm.RunInference(i, model);
+    EXPECT_TRUE(att.status.ok()) << att.status;
+    EXPECT_GT(att.latency_ms, 0);
+    EXPECT_TRUE(fm.Ping(i).ok());
+    EXPECT_DOUBLE_EQ(fm.battery_level(i), 1.0);
+  }
+}
+
+TEST(FaultModelTest, CrashProbOneAlwaysCrashes) {
+  FaultModelOptions opts;
+  opts.crash_prob = 1.0;
+  EdgeFaultModel fm(PaperDeviceProfiles(), opts, NoNoise());
+  ModelProfile model = MakeMobileNetV2Profile();
+  double full = InferenceSimulator::ExpectedLatencyMs(fm.device(0), model);
+  for (int i = 0; i < 20; ++i) {
+    EdgeFaultModel::Attempt att = fm.RunInference(0, model);
+    EXPECT_EQ(att.status.code(), StatusCode::kUnavailable);
+    // A crash burns a partial run, never more than the full latency.
+    EXPECT_GE(att.latency_ms, 0);
+    EXPECT_LE(att.latency_ms, full);
+  }
+}
+
+TEST(FaultModelTest, PartitionsEvolveAndRecover) {
+  FaultModelOptions opts;
+  opts.partition_prob = 1.0;
+  opts.partition_recover_prob = 1.0;
+  opts.network_timeout_ms = 50;
+  EdgeFaultModel fm(PaperDeviceProfiles(), opts, NoNoise());
+  EXPECT_FALSE(fm.partitioned(0));
+
+  fm.AdvanceRound();  // everyone partitions
+  for (size_t i = 0; i < fm.fleet_size(); ++i) {
+    EXPECT_TRUE(fm.partitioned(i));
+    EXPECT_EQ(fm.Ping(i).code(), StatusCode::kUnavailable);
+    EdgeFaultModel::Attempt att =
+        fm.RunInference(i, MakeMobileNetV2Profile());
+    EXPECT_EQ(att.status.code(), StatusCode::kUnavailable);
+    // The caller burns the connect timeout discovering the partition.
+    EXPECT_DOUBLE_EQ(att.latency_ms, 50.0);
+    // A tighter per-attempt timeout caps the probe cost.
+    EdgeFaultModel::Attempt capped =
+        fm.RunInference(i, MakeMobileNetV2Profile(), /*timeout_ms=*/10);
+    EXPECT_DOUBLE_EQ(capped.latency_ms, 10.0);
+  }
+
+  fm.AdvanceRound();  // everyone recovers
+  for (size_t i = 0; i < fm.fleet_size(); ++i) {
+    EXPECT_FALSE(fm.partitioned(i));
+    EXPECT_TRUE(fm.Ping(i).ok());
+  }
+}
+
+TEST(FaultModelTest, BatteryDrainsToExhaustion) {
+  ModelProfile model = MakeMobileNetV2Profile();
+  DeviceProfile phone = MakeSmartphoneProfile();
+  ASSERT_GT(phone.energy_per_gflop, 0);
+  double per_run = phone.energy_per_gflop * model.gflops_per_inference;
+
+  FaultModelOptions opts;
+  opts.battery_capacity = per_run * 3.5;  // dies on the 4th inference
+  EdgeFaultModel fm({MakeDesktopProfile(), phone}, opts, NoNoise());
+
+  // Mains-powered desktop never drains.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(fm.RunInference(0, model).status.ok());
+  }
+  EXPECT_DOUBLE_EQ(fm.battery_level(0), 1.0);
+
+  double prev_level = 1.0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(fm.RunInference(1, model).status.ok());
+    EXPECT_LT(fm.battery_level(1), prev_level);
+    prev_level = fm.battery_level(1);
+  }
+  EdgeFaultModel::Attempt dying = fm.RunInference(1, model);
+  EXPECT_EQ(dying.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(fm.battery_dead(1));
+  EXPECT_DOUBLE_EQ(fm.battery_level(1), 0.0);
+  EXPECT_EQ(fm.Ping(1).code(), StatusCode::kResourceExhausted);
+  // Further attempts fail fast at the probe cost.
+  EdgeFaultModel::Attempt dead = fm.RunInference(1, model);
+  EXPECT_EQ(dead.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FaultModelTest, StragglersGetTailLatency) {
+  FaultModelOptions opts;
+  opts.straggler_prob = 1.0;
+  opts.straggler_min_multiplier = 4.0;
+  EdgeFaultModel fm(PaperDeviceProfiles(), opts, NoNoise());
+  ModelProfile model = MakeMobileNetV2Profile();
+  double expected = InferenceSimulator::ExpectedLatencyMs(fm.device(0), model);
+  for (int i = 0; i < 20; ++i) {
+    EdgeFaultModel::Attempt att = fm.RunInference(0, model);
+    ASSERT_TRUE(att.status.ok());
+    EXPECT_GE(att.latency_ms, expected * 4.0 - 1e-9);
+  }
+}
+
+TEST(FaultModelTest, TimeoutTurnsStragglerIntoDeadlineExceeded) {
+  FaultModelOptions opts;
+  opts.straggler_prob = 1.0;
+  opts.straggler_min_multiplier = 100.0;
+  EdgeFaultModel fm(PaperDeviceProfiles(), opts, NoNoise());
+  ModelProfile model = MakeMobileNetV2Profile();
+  double expected = InferenceSimulator::ExpectedLatencyMs(fm.device(0), model);
+  double timeout = expected * 2;
+  EdgeFaultModel::Attempt att = fm.RunInference(0, model, timeout);
+  EXPECT_EQ(att.status.code(), StatusCode::kDeadlineExceeded);
+  // The caller stops waiting at exactly the timeout.
+  EXPECT_DOUBLE_EQ(att.latency_ms, timeout);
+}
+
+TEST(FaultModelTest, DeterministicForSeed) {
+  FaultModelOptions opts;
+  opts.crash_prob = 0.3;
+  opts.straggler_prob = 0.2;
+  opts.partition_prob = 0.2;
+  opts.seed = 99;
+  ModelProfile model = MakeMobileNetV1Profile();
+  EdgeFaultModel a(PaperDeviceProfiles(), opts);
+  EdgeFaultModel b(PaperDeviceProfiles(), opts);
+  for (int round = 0; round < 5; ++round) {
+    for (size_t i = 0; i < a.fleet_size(); ++i) {
+      EdgeFaultModel::Attempt aa = a.RunInference(i, model);
+      EdgeFaultModel::Attempt bb = b.RunInference(i, model);
+      EXPECT_EQ(aa.status.code(), bb.status.code());
+      EXPECT_DOUBLE_EQ(aa.latency_ms, bb.latency_ms);
+    }
+    a.AdvanceRound();
+    b.AdvanceRound();
+  }
+}
+
+TEST(FaultModelTest, PerDeviceStreamsAreOrderIndependent) {
+  FaultModelOptions opts;
+  opts.crash_prob = 0.5;
+  opts.seed = 5;
+  ModelProfile model = MakeMobileNetV1Profile();
+  // Same fleet, devices exercised in opposite orders: each device's own
+  // failure history must be identical because streams are forked per device.
+  EdgeFaultModel fwd(PaperDeviceProfiles(), opts);
+  EdgeFaultModel rev(PaperDeviceProfiles(), opts);
+  std::vector<std::vector<double>> fwd_lat(3), rev_lat(3);
+  for (int k = 0; k < 10; ++k) {
+    for (size_t i = 0; i < 3; ++i) {
+      fwd_lat[i].push_back(fwd.RunInference(i, model).latency_ms);
+    }
+    for (size_t i = 3; i-- > 0;) {
+      rev_lat[i].push_back(rev.RunInference(i, model).latency_ms);
+    }
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(fwd_lat[i], rev_lat[i]) << "device " << i;
+  }
+}
+
+// ---------- Health tracker / circuit breaker ----------
+
+TEST(HealthTrackerTest, CircuitStateNames) {
+  EXPECT_EQ(CircuitStateName(CircuitState::kClosed), "closed");
+  EXPECT_EQ(CircuitStateName(CircuitState::kOpen), "open");
+  EXPECT_EQ(CircuitStateName(CircuitState::kHalfOpen), "half_open");
+}
+
+TEST(HealthTrackerTest, BreakerOpensAfterConsecutiveFailures) {
+  HealthOptions opts;
+  opts.failure_threshold = 3;
+  DeviceHealthTracker tracker(2, opts);
+  EXPECT_EQ(tracker.state(0), CircuitState::kClosed);
+  tracker.RecordFailure(0, 10);
+  tracker.RecordFailure(0, 20);
+  EXPECT_EQ(tracker.state(0), CircuitState::kClosed);
+  tracker.RecordFailure(0, 30);
+  EXPECT_EQ(tracker.state(0), CircuitState::kOpen);
+  EXPECT_FALSE(tracker.AllowRequest(0, 31));
+  EXPECT_EQ(tracker.open_circuits(), 1u);
+  EXPECT_EQ(tracker.circuits_opened_total(), 1u);
+  // Device 1 is untouched.
+  EXPECT_TRUE(tracker.AllowRequest(1, 31));
+}
+
+TEST(HealthTrackerTest, SuccessResetsConsecutiveFailures) {
+  HealthOptions opts;
+  opts.failure_threshold = 3;
+  DeviceHealthTracker tracker(1, opts);
+  tracker.RecordFailure(0, 1);
+  tracker.RecordFailure(0, 2);
+  tracker.RecordSuccess(0, 3);
+  tracker.RecordFailure(0, 4);
+  tracker.RecordFailure(0, 5);
+  EXPECT_EQ(tracker.state(0), CircuitState::kClosed);
+}
+
+TEST(HealthTrackerTest, CooldownAdmitsSingleHalfOpenProbe) {
+  HealthOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_cooldown_ms = 100;
+  DeviceHealthTracker tracker(1, opts);
+  tracker.RecordFailure(0, 0);  // trips immediately
+  EXPECT_EQ(tracker.state(0), CircuitState::kOpen);
+  EXPECT_FALSE(tracker.AllowRequest(0, 50));  // still cooling down
+  EXPECT_TRUE(tracker.WouldAllowRequest(0, 100));
+  EXPECT_EQ(tracker.state(0), CircuitState::kOpen);  // const scan: no change
+  EXPECT_TRUE(tracker.AllowRequest(0, 100));  // the probe
+  EXPECT_EQ(tracker.state(0), CircuitState::kHalfOpen);
+  EXPECT_FALSE(tracker.AllowRequest(0, 101));  // probe already in flight
+}
+
+TEST(HealthTrackerTest, ProbeOutcomeClosesOrReopens) {
+  HealthOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_cooldown_ms = 100;
+  DeviceHealthTracker tracker(2, opts);
+
+  // Device 0: probe succeeds -> closed.
+  tracker.RecordFailure(0, 0);
+  ASSERT_TRUE(tracker.AllowRequest(0, 100));
+  tracker.RecordSuccess(0, 110);
+  EXPECT_EQ(tracker.state(0), CircuitState::kClosed);
+  EXPECT_TRUE(tracker.AllowRequest(0, 111));
+
+  // Device 1: probe fails -> open again, cooldown restarts.
+  tracker.RecordFailure(1, 0);
+  ASSERT_TRUE(tracker.AllowRequest(1, 100));
+  tracker.RecordFailure(1, 110);
+  EXPECT_EQ(tracker.state(1), CircuitState::kOpen);
+  EXPECT_FALSE(tracker.AllowRequest(1, 150));  // 110 + 100 > 150
+  EXPECT_TRUE(tracker.AllowRequest(1, 210));
+  EXPECT_EQ(tracker.circuits_opened_total(), 3u);
+}
+
+TEST(HealthTrackerTest, EwmaScoreTracksOutcomes) {
+  HealthOptions opts;
+  opts.ewma_alpha = 0.5;
+  DeviceHealthTracker tracker(1, opts);
+  EXPECT_DOUBLE_EQ(tracker.health_score(0), 1.0);
+  tracker.RecordFailure(0, 1);
+  EXPECT_DOUBLE_EQ(tracker.health_score(0), 0.5);
+  tracker.RecordFailure(0, 2);
+  EXPECT_DOUBLE_EQ(tracker.health_score(0), 0.25);
+  tracker.RecordSuccess(0, 3);
+  EXPECT_DOUBLE_EQ(tracker.health_score(0), 0.625);
+  for (int i = 0; i < 100; ++i) tracker.RecordSuccess(0, 4 + i);
+  EXPECT_GT(tracker.health_score(0), 0.99);
+  EXPECT_LE(tracker.health_score(0), 1.0);
+}
+
+TEST(HealthTrackerTest, SilenceMakesDeviceSuspect) {
+  HealthOptions opts;
+  opts.heartbeat_timeout_ms = 1000;
+  DeviceHealthTracker tracker(1, opts);
+  EXPECT_FALSE(tracker.suspect(0, 500));
+  EXPECT_TRUE(tracker.suspect(0, 1500));
+  tracker.RecordHeartbeat(0, 1500);
+  EXPECT_FALSE(tracker.suspect(0, 2000));
+  // A success also counts as a heartbeat.
+  tracker.RecordSuccess(0, 3000);
+  EXPECT_FALSE(tracker.suspect(0, 3900));
+}
+
+TEST(HealthTrackerTest, HealthyDevicesFiltersSuspectAndOpen) {
+  HealthOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_cooldown_ms = 10000;
+  opts.heartbeat_timeout_ms = 1000;
+  DeviceHealthTracker tracker(3, opts);
+  tracker.RecordHeartbeat(0, 500);
+  tracker.RecordHeartbeat(1, 500);
+  tracker.RecordFailure(1, 500);  // trips device 1
+  // Device 2 never heartbeats -> suspect at t=1500.
+  std::vector<size_t> healthy = tracker.HealthyDevices(1400);
+  ASSERT_EQ(healthy.size(), 1u);
+  EXPECT_EQ(healthy[0], 0u);
+}
+
+// ---------- Orchestrator ----------
+
+OrchestratorOptions QuietOptions() {
+  OrchestratorOptions o;
+  o.seed = 31;
+  return o;
+}
+
+TEST(OrchestratorTest, CleanFleetCompletesEverythingFirstTry) {
+  EdgeOrchestrator orch(PaperDeviceProfiles(), ModelComplexityLadder(),
+                        FaultModelOptions{}, QuietOptions());
+  auto report = orch.RunBatch(100);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_DOUBLE_EQ(report->completion_rate, 1.0);
+  EXPECT_EQ(report->completed, 100);
+  EXPECT_EQ(report->retries, 0);
+  EXPECT_EQ(report->server_fallbacks, 0);
+  EXPECT_EQ(report->degradations, 0);
+  EXPECT_EQ(report->circuits_opened, 0u);
+  EXPECT_GT(report->p50_latency_ms, 0);
+  EXPECT_GE(report->p99_latency_ms, report->p50_latency_ms);
+  for (const JobResult& j : report->jobs) {
+    EXPECT_TRUE(j.completed);
+    EXPECT_TRUE(j.final_status.ok());
+    EXPECT_GE(j.device_index, 0);
+    EXPECT_FALSE(j.model_name.empty());
+  }
+}
+
+TEST(OrchestratorTest, RetriesRecoverTwentyPercentFaultRate) {
+  FaultModelOptions faults;
+  faults.crash_prob = 0.2;
+  OrchestratorOptions o = QuietOptions();
+  // Short breaker trips: with the default 500ms cooldown a 3-device fleet
+  // spends long stretches fully open and jobs skip straight to the server
+  // fallback with zero device attempts, which is not what this test measures.
+  o.health.failure_threshold = 5;
+  o.health.open_cooldown_ms = 20;
+  EdgeOrchestrator orch(PaperDeviceProfiles(), ModelComplexityLadder(), faults,
+                        o);
+  auto report = orch.RunBatch(500);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->completion_rate, 0.99);
+  EXPECT_GT(report->retries, 0);
+  EXPECT_GT(report->total_attempts, 500);
+}
+
+TEST(OrchestratorTest, WithoutRetriesCompletionIsMeasurablyLower) {
+  FaultModelOptions faults;
+  faults.crash_prob = 0.2;
+
+  OrchestratorOptions with = QuietOptions();
+  with.enable_server_fallback = false;  // isolate the retry effect
+  with.enable_hedging = false;
+  // Keep breaker trips short so the measurement isolates retries, not
+  // cooldown windows.
+  with.health.failure_threshold = 5;
+  with.health.open_cooldown_ms = 20;
+  EdgeOrchestrator retry_orch(PaperDeviceProfiles(), ModelComplexityLadder(),
+                              faults, with);
+  auto with_report = retry_orch.RunBatch(500);
+  ASSERT_TRUE(with_report.ok());
+
+  OrchestratorOptions without = with;
+  without.enable_retries = false;
+  EdgeOrchestrator naive_orch(PaperDeviceProfiles(), ModelComplexityLadder(),
+                              faults, without);
+  auto naive_report = naive_orch.RunBatch(500);
+  ASSERT_TRUE(naive_report.ok());
+
+  // ~20% of first attempts crash, so the naive rate sits near 0.8 while
+  // retries push past 0.95.
+  EXPECT_LT(naive_report->completion_rate, 0.92);
+  EXPECT_GE(with_report->completion_rate, 0.95);
+  EXPECT_GT(with_report->completion_rate,
+            naive_report->completion_rate + 0.05);
+  EXPECT_EQ(naive_report->retries, 0);
+}
+
+TEST(OrchestratorTest, DegradationStepsDownTheLadder) {
+  FaultModelOptions faults;
+  faults.crash_prob = 0.5;
+  OrchestratorOptions opts = QuietOptions();
+  opts.enable_server_fallback = false;
+  opts.enable_hedging = false;
+  opts.degrade_after_failures = 1;
+  opts.retry.max_attempts = 6;
+  EdgeOrchestrator orch(PaperDeviceProfiles(), ModelComplexityLadder(), faults,
+                        opts);
+  auto report = orch.RunBatch(300);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->degradations, 0);
+  for (const JobResult& j : report->jobs) {
+    if (j.degraded && j.completed) {
+      EXPECT_FALSE(j.server_fallback);
+      EXPECT_GE(j.attempts, 2);
+    }
+  }
+}
+
+TEST(OrchestratorTest, ServerFallbackKeepsDeadFleetServing) {
+  FaultModelOptions faults;
+  faults.crash_prob = 1.0;  // no device attempt can ever succeed
+  EdgeOrchestrator orch(PaperDeviceProfiles(), ModelComplexityLadder(), faults,
+                        QuietOptions());
+  auto report = orch.RunBatch(200);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->completion_rate, 1.0);
+  EXPECT_EQ(report->server_fallbacks, 200);
+  EXPECT_GE(report->circuits_opened, 1u);
+  for (const JobResult& j : report->jobs) {
+    EXPECT_TRUE(j.server_fallback);
+    EXPECT_EQ(j.device_index, -1);
+    EXPECT_EQ(j.model_name, "server");
+  }
+}
+
+TEST(OrchestratorTest, DeadFleetWithoutFallbackFailsJobs) {
+  FaultModelOptions faults;
+  faults.crash_prob = 1.0;
+  OrchestratorOptions opts = QuietOptions();
+  opts.enable_server_fallback = false;
+  EdgeOrchestrator orch(PaperDeviceProfiles(), ModelComplexityLadder(), faults,
+                        opts);
+  auto report = orch.RunBatch(50);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->completion_rate, 0.0);
+  for (const JobResult& j : report->jobs) {
+    EXPECT_FALSE(j.completed);
+    EXPECT_FALSE(j.final_status.ok());
+    EXPECT_TRUE(IsRetryableStatus(j.final_status)) << j.final_status;
+  }
+}
+
+TEST(OrchestratorTest, DeterministicForSeed) {
+  FaultModelOptions faults;
+  faults.crash_prob = 0.25;
+  faults.straggler_prob = 0.1;
+  faults.partition_prob = 0.05;
+  auto run_once = [&] {
+    EdgeOrchestrator orch(PaperDeviceProfiles(), ModelComplexityLadder(),
+                          faults, QuietOptions());
+    return orch.RunBatch(300);
+  };
+  auto a = run_once();
+  auto b = run_once();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->completed, b->completed);
+  EXPECT_EQ(a->total_attempts, b->total_attempts);
+  EXPECT_EQ(a->retries, b->retries);
+  EXPECT_EQ(a->hedges, b->hedges);
+  EXPECT_DOUBLE_EQ(a->p50_latency_ms, b->p50_latency_ms);
+  EXPECT_DOUBLE_EQ(a->p99_latency_ms, b->p99_latency_ms);
+}
+
+TEST(OrchestratorTest, ValidatesArguments) {
+  EdgeOrchestrator orch(PaperDeviceProfiles(), ModelComplexityLadder(),
+                        FaultModelOptions{});
+  EXPECT_EQ(orch.RunBatch(0).status().code(), StatusCode::kInvalidArgument);
+
+  EdgeOrchestrator no_fleet({}, ModelComplexityLadder(), FaultModelOptions{});
+  EXPECT_EQ(no_fleet.RunBatch(10).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EdgeOrchestrator no_ladder(PaperDeviceProfiles(), {}, FaultModelOptions{});
+  EXPECT_EQ(no_ladder.RunBatch(10).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------- Fault-injection stress suite (also run under sanitizers) ----------
+
+TEST(EdgeFaultStressTest, MixedFaultLargeBatchStaysAboveTarget) {
+  Rng rng(7);
+  std::vector<DeviceProfile> fleet;
+  for (int i = 0; i < 4; ++i) {
+    fleet.push_back(SampleProfile(DeviceClass::kDesktop, rng));
+    fleet.push_back(SampleProfile(DeviceClass::kRaspberryPi, rng));
+    fleet.push_back(SampleProfile(DeviceClass::kSmartphone, rng));
+  }
+  FaultModelOptions faults;
+  faults.crash_prob = 0.15;
+  faults.straggler_prob = 0.1;
+  faults.partition_prob = 0.05;
+  faults.partition_recover_prob = 0.5;
+  faults.battery_capacity = 400;
+  OrchestratorOptions opts;
+  opts.jobs_per_round = 32;
+  opts.seed = 77;
+  EdgeOrchestrator orch(fleet, ModelComplexityLadder(), faults, opts);
+  auto report = orch.RunBatch(1500);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->completion_rate, 0.99);
+
+  // Report invariants.
+  ASSERT_EQ(report->jobs.size(), 1500u);
+  int completed = 0, hedged = 0, fallbacks = 0;
+  for (const JobResult& j : report->jobs) {
+    if (j.completed) {
+      ++completed;
+      EXPECT_TRUE(j.final_status.ok());
+      EXPECT_GE(j.latency_ms, 0);
+    }
+    if (j.hedged) ++hedged;
+    if (j.server_fallback) ++fallbacks;
+    EXPECT_LE(j.attempts, 65);  // the hard cap (+1 for a final hedge)
+  }
+  EXPECT_EQ(completed, report->completed);
+  EXPECT_EQ(hedged, report->hedges);
+  EXPECT_EQ(fallbacks, report->server_fallbacks);
+  EXPECT_GE(report->total_attempts, report->completed - fallbacks);
+  EXPECT_GE(report->p99_latency_ms, report->p50_latency_ms);
+}
+
+TEST(EdgeFaultStressTest, RepeatedBatchesOnOneFleetStayHealthy) {
+  FaultModelOptions faults;
+  faults.crash_prob = 0.1;
+  faults.partition_prob = 0.05;
+  faults.partition_recover_prob = 0.6;
+  OrchestratorOptions opts;
+  opts.seed = 13;
+  EdgeOrchestrator orch(PaperDeviceProfiles(), ModelComplexityLadder(), faults,
+                        opts);
+  for (int batch = 0; batch < 5; ++batch) {
+    auto report = orch.RunBatch(400);
+    ASSERT_TRUE(report.ok()) << "batch " << batch;
+    EXPECT_GE(report->completion_rate, 0.99) << "batch " << batch;
+  }
+  EXPECT_GT(orch.now_ms(), 0);
+}
+
+}  // namespace
+}  // namespace tvdp::edge

@@ -123,6 +123,18 @@ TEST(SimulatorTest, DeterministicForSeed) {
   }
 }
 
+TEST(SimulatorTest, MeanLatencyWithNonPositiveRunsIsZero) {
+  InferenceSimulator sim;
+  DeviceProfile desktop = MakeDesktopProfile();
+  ModelProfile model = MakeMobileNetV1Profile();
+  EXPECT_DOUBLE_EQ(sim.MeanLatencyMs(desktop, model, 0), 0.0);
+  EXPECT_DOUBLE_EQ(sim.MeanLatencyMs(desktop, model, -5), 0.0);
+  // The degenerate calls must not advance the noise stream.
+  InferenceSimulator fresh;
+  EXPECT_DOUBLE_EQ(sim.SimulateInferenceMs(desktop, model),
+                   fresh.SimulateInferenceMs(desktop, model));
+}
+
 TEST(SimulatorTest, TransferTimeScalesWithBytesAndBandwidth) {
   DeviceProfile pi = MakeRaspberryPiProfile();
   DeviceProfile desktop = MakeDesktopProfile();
@@ -164,14 +176,31 @@ TEST(DispatcherTest, ImpossibleBudgetFallsBackToCheapest) {
 
 TEST(DispatcherTest, EmptyLadderFails) {
   ModelDispatcher dispatcher({});
-  EXPECT_FALSE(dispatcher.Dispatch(MakeDesktopProfile(), 100).ok());
+  auto result = dispatcher.Dispatch(MakeDesktopProfile(), 100);
+  ASSERT_FALSE(result.ok());
+  // Documented contract: NotFound, so callers can distinguish "nothing to
+  // serve" from retryable dispatch failures.
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
 TEST(DispatcherTest, MemoryConstraintExcludesHugeModels) {
   DeviceProfile tiny = MakeRaspberryPiProfile();
   tiny.memory_mb = 64;
   ModelDispatcher dispatcher({MakeInceptionV3Profile()});
-  EXPECT_FALSE(dispatcher.Dispatch(tiny, 1e9).ok());
+  auto result = dispatcher.Dispatch(tiny, 1e9);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DispatcherTest, DegradedDispatchPicksCheapestFittingVariant) {
+  // Unsorted ladder: the degraded pick must be the cheapest *fitting*
+  // variant, not merely the first entry.
+  ModelDispatcher dispatcher({MakeInceptionV3Profile(),
+                              MakeMobileNetV1Profile(),
+                              MakeMobileNetV2Profile()});
+  auto degraded = dispatcher.Dispatch(MakeSmartphoneProfile(), 0.0);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded->name, MakeMobileNetV2Profile().name);
 }
 
 // ---------- Crowd learning loop (Fig. 4) ----------
@@ -305,6 +334,68 @@ TEST(CrowdLearningTest, Validation) {
   EXPECT_FALSE(bad_seed.Run().ok());
   CrowdLearningLoop bad_test(prototype, test, empty, {}, {});
   EXPECT_FALSE(bad_test.Run().ok());
+}
+
+TEST(CrowdLearningTest, FullDropoutStallsLearningButNotTheLoop) {
+  ml::Dataset seed_train, test;
+  MakeBlobData(30, 3, 61, &seed_train);
+  MakeBlobData(100, 3, 62, &test);
+  ml::LinearSvmClassifier prototype;
+  CrowdLearningLoop::Options opts;
+  opts.rounds = 3;
+  opts.node_dropout_prob = 1.0;  // every node crashes every round
+  auto nodes = MakeNodes(1, 63);
+  CrowdLearningLoop loop(prototype, seed_train, test, nodes, opts);
+  auto history = loop.Run();
+  ASSERT_TRUE(history.ok()) << history.status();
+  ASSERT_EQ(history->size(), 4u);  // rounds still complete — no deadlock
+  for (size_t r = 1; r < history->size(); ++r) {
+    const LearningRound& lr = (*history)[r];
+    EXPECT_EQ(lr.nodes_dropped, static_cast<int>(nodes.size()));
+    EXPECT_EQ(lr.nodes_participated, 0);
+    EXPECT_EQ(lr.bytes_uploaded, 0);
+    EXPECT_EQ(lr.train_size, seed_train.size());  // nothing aggregated
+  }
+}
+
+TEST(CrowdLearningTest, BoundedWaitCutsStragglersAndDefersUploads) {
+  ml::Dataset seed_train, test;
+  MakeBlobData(30, 3, 71, &seed_train);
+  MakeBlobData(100, 3, 72, &test);
+  ml::LinearSvmClassifier prototype;
+  auto nodes = MakeNodes(1, 73);
+
+  CrowdLearningLoop::Options patient;
+  patient.rounds = 2;
+  patient.upload_budget_bytes = 16 * 48;
+  CrowdLearningLoop patient_loop(prototype, seed_train, test, nodes, patient);
+  auto patient_hist = patient_loop.Run();
+  ASSERT_TRUE(patient_hist.ok());
+  EXPECT_EQ((*patient_hist)[1].nodes_participated,
+            static_cast<int>(nodes.size()));
+  EXPECT_EQ((*patient_hist)[1].nodes_dropped, 0);
+
+  // An impossible wait budget cuts every node off; uploads are deferred,
+  // not lost, and the round still completes.
+  CrowdLearningLoop::Options impatient = patient;
+  impatient.round_wait_budget_ms = 1e-6;
+  CrowdLearningLoop cut_loop(prototype, seed_train, test, nodes, impatient);
+  auto cut_hist = cut_loop.Run();
+  ASSERT_TRUE(cut_hist.ok());
+  for (size_t r = 1; r < cut_hist->size(); ++r) {
+    EXPECT_EQ((*cut_hist)[r].nodes_dropped, static_cast<int>(nodes.size()));
+    EXPECT_EQ((*cut_hist)[r].bytes_uploaded, 0);
+  }
+
+  // A generous budget admits everyone: identical to the pre-fault path.
+  CrowdLearningLoop::Options generous = patient;
+  generous.round_wait_budget_ms = 1e12;
+  CrowdLearningLoop gen_loop(prototype, seed_train, test, nodes, generous);
+  auto gen_hist = gen_loop.Run();
+  ASSERT_TRUE(gen_hist.ok());
+  EXPECT_EQ((*gen_hist)[1].nodes_participated, static_cast<int>(nodes.size()));
+  EXPECT_DOUBLE_EQ((*gen_hist)[1].bytes_uploaded,
+                   (*patient_hist)[1].bytes_uploaded);
 }
 
 TEST(SelectionPolicyTest, Names) {
