@@ -1,0 +1,123 @@
+#ifndef TVDP_COMMON_CONTEXT_H_
+#define TVDP_COMMON_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tvdp {
+
+/// A shared cancellation handle. Copies refer to the same flag: the client
+/// thread keeps one copy and calls Cancel(); the serving thread polls
+/// cancelled() (through RequestContext::Check) at loop boundaries. Safe to
+/// cancel from any thread at any time.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Idempotent; never blocks.
+  void Cancel() { flag_->store(true, std::memory_order_relaxed); }
+
+  /// True once Cancel() has been called on any copy.
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Per-request lifecycle state threaded from the API boundary down through
+/// the query engine and thread pool: an optional absolute deadline and an
+/// optional cancellation token. Long loops (hybrid verify, LSH probe/rank,
+/// OR-tree refine, kNN re-rank, ParallelFor chunk boundaries) call Check()
+/// cooperatively so an expired or abandoned request stops burning CPU.
+///
+/// Cheap to copy (a time point and a shared_ptr); pass by const reference
+/// on hot paths. The default-constructed context never expires and cannot
+/// be cancelled — equivalent to Background().
+class RequestContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline, no cancellation — for internal and legacy callers.
+  RequestContext() = default;
+
+  static RequestContext Background() { return RequestContext(); }
+
+  /// A context that expires `ms` milliseconds from now. Zero or negative
+  /// yields an already-expired context (used by tests and by callers whose
+  /// budget was consumed upstream).
+  static RequestContext WithDeadlineMs(double ms) {
+    RequestContext ctx;
+    ctx.has_deadline_ = true;
+    ctx.deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double, std::milli>(ms));
+    return ctx;
+  }
+
+  /// A cancellable context with no deadline.
+  static RequestContext WithCancel(CancelToken token) {
+    RequestContext ctx;
+    ctx.token_ = std::move(token);
+    ctx.has_token_ = true;
+    return ctx;
+  }
+
+  /// A copy of this context whose deadline is at most `ms` from now:
+  /// tightens an existing deadline, never loosens it, and keeps any
+  /// cancellation token. Used by the API layer to apply a per-request
+  /// "deadline_ms" field on top of a transport-level context.
+  RequestContext WithDeadlineIn(double ms) const {
+    RequestContext ctx = *this;
+    Clock::time_point d =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(ms));
+    if (!ctx.has_deadline_ || d < ctx.deadline_) ctx.deadline_ = d;
+    ctx.has_deadline_ = true;
+    return ctx;
+  }
+
+  /// Attaches a cancellation token to this context (keeps the deadline).
+  RequestContext WithCancelToken(CancelToken token) const {
+    RequestContext ctx = *this;
+    ctx.token_ = std::move(token);
+    ctx.has_token_ = true;
+    return ctx;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  /// Milliseconds until the deadline (negative once expired); +infinity
+  /// when the context has no deadline.
+  double remaining_ms() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(deadline_ - Clock::now())
+        .count();
+  }
+
+  bool expired() const { return has_deadline_ && Clock::now() >= deadline_; }
+
+  bool cancelled() const { return has_token_ && token_.cancelled(); }
+
+  /// OK while the request should keep running. Cancellation wins over the
+  /// deadline (the caller explicitly walked away; report that, not the
+  /// coincidental timeout).
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("request cancelled by caller");
+    if (expired()) return Status::DeadlineExceeded("request deadline exceeded");
+    return Status::OK();
+  }
+
+ private:
+  bool has_deadline_ = false;
+  bool has_token_ = false;
+  Clock::time_point deadline_{};
+  CancelToken token_;
+};
+
+}  // namespace tvdp
+
+#endif  // TVDP_COMMON_CONTEXT_H_

@@ -2,9 +2,19 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
+#include "common/strings.h"
+
 namespace tvdp {
+namespace {
+
+/// Marker embedded in status messages carrying a retry-after hint. Chosen
+/// to be greppable and unlikely to occur in organic diagnostics.
+constexpr char kRetryAfterMarker[] = "[retry_after_ms=";
+
+}  // namespace
 
 bool IsRetryableStatus(StatusCode code) {
   switch (code) {
@@ -19,7 +29,28 @@ bool IsRetryableStatus(StatusCode code) {
 }
 
 bool IsRetryableStatus(const Status& status) {
+  if (status.code() == StatusCode::kResourceExhausted) {
+    return RetryAfterHintMs(status).has_value();
+  }
   return IsRetryableStatus(status.code());
+}
+
+Status WithRetryAfterHint(Status status, double retry_after_ms) {
+  if (status.ok()) return status;
+  return Status(status.code(),
+                StrFormat("%s %s%.0f]", status.message().c_str(),
+                          kRetryAfterMarker, std::max(retry_after_ms, 0.0)));
+}
+
+std::optional<double> RetryAfterHintMs(const Status& status) {
+  const std::string& msg = status.message();
+  size_t pos = msg.find(kRetryAfterMarker);
+  if (pos == std::string::npos) return std::nullopt;
+  const char* start = msg.c_str() + pos + sizeof(kRetryAfterMarker) - 1;
+  char* end = nullptr;
+  double ms = std::strtod(start, &end);
+  if (end == start || *end != ']') return std::nullopt;
+  return ms;
 }
 
 RetryState::RetryState(RetryPolicy policy, uint64_t seed)

@@ -2,6 +2,7 @@
 #define TVDP_COMMON_RETRY_H_
 
 #include <functional>
+#include <optional>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -30,9 +31,25 @@ struct RetryPolicy {
 /// kDeadlineExceeded (straggler, timeout), kIOError (transient disk), and
 /// kResourceExhausted (capacity that may free up or exist elsewhere).
 /// Semantic errors (kInvalidArgument, kNotFound, kFailedPrecondition, ...)
-/// are deterministic and never retried.
+/// are deterministic and never retried, and kCancelled is the caller's own
+/// decision to stop — retrying it would defeat the cancellation.
 bool IsRetryableStatus(StatusCode code);
+
+/// Status-aware classification. Same as the code overload except for
+/// kResourceExhausted: a shed response (admission queue full, rate limit)
+/// is retryable only when the server attached a retry-after hint — a bare
+/// kResourceExhausted (exhausted battery, quota gone for good) signals
+/// capacity that will not come back, and hammering it makes overload worse.
 bool IsRetryableStatus(const Status& status);
+
+/// Attaches a machine-readable retry-after hint to an error status. The
+/// hint survives message concatenation and is recovered by
+/// RetryAfterHintMs; the admission controller attaches it to every shed
+/// response so well-behaved clients back off by the suggested amount.
+Status WithRetryAfterHint(Status status, double retry_after_ms);
+
+/// The retry-after hint carried by `status`, if any.
+std::optional<double> RetryAfterHintMs(const Status& status);
 
 /// Per-operation retry bookkeeping: counts failures against the policy and
 /// produces decorrelated-jitter backoffs — each wait is drawn uniformly

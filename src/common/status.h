@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnavailable,        ///< endpoint unreachable / crashed; usually transient
   kDeadlineExceeded,   ///< attempt or budget timed out
   kResourceExhausted,  ///< capacity gone (battery, quota, queue slots)
+  kCancelled,          ///< caller abandoned the request; never retried
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -84,6 +85,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -77,6 +77,38 @@ Status ThreadPool::ParallelFor(
   return status;
 }
 
+Status ThreadPool::ParallelFor(
+    const RequestContext& ctx, size_t n, size_t min_per_chunk,
+    const std::function<Status(size_t, size_t)>& body) {
+  TVDP_RETURN_IF_ERROR(ctx.Check());
+  if (n == 0) return Status::OK();
+  min_per_chunk = std::max<size_t>(min_per_chunk, 1);
+  size_t participants = threads_.size() + 1;
+  // Chunks stay small (close to min_per_chunk) so the context is re-checked
+  // often, but never so small that a big range schedules thousands of them.
+  size_t chunk = std::max(min_per_chunk, n / (4 * participants));
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  auto run = [&ctx, &body, cursor, n, chunk]() -> Status {
+    for (;;) {
+      size_t begin = cursor->fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return Status::OK();
+      TVDP_RETURN_IF_ERROR(ctx.Check());
+      TVDP_RETURN_IF_ERROR(body(begin, std::min(begin + chunk, n)));
+    }
+  };
+  size_t max_helpers = std::min(threads_.size(), n / chunk);
+  if (max_helpers == 0 || t_inside_pool_worker) return run();
+  std::vector<std::future<Status>> pending;
+  pending.reserve(max_helpers);
+  for (size_t i = 0; i < max_helpers; ++i) pending.push_back(Submit(run));
+  Status status = run();
+  for (std::future<Status>& f : pending) {
+    Status s = f.get();
+    if (status.ok() && !s.ok()) status = s;
+  }
+  return status;
+}
+
 ThreadPool& ThreadPool::Shared() {
   static ThreadPool* pool = [] {
     unsigned hw = std::thread::hardware_concurrency();

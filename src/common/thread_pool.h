@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/context.h"
 #include "common/result.h"
 
 namespace tvdp {
@@ -65,6 +66,16 @@ class ThreadPool {
   /// Returns the first non-OK status any chunk produced (all chunks still
   /// run to completion — no partial joins).
   Status ParallelFor(size_t n, size_t min_per_chunk,
+                     const std::function<Status(size_t, size_t)>& body);
+
+  /// Cooperative variant: chunks are pulled from a shared cursor and `ctx`
+  /// is checked before every chunk, so a cancelled or expired request stops
+  /// within one chunk per participating thread — no new chunk starts after
+  /// the context fails, and the loop returns kCancelled/kDeadlineExceeded.
+  /// Unlike the static overload, chunk sizes stay near `min_per_chunk`
+  /// (capped so a run schedules at most ~4 chunks per thread), keeping the
+  /// cancellation latency bound tight even for large ranges.
+  Status ParallelFor(const RequestContext& ctx, size_t n, size_t min_per_chunk,
                      const std::function<Status(size_t, size_t)>& body);
 
   /// A process-wide pool sized to the hardware (hardware_concurrency - 1

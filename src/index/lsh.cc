@@ -70,7 +70,8 @@ constexpr size_t kParallelRankMinCandidates = 256;
 }  // namespace
 
 std::vector<RecordId> LshIndex::CollectCandidates(
-    const ml::FeatureVector& query) const {
+    const ml::FeatureVector& query, const RequestContext* ctx,
+    int probes) const {
   // Per-table probing is independent: each table's signatures (the k·dim
   // dot products, times 1 + 2·probes perturbations) can be computed on a
   // worker. Bucket contents are read-only during queries; the per-table
@@ -87,21 +88,27 @@ std::vector<RecordId> LshIndex::CollectCandidates(
     };
     probe(-1, 0);
     // Multi-probe: perturb the first few hash coordinates by +-1.
-    for (int p = 0; p < options_.probes && p < options_.hashes_per_table;
-         ++p) {
+    for (int p = 0; p < probes && p < options_.hashes_per_table; ++p) {
       probe(p, +1);
       probe(p, -1);
     }
   };
   if (options_.pool && num_tables >= 2 &&
       vectors_.size() >= kParallelProbeMinVectors) {
-    (void)options_.pool->ParallelFor(
-        num_tables, 1, [&](size_t begin, size_t end) {
-          for (size_t t = begin; t < end; ++t) probe_table(t);
-          return Status::OK();
-        });
+    auto probe_span = [&](size_t begin, size_t end) {
+      for (size_t t = begin; t < end; ++t) probe_table(t);
+      return Status::OK();
+    };
+    if (ctx) {
+      (void)options_.pool->ParallelFor(*ctx, num_tables, 1, probe_span);
+    } else {
+      (void)options_.pool->ParallelFor(num_tables, 1, probe_span);
+    }
   } else {
-    for (size_t t = 0; t < num_tables; ++t) probe_table(t);
+    for (size_t t = 0; t < num_tables; ++t) {
+      if (ctx && !ctx->Check().ok()) break;
+      probe_table(t);
+    }
   }
 
   std::vector<RecordId> slots;
@@ -120,7 +127,11 @@ std::vector<RecordId> LshIndex::CollectCandidates(
 }
 
 std::vector<std::pair<RecordId, double>> LshIndex::RankCandidates(
-    const ml::FeatureVector& query, const std::vector<RecordId>& slots) const {
+    const ml::FeatureVector& query, const std::vector<RecordId>& slots,
+    const RequestContext* ctx) const {
+  // A failed context leaves the tail of `out` at distance 0 for slot 0;
+  // callers detect the failed context and discard the partial ranking, so
+  // the placeholder entries are never observed.
   std::vector<std::pair<RecordId, double>> out(slots.size());
   auto rank_span = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
@@ -130,18 +141,24 @@ std::vector<std::pair<RecordId, double>> LshIndex::RankCandidates(
     return Status::OK();
   };
   if (options_.pool && slots.size() >= kParallelRankMinCandidates) {
-    (void)options_.pool->ParallelFor(slots.size(), 64, rank_span);
-  } else {
+    if (ctx) {
+      (void)options_.pool->ParallelFor(*ctx, slots.size(), 64, rank_span);
+    } else {
+      (void)options_.pool->ParallelFor(slots.size(), 64, rank_span);
+    }
+  } else if (!ctx || ctx->Check().ok()) {
     (void)rank_span(0, slots.size());
   }
   return out;
 }
 
 std::vector<std::pair<RecordId, double>> LshIndex::KNearest(
-    const ml::FeatureVector& query, int k) const {
+    const ml::FeatureVector& query, int k, const RequestContext* ctx,
+    int probes_override) const {
   std::vector<std::pair<RecordId, double>> out;
   if (k <= 0 || query.size() != dim_) return out;
-  out = RankCandidates(query, CollectCandidates(query));
+  int probes = probes_override >= 0 ? probes_override : options_.probes;
+  out = RankCandidates(query, CollectCandidates(query, ctx, probes), ctx);
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second < b.second;
     return a.first < b.first;
@@ -151,10 +168,13 @@ std::vector<std::pair<RecordId, double>> LshIndex::KNearest(
 }
 
 std::vector<std::pair<RecordId, double>> LshIndex::RangeSearch(
-    const ml::FeatureVector& query, double threshold) const {
+    const ml::FeatureVector& query, double threshold, const RequestContext* ctx,
+    int probes_override) const {
   std::vector<std::pair<RecordId, double>> out;
   if (threshold < 0 || query.size() != dim_) return out;
-  for (auto& [id, d] : RankCandidates(query, CollectCandidates(query))) {
+  int probes = probes_override >= 0 ? probes_override : options_.probes;
+  for (auto& [id, d] :
+       RankCandidates(query, CollectCandidates(query, ctx, probes), ctx)) {
     if (d <= threshold) out.emplace_back(id, d);
   }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {

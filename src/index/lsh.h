@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/context.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -45,12 +46,22 @@ class LshIndex {
 
   /// Approximate top-k by L2 distance. Results are (id, distance) sorted
   /// ascending; may return fewer than k when buckets are sparse.
+  ///
+  /// `ctx` (optional) is checked between per-table probes and candidate
+  /// ranking chunks; a failed context returns the partial results ranked so
+  /// far — the caller (QueryEngine) converts the failed context into a
+  /// kDeadlineExceeded/kCancelled status. `probes_override` >= 0 substitutes
+  /// the configured multi-probe budget for this query only (degraded plans
+  /// probe fewer neighbouring buckets).
   std::vector<std::pair<RecordId, double>> KNearest(
-      const ml::FeatureVector& query, int k) const;
+      const ml::FeatureVector& query, int k,
+      const RequestContext* ctx = nullptr, int probes_override = -1) const;
 
   /// All candidates within `threshold` L2 distance (approximate recall).
+  /// `ctx` / `probes_override` as in KNearest.
   std::vector<std::pair<RecordId, double>> RangeSearch(
-      const ml::FeatureVector& query, double threshold) const;
+      const ml::FeatureVector& query, double threshold,
+      const RequestContext* ctx = nullptr, int probes_override = -1) const;
 
   size_t size() const { return vectors_.size(); }
   size_t dim() const { return dim_; }
@@ -69,12 +80,15 @@ class LshIndex {
   BucketKey Signature(const ml::FeatureVector& v, int table, int perturb_index,
                       int perturb_delta) const;
 
-  std::vector<RecordId> CollectCandidates(const ml::FeatureVector& query) const;
+  std::vector<RecordId> CollectCandidates(const ml::FeatureVector& query,
+                                          const RequestContext* ctx,
+                                          int probes) const;
 
   /// Exact L2 distances of `slots` against `query`, fanned out across the
   /// pool when the set is large.
   std::vector<std::pair<RecordId, double>> RankCandidates(
-      const ml::FeatureVector& query, const std::vector<RecordId>& slots) const;
+      const ml::FeatureVector& query, const std::vector<RecordId>& slots,
+      const RequestContext* ctx) const;
 
   size_t dim_;
   Options options_;

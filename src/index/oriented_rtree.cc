@@ -32,18 +32,24 @@ Status OrientedRTree::Insert(const geo::FieldOfView& fov, RecordId id) {
 
 std::vector<RecordId> OrientedRTree::Refine(
     const std::vector<RecordId>& candidates,
-    const std::function<bool(const Stored&)>& match) const {
+    const std::function<bool(const Stored&)>& match,
+    const RequestContext* ctx) const {
   last_candidates_.store(static_cast<int64_t>(candidates.size()),
                          std::memory_order_relaxed);
   if (options_.pool && candidates.size() >= kParallelRefineMin) {
     std::vector<char> hit(candidates.size(), 0);
-    (void)options_.pool->ParallelFor(
-        candidates.size(), 32, [&](size_t begin, size_t end) {
-          for (size_t i = begin; i < end; ++i) {
-            hit[i] = match(fovs_[static_cast<size_t>(candidates[i])]) ? 1 : 0;
-          }
-          return Status::OK();
-        });
+    auto refine_span = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        hit[i] = match(fovs_[static_cast<size_t>(candidates[i])]) ? 1 : 0;
+      }
+      return Status::OK();
+    };
+    if (ctx) {
+      (void)options_.pool->ParallelFor(*ctx, candidates.size(), 32,
+                                       refine_span);
+    } else {
+      (void)options_.pool->ParallelFor(candidates.size(), 32, refine_span);
+    }
     std::vector<RecordId> out;
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (hit[i]) out.push_back(fovs_[static_cast<size_t>(candidates[i])].id);
@@ -51,17 +57,19 @@ std::vector<RecordId> OrientedRTree::Refine(
     return out;
   }
   std::vector<RecordId> out;
-  for (RecordId slot : candidates) {
-    const Stored& s = fovs_[static_cast<size_t>(slot)];
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (ctx && i % 64 == 0 && !ctx->Check().ok()) break;
+    const Stored& s = fovs_[static_cast<size_t>(candidates[i])];
     if (match(s)) out.push_back(s.id);
   }
   return out;
 }
 
 std::vector<RecordId> OrientedRTree::RangeSearch(
-    const geo::BoundingBox& box) const {
-  return Refine(tree_.RangeSearch(box),
-                [&box](const Stored& s) { return s.fov.IntersectsBBox(box); });
+    const geo::BoundingBox& box, const RequestContext* ctx) const {
+  return Refine(
+      tree_.RangeSearch(box),
+      [&box](const Stored& s) { return s.fov.IntersectsBBox(box); }, ctx);
 }
 
 std::vector<RecordId> OrientedRTree::RangeSearchDirected(
@@ -71,12 +79,14 @@ std::vector<RecordId> OrientedRTree::RangeSearchDirected(
   });
 }
 
-std::vector<RecordId> OrientedRTree::PointQuery(const geo::GeoPoint& p) const {
+std::vector<RecordId> OrientedRTree::PointQuery(const geo::GeoPoint& p,
+                                                const RequestContext* ctx) const {
   geo::BoundingBox probe;
   probe.min_lat = probe.max_lat = p.lat;
   probe.min_lon = probe.max_lon = p.lon;
-  return Refine(tree_.RangeSearch(probe),
-                [&p](const Stored& s) { return s.fov.ContainsPoint(p); });
+  return Refine(
+      tree_.RangeSearch(probe),
+      [&p](const Stored& s) { return s.fov.ContainsPoint(p); }, ctx);
 }
 
 }  // namespace tvdp::index

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/context.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "geo/fov.h"
@@ -54,14 +55,19 @@ class OrientedRTree {
   Status Insert(const geo::FieldOfView& fov, RecordId id);
 
   /// Record ids whose FOV sector intersects `box` (exact refinement).
-  std::vector<RecordId> RangeSearch(const geo::BoundingBox& box) const;
+  /// `ctx` (optional) is checked at refinement chunk boundaries; a failed
+  /// context returns whatever refined so far — the engine converts the
+  /// failed context into an error status, so partial lists never escape.
+  std::vector<RecordId> RangeSearch(const geo::BoundingBox& box,
+                                    const RequestContext* ctx = nullptr) const;
 
   /// Range search with an additional viewing-direction predicate.
   std::vector<RecordId> RangeSearchDirected(const geo::BoundingBox& box,
                                             const DirectionRange& dir) const;
 
   /// Record ids of FOVs containing the point `p`.
-  std::vector<RecordId> PointQuery(const geo::GeoPoint& p) const;
+  std::vector<RecordId> PointQuery(const geo::GeoPoint& p,
+                                   const RequestContext* ctx = nullptr) const;
 
   size_t size() const { return fovs_.size(); }
 
@@ -83,7 +89,8 @@ class OrientedRTree {
   /// candidate order.
   std::vector<RecordId> Refine(
       const std::vector<RecordId>& candidates,
-      const std::function<bool(const Stored&)>& match) const;
+      const std::function<bool(const Stored&)>& match,
+      const RequestContext* ctx = nullptr) const;
 
   Options options_;
   // Filter structure: R-tree over scene MBRs keyed by position in fovs_.

@@ -1,0 +1,204 @@
+#ifndef TVDP_PLATFORM_ADMISSION_H_
+#define TVDP_PLATFORM_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/context.h"
+#include "common/json.h"
+#include "common/result.h"
+
+namespace tvdp::platform {
+
+class AdmissionController;
+
+/// Service classes. Interactive requests (dashboards, operators) are
+/// queued separately from batch requests (bulk exports, re-analysis) so a
+/// batch burst cannot starve interactive latency.
+enum class Priority { kInteractive = 0, kBatch = 1 };
+
+/// The controller's overload state machine (DESIGN.md "Overload,
+/// deadlines, and admission control"):
+///
+///   kNormal   — slots or queue headroom available; full-fidelity plans.
+///   kDegraded — waiters have accumulated past the degrade threshold;
+///               admitted queries run cheaper plans (fewer LSH probes,
+///               capped candidates) and responses carry "degraded": true.
+///   kShedding — a queue is at capacity; new arrivals displace the oldest
+///               (most likely stale) waiter, which is shed with
+///               kResourceExhausted and a retry-after hint.
+enum class OverloadState { kNormal = 0, kDegraded = 1, kShedding = 2 };
+
+/// Stable lowercase name ("normal", "degraded", "shedding").
+const char* OverloadStateName(OverloadState s);
+
+struct AdmissionOptions {
+  /// Requests executing concurrently; beyond this arrivals queue.
+  int max_concurrent = 4;
+  /// Queue capacity per priority; an arrival into a full queue sheds the
+  /// oldest waiter of that priority (LIFO service, FIFO shedding).
+  size_t max_queue_interactive = 64;
+  size_t max_queue_batch = 32;
+  /// Longest a request may wait for a slot before it is shed as stale.
+  double max_queue_wait_ms = 500;
+  /// Per-key token bucket: sustained requests/second per API key;
+  /// 0 disables rate limiting.
+  double rate_per_sec = 0;
+  /// Bucket depth (burst allowance); 0 means max(rate_per_sec, 1).
+  double burst = 0;
+  /// Fraction of total queue capacity occupied by waiters at which the
+  /// controller enters kDegraded.
+  double degrade_occupancy = 0.25;
+  /// Hysteresis: after the last time a waiter had to queue, the controller
+  /// reports (at least) kDegraded for this many ms even if the queues have
+  /// momentarily drained — prevents full-fidelity plans from flapping back
+  /// in between overload bursts. 0 disables the hold.
+  double degraded_hold_ms = 0;
+  /// Injectable millisecond clock (monotonic) for deterministic
+  /// token-bucket and staleness tests; default is steady_clock.
+  std::function<double()> now_ms;
+};
+
+/// RAII admission slot: holding a live ticket means the request counts
+/// against the concurrency cap; destruction (or Release) frees the slot
+/// and grants it to the newest eligible waiter. Move-only.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionTicket&& other) noexcept;
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept;
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+  ~AdmissionTicket();
+
+  /// True when the controller was in kDegraded (or worse) at grant time,
+  /// counting this waiter itself — any grant out of a sufficient backlog
+  /// is degraded: the request should run a cheaper plan and mark its
+  /// response degraded.
+  bool degraded() const { return degraded_; }
+
+  /// Frees the slot early; idempotent.
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  AdmissionTicket(AdmissionController* controller, bool degraded)
+      : controller_(controller), degraded_(degraded) {}
+
+  AdmissionController* controller_ = nullptr;
+  bool degraded_ = false;
+};
+
+/// Point-in-time counters exported as JSON for observability.
+struct ServerStats {
+  uint64_t admitted = 0;           ///< granted a slot (immediately or queued)
+  uint64_t admitted_degraded = 0;  ///< of those, granted under kDegraded+
+  uint64_t shed_queue_full = 0;    ///< oldest waiter displaced by an arrival
+  uint64_t shed_stale = 0;         ///< timed out waiting for a slot
+  uint64_t rate_limited = 0;       ///< rejected by the per-key token bucket
+  uint64_t expired = 0;            ///< deadline passed before/while queued
+  uint64_t cancelled = 0;          ///< cancelled before/while queued
+  uint64_t completed = 0;          ///< tickets released
+  size_t queue_depth_interactive = 0;
+  size_t queue_depth_batch = 0;
+  int in_flight = 0;
+  OverloadState state = OverloadState::kNormal;
+};
+
+/// Admission control in front of ApiService::HandleRequest: a concurrency
+/// cap with bounded per-priority wait queues served newest-first (LIFO —
+/// under overload the newest request is the one most likely to still meet
+/// its deadline; the oldest is shed), plus a per-key token-bucket rate
+/// limiter. Rejections are kResourceExhausted with a retry-after hint
+/// (see common/retry.h WithRetryAfterHint); contexts that expire or are
+/// cancelled while queued surface as kDeadlineExceeded / kCancelled.
+///
+/// Thread safety: fully internally synchronized.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = AdmissionOptions());
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until a slot is granted or the request is rejected. `key`
+  /// feeds the rate limiter; `ctx` bounds the wait (an already-failed
+  /// context is rejected before any queueing).
+  Result<AdmissionTicket> Admit(const std::string& key, Priority priority,
+                                const RequestContext& ctx = RequestContext());
+
+  /// Records one served request's latency for the per-endpoint digest.
+  void RecordLatency(const std::string& endpoint, double ms);
+
+  ServerStats stats() const;
+  OverloadState state() const;
+
+  /// Counters, queue depths, state, and per-endpoint {count, p50_ms,
+  /// p99_ms} as a JSON object.
+  Json StatsJson() const;
+
+ private:
+  friend class AdmissionTicket;
+
+  struct Waiter {
+    Priority priority = Priority::kInteractive;
+    enum class Outcome { kWaiting, kGranted, kShed } outcome = Outcome::kWaiting;
+    bool granted_degraded = false;
+  };
+
+  double NowMs() const;
+  /// State computed from queue occupancy; requires mutex_ held.
+  OverloadState StateLocked() const;
+  std::deque<std::shared_ptr<Waiter>>& QueueFor(Priority p) {
+    return p == Priority::kInteractive ? interactive_ : batch_;
+  }
+  size_t QueueCap(Priority p) const {
+    return p == Priority::kInteractive ? options_.max_queue_interactive
+                                       : options_.max_queue_batch;
+  }
+  /// Grants the freed slot to the newest eligible waiter; mutex_ held.
+  void GrantNextLocked();
+  /// Called by tickets when they go out of scope.
+  void ReleaseSlot();
+  /// Removes `w` from its queue if still present; mutex_ held.
+  void RemoveWaiterLocked(const std::shared_ptr<Waiter>& w);
+
+  AdmissionOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int in_flight_ = 0;
+  /// When a waiter last joined a queue (options_.now_ms clock); drives the
+  /// degraded_hold_ms hysteresis in StateLocked.
+  double last_backlog_ms_ = -1e300;
+  std::deque<std::shared_ptr<Waiter>> interactive_;  // back = newest
+  std::deque<std::shared_ptr<Waiter>> batch_;
+
+  struct Bucket {
+    double tokens = 0;
+    double last_ms = 0;
+    bool initialized = false;
+  };
+  std::map<std::string, Bucket> buckets_;
+
+  ServerStats counters_;  // queue depths / state filled at snapshot time
+
+  /// Bounded latency reservoir per endpoint (newest-overwrite ring).
+  struct LatencyRing {
+    std::vector<double> samples;
+    size_t next = 0;
+    uint64_t count = 0;
+  };
+  std::map<std::string, LatencyRing> latencies_;
+};
+
+}  // namespace tvdp::platform
+
+#endif  // TVDP_PLATFORM_ADMISSION_H_

@@ -1,7 +1,9 @@
 #include "platform/api.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "common/retry.h"
 #include "common/strings.h"
 #include "ml/linear_svm.h"
 #include "ml/logistic_regression.h"
@@ -33,10 +35,12 @@ Json FeatureToJson(const ml::FeatureVector& v) {
 
 }  // namespace
 
-ApiService::ApiService(Tvdp* platform, ModelRegistry* registry)
-    : platform_(platform), registry_(registry) {}
+ApiService::ApiService(Tvdp* platform, ModelRegistry* registry,
+                       AdmissionController* admission)
+    : platform_(platform), registry_(registry), admission_(admission) {}
 
 std::string ApiService::CreateApiKey(const std::string& owner) {
+  std::unique_lock<std::shared_mutex> lock(keys_mutex_);
   // Deterministic but unguessable-looking keys: FNV over owner + counter.
   uint64_t h = 1469598103934665603ULL;
   auto mix = [&](uint64_t v) {
@@ -51,11 +55,13 @@ std::string ApiService::CreateApiKey(const std::string& owner) {
 }
 
 Status ApiService::RevokeApiKey(const std::string& key) {
+  std::unique_lock<std::shared_mutex> lock(keys_mutex_);
   if (keys_.erase(key) == 0) return Status::NotFound("unknown API key");
   return Status::OK();
 }
 
 Result<std::string> ApiService::KeyOwner(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(keys_mutex_);
   auto it = keys_.find(key);
   if (it == keys_.end()) return Status::NotFound("unknown API key");
   return it->second;
@@ -69,15 +75,83 @@ std::vector<std::string> ApiService::Endpoints() const {
 
 Result<Json> ApiService::HandleRequest(const std::string& api_key,
                                        const std::string& endpoint,
-                                       const Json& request) {
-  auto key_it = keys_.find(api_key);
-  if (key_it == keys_.end()) {
-    return Status::PermissionDenied("invalid API key");
+                                       const Json& request,
+                                       const RequestContext& ctx) {
+  bool degraded = false;
+  return HandleRequestInternal(api_key, endpoint, request, ctx, &degraded);
+}
+
+Result<Json> ApiService::HandleRequestInternal(const std::string& api_key,
+                                               const std::string& endpoint,
+                                               const Json& request,
+                                               const RequestContext& base_ctx,
+                                               bool* degraded) {
+  // Authentication first: a bad key is PermissionDenied no matter what
+  // else is wrong with the request (including an unknown endpoint), and
+  // unauthenticated callers must not reach the admission queue or consume
+  // rate-limit tokens. The owner is copied out under the shared lock so a
+  // concurrent RevokeApiKey cannot invalidate it mid-request.
+  std::string owner;
+  {
+    std::shared_lock<std::shared_mutex> lock(keys_mutex_);
+    auto key_it = keys_.find(api_key);
+    if (key_it == keys_.end()) {
+      return Status::PermissionDenied("invalid API key");
+    }
+    owner = key_it->second;
   }
-  const std::string& owner = key_it->second;
+  // Routing next, still before admission: an unknown endpoint must not
+  // occupy a concurrency slot.
+  std::vector<std::string> endpoints = Endpoints();
+  if (std::find(endpoints.begin(), endpoints.end(), endpoint) ==
+      endpoints.end()) {
+    return Status::NotFound("unknown endpoint: " + endpoint);
+  }
+
+  RequestContext ctx = base_ctx;
+  if (request.Has("deadline_ms") && request["deadline_ms"].is_number()) {
+    ctx = ctx.WithDeadlineIn(request["deadline_ms"].AsDouble());
+  }
+  TVDP_RETURN_IF_ERROR(ctx.Check());
+
+  AdmissionTicket ticket;
+  query::QueryBudget budget;
+  if (admission_) {
+    Priority priority = request.Has("priority") &&
+                                request["priority"].AsString() == "batch"
+                            ? Priority::kBatch
+                            : Priority::kInteractive;
+    TVDP_ASSIGN_OR_RETURN(ticket, admission_->Admit(api_key, priority, ctx));
+    if (ticket.degraded()) {
+      // Degradation ladder (DESIGN.md): LSH probing cut to one probe per
+      // table and a hard candidate cap — recall traded for survival. The
+      // knobs are set so a degraded query costs roughly a quarter of a
+      // full-fidelity one: cheap enough to survive overload, rich enough
+      // that the degraded answer is still worth returning.
+      *degraded = true;
+      budget.lsh_probes = 1;
+      budget.max_candidates = 512;
+    }
+  }
+  auto start = std::chrono::steady_clock::now();
+  Result<Json> result = Dispatch(owner, endpoint, request, ctx, budget);
+  if (admission_) {
+    admission_->RecordLatency(
+        endpoint, std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+  }
+  return result;
+}
+
+Result<Json> ApiService::Dispatch(const std::string& owner,
+                                  const std::string& endpoint,
+                                  const Json& request,
+                                  const RequestContext& ctx,
+                                  const query::QueryBudget& budget) {
   if (endpoint == "add_data") return AddData(owner, request);
-  if (endpoint == "search_datasets") return SearchDatasets(request);
-  if (endpoint == "download_datasets") return DownloadDatasets(request);
+  if (endpoint == "search_datasets") return SearchDatasets(request, ctx, budget);
+  if (endpoint == "download_datasets") return DownloadDatasets(request, ctx);
   if (endpoint == "get_visual_features") return GetVisualFeatures(request);
   if (endpoint == "use_model") return UseModel(request);
   if (endpoint == "download_model") return DownloadModel(request);
@@ -87,18 +161,35 @@ Result<Json> ApiService::HandleRequest(const std::string& api_key,
 
 Json ApiService::HandleEnvelope(const std::string& api_key,
                                 const std::string& endpoint,
-                                const Json& request) {
-  Result<Json> result = HandleRequest(api_key, endpoint, request);
+                                const Json& request,
+                                const RequestContext& ctx) {
+  bool degraded = false;
+  Result<Json> result =
+      HandleRequestInternal(api_key, endpoint, request, ctx, &degraded);
   Json out = Json::MakeObject();
   if (result.ok()) {
     out["status"] = "ok";
+    if (degraded) out["degraded"] = true;
     out["data"] = std::move(result).value();
   } else {
+    const Status& s = result.status();
     out["status"] = "error";
-    out["code"] = std::string(StatusCodeName(result.status().code()));
-    out["message"] = result.status().message();
+    out["code"] = std::string(StatusCodeName(s.code()));
+    // Numeric code alongside the name: clients branch on the number, and
+    // the precedence contract (PermissionDenied before NotFound for
+    // bad-key + unknown-endpoint) is part of the API surface.
+    out["error_code"] = static_cast<int>(s.code());
+    out["message"] = s.message();
+    out["retryable"] = IsRetryableStatus(s);
+    if (std::optional<double> hint = RetryAfterHintMs(s)) {
+      out["retry_after_ms"] = *hint;
+    }
   }
   return out;
+}
+
+Json ApiService::ServerStatsJson() const {
+  return admission_ ? admission_->StatsJson() : Json::MakeObject();
 }
 
 Result<Json> ApiService::AddData(const std::string& owner,
@@ -144,7 +235,9 @@ Result<Json> ApiService::AddData(const std::string& owner,
   return out;
 }
 
-Result<Json> ApiService::SearchDatasets(const Json& request) {
+Result<Json> ApiService::SearchDatasets(const Json& request,
+                                        const RequestContext& ctx,
+                                        const query::QueryBudget& budget) {
   query::HybridQuery q;
   if (request.Has("bbox")) {
     const Json& b = request["bbox"];
@@ -188,20 +281,39 @@ Result<Json> ApiService::SearchDatasets(const Json& request) {
     }
     q.categorical = cp;
   }
+  if (request.Has("feature")) {
+    if (!request.Has("feature_kind")) {
+      return Status::InvalidArgument("feature requires feature_kind");
+    }
+    query::VisualPredicate vp;
+    vp.feature_kind = request["feature_kind"].AsString();
+    TVDP_ASSIGN_OR_RETURN(vp.feature, ParseFeature(request["feature"]));
+    if (request.Has("threshold")) {
+      vp.kind = query::VisualPredicate::Kind::kThreshold;
+      vp.threshold = request["threshold"].AsDouble();
+    } else {
+      vp.kind = query::VisualPredicate::Kind::kTopK;
+      vp.k = request.Has("k") ? static_cast<int>(request["k"].AsInt()) : 10;
+      if (vp.k <= 0) return Status::InvalidArgument("k must be positive");
+    }
+    q.visual = vp;
+  }
   if (request.Has("limit")) q.limit = static_cast<int>(request["limit"].AsInt());
 
   TVDP_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
-                        platform_->query().Execute(q));
+                        platform_->ExecuteQuery(q, &ctx, budget));
   Json ids = Json::MakeArray();
   for (const auto& h : hits) ids.Append(h.image_id);
   Json out = Json::MakeObject();
   out["image_ids"] = std::move(ids);
   out["count"] = hits.size();
   out["plan"] = platform_->query().last_plan();
+  if (budget.degraded()) out["degraded"] = true;
   return out;
 }
 
-Result<Json> ApiService::DownloadDatasets(const Json& request) {
+Result<Json> ApiService::DownloadDatasets(const Json& request,
+                                          const RequestContext& ctx) {
   if (!request.Has("image_ids")) {
     return Status::InvalidArgument("download_datasets requires image_ids");
   }
@@ -210,6 +322,7 @@ Result<Json> ApiService::DownloadDatasets(const Json& request) {
   const storage::Schema& s = images->schema();
   Json rows = Json::MakeArray();
   for (const Json& idj : request["image_ids"].AsArray()) {
+    TVDP_RETURN_IF_ERROR(ctx.Check());
     TVDP_ASSIGN_OR_RETURN(storage::Row row, images->Get(idj.AsInt()));
     Json r = Json::MakeObject();
     r["id"] = row[0].AsInt64();

@@ -3,11 +3,14 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/context.h"
 #include "common/json.h"
 #include "common/result.h"
+#include "platform/admission.h"
 #include "platform/model_registry.h"
 #include "platform/tvdp.h"
 
@@ -21,8 +24,9 @@ namespace tvdp::platform {
 ///
 /// Endpoints (the seven API families of Sec. V):
 ///   add_data         — ingest a new geo-tagged image (metadata).
-///   search_datasets  — hybrid metadata search (spatial/temporal/textual/
-///                      categorical filters).
+///   search_datasets  — hybrid search (spatial/temporal/textual/
+///                      categorical filters plus a visual top-k or
+///                      threshold seed via "feature"/"feature_kind").
 ///   download_datasets— fetch metadata rows for a list of image ids.
 ///   get_visual_features — fetch stored feature vectors of an image.
 ///   use_model        — run a registered model on a feature or image id.
@@ -30,26 +34,41 @@ namespace tvdp::platform {
 ///   register_model   — share a model (serialized linear-family payload).
 class ApiService {
  public:
-  /// `platform` and `registry` must outlive the service.
-  ApiService(Tvdp* platform, ModelRegistry* registry);
+  /// `platform` and `registry` must outlive the service. `admission`
+  /// (optional, must outlive the service when given) gates every
+  /// HandleRequest through the overload controller: requests are
+  /// rate-limited, queued, shed, or degraded before dispatch.
+  ApiService(Tvdp* platform, ModelRegistry* registry,
+             AdmissionController* admission = nullptr);
 
   /// Issues a new API key for `owner` (e.g. "lasan", "usc_research").
   std::string CreateApiKey(const std::string& owner);
 
-  /// Revokes a key; NotFound if unknown.
+  /// Revokes a key; NotFound if unknown. Safe against in-flight
+  /// HandleRequest calls: requests already past the key check complete,
+  /// later requests see the revocation.
   Status RevokeApiKey(const std::string& key);
 
-  /// Dispatches one API call. PermissionDenied for bad keys, NotFound for
-  /// unknown endpoints, InvalidArgument for malformed requests.
+  /// Dispatches one API call. PermissionDenied for bad keys (checked
+  /// before endpoint existence — authentication outranks routing),
+  /// NotFound for unknown endpoints, InvalidArgument for malformed
+  /// requests, kResourceExhausted (with retry-after hint) when shed by
+  /// the admission controller, kDeadlineExceeded / kCancelled when `ctx`
+  /// fails. A numeric "deadline_ms" request field tightens the deadline;
+  /// "priority": "batch" selects the batch admission queue.
   Result<Json> HandleRequest(const std::string& api_key,
-                             const std::string& endpoint,
-                             const Json& request);
+                             const std::string& endpoint, const Json& request,
+                             const RequestContext& ctx = RequestContext());
 
-  /// Like HandleRequest but never fails: errors become
-  /// {"status":"error","code":...,"message":...} envelopes, successes are
-  /// wrapped as {"status":"ok","data":...}.
+  /// Like HandleRequest but never fails. Successes wrap as
+  /// {"status":"ok","data":...} with "degraded": true when the admission
+  /// controller forced a cheaper plan. Errors become
+  /// {"status":"error","code":<name>,"error_code":<numeric>,
+  ///  "message":...,"retryable":<bool>} envelopes, plus "retry_after_ms"
+  /// when the status carries a hint (shed responses always do).
   Json HandleEnvelope(const std::string& api_key, const std::string& endpoint,
-                      const Json& request);
+                      const Json& request,
+                      const RequestContext& ctx = RequestContext());
 
   /// Owner of a key, or NotFound.
   Result<std::string> KeyOwner(const std::string& key) const;
@@ -57,10 +76,24 @@ class ApiService {
   /// Endpoint names, sorted (for discovery / documentation endpoints).
   std::vector<std::string> Endpoints() const;
 
+  /// Admission-controller counters and per-endpoint latency digests as a
+  /// JSON object; an empty object when no controller is attached.
+  Json ServerStatsJson() const;
+
  private:
+  Result<Json> HandleRequestInternal(const std::string& api_key,
+                                     const std::string& endpoint,
+                                     const Json& request,
+                                     const RequestContext& base_ctx,
+                                     bool* degraded);
+  Result<Json> Dispatch(const std::string& owner, const std::string& endpoint,
+                        const Json& request, const RequestContext& ctx,
+                        const query::QueryBudget& budget);
+
   Result<Json> AddData(const std::string& owner, const Json& request);
-  Result<Json> SearchDatasets(const Json& request);
-  Result<Json> DownloadDatasets(const Json& request);
+  Result<Json> SearchDatasets(const Json& request, const RequestContext& ctx,
+                              const query::QueryBudget& budget);
+  Result<Json> DownloadDatasets(const Json& request, const RequestContext& ctx);
   Result<Json> GetVisualFeatures(const Json& request);
   Result<Json> UseModel(const Json& request);
   Result<Json> DownloadModel(const Json& request);
@@ -68,6 +101,13 @@ class ApiService {
 
   Tvdp* platform_;
   ModelRegistry* registry_;
+  AdmissionController* admission_;
+
+  /// Guards keys_ and key_counter_: HandleRequest reads the key table
+  /// shared while CreateApiKey / RevokeApiKey mutate it exclusively, so a
+  /// revocation racing an in-flight request is well-defined instead of a
+  /// data race on the map.
+  mutable std::shared_mutex keys_mutex_;
   std::map<std::string, std::string> keys_;  // key -> owner
   uint64_t key_counter_ = 0;
 };

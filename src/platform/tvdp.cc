@@ -217,6 +217,12 @@ Status Tvdp::StoreFeature(int64_t image_id, const std::string& kind,
   return engine_->IndexFeatureLocked(image_id, kind, feature);
 }
 
+Result<std::vector<query::QueryHit>> Tvdp::ExecuteQuery(
+    const query::HybridQuery& q, const RequestContext* ctx,
+    const query::QueryBudget& budget) const {
+  return engine_->Execute(q, ctx, budget);
+}
+
 size_t Tvdp::image_count() const {
   std::shared_lock lock(engine_->mutex());
   const storage::Table* t = catalog().GetTable(tables::kImages);

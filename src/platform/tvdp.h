@@ -109,6 +109,14 @@ class Tvdp {
   query::QueryEngine& query() { return *engine_; }
   const query::QueryEngine& query() const { return *engine_; }
 
+  /// Evaluates a hybrid query under the platform-wide shared lock,
+  /// honoring an optional request context (deadline/cancellation) and a
+  /// query budget (degraded plans) — the access-layer entry point used by
+  /// the API service.
+  Result<std::vector<query::QueryHit>> ExecuteQuery(
+      const query::HybridQuery& q, const RequestContext* ctx = nullptr,
+      const query::QueryBudget& budget = query::QueryBudget()) const;
+
   /// The platform-wide reader-writer lock (owned by the query engine so
   /// facade and engine callers synchronize on the same object). External
   /// readers that walk `catalog()` directly (e.g. exports) take it shared;

@@ -47,6 +47,16 @@ std::vector<QueryHit> ToHits(const std::vector<index::RecordId>& ids) {
   return out;
 }
 
+/// Annotates a failed-context status with where the query stopped and how
+/// far it got, e.g. "request deadline exceeded during hybrid verify
+/// (120/400 candidates verified)". Partial results themselves are
+/// discarded; only this progress metadata escapes.
+Status ContextError(const Status& s, const char* stage, size_t done,
+                    size_t total) {
+  return Status(s.code(), StrFormat("%s during %s (%zu/%zu candidates)",
+                                    s.message().c_str(), stage, done, total));
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(storage::Catalog* catalog, ThreadPool* pool)
@@ -154,31 +164,41 @@ std::string QueryEngine::last_plan() const {
 }
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialRange(
-    const geo::BoundingBox& box) const {
+    const geo::BoundingBox& box, const RequestContext* ctx) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  return SpatialRangeLocked(box);
+  return SpatialRangeLocked(box, ctx);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialRangeLocked(
-    const geo::BoundingBox& box) const {
+    const geo::BoundingBox& box, const RequestContext* ctx) const {
   if (box.IsEmpty()) return Status::InvalidArgument("empty query box");
+  if (ctx) TVDP_RETURN_IF_ERROR(ctx->Check());
   // Prefer FOV semantics when FOVs exist; union with camera-point hits so
   // images without FOV metadata still surface.
   std::set<index::RecordId> ids;
-  for (index::RecordId id : fovs_.RangeSearch(box)) ids.insert(id);
+  std::vector<index::RecordId> fov_hits = fovs_.RangeSearch(box, ctx);
+  if (ctx) {
+    Status s = ctx->Check();
+    if (!s.ok()) {
+      return ContextError(s, "spatial range refine", fov_hits.size(),
+                          fov_hits.size());
+    }
+  }
+  for (index::RecordId id : fov_hits) ids.insert(id);
   for (index::RecordId id : points_.RangeSearch(box)) ids.insert(id);
   return ToHits(std::vector<index::RecordId>(ids.begin(), ids.end()));
 }
 
-Result<std::vector<QueryHit>> QueryEngine::SpatialKnn(const geo::GeoPoint& p,
-                                                      int k) const {
+Result<std::vector<QueryHit>> QueryEngine::SpatialKnn(
+    const geo::GeoPoint& p, int k, const RequestContext* ctx) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  return SpatialKnnLocked(p, k);
+  return SpatialKnnLocked(p, k, ctx);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialKnnLocked(
-    const geo::GeoPoint& p, int k) const {
+    const geo::GeoPoint& p, int k, const RequestContext* ctx) const {
   if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (ctx) TVDP_RETURN_IF_ERROR(ctx->Check());
   // The R-tree orders candidates by box min-distance in *degree* space,
   // where a degree of longitude counts the same as a degree of latitude;
   // away from the equator that misorders near-ties. Over-fetch by degree
@@ -201,9 +221,19 @@ Result<std::vector<QueryHit>> QueryEngine::SpatialKnnLocked(
     }
     return Status::OK();
   };
-  if (ranked.size() >= kParallelKnnRerankMin) {
+  if (ctx && ranked.size() >= kParallelKnnRerankMin) {
+    Status s = pool_->ParallelFor(*ctx, ranked.size(), 16, rank_span);
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kDeadlineExceeded ||
+          s.code() == StatusCode::kCancelled) {
+        return ContextError(s, "spatial kNN re-rank", 0, ranked.size());
+      }
+      return s;
+    }
+  } else if (ranked.size() >= kParallelKnnRerankMin) {
     TVDP_RETURN_IF_ERROR(pool_->ParallelFor(ranked.size(), 16, rank_span));
   } else {
+    if (ctx) TVDP_RETURN_IF_ERROR(ctx->Check());
     TVDP_RETURN_IF_ERROR(rank_span(0, ranked.size()));
   }
   std::sort(ranked.begin(), ranked.end());
@@ -217,31 +247,51 @@ Result<std::vector<QueryHit>> QueryEngine::SpatialKnnLocked(
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisibleAt(
-    const geo::GeoPoint& p) const {
+    const geo::GeoPoint& p, const RequestContext* ctx) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  return VisibleAtLocked(p);
+  return VisibleAtLocked(p, ctx);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisibleAtLocked(
-    const geo::GeoPoint& p) const {
+    const geo::GeoPoint& p, const RequestContext* ctx) const {
   if (!geo::IsValid(p)) return Status::InvalidArgument("invalid point");
-  return ToHits(fovs_.PointQuery(p));
+  if (ctx) TVDP_RETURN_IF_ERROR(ctx->Check());
+  std::vector<index::RecordId> hits = fovs_.PointQuery(p, ctx);
+  if (ctx) {
+    Status s = ctx->Check();
+    if (!s.ok()) {
+      return ContextError(s, "FOV point refine", hits.size(), hits.size());
+    }
+  }
+  return ToHits(hits);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisualTopK(
-    const std::string& kind, const ml::FeatureVector& feature, int k) const {
+    const std::string& kind, const ml::FeatureVector& feature, int k,
+    const RequestContext* ctx, int probes_override) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  return VisualTopKLocked(kind, feature, k);
+  return VisualTopKLocked(kind, feature, k, ctx, probes_override);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisualTopKLocked(
-    const std::string& kind, const ml::FeatureVector& feature, int k) const {
+    const std::string& kind, const ml::FeatureVector& feature, int k,
+    const RequestContext* ctx, int probes_override) const {
   auto it = lsh_.find(kind);
   if (it == lsh_.end()) {
     return Status::NotFound("no feature index for kind: " + kind);
   }
+  if (ctx) TVDP_RETURN_IF_ERROR(ctx->Check());
+  auto ranked = it->second->KNearest(feature, k, ctx, probes_override);
+  if (ctx) {
+    // The LSH returns whatever it ranked before the context failed;
+    // discard it — partial top-k lists are misleading.
+    Status s = ctx->Check();
+    if (!s.ok()) {
+      return ContextError(s, "LSH probe/rank", ranked.size(), ranked.size());
+    }
+  }
   std::vector<QueryHit> out;
-  for (const auto& [id, dist] : it->second->KNearest(feature, k)) {
+  for (const auto& [id, dist] : ranked) {
     out.push_back(QueryHit{id, dist});
   }
   DedupHitsById(&out);
@@ -249,21 +299,30 @@ Result<std::vector<QueryHit>> QueryEngine::VisualTopKLocked(
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisualThreshold(
-    const std::string& kind, const ml::FeatureVector& feature,
-    double threshold) const {
+    const std::string& kind, const ml::FeatureVector& feature, double threshold,
+    const RequestContext* ctx, int probes_override) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  return VisualThresholdLocked(kind, feature, threshold);
+  return VisualThresholdLocked(kind, feature, threshold, ctx, probes_override);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisualThresholdLocked(
-    const std::string& kind, const ml::FeatureVector& feature,
-    double threshold) const {
+    const std::string& kind, const ml::FeatureVector& feature, double threshold,
+    const RequestContext* ctx, int probes_override) const {
   auto it = lsh_.find(kind);
   if (it == lsh_.end()) {
     return Status::NotFound("no feature index for kind: " + kind);
   }
+  if (ctx) TVDP_RETURN_IF_ERROR(ctx->Check());
+  auto ranked = it->second->RangeSearch(feature, threshold, ctx,
+                                        probes_override);
+  if (ctx) {
+    Status s = ctx->Check();
+    if (!s.ok()) {
+      return ContextError(s, "LSH probe/rank", ranked.size(), ranked.size());
+    }
+  }
   std::vector<QueryHit> out;
-  for (const auto& [id, dist] : it->second->RangeSearch(feature, threshold)) {
+  for (const auto& [id, dist] : ranked) {
     out.push_back(QueryHit{id, dist});
   }
   DedupHitsById(&out);
@@ -504,13 +563,16 @@ Result<bool> QueryEngine::VerifyLocked(RowId id, const HybridQuery& q,
   return true;
 }
 
-Result<std::vector<QueryHit>> QueryEngine::Execute(const HybridQuery& q) const {
+Result<std::vector<QueryHit>> QueryEngine::Execute(
+    const HybridQuery& q, const RequestContext* ctx,
+    const QueryBudget& budget) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  return ExecuteLocked(q);
+  return ExecuteLocked(q, ctx, budget);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::ExecuteLocked(
-    const HybridQuery& q) const {
+    const HybridQuery& q, const RequestContext* ctx,
+    const QueryBudget& budget) const {
   // Collect present predicate families and their selectivity estimates.
   std::vector<std::string> families;
   if (q.spatial) families.push_back("spatial");
@@ -526,6 +588,8 @@ Result<std::vector<QueryHit>> QueryEngine::ExecuteLocked(
   if (q.temporal && q.temporal->begin > q.temporal->end) {
     return Status::InvalidArgument("temporal range inverted: begin after end");
   }
+  // An already-failed context rejects before any index is touched.
+  if (ctx) TVDP_RETURN_IF_ERROR(ctx->Check());
 
   // kNN spatial and top-k visual predicates must seed (they are ranking
   // predicates, not filters). Otherwise pick the lowest-cardinality one.
@@ -550,31 +614,38 @@ Result<std::vector<QueryHit>> QueryEngine::ExecuteLocked(
   if (seed == "spatial") {
     switch (q.spatial->kind) {
       case SpatialPredicate::Kind::kRange: {
-        TVDP_ASSIGN_OR_RETURN(candidates, SpatialRangeLocked(q.spatial->range));
+        TVDP_ASSIGN_OR_RETURN(candidates,
+                              SpatialRangeLocked(q.spatial->range, ctx));
         break;
       }
       case SpatialPredicate::Kind::kKnn: {
-        TVDP_ASSIGN_OR_RETURN(candidates,
-                              SpatialKnnLocked(q.spatial->point, q.spatial->k));
+        TVDP_ASSIGN_OR_RETURN(
+            candidates, SpatialKnnLocked(q.spatial->point, q.spatial->k, ctx));
         break;
       }
       case SpatialPredicate::Kind::kVisibleAt: {
-        TVDP_ASSIGN_OR_RETURN(candidates, VisibleAtLocked(q.spatial->point));
+        TVDP_ASSIGN_OR_RETURN(candidates,
+                              VisibleAtLocked(q.spatial->point, ctx));
         break;
       }
     }
   } else if (seed == "visual") {
     if (q.visual->kind == VisualPredicate::Kind::kTopK) {
-      // Over-fetch so post-filtering can still fill k results.
-      int fetch = q.visual->k * 4 + 16;
+      // Over-fetch so post-filtering can still fill k results; a degraded
+      // budget halves the over-fetch and respects the candidate cap.
+      int fetch = budget.degraded() ? q.visual->k * 2 + 8 : q.visual->k * 4 + 16;
+      if (budget.max_candidates > 0) {
+        fetch = std::min(fetch, static_cast<int>(budget.max_candidates));
+        fetch = std::max(fetch, q.visual->k);
+      }
+      TVDP_ASSIGN_OR_RETURN(
+          candidates, VisualTopKLocked(q.visual->feature_kind, q.visual->feature,
+                                       fetch, ctx, budget.lsh_probes));
+    } else {
       TVDP_ASSIGN_OR_RETURN(
           candidates,
-          VisualTopKLocked(q.visual->feature_kind, q.visual->feature, fetch));
-    } else {
-      TVDP_ASSIGN_OR_RETURN(candidates, VisualThresholdLocked(
-                                            q.visual->feature_kind,
-                                            q.visual->feature,
-                                            q.visual->threshold));
+          VisualThresholdLocked(q.visual->feature_kind, q.visual->feature,
+                                q.visual->threshold, ctx, budget.lsh_probes));
     }
   } else if (seed == "categorical") {
     TVDP_ASSIGN_OR_RETURN(candidates, CategoricalLocked(*q.categorical));
@@ -590,6 +661,15 @@ Result<std::vector<QueryHit>> QueryEngine::ExecuteLocked(
   // returned — at most once.
   DedupHitsById(&candidates);
 
+  // Degraded plans bound the verification work no matter which family
+  // seeded. For visual seeds the list is distance-sorted, so the cap keeps
+  // the best candidates.
+  size_t capped_from = 0;
+  if (budget.max_candidates > 0 && candidates.size() > budget.max_candidates) {
+    capped_from = candidates.size();
+    candidates.resize(budget.max_candidates);
+  }
+
   std::string verify_list;
   for (const auto& f : families) {
     if (f != seed) verify_list += (verify_list.empty() ? "" : " ") + f;
@@ -598,6 +678,10 @@ Result<std::vector<QueryHit>> QueryEngine::ExecuteLocked(
     std::lock_guard<std::mutex> plan_lock(plan_mutex_);
     last_plan_ = StrFormat("seed=%s(%zu) verify=[%s]", seed.c_str(),
                            candidates.size(), verify_list.c_str());
+    if (capped_from > 0) {
+      last_plan_ += StrFormat(" cap=%zu/%zu", candidates.size(), capped_from);
+    }
+    if (budget.degraded()) last_plan_ += " degraded";
   }
 
   // Verify remaining predicates per candidate. Large candidate sets fan
@@ -609,19 +693,34 @@ Result<std::vector<QueryHit>> QueryEngine::ExecuteLocked(
   for (size_t i = 0; i < candidates.size(); ++i) {
     distances[i] = candidates[i].visual_distance;
   }
+  std::atomic<size_t> verified{0};
   auto verify_span = [&](size_t chunk_begin, size_t chunk_end) -> Status {
     for (size_t i = chunk_begin; i < chunk_end; ++i) {
       TVDP_ASSIGN_OR_RETURN(
           bool ok_hit,
           VerifyLocked(candidates[i].image_id, q, seed, &distances[i]));
       keep[i] = ok_hit ? 1 : 0;
+      verified.fetch_add(1, std::memory_order_relaxed);
     }
     return Status::OK();
   };
-  if (candidates.size() >= kParallelVerifyMin) {
-    TVDP_RETURN_IF_ERROR(pool_->ParallelFor(candidates.size(), 16, verify_span));
+  Status verify_status = Status::OK();
+  if (ctx && candidates.size() >= kParallelVerifyMin) {
+    verify_status = pool_->ParallelFor(*ctx, candidates.size(), 16, verify_span);
+  } else if (candidates.size() >= kParallelVerifyMin) {
+    verify_status = pool_->ParallelFor(candidates.size(), 16, verify_span);
   } else {
-    TVDP_RETURN_IF_ERROR(verify_span(0, candidates.size()));
+    if (ctx) verify_status = ctx->Check();
+    if (verify_status.ok()) verify_status = verify_span(0, candidates.size());
+  }
+  if (!verify_status.ok()) {
+    if (verify_status.code() == StatusCode::kDeadlineExceeded ||
+        verify_status.code() == StatusCode::kCancelled) {
+      return ContextError(verify_status, "hybrid verify",
+                          verified.load(std::memory_order_relaxed),
+                          candidates.size());
+    }
+    return verify_status;
   }
 
   std::vector<QueryHit> out;

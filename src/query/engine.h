@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/context.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "geo/fov.h"
@@ -65,28 +66,44 @@ class QueryEngine {
                       const ml::FeatureVector& feature);
 
   // --- Single-modality queries (Sec. IV-C's five families) ---
+  //
+  // Every query method accepts an optional RequestContext. A non-null
+  // context is checked before the indexes are touched and again at every
+  // parallel chunk boundary inside the heavy loops; an expired or
+  // cancelled context surfaces as kDeadlineExceeded / kCancelled with
+  // partial-progress metadata in the status message, and no partial
+  // results escape.
 
   /// Spatial: images whose FOV (or camera point if no FOV) intersects box.
-  Result<std::vector<QueryHit>> SpatialRange(const geo::BoundingBox& box) const;
+  Result<std::vector<QueryHit>> SpatialRange(
+      const geo::BoundingBox& box, const RequestContext* ctx = nullptr) const;
 
   /// Spatial: k nearest camera locations, ordered by exact geodesic
   /// distance (candidates over-fetched by index distance, then re-ranked).
-  Result<std::vector<QueryHit>> SpatialKnn(const geo::GeoPoint& p, int k) const;
+  Result<std::vector<QueryHit>> SpatialKnn(const geo::GeoPoint& p, int k,
+                                           const RequestContext* ctx =
+                                               nullptr) const;
 
   /// Spatial: images whose FOV sees point p.
-  Result<std::vector<QueryHit>> VisibleAt(const geo::GeoPoint& p) const;
+  Result<std::vector<QueryHit>> VisibleAt(
+      const geo::GeoPoint& p, const RequestContext* ctx = nullptr) const;
 
   /// Visual: approximate top-k similar images by feature kind. Each image
   /// appears at most once (the closest of its stored vectors).
+  /// `probes_override` >= 0 substitutes the LSH multi-probe budget for
+  /// this query (degraded plans).
   Result<std::vector<QueryHit>> VisualTopK(const std::string& kind,
                                            const ml::FeatureVector& feature,
-                                           int k) const;
+                                           int k,
+                                           const RequestContext* ctx = nullptr,
+                                           int probes_override = -1) const;
 
   /// Visual: all images within a feature-distance threshold, deduplicated
   /// by image id (closest match per image).
   Result<std::vector<QueryHit>> VisualThreshold(
       const std::string& kind, const ml::FeatureVector& feature,
-      double threshold) const;
+      double threshold, const RequestContext* ctx = nullptr,
+      int probes_override = -1) const;
 
   /// Categorical: images annotated with (classification, label).
   Result<std::vector<QueryHit>> Categorical(
@@ -105,8 +122,12 @@ class QueryEngine {
   /// Evaluates a hybrid query: the most selective indexed predicate seeds
   /// the candidate set, remaining predicates verify against the catalog.
   /// Every returned image id is unique, even when the image matches the
-  /// seed through multiple index entries.
-  Result<std::vector<QueryHit>> Execute(const HybridQuery& q) const;
+  /// seed through multiple index entries. `budget` tightens the plan under
+  /// degraded serving (smaller LSH probe budget, capped candidate set,
+  /// reduced over-fetch); the cap is recorded in the plan string.
+  Result<std::vector<QueryHit>> Execute(
+      const HybridQuery& q, const RequestContext* ctx = nullptr,
+      const QueryBudget& budget = QueryBudget()) const;
 
   /// Spatial-visual top-k through the hybrid VisualRTree (single index,
   /// blended alpha score) — the paper's hybrid-index fast path.
@@ -150,22 +171,27 @@ class QueryEngine {
   Status IndexFeatureLocked(storage::RowId image_id, const std::string& kind,
                             const ml::FeatureVector& feature);
   Result<std::vector<QueryHit>> SpatialRangeLocked(
-      const geo::BoundingBox& box) const;
-  Result<std::vector<QueryHit>> SpatialKnnLocked(const geo::GeoPoint& p,
-                                                 int k) const;
-  Result<std::vector<QueryHit>> VisibleAtLocked(const geo::GeoPoint& p) const;
+      const geo::BoundingBox& box, const RequestContext* ctx = nullptr) const;
+  Result<std::vector<QueryHit>> SpatialKnnLocked(
+      const geo::GeoPoint& p, int k, const RequestContext* ctx = nullptr) const;
+  Result<std::vector<QueryHit>> VisibleAtLocked(
+      const geo::GeoPoint& p, const RequestContext* ctx = nullptr) const;
   Result<std::vector<QueryHit>> VisualTopKLocked(
-      const std::string& kind, const ml::FeatureVector& feature, int k) const;
+      const std::string& kind, const ml::FeatureVector& feature, int k,
+      const RequestContext* ctx = nullptr, int probes_override = -1) const;
   Result<std::vector<QueryHit>> VisualThresholdLocked(
       const std::string& kind, const ml::FeatureVector& feature,
-      double threshold) const;
+      double threshold, const RequestContext* ctx = nullptr,
+      int probes_override = -1) const;
   Result<std::vector<QueryHit>> CategoricalLocked(
       const CategoricalPredicate& pred) const;
   Result<std::vector<QueryHit>> TextualLocked(
       const TextualPredicate& pred) const;
   Result<std::vector<QueryHit>> TemporalLocked(Timestamp begin,
                                                Timestamp end) const;
-  Result<std::vector<QueryHit>> ExecuteLocked(const HybridQuery& q) const;
+  Result<std::vector<QueryHit>> ExecuteLocked(
+      const HybridQuery& q, const RequestContext* ctx = nullptr,
+      const QueryBudget& budget = QueryBudget()) const;
 
   /// Estimated result cardinality of each predicate (lower = run first).
   double EstimateSelectivity(const HybridQuery& q,

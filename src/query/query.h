@@ -70,6 +70,23 @@ struct HybridQuery {
   int limit = 0;
 };
 
+/// Per-query resource budget. The default-constructed budget means "no
+/// override": the engine uses index-configured probe counts and carries
+/// every seed candidate into verification. Degraded plans (admission
+/// controller under overload) substitute a cheaper budget — fewer LSH
+/// probes and a hard cap on hybrid candidates — trading recall for
+/// latency.
+struct QueryBudget {
+  /// Multi-probe LSH budget per table; -1 = the index default.
+  int lsh_probes = -1;
+  /// Cap on seed candidates carried into hybrid verification (and on the
+  /// visual over-fetch); 0 = uncapped.
+  size_t max_candidates = 0;
+
+  /// True when any knob deviates from the full-fidelity plan.
+  bool degraded() const { return lsh_probes >= 0 || max_candidates > 0; }
+};
+
 /// One result row.
 struct QueryHit {
   int64_t image_id = 0;

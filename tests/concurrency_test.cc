@@ -10,13 +10,16 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "platform/api.h"
 #include "platform/export.h"
+#include "platform/model_registry.h"
 #include "platform/tvdp.h"
 #include "query/engine.h"
 #include "query/query.h"
@@ -346,6 +349,80 @@ TEST(ConcurrencyStressTest, DurableReadersVsWriterWithCompaction) {
 
   std::string cmd = "rm -rf '" + dir + "'";
   (void)std::system(cmd.c_str());
+}
+
+TEST(ConcurrencyStressTest, RevokeApiKeyVsInFlightRequests) {
+  auto created = Tvdp::Create();
+  ASSERT_TRUE(created.ok());
+  Tvdp tvdp = std::move(created).value();
+  std::vector<int64_t> seed_ids;
+  SeedCorpus(tvdp, 16, &seed_ids);
+  platform::ModelRegistry registry;
+  platform::ApiService api(&tvdp, &registry);
+
+  // A rotating pool of keys; the churner revokes one and mints its
+  // replacement while callers keep issuing requests with whatever key is
+  // current. The key table itself (api internals) is what's under test;
+  // this local mutex only keeps the test's key *list* coherent.
+  constexpr size_t kKeys = 4;
+  std::mutex keys_mutex;
+  std::vector<std::string> keys;
+  for (size_t i = 0; i < kKeys; ++i) {
+    keys.push_back(api.CreateApiKey("owner" + std::to_string(i)));
+  }
+  auto key_at = [&](size_t i) {
+    std::lock_guard<std::mutex> lock(keys_mutex);
+    return keys[i % kKeys];
+  };
+
+  const int passes = EnvOr("TVDP_STRESS_PASSES", 48) * 4;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> denied_count{0};
+  std::vector<std::thread> callers;
+  for (int r = 0; r < 4; ++r) {
+    callers.emplace_back([&, r] {
+      Json search = Json::MakeObject();
+      Json bbox = Json::MakeArray();
+      bbox.Append(33.99);
+      bbox.Append(-118.31);
+      bbox.Append(34.12);
+      bbox.Append(-118.19);
+      search["bbox"] = std::move(bbox);
+      for (int i = 0; i < passes; ++i) {
+        Json env = api.HandleEnvelope(key_at(static_cast<size_t>(r + i)),
+                                      "search_datasets", search);
+        if (env["status"].AsString() == "ok") {
+          ok_count.fetch_add(1);
+        } else {
+          // The only legal failure is losing the race with a revocation.
+          EXPECT_EQ(env["code"].AsString(), "PermissionDenied") << env.Dump();
+          denied_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread churner([&] {
+    for (int i = 0; i < passes; ++i) {
+      std::string fresh = api.CreateApiKey("owner" + std::to_string(i % 4));
+      std::string stale;
+      {
+        std::lock_guard<std::mutex> lock(keys_mutex);
+        std::swap(stale, keys[static_cast<size_t>(i) % kKeys]);
+        keys[static_cast<size_t>(i) % kKeys] = fresh;
+      }
+      EXPECT_TRUE(api.RevokeApiKey(stale).ok());
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : callers) t.join();
+  churner.join();
+
+  EXPECT_EQ(ok_count.load() + denied_count.load(), passes * 4);
+  EXPECT_GT(ok_count.load(), 0);
+  // Revoked keys must really be dead afterwards.
+  Json env = api.HandleEnvelope("tvdp-bogus", "search_datasets",
+                                Json::MakeObject());
+  EXPECT_EQ(env["code"].AsString(), "PermissionDenied");
 }
 
 }  // namespace

@@ -458,6 +458,30 @@ TEST_F(ApiTest, ErrorEnvelopes) {
   EXPECT_EQ(ok_env["status"].AsString(), "error");
 }
 
+TEST_F(ApiTest, EnvelopeNumericCodesAndPrecedence) {
+  // A bad key on an unknown endpoint is an authentication failure, not a
+  // routing one: PermissionDenied must win regardless of which check a
+  // naive numeric-code comparison would order first.
+  Json env = api_->HandleEnvelope("tvdp-bogus", "nonexistent",
+                                  Json::MakeObject());
+  EXPECT_EQ(env["code"].AsString(), "PermissionDenied");
+  EXPECT_EQ(env["error_code"].AsInt(),
+            static_cast<int>(StatusCode::kPermissionDenied));
+  EXPECT_FALSE(env["retryable"].AsBool());
+
+  // Bad key on a VALID endpoint: still PermissionDenied.
+  env = api_->HandleEnvelope("tvdp-bogus", "search_datasets",
+                             Json::MakeObject());
+  EXPECT_EQ(env["code"].AsString(), "PermissionDenied");
+
+  // Good key, unknown endpoint: NotFound, with its numeric code.
+  env = api_->HandleEnvelope(key_, "nonexistent", Json::MakeObject());
+  EXPECT_EQ(env["code"].AsString(), "NotFound");
+  EXPECT_EQ(env["error_code"].AsInt(),
+            static_cast<int>(StatusCode::kNotFound));
+  EXPECT_FALSE(env["retryable"].AsBool());
+}
+
 TEST_F(ApiTest, EndpointListStable) {
   EXPECT_EQ(api_->Endpoints().size(), 7u);
 }
