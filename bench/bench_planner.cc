@@ -1,0 +1,188 @@
+// Query-planner benchmark: hybrid-query latency with the cost-based seed
+// choice vs the worst-case predicate order, on a corpus with deliberately
+// skewed selectivities (a 10-image "needle" keyword against city-wide
+// spatial and temporal predicates). The planner should seed from the rare
+// term and verify ~10 rows; the worst-case order seeds from the broad
+// predicate and verifies the whole corpus. Emits a JSON summary after the
+// human-readable table; `planner_p50_speedup` is the headline number.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "platform/tvdp.h"
+#include "query/engine.h"
+#include "query/plan.h"
+#include "query/planner.h"
+#include "query/query.h"
+
+namespace tvdp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using platform::ImageRecord;
+using platform::Tvdp;
+
+constexpr Timestamp kT0 = 1546300800;
+
+/// Skewed corpus: every image carries broad keywords, timestamps and
+/// locations spanning the whole region; exactly `needles` images carry the
+/// rare "needle" keyword.
+Tvdp BuildCorpus(int n_images, int needles) {
+  auto created = Tvdp::Create();
+  if (!created.ok()) {
+    std::fprintf(stderr, "create: %s\n", created.status().ToString().c_str());
+    std::exit(1);
+  }
+  Tvdp tvdp = std::move(created).value();
+  Rng rng(23);
+  int needle_every = needles > 0 ? n_images / needles : n_images + 1;
+  for (int i = 0; i < n_images; ++i) {
+    ImageRecord rec;
+    rec.uri = "bench://planner/" + std::to_string(i);
+    rec.location = geo::GeoPoint{34.00 + rng.Uniform(0, 0.1),
+                                 -118.30 + rng.Uniform(0, 0.1)};
+    rec.captured_at = kT0 + i * 60;
+    rec.keywords = {"street", i % 2 == 0 ? "tent" : "clean"};
+    if (needle_every > 0 && i % needle_every == 0) {
+      rec.keywords.push_back("needle");
+    }
+    if (!tvdp.IngestImage(rec).ok()) std::exit(1);
+  }
+  return tvdp;
+}
+
+/// The skewed hybrid query: rare keyword AND city-wide spatial AND
+/// near-full temporal window.
+query::HybridQuery SkewedQuery(int n_images) {
+  query::HybridQuery q;
+  query::SpatialPredicate sp;
+  sp.kind = query::SpatialPredicate::Kind::kRange;
+  sp.range = geo::BoundingBox::FromCorners({33.99, -118.31}, {34.11, -118.19});
+  q.spatial = sp;
+  query::TextualPredicate tp;
+  tp.keywords = {"needle"};
+  q.textual = tp;
+  q.temporal = query::TemporalPredicate{kT0, kT0 + n_images * 60};
+  return q;
+}
+
+struct Percentiles {
+  double p50 = 0;
+  double p99 = 0;
+};
+
+Percentiles RunPlan(const Tvdp& tvdp, const query::HybridQuery& q,
+                    const std::string& force_seed, int iters,
+                    size_t* result_count) {
+  query::PlannerOptions options;
+  options.force_seed = force_seed;
+  std::vector<double> ms;
+  ms.reserve(static_cast<size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    auto start = Clock::now();
+    auto hits = tvdp.query().Execute(q, nullptr, query::QueryBudget(), nullptr,
+                                     options);
+    double elapsed =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    if (!hits.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   hits.status().ToString().c_str());
+      std::exit(1);
+    }
+    *result_count = hits->size();
+    ms.push_back(elapsed);
+  }
+  std::sort(ms.begin(), ms.end());
+  Percentiles p;
+  p.p50 = ms[ms.size() / 2];
+  p.p99 = ms[std::min(ms.size() - 1, ms.size() * 99 / 100)];
+  return p;
+}
+
+int Run() {
+  const int n_images = bench::EnvInt("TVDP_BENCH_N", 3000);
+  const int needles = bench::EnvInt("TVDP_BENCH_PLANNER_NEEDLES", 10);
+  const int iters = bench::EnvInt("TVDP_BENCH_PLANNER_ITERS", 60);
+
+  std::printf("== query planner: cost-based vs worst-case predicate order ==\n");
+  std::printf("corpus: %d images, %d carrying the rare keyword; %d query "
+              "iterations per plan\n\n",
+              n_images, needles, iters);
+
+  Tvdp tvdp = BuildCorpus(n_images, needles);
+  query::HybridQuery q = SkewedQuery(n_images);
+
+  // What does the planner choose on its own?
+  auto explain = tvdp.query().Explain(q);
+  if (!explain.ok()) {
+    std::fprintf(stderr, "explain: %s\n",
+                 explain.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("planner-chosen seed: %s\n", explain->seed_family.c_str());
+
+  // Candidate orders: the planner's own choice plus every forced seed; the
+  // worst case is whichever forced order has the slowest p50.
+  size_t count_chosen = 0;
+  Percentiles chosen = RunPlan(tvdp, q, "", iters, &count_chosen);
+  std::printf("%-18s %10s %10s %8s\n", "plan", "p50 ms", "p99 ms", "hits");
+  std::printf("%-18s %10.3f %10.3f %8zu\n", "planner-chosen", chosen.p50,
+              chosen.p99, count_chosen);
+
+  Json orders = Json::MakeObject();
+  Percentiles worst = chosen;
+  std::string worst_seed = explain->seed_family;
+  for (const std::string seed : {"spatial", "textual", "temporal"}) {
+    size_t count = 0;
+    Percentiles p = RunPlan(tvdp, q, seed, iters, &count);
+    if (count != count_chosen) {
+      std::fprintf(stderr,
+                   "result mismatch: seed=%s returned %zu hits, planner "
+                   "returned %zu\n",
+                   seed.c_str(), count, count_chosen);
+      return 1;
+    }
+    std::printf("seed=%-13s %10.3f %10.3f %8zu\n", seed.c_str(), p.p50, p.p99,
+                count);
+    Json o = Json::MakeObject();
+    o["p50_ms"] = p.p50;
+    o["p99_ms"] = p.p99;
+    orders[seed] = std::move(o);
+    if (p.p50 > worst.p50) {
+      worst = p;
+      worst_seed = seed;
+    }
+  }
+
+  double speedup = chosen.p50 > 0 ? worst.p50 / chosen.p50 : 0;
+  std::printf("\nworst order: seed=%s; planner p50 speedup: %.1fx\n",
+              worst_seed.c_str(), speedup);
+
+  Json summary = Json::MakeObject();
+  summary["images"] = n_images;
+  summary["needles"] = needles;
+  summary["iters"] = iters;
+  summary["planner_seed"] = explain->seed_family;
+  summary["planner_p50_ms"] = chosen.p50;
+  summary["planner_p99_ms"] = chosen.p99;
+  summary["worst_seed"] = worst_seed;
+  summary["worst_p50_ms"] = worst.p50;
+  summary["worst_p99_ms"] = worst.p99;
+  summary["planner_p50_speedup"] = speedup;
+  summary["forced_orders"] = std::move(orders);
+  std::printf("JSON: %s\n", summary.Dump().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tvdp
+
+int main() { return tvdp::Run(); }

@@ -154,7 +154,7 @@ int main(int argc, char** argv) {
     if (!resp.ok()) return 1;
     std::printf("LASAN work queue '%s': %lld locations (plan: %s)\n", problem,
                 static_cast<long long>((*resp)["count"].AsInt()),
-                (*resp)["plan"].AsString().c_str());
+                (*resp)["plan"]["summary"].AsString().c_str());
   }
   return 0;
 }

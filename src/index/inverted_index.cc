@@ -33,6 +33,21 @@ size_t InvertedIndex::DocumentFrequency(const std::string& term) const {
   return it == postings_.end() ? 0 : it->second.size();
 }
 
+double InvertedIndex::CardinalityEstimate(
+    const std::vector<std::string>& terms, bool conjunctive) const {
+  if (terms.empty()) return 0;
+  double est = conjunctive ? static_cast<double>(document_count()) : 0;
+  for (const std::string& t : terms) {
+    double df = static_cast<double>(DocumentFrequency(t));
+    if (conjunctive) {
+      est = std::min(est, df);
+    } else {
+      est += df;
+    }
+  }
+  return std::min(est, static_cast<double>(document_count()));
+}
+
 std::vector<RecordId> InvertedIndex::QueryAnd(
     const std::vector<std::string>& terms) const {
   if (terms.empty()) return {};

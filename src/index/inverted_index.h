@@ -40,6 +40,14 @@ class InvertedIndex {
   /// Documents containing `term`.
   size_t DocumentFrequency(const std::string& term) const;
 
+  /// Statistics hook for the query planner: estimated result size of a
+  /// boolean query over `terms`. Conjunctive: the rarest term's document
+  /// frequency (an upper bound, exact for single terms). Disjunctive: the
+  /// summed frequencies capped at the corpus size (an upper bound). Never
+  /// touches posting-list contents.
+  double CardinalityEstimate(const std::vector<std::string>& terms,
+                             bool conjunctive) const;
+
  private:
   struct Posting {
     RecordId id;

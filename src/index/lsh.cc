@@ -152,6 +152,35 @@ std::vector<std::pair<RecordId, double>> LshIndex::RankCandidates(
   return out;
 }
 
+double LshIndex::CardinalityEstimate(const ml::FeatureVector& query,
+                                     int probes_override) const {
+  if (query.size() != dim_ || vectors_.empty()) return 0;
+  int probes = probes_override >= 0 ? probes_override : options_.probes;
+  // Mirror CollectCandidates' bucket enumeration, but only count distinct
+  // slots — no per-table lists, no ranking, no instrumentation update.
+  std::vector<bool> seen(vectors_.size(), false);
+  size_t distinct = 0;
+  for (size_t t = 0; t < static_cast<size_t>(options_.num_tables); ++t) {
+    auto count_bucket = [&](int perturb_index, int perturb_delta) {
+      auto it = tables_[t].find(Signature(query, static_cast<int>(t),
+                                          perturb_index, perturb_delta));
+      if (it == tables_[t].end()) return;
+      for (RecordId slot : it->second) {
+        if (!seen[static_cast<size_t>(slot)]) {
+          seen[static_cast<size_t>(slot)] = true;
+          ++distinct;
+        }
+      }
+    };
+    count_bucket(-1, 0);
+    for (int p = 0; p < probes && p < options_.hashes_per_table; ++p) {
+      count_bucket(p, +1);
+      count_bucket(p, -1);
+    }
+  }
+  return static_cast<double>(distinct);
+}
+
 std::vector<std::pair<RecordId, double>> LshIndex::KNearest(
     const ml::FeatureVector& query, int k, const RequestContext* ctx,
     int probes_override) const {

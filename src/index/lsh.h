@@ -63,6 +63,15 @@ class LshIndex {
       const ml::FeatureVector& query, double threshold,
       const RequestContext* ctx = nullptr, int probes_override = -1) const;
 
+  /// Statistics hook for the query planner: the number of distinct
+  /// candidates the configured (or overridden) probe budget would surface
+  /// for `query` — bucket lookups and a seen-bitmap only, no distance
+  /// arithmetic. This is the exact candidate count the subsequent
+  /// KNearest/RangeSearch would rank, so threshold-predicate selectivity
+  /// estimates are as accurate as the hash family allows.
+  double CardinalityEstimate(const ml::FeatureVector& query,
+                             int probes_override = -1) const;
+
   size_t size() const { return vectors_.size(); }
   size_t dim() const { return dim_; }
 

@@ -69,6 +69,14 @@ class OrientedRTree {
   std::vector<RecordId> PointQuery(const geo::GeoPoint& p,
                                    const RequestContext* ctx = nullptr) const;
 
+  /// Statistics hook for the query planner: estimated number of FOVs
+  /// whose scene MBR intersects `query` (the filter step; exact sector
+  /// refinement typically keeps most of them). Delegates to the underlying
+  /// R-tree estimate — never materializes candidates.
+  double CardinalityEstimate(const geo::BoundingBox& query) const {
+    return tree_.CardinalityEstimate(query);
+  }
+
   size_t size() const { return fovs_.size(); }
 
   /// Candidate count examined by the last Range/Point query; exposes the

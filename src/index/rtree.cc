@@ -319,6 +319,54 @@ std::vector<RecordId> RTree::RangeSearch(
   return out;
 }
 
+namespace {
+
+/// Fraction of `box` covered by `query` under a uniform-density
+/// assumption. Degenerate boxes (points, lines) are all-or-nothing.
+double OverlapFraction(const geo::BoundingBox& box,
+                       const geo::BoundingBox& query) {
+  if (!box.Intersects(query)) return 0;
+  double area = box.AreaDeg2();
+  if (area <= 0) return 1;
+  geo::BoundingBox overlap = box.Intersection(query);
+  if (overlap.IsEmpty()) return 0;
+  return std::min(1.0, overlap.AreaDeg2() / area);
+}
+
+}  // namespace
+
+double RTree::EstimateNode(int node, const geo::BoundingBox& query,
+                           double weight, int levels_left) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.entries.empty()) return 0;
+  double share = weight / static_cast<double>(n.entries.size());
+  double est = 0;
+  if (n.leaf) {
+    // Leaf level is exact: count intersecting entries.
+    size_t count = 0;
+    for (const Entry& e : n.entries) {
+      if (e.box.Intersects(query)) ++count;
+    }
+    return share * static_cast<double>(count);
+  }
+  for (const Entry& e : n.entries) {
+    if (!e.box.Intersects(query)) continue;
+    if (levels_left > 0) {
+      est += EstimateNode(e.child, query, share, levels_left - 1);
+    } else {
+      est += share * OverlapFraction(e.box, query);
+    }
+  }
+  return est;
+}
+
+double RTree::CardinalityEstimate(const geo::BoundingBox& query) const {
+  if (root_ < 0 || size_ == 0 || query.IsEmpty()) return 0;
+  // `weight` apportions the total entry count down the tree assuming equal
+  // subtree sizes per entry — cheap, and close enough for seed ordering.
+  return EstimateNode(root_, query, static_cast<double>(size_), 2);
+}
+
 std::vector<RecordId> RTree::KNearest(const geo::GeoPoint& point,
                                       int k) const {
   std::vector<RecordId> out;

@@ -56,6 +56,12 @@ class RTree {
   /// All record ids whose boxes intersect `query`.
   std::vector<RecordId> RangeSearch(const geo::BoundingBox& query) const;
 
+  /// Statistics hook for the query planner: estimated number of entries
+  /// whose boxes intersect `query`, without materializing them. Descends
+  /// two levels of the tree and assumes uniform density (and equal subtree
+  /// sizes) below — O(fan-out^2), never O(result). Exact at leaf level.
+  double CardinalityEstimate(const geo::BoundingBox& query) const;
+
   /// The `k` records whose boxes are nearest to `point` (by box
   /// min-distance in degree space, then insertion order for ties).
   std::vector<RecordId> KNearest(const geo::GeoPoint& point, int k) const;
@@ -81,6 +87,8 @@ class RTree {
 
   int NewNode(bool leaf);
   geo::BoundingBox NodeBox(int node) const;
+  double EstimateNode(int node, const geo::BoundingBox& query, double weight,
+                      int levels_left) const;
   int ChooseLeaf(int node, const geo::BoundingBox& box, int target_level,
                  int level, std::vector<int>* path) const;
   /// Splits `node` in place; returns the new sibling node index.

@@ -29,6 +29,18 @@ std::vector<RecordId> TemporalIndex::RangeSearch(Timestamp begin,
   return out;
 }
 
+double TemporalIndex::CardinalityEstimate(Timestamp begin,
+                                          Timestamp end) const {
+  if (begin > end) return 0;
+  auto lo = std::lower_bound(
+      entries_.begin(), entries_.end(), begin,
+      [](const auto& e, Timestamp t) { return e.first < t; });
+  auto hi = std::upper_bound(
+      entries_.begin(), entries_.end(), end,
+      [](Timestamp t, const auto& e) { return t < e.first; });
+  return static_cast<double>(hi - lo);
+}
+
 std::vector<RecordId> TemporalIndex::MostRecent(Timestamp as_of, int k) const {
   std::vector<RecordId> out;
   if (k <= 0) return out;

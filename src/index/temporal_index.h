@@ -33,6 +33,11 @@ class TemporalIndex {
   /// The `k` most recent records at or before `as_of`, newest first.
   std::vector<RecordId> MostRecent(Timestamp as_of, int k) const;
 
+  /// Statistics hook for the query planner: number of entries in
+  /// [begin, end]. Exact (two binary searches on the sorted array) and
+  /// O(log n) — the temporal "estimate" is really a count.
+  double CardinalityEstimate(Timestamp begin, Timestamp end) const;
+
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 

@@ -171,6 +171,43 @@ Status VisualRTree::Insert(const geo::GeoPoint& location,
   return Status::OK();
 }
 
+double VisualRTree::EstimateNode(int node, const geo::BoundingBox& query,
+                                 double weight, int levels_left) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.entries.empty()) return 0;
+  double share = weight / static_cast<double>(n.entries.size());
+  if (n.leaf) {
+    size_t count = 0;
+    for (const Entry& e : n.entries) {
+      if (e.box.Intersects(query)) ++count;
+    }
+    return share * static_cast<double>(count);
+  }
+  double est = 0;
+  for (const Entry& e : n.entries) {
+    if (!e.box.Intersects(query)) continue;
+    if (levels_left > 0) {
+      est += EstimateNode(e.child, query, share, levels_left - 1);
+    } else {
+      double area = e.box.AreaDeg2();
+      if (area <= 0) {
+        est += share;
+      } else {
+        geo::BoundingBox overlap = e.box.Intersection(query);
+        est += share * (overlap.IsEmpty()
+                            ? 0.0
+                            : std::min(1.0, overlap.AreaDeg2() / area));
+      }
+    }
+  }
+  return est;
+}
+
+double VisualRTree::CardinalityEstimate(const geo::BoundingBox& box) const {
+  if (root_ < 0 || size_ == 0 || box.IsEmpty()) return 0;
+  return EstimateNode(root_, box, static_cast<double>(size_), 2);
+}
+
 std::vector<VisualRTree::Hit> VisualRTree::TopK(
     const geo::GeoPoint& location, const ml::FeatureVector& feature, int k,
     double alpha) const {

@@ -59,6 +59,14 @@ class VisualRTree {
                                const ml::FeatureVector& feature,
                                double threshold) const;
 
+  /// Statistics hook for the query planner: estimated number of records
+  /// whose location falls inside `box`, from the spatial half of the
+  /// hybrid tree (two-level descent, uniform assumption below — same
+  /// scheme as RTree::CardinalityEstimate). Feature-space selectivity is
+  /// not modelled; callers combine this with an LSH estimate when both
+  /// predicates are present.
+  double CardinalityEstimate(const geo::BoundingBox& box) const;
+
   size_t size() const { return size_; }
   size_t feature_dim() const { return dim_; }
 
@@ -94,6 +102,8 @@ class VisualRTree {
   geo::BoundingBox NodeBox(int node) const;
   FeatureRect NodeRect(int node) const;
   int SplitNode(int node);
+  double EstimateNode(int node, const geo::BoundingBox& query, double weight,
+                      int levels_left) const;
 
   size_t dim_;
   Options options_;

@@ -33,6 +33,74 @@ Json FeatureToJson(const ml::FeatureVector& v) {
   return out;
 }
 
+/// Request → HybridQuery translation shared by search_datasets and
+/// explain_query, so an explained plan always describes exactly the query
+/// that a search with the same body would run.
+Result<query::HybridQuery> ParseSearchQuery(const Json& request) {
+  query::HybridQuery q;
+  if (request.Has("bbox")) {
+    const Json& b = request["bbox"];
+    if (b.size() != 4) {
+      return Status::InvalidArgument(
+          "bbox must be [min_lat, min_lon, max_lat, max_lon]");
+    }
+    for (const Json& v : b.AsArray()) {
+      if (!v.is_number()) {
+        return Status::InvalidArgument("bbox entries must be numbers");
+      }
+    }
+    query::SpatialPredicate sp;
+    sp.kind = query::SpatialPredicate::Kind::kRange;
+    sp.range.min_lat = b.AsArray()[0].AsDouble();
+    sp.range.min_lon = b.AsArray()[1].AsDouble();
+    sp.range.max_lat = b.AsArray()[2].AsDouble();
+    sp.range.max_lon = b.AsArray()[3].AsDouble();
+    q.spatial = sp;
+  }
+  if (request.Has("keywords")) {
+    query::TextualPredicate tp;
+    tp.mode = request["keyword_mode"].AsString() == "or"
+                  ? query::TextualPredicate::Mode::kOr
+                  : query::TextualPredicate::Mode::kAnd;
+    for (const Json& kw : request["keywords"].AsArray()) {
+      tp.keywords.push_back(kw.AsString());
+    }
+    q.textual = tp;
+  }
+  if (request.Has("time_begin") && request.Has("time_end")) {
+    q.temporal = query::TemporalPredicate{request["time_begin"].AsInt(),
+                                          request["time_end"].AsInt()};
+  }
+  if (request.Has("classification") && request.Has("label")) {
+    query::CategoricalPredicate cp;
+    cp.classification = request["classification"].AsString();
+    cp.label = request["label"].AsString();
+    if (request.Has("min_confidence")) {
+      cp.min_confidence = request["min_confidence"].AsDouble();
+    }
+    q.categorical = cp;
+  }
+  if (request.Has("feature")) {
+    if (!request.Has("feature_kind")) {
+      return Status::InvalidArgument("feature requires feature_kind");
+    }
+    query::VisualPredicate vp;
+    vp.feature_kind = request["feature_kind"].AsString();
+    TVDP_ASSIGN_OR_RETURN(vp.feature, ParseFeature(request["feature"]));
+    if (request.Has("threshold")) {
+      vp.kind = query::VisualPredicate::Kind::kThreshold;
+      vp.threshold = request["threshold"].AsDouble();
+    } else {
+      vp.kind = query::VisualPredicate::Kind::kTopK;
+      vp.k = request.Has("k") ? static_cast<int>(request["k"].AsInt()) : 10;
+      if (vp.k <= 0) return Status::InvalidArgument("k must be positive");
+    }
+    q.visual = vp;
+  }
+  if (request.Has("limit")) q.limit = static_cast<int>(request["limit"].AsInt());
+  return q;
+}
+
 }  // namespace
 
 ApiService::ApiService(Tvdp* platform, ModelRegistry* registry,
@@ -68,9 +136,9 @@ Result<std::string> ApiService::KeyOwner(const std::string& key) const {
 }
 
 std::vector<std::string> ApiService::Endpoints() const {
-  return {"add_data",        "search_datasets", "download_datasets",
-          "get_visual_features", "use_model",   "download_model",
-          "register_model"};
+  return {"add_data",        "search_datasets", "explain_query",
+          "download_datasets",   "get_visual_features",
+          "use_model",       "download_model",  "register_model"};
 }
 
 Result<Json> ApiService::HandleRequest(const std::string& api_key,
@@ -151,6 +219,7 @@ Result<Json> ApiService::Dispatch(const std::string& owner,
                                   const query::QueryBudget& budget) {
   if (endpoint == "add_data") return AddData(owner, request);
   if (endpoint == "search_datasets") return SearchDatasets(request, ctx, budget);
+  if (endpoint == "explain_query") return ExplainQuery(request, budget);
   if (endpoint == "download_datasets") return DownloadDatasets(request, ctx);
   if (endpoint == "get_visual_features") return GetVisualFeatures(request);
   if (endpoint == "use_model") return UseModel(request);
@@ -238,76 +307,27 @@ Result<Json> ApiService::AddData(const std::string& owner,
 Result<Json> ApiService::SearchDatasets(const Json& request,
                                         const RequestContext& ctx,
                                         const query::QueryBudget& budget) {
-  query::HybridQuery q;
-  if (request.Has("bbox")) {
-    const Json& b = request["bbox"];
-    if (b.size() != 4) {
-      return Status::InvalidArgument(
-          "bbox must be [min_lat, min_lon, max_lat, max_lon]");
-    }
-    for (const Json& v : b.AsArray()) {
-      if (!v.is_number()) {
-        return Status::InvalidArgument("bbox entries must be numbers");
-      }
-    }
-    query::SpatialPredicate sp;
-    sp.kind = query::SpatialPredicate::Kind::kRange;
-    sp.range.min_lat = b.AsArray()[0].AsDouble();
-    sp.range.min_lon = b.AsArray()[1].AsDouble();
-    sp.range.max_lat = b.AsArray()[2].AsDouble();
-    sp.range.max_lon = b.AsArray()[3].AsDouble();
-    q.spatial = sp;
-  }
-  if (request.Has("keywords")) {
-    query::TextualPredicate tp;
-    tp.mode = request["keyword_mode"].AsString() == "or"
-                  ? query::TextualPredicate::Mode::kOr
-                  : query::TextualPredicate::Mode::kAnd;
-    for (const Json& kw : request["keywords"].AsArray()) {
-      tp.keywords.push_back(kw.AsString());
-    }
-    q.textual = tp;
-  }
-  if (request.Has("time_begin") && request.Has("time_end")) {
-    q.temporal = query::TemporalPredicate{request["time_begin"].AsInt(),
-                                          request["time_end"].AsInt()};
-  }
-  if (request.Has("classification") && request.Has("label")) {
-    query::CategoricalPredicate cp;
-    cp.classification = request["classification"].AsString();
-    cp.label = request["label"].AsString();
-    if (request.Has("min_confidence")) {
-      cp.min_confidence = request["min_confidence"].AsDouble();
-    }
-    q.categorical = cp;
-  }
-  if (request.Has("feature")) {
-    if (!request.Has("feature_kind")) {
-      return Status::InvalidArgument("feature requires feature_kind");
-    }
-    query::VisualPredicate vp;
-    vp.feature_kind = request["feature_kind"].AsString();
-    TVDP_ASSIGN_OR_RETURN(vp.feature, ParseFeature(request["feature"]));
-    if (request.Has("threshold")) {
-      vp.kind = query::VisualPredicate::Kind::kThreshold;
-      vp.threshold = request["threshold"].AsDouble();
-    } else {
-      vp.kind = query::VisualPredicate::Kind::kTopK;
-      vp.k = request.Has("k") ? static_cast<int>(request["k"].AsInt()) : 10;
-      if (vp.k <= 0) return Status::InvalidArgument("k must be positive");
-    }
-    q.visual = vp;
-  }
-  if (request.Has("limit")) q.limit = static_cast<int>(request["limit"].AsInt());
-
+  TVDP_ASSIGN_OR_RETURN(query::HybridQuery q, ParseSearchQuery(request));
+  query::QueryPlan plan;
   TVDP_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
-                        platform_->ExecuteQuery(q, &ctx, budget));
+                        platform_->ExecuteQuery(q, &ctx, budget, &plan));
   Json ids = Json::MakeArray();
   for (const auto& h : hits) ids.Append(h.image_id);
   Json out = Json::MakeObject();
   out["image_ids"] = std::move(ids);
   out["count"] = hits.size();
-  out["plan"] = platform_->query().last_plan();
+  out["plan"] = plan.ToJson();
+  if (budget.degraded()) out["degraded"] = true;
+  return out;
+}
+
+Result<Json> ApiService::ExplainQuery(const Json& request,
+                                      const query::QueryBudget& budget) {
+  TVDP_ASSIGN_OR_RETURN(query::HybridQuery q, ParseSearchQuery(request));
+  TVDP_ASSIGN_OR_RETURN(query::QueryPlan plan,
+                        platform_->ExplainQuery(q, budget));
+  Json out = Json::MakeObject();
+  out["plan"] = plan.ToJson();
   if (budget.degraded()) out["degraded"] = true;
   return out;
 }

@@ -27,6 +27,10 @@ namespace tvdp::platform {
 ///   search_datasets  — hybrid search (spatial/temporal/textual/
 ///                      categorical filters plus a visual top-k or
 ///                      threshold seed via "feature"/"feature_kind").
+///                      The response carries the executed "plan" object
+///                      (operator tree, estimated vs actual rows).
+///   explain_query    — plan a search_datasets request without running
+///                      it; returns the deterministic plan object.
 ///   download_datasets— fetch metadata rows for a list of image ids.
 ///   get_visual_features — fetch stored feature vectors of an image.
 ///   use_model        — run a registered model on a feature or image id.
@@ -93,6 +97,8 @@ class ApiService {
   Result<Json> AddData(const std::string& owner, const Json& request);
   Result<Json> SearchDatasets(const Json& request, const RequestContext& ctx,
                               const query::QueryBudget& budget);
+  Result<Json> ExplainQuery(const Json& request,
+                            const query::QueryBudget& budget);
   Result<Json> DownloadDatasets(const Json& request, const RequestContext& ctx);
   Result<Json> GetVisualFeatures(const Json& request);
   Result<Json> UseModel(const Json& request);

@@ -219,8 +219,13 @@ Status Tvdp::StoreFeature(int64_t image_id, const std::string& kind,
 
 Result<std::vector<query::QueryHit>> Tvdp::ExecuteQuery(
     const query::HybridQuery& q, const RequestContext* ctx,
-    const query::QueryBudget& budget) const {
-  return engine_->Execute(q, ctx, budget);
+    const query::QueryBudget& budget, query::QueryPlan* plan_out) const {
+  return engine_->Execute(q, ctx, budget, plan_out);
+}
+
+Result<query::QueryPlan> Tvdp::ExplainQuery(
+    const query::HybridQuery& q, const query::QueryBudget& budget) const {
+  return engine_->Explain(q, budget);
 }
 
 size_t Tvdp::image_count() const {

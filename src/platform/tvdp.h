@@ -112,9 +112,17 @@ class Tvdp {
   /// Evaluates a hybrid query under the platform-wide shared lock,
   /// honoring an optional request context (deadline/cancellation) and a
   /// query budget (degraded plans) — the access-layer entry point used by
-  /// the API service.
+  /// the API service. When `plan_out` is non-null it receives the executed
+  /// plan (operator tree with estimated and actual cardinalities).
   Result<std::vector<query::QueryHit>> ExecuteQuery(
       const query::HybridQuery& q, const RequestContext* ctx = nullptr,
+      const query::QueryBudget& budget = query::QueryBudget(),
+      query::QueryPlan* plan_out = nullptr) const;
+
+  /// Plans a hybrid query without executing it (the `explain_query` API
+  /// endpoint). Deterministic for a given query and corpus state.
+  Result<query::QueryPlan> ExplainQuery(
+      const query::HybridQuery& q,
       const query::QueryBudget& budget = query::QueryBudget()) const;
 
   /// The platform-wide reader-writer lock (owned by the query engine so

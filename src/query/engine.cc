@@ -1,9 +1,7 @@
 #include "query/engine.h"
 
 #include <algorithm>
-#include <cmath>
 #include <set>
-#include <unordered_set>
 
 #include "common/strings.h"
 
@@ -15,54 +13,24 @@ using storage::Table;
 using storage::Value;
 namespace tables = storage::tables;
 
-namespace {
-
-/// Below this many candidates a hybrid verification runs sequentially —
-/// scheduling would cost more than the verification itself.
-constexpr size_t kParallelVerifyMin = 64;
-
-/// Below this many kNN candidates the exact-distance re-rank runs inline.
-constexpr size_t kParallelKnnRerankMin = 64;
-
-/// Keeps the first hit per image id, preserving order. Seeds such as LSH
-/// (one entry per stored vector) can surface the same image several times;
-/// hits arrive sorted by distance for visual seeds, so "first" is also
-/// "closest".
-void DedupHitsById(std::vector<QueryHit>* hits) {
-  std::unordered_set<int64_t> seen;
-  seen.reserve(hits->size());
-  size_t w = 0;
-  for (size_t r = 0; r < hits->size(); ++r) {
-    if (seen.insert((*hits)[r].image_id).second) {
-      (*hits)[w++] = (*hits)[r];
-    }
-  }
-  hits->resize(w);
-}
-
-std::vector<QueryHit> ToHits(const std::vector<index::RecordId>& ids) {
-  std::vector<QueryHit> out;
-  out.reserve(ids.size());
-  for (index::RecordId id : ids) out.push_back(QueryHit{id, 0});
-  return out;
-}
-
-/// Annotates a failed-context status with where the query stopped and how
-/// far it got, e.g. "request deadline exceeded during hybrid verify
-/// (120/400 candidates verified)". Partial results themselves are
-/// discarded; only this progress metadata escapes.
-Status ContextError(const Status& s, const char* stage, size_t done,
-                    size_t total) {
-  return Status(s.code(), StrFormat("%s during %s (%zu/%zu candidates)",
-                                    s.message().c_str(), stage, done, total));
-}
-
-}  // namespace
-
 QueryEngine::QueryEngine(storage::Catalog* catalog, ThreadPool* pool)
     : catalog_(catalog),
       pool_(pool ? pool : &ThreadPool::Shared()),
       fovs_(index::OrientedRTree::Options{16, pool_}) {}
+
+AccessPaths QueryEngine::PathsLocked() const {
+  AccessPaths paths;
+  paths.catalog = catalog_;
+  paths.pool = pool_;
+  paths.points = &points_;
+  paths.fovs = &fovs_;
+  paths.temporal = &temporal_;
+  paths.keywords = &keywords_;
+  paths.lsh = &lsh_;
+  paths.visual_rtree = &visual_rtree_;
+  paths.indexed_images = indexed_images();
+  return paths;
+}
 
 Status QueryEngine::IndexImage(RowId image_id) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
@@ -171,22 +139,7 @@ Result<std::vector<QueryHit>> QueryEngine::SpatialRange(
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialRangeLocked(
     const geo::BoundingBox& box, const RequestContext* ctx) const {
-  if (box.IsEmpty()) return Status::InvalidArgument("empty query box");
-  if (ctx) TVDP_RETURN_IF_ERROR(ctx->Check());
-  // Prefer FOV semantics when FOVs exist; union with camera-point hits so
-  // images without FOV metadata still surface.
-  std::set<index::RecordId> ids;
-  std::vector<index::RecordId> fov_hits = fovs_.RangeSearch(box, ctx);
-  if (ctx) {
-    Status s = ctx->Check();
-    if (!s.ok()) {
-      return ContextError(s, "spatial range refine", fov_hits.size(),
-                          fov_hits.size());
-    }
-  }
-  for (index::RecordId id : fov_hits) ids.insert(id);
-  for (index::RecordId id : points_.RangeSearch(box)) ids.insert(id);
-  return ToHits(std::vector<index::RecordId>(ids.begin(), ids.end()));
+  return EvalSpatialRange(PathsLocked(), box, ctx);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialKnn(
@@ -197,53 +150,7 @@ Result<std::vector<QueryHit>> QueryEngine::SpatialKnn(
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialKnnLocked(
     const geo::GeoPoint& p, int k, const RequestContext* ctx) const {
-  if (k <= 0) return Status::InvalidArgument("k must be positive");
-  if (ctx) TVDP_RETURN_IF_ERROR(ctx->Check());
-  // The R-tree orders candidates by box min-distance in *degree* space,
-  // where a degree of longitude counts the same as a degree of latitude;
-  // away from the equator that misorders near-ties. Over-fetch by degree
-  // distance, then re-rank the candidates by exact geodesic distance,
-  // fanning the distance computations (each a catalog row read + haversine)
-  // out across the pool when the set is large.
-  int fetch = k + k / 2 + 8;
-  std::vector<index::RecordId> ids = points_.KNearest(p, fetch);
-  const Table* images = catalog_->GetTable(tables::kImages);
-  if (!images) return Status::FailedPrecondition("images table missing");
-  const storage::Schema& schema = images->schema();
-  const size_t lat_idx = static_cast<size_t>(schema.ColumnIndex("lat"));
-  const size_t lon_idx = static_cast<size_t>(schema.ColumnIndex("lon"));
-  std::vector<std::pair<double, index::RecordId>> ranked(ids.size());
-  auto rank_span = [&](size_t begin, size_t end) -> Status {
-    for (size_t i = begin; i < end; ++i) {
-      TVDP_ASSIGN_OR_RETURN(Row img, images->Get(ids[i]));
-      geo::GeoPoint loc{img[lat_idx].AsDouble(), img[lon_idx].AsDouble()};
-      ranked[i] = {geo::HaversineMeters(p, loc), ids[i]};
-    }
-    return Status::OK();
-  };
-  if (ctx && ranked.size() >= kParallelKnnRerankMin) {
-    Status s = pool_->ParallelFor(*ctx, ranked.size(), 16, rank_span);
-    if (!s.ok()) {
-      if (s.code() == StatusCode::kDeadlineExceeded ||
-          s.code() == StatusCode::kCancelled) {
-        return ContextError(s, "spatial kNN re-rank", 0, ranked.size());
-      }
-      return s;
-    }
-  } else if (ranked.size() >= kParallelKnnRerankMin) {
-    TVDP_RETURN_IF_ERROR(pool_->ParallelFor(ranked.size(), 16, rank_span));
-  } else {
-    if (ctx) TVDP_RETURN_IF_ERROR(ctx->Check());
-    TVDP_RETURN_IF_ERROR(rank_span(0, ranked.size()));
-  }
-  std::sort(ranked.begin(), ranked.end());
-  if (ranked.size() > static_cast<size_t>(k)) {
-    ranked.resize(static_cast<size_t>(k));
-  }
-  std::vector<QueryHit> out;
-  out.reserve(ranked.size());
-  for (const auto& [dist, id] : ranked) out.push_back(QueryHit{id, 0});
-  return out;
+  return EvalSpatialKnn(PathsLocked(), p, k, ctx);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisibleAt(
@@ -254,106 +161,34 @@ Result<std::vector<QueryHit>> QueryEngine::VisibleAt(
 
 Result<std::vector<QueryHit>> QueryEngine::VisibleAtLocked(
     const geo::GeoPoint& p, const RequestContext* ctx) const {
-  if (!geo::IsValid(p)) return Status::InvalidArgument("invalid point");
-  if (ctx) TVDP_RETURN_IF_ERROR(ctx->Check());
-  std::vector<index::RecordId> hits = fovs_.PointQuery(p, ctx);
-  if (ctx) {
-    Status s = ctx->Check();
-    if (!s.ok()) {
-      return ContextError(s, "FOV point refine", hits.size(), hits.size());
-    }
-  }
-  return ToHits(hits);
+  return EvalVisibleAt(PathsLocked(), p, ctx);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisualTopK(
     const std::string& kind, const ml::FeatureVector& feature, int k,
-    const RequestContext* ctx, int probes_override) const {
+    const RequestContext* ctx, const QueryBudget& budget) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  return VisualTopKLocked(kind, feature, k, ctx, probes_override);
+  return VisualTopKLocked(kind, feature, k, ctx, budget);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisualTopKLocked(
     const std::string& kind, const ml::FeatureVector& feature, int k,
-    const RequestContext* ctx, int probes_override) const {
-  auto it = lsh_.find(kind);
-  if (it == lsh_.end()) {
-    return Status::NotFound("no feature index for kind: " + kind);
-  }
-  if (ctx) TVDP_RETURN_IF_ERROR(ctx->Check());
-  auto ranked = it->second->KNearest(feature, k, ctx, probes_override);
-  if (ctx) {
-    // The LSH returns whatever it ranked before the context failed;
-    // discard it — partial top-k lists are misleading.
-    Status s = ctx->Check();
-    if (!s.ok()) {
-      return ContextError(s, "LSH probe/rank", ranked.size(), ranked.size());
-    }
-  }
-  std::vector<QueryHit> out;
-  for (const auto& [id, dist] : ranked) {
-    out.push_back(QueryHit{id, dist});
-  }
-  DedupHitsById(&out);
-  return out;
+    const RequestContext* ctx, const QueryBudget& budget) const {
+  return EvalVisualTopK(PathsLocked(), kind, feature, k, ctx, budget);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisualThreshold(
     const std::string& kind, const ml::FeatureVector& feature, double threshold,
-    const RequestContext* ctx, int probes_override) const {
+    const RequestContext* ctx, const QueryBudget& budget) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  return VisualThresholdLocked(kind, feature, threshold, ctx, probes_override);
+  return VisualThresholdLocked(kind, feature, threshold, ctx, budget);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisualThresholdLocked(
     const std::string& kind, const ml::FeatureVector& feature, double threshold,
-    const RequestContext* ctx, int probes_override) const {
-  auto it = lsh_.find(kind);
-  if (it == lsh_.end()) {
-    return Status::NotFound("no feature index for kind: " + kind);
-  }
-  if (ctx) TVDP_RETURN_IF_ERROR(ctx->Check());
-  auto ranked = it->second->RangeSearch(feature, threshold, ctx,
-                                        probes_override);
-  if (ctx) {
-    Status s = ctx->Check();
-    if (!s.ok()) {
-      return ContextError(s, "LSH probe/rank", ranked.size(), ranked.size());
-    }
-  }
-  std::vector<QueryHit> out;
-  for (const auto& [id, dist] : ranked) {
-    out.push_back(QueryHit{id, dist});
-  }
-  DedupHitsById(&out);
-  return out;
-}
-
-Result<int64_t> QueryEngine::LookupTypeId(
-    const CategoricalPredicate& pred) const {
-  const Table* cls = catalog_->GetTable(tables::kImageContentClassification);
-  const Table* types =
-      catalog_->GetTable(tables::kImageContentClassificationTypes);
-  if (!cls || !types) {
-    return Status::FailedPrecondition("classification tables missing");
-  }
-  TVDP_ASSIGN_OR_RETURN(std::vector<Row> cls_rows,
-                        cls->FindBy("name", Value(pred.classification)));
-  if (cls_rows.empty()) {
-    return Status::NotFound("no classification named " + pred.classification);
-  }
-  int64_t cls_id = cls_rows[0][0].AsInt64();
-  TVDP_ASSIGN_OR_RETURN(std::vector<Row> type_rows,
-                        types->FindBy("classification_id", Value(cls_id)));
-  const storage::Schema& ts = types->schema();
-  for (const Row& r : type_rows) {
-    if (r[static_cast<size_t>(ts.ColumnIndex("label"))].AsString() ==
-        pred.label) {
-      return r[0].AsInt64();
-    }
-  }
-  return Status::NotFound("no label " + pred.label + " in " +
-                          pred.classification);
+    const RequestContext* ctx, const QueryBudget& budget) const {
+  return EvalVisualThreshold(PathsLocked(), kind, feature, threshold, ctx,
+                             budget);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::Categorical(
@@ -364,21 +199,7 @@ Result<std::vector<QueryHit>> QueryEngine::Categorical(
 
 Result<std::vector<QueryHit>> QueryEngine::CategoricalLocked(
     const CategoricalPredicate& pred) const {
-  TVDP_ASSIGN_OR_RETURN(int64_t type_id, LookupTypeId(pred));
-  const Table* ann = catalog_->GetTable(tables::kImageContentAnnotation);
-  TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                        ann->FindBy("type_id", Value(type_id)));
-  const storage::Schema& as = ann->schema();
-  size_t conf_idx = static_cast<size_t>(as.ColumnIndex("confidence"));
-  size_t src_idx = static_cast<size_t>(as.ColumnIndex("annotation_source"));
-  size_t img_idx = static_cast<size_t>(as.ColumnIndex("image_id"));
-  std::set<index::RecordId> ids;
-  for (const Row& r : rows) {
-    if (r[conf_idx].AsDouble() < pred.min_confidence) continue;
-    if (!pred.source.empty() && r[src_idx].AsString() != pred.source) continue;
-    ids.insert(r[img_idx].AsInt64());
-  }
-  return ToHits(std::vector<index::RecordId>(ids.begin(), ids.end()));
+  return EvalCategorical(PathsLocked(), pred);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::Textual(
@@ -389,17 +210,7 @@ Result<std::vector<QueryHit>> QueryEngine::Textual(
 
 Result<std::vector<QueryHit>> QueryEngine::TextualLocked(
     const TextualPredicate& pred) const {
-  if (pred.keywords.empty()) {
-    return Status::InvalidArgument("no keywords given");
-  }
-  std::vector<std::string> terms;
-  for (const auto& kw : pred.keywords) {
-    for (const auto& t : TokenizeWords(kw)) terms.push_back(t);
-  }
-  std::vector<index::RecordId> ids = pred.mode == TextualPredicate::Mode::kAnd
-                                         ? keywords_.QueryAnd(terms)
-                                         : keywords_.QueryOr(terms);
-  return ToHits(ids);
+  return EvalTextual(PathsLocked(), pred);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::Temporal(Timestamp begin,
@@ -410,12 +221,7 @@ Result<std::vector<QueryHit>> QueryEngine::Temporal(Timestamp begin,
 
 Result<std::vector<QueryHit>> QueryEngine::TemporalLocked(Timestamp begin,
                                                           Timestamp end) const {
-  // Boundary contract: [begin, end] inclusive on both ends; an inverted
-  // range is a caller error, never an unspecified scan.
-  if (begin > end) {
-    return Status::InvalidArgument("temporal range inverted: begin after end");
-  }
-  return ToHits(temporal_.RangeSearch(begin, end));
+  return EvalTemporal(PathsLocked(), begin, end);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialVisualTopK(
@@ -428,326 +234,42 @@ Result<std::vector<QueryHit>> QueryEngine::SpatialVisualTopK(
   }
   std::vector<QueryHit> out;
   for (const auto& hit : it->second->TopK(p, feature, k, alpha)) {
-    out.push_back(QueryHit{hit.id, hit.visual});
+    out.push_back(QueryHit{hit.id, hit.visual, hit.score});
   }
   DedupHitsById(&out);
   return out;
 }
 
-double QueryEngine::EstimateSelectivity(const HybridQuery& q,
-                                        const std::string& family) const {
-  double n = static_cast<double>(std::max<size_t>(indexed_images(), 1));
-  if (family == "categorical" && q.categorical) {
-    // Annotations are typically sparse: assume 1/NumLabels of the corpus.
-    return n / 8.0;
-  }
-  if (family == "textual" && q.textual) {
-    // Use the rarest keyword's document frequency.
-    double best = n;
-    for (const auto& kw : q.textual->keywords) {
-      for (const auto& t : TokenizeWords(kw)) {
-        best = std::min(best,
-                        static_cast<double>(keywords_.DocumentFrequency(t)));
-      }
-    }
-    return best;
-  }
-  if (family == "spatial" && q.spatial) {
-    if (q.spatial->kind == SpatialPredicate::Kind::kKnn) {
-      return static_cast<double>(q.spatial->k);
-    }
-    return n / 4.0;  // coarse: a range box typically covers a district
-  }
-  if (family == "temporal" && q.temporal) {
-    double span = static_cast<double>(q.temporal->end - q.temporal->begin);
-    double total = temporal_.empty()
-                       ? 1.0
-                       : static_cast<double>(temporal_.max_timestamp() -
-                                             temporal_.min_timestamp() + 1);
-    return n * std::clamp(span / total, 0.0, 1.0);
-  }
-  if (family == "visual" && q.visual) {
-    if (q.visual->kind == VisualPredicate::Kind::kTopK) {
-      return static_cast<double>(q.visual->k);
-    }
-    return n / 4.0;
-  }
-  return n;
-}
-
-Result<bool> QueryEngine::VerifyLocked(RowId id, const HybridQuery& q,
-                                       const std::string& seed_family,
-                                       double* visual_distance) const {
-  const Table* images = catalog_->GetTable(tables::kImages);
-  TVDP_ASSIGN_OR_RETURN(Row img, images->Get(id));
-  const storage::Schema& schema = images->schema();
-
-  if (q.temporal && seed_family != "temporal") {
-    Timestamp t =
-        img[static_cast<size_t>(schema.ColumnIndex("timestamp_capturing"))]
-            .AsInt64();
-    if (t < q.temporal->begin || t > q.temporal->end) return false;
-  }
-  if (q.spatial && seed_family != "spatial") {
-    geo::GeoPoint loc{
-        img[static_cast<size_t>(schema.ColumnIndex("lat"))].AsDouble(),
-        img[static_cast<size_t>(schema.ColumnIndex("lon"))].AsDouble()};
-    switch (q.spatial->kind) {
-      case SpatialPredicate::Kind::kRange:
-        if (!q.spatial->range.Contains(loc)) return false;
-        break;
-      case SpatialPredicate::Kind::kKnn:
-        // kNN cannot be verified per-candidate; treated as a seed-only
-        // predicate (the planner always seeds with it when present).
-        break;
-      case SpatialPredicate::Kind::kVisibleAt: {
-        TVDP_ASSIGN_OR_RETURN(std::vector<QueryHit> vis,
-                              VisibleAtLocked(q.spatial->point));
-        bool found = false;
-        for (const auto& h : vis) {
-          if (h.image_id == id) {
-            found = true;
-            break;
-          }
-        }
-        if (!found) return false;
-        break;
-      }
-    }
-  }
-  if (q.categorical && seed_family != "categorical") {
-    TVDP_ASSIGN_OR_RETURN(std::vector<QueryHit> cat,
-                          CategoricalLocked(*q.categorical));
-    bool found = false;
-    for (const auto& h : cat) {
-      if (h.image_id == id) {
-        found = true;
-        break;
-      }
-    }
-    if (!found) return false;
-  }
-  if (q.textual && seed_family != "textual") {
-    TVDP_ASSIGN_OR_RETURN(std::vector<QueryHit> txt, TextualLocked(*q.textual));
-    bool found = false;
-    for (const auto& h : txt) {
-      if (h.image_id == id) {
-        found = true;
-        break;
-      }
-    }
-    if (!found) return false;
-  }
-  if (q.visual && seed_family != "visual") {
-    // Verify by exact feature distance from the stored feature row.
-    const Table* feats = catalog_->GetTable(tables::kImageVisualFeatures);
-    TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                          feats->FindBy("image_id", Value(id)));
-    const storage::Schema& fs = feats->schema();
-    size_t kind_idx = static_cast<size_t>(fs.ColumnIndex("feature_kind"));
-    size_t feat_idx = static_cast<size_t>(fs.ColumnIndex("feature"));
-    bool found = false;
-    for (const Row& r : rows) {
-      if (r[kind_idx].AsString() != q.visual->feature_kind) continue;
-      double d = ml::L2Distance(r[feat_idx].AsFloatVector(), q.visual->feature);
-      if (q.visual->kind == VisualPredicate::Kind::kThreshold &&
-          d > q.visual->threshold) {
-        return false;
-      }
-      if (visual_distance) *visual_distance = d;
-      found = true;
-      break;
-    }
-    if (!found) return false;
-  }
-  return true;
-}
-
 Result<std::vector<QueryHit>> QueryEngine::Execute(
-    const HybridQuery& q, const RequestContext* ctx,
-    const QueryBudget& budget) const {
+    const HybridQuery& q, const RequestContext* ctx, const QueryBudget& budget,
+    QueryPlan* plan_out, const PlannerOptions& options) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  return ExecuteLocked(q, ctx, budget);
+  return ExecuteLocked(q, ctx, budget, plan_out, options);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::ExecuteLocked(
-    const HybridQuery& q, const RequestContext* ctx,
-    const QueryBudget& budget) const {
-  // Collect present predicate families and their selectivity estimates.
-  std::vector<std::string> families;
-  if (q.spatial) families.push_back("spatial");
-  if (q.visual) families.push_back("visual");
-  if (q.categorical) families.push_back("categorical");
-  if (q.textual) families.push_back("textual");
-  if (q.temporal) families.push_back("temporal");
-  if (families.empty()) {
-    return Status::InvalidArgument("hybrid query has no predicates");
-  }
-  // Malformed predicates fail the whole query up front, whichever role
-  // they would have played in the plan.
-  if (q.temporal && q.temporal->begin > q.temporal->end) {
-    return Status::InvalidArgument("temporal range inverted: begin after end");
-  }
-  // An already-failed context rejects before any index is touched.
+    const HybridQuery& q, const RequestContext* ctx, const QueryBudget& budget,
+    QueryPlan* plan_out, const PlannerOptions& options) const {
+  AccessPaths paths = PathsLocked();
+  TVDP_ASSIGN_OR_RETURN(QueryPlan plan,
+                        Planner::BuildPlan(paths, q, budget, options));
+  // An already-failed context rejects before any index is probed — and
+  // before the plan becomes observable through last_plan().
   if (ctx) TVDP_RETURN_IF_ERROR(ctx->Check());
-
-  // kNN spatial and top-k visual predicates must seed (they are ranking
-  // predicates, not filters). Otherwise pick the lowest-cardinality one.
-  std::string seed;
-  if (q.spatial && q.spatial->kind == SpatialPredicate::Kind::kKnn) {
-    seed = "spatial";
-  } else if (q.visual && q.visual->kind == VisualPredicate::Kind::kTopK) {
-    seed = "visual";
-  } else {
-    double best = -1;
-    for (const auto& f : families) {
-      double est = EstimateSelectivity(q, f);
-      if (best < 0 || est < best) {
-        best = est;
-        seed = f;
-      }
-    }
-  }
-
-  // Seed candidates.
-  std::vector<QueryHit> candidates;
-  if (seed == "spatial") {
-    switch (q.spatial->kind) {
-      case SpatialPredicate::Kind::kRange: {
-        TVDP_ASSIGN_OR_RETURN(candidates,
-                              SpatialRangeLocked(q.spatial->range, ctx));
-        break;
-      }
-      case SpatialPredicate::Kind::kKnn: {
-        TVDP_ASSIGN_OR_RETURN(
-            candidates, SpatialKnnLocked(q.spatial->point, q.spatial->k, ctx));
-        break;
-      }
-      case SpatialPredicate::Kind::kVisibleAt: {
-        TVDP_ASSIGN_OR_RETURN(candidates,
-                              VisibleAtLocked(q.spatial->point, ctx));
-        break;
-      }
-    }
-  } else if (seed == "visual") {
-    if (q.visual->kind == VisualPredicate::Kind::kTopK) {
-      // Over-fetch so post-filtering can still fill k results; a degraded
-      // budget halves the over-fetch and respects the candidate cap.
-      int fetch = budget.degraded() ? q.visual->k * 2 + 8 : q.visual->k * 4 + 16;
-      if (budget.max_candidates > 0) {
-        fetch = std::min(fetch, static_cast<int>(budget.max_candidates));
-        fetch = std::max(fetch, q.visual->k);
-      }
-      TVDP_ASSIGN_OR_RETURN(
-          candidates, VisualTopKLocked(q.visual->feature_kind, q.visual->feature,
-                                       fetch, ctx, budget.lsh_probes));
-    } else {
-      TVDP_ASSIGN_OR_RETURN(
-          candidates,
-          VisualThresholdLocked(q.visual->feature_kind, q.visual->feature,
-                                q.visual->threshold, ctx, budget.lsh_probes));
-    }
-  } else if (seed == "categorical") {
-    TVDP_ASSIGN_OR_RETURN(candidates, CategoricalLocked(*q.categorical));
-  } else if (seed == "textual") {
-    TVDP_ASSIGN_OR_RETURN(candidates, TextualLocked(*q.textual));
-  } else {
-    TVDP_ASSIGN_OR_RETURN(candidates,
-                          TemporalLocked(q.temporal->begin, q.temporal->end));
-  }
-
-  // An image that matched the seed through several index entries (several
-  // stored vectors, repeated keywords, ...) must be verified — and
-  // returned — at most once.
-  DedupHitsById(&candidates);
-
-  // Degraded plans bound the verification work no matter which family
-  // seeded. For visual seeds the list is distance-sorted, so the cap keeps
-  // the best candidates.
-  size_t capped_from = 0;
-  if (budget.max_candidates > 0 && candidates.size() > budget.max_candidates) {
-    capped_from = candidates.size();
-    candidates.resize(budget.max_candidates);
-  }
-
-  std::string verify_list;
-  for (const auto& f : families) {
-    if (f != seed) verify_list += (verify_list.empty() ? "" : " ") + f;
-  }
-  {
+  Executor::PlanReadyFn publish = [this](const QueryPlan& p) {
     std::lock_guard<std::mutex> plan_lock(plan_mutex_);
-    last_plan_ = StrFormat("seed=%s(%zu) verify=[%s]", seed.c_str(),
-                           candidates.size(), verify_list.c_str());
-    if (capped_from > 0) {
-      last_plan_ += StrFormat(" cap=%zu/%zu", candidates.size(), capped_from);
-    }
-    if (budget.degraded()) last_plan_ += " degraded";
-  }
-
-  // Verify remaining predicates per candidate. Large candidate sets fan
-  // out across the pool (each verification is independent); the selection
-  // pass below stays sequential so k/limit semantics match the
-  // single-threaded path exactly.
-  std::vector<char> keep(candidates.size(), 1);
-  std::vector<double> distances(candidates.size(), 0);
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    distances[i] = candidates[i].visual_distance;
-  }
-  std::atomic<size_t> verified{0};
-  auto verify_span = [&](size_t chunk_begin, size_t chunk_end) -> Status {
-    for (size_t i = chunk_begin; i < chunk_end; ++i) {
-      TVDP_ASSIGN_OR_RETURN(
-          bool ok_hit,
-          VerifyLocked(candidates[i].image_id, q, seed, &distances[i]));
-      keep[i] = ok_hit ? 1 : 0;
-      verified.fetch_add(1, std::memory_order_relaxed);
-    }
-    return Status::OK();
+    last_plan_ = p.LegacySummary();
   };
-  Status verify_status = Status::OK();
-  if (ctx && candidates.size() >= kParallelVerifyMin) {
-    verify_status = pool_->ParallelFor(*ctx, candidates.size(), 16, verify_span);
-  } else if (candidates.size() >= kParallelVerifyMin) {
-    verify_status = pool_->ParallelFor(candidates.size(), 16, verify_span);
-  } else {
-    if (ctx) verify_status = ctx->Check();
-    if (verify_status.ok()) verify_status = verify_span(0, candidates.size());
-  }
-  if (!verify_status.ok()) {
-    if (verify_status.code() == StatusCode::kDeadlineExceeded ||
-        verify_status.code() == StatusCode::kCancelled) {
-      return ContextError(verify_status, "hybrid verify",
-                          verified.load(std::memory_order_relaxed),
-                          candidates.size());
-    }
-    return verify_status;
-  }
+  auto result = Executor::Run(paths, q, &plan, ctx, publish);
+  if (plan_out) *plan_out = std::move(plan);
+  return result;
+}
 
-  std::vector<QueryHit> out;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    if (!keep[i]) continue;
-    out.push_back(QueryHit{candidates[i].image_id, distances[i]});
-    if (q.visual && q.visual->kind == VisualPredicate::Kind::kTopK &&
-        static_cast<int>(out.size()) >= q.visual->k) {
-      break;
-    }
-    if (q.limit > 0 && static_cast<int>(out.size()) >= q.limit &&
-        !(q.visual && q.visual->kind == VisualPredicate::Kind::kTopK)) {
-      break;
-    }
-  }
-  if (q.visual) {
-    std::sort(out.begin(), out.end(), [](const QueryHit& a, const QueryHit& b) {
-      if (a.visual_distance != b.visual_distance) {
-        return a.visual_distance < b.visual_distance;
-      }
-      return a.image_id < b.image_id;
-    });
-  }
-  if (q.limit > 0 && out.size() > static_cast<size_t>(q.limit)) {
-    out.resize(static_cast<size_t>(q.limit));
-  }
-  return out;
+Result<QueryPlan> QueryEngine::Explain(const HybridQuery& q,
+                                       const QueryBudget& budget,
+                                       const PlannerOptions& options) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return Planner::BuildPlan(PathsLocked(), q, budget, options);
 }
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialRangeScan(
@@ -790,7 +312,10 @@ Result<std::vector<QueryHit>> QueryEngine::SpatialRangeScan(
     return true;
   });
   TVDP_RETURN_IF_ERROR(status);
-  return ToHits(std::vector<index::RecordId>(ids.begin(), ids.end()));
+  std::vector<QueryHit> out;
+  out.reserve(ids.size());
+  for (index::RecordId id : ids) out.push_back(QueryHit{id, 0, 0});
+  return out;
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisualTopKScan(
@@ -805,9 +330,8 @@ Result<std::vector<QueryHit>> QueryEngine::VisualTopKScan(
   std::vector<QueryHit> all;
   feats->ForEach([&](const Row& r) {
     if (r[kind_idx].AsString() == kind) {
-      all.push_back(QueryHit{
-          r[img_idx].AsInt64(),
-          ml::L2Distance(r[feat_idx].AsFloatVector(), feature)});
+      double d = ml::L2Distance(r[feat_idx].AsFloatVector(), feature);
+      all.push_back(QueryHit{r[img_idx].AsInt64(), d, d});
     }
     return true;
   });

@@ -19,6 +19,9 @@
 #include "index/rtree.h"
 #include "index/temporal_index.h"
 #include "index/visual_rtree.h"
+#include "query/executor.h"
+#include "query/plan.h"
+#include "query/planner.h"
 #include "query/query.h"
 #include "storage/catalog.h"
 #include "storage/tvdp_schema.h"
@@ -30,10 +33,13 @@ class Tvdp;
 namespace tvdp::query {
 
 /// The access layer of TVDP: maintains the per-modality indexes over the
-/// catalog (Sec. IV-C) and evaluates single-modality and hybrid queries
-/// with a selectivity-ordered plan. Index maintenance is explicit — call
-/// IndexImage after inserting the corresponding rows — which mirrors the
-/// ingest pipeline of the platform.
+/// catalog (Sec. IV-C) and serves queries. The engine itself is a thin
+/// facade: it owns the indexes and the reader-writer lock, assembles an
+/// AccessPaths view, and delegates planning to the cost-based Planner and
+/// evaluation to the Executor's operator pipeline (see DESIGN.md "Query
+/// planning and EXPLAIN"). Index maintenance is explicit — call IndexImage
+/// after inserting the corresponding rows — which mirrors the ingest
+/// pipeline of the platform.
 ///
 /// Thread safety: the engine is internally synchronized with reader-writer
 /// semantics. Any number of query calls may run concurrently; IndexImage /
@@ -73,64 +79,86 @@ class QueryEngine {
   // cancelled context surfaces as kDeadlineExceeded / kCancelled with
   // partial-progress metadata in the status message, and no partial
   // results escape.
+  //
+  // Degenerate arguments (k <= 0, empty feature vector, empty keyword,
+  // inverted temporal range, empty box, invalid point) are
+  // kInvalidArgument — the same guards the hybrid planner applies, so a
+  // malformed predicate fails identically through every door.
 
   /// Spatial: images whose FOV (or camera point if no FOV) intersects box.
+  /// Hits carry score 0 (boolean membership).
   Result<std::vector<QueryHit>> SpatialRange(
       const geo::BoundingBox& box, const RequestContext* ctx = nullptr) const;
 
   /// Spatial: k nearest camera locations, ordered by exact geodesic
   /// distance (candidates over-fetched by index distance, then re-ranked).
+  /// Hits carry score = geodesic distance in meters.
   Result<std::vector<QueryHit>> SpatialKnn(const geo::GeoPoint& p, int k,
                                            const RequestContext* ctx =
                                                nullptr) const;
 
-  /// Spatial: images whose FOV sees point p.
+  /// Spatial: images whose FOV sees point p. Hits carry score 0.
   Result<std::vector<QueryHit>> VisibleAt(
       const geo::GeoPoint& p, const RequestContext* ctx = nullptr) const;
 
   /// Visual: approximate top-k similar images by feature kind. Each image
-  /// appears at most once (the closest of its stored vectors).
-  /// `probes_override` >= 0 substitutes the LSH multi-probe budget for
-  /// this query (degraded plans).
-  Result<std::vector<QueryHit>> VisualTopK(const std::string& kind,
-                                           const ml::FeatureVector& feature,
-                                           int k,
-                                           const RequestContext* ctx = nullptr,
-                                           int probes_override = -1) const;
+  /// appears at most once (the closest of its stored vectors). Hits carry
+  /// score = L2 feature distance. `budget.lsh_probes` >= 0 substitutes the
+  /// LSH multi-probe budget for this query (degraded plans).
+  Result<std::vector<QueryHit>> VisualTopK(
+      const std::string& kind, const ml::FeatureVector& feature, int k,
+      const RequestContext* ctx = nullptr,
+      const QueryBudget& budget = QueryBudget()) const;
 
   /// Visual: all images within a feature-distance threshold, deduplicated
-  /// by image id (closest match per image).
+  /// by image id (closest match per image). Hits carry score = L2 feature
+  /// distance.
   Result<std::vector<QueryHit>> VisualThreshold(
       const std::string& kind, const ml::FeatureVector& feature,
       double threshold, const RequestContext* ctx = nullptr,
-      int probes_override = -1) const;
+      const QueryBudget& budget = QueryBudget()) const;
 
-  /// Categorical: images annotated with (classification, label).
+  /// Categorical: images annotated with (classification, label). Score 0.
   Result<std::vector<QueryHit>> Categorical(
       const CategoricalPredicate& pred) const;
 
-  /// Textual: keyword search over manual keywords.
+  /// Textual: keyword search over manual keywords. Score 0.
   Result<std::vector<QueryHit>> Textual(const TextualPredicate& pred) const;
 
   /// Temporal: capture-time range. Boundary semantics are inclusive on
   /// both ends — the result is every image with captured_at in
   /// [begin, end]. An inverted range (begin > end) is InvalidArgument.
+  /// Score 0.
   Result<std::vector<QueryHit>> Temporal(Timestamp begin, Timestamp end) const;
 
   // --- Hybrid queries ---
 
-  /// Evaluates a hybrid query: the most selective indexed predicate seeds
-  /// the candidate set, remaining predicates verify against the catalog.
-  /// Every returned image id is unique, even when the image matches the
-  /// seed through multiple index entries. `budget` tightens the plan under
+  /// Evaluates a hybrid query through the cost-based planner: the most
+  /// selective conjunct (by index cardinality estimates) seeds the
+  /// candidate set, remaining conjuncts verify — set-valued ones through
+  /// one materialized index probe, row-valued ones per candidate. Every
+  /// returned image id is unique. `budget` tightens the plan under
   /// degraded serving (smaller LSH probe budget, capped candidate set,
-  /// reduced over-fetch); the cap is recorded in the plan string.
+  /// reduced over-fetch); the cap is recorded in the plan. When `plan_out`
+  /// is non-null it receives the executed plan with actual cardinalities.
+  /// `options.force_seed` overrides the cost-based seed choice (tests,
+  /// benches).
   Result<std::vector<QueryHit>> Execute(
       const HybridQuery& q, const RequestContext* ctx = nullptr,
-      const QueryBudget& budget = QueryBudget()) const;
+      const QueryBudget& budget = QueryBudget(), QueryPlan* plan_out = nullptr,
+      const PlannerOptions& options = PlannerOptions()) const;
+
+  /// Plans a hybrid query without executing it: validation, cardinality
+  /// estimation, conjunct ordering, operator tree. Deterministic for a
+  /// given query and corpus state; never touches `last_plan()`.
+  Result<QueryPlan> Explain(const HybridQuery& q,
+                            const QueryBudget& budget = QueryBudget(),
+                            const PlannerOptions& options =
+                                PlannerOptions()) const;
 
   /// Spatial-visual top-k through the hybrid VisualRTree (single index,
-  /// blended alpha score) — the paper's hybrid-index fast path.
+  /// blended alpha score) — the paper's hybrid-index fast path. Hits carry
+  /// score = the alpha-blended spatial-visual score.
   Result<std::vector<QueryHit>> SpatialVisualTopK(
       const geo::GeoPoint& p, const std::string& kind,
       const ml::FeatureVector& feature, int k, double alpha) const;
@@ -165,6 +193,10 @@ class QueryEngine {
  private:
   friend class tvdp::platform::Tvdp;
 
+  /// The non-owning view of the indexes/catalog/pool that the planner and
+  /// executor operate over. Caller must hold mutex() (shared suffices).
+  AccessPaths PathsLocked() const;
+
   // --- Locked variants: caller must hold mutex() (exclusively for the
   // Index* pair, shared or exclusive for the query methods). ---
   Status IndexImageLocked(storage::RowId image_id);
@@ -178,11 +210,12 @@ class QueryEngine {
       const geo::GeoPoint& p, const RequestContext* ctx = nullptr) const;
   Result<std::vector<QueryHit>> VisualTopKLocked(
       const std::string& kind, const ml::FeatureVector& feature, int k,
-      const RequestContext* ctx = nullptr, int probes_override = -1) const;
+      const RequestContext* ctx = nullptr,
+      const QueryBudget& budget = QueryBudget()) const;
   Result<std::vector<QueryHit>> VisualThresholdLocked(
       const std::string& kind, const ml::FeatureVector& feature,
       double threshold, const RequestContext* ctx = nullptr,
-      int probes_override = -1) const;
+      const QueryBudget& budget = QueryBudget()) const;
   Result<std::vector<QueryHit>> CategoricalLocked(
       const CategoricalPredicate& pred) const;
   Result<std::vector<QueryHit>> TextualLocked(
@@ -191,18 +224,8 @@ class QueryEngine {
                                                Timestamp end) const;
   Result<std::vector<QueryHit>> ExecuteLocked(
       const HybridQuery& q, const RequestContext* ctx = nullptr,
-      const QueryBudget& budget = QueryBudget()) const;
-
-  /// Estimated result cardinality of each predicate (lower = run first).
-  double EstimateSelectivity(const HybridQuery& q,
-                             const std::string& family) const;
-
-  /// Verifies a candidate against every non-seed predicate.
-  Result<bool> VerifyLocked(storage::RowId id, const HybridQuery& q,
-                            const std::string& seed_family,
-                            double* visual_distance) const;
-
-  Result<int64_t> LookupTypeId(const CategoricalPredicate& pred) const;
+      const QueryBudget& budget = QueryBudget(), QueryPlan* plan_out = nullptr,
+      const PlannerOptions& options = PlannerOptions()) const;
 
   storage::Catalog* catalog_;
   ThreadPool* pool_;

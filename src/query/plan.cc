@@ -1,0 +1,79 @@
+#include "query/plan.h"
+
+#include "common/strings.h"
+
+namespace tvdp::query {
+
+Json PlanNode::ToJson() const {
+  Json out = Json::MakeObject();
+  out["op"] = op;
+  if (!detail.empty()) out["detail"] = detail;
+  if (estimated_rows >= 0) out["estimated_rows"] = estimated_rows;
+  if (actual_rows >= 0) out["actual_rows"] = actual_rows;
+  if (!children.empty()) {
+    Json kids = Json::MakeArray();
+    for (const PlanNode& c : children) kids.Append(c.ToJson());
+    out["children"] = std::move(kids);
+  }
+  return out;
+}
+
+const char* ConjunctStrategyName(ConjunctPlan::Strategy s) {
+  switch (s) {
+    case ConjunctPlan::Strategy::kSeedProbe:
+      return "seed-probe";
+    case ConjunctPlan::Strategy::kMaterializeProbe:
+      return "materialize-probe";
+    case ConjunctPlan::Strategy::kVerifyScan:
+      return "verify-scan";
+  }
+  return "unknown";
+}
+
+std::string QueryPlan::LegacySummary() const {
+  std::string verify_list;
+  // The legacy string lists verify conjuncts in declaration order
+  // (spatial, visual, categorical, textual, temporal), not evaluation
+  // order — callers grep it, so the format is frozen.
+  static const char* kFamilies[] = {"spatial", "visual", "categorical",
+                                    "textual", "temporal"};
+  for (const char* f : kFamilies) {
+    if (seed_family == f) continue;
+    bool present = false;
+    for (const ConjunctPlan& c : conjuncts) {
+      if (c.family == f) present = true;
+    }
+    if (present) verify_list += (verify_list.empty() ? "" : " ") + std::string(f);
+  }
+  std::string out = StrFormat("seed=%s(%zu) verify=[%s]", seed_family.c_str(),
+                              seed_candidates, verify_list.c_str());
+  if (capped_from > 0) {
+    out += StrFormat(" cap=%zu/%zu", seed_candidates, capped_from);
+  }
+  if (degraded) out += " degraded";
+  return out;
+}
+
+Json QueryPlan::ToJson() const {
+  Json out = Json::MakeObject();
+  out["seed"] = seed_family;
+  out["degraded"] = degraded;
+  Json b = Json::MakeObject();
+  b["lsh_probes"] = budget.lsh_probes;
+  b["max_candidates"] = budget.max_candidates;
+  out["budget"] = std::move(b);
+  Json cj = Json::MakeArray();
+  for (const ConjunctPlan& c : conjuncts) {
+    Json one = Json::MakeObject();
+    one["family"] = c.family;
+    one["strategy"] = std::string(ConjunctStrategyName(c.strategy));
+    if (c.estimated_rows >= 0) one["estimated_rows"] = c.estimated_rows;
+    cj.Append(std::move(one));
+  }
+  out["conjuncts"] = std::move(cj);
+  out["operators"] = root.ToJson();
+  if (executed) out["summary"] = LegacySummary();
+  return out;
+}
+
+}  // namespace tvdp::query

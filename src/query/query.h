@@ -88,10 +88,26 @@ struct QueryBudget {
 };
 
 /// One result row.
+///
+/// Score convention (uniform across every operator family): ascending,
+/// lower is better, 0 means "boolean membership, no ranking signal".
+///  - SpatialKnn: exact geodesic distance in meters.
+///  - VisualTopK / VisualThreshold: L2 feature distance.
+///  - SpatialVisualTopK: the alpha-blended spatial-visual score.
+///  - Hybrid Execute: L2 feature distance when a visual predicate
+///    participated, else 0.
+///  - SpatialRange / VisibleAt / Categorical / Textual / Temporal: 0.
+/// Because all families agree on "ascending, lower is better", hits from
+/// different operators can be merged and re-ranked without per-family
+/// special cases.
 struct QueryHit {
   int64_t image_id = 0;
   /// Visual distance when a visual predicate participated, else 0.
+  /// (Kept alongside `score` for callers that specifically want the
+  /// visual component of a blended score.)
   double visual_distance = 0;
+  /// The unified ranking score (see convention above).
+  double score = 0;
 };
 
 /// Human-readable summary of which predicates a query carries, e.g.

@@ -386,6 +386,62 @@ TEST_F(ApiTest, AddDataAndSearch) {
   EXPECT_EQ((*resp)["count"].AsInt(), 2);
 }
 
+TEST_F(ApiTest, SearchEnvelopeCarriesExecutedPlan) {
+  AddImage(34.05, -118.25);
+  AddImage(34.06, -118.26);
+  Json search = Json::MakeObject();
+  Json bbox = Json::MakeArray();
+  bbox.Append(34.0);
+  bbox.Append(-118.3);
+  bbox.Append(34.1);
+  bbox.Append(-118.2);
+  search["bbox"] = std::move(bbox);
+  auto resp = api_->HandleRequest(key_, "search_datasets", search);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  const Json& plan = (*resp)["plan"];
+  EXPECT_EQ(plan["seed"].AsString(), "spatial");
+  EXPECT_TRUE(plan.Has("operators"));
+  EXPECT_TRUE(plan.Has("conjuncts"));
+  // Executed plans carry the legacy one-line summary.
+  EXPECT_NE(plan["summary"].AsString().find("seed=spatial(2)"),
+            std::string::npos)
+      << plan["summary"].AsString();
+}
+
+TEST_F(ApiTest, ExplainQueryIsDeterministicAndRunsNothing) {
+  AddImage(34.05, -118.25);
+  Json req = Json::MakeObject();
+  Json bbox = Json::MakeArray();
+  bbox.Append(34.0);
+  bbox.Append(-118.3);
+  bbox.Append(34.1);
+  bbox.Append(-118.2);
+  req["bbox"] = std::move(bbox);
+  Json kws = Json::MakeArray();
+  kws.Append(std::string("street"));
+  req["keywords"] = std::move(kws);
+  auto a = api_->HandleRequest(key_, "explain_query", req);
+  ASSERT_TRUE(a.ok()) << a.status();
+  // Interleave a real search: the explain output must not change.
+  ASSERT_TRUE(api_->HandleRequest(key_, "search_datasets", req).ok());
+  auto b = api_->HandleRequest(key_, "explain_query", req);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)["plan"].Dump(), (*b)["plan"].Dump());
+  // Explain-only plans have no execution artifacts.
+  EXPECT_FALSE((*a)["plan"].Has("summary"));
+  EXPECT_FALSE((*a).Has("image_ids"));
+  // Malformed bodies fail identically to search_datasets.
+  Json bad = Json::MakeObject();
+  Json empty_kw = Json::MakeArray();
+  empty_kw.Append(std::string(""));
+  bad["keywords"] = std::move(empty_kw);
+  EXPECT_EQ(api_->HandleRequest(key_, "explain_query", bad).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      api_->HandleRequest(key_, "search_datasets", bad).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
 TEST_F(ApiTest, DownloadDatasets) {
   Json added = AddImage(34.05, -118.25);
   Json req = Json::MakeObject();
@@ -483,7 +539,7 @@ TEST_F(ApiTest, EnvelopeNumericCodesAndPrecedence) {
 }
 
 TEST_F(ApiTest, EndpointListStable) {
-  EXPECT_EQ(api_->Endpoints().size(), 7u);
+  EXPECT_EQ(api_->Endpoints().size(), 8u);
 }
 
 TEST_F(ApiTest, MalformedRequestsRejected) {

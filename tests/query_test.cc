@@ -418,6 +418,85 @@ TEST_F(QueryEngineTest, SpatialVisualTopKThroughHybridIndex) {
           .ok());
 }
 
+TEST_F(QueryEngineTest, ScoreConventionIsUniformAcrossFamilies) {
+  // Every family agrees on "ascending, lower is better, 0 = boolean
+  // membership", so hits from different operators can be merged and
+  // re-ranked with one comparator.
+  geo::GeoPoint probe{34.051, -118.256};
+  auto knn = engine().SpatialKnn(probe, 5);
+  ASSERT_TRUE(knn.ok());
+  ASSERT_EQ(knn->size(), 5u);
+  for (size_t i = 0; i < knn->size(); ++i) {
+    // kNN scores are exact geodesic meters.
+    int idx = -1;
+    for (size_t j = 0; j < fixture().ids.size(); ++j) {
+      if (fixture().ids[j] == (*knn)[i].image_id) idx = static_cast<int>(j);
+    }
+    ASSERT_GE(idx, 0);
+    geo::GeoPoint loc{34.00 + (idx / 8) * 0.02, -118.30 + (idx % 8) * 0.0125};
+    EXPECT_NEAR((*knn)[i].score, geo::HaversineMeters(probe, loc), 1e-6);
+    if (i > 0) {
+      EXPECT_GE((*knn)[i].score, (*knn)[i - 1].score);
+    }
+  }
+
+  ml::FeatureVector vfeat(4, 0.1);
+  vfeat[1] = 1.0;
+  auto topk = engine().VisualTopK("cnn", vfeat, 5);
+  ASSERT_TRUE(topk.ok());
+  for (size_t i = 0; i < topk->size(); ++i) {
+    // Visual scores are the L2 feature distance.
+    EXPECT_DOUBLE_EQ((*topk)[i].score, (*topk)[i].visual_distance);
+    if (i > 0) {
+      EXPECT_GE((*topk)[i].score, (*topk)[i - 1].score);
+    }
+  }
+
+  // Boolean-membership families report score 0.
+  auto range = engine().SpatialRange(fixture().region);
+  ASSERT_TRUE(range.ok());
+  for (const auto& h : *range) EXPECT_EQ(h.score, 0.0);
+  TextualPredicate tp;
+  tp.keywords = {"street"};
+  auto textual = engine().Textual(tp);
+  ASSERT_TRUE(textual.ok());
+  for (const auto& h : *textual) EXPECT_EQ(h.score, 0.0);
+
+  // Hybrid with a visual conjunct: score is the visual distance and the
+  // result comes back already ordered by it.
+  HybridQuery q;
+  VisualPredicate vp;
+  vp.kind = VisualPredicate::Kind::kThreshold;
+  vp.feature_kind = "cnn";
+  vp.feature = vfeat;
+  vp.threshold = 10.0;
+  q.visual = vp;
+  q.textual = tp;
+  auto hybrid = engine().Execute(q);
+  ASSERT_TRUE(hybrid.ok());
+  ASSERT_FALSE(hybrid->empty());
+  for (size_t i = 0; i < hybrid->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*hybrid)[i].score, (*hybrid)[i].visual_distance);
+    if (i > 0) {
+      EXPECT_GE((*hybrid)[i].score, (*hybrid)[i - 1].score);
+    }
+  }
+
+  // Cross-family merge: one comparator ranks a mixed hit list without
+  // per-family cases (membership hits sort ahead at score 0).
+  std::vector<QueryHit> merged;
+  merged.insert(merged.end(), knn->begin(), knn->end());
+  merged.insert(merged.end(), topk->begin(), topk->end());
+  merged.insert(merged.end(), textual->begin(), textual->end());
+  std::sort(merged.begin(), merged.end(),
+            [](const QueryHit& a, const QueryHit& b) {
+              return a.score < b.score;
+            });
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_GE(merged[i].score, merged[i - 1].score);
+  }
+}
+
 TEST(QueryDescribeTest, ListsFamilies) {
   HybridQuery q;
   EXPECT_EQ(DescribeQuery(q), "empty");
