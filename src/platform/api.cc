@@ -107,6 +107,13 @@ ApiService::ApiService(Tvdp* platform, ModelRegistry* registry,
                        AdmissionController* admission)
     : platform_(platform), registry_(registry), admission_(admission) {}
 
+ApiService::ApiService(ShardManager* shards, ModelRegistry* registry,
+                       AdmissionController* admission)
+    : platform_(nullptr),
+      shards_(shards),
+      registry_(registry),
+      admission_(admission) {}
+
 std::string ApiService::CreateApiKey(const std::string& owner) {
   std::unique_lock<std::shared_mutex> lock(keys_mutex_);
   // Deterministic but unguessable-looking keys: FNV over owner + counter.
@@ -138,7 +145,8 @@ Result<std::string> ApiService::KeyOwner(const std::string& key) const {
 std::vector<std::string> ApiService::Endpoints() const {
   return {"add_data",        "search_datasets", "explain_query",
           "download_datasets",   "get_visual_features",
-          "use_model",       "download_model",  "register_model"};
+          "use_model",       "download_model",  "register_model",
+          "platform_stats"};
 }
 
 Result<Json> ApiService::HandleRequest(const std::string& api_key,
@@ -225,6 +233,7 @@ Result<Json> ApiService::Dispatch(const std::string& owner,
   if (endpoint == "use_model") return UseModel(request);
   if (endpoint == "download_model") return DownloadModel(request);
   if (endpoint == "register_model") return RegisterModel(owner, request);
+  if (endpoint == "platform_stats") return PlatformStats(request);
   return Status::NotFound("unknown endpoint: " + endpoint);
 }
 
@@ -291,12 +300,19 @@ Result<Json> ApiService::AddData(const std::string& owner,
       record.keywords.push_back(kw.AsString());
     }
   }
-  TVDP_ASSIGN_OR_RETURN(int64_t id, platform_->IngestImage(record));
+  int64_t id = 0;
+  if (shards_) {
+    TVDP_ASSIGN_OR_RETURN(id, shards_->IngestImage(record));
+  } else {
+    TVDP_ASSIGN_OR_RETURN(id, platform_->IngestImage(record));
+  }
   // Optional inline feature payloads: {"features": {"cnn": [...], ...}}.
   if (request.Has("features")) {
     for (const auto& [kind, vec] : request["features"].AsObject()) {
       TVDP_ASSIGN_OR_RETURN(ml::FeatureVector feature, ParseFeature(vec));
-      TVDP_RETURN_IF_ERROR(platform_->StoreFeature(id, kind, feature));
+      TVDP_RETURN_IF_ERROR(shards_
+                               ? shards_->StoreFeature(id, kind, feature)
+                               : platform_->StoreFeature(id, kind, feature));
     }
   }
   Json out = Json::MakeObject();
@@ -308,6 +324,23 @@ Result<Json> ApiService::SearchDatasets(const Json& request,
                                         const RequestContext& ctx,
                                         const query::QueryBudget& budget) {
   TVDP_ASSIGN_OR_RETURN(query::HybridQuery q, ParseSearchQuery(request));
+  if (shards_) {
+    // Sharded scatter-gather: a degraded admission budget sheds whole
+    // shards (lowest estimated selectivity first) before queries are
+    // shed, and the response carries the partial-result coverage object.
+    TVDP_ASSIGN_OR_RETURN(
+        ShardManager::ShardedQueryResult sharded,
+        shards_->ExecuteQuery(q, &ctx, budget, budget.degraded()));
+    Json ids = Json::MakeArray();
+    for (const auto& h : sharded.hits) ids.Append(h.image_id);
+    Json out = Json::MakeObject();
+    out["image_ids"] = std::move(ids);
+    out["count"] = sharded.hits.size();
+    out["plan"] = std::move(sharded.plan);
+    out["coverage"] = sharded.coverage.ToJson();
+    if (budget.degraded()) out["degraded"] = true;
+    return out;
+  }
   query::QueryPlan plan;
   TVDP_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
                         platform_->ExecuteQuery(q, &ctx, budget, &plan));
@@ -324,10 +357,16 @@ Result<Json> ApiService::SearchDatasets(const Json& request,
 Result<Json> ApiService::ExplainQuery(const Json& request,
                                       const query::QueryBudget& budget) {
   TVDP_ASSIGN_OR_RETURN(query::HybridQuery q, ParseSearchQuery(request));
-  TVDP_ASSIGN_OR_RETURN(query::QueryPlan plan,
-                        platform_->ExplainQuery(q, budget));
+  Json plan_json;
+  if (shards_) {
+    TVDP_ASSIGN_OR_RETURN(plan_json, shards_->ExplainQuery(q, budget));
+  } else {
+    TVDP_ASSIGN_OR_RETURN(query::QueryPlan plan,
+                          platform_->ExplainQuery(q, budget));
+    plan_json = plan.ToJson();
+  }
   Json out = Json::MakeObject();
-  out["plan"] = plan.ToJson();
+  out["plan"] = std::move(plan_json);
   if (budget.degraded()) out["degraded"] = true;
   return out;
 }
@@ -337,23 +376,12 @@ Result<Json> ApiService::DownloadDatasets(const Json& request,
   if (!request.Has("image_ids")) {
     return Status::InvalidArgument("download_datasets requires image_ids");
   }
-  const storage::Table* images =
-      platform_->catalog().GetTable(storage::tables::kImages);
-  const storage::Schema& s = images->schema();
   Json rows = Json::MakeArray();
   for (const Json& idj : request["image_ids"].AsArray()) {
     TVDP_RETURN_IF_ERROR(ctx.Check());
-    TVDP_ASSIGN_OR_RETURN(storage::Row row, images->Get(idj.AsInt()));
-    Json r = Json::MakeObject();
-    r["id"] = row[0].AsInt64();
-    r["uri"] = row[static_cast<size_t>(s.ColumnIndex("uri"))].AsString();
-    r["lat"] = row[static_cast<size_t>(s.ColumnIndex("lat"))].AsDouble();
-    r["lon"] = row[static_cast<size_t>(s.ColumnIndex("lon"))].AsDouble();
-    r["captured_at"] =
-        row[static_cast<size_t>(s.ColumnIndex("timestamp_capturing"))]
-            .AsInt64();
-    r["source"] =
-        row[static_cast<size_t>(s.ColumnIndex("source"))].AsString();
+    TVDP_ASSIGN_OR_RETURN(Json r, shards_
+                                      ? shards_->ImageRowJson(idj.AsInt())
+                                      : platform_->ImageRowJson(idj.AsInt()));
     rows.Append(std::move(r));
   }
   Json out = Json::MakeObject();
@@ -368,8 +396,10 @@ Result<Json> ApiService::GetVisualFeatures(const Json& request) {
   }
   TVDP_ASSIGN_OR_RETURN(
       ml::FeatureVector feature,
-      platform_->GetFeature(request["image_id"].AsInt(),
-                            request["kind"].AsString()));
+      shards_ ? shards_->GetFeature(request["image_id"].AsInt(),
+                                    request["kind"].AsString())
+              : platform_->GetFeature(request["image_id"].AsInt(),
+                                      request["kind"].AsString()));
   Json out = Json::MakeObject();
   out["feature"] = FeatureToJson(feature);
   out["dim"] = feature.size();
@@ -387,8 +417,10 @@ Result<Json> ApiService::UseModel(const Json& request) {
   } else if (request.Has("image_id")) {
     TVDP_ASSIGN_OR_RETURN(ModelSpec spec, registry_->GetSpec(model));
     TVDP_ASSIGN_OR_RETURN(
-        feature,
-        platform_->GetFeature(request["image_id"].AsInt(), spec.feature_kind));
+        feature, shards_ ? shards_->GetFeature(request["image_id"].AsInt(),
+                                               spec.feature_kind)
+                         : platform_->GetFeature(request["image_id"].AsInt(),
+                                                 spec.feature_kind));
   } else {
     return Status::InvalidArgument("use_model requires feature or image_id");
   }
@@ -408,7 +440,8 @@ Result<Json> ApiService::UseModel(const Json& request) {
     ann.machine = true;
     TVDP_ASSIGN_OR_RETURN(
         int64_t ann_id,
-        platform_->AnnotateImage(request["image_id"].AsInt(), ann));
+        shards_ ? shards_->AnnotateImage(request["image_id"].AsInt(), ann)
+                : platform_->AnnotateImage(request["image_id"].AsInt(), ann));
     out["annotation_id"] = ann_id;
   }
   return out;
@@ -455,6 +488,19 @@ Result<Json> ApiService::RegisterModel(const std::string& owner,
   TVDP_RETURN_IF_ERROR(registry_->Register(std::move(spec), std::move(model)));
   Json out = Json::MakeObject();
   out["registered"] = true;
+  return out;
+}
+
+Result<Json> ApiService::PlatformStats(const Json&) const {
+  Json out = Json::MakeObject();
+  out["server"] = ServerStatsJson();
+  out["sharded"] = shards_ != nullptr;
+  if (shards_) {
+    out["images"] = shards_->image_count();
+    out["shards"] = shards_->StatsJson();
+  } else {
+    out["images"] = platform_->image_count();
+  }
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "platform/admission.h"
 #include "platform/model_registry.h"
+#include "platform/sharding.h"
 #include "platform/tvdp.h"
 
 namespace tvdp::platform {
@@ -36,6 +37,14 @@ namespace tvdp::platform {
 ///   use_model        — run a registered model on a feature or image id.
 ///   download_model   — serialized model for edge deployment.
 ///   register_model   — share a model (serialized linear-family payload).
+///   platform_stats   — operational state: admission counters, latency
+///                      digests, and (sharded deployments) per-shard
+///                      breaker/WAL/latency state.
+///
+/// The service fronts either a single engine (`Tvdp*`) or a sharded fleet
+/// (`ShardManager*`). Sharded search_datasets responses additionally carry
+/// a "coverage" object (probed/skipped/failed shards) — the partial-result
+/// contract of scatter-gather execution.
 class ApiService {
  public:
   /// `platform` and `registry` must outlive the service. `admission`
@@ -43,6 +52,11 @@ class ApiService {
   /// HandleRequest through the overload controller: requests are
   /// rate-limited, queued, shed, or degraded before dispatch.
   ApiService(Tvdp* platform, ModelRegistry* registry,
+             AdmissionController* admission = nullptr);
+
+  /// Sharded deployment: requests are served through `shards`'s
+  /// scatter-gather layer (`shards` must outlive the service).
+  ApiService(ShardManager* shards, ModelRegistry* registry,
              AdmissionController* admission = nullptr);
 
   /// Issues a new API key for `owner` (e.g. "lasan", "usc_research").
@@ -104,8 +118,10 @@ class ApiService {
   Result<Json> UseModel(const Json& request);
   Result<Json> DownloadModel(const Json& request);
   Result<Json> RegisterModel(const std::string& owner, const Json& request);
+  Result<Json> PlatformStats(const Json& request) const;
 
   Tvdp* platform_;
+  ShardManager* shards_ = nullptr;
   ModelRegistry* registry_;
   AdmissionController* admission_;
 

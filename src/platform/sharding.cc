@@ -1,0 +1,691 @@
+#include "platform/sharding.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "query/planner.h"
+
+namespace tvdp::platform {
+
+namespace {
+
+/// Meters per degree of latitude (spherical model); longitude scales by
+/// cos(latitude).
+constexpr double kMetersPerDegLat = 111320.0;
+
+/// Expands `box` by `radius_m` meters in every direction (degree-space
+/// approximation, ample for city-scale prune regions).
+geo::BoundingBox ExpandByMeters(geo::BoundingBox box, double radius_m) {
+  if (box.IsEmpty() || radius_m <= 0) return box;
+  const double dlat = radius_m / kMetersPerDegLat;
+  const double mid_lat = (box.min_lat + box.max_lat) / 2;
+  const double cos_lat =
+      std::max(0.01, std::cos(geo::DegToRad(mid_lat)));
+  const double dlon = radius_m / (kMetersPerDegLat * cos_lat);
+  box.min_lat -= dlat;
+  box.max_lat += dlat;
+  box.min_lon -= dlon;
+  box.max_lon += dlon;
+  return box;
+}
+
+double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = std::min(
+      v.size() - 1,
+      static_cast<size_t>(std::ceil(q * static_cast<double>(v.size())) - 1));
+  return v[idx];
+}
+
+Json BBoxJson(const geo::BoundingBox& b) {
+  Json arr = Json::MakeArray();
+  arr.Append(Json(b.min_lat));
+  arr.Append(Json(b.min_lon));
+  arr.Append(Json(b.max_lat));
+  arr.Append(Json(b.max_lon));
+  return arr;
+}
+
+constexpr size_t kLatencyRing = 256;
+
+}  // namespace
+
+/// The per-query ShardTarget adapter handed to the scatter-gather stage.
+/// It snapshots the shard's engine handle at query start, so a concurrent
+/// KillShard lets in-flight probes finish against the old instance.
+class ShardProbeTarget : public query::ShardTarget {
+ public:
+  ShardProbeTarget(const ShardManager* mgr, int shard,
+                   std::shared_ptr<Tvdp> tvdp, geo::BoundingBox region)
+      : mgr_(mgr),
+        shard_(shard),
+        tvdp_(std::move(tvdp)),
+        region_(region) {}
+
+  int id() const override { return shard_; }
+  geo::BoundingBox region() const override { return region_; }
+
+  Result<std::vector<query::QueryHit>> Probe(const query::HybridQuery& q,
+                                             const RequestContext& ctx,
+                                             const query::QueryBudget& budget,
+                                             query::QueryPlan* plan_out)
+      override {
+    return mgr_->ProbeShard(shard_, tvdp_, q, ctx, budget, plan_out);
+  }
+
+  query::ShardEstimate Estimate(const query::HybridQuery& q) const override {
+    return mgr_->EstimateShard(tvdp_, q);
+  }
+
+ private:
+  const ShardManager* mgr_;
+  int shard_;
+  std::shared_ptr<Tvdp> tvdp_;
+  geo::BoundingBox region_;
+};
+
+ShardManager::ShardManager(ShardManagerOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<ShardManager>> ShardManager::Create(
+    ShardManagerOptions options) {
+  if (options.shard_count < 1) {
+    return Status::InvalidArgument("shard_count must be >= 1");
+  }
+  if (options.grid_rows < 1 || options.grid_cols < 1) {
+    return Status::InvalidArgument(
+        "shard grid must have at least one row and one column");
+  }
+  if (options.region.IsEmpty() ||
+      !geo::IsValid({options.region.min_lat, options.region.min_lon}) ||
+      !geo::IsValid({options.region.max_lat, options.region.max_lon})) {
+    return Status::InvalidArgument(
+        "shard grid region must be a valid non-empty bounding box");
+  }
+  const int cells = options.grid_rows * options.grid_cols;
+  if (options.shard_count > cells) {
+    return Status::InvalidArgument(
+        "shard_count exceeds the number of grid cells");
+  }
+  std::set<int> assigned;
+  for (const auto& [cell, shard] : options.cell_assignments) {
+    if (cell < 0 || cell >= cells) {
+      return Status::InvalidArgument("cell assignment out of grid range");
+    }
+    if (shard < 0 || shard >= options.shard_count) {
+      return Status::InvalidArgument("cell assigned to an unknown shard");
+    }
+    if (!assigned.insert(cell).second) {
+      return Status::InvalidArgument("duplicate cell assignment for cell " +
+                                     std::to_string(cell));
+    }
+  }
+  if (!(options.gather.per_shard_deadline_fraction > 0) ||
+      options.gather.per_shard_deadline_fraction > 1) {
+    return Status::InvalidArgument(
+        "per_shard_deadline_fraction must be in (0, 1]");
+  }
+  if (!(options.gather.degraded_keep_fraction > 0) ||
+      options.gather.degraded_keep_fraction > 1) {
+    return Status::InvalidArgument(
+        "degraded_keep_fraction must be in (0, 1]");
+  }
+  if (options.breaker.failure_threshold < 1) {
+    return Status::InvalidArgument("breaker failure_threshold must be >= 1");
+  }
+
+  auto mgr =
+      std::unique_ptr<ShardManager>(new ShardManager(std::move(options)));
+  const ShardManagerOptions& opts = mgr->options_;
+  const int n = opts.shard_count;
+
+  // cell -> shard: explicit assignments first, round-robin for the rest.
+  mgr->cell_to_shard_.assign(static_cast<size_t>(cells), -1);
+  for (const auto& [cell, shard] : opts.cell_assignments) {
+    mgr->cell_to_shard_[static_cast<size_t>(cell)] = shard;
+  }
+  for (int c = 0; c < cells; ++c) {
+    if (mgr->cell_to_shard_[static_cast<size_t>(c)] < 0) {
+      mgr->cell_to_shard_[static_cast<size_t>(c)] = c % n;
+    }
+  }
+
+  mgr->slots_.resize(static_cast<size_t>(n));
+  Rng seed_rng(opts.fault_seed);
+  const double dlat =
+      (opts.region.max_lat - opts.region.min_lat) / opts.grid_rows;
+  const double dlon =
+      (opts.region.max_lon - opts.region.min_lon) / opts.grid_cols;
+  for (int i = 0; i < n; ++i) {
+    Slot& slot = mgr->slots_[static_cast<size_t>(i)];
+    slot.rng = seed_rng.Fork();
+    for (int c = 0; c < cells; ++c) {
+      if (mgr->cell_to_shard_[static_cast<size_t>(c)] != i) continue;
+      const int row = c / opts.grid_cols;
+      const int col = c % opts.grid_cols;
+      geo::BoundingBox cell_box;
+      cell_box.min_lat = opts.region.min_lat + row * dlat;
+      cell_box.max_lat = opts.region.min_lat + (row + 1) * dlat;
+      cell_box.min_lon = opts.region.min_lon + col * dlon;
+      cell_box.max_lon = opts.region.min_lon + (col + 1) * dlon;
+      slot.cells.Extend(cell_box);
+    }
+    if (opts.base_path.empty()) {
+      TVDP_ASSIGN_OR_RETURN(Tvdp t, Tvdp::Create());
+      slot.tvdp = std::make_shared<Tvdp>(std::move(t));
+    } else {
+      slot.base_path = opts.base_path + "/shard_" + std::to_string(i);
+      TVDP_ASSIGN_OR_RETURN(Tvdp t, Tvdp::Open(slot.base_path, opts.durable));
+      slot.tvdp = std::make_shared<Tvdp>(std::move(t));
+      slot.replayed = slot.tvdp->durable_catalog()->replayed_records();
+    }
+  }
+  if (mgr->options_.breakers) {
+    mgr->tracker_ = std::make_unique<edge::DeviceHealthTracker>(
+        static_cast<size_t>(n), mgr->options_.breaker);
+  }
+  return mgr;
+}
+
+double ShardManager::NowMs() const {
+  if (options_.now_ms) return options_.now_ms();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int ShardManager::CellForLocation(const geo::GeoPoint& p) const {
+  const geo::BoundingBox& r = options_.region;
+  const double dlat = (r.max_lat - r.min_lat) / options_.grid_rows;
+  const double dlon = (r.max_lon - r.min_lon) / options_.grid_cols;
+  int row = dlat > 0 ? static_cast<int>((p.lat - r.min_lat) / dlat) : 0;
+  int col = dlon > 0 ? static_cast<int>((p.lon - r.min_lon) / dlon) : 0;
+  row = std::clamp(row, 0, options_.grid_rows - 1);
+  col = std::clamp(col, 0, options_.grid_cols - 1);
+  return row * options_.grid_cols + col;
+}
+
+int ShardManager::ShardForLocation(const geo::GeoPoint& p) const {
+  return cell_to_shard_[static_cast<size_t>(CellForLocation(p))];
+}
+
+geo::BoundingBox ShardManager::ExpandedRegionLocked(int shard) const {
+  const Slot& slot = slots_[static_cast<size_t>(shard)];
+  return ExpandByMeters(slot.cells, slot.max_fov_radius_m);
+}
+
+Result<int64_t> ShardManager::IngestImage(const ImageRecord& record) {
+  if (!geo::IsValid(record.location)) {
+    return Status::InvalidArgument("image location out of lat/lon bounds");
+  }
+  const int shard = ShardForLocation(record.location);
+  std::shared_ptr<Tvdp> tvdp;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    const Slot& slot = slots_[static_cast<size_t>(shard)];
+    if (slot.killed || !slot.tvdp) {
+      return Status::Unavailable("shard " + std::to_string(shard) +
+                                 " is down");
+    }
+    tvdp = slot.tvdp;
+  }
+  TVDP_ASSIGN_OR_RETURN(int64_t local, tvdp->IngestImage(record));
+  if (record.fov.has_value()) {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    Slot& slot = slots_[static_cast<size_t>(shard)];
+    slot.max_fov_radius_m =
+        std::max(slot.max_fov_radius_m, record.fov->radius_m);
+  }
+  return local * shard_count() + shard;
+}
+
+Result<int64_t> ShardManager::RegisterClassification(
+    const std::string& name, const std::vector<std::string>& labels,
+    const std::string& description) {
+  std::vector<std::shared_ptr<Tvdp>> live;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].killed || !slots_[i].tvdp) {
+        return Status::Unavailable("shard " + std::to_string(i) +
+                                   " is down; classification broadcast "
+                                   "requires the full fleet");
+      }
+      live.push_back(slots_[i].tvdp);
+    }
+  }
+  int64_t first_id = -1;
+  for (size_t i = 0; i < live.size(); ++i) {
+    TVDP_ASSIGN_OR_RETURN(int64_t id, live[i]->RegisterClassification(
+                                          name, labels, description));
+    if (i == 0) first_id = id;
+  }
+  return first_id;
+}
+
+Result<int64_t> ShardManager::AnnotateImage(
+    int64_t image_id, const AnnotationRecord& annotation) {
+  if (image_id < 0) {
+    return Status::InvalidArgument("image id must be non-negative");
+  }
+  const int n = shard_count();
+  const int shard = static_cast<int>(image_id % n);
+  std::shared_ptr<Tvdp> tvdp;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    const Slot& slot = slots_[static_cast<size_t>(shard)];
+    if (slot.killed || !slot.tvdp) {
+      return Status::Unavailable("shard " + std::to_string(shard) +
+                                 " is down");
+    }
+    tvdp = slot.tvdp;
+  }
+  TVDP_ASSIGN_OR_RETURN(int64_t local,
+                        tvdp->AnnotateImage(image_id / n, annotation));
+  return local * n + shard;
+}
+
+Status ShardManager::StoreFeature(int64_t image_id, const std::string& kind,
+                                  const ml::FeatureVector& feature) {
+  if (image_id < 0) {
+    return Status::InvalidArgument("image id must be non-negative");
+  }
+  const int n = shard_count();
+  const int shard = static_cast<int>(image_id % n);
+  std::shared_ptr<Tvdp> tvdp;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    const Slot& slot = slots_[static_cast<size_t>(shard)];
+    if (slot.killed || !slot.tvdp) {
+      return Status::Unavailable("shard " + std::to_string(shard) +
+                                 " is down");
+    }
+    tvdp = slot.tvdp;
+  }
+  return tvdp->StoreFeature(image_id / n, kind, feature);
+}
+
+Result<ml::FeatureVector> ShardManager::GetFeature(
+    int64_t image_id, const std::string& kind) const {
+  if (image_id < 0) {
+    return Status::InvalidArgument("image id must be non-negative");
+  }
+  const int n = shard_count();
+  const int shard = static_cast<int>(image_id % n);
+  std::shared_ptr<Tvdp> tvdp;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    const Slot& slot = slots_[static_cast<size_t>(shard)];
+    if (slot.killed || !slot.tvdp) {
+      return Status::Unavailable("shard " + std::to_string(shard) +
+                                 " is down");
+    }
+    tvdp = slot.tvdp;
+  }
+  return tvdp->GetFeature(image_id / n, kind);
+}
+
+Result<Json> ShardManager::ImageRowJson(int64_t image_id) const {
+  if (image_id < 0) {
+    return Status::InvalidArgument("image id must be non-negative");
+  }
+  const int n = shard_count();
+  const int shard = static_cast<int>(image_id % n);
+  std::shared_ptr<Tvdp> tvdp;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    const Slot& slot = slots_[static_cast<size_t>(shard)];
+    if (slot.killed || !slot.tvdp) {
+      return Status::Unavailable("shard " + std::to_string(shard) +
+                                 " is down");
+    }
+    tvdp = slot.tvdp;
+  }
+  TVDP_ASSIGN_OR_RETURN(Json row, tvdp->ImageRowJson(image_id / n));
+  row["id"] = Json(image_id);
+  return row;
+}
+
+Result<std::vector<query::QueryHit>> ShardManager::ProbeShard(
+    int shard, const std::shared_ptr<Tvdp>& tvdp, const query::HybridQuery& q,
+    const RequestContext& ctx, const query::QueryBudget& budget,
+    query::QueryPlan* plan_out) const {
+  if (!tvdp) {
+    return Status::Unavailable("shard " + std::to_string(shard) + " is down");
+  }
+  ShardFaultProfile f;
+  bool crash = false, hang = false, slow = false;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    Slot& slot = slots_[static_cast<size_t>(shard)];
+    f = slot.faults;
+    if (f.crash_prob > 0) crash = slot.rng.Bernoulli(f.crash_prob);
+    if (!crash && f.hang_prob > 0) hang = slot.rng.Bernoulli(f.hang_prob);
+    if (!crash && !hang && f.slow_prob > 0) {
+      slow = slot.rng.Bernoulli(f.slow_prob);
+    }
+  }
+  if (crash) {
+    return Status::Unavailable("shard " + std::to_string(shard) +
+                               " crash (injected)");
+  }
+  if (hang) {
+    // Block in 1 ms slices until the attempt's budget or the hang cap
+    // runs out — the probe never answers, like a wedged replica.
+    double hung = 0;
+    while (hung < f.hang_ms && ctx.Check().ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      hung += 1;
+    }
+    return Status::Unavailable("shard " + std::to_string(shard) +
+                               " hang (injected)");
+  }
+  if (slow && f.slow_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(f.slow_ms));
+  }
+  TVDP_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
+                        tvdp->ExecuteQuery(q, &ctx, budget, plan_out));
+  const int n = shard_count();
+  if (n > 1) {
+    for (query::QueryHit& h : hits) h.image_id = h.image_id * n + shard;
+  }
+  return hits;
+}
+
+query::ShardEstimate ShardManager::EstimateShard(
+    const std::shared_ptr<Tvdp>& tvdp, const query::HybridQuery& q) const {
+  query::ShardEstimate est;
+  if (!tvdp) return est;
+  Result<query::QueryPlan> plan = tvdp->ExplainQuery(q);
+  if (!plan.ok()) return est;
+  if (!plan->conjuncts.empty()) {
+    est.rows = plan->conjuncts.front().estimated_rows;
+  }
+  // Only exact counters may prove emptiness: the textual estimate is a
+  // min-df / capped-sum over real posting lists and the temporal estimate
+  // an exact order statistic, so a zero there is a zero. Spatial and
+  // categorical estimates are heuristic and never prune.
+  for (const query::ConjunctPlan& c : plan->conjuncts) {
+    if ((c.family == "textual" || c.family == "temporal") &&
+        c.estimated_rows == 0) {
+      est.provably_empty = true;
+    }
+  }
+  return est;
+}
+
+void ShardManager::RecordProbeOutcome(const query::ShardReport& report) const {
+  if (report.outcome != query::ShardOutcome::kProbed &&
+      report.outcome != query::ShardOutcome::kFailed) {
+    return;
+  }
+  const bool failed = report.outcome == query::ShardOutcome::kFailed;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    Slot& slot = slots_[static_cast<size_t>(report.shard)];
+    ++slot.probes;
+    if (failed) ++slot.failures;
+    if (slot.latencies.size() < kLatencyRing) {
+      slot.latencies.push_back(report.latency_ms);
+    } else {
+      slot.latencies[slot.latency_next % kLatencyRing] = report.latency_ms;
+    }
+    ++slot.latency_next;
+  }
+  if (tracker_) {
+    std::lock_guard<std::mutex> lock(tracker_mutex_);
+    const size_t i = static_cast<size_t>(report.shard);
+    if (failed) {
+      tracker_->RecordFailure(i, NowMs());
+    } else {
+      tracker_->RecordSuccess(i, NowMs());
+    }
+  }
+}
+
+Result<ShardManager::ShardedQueryResult> ShardManager::ExecuteQuery(
+    const query::HybridQuery& q, const RequestContext* ctx,
+    const query::QueryBudget& budget, bool shed_shards_degraded) const {
+  const size_t n = slots_.size();
+  std::vector<ShardProbeTarget> targets;
+  targets.reserve(n);
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (size_t i = 0; i < n; ++i) {
+      const Slot& slot = slots_[i];
+      targets.emplace_back(this, static_cast<int>(i),
+                           slot.killed ? nullptr : slot.tvdp,
+                           ExpandedRegionLocked(static_cast<int>(i)));
+    }
+  }
+  std::vector<query::ShardTarget*> ptrs;
+  ptrs.reserve(n);
+  for (ShardProbeTarget& t : targets) ptrs.push_back(&t);
+
+  query::ScatterGatherOptions gopts = options_.gather;
+  gopts.shed_low_selectivity =
+      gopts.shed_low_selectivity || shed_shards_degraded;
+  if (tracker_) {
+    gopts.admit = [this](int shard) {
+      std::lock_guard<std::mutex> lock(tracker_mutex_);
+      return tracker_->AllowRequest(static_cast<size_t>(shard), NowMs());
+    };
+  }
+  gopts.observe = [this](const query::ShardReport& r) {
+    RecordProbeOutcome(r);
+  };
+
+  TVDP_ASSIGN_OR_RETURN(
+      query::ShardedResult gathered,
+      query::ScatterGather::Execute(ptrs, nullptr, q, ctx, budget, gopts));
+
+  ShardedQueryResult out;
+  out.hits = std::move(gathered.hits);
+  out.coverage = std::move(gathered.coverage);
+  if (n == 1) {
+    // Degenerate single-shard mode: the shard's executed plan verbatim,
+    // byte-identical to an unsharded platform's plan JSON.
+    out.plan = gathered.plans.empty() ? Json::MakeObject()
+                                      : gathered.plans[0].second.ToJson();
+  } else {
+    Json node = Json::MakeObject();
+    node["op"] = "ScatterGather";
+    node["detail"] =
+        "probed " + std::to_string(out.coverage.ProbedShards().size()) + "/" +
+        std::to_string(n);
+    Json shard_plans = Json::MakeArray();
+    for (const auto& [sid, plan] : gathered.plans) {
+      Json entry = Json::MakeObject();
+      entry["shard"] = Json(sid);
+      entry["plan"] = plan.ToJson();
+      shard_plans.Append(std::move(entry));
+    }
+    node["shard_plans"] = std::move(shard_plans);
+    out.plan = std::move(node);
+  }
+  return out;
+}
+
+Result<Json> ShardManager::ExplainQuery(const query::HybridQuery& q,
+                                        const query::QueryBudget& budget) const {
+  TVDP_RETURN_IF_ERROR(query::Planner::Validate(q));
+  std::vector<std::pair<int, std::shared_ptr<Tvdp>>> shards;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      shards.emplace_back(static_cast<int>(i),
+                          slots_[i].killed ? nullptr : slots_[i].tvdp);
+    }
+  }
+  if (shards.size() == 1) {
+    if (!shards[0].second) {
+      return Status::Unavailable("shard 0 is down");
+    }
+    TVDP_ASSIGN_OR_RETURN(query::QueryPlan plan,
+                          shards[0].second->ExplainQuery(q, budget));
+    return plan.ToJson();
+  }
+  Json node = Json::MakeObject();
+  node["op"] = "ScatterGather";
+  node["detail"] = "shards " + std::to_string(shards.size());
+  Json shard_plans = Json::MakeArray();
+  for (const auto& [sid, tvdp] : shards) {
+    Json entry = Json::MakeObject();
+    entry["shard"] = Json(sid);
+    if (!tvdp) {
+      entry["error"] = "Unavailable";
+    } else {
+      Result<query::QueryPlan> plan = tvdp->ExplainQuery(q, budget);
+      if (!plan.ok()) return plan.status();
+      entry["plan"] = plan->ToJson();
+    }
+    shard_plans.Append(std::move(entry));
+  }
+  node["shard_plans"] = std::move(shard_plans);
+  return node;
+}
+
+Status ShardManager::SetShardFaults(int shard,
+                                    const ShardFaultProfile& faults) {
+  if (shard < 0 || shard >= shard_count()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  auto valid_prob = [](double p) { return p >= 0 && p <= 1; };
+  if (!valid_prob(faults.crash_prob) || !valid_prob(faults.hang_prob) ||
+      !valid_prob(faults.slow_prob)) {
+    return Status::InvalidArgument(
+        "fault probabilities must be in [0, 1]");
+  }
+  if (faults.slow_ms < 0 || faults.hang_ms < 0) {
+    return Status::InvalidArgument("fault delays must be non-negative");
+  }
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  slots_[static_cast<size_t>(shard)].faults = faults;
+  return Status::OK();
+}
+
+Status ShardManager::KillShard(int shard) {
+  if (shard < 0 || shard >= shard_count()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  Slot& slot = slots_[static_cast<size_t>(shard)];
+  if (slot.killed) {
+    return Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                      " is already down");
+  }
+  slot.killed = true;
+  if (!slot.base_path.empty()) {
+    // A durable shard crashes for real: drop the engine (no checkpoint,
+    // no flush) so recovery has to replay the WAL. In-flight probes keep
+    // their snapshotted handle and finish against the old instance.
+    slot.tvdp.reset();
+  }
+  return Status::OK();
+}
+
+Status ShardManager::RecoverShard(int shard) {
+  if (shard < 0 || shard >= shard_count()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  Slot& slot = slots_[static_cast<size_t>(shard)];
+  if (!slot.killed) {
+    return Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                      " is not down");
+  }
+  if (!slot.base_path.empty()) {
+    TVDP_ASSIGN_OR_RETURN(Tvdp t, Tvdp::Open(slot.base_path, options_.durable));
+    slot.tvdp = std::make_shared<Tvdp>(std::move(t));
+    slot.replayed = slot.tvdp->durable_catalog()->replayed_records();
+  }
+  slot.killed = false;
+  return Status::OK();
+}
+
+bool ShardManager::shard_alive(int shard) const {
+  if (shard < 0 || shard >= shard_count()) return false;
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  const Slot& slot = slots_[static_cast<size_t>(shard)];
+  return !slot.killed && slot.tvdp != nullptr;
+}
+
+edge::CircuitState ShardManager::breaker_state(int shard) const {
+  if (!tracker_ || shard < 0 || shard >= shard_count()) {
+    return edge::CircuitState::kClosed;
+  }
+  std::lock_guard<std::mutex> lock(tracker_mutex_);
+  return tracker_->state(static_cast<size_t>(shard));
+}
+
+size_t ShardManager::replayed_records(int shard) const {
+  if (shard < 0 || shard >= shard_count()) return 0;
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  return slots_[static_cast<size_t>(shard)].replayed;
+}
+
+Json ShardManager::StatsJson() const {
+  Json out = Json::MakeObject();
+  out["shard_count"] = Json(shard_count());
+  out["breakers"] = Json(options_.breakers);
+  Json shards = Json::MakeArray();
+  for (int i = 0; i < shard_count(); ++i) {
+    std::shared_ptr<Tvdp> tvdp;
+    Json s = Json::MakeObject();
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      const Slot& slot = slots_[static_cast<size_t>(i)];
+      tvdp = slot.killed ? nullptr : slot.tvdp;
+      s["shard"] = Json(i);
+      s["alive"] = Json(!slot.killed && slot.tvdp != nullptr);
+      s["durable"] = Json(!slot.base_path.empty());
+      s["probes"] = Json(slot.probes);
+      s["failures"] = Json(slot.failures);
+      s["probe_p50_ms"] = Json(Percentile(slot.latencies, 0.50));
+      s["probe_p99_ms"] = Json(Percentile(slot.latencies, 0.99));
+      s["replayed_records"] = Json(slot.replayed);
+      s["region"] = BBoxJson(ExpandedRegionLocked(i));
+    }
+    {
+      std::lock_guard<std::mutex> lock(tracker_mutex_);
+      s["breaker"] =
+          Json(tracker_ ? edge::CircuitStateName(tracker_->state(
+                              static_cast<size_t>(i)))
+                        : std::string("disabled"));
+    }
+    s["images"] = Json(tvdp ? tvdp->image_count() : 0);
+    s["wal_bytes"] =
+        Json(tvdp && tvdp->durable_catalog()
+                 ? tvdp->durable_catalog()->wal_size_bytes()
+                 : 0);
+    shards.Append(std::move(s));
+  }
+  out["shards"] = std::move(shards);
+  return out;
+}
+
+size_t ShardManager::image_count() const {
+  std::vector<std::shared_ptr<Tvdp>> live;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (const Slot& slot : slots_) {
+      if (!slot.killed && slot.tvdp) live.push_back(slot.tvdp);
+    }
+  }
+  size_t total = 0;
+  for (const auto& t : live) total += t->image_count();
+  return total;
+}
+
+Tvdp* ShardManager::shard(int i) {
+  if (i < 0 || i >= shard_count()) return nullptr;
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  return slots_[static_cast<size_t>(i)].tvdp.get();
+}
+
+}  // namespace tvdp::platform

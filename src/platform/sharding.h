@@ -1,0 +1,250 @@
+#ifndef TVDP_PLATFORM_SHARDING_H_
+#define TVDP_PLATFORM_SHARDING_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "edge/health.h"
+#include "geo/bbox.h"
+#include "platform/tvdp.h"
+#include "query/scatter_gather.h"
+#include "storage/durable_catalog.h"
+
+namespace tvdp::platform {
+
+/// Seeded fault injection for one shard: every probe draws independently
+/// (crash, then hang, then slow) from the shard's deterministic stream.
+///   crash — the probe fails instantly with kUnavailable;
+///   hang  — the probe blocks (in 1 ms slices, watching the attempt
+///           context) until the attempt budget or `hang_ms` runs out,
+///           then fails with kUnavailable — the straggler-shard model;
+///   slow  — the probe sleeps `slow_ms` and then proceeds normally.
+struct ShardFaultProfile {
+  double crash_prob = 0;
+  double hang_prob = 0;
+  double slow_prob = 0;
+  double slow_ms = 0;
+  /// Upper bound on an injected hang, so a probe with no deadline still
+  /// terminates.
+  double hang_ms = 250;
+};
+
+/// Configuration of a ShardManager.
+struct ShardManagerOptions {
+  /// Number of independent engine instances. 1 is the degenerate
+  /// single-shard mode (byte-identical to an unsharded platform).
+  int shard_count = 1;
+
+  /// The spatial grid: `grid_rows` x `grid_cols` equal cells tiling
+  /// `region`. Images are routed to the shard owning the cell their
+  /// camera location falls in (locations outside the region clamp to the
+  /// nearest edge cell).
+  int grid_rows = 1;
+  int grid_cols = 1;
+  geo::BoundingBox region;
+
+  /// Optional explicit (cell, shard) assignments; cells not listed use
+  /// the default round-robin `cell % shard_count`. A duplicate cell is
+  /// kInvalidArgument.
+  std::vector<std::pair<int, int>> cell_assignments;
+
+  /// When non-empty, each shard persists through its own DurableCatalog
+  /// (WAL + snapshot) rooted at `<base_path>/shard_<i>`; a killed shard
+  /// can then be recovered by replaying its WAL. Empty = in-memory shards.
+  std::string base_path;
+
+  /// Durable-store knobs shared by every shard (tests hook a
+  /// FaultInjectingFs here to inject slow-I/O and write faults).
+  storage::DurableCatalogOptions durable;
+
+  /// Scatter-gather tuning (per-shard deadline fraction, hedging policy,
+  /// pruning switches, degraded shedding fraction).
+  query::ScatterGatherOptions gather;
+
+  /// Per-shard circuit breakers (closed / open / half-open) fed by probe
+  /// outcomes; `breakers = false` disables the gate (the naive bench
+  /// configuration).
+  bool breakers = true;
+  edge::HealthOptions breaker;
+
+  /// Seed of the per-shard fault-injection streams.
+  uint64_t fault_seed = 0x5eedfa071ULL;
+
+  /// Clock used for breaker bookkeeping, milliseconds on any monotonic
+  /// scale; null = steady_clock. Tests inject a fake clock to step the
+  /// open -> half-open cooldown deterministically.
+  std::function<double()> now_ms;
+};
+
+/// An in-process sharded serving layer: N fault-isolated engine instances
+/// (each with its own catalog, WAL, and indexes) behind one facade that
+/// routes ingest by camera location and answers queries through the
+/// scatter-gather stage with per-shard circuit breakers, hedged probes,
+/// seeded fault injection, partial-result coverage, and online recovery
+/// (WAL replay + half-open re-admission).
+///
+/// Global image ids interleave the shard id: `global = local * N + shard`,
+/// so ids are dense per shard, never collide across shards, and coincide
+/// with local ids when N == 1 (the degenerate mode stays byte-identical
+/// to an unsharded platform).
+///
+/// Thread safety: all public methods are safe to call concurrently.
+/// Probes snapshot a shard's engine handle, so KillShard during an
+/// in-flight query lets that query finish against the old instance.
+class ShardManager {
+ public:
+  /// Validates `options` (degenerate configs are kInvalidArgument) and
+  /// builds the shard fleet. Durable shards that find existing state on
+  /// disk recover it (WAL replay) before serving.
+  static Result<std::unique_ptr<ShardManager>> Create(
+      ShardManagerOptions options);
+
+  ShardManager(const ShardManager&) = delete;
+  ShardManager& operator=(const ShardManager&) = delete;
+
+  int shard_count() const { return static_cast<int>(slots_.size()); }
+
+  /// The shard owning `p`'s grid cell (clamped into the region).
+  int ShardForLocation(const geo::GeoPoint& p) const;
+
+  // --- Acquisition / analysis (routed to the owning shard) ---
+
+  /// Routes by camera location; returns the image's global id.
+  Result<int64_t> IngestImage(const ImageRecord& record);
+
+  /// Broadcast: registers the task on every live shard (idempotent per
+  /// shard). Returns the first shard's classification id.
+  Result<int64_t> RegisterClassification(
+      const std::string& name, const std::vector<std::string>& labels,
+      const std::string& description = "");
+
+  /// Routes by the global image id; returns a global annotation id.
+  Result<int64_t> AnnotateImage(int64_t image_id,
+                                const AnnotationRecord& annotation);
+
+  Status StoreFeature(int64_t image_id, const std::string& kind,
+                      const ml::FeatureVector& feature);
+
+  Result<ml::FeatureVector> GetFeature(int64_t image_id,
+                                       const std::string& kind) const;
+
+  /// The image's metadata row (download_datasets shape) with the global id.
+  Result<Json> ImageRowJson(int64_t image_id) const;
+
+  // --- Access ---
+
+  struct ShardedQueryResult {
+    std::vector<query::QueryHit> hits;
+    query::Coverage coverage;
+    /// N == 1: the shard's executed plan verbatim; N > 1: a ScatterGather
+    /// wrapper node with the per-shard plans as children.
+    Json plan;
+  };
+
+  /// Scatter-gather query execution with partial-result semantics. When
+  /// `shed_shards_degraded` is set (the admission controller degraded the
+  /// request) the lowest-estimated-selectivity shards are shed before any
+  /// probe runs — whole shards go before whole queries.
+  Result<ShardedQueryResult> ExecuteQuery(
+      const query::HybridQuery& q, const RequestContext* ctx = nullptr,
+      const query::QueryBudget& budget = query::QueryBudget(),
+      bool shed_shards_degraded = false) const;
+
+  /// Deterministic plan JSON without executing (explain_query shape).
+  Result<Json> ExplainQuery(
+      const query::HybridQuery& q,
+      const query::QueryBudget& budget = query::QueryBudget()) const;
+
+  // --- Fault injection & lifecycle ---
+
+  /// Installs a fault profile on one shard (probabilities in [0, 1]).
+  Status SetShardFaults(int shard, const ShardFaultProfile& faults);
+
+  /// Simulates a crash: a durable shard's engine is dropped without a
+  /// checkpoint (recovery must replay its WAL); an in-memory shard is
+  /// marked down. In-flight probes finish against the old instance;
+  /// subsequent probes fail with kUnavailable until recovery.
+  Status KillShard(int shard);
+
+  /// Online recovery: reopens a durable shard from its snapshot + WAL
+  /// (counting replayed records) or revives an in-memory shard, without
+  /// restarting the platform. The shard's circuit breaker is left to
+  /// re-admit it through its half-open probe.
+  Status RecoverShard(int shard);
+
+  bool shard_alive(int shard) const;
+  edge::CircuitState breaker_state(int shard) const;
+
+  /// WAL records replayed by the last RecoverShard of this shard.
+  size_t replayed_records(int shard) const;
+
+  /// Per-shard operational state for the platform_stats endpoint: breaker
+  /// state, image/WAL sizes, probe counters, last-probe p50/p99.
+  Json StatsJson() const;
+
+  size_t image_count() const;
+
+  /// Direct access to one shard's engine (tests); nullptr while killed.
+  Tvdp* shard(int i);
+
+ private:
+  friend class ShardProbeTarget;
+
+  struct Slot {
+    std::shared_ptr<Tvdp> tvdp;
+    bool killed = false;
+    ShardFaultProfile faults;
+    Rng rng{0};
+    double max_fov_radius_m = 0;
+    geo::BoundingBox cells = geo::BoundingBox::Empty();
+    std::string base_path;  ///< "" for in-memory shards
+    size_t probes = 0;
+    size_t failures = 0;
+    size_t replayed = 0;
+    std::vector<double> latencies;  ///< ring buffer of probe latencies
+    size_t latency_next = 0;
+  };
+
+  explicit ShardManager(ShardManagerOptions options);
+
+  int CellForLocation(const geo::GeoPoint& p) const;
+  double NowMs() const;
+
+  /// The shard's prune region: its cells' union expanded by the largest
+  /// FOV radius ingested into it. Caller holds slots_mutex_.
+  geo::BoundingBox ExpandedRegionLocked(int shard) const;
+
+  /// One probe against a snapshotted engine handle: fault draws first
+  /// (crash / hang / slow), then the shard-local query, then local ->
+  /// global id translation.
+  Result<std::vector<query::QueryHit>> ProbeShard(
+      int shard, const std::shared_ptr<Tvdp>& tvdp,
+      const query::HybridQuery& q, const RequestContext& ctx,
+      const query::QueryBudget& budget, query::QueryPlan* plan_out) const;
+
+  query::ShardEstimate EstimateShard(const std::shared_ptr<Tvdp>& tvdp,
+                                     const query::HybridQuery& q) const;
+
+  /// Breaker + latency bookkeeping for one gathered probe outcome.
+  void RecordProbeOutcome(const query::ShardReport& report) const;
+
+  ShardManagerOptions options_;
+  std::vector<int> cell_to_shard_;
+  mutable std::vector<Slot> slots_;
+  mutable std::mutex slots_mutex_;
+  /// DeviceHealthTracker is not thread-safe; every access goes through
+  /// this mutex.
+  mutable std::unique_ptr<edge::DeviceHealthTracker> tracker_;
+  mutable std::mutex tracker_mutex_;
+};
+
+}  // namespace tvdp::platform
+
+#endif  // TVDP_PLATFORM_SHARDING_H_

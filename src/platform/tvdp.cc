@@ -234,6 +234,22 @@ size_t Tvdp::image_count() const {
   return t ? t->size() : 0;
 }
 
+Result<Json> Tvdp::ImageRowJson(int64_t image_id) const {
+  std::shared_lock lock(engine_->mutex());
+  const storage::Table* images = catalog().GetTable(tables::kImages);
+  const storage::Schema& s = images->schema();
+  TVDP_ASSIGN_OR_RETURN(Row row, images->Get(image_id));
+  Json r = Json::MakeObject();
+  r["id"] = row[0].AsInt64();
+  r["uri"] = row[static_cast<size_t>(s.ColumnIndex("uri"))].AsString();
+  r["lat"] = row[static_cast<size_t>(s.ColumnIndex("lat"))].AsDouble();
+  r["lon"] = row[static_cast<size_t>(s.ColumnIndex("lon"))].AsDouble();
+  r["captured_at"] =
+      row[static_cast<size_t>(s.ColumnIndex("timestamp_capturing"))].AsInt64();
+  r["source"] = row[static_cast<size_t>(s.ColumnIndex("source"))].AsString();
+  return r;
+}
+
 Result<std::string> Tvdp::GetLabel(int64_t image_id,
                                    const std::string& classification) const {
   std::shared_lock lock(engine_->mutex());

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/result.h"
 #include "common/timeutil.h"
 #include "geo/coverage.h"
@@ -155,6 +156,12 @@ class Tvdp {
   /// Retrieves the stored feature of the given kind.
   Result<ml::FeatureVector> GetFeature(int64_t image_id,
                                        const std::string& kind) const;
+
+  /// The image's metadata row in the download_datasets JSON shape
+  /// ({"id","uri","lat","lon","captured_at","source"}); NotFound for an
+  /// unknown id. Shared by the API layer and the sharded serving layer so
+  /// both render rows identically.
+  Result<Json> ImageRowJson(int64_t image_id) const;
 
   /// All camera locations of images annotated (classification, label) with
   /// confidence >= min_confidence — the translational primitive behind the

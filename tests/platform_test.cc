@@ -539,7 +539,7 @@ TEST_F(ApiTest, EnvelopeNumericCodesAndPrecedence) {
 }
 
 TEST_F(ApiTest, EndpointListStable) {
-  EXPECT_EQ(api_->Endpoints().size(), 8u);
+  EXPECT_EQ(api_->Endpoints().size(), 9u);
 }
 
 TEST_F(ApiTest, MalformedRequestsRejected) {
