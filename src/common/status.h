@@ -26,6 +26,7 @@ enum class StatusCode {
   kDeadlineExceeded,   ///< attempt or budget timed out
   kResourceExhausted,  ///< capacity gone (battery, quota, queue slots)
   kCancelled,          ///< caller abandoned the request; never retried
+  kDataLoss,           ///< unrecoverable divergence/corruption of stored data
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -88,6 +89,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -146,7 +146,7 @@ std::vector<std::string> ApiService::Endpoints() const {
   return {"add_data",        "search_datasets", "explain_query",
           "download_datasets",   "get_visual_features",
           "use_model",       "download_model",  "register_model",
-          "platform_stats"};
+          "platform_stats",  "reconcile"};
 }
 
 Result<Json> ApiService::HandleRequest(const std::string& api_key,
@@ -234,6 +234,7 @@ Result<Json> ApiService::Dispatch(const std::string& owner,
   if (endpoint == "download_model") return DownloadModel(request);
   if (endpoint == "register_model") return RegisterModel(owner, request);
   if (endpoint == "platform_stats") return PlatformStats(request);
+  if (endpoint == "reconcile") return Reconcile(request);
   return Status::NotFound("unknown endpoint: " + endpoint);
 }
 
@@ -502,6 +503,14 @@ Result<Json> ApiService::PlatformStats(const Json&) const {
     out["images"] = platform_->image_count();
   }
   return out;
+}
+
+Result<Json> ApiService::Reconcile(const Json&) {
+  if (!shards_) {
+    return Status::FailedPrecondition(
+        "reconcile requires a sharded deployment");
+  }
+  return shards_->ReconcileBroadcasts();
 }
 
 }  // namespace tvdp::platform

@@ -39,7 +39,12 @@ namespace tvdp::platform {
 ///   register_model   — share a model (serialized linear-family payload).
 ///   platform_stats   — operational state: admission counters, latency
 ///                      digests, and (sharded deployments) per-shard
-///                      breaker/WAL/latency state.
+///                      breaker/WAL/latency state, including pending
+///                      broadcast counts.
+///   reconcile        — sharded deployments only: runs the broadcast
+///                      reconciliation pass (completes or rolls back
+///                      pending cross-shard writes) and reports whether
+///                      the fleet's classification tables agree.
 ///
 /// The service fronts either a single engine (`Tvdp*`) or a sharded fleet
 /// (`ShardManager*`). Sharded search_datasets responses additionally carry
@@ -119,6 +124,7 @@ class ApiService {
   Result<Json> DownloadModel(const Json& request);
   Result<Json> RegisterModel(const std::string& owner, const Json& request);
   Result<Json> PlatformStats(const Json& request) const;
+  Result<Json> Reconcile(const Json& request);
 
   Tvdp* platform_;
   ShardManager* shards_ = nullptr;

@@ -181,12 +181,33 @@ Result<std::unique_ptr<ShardManager>> ShardManager::Create(
       slot.base_path = opts.base_path + "/shard_" + std::to_string(i);
       TVDP_ASSIGN_OR_RETURN(Tvdp t, Tvdp::Open(slot.base_path, opts.durable));
       slot.tvdp = std::make_shared<Tvdp>(std::move(t));
-      slot.replayed = slot.tvdp->durable_catalog()->replayed_records();
+      storage::DurableCatalog* dc = slot.tvdp->durable_catalog();
+      slot.replayed = dc->replayed_records();
+      // The spillover prune margin must survive a reopen: recompute it from
+      // the recovered catalog instead of restarting at 0 (which silently
+      // dropped FOV-overlap matches near shard borders).
+      slot.max_fov_radius_m = slot.tvdp->MaxFovRadiusM();
+      for (const storage::PendingBroadcast& p : dc->PendingBroadcasts()) {
+        slot.pending_broadcasts[p.broadcast_id] = p;
+      }
+      mgr->next_broadcast_id_ =
+          std::max(mgr->next_broadcast_id_, dc->max_broadcast_id() + 1);
     }
   }
   if (mgr->options_.breakers) {
     mgr->tracker_ = std::make_unique<edge::DeviceHealthTracker>(
         static_cast<size_t>(n), mgr->options_.breaker);
+  }
+  bool any_pending = false;
+  for (const Slot& slot : mgr->slots_) {
+    if (!slot.pending_broadcasts.empty()) any_pending = true;
+  }
+  if (mgr->options_.atomic_broadcasts && any_pending) {
+    // Startup reconciliation: resolve the broadcasts a previous process's
+    // crash left pending before this fleet starts serving.
+    std::lock_guard<std::mutex> lock(mgr->broadcast_mutex_);
+    Result<Json> report = mgr->ReconcileLocked();
+    if (!report.ok()) return report.status();
   }
   return mgr;
 }
@@ -243,28 +264,408 @@ Result<int64_t> ShardManager::IngestImage(const ImageRecord& record) {
   return local * shard_count() + shard;
 }
 
+void ShardManager::SetBroadcastHook(
+    std::function<bool(const std::string& phase, int shard)> hook) {
+  std::lock_guard<std::mutex> lock(broadcast_mutex_);
+  broadcast_hook_ = std::move(hook);
+}
+
+bool ShardManager::BroadcastHookOk(const char* phase, int shard) const {
+  if (!broadcast_hook_) return true;
+  return broadcast_hook_(phase, shard);
+}
+
+Status ShardManager::AppendBroadcastTo(int shard,
+                                       const storage::WalRecord& record) {
+  std::shared_ptr<Tvdp> tvdp;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    const Slot& slot = slots_[static_cast<size_t>(shard)];
+    // Re-checked under the lock on every per-shard step: a handle
+    // snapshotted before a KillShard must never receive broadcast writes —
+    // a "crashed" shard that kept durably logging would falsify the crash
+    // model the reconciliation tests rely on.
+    if (slot.killed || !slot.tvdp) {
+      return Status::Unavailable("shard " + std::to_string(shard) +
+                                 " is down");
+    }
+    tvdp = slot.tvdp;
+  }
+  if (tvdp->durable_catalog()) {
+    // fsyncs before returning; deliberately outside slots_mutex_ so query
+    // dispatch never blocks behind a broadcast's disk write.
+    TVDP_RETURN_IF_ERROR(tvdp->durable_catalog()->AppendBroadcast(record));
+  }
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  Slot& slot = slots_[static_cast<size_t>(shard)];
+  if (record.type == storage::WalRecordType::kBroadcastIntent) {
+    slot.pending_broadcasts[record.broadcast_id] = storage::PendingBroadcast{
+        record.broadcast_id, record.op, record.payload, record.target_ids};
+  } else {
+    slot.pending_broadcasts.erase(record.broadcast_id);
+  }
+  return Status::OK();
+}
+
 Result<int64_t> ShardManager::RegisterClassification(
     const std::string& name, const std::vector<std::string>& labels,
     const std::string& description) {
-  std::vector<std::shared_ptr<Tvdp>> live;
+  if (!options_.atomic_broadcasts) {
+    // Legacy fire-and-forget broadcast, kept only so the regression
+    // harness can demonstrate the hazard this PR fixes: a mid-loop failure
+    // leaves the classification registered on a prefix of shards, and the
+    // per-shard ids are never compared.
+    std::vector<std::shared_ptr<Tvdp>> live;
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].killed || !slots_[i].tvdp) {
+          return Status::Unavailable("shard " + std::to_string(i) +
+                                     " is down; classification broadcast "
+                                     "requires the full fleet");
+        }
+        live.push_back(slots_[i].tvdp);
+      }
+    }
+    int64_t first_id = -1;
+    for (size_t i = 0; i < live.size(); ++i) {
+      TVDP_ASSIGN_OR_RETURN(int64_t id, live[i]->RegisterClassification(
+                                            name, labels, description));
+      if (i == 0) first_id = id;
+    }
+    return first_id;
+  }
+
+  std::lock_guard<std::mutex> block(broadcast_mutex_);
+  const int n = shard_count();
+  std::vector<std::shared_ptr<Tvdp>> live(static_cast<size_t>(n));
   {
     std::lock_guard<std::mutex> lock(slots_mutex_);
-    for (size_t i = 0; i < slots_.size(); ++i) {
-      if (slots_[i].killed || !slots_[i].tvdp) {
+    for (int i = 0; i < n; ++i) {
+      const Slot& slot = slots_[static_cast<size_t>(i)];
+      if (slot.killed || !slot.tvdp) {
         return Status::Unavailable("shard " + std::to_string(i) +
                                    " is down; classification broadcast "
                                    "requires the full fleet");
       }
-      live.push_back(slots_[i].tvdp);
+      live[static_cast<size_t>(i)] = slot.tvdp;
     }
   }
-  int64_t first_id = -1;
-  for (size_t i = 0; i < live.size(); ++i) {
-    TVDP_ASSIGN_OR_RETURN(int64_t id, live[i]->RegisterClassification(
-                                          name, labels, description));
-    if (i == 0) first_id = id;
+
+  // The id every shard is expected to assign, recorded in the intent so
+  // recovery can check the fleet converged on the same ids.
+  std::vector<int64_t> targets(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    TVDP_ASSIGN_OR_RETURN(
+        targets[static_cast<size_t>(i)],
+        live[static_cast<size_t>(i)]->PeekClassificationId(name));
   }
-  return first_id;
+
+  const int64_t bid = next_broadcast_id_++;
+  Json payload = Json::MakeObject();
+  payload["name"] = Json(name);
+  Json jlabels = Json::MakeArray();
+  for (const std::string& l : labels) jlabels.Append(Json(l));
+  payload["labels"] = std::move(jlabels);
+  payload["description"] = Json(description);
+  const storage::WalRecord intent = storage::WalRecord::BroadcastIntent(
+      bid, "register_classification", payload.Dump(), targets);
+
+  // Phase 1: a durable intent on every shard before anything is applied.
+  for (int i = 0; i < n; ++i) {
+    if (!BroadcastHookOk("intent", i)) {
+      // Simulated coordinator crash. Intents already written stay pending
+      // for reconciliation; since nothing applied, it will roll them back.
+      return Status::Unavailable("broadcast " + std::to_string(bid) +
+                                 " abandoned before intent on shard " +
+                                 std::to_string(i));
+    }
+    Status logged = AppendBroadcastTo(i, intent);
+    if (!logged.ok()) {
+      // Nothing applied yet anywhere: abort the earlier intents in place.
+      for (int j = 0; j < i; ++j) {
+        (void)AppendBroadcastTo(j, storage::WalRecord::BroadcastAbort(bid));
+      }
+      return logged;
+    }
+  }
+
+  // Phase 2: apply on every shard. From here on a failure leaves the
+  // intent pending — ReconcileBroadcasts / shard recovery decides from
+  // evidence whether to complete it forward or roll it back.
+  std::vector<int64_t> ids(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    if (!BroadcastHookOk("apply", i)) {
+      return Status::Unavailable("broadcast " + std::to_string(bid) +
+                                 " abandoned before apply on shard " +
+                                 std::to_string(i) +
+                                 "; pending until reconciliation");
+    }
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      Slot& slot = slots_[static_cast<size_t>(i)];
+      if (slot.killed || !slot.tvdp) {
+        return Status::Unavailable("shard " + std::to_string(i) +
+                                   " went down during broadcast " +
+                                   std::to_string(bid) +
+                                   "; pending until reconciliation");
+      }
+      live[static_cast<size_t>(i)] = slot.tvdp;
+    }
+    Result<int64_t> id = live[static_cast<size_t>(i)]->RegisterClassification(
+        name, labels, description);
+    if (!id.ok()) {
+      if (i == 0) {
+        // The first apply failed, so no shard holds the operation: the
+        // intents can be rolled back immediately.
+        for (int j = 0; j < n; ++j) {
+          (void)AppendBroadcastTo(j, storage::WalRecord::BroadcastAbort(bid));
+        }
+      }
+      return id.status();
+    }
+    ids[static_cast<size_t>(i)] = id.value();
+  }
+
+  // Applied everywhere — verify the fleet agreed on one id before
+  // committing. A mismatch is still resolved (every shard did apply), but
+  // surfaced as data loss naming the divergent shards.
+  std::string divergent;
+  for (int i = 1; i < n; ++i) {
+    if (ids[static_cast<size_t>(i)] == ids[0]) continue;
+    if (!divergent.empty()) divergent += ", ";
+    divergent += std::to_string(i) + " (id " +
+                 std::to_string(ids[static_cast<size_t>(i)]) + ")";
+  }
+  if (!divergent.empty()) {
+    for (int i = 0; i < n; ++i) {
+      (void)AppendBroadcastTo(i, storage::WalRecord::BroadcastCommit(bid));
+    }
+    return Status::DataLoss("classification '" + name +
+                            "' diverged: shard 0 assigned id " +
+                            std::to_string(ids[0]) + " but shard " +
+                            divergent + " disagreed");
+  }
+
+  // Phase 3: commit markers. Best-effort per shard — the operation is
+  // fully applied, so a marker lost to a crash only means reconciliation
+  // re-derives the commit from the applied evidence.
+  for (int i = 0; i < n; ++i) {
+    if (!BroadcastHookOk("commit", i)) {
+      return Status::Unavailable("broadcast " + std::to_string(bid) +
+                                 " applied on every shard but abandoned "
+                                 "before commit on shard " +
+                                 std::to_string(i) +
+                                 "; pending until reconciliation");
+    }
+    (void)AppendBroadcastTo(i, storage::WalRecord::BroadcastCommit(bid));
+  }
+  return ids[0];
+}
+
+Result<Json> ShardManager::ReconcileBroadcasts() {
+  std::lock_guard<std::mutex> lock(broadcast_mutex_);
+  return ReconcileLocked();
+}
+
+Result<Json> ShardManager::ReconcileLocked() {
+  const int n = shard_count();
+  std::vector<std::shared_ptr<Tvdp>> handles(static_cast<size_t>(n));
+  std::vector<bool> alive(static_cast<size_t>(n), false);
+  std::map<int64_t, storage::PendingBroadcast> pending;
+  std::map<int64_t, std::vector<int>> holders;
+  bool all_live = true;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (int i = 0; i < n; ++i) {
+      const Slot& slot = slots_[static_cast<size_t>(i)];
+      alive[static_cast<size_t>(i)] = !slot.killed && slot.tvdp != nullptr;
+      if (alive[static_cast<size_t>(i)]) {
+        handles[static_cast<size_t>(i)] = slot.tvdp;
+      } else {
+        all_live = false;
+      }
+      for (const auto& [bid, p] : slot.pending_broadcasts) {
+        pending.emplace(bid, p);
+        holders[bid].push_back(i);
+      }
+    }
+  }
+
+  Json completed = Json::MakeArray();
+  Json rolled_back = Json::MakeArray();
+  Json deferred = Json::MakeArray();
+  Json errors = Json::MakeArray();
+  for (const auto& [bid, p] : pending) {
+    Json entry = Json::MakeObject();
+    entry["broadcast_id"] = Json(bid);
+    entry["op"] = Json(p.op);
+    if (p.op != "register_classification") {
+      errors.Append(Json("broadcast " + std::to_string(bid) +
+                         ": unknown op '" + p.op + "'"));
+      continue;
+    }
+    Result<Json> parsed = Json::Parse(p.payload);
+    if (!parsed.ok()) {
+      errors.Append(Json("broadcast " + std::to_string(bid) +
+                         ": bad payload: " + parsed.status().ToString()));
+      continue;
+    }
+    const std::string& name = (*parsed)["name"].AsString();
+    std::vector<std::string> labels;
+    for (const Json& l : (*parsed)["labels"].AsArray()) {
+      labels.push_back(l.AsString());
+    }
+    const std::string& description = (*parsed)["description"].AsString();
+    entry["name"] = Json(name);
+
+    // Evidence: did any live shard's classification table already absorb
+    // this operation?
+    bool applied_somewhere = false;
+    for (int i = 0; i < n; ++i) {
+      if (alive[static_cast<size_t>(i)] &&
+          handles[static_cast<size_t>(i)]->ClassificationApplied(name,
+                                                                 labels)) {
+        applied_somewhere = true;
+        break;
+      }
+    }
+
+    if (applied_somewhere) {
+      // Complete forward: re-apply (idempotent) on every live shard still
+      // holding the intent, then commit. Intents on down shards resolve
+      // when those shards recover and re-run this pass.
+      Json remaining = Json::MakeArray();
+      bool failed = false;
+      for (int i : holders[bid]) {
+        if (!alive[static_cast<size_t>(i)]) {
+          remaining.Append(Json(i));
+          continue;
+        }
+        Result<int64_t> id =
+            handles[static_cast<size_t>(i)]->RegisterClassification(
+                name, labels, description);
+        if (!id.ok()) {
+          errors.Append(Json("broadcast " + std::to_string(bid) + " shard " +
+                             std::to_string(i) + ": " +
+                             id.status().ToString()));
+          failed = true;
+          continue;
+        }
+        Status marked =
+            AppendBroadcastTo(i, storage::WalRecord::BroadcastCommit(bid));
+        if (!marked.ok()) {
+          errors.Append(Json("broadcast " + std::to_string(bid) + " shard " +
+                             std::to_string(i) + ": " + marked.ToString()));
+          failed = true;
+        }
+      }
+      entry["action"] = Json("completed_forward");
+      if (remaining.size() > 0) entry["awaiting_recovery"] = remaining;
+      (failed ? deferred : completed).Append(std::move(entry));
+    } else if (all_live) {
+      // Every shard is up and none applied it: the coordinator died before
+      // any apply, so the operation never happened — roll it back.
+      bool failed = false;
+      for (int i : holders[bid]) {
+        Status marked =
+            AppendBroadcastTo(i, storage::WalRecord::BroadcastAbort(bid));
+        if (!marked.ok()) {
+          errors.Append(Json("broadcast " + std::to_string(bid) + " shard " +
+                             std::to_string(i) + ": " + marked.ToString()));
+          failed = true;
+        }
+      }
+      entry["action"] = Json("rolled_back");
+      (failed ? deferred : rolled_back).Append(std::move(entry));
+    } else {
+      // A down shard may hold the only evidence that the operation was
+      // applied; rolling back now could diverge from what that shard
+      // replays on recovery. Defer until the fleet is whole.
+      entry["action"] = Json("deferred");
+      Json down = Json::MakeArray();
+      for (int i = 0; i < n; ++i) {
+        if (!alive[static_cast<size_t>(i)]) down.Append(Json(i));
+      }
+      entry["down_shards"] = std::move(down);
+      deferred.Append(std::move(entry));
+    }
+  }
+
+  Json out = Json::MakeObject();
+  out["completed"] = std::move(completed);
+  out["rolled_back"] = std::move(rolled_back);
+  out["deferred"] = std::move(deferred);
+  out["errors"] = std::move(errors);
+  Json detail = Json::MakeObject();
+  Status consistent = VerifyConsistencyLocked(&detail);
+  out["consistent"] = Json(consistent.ok());
+  out["divergent"] = std::move(detail["divergent"]);
+  return out;
+}
+
+Status ShardManager::VerifyClassificationConsistency(Json* detail) const {
+  std::lock_guard<std::mutex> lock(broadcast_mutex_);
+  return VerifyConsistencyLocked(detail);
+}
+
+Status ShardManager::VerifyConsistencyLocked(Json* detail) const {
+  const int n = shard_count();
+  std::vector<std::shared_ptr<Tvdp>> handles(static_cast<size_t>(n));
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (int i = 0; i < n; ++i) {
+      const Slot& slot = slots_[static_cast<size_t>(i)];
+      handles[static_cast<size_t>(i)] = slot.killed ? nullptr : slot.tvdp;
+    }
+  }
+  int ref = -1;
+  Json ref_table;
+  std::string shard_list;
+  std::set<std::string> names;
+  Json divergent = Json::MakeObject();
+  for (int i = 0; i < n; ++i) {
+    if (!handles[static_cast<size_t>(i)]) continue;
+    Json table = handles[static_cast<size_t>(i)]->ClassificationTableJson();
+    if (ref < 0) {
+      ref = i;
+      ref_table = std::move(table);
+      continue;
+    }
+    if (table == ref_table) continue;
+    // Collect the classification names whose entries disagree.
+    for (const auto& [cls, entry] : table.AsObject()) {
+      if (!ref_table.Has(cls) || !(ref_table[cls] == entry)) names.insert(cls);
+    }
+    for (const auto& [cls, entry] : ref_table.AsObject()) {
+      if (!table.Has(cls)) names.insert(cls);
+    }
+    if (!shard_list.empty()) shard_list += ", ";
+    shard_list += std::to_string(i);
+    divergent[std::to_string(i)] = std::move(table);
+  }
+  if (detail) {
+    Json d = Json::MakeObject();
+    d["reference_shard"] = ref < 0 ? Json() : Json(ref);
+    d["reference"] = ref_table;
+    d["divergent"] = divergent;
+    *detail = std::move(d);
+  }
+  if (shard_list.empty()) return Status::OK();
+  std::string name_list;
+  for (const std::string& cls : names) {
+    if (!name_list.empty()) name_list += ", ";
+    name_list += "'" + cls + "'";
+  }
+  return Status::DataLoss("classification tables diverged from shard " +
+                          std::to_string(ref) + " on shard(s) " + shard_list +
+                          " (classifications: " + name_list + ")");
+}
+
+size_t ShardManager::pending_broadcasts(int shard) const {
+  if (shard < 0 || shard >= shard_count()) return 0;
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  return slots_[static_cast<size_t>(shard)].pending_broadcasts.size();
 }
 
 Result<int64_t> ShardManager::AnnotateImage(
@@ -569,7 +970,7 @@ Status ShardManager::SetShardFaults(int shard,
   return Status::OK();
 }
 
-Status ShardManager::KillShard(int shard) {
+Status ShardManager::KillShard(int shard, bool drop_state) {
   if (shard < 0 || shard >= shard_count()) {
     return Status::InvalidArgument("shard index out of range");
   }
@@ -580,11 +981,16 @@ Status ShardManager::KillShard(int shard) {
                                       " is already down");
   }
   slot.killed = true;
-  if (!slot.base_path.empty()) {
+  if (!slot.base_path.empty() || drop_state) {
     // A durable shard crashes for real: drop the engine (no checkpoint,
     // no flush) so recovery has to replay the WAL. In-flight probes keep
-    // their snapshotted handle and finish against the old instance.
+    // their snapshotted handle and finish against the old instance. An
+    // in-memory shard only loses its engine under the explicit total-loss
+    // model (`drop_state`) — there is no WAL to rebuild it from.
     slot.tvdp.reset();
+    // Total loss on an in-memory shard takes its broadcast log with it;
+    // durable shards keep the mirror because the on-disk log survives.
+    if (slot.base_path.empty()) slot.pending_broadcasts.clear();
   }
   return Status::OK();
 }
@@ -593,19 +999,55 @@ Status ShardManager::RecoverShard(int shard) {
   if (shard < 0 || shard >= shard_count()) {
     return Status::InvalidArgument("shard index out of range");
   }
-  std::lock_guard<std::mutex> lock(slots_mutex_);
-  Slot& slot = slots_[static_cast<size_t>(shard)];
-  if (!slot.killed) {
-    return Status::FailedPrecondition("shard " + std::to_string(shard) +
-                                      " is not down");
+  // Serialized with broadcasts so the reconciliation pass below sees a
+  // stable fleet (broadcast_mutex_ before slots_mutex_, never the reverse).
+  std::lock_guard<std::mutex> block(broadcast_mutex_);
+  std::string base_path;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    Slot& slot = slots_[static_cast<size_t>(shard)];
+    if (!slot.killed) {
+      return Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                        " is not down");
+    }
+    if (slot.base_path.empty() && !slot.tvdp) {
+      // An in-memory shard that lost its engine has no WAL to replay;
+      // "recovering" it would put an empty zombie back into rotation.
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(shard) +
+          " is in-memory with no engine to revive (nothing to replay)");
+    }
+    base_path = slot.base_path;
   }
-  if (!slot.base_path.empty()) {
-    TVDP_ASSIGN_OR_RETURN(Tvdp t, Tvdp::Open(slot.base_path, options_.durable));
-    slot.tvdp = std::make_shared<Tvdp>(std::move(t));
-    slot.replayed = slot.tvdp->durable_catalog()->replayed_records();
+  if (!base_path.empty()) {
+    // Reopen outside slots_mutex_ — WAL replay is disk-bound and must not
+    // stall query dispatch. The slot stays killed until the swap below, so
+    // no other caller can race the handle.
+    TVDP_ASSIGN_OR_RETURN(Tvdp t, Tvdp::Open(base_path, options_.durable));
+    auto revived = std::make_shared<Tvdp>(std::move(t));
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    Slot& slot = slots_[static_cast<size_t>(shard)];
+    slot.tvdp = std::move(revived);
+    storage::DurableCatalog* dc = slot.tvdp->durable_catalog();
+    slot.replayed = dc->replayed_records();
+    slot.max_fov_radius_m = slot.tvdp->MaxFovRadiusM();
+    slot.pending_broadcasts.clear();
+    for (const storage::PendingBroadcast& p : dc->PendingBroadcasts()) {
+      slot.pending_broadcasts[p.broadcast_id] = p;
+    }
+    next_broadcast_id_ =
+        std::max(next_broadcast_id_, dc->max_broadcast_id() + 1);
+    slot.killed = false;
+  } else {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    slots_[static_cast<size_t>(shard)].killed = false;
   }
-  slot.killed = false;
-  return Status::OK();
+  if (!options_.atomic_broadcasts) return Status::OK();
+  // Resolve whatever a crash left pending now that this shard is back,
+  // then surface (without undoing the recovery) any remaining divergence.
+  TVDP_ASSIGN_OR_RETURN(Json report, ReconcileLocked());
+  (void)report;
+  return VerifyConsistencyLocked(nullptr);
 }
 
 bool ShardManager::shard_alive(int shard) const {
@@ -633,6 +1075,7 @@ Json ShardManager::StatsJson() const {
   Json out = Json::MakeObject();
   out["shard_count"] = Json(shard_count());
   out["breakers"] = Json(options_.breakers);
+  out["atomic_broadcasts"] = Json(options_.atomic_broadcasts);
   Json shards = Json::MakeArray();
   for (int i = 0; i < shard_count(); ++i) {
     std::shared_ptr<Tvdp> tvdp;
@@ -649,6 +1092,7 @@ Json ShardManager::StatsJson() const {
       s["probe_p50_ms"] = Json(Percentile(slot.latencies, 0.50));
       s["probe_p99_ms"] = Json(Percentile(slot.latencies, 0.99));
       s["replayed_records"] = Json(slot.replayed);
+      s["pending_broadcasts"] = Json(slot.pending_broadcasts.size());
       s["region"] = BBoxJson(ExpandedRegionLocked(i));
     }
     {

@@ -2,6 +2,7 @@
 #define TVDP_PLATFORM_SHARDING_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -74,6 +75,16 @@ struct ShardManagerOptions {
   bool breakers = true;
   edge::HealthOptions breaker;
 
+  /// Two-phase intent/commit protocol for fleet-wide writes
+  /// (RegisterClassification): an intent is durably logged on every shard
+  /// before anything is applied, a commit marker after every shard
+  /// acknowledged, and recovery reconciles whatever a crash left pending.
+  /// `false` restores the PR 6 fire-and-forget broadcast — a mid-loop
+  /// failure leaves the classification registered on a prefix of shards
+  /// with unchecked ids; kept only so the regression harness can
+  /// demonstrate that hazard.
+  bool atomic_broadcasts = true;
+
   /// Seed of the per-shard fault-injection streams.
   uint64_t fault_seed = 0x5eedfa071ULL;
 
@@ -119,11 +130,44 @@ class ShardManager {
   /// Routes by camera location; returns the image's global id.
   Result<int64_t> IngestImage(const ImageRecord& record);
 
-  /// Broadcast: registers the task on every live shard (idempotent per
-  /// shard). Returns the first shard's classification id.
+  /// Atomic broadcast: registers the task on every shard through the
+  /// two-phase intent/commit protocol (idempotent per shard). All shards
+  /// must be live. Every shard's resulting classification id is verified
+  /// against the first shard's — a mismatch is kDataLoss naming the
+  /// divergent shards. A crash mid-broadcast leaves a durably logged
+  /// intent that `ReconcileBroadcasts` / shard recovery completes forward
+  /// (some shard already applied) or rolls back (none did), so the fleet
+  /// always converges to one classification table.
   Result<int64_t> RegisterClassification(
       const std::string& name, const std::vector<std::string>& labels,
       const std::string& description = "");
+
+  /// Repair entry point (also run automatically by Create and
+  /// RecoverShard): resolves every pending broadcast intent visible on the
+  /// live fleet. An intent is completed forward when any live shard
+  /// already applied it, rolled back when every shard is live and none
+  /// applied it, and deferred while a shard that might hold the only
+  /// evidence is still down. Returns a report
+  /// ({"completed","rolled_back","deferred","errors","consistent",
+  ///   "divergent"}) — surfaced by the API's `reconcile` endpoint.
+  Result<Json> ReconcileBroadcasts();
+
+  /// Compares the classification tables (name -> id, label -> type id) of
+  /// every live shard; divergence is kDataLoss naming the classifications
+  /// and shards that disagree. `detail` (optional) receives the divergent
+  /// entries per shard.
+  Status VerifyClassificationConsistency(Json* detail = nullptr) const;
+
+  /// Test hook called before each per-shard step of a broadcast with the
+  /// phase ("intent" / "apply" / "commit") and the shard index. Returning
+  /// false abandons the broadcast at that point — the simulated
+  /// coordinator crash used by the fault-injection suite. The hook may
+  /// call KillShard.
+  void SetBroadcastHook(
+      std::function<bool(const std::string& phase, int shard)> hook);
+
+  /// Unresolved broadcast intents currently pending on one shard.
+  size_t pending_broadcasts(int shard) const;
 
   /// Routes by the global image id; returns a global annotation id.
   Result<int64_t> AnnotateImage(int64_t image_id,
@@ -171,12 +215,20 @@ class ShardManager {
   /// checkpoint (recovery must replay its WAL); an in-memory shard is
   /// marked down. In-flight probes finish against the old instance;
   /// subsequent probes fail with kUnavailable until recovery.
-  Status KillShard(int shard);
+  /// `drop_state` additionally discards an in-memory shard's engine — the
+  /// total-loss model (no WAL, nothing to replay), after which RecoverShard
+  /// reports kFailedPrecondition instead of reviving an empty zombie.
+  Status KillShard(int shard, bool drop_state = false);
 
   /// Online recovery: reopens a durable shard from its snapshot + WAL
-  /// (counting replayed records) or revives an in-memory shard, without
-  /// restarting the platform. The shard's circuit breaker is left to
-  /// re-admit it through its half-open probe.
+  /// (counting replayed records, recomputing the FOV spillover margin, and
+  /// reloading pending broadcast intents) or revives an in-memory shard,
+  /// without restarting the platform. A reconciliation pass then resolves
+  /// any broadcasts the crash left pending; the recovered shard stays up
+  /// even when that pass reports divergence (kDataLoss). The shard's
+  /// circuit breaker is left to re-admit it through its half-open probe.
+  /// kFailedPrecondition for an in-memory shard with nothing to revive
+  /// (no WAL to replay).
   Status RecoverShard(int shard);
 
   bool shard_alive(int shard) const;
@@ -210,6 +262,11 @@ class ShardManager {
     size_t replayed = 0;
     std::vector<double> latencies;  ///< ring buffer of probe latencies
     size_t latency_next = 0;
+    /// Mirror of the shard's unresolved broadcast intents (the durable
+    /// source of truth is the shard's broadcast log; in-memory shards only
+    /// have this mirror). Guarded by slots_mutex_; refreshed from the
+    /// durable log on Create/RecoverShard.
+    std::map<int64_t, storage::PendingBroadcast> pending_broadcasts;
   };
 
   explicit ShardManager(ShardManagerOptions options);
@@ -235,10 +292,29 @@ class ShardManager {
   /// Breaker + latency bookkeeping for one gathered probe outcome.
   void RecordProbeOutcome(const query::ShardReport& report) const;
 
+  /// Appends one broadcast record to `shard`'s log (durable shards fsync it
+  /// through the DurableCatalog; in-memory shards only update the mirror).
+  /// Unavailable when the shard is down. Caller holds broadcast_mutex_.
+  Status AppendBroadcastTo(int shard, const storage::WalRecord& record);
+
+  /// True unless a test hook vetoes this step (simulated coordinator
+  /// crash). Caller holds broadcast_mutex_.
+  bool BroadcastHookOk(const char* phase, int shard) const;
+
+  /// Reconciliation + consistency check bodies; caller holds
+  /// broadcast_mutex_.
+  Result<Json> ReconcileLocked();
+  Status VerifyConsistencyLocked(Json* detail) const;
+
   ShardManagerOptions options_;
   std::vector<int> cell_to_shard_;
   mutable std::vector<Slot> slots_;
   mutable std::mutex slots_mutex_;
+  /// Serializes fleet-wide broadcasts, reconciliation, and recovery; taken
+  /// before slots_mutex_ (never the reverse).
+  mutable std::mutex broadcast_mutex_;
+  int64_t next_broadcast_id_ = 1;  ///< guarded by broadcast_mutex_
+  std::function<bool(const std::string&, int)> broadcast_hook_;
   /// DeviceHealthTracker is not thread-safe; every access goes through
   /// this mutex.
   mutable std::unique_ptr<edge::DeviceHealthTracker> tracker_;

@@ -177,6 +177,66 @@ Result<int64_t> Tvdp::RegisterClassification(
   return it->second.first;
 }
 
+Result<int64_t> Tvdp::ClassificationId(const std::string& name) const {
+  std::shared_lock lock(engine_->mutex());
+  auto it = classifications_.find(name);
+  if (it == classifications_.end()) {
+    return Status::NotFound("unregistered classification: " + name);
+  }
+  return it->second.first;
+}
+
+Result<int64_t> Tvdp::PeekClassificationId(const std::string& name) const {
+  std::shared_lock lock(engine_->mutex());
+  auto it = classifications_.find(name);
+  if (it != classifications_.end()) return it->second.first;
+  const storage::Table* cls =
+      catalog().GetTable(tables::kImageContentClassification);
+  if (!cls) return Status::Internal("catalog is missing the TVDP schema");
+  return cls->next_id();
+}
+
+bool Tvdp::ClassificationApplied(
+    const std::string& name, const std::vector<std::string>& labels) const {
+  std::shared_lock lock(engine_->mutex());
+  auto it = classifications_.find(name);
+  if (it == classifications_.end()) return false;
+  for (const std::string& label : labels) {
+    if (!it->second.second.count(label)) return false;
+  }
+  return true;
+}
+
+Json Tvdp::ClassificationTableJson() const {
+  std::shared_lock lock(engine_->mutex());
+  Json out = Json::MakeObject();
+  for (const auto& [name, entry] : classifications_) {
+    Json cls = Json::MakeObject();
+    cls["id"] = Json(entry.first);
+    Json labels = Json::MakeObject();
+    for (const auto& [label, type_id] : entry.second) {
+      labels[label] = Json(type_id);
+    }
+    cls["labels"] = std::move(labels);
+    out[name] = std::move(cls);
+  }
+  return out;
+}
+
+double Tvdp::MaxFovRadiusM() const {
+  std::shared_lock lock(engine_->mutex());
+  const storage::Table* fov = catalog().GetTable(tables::kImageFov);
+  if (!fov) return 0;
+  const storage::Schema& s = fov->schema();
+  size_t radius_idx = static_cast<size_t>(s.ColumnIndex("radius_m"));
+  double max_radius = 0;
+  fov->ForEach([&](const Row& r) {
+    max_radius = std::max(max_radius, r[radius_idx].AsDouble());
+    return true;
+  });
+  return max_radius;
+}
+
 Result<int64_t> Tvdp::AnnotateImage(int64_t image_id,
                                     const AnnotationRecord& annotation) {
   std::unique_lock lock(engine_->mutex());

@@ -96,6 +96,31 @@ class Tvdp {
                                          const std::vector<std::string>& labels,
                                          const std::string& description = "");
 
+  /// Id of the registered classification `name`, or NotFound.
+  Result<int64_t> ClassificationId(const std::string& name) const;
+
+  /// The id a `RegisterClassification(name, ...)` call would return right
+  /// now: the existing id when `name` is registered, otherwise the id the
+  /// classification table will assign next. The sharded broadcast
+  /// coordinator records these per-shard targets in the intent so recovery
+  /// can verify the fleet converged on the same ids.
+  Result<int64_t> PeekClassificationId(const std::string& name) const;
+
+  /// True iff `name` is registered and every label in `labels` is present —
+  /// the reconciliation pass's "this shard already applied the broadcast"
+  /// evidence check.
+  bool ClassificationApplied(const std::string& name,
+                             const std::vector<std::string>& labels) const;
+
+  /// Deterministic dump of the classification registry
+  /// ({name: {"id": .., "labels": {label: type_id}}}) used by the sharded
+  /// layer to verify the fleet's classification tables are identical.
+  Json ClassificationTableJson() const;
+
+  /// Largest FOV radius (meters) stored in the catalog, 0 when none — lets
+  /// the sharded layer rebuild its spillover prune margin after a reopen.
+  double MaxFovRadiusM() const;
+
   /// Attaches an annotation (manual or machine) to an image; the task and
   /// label must have been registered. Returns the annotation id.
   Result<int64_t> AnnotateImage(int64_t image_id,

@@ -1,10 +1,29 @@
 #include "storage/durable_catalog.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "common/crc32.h"
 #include "common/logging.h"
+#include "storage/serializer.h"
 
 namespace tvdp::storage {
+
+namespace {
+
+/// Frames `record` exactly as `Wal::Append` would ([len][crc][payload]) and
+/// appends the bytes to `out` — used to rebuild a compacted broadcast log
+/// as one atomic file replacement.
+void AppendFramed(const WalRecord& record, std::vector<uint8_t>& out) {
+  std::vector<uint8_t> payload = record.Encode();
+  BinaryWriter frame;
+  frame.WriteU32(static_cast<uint32_t>(payload.size()));
+  frame.WriteU32(Crc32c(payload));
+  out.insert(out.end(), frame.buffer().begin(), frame.buffer().end());
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+}  // namespace
 
 Result<DurableCatalog> DurableCatalog::Open(const std::string& base_path,
                                             DurableCatalogOptions options) {
@@ -13,6 +32,7 @@ Result<DurableCatalog> DurableCatalog::Open(const std::string& base_path,
   dc.options_ = options;
   dc.snapshot_path_ = base_path + ".snapshot";
   dc.wal_path_ = base_path + ".wal";
+  dc.broadcast_path_ = base_path + ".broadcast";
 
   // 1. Snapshot. The file is only ever replaced atomically, so either it is
   // absent (fresh store) or it must verify; a checksum failure means real
@@ -31,6 +51,9 @@ Result<DurableCatalog> DurableCatalog::Open(const std::string& base_path,
   TVDP_ASSIGN_OR_RETURN(WalRecovery recovery,
                         Wal::Recover(dc.fs_, dc.wal_path_));
   for (const WalRecord& rec : recovery.records) {
+    if (rec.type != WalRecordType::kInsert) {
+      return Status::IOError("non-insert record in the catalog WAL");
+    }
     Table* table = dc.catalog_->GetTable(rec.table);
     if (!table) {
       return Status::IOError("WAL references unknown table " + rec.table);
@@ -56,6 +79,48 @@ Result<DurableCatalog> DurableCatalog::Open(const std::string& base_path,
   // 3. Reopen the log for appending after the valid prefix.
   TVDP_ASSIGN_OR_RETURN(Wal wal, Wal::Open(dc.fs_, dc.wal_path_));
   dc.wal_ = std::make_unique<Wal>(std::move(wal));
+
+  // 4. Broadcast-log replay: fold intents and their commit/abort markers,
+  // in order, into the pending set; anything resolved is dropped. The file
+  // is then compacted to [high-water commit marker] + pending intents via
+  // an atomic replace, so a crash during compaction can never lose an
+  // unresolved intent.
+  TVDP_ASSIGN_OR_RETURN(WalRecovery broadcasts,
+                        Wal::Recover(dc.fs_, dc.broadcast_path_));
+  for (const WalRecord& rec : broadcasts.records) {
+    switch (rec.type) {
+      case WalRecordType::kBroadcastIntent:
+        dc.pending_broadcasts_[rec.broadcast_id] =
+            PendingBroadcast{rec.broadcast_id, rec.op, rec.payload,
+                             rec.target_ids};
+        break;
+      case WalRecordType::kBroadcastCommit:
+      case WalRecordType::kBroadcastAbort:
+        dc.pending_broadcasts_.erase(rec.broadcast_id);
+        break;
+      case WalRecordType::kInsert:
+        return Status::IOError("insert record in the broadcast log");
+    }
+    dc.max_broadcast_id_ = std::max(dc.max_broadcast_id_, rec.broadcast_id);
+  }
+  const size_t kept =
+      dc.pending_broadcasts_.size() + (dc.max_broadcast_id_ > 0 ? 1u : 0u);
+  if (broadcasts.records.size() > kept) {
+    std::vector<uint8_t> compacted;
+    // High-water first: a commit marker for an id with no following intent
+    // is a pure watermark, and fold order guarantees it cannot resolve the
+    // re-appended pending intents behind it.
+    AppendFramed(WalRecord::BroadcastCommit(dc.max_broadcast_id_), compacted);
+    for (const auto& [id, pending] : dc.pending_broadcasts_) {
+      AppendFramed(WalRecord::BroadcastIntent(id, pending.op, pending.payload,
+                                              pending.target_ids),
+                   compacted);
+    }
+    TVDP_RETURN_IF_ERROR(AtomicWriteFile(*dc.fs_, dc.broadcast_path_,
+                                         compacted));
+  }
+  TVDP_ASSIGN_OR_RETURN(Wal blog, Wal::Open(dc.fs_, dc.broadcast_path_));
+  dc.broadcast_log_ = std::make_unique<Wal>(std::move(blog));
   return dc;
 }
 
@@ -120,6 +185,46 @@ Status DurableCatalog::CheckpointLocked() {
 Status DurableCatalog::Flush() {
   std::unique_lock<std::shared_mutex> lock(*mutex_);
   return wal_->Sync();
+}
+
+Status DurableCatalog::AppendBroadcast(const WalRecord& record) {
+  if (record.type == WalRecordType::kInsert) {
+    return Status::InvalidArgument(
+        "insert records do not belong in the broadcast log");
+  }
+  std::unique_lock<std::shared_mutex> lock(*mutex_);
+  // Always synced: an intent must be durable before the coordinator applies
+  // the operation anywhere, and a commit marker before the coordinator
+  // reports the broadcast resolved.
+  TVDP_RETURN_IF_ERROR(broadcast_log_->Append(record, /*sync=*/true));
+  switch (record.type) {
+    case WalRecordType::kBroadcastIntent:
+      pending_broadcasts_[record.broadcast_id] =
+          PendingBroadcast{record.broadcast_id, record.op, record.payload,
+                           record.target_ids};
+      break;
+    case WalRecordType::kBroadcastCommit:
+    case WalRecordType::kBroadcastAbort:
+      pending_broadcasts_.erase(record.broadcast_id);
+      break;
+    case WalRecordType::kInsert:
+      break;  // rejected above
+  }
+  max_broadcast_id_ = std::max(max_broadcast_id_, record.broadcast_id);
+  return Status::OK();
+}
+
+std::vector<PendingBroadcast> DurableCatalog::PendingBroadcasts() const {
+  std::shared_lock<std::shared_mutex> lock(*mutex_);
+  std::vector<PendingBroadcast> out;
+  out.reserve(pending_broadcasts_.size());
+  for (const auto& [id, pending] : pending_broadcasts_) out.push_back(pending);
+  return out;
+}
+
+int64_t DurableCatalog::max_broadcast_id() const {
+  std::shared_lock<std::shared_mutex> lock(*mutex_);
+  return max_broadcast_id_;
 }
 
 }  // namespace tvdp::storage

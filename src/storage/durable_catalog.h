@@ -2,10 +2,12 @@
 #define TVDP_STORAGE_DURABLE_CATALOG_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/file.h"
 #include "common/result.h"
@@ -39,8 +41,20 @@ struct DurableCatalogOptions {
   Fs* fs = nullptr;
 };
 
+/// An unresolved fleet-wide operation recovered from (or appended to) the
+/// shard-local broadcast log: an intent without a matching commit or abort
+/// marker. The reconciliation pass (platform::ShardManager) either
+/// completes it forward or rolls it back.
+struct PendingBroadcast {
+  int64_t broadcast_id = 0;
+  std::string op;
+  std::string payload;              ///< op arguments (JSON)
+  std::vector<int64_t> target_ids;  ///< expected id per shard
+};
+
 /// Crash-safe persistence for `Catalog`: a checksummed snapshot plus a
-/// write-ahead log of inserts since that snapshot.
+/// write-ahead log of inserts since that snapshot, plus a separate
+/// broadcast log tracing fleet-wide two-phase operations.
 ///
 /// Thread safety: `Insert`, `Checkpoint`, `Flush` and `Bootstrap` are
 /// serialized by an internal writer lock, so WAL commit ordering always
@@ -53,6 +67,13 @@ struct DurableCatalogOptions {
 ///   p.snapshot — `Catalog::Serialize()` output (magic, version, body CRC),
 ///                always replaced atomically (tmp + fsync + rename + dirsync)
 ///   p.wal      — length-framed, CRC'd insert records since the snapshot
+///   p.broadcast— intent/commit/abort markers of fleet-wide operations.
+///                Unlike p.wal it is NOT reset by checkpoints: a pending
+///                intent must survive any number of compactions until the
+///                coordinator resolves it. Open drops resolved markers and
+///                rewrites the file atomically, keeping only a high-water
+///                commit marker (so broadcast ids never regress) plus the
+///                still-pending intents.
 ///
 /// Lifecycle: `Open` loads the snapshot (if any), replays the longest valid
 /// WAL prefix, and truncates any garbage tail. `Insert` applies the row to
@@ -99,6 +120,22 @@ class DurableCatalog {
   /// fsyncs outstanding WAL appends (useful with sync_on_commit=false).
   Status Flush();
 
+  // --- Broadcast log (fleet-wide two-phase operations) ---
+
+  /// Appends one broadcast record (intent/commit/abort) to the broadcast
+  /// log, fsynced before returning — an intent is durable before the
+  /// coordinator applies anything. Commit/abort markers resolve the
+  /// matching pending intent; a marker for an unknown id is legal (it only
+  /// advances the high-water mark).
+  Status AppendBroadcast(const WalRecord& record);
+
+  /// Unresolved intents, in broadcast-id order.
+  std::vector<PendingBroadcast> PendingBroadcasts() const;
+
+  /// Largest broadcast id ever seen by this shard (survives compaction via
+  /// the high-water marker), 0 when none.
+  int64_t max_broadcast_id() const;
+
   /// The in-memory catalog. Reads are free; direct mutation bypasses the
   /// log — use `Insert` for anything that must survive a crash.
   Catalog& catalog() { return *catalog_; }
@@ -109,6 +146,7 @@ class DurableCatalog {
 
   const std::string& snapshot_path() const { return snapshot_path_; }
   const std::string& wal_path() const { return wal_path_; }
+  const std::string& broadcast_path() const { return broadcast_path_; }
 
  private:
   DurableCatalog() = default;
@@ -122,8 +160,12 @@ class DurableCatalog {
       std::make_unique<std::shared_mutex>();
   std::string snapshot_path_;
   std::string wal_path_;
+  std::string broadcast_path_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<Wal> wal_;
+  std::unique_ptr<Wal> broadcast_log_;
+  std::map<int64_t, PendingBroadcast> pending_broadcasts_;
+  int64_t max_broadcast_id_ = 0;
   bool recovered_from_disk_ = false;
   size_t replayed_records_ = 0;
   size_t checkpoints_taken_ = 0;

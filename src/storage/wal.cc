@@ -17,26 +17,95 @@ uint32_t ReadU32At(const std::vector<uint8_t>& b, size_t pos) {
 
 }  // namespace
 
+WalRecord WalRecord::BroadcastIntent(int64_t broadcast_id, std::string op,
+                                     std::string payload,
+                                     std::vector<int64_t> target_ids) {
+  WalRecord rec;
+  rec.type = WalRecordType::kBroadcastIntent;
+  rec.broadcast_id = broadcast_id;
+  rec.op = std::move(op);
+  rec.payload = std::move(payload);
+  rec.target_ids = std::move(target_ids);
+  return rec;
+}
+
+WalRecord WalRecord::BroadcastCommit(int64_t broadcast_id) {
+  WalRecord rec;
+  rec.type = WalRecordType::kBroadcastCommit;
+  rec.broadcast_id = broadcast_id;
+  return rec;
+}
+
+WalRecord WalRecord::BroadcastAbort(int64_t broadcast_id) {
+  WalRecord rec;
+  rec.type = WalRecordType::kBroadcastAbort;
+  rec.broadcast_id = broadcast_id;
+  return rec;
+}
+
 std::vector<uint8_t> WalRecord::Encode() const {
   BinaryWriter w;
-  w.WriteString(table);
-  w.WriteI64(row_id);
-  w.WriteU32(static_cast<uint32_t>(values.size()));
-  for (const Value& v : values) w.WriteValue(v);
+  w.WriteU8(static_cast<uint8_t>(type));
+  switch (type) {
+    case WalRecordType::kInsert:
+      w.WriteString(table);
+      w.WriteI64(row_id);
+      w.WriteU32(static_cast<uint32_t>(values.size()));
+      for (const Value& v : values) w.WriteValue(v);
+      break;
+    case WalRecordType::kBroadcastIntent:
+      w.WriteI64(broadcast_id);
+      w.WriteString(op);
+      w.WriteString(payload);
+      w.WriteU32(static_cast<uint32_t>(target_ids.size()));
+      for (int64_t id : target_ids) w.WriteI64(id);
+      break;
+    case WalRecordType::kBroadcastCommit:
+    case WalRecordType::kBroadcastAbort:
+      w.WriteI64(broadcast_id);
+      break;
+  }
   return std::move(w.Take());
 }
 
 Result<WalRecord> WalRecord::Decode(const std::vector<uint8_t>& payload) {
   BinaryReader r(payload);
   WalRecord rec;
-  TVDP_ASSIGN_OR_RETURN(rec.table, r.ReadString());
-  TVDP_ASSIGN_OR_RETURN(rec.row_id, r.ReadI64());
-  TVDP_ASSIGN_OR_RETURN(uint32_t arity, r.ReadU32());
-  TVDP_RETURN_IF_ERROR(r.Need(arity));  // each value is at least 1 tag byte
-  rec.values.reserve(arity);
-  for (uint32_t i = 0; i < arity; ++i) {
-    TVDP_ASSIGN_OR_RETURN(Value v, r.ReadValue());
-    rec.values.push_back(std::move(v));
+  TVDP_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+  if (tag > static_cast<uint8_t>(WalRecordType::kBroadcastAbort)) {
+    return Status::IOError("unknown WAL record type " + std::to_string(tag));
+  }
+  rec.type = static_cast<WalRecordType>(tag);
+  switch (rec.type) {
+    case WalRecordType::kInsert: {
+      TVDP_ASSIGN_OR_RETURN(rec.table, r.ReadString());
+      TVDP_ASSIGN_OR_RETURN(rec.row_id, r.ReadI64());
+      TVDP_ASSIGN_OR_RETURN(uint32_t arity, r.ReadU32());
+      TVDP_RETURN_IF_ERROR(r.Need(arity));  // each value is >= 1 tag byte
+      rec.values.reserve(arity);
+      for (uint32_t i = 0; i < arity; ++i) {
+        TVDP_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+        rec.values.push_back(std::move(v));
+      }
+      break;
+    }
+    case WalRecordType::kBroadcastIntent: {
+      TVDP_ASSIGN_OR_RETURN(rec.broadcast_id, r.ReadI64());
+      TVDP_ASSIGN_OR_RETURN(rec.op, r.ReadString());
+      TVDP_ASSIGN_OR_RETURN(rec.payload, r.ReadString());
+      TVDP_ASSIGN_OR_RETURN(uint32_t targets, r.ReadU32());
+      TVDP_RETURN_IF_ERROR(r.Need(targets));  // each target is 8 bytes
+      rec.target_ids.reserve(targets);
+      for (uint32_t i = 0; i < targets; ++i) {
+        TVDP_ASSIGN_OR_RETURN(int64_t id, r.ReadI64());
+        rec.target_ids.push_back(id);
+      }
+      break;
+    }
+    case WalRecordType::kBroadcastCommit:
+    case WalRecordType::kBroadcastAbort:
+      TVDP_ASSIGN_OR_RETURN(rec.broadcast_id, r.ReadI64());
+      break;
   }
   if (!r.AtEnd()) {
     return Status::IOError("trailing bytes in WAL record payload");

@@ -13,13 +13,41 @@
 
 namespace tvdp::storage {
 
-/// One logged catalog mutation: a row inserted into `table` with its already
-/// assigned primary key. Replaying records in order reproduces the exact
-/// post-crash row set, ids included.
+/// Kind of a logged record. `kInsert` is the classic catalog mutation; the
+/// broadcast types implement the two-phase intent/commit protocol for
+/// fleet-wide operations (DESIGN.md "Cross-shard write consistency"): an
+/// intent is written to every shard's broadcast log before the operation is
+/// applied, a commit marker after every shard acknowledged, and an abort
+/// marker when the coordinator rolls the operation back.
+enum class WalRecordType : uint8_t {
+  kInsert = 0,
+  kBroadcastIntent = 1,
+  kBroadcastCommit = 2,
+  kBroadcastAbort = 3,
+};
+
+/// One logged record. For `kInsert`: a row inserted into `table` with its
+/// already assigned primary key — replaying records in order reproduces the
+/// exact post-crash row set, ids included. For the broadcast types: the
+/// shard-local trace of a fleet-wide operation (`broadcast_id` names the
+/// operation; an intent additionally carries the op name, its payload, and
+/// the per-shard ids the coordinator expects the apply to produce).
 struct WalRecord {
   std::string table;
   RowId row_id = 0;
   Row values;  ///< non-id columns, in schema order
+
+  WalRecordType type = WalRecordType::kInsert;
+  int64_t broadcast_id = 0;          ///< broadcast types only
+  std::string op;                    ///< intent only, e.g. "register_classification"
+  std::string payload;               ///< intent only, op arguments (JSON)
+  std::vector<int64_t> target_ids;   ///< intent only, expected id per shard
+
+  static WalRecord BroadcastIntent(int64_t broadcast_id, std::string op,
+                                   std::string payload,
+                                   std::vector<int64_t> target_ids);
+  static WalRecord BroadcastCommit(int64_t broadcast_id);
+  static WalRecord BroadcastAbort(int64_t broadcast_id);
 
   std::vector<uint8_t> Encode() const;
   static Result<WalRecord> Decode(const std::vector<uint8_t>& payload);
@@ -38,7 +66,8 @@ struct WalRecovery {
 ///
 ///   [u32 payload_len][u32 crc32c(payload)][payload bytes]
 ///
-/// all little-endian. A record is committed once `Append(..., sync=true)`
+/// all little-endian; the payload leads with a one-byte `WalRecordType`
+/// tag. A record is committed once `Append(..., sync=true)`
 /// returns OK. Recovery scans from the start and keeps the longest prefix of
 /// records whose length fits the file and whose checksum verifies; anything
 /// after the first bad frame (torn write, power-cut truncation, bit rot) is

@@ -187,6 +187,89 @@ TEST_F(DurabilityTest, WalAppendRecoverRoundTrip) {
   }
 }
 
+TEST_F(DurabilityTest, WalBroadcastRecordsRoundTrip) {
+  const std::string path = Path("broadcast.wal");
+  {
+    auto wal = storage::Wal::Open(Fs::Default(), path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(storage::WalRecord::BroadcastIntent(
+                                7, "register_classification",
+                                "{\"name\":\"scene\"}", {3, 3, 4}),
+                            /*sync=*/true)
+                    .ok());
+    ASSERT_TRUE(
+        wal->Append(storage::WalRecord::BroadcastCommit(7), true).ok());
+    ASSERT_TRUE(wal->Append(storage::WalRecord::BroadcastAbort(9), true).ok());
+  }
+  auto recovery = storage::Wal::Recover(Fs::Default(), path);
+  ASSERT_TRUE(recovery.ok());
+  ASSERT_EQ(recovery->records.size(), 3u);
+  const storage::WalRecord& intent = recovery->records[0];
+  EXPECT_EQ(intent.type, storage::WalRecordType::kBroadcastIntent);
+  EXPECT_EQ(intent.broadcast_id, 7);
+  EXPECT_EQ(intent.op, "register_classification");
+  EXPECT_EQ(intent.payload, "{\"name\":\"scene\"}");
+  EXPECT_EQ(intent.target_ids, (std::vector<int64_t>{3, 3, 4}));
+  EXPECT_EQ(recovery->records[1].type,
+            storage::WalRecordType::kBroadcastCommit);
+  EXPECT_EQ(recovery->records[1].broadcast_id, 7);
+  EXPECT_EQ(recovery->records[2].type,
+            storage::WalRecordType::kBroadcastAbort);
+  EXPECT_EQ(recovery->records[2].broadcast_id, 9);
+}
+
+TEST_F(DurabilityTest, BroadcastLogSurvivesReopenAndCheckpoints) {
+  const std::string base = Path("store");
+  {
+    auto dc = storage::DurableCatalog::Open(base);
+    ASSERT_TRUE(dc.ok());
+    ASSERT_TRUE(dc->Bootstrap(MakeItemsCatalog()).ok());
+    ASSERT_TRUE(dc->AppendBroadcast(storage::WalRecord::BroadcastIntent(
+                      1, "register_classification", "{}", {5}))
+                    .ok());
+    ASSERT_TRUE(dc->AppendBroadcast(storage::WalRecord::BroadcastCommit(1))
+                    .ok());
+    ASSERT_TRUE(dc->AppendBroadcast(storage::WalRecord::BroadcastIntent(
+                      2, "register_classification", "{\"k\":1}", {6}))
+                    .ok());
+    // Unlike the insert WAL, a checkpoint must not reset the broadcast log:
+    // broadcast 2 is still unresolved.
+    ASSERT_TRUE(dc->Insert("items", ItemRow("a", 1)).ok());
+    ASSERT_TRUE(dc->Checkpoint().ok());
+  }
+  {
+    auto dc = storage::DurableCatalog::Open(base);
+    ASSERT_TRUE(dc.ok()) << dc.status();
+    auto pending = dc->PendingBroadcasts();
+    ASSERT_EQ(pending.size(), 1u);
+    EXPECT_EQ(pending[0].broadcast_id, 2);
+    EXPECT_EQ(pending[0].payload, "{\"k\":1}");
+    EXPECT_EQ(pending[0].target_ids, (std::vector<int64_t>{6}));
+    // The resolved broadcast was compacted away, but its id survives in
+    // the high-water marker so ids never regress.
+    EXPECT_EQ(dc->max_broadcast_id(), 2);
+    ASSERT_TRUE(dc->AppendBroadcast(storage::WalRecord::BroadcastAbort(2))
+                    .ok());
+  }
+  {
+    auto dc = storage::DurableCatalog::Open(base);
+    ASSERT_TRUE(dc.ok()) << dc.status();
+    EXPECT_TRUE(dc->PendingBroadcasts().empty());
+    EXPECT_EQ(dc->max_broadcast_id(), 2);
+  }
+}
+
+TEST_F(DurabilityTest, BroadcastLogRejectsInsertRecords) {
+  const std::string base = Path("bstore");
+  auto dc = storage::DurableCatalog::Open(base);
+  ASSERT_TRUE(dc.ok());
+  ASSERT_TRUE(dc->Bootstrap(MakeItemsCatalog()).ok());
+  storage::WalRecord insert{"items", 1, ItemRow("a", 1)};
+  auto s = dc->AppendBroadcast(insert);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(DurabilityTest, WalRecoverOnMissingFileIsEmpty) {
   auto recovery = storage::Wal::Recover(Fs::Default(), Path("absent.wal"));
   ASSERT_TRUE(recovery.ok());

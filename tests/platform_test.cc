@@ -539,7 +539,13 @@ TEST_F(ApiTest, EnvelopeNumericCodesAndPrecedence) {
 }
 
 TEST_F(ApiTest, EndpointListStable) {
-  EXPECT_EQ(api_->Endpoints().size(), 9u);
+  EXPECT_EQ(api_->Endpoints().size(), 10u);
+}
+
+TEST_F(ApiTest, ReconcileRequiresShardedDeployment) {
+  auto r = api_->HandleRequest(key_, "reconcile", Json::MakeObject());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST_F(ApiTest, MalformedRequestsRejected) {

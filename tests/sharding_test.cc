@@ -914,5 +914,474 @@ TEST(ShardingStressTest, ConcurrentQueriesDuringKillRecoverCycles) {
   EXPECT_TRUE(full_coverage);
 }
 
+// ---------------------------------------------------------------------
+// Atomic cross-shard broadcasts: two-phase intent/commit, id-divergence
+// detection, and crash reconciliation.
+// ---------------------------------------------------------------------
+
+/// Registers `extra` directly on one shard, bypassing the coordinator —
+/// the id-skew the broadcast protocol must detect.
+void SkewShard(ShardManager& mgr, int shard) {
+  ASSERT_NE(mgr.shard(shard), nullptr);
+  ASSERT_TRUE(
+      mgr.shard(shard)->RegisterClassification("skew", {"x"}).ok());
+}
+
+TEST(BroadcastAtomicityTest, LegacyBroadcastIsBlindToIdDivergence) {
+  // The pre-fix regression harness: with atomic broadcasts off, a skewed
+  // shard silently assigns a different classification id and the
+  // fire-and-forget loop reports success anyway.
+  ShardManagerOptions opts = GridOptions(2, 1, 2);
+  opts.atomic_broadcasts = false;
+  auto m = ShardManager::Create(opts);
+  ASSERT_TRUE(m.ok()) << m.status();
+  ShardManager& mgr = **m;
+  SkewShard(mgr, 1);
+
+  auto id = mgr.RegisterClassification("scene", {"clean", "dirty"});
+  ASSERT_TRUE(id.ok()) << id.status();  // the blind spot: no error
+  auto id0 = mgr.shard(0)->ClassificationId("scene");
+  auto id1 = mgr.shard(1)->ClassificationId("scene");
+  ASSERT_TRUE(id0.ok());
+  ASSERT_TRUE(id1.ok());
+  EXPECT_NE(*id0, *id1);  // the fleet diverged and nobody noticed
+
+  Json detail;
+  Status s = mgr.VerifyClassificationConsistency(&detail);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("shard"), std::string::npos);
+}
+
+TEST(BroadcastAtomicityTest, AtomicBroadcastDetectsIdDivergence) {
+  auto m = ShardManager::Create(GridOptions(2, 1, 2));
+  ASSERT_TRUE(m.ok()) << m.status();
+  ShardManager& mgr = **m;
+  SkewShard(mgr, 1);
+
+  auto id = mgr.RegisterClassification("scene", {"clean", "dirty"});
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kDataLoss);
+  // The divergent shard is named, and the broadcast is still resolved
+  // (every shard applied; nothing is left pending).
+  EXPECT_NE(id.status().message().find("shard"), std::string::npos);
+  EXPECT_EQ(mgr.pending_broadcasts(0), 0u);
+  EXPECT_EQ(mgr.pending_broadcasts(1), 0u);
+  EXPECT_TRUE(mgr.shard(0)->ClassificationId("scene").ok());
+  EXPECT_TRUE(mgr.shard(1)->ClassificationId("scene").ok());
+}
+
+TEST(BroadcastAtomicityTest, AgreementBroadcastCommitsCleanly) {
+  auto m = ShardManager::Create(GridOptions(3, 1, 3));
+  ASSERT_TRUE(m.ok()) << m.status();
+  ShardManager& mgr = **m;
+
+  auto id = mgr.RegisterClassification("scene", {"clean", "dirty"});
+  ASSERT_TRUE(id.ok()) << id.status();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(mgr.pending_broadcasts(i), 0u);
+    auto sid = mgr.shard(i)->ClassificationId("scene");
+    ASSERT_TRUE(sid.ok());
+    EXPECT_EQ(*sid, *id);
+  }
+  EXPECT_TRUE(mgr.VerifyClassificationConsistency().ok());
+  // Idempotent re-broadcast returns the same id.
+  auto again = mgr.RegisterClassification("scene", {"clean", "dirty"});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *id);
+}
+
+TEST(BroadcastAtomicityTest, AbandonedBeforeAnyApplyRollsBack) {
+  auto m = ShardManager::Create(GridOptions(2, 1, 2));
+  ASSERT_TRUE(m.ok()) << m.status();
+  ShardManager& mgr = **m;
+
+  // Coordinator "crashes" after logging intents but before the first
+  // apply: the classification must not exist anywhere afterwards.
+  mgr.SetBroadcastHook([](const std::string& phase, int shard) {
+    return !(phase == "apply" && shard == 0);
+  });
+  auto id = mgr.RegisterClassification("ghost", {"a"});
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(mgr.pending_broadcasts(0), 1u);
+  EXPECT_EQ(mgr.pending_broadcasts(1), 1u);
+  EXPECT_FALSE(mgr.shard(0)->ClassificationId("ghost").ok());
+
+  mgr.SetBroadcastHook({});
+  auto report = mgr.ReconcileBroadcasts();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ((*report)["rolled_back"].size(), 1u);
+  EXPECT_EQ((*report)["completed"].size(), 0u);
+  EXPECT_TRUE((*report)["consistent"].AsBool());
+  EXPECT_EQ(mgr.pending_broadcasts(0), 0u);
+  EXPECT_EQ(mgr.pending_broadcasts(1), 0u);
+  EXPECT_FALSE(mgr.shard(0)->ClassificationId("ghost").ok());
+  EXPECT_FALSE(mgr.shard(1)->ClassificationId("ghost").ok());
+}
+
+TEST(BroadcastAtomicityTest, AbandonedMidApplyCompletesForward) {
+  auto m = ShardManager::Create(GridOptions(2, 1, 2));
+  ASSERT_TRUE(m.ok()) << m.status();
+  ShardManager& mgr = **m;
+
+  // Crash after shard 0 applied: reconciliation must finish the job, not
+  // roll back what shard 0 already holds.
+  mgr.SetBroadcastHook([](const std::string& phase, int shard) {
+    return !(phase == "apply" && shard == 1);
+  });
+  auto id = mgr.RegisterClassification("half", {"a", "b"});
+  ASSERT_FALSE(id.ok());
+  ASSERT_TRUE(mgr.shard(0)->ClassificationId("half").ok());
+  ASSERT_FALSE(mgr.shard(1)->ClassificationId("half").ok());
+
+  mgr.SetBroadcastHook({});
+  auto report = mgr.ReconcileBroadcasts();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ((*report)["completed"].size(), 1u);
+  EXPECT_EQ((*report)["rolled_back"].size(), 0u);
+  EXPECT_TRUE((*report)["consistent"].AsBool());
+  auto id0 = mgr.shard(0)->ClassificationId("half");
+  auto id1 = mgr.shard(1)->ClassificationId("half");
+  ASSERT_TRUE(id0.ok());
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(*id0, *id1);
+  EXPECT_EQ(mgr.pending_broadcasts(0), 0u);
+  EXPECT_EQ(mgr.pending_broadcasts(1), 0u);
+}
+
+TEST(BroadcastAtomicityTest, AbandonedBeforeCommitMarkersStillResolves) {
+  auto m = ShardManager::Create(GridOptions(2, 1, 2));
+  ASSERT_TRUE(m.ok()) << m.status();
+  ShardManager& mgr = **m;
+
+  // Applied everywhere, crashed before any commit marker: the commit is
+  // re-derived from the applied evidence.
+  mgr.SetBroadcastHook([](const std::string& phase, int shard) {
+    return !(phase == "commit" && shard == 0);
+  });
+  auto id = mgr.RegisterClassification("done", {"a"});
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(mgr.pending_broadcasts(0), 1u);
+  EXPECT_EQ(mgr.pending_broadcasts(1), 1u);
+
+  mgr.SetBroadcastHook({});
+  auto report = mgr.ReconcileBroadcasts();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ((*report)["completed"].size(), 1u);
+  EXPECT_EQ(mgr.pending_broadcasts(0), 0u);
+  EXPECT_EQ(mgr.pending_broadcasts(1), 0u);
+  auto id0 = mgr.shard(0)->ClassificationId("done");
+  auto id1 = mgr.shard(1)->ClassificationId("done");
+  ASSERT_TRUE(id0.ok());
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(*id0, *id1);
+}
+
+TEST(BroadcastAtomicityTest, ReconcileEndpointReportsFleetState) {
+  auto m = ShardManager::Create(GridOptions(2, 1, 2));
+  ASSERT_TRUE(m.ok()) << m.status();
+  ModelRegistry reg;
+  ApiService api((*m).get(), &reg);
+  std::string key = api.CreateApiKey("ops");
+
+  Json env = api.HandleEnvelope(key, "reconcile", Json::MakeObject());
+  ASSERT_EQ(env["status"].AsString(), "ok") << env.Dump();
+  EXPECT_TRUE(env["data"]["consistent"].AsBool());
+  EXPECT_EQ(env["data"]["completed"].size(), 0u);
+
+  // Pending state shows up in platform_stats per shard.
+  (*m)->SetBroadcastHook([](const std::string& phase, int) {
+    return phase != "commit";
+  });
+  EXPECT_FALSE((*m)->RegisterClassification("p", {"a"}).ok());
+  (*m)->SetBroadcastHook({});
+  Json stats = api.HandleEnvelope(key, "platform_stats", Json::MakeObject());
+  ASSERT_EQ(stats["status"].AsString(), "ok");
+  EXPECT_TRUE(stats["data"]["shards"]["atomic_broadcasts"].AsBool());
+  EXPECT_EQ(stats["data"]["shards"]["shards"]
+                .AsArray()[0]["pending_broadcasts"]
+                .AsInt(),
+            1);
+
+  env = api.HandleEnvelope(key, "reconcile", Json::MakeObject());
+  ASSERT_EQ(env["status"].AsString(), "ok") << env.Dump();
+  EXPECT_EQ(env["data"]["completed"].size(), 1u);
+  EXPECT_TRUE(env["data"]["consistent"].AsBool());
+}
+
+// ---------------------------------------------------------------------
+// Crash reconciliation with real shard kills and WAL replay.
+// ---------------------------------------------------------------------
+
+TEST(BroadcastRecoveryTest, ShardKilledMidBroadcastConvergesAfterWalReplay) {
+  std::string dir = ::testing::TempDir() + "tvdp_bcastXXXXXX";
+  ASSERT_NE(mkdtemp(dir.data()), nullptr);
+  ShardManagerOptions opts = GridOptions(2, 1, 2);
+  opts.base_path = dir;
+  auto m = ShardManager::Create(opts);
+  ASSERT_TRUE(m.ok()) << m.status();
+  ShardManager& mgr = **m;
+
+  // Identical pre-crash history on both shards, plus rows for the WAL to
+  // replay on shard 1.
+  ASSERT_TRUE(mgr.RegisterClassification("scene", {"clean", "dirty"}).ok());
+  for (int i = 0; i < 10; ++i) {
+    ImageRecord rec;
+    rec.uri = "east" + std::to_string(i);
+    rec.location = geo::GeoPoint{34.04, -118.21 - i * 0.0001};  // shard 1
+    rec.keywords = {"city"};
+    ASSERT_TRUE(mgr.IngestImage(rec).ok());
+  }
+
+  // Shard 1 dies between logging the intent and applying it: the intent
+  // survives only in its broadcast log on disk.
+  mgr.SetBroadcastHook([&mgr](const std::string& phase, int shard) {
+    if (phase == "apply" && shard == 1) {
+      EXPECT_TRUE(mgr.KillShard(1).ok());
+      return false;
+    }
+    return true;
+  });
+  auto id = mgr.RegisterClassification("crash_task", {"a", "b"});
+  ASSERT_FALSE(id.ok());
+  mgr.SetBroadcastHook({});
+  ASSERT_TRUE(mgr.shard(0)->ClassificationId("crash_task").ok());
+
+  // With shard 1 down, reconciliation completes the live side and defers
+  // the rest — it must NOT roll back while the evidence is offline.
+  auto report = mgr.ReconcileBroadcasts();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ((*report)["rolled_back"].size(), 0u);
+  EXPECT_EQ(mgr.pending_broadcasts(0), 0u);
+
+  // Recovery replays shard 1's WAL, reloads the pending intent from its
+  // broadcast log, and the reconciliation pass completes it forward.
+  ASSERT_TRUE(mgr.RecoverShard(1).ok());
+  EXPECT_GT(mgr.replayed_records(1), 0u);
+  EXPECT_EQ(mgr.pending_broadcasts(1), 0u);
+  auto id0 = mgr.shard(0)->ClassificationId("crash_task");
+  auto id1 = mgr.shard(1)->ClassificationId("crash_task");
+  ASSERT_TRUE(id0.ok());
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(*id0, *id1);  // identical ids, not just identical names
+  // The whole table converges, not just the crashed broadcast.
+  EXPECT_EQ(mgr.shard(0)->ClassificationTableJson().Dump(),
+            mgr.shard(1)->ClassificationTableJson().Dump());
+  EXPECT_TRUE(mgr.VerifyClassificationConsistency().ok());
+}
+
+TEST(BroadcastRecoveryTest, UnappliedIntentRolledBackAfterRecovery) {
+  std::string dir = ::testing::TempDir() + "tvdp_bcastrbXXXXXX";
+  ASSERT_NE(mkdtemp(dir.data()), nullptr);
+  ShardManagerOptions opts = GridOptions(2, 1, 2);
+  opts.base_path = dir;
+  auto m = ShardManager::Create(opts);
+  ASSERT_TRUE(m.ok()) << m.status();
+  ShardManager& mgr = **m;
+  ASSERT_TRUE(mgr.RegisterClassification("scene", {"clean"}).ok());
+
+  // Shard 0 dies before ANY apply: the operation never happened anywhere,
+  // but only shard 0's recovery can prove that.
+  mgr.SetBroadcastHook([&mgr](const std::string& phase, int shard) {
+    if (phase == "apply" && shard == 0) {
+      EXPECT_TRUE(mgr.KillShard(0).ok());
+      return false;
+    }
+    return true;
+  });
+  ASSERT_FALSE(mgr.RegisterClassification("ghost", {"a"}).ok());
+  mgr.SetBroadcastHook({});
+
+  // While shard 0 is down the intent must be deferred, not rolled back:
+  // for all the coordinator knows, shard 0 applied it before dying.
+  auto report = mgr.ReconcileBroadcasts();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ((*report)["rolled_back"].size(), 0u);
+  EXPECT_EQ((*report)["deferred"].size(), 1u);
+  EXPECT_EQ(mgr.pending_broadcasts(1), 1u);
+
+  // Recovery proves shard 0 never applied it; the fleet rolls back.
+  ASSERT_TRUE(mgr.RecoverShard(0).ok());
+  EXPECT_EQ(mgr.pending_broadcasts(0), 0u);
+  EXPECT_EQ(mgr.pending_broadcasts(1), 0u);
+  EXPECT_FALSE(mgr.shard(0)->ClassificationId("ghost").ok());
+  EXPECT_FALSE(mgr.shard(1)->ClassificationId("ghost").ok());
+  EXPECT_EQ(mgr.shard(0)->ClassificationTableJson().Dump(),
+            mgr.shard(1)->ClassificationTableJson().Dump());
+  EXPECT_TRUE(mgr.VerifyClassificationConsistency().ok());
+}
+
+TEST(BroadcastRecoveryTest, StartupReconciliationAfterProcessCrash) {
+  std::string dir = ::testing::TempDir() + "tvdp_bcastprXXXXXX";
+  ASSERT_NE(mkdtemp(dir.data()), nullptr);
+  ShardManagerOptions opts = GridOptions(2, 1, 2);
+  opts.base_path = dir;
+  {
+    auto m = ShardManager::Create(opts);
+    ASSERT_TRUE(m.ok()) << m.status();
+    // Applied on every shard, crashed before any commit marker, then the
+    // whole process dies.
+    (*m)->SetBroadcastHook([](const std::string& phase, int) {
+      return phase != "commit";
+    });
+    ASSERT_FALSE((*m)->RegisterClassification("boot", {"a"}).ok());
+    EXPECT_EQ((*m)->pending_broadcasts(0), 1u);
+  }
+  // A fresh fleet over the same stores reconciles during Create, before
+  // serving anything.
+  auto m = ShardManager::Create(opts);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ((*m)->pending_broadcasts(0), 0u);
+  EXPECT_EQ((*m)->pending_broadcasts(1), 0u);
+  auto id0 = (*m)->shard(0)->ClassificationId("boot");
+  auto id1 = (*m)->shard(1)->ClassificationId("boot");
+  ASSERT_TRUE(id0.ok());
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(*id0, *id1);
+  EXPECT_TRUE((*m)->VerifyClassificationConsistency().ok());
+}
+
+// ---------------------------------------------------------------------
+// Satellite regressions: FOV margin across reopen, in-memory total loss.
+// ---------------------------------------------------------------------
+
+TEST(ShardingRecoveryTest, FovSpilloverMarginSurvivesDurableReopen) {
+  std::string dir = ::testing::TempDir() + "tvdp_fovXXXXXX";
+  ASSERT_NE(mkdtemp(dir.data()), nullptr);
+  ShardManagerOptions opts = GridOptions(2, 1, 2);
+  opts.base_path = dir;
+
+  // Same geometry as FovSpilloverStillFoundUnderRegionPruning: camera in
+  // shard 0, FOV reaching across the boundary into shard 1's cell.
+  const geo::GeoPoint camera{34.04, -118.253};
+  const geo::GeoPoint target{34.04, -118.2505};
+  HybridQuery q;
+  query::SpatialPredicate sp;
+  sp.kind = query::SpatialPredicate::Kind::kVisibleAt;
+  sp.point = target;
+  q.spatial = sp;
+
+  int64_t image_id = -1;
+  {
+    auto m = ShardManager::Create(opts);
+    ASSERT_TRUE(m.ok()) << m.status();
+    ImageRecord rec;
+    rec.uri = "boundary_cam";
+    rec.location = camera;
+    auto fov = geo::FieldOfView::Make(camera, 90.0, 60.0, 300.0);
+    ASSERT_TRUE(fov.ok());
+    rec.fov = *fov;
+    auto id = (*m)->IngestImage(rec);
+    ASSERT_TRUE(id.ok()) << id.status();
+    image_id = *id;
+    auto r = (*m)->ExecuteQuery(q);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_EQ(r->hits.size(), 1u);
+  }
+
+  // Reopen: the prune margin must be recomputed from the recovered
+  // catalog. Before the fix it silently reset to 0 and shard 0 was pruned
+  // out of exactly the query that needs it.
+  auto m = ShardManager::Create(opts);
+  ASSERT_TRUE(m.ok()) << m.status();
+  auto r = (*m)->ExecuteQuery(q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->hits.size(), 1u) << "spillover image lost after reopen";
+  EXPECT_EQ(r->hits[0].image_id, image_id);
+  EXPECT_EQ(r->coverage.reports[0].outcome, ShardOutcome::kProbed);
+}
+
+TEST(ShardingRecoveryTest, InMemoryTotalLossCannotBeRecovered) {
+  auto m = ShardManager::Create(GridOptions(2, 1, 2));
+  ASSERT_TRUE(m.ok()) << m.status();
+  ShardManager& mgr = **m;
+
+  // Plain kill keeps the in-memory engine, so recovery revives it.
+  ASSERT_TRUE(mgr.KillShard(0).ok());
+  ASSERT_TRUE(mgr.RecoverShard(0).ok());
+  EXPECT_TRUE(mgr.shard_alive(0));
+
+  // Total loss drops the engine; there is no WAL behind an in-memory
+  // shard, so RecoverShard must refuse instead of reviving a zombie that
+  // silently lost every row.
+  ASSERT_TRUE(mgr.KillShard(0, /*drop_state=*/true).ok());
+  Status s = mgr.RecoverShard(0);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(mgr.shard_alive(0));
+}
+
+// ---------------------------------------------------------------------
+// Stress: concurrent broadcasts racing kill/recover cycles (the tier-1
+// BroadcastStress.{asan,tsan} targets run exactly this suite).
+// ---------------------------------------------------------------------
+
+TEST(BroadcastStressTest, ConcurrentBroadcastsVsKillRecoverConverge) {
+  auto m = ShardManager::Create(GridOptions(4, 2, 2));
+  ASSERT_TRUE(m.ok()) << m.status();
+  ShardManager& mgr = **m;
+  ASSERT_TRUE(mgr.RegisterClassification("scene", {"clean"}).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> committed{0}, rejected{0};
+
+  std::vector<std::thread> broadcasters;
+  for (int w = 0; w < 2; ++w) {
+    broadcasters.emplace_back([&, w] {
+      int n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::string name =
+            "task_" + std::to_string(w) + "_" + std::to_string(n++ % 16);
+        auto id = mgr.RegisterClassification(name, {"a", "b"});
+        if (id.ok()) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)mgr.StatsJson();
+      for (int i = 0; i < 4; ++i) (void)mgr.pending_broadcasts(i);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // Kill/recover cycles racing the broadcast coordinator.
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    int shard = cycle % 4;
+    EXPECT_TRUE(mgr.KillShard(shard).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Status recovered = mgr.RecoverShard(shard);
+    // Divergence is never acceptable here; transient FailedPrecondition
+    // cannot happen (kill/recover run from this one thread).
+    EXPECT_TRUE(recovered.ok()) << recovered.ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& t : broadcasters) t.join();
+  reader.join();
+  EXPECT_GT(committed.load(), 0);
+
+  // Quiesced: one reconciliation pass over the whole (live) fleet must
+  // drain every pending intent and leave identical classification tables.
+  auto report = mgr.ReconcileBroadcasts();
+  ASSERT_TRUE(report.ok()) << report.status();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(mgr.pending_broadcasts(i), 0u) << "shard " << i;
+  }
+  Json detail;
+  Status consistent = mgr.VerifyClassificationConsistency(&detail);
+  EXPECT_TRUE(consistent.ok())
+      << consistent.ToString() << "\n" << detail.Dump();
+  const std::string table0 = mgr.shard(0)->ClassificationTableJson().Dump();
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(mgr.shard(i)->ClassificationTableJson().Dump(), table0);
+  }
+}
+
 }  // namespace
 }  // namespace tvdp::platform
