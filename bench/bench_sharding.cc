@@ -26,9 +26,12 @@
 // it on stdout.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -272,6 +275,80 @@ Json RunFaults(int n_images, int n_queries, double deadline_ms) {
   return rows;
 }
 
+/// Part C: a live cell migration under sustained query load. The broad
+/// keyword query touches every shard — including both migration endpoints —
+/// in all three windows (before / during / after the rebalance). Success
+/// must hold at 100% throughout: during the migration both endpoints serve
+/// the moving rows and the merge dedups, so coverage stays complete too.
+Json RunRebalance(int n_images, int n_queries) {
+  std::printf("--- rebalance while serving, 4 shards ---\n");
+  std::printf("%8s %9s %9s %10s %9s %9s\n", "phase", "queries", "success",
+              "complete", "p50_ms", "p99_ms");
+  auto fleet = BuildFleet(4, n_images, ShardManagerOptions());
+
+  query::HybridQuery q;
+  query::TextualPredicate tp;
+  tp.keywords = {"city"};
+  q.textual = tp;
+
+  Json rows = Json::MakeArray();
+  auto run_phase = [&](const std::string& phase, int min_queries,
+                       const std::function<bool()>& busy) {
+    int n = 0, ok = 0, complete = 0;
+    std::vector<double> lat;
+    while (n < min_queries || (busy && busy())) {
+      auto t0 = Clock::now();
+      auto r = fleet->ExecuteQuery(q);
+      lat.push_back(ElapsedMs(t0));
+      ++n;
+      if (r.ok()) {
+        ++ok;
+        if (r->coverage.complete()) ++complete;
+      }
+    }
+    double success = static_cast<double>(ok) / n;
+    double complete_rate = static_cast<double>(complete) / n;
+    std::printf("%8s %9d %8.1f%% %9.1f%% %9.2f %9.2f\n", phase.c_str(), n,
+                100.0 * success, 100.0 * complete_rate,
+                Percentile(lat, 0.50), Percentile(lat, 0.99));
+    Json row = Json::MakeObject();
+    row["phase"] = Json(phase);
+    row["queries"] = Json(n);
+    row["success_rate"] = Json(success);
+    row["coverage_complete_rate"] = Json(complete_rate);
+    row["p50_ms"] = Json(Percentile(lat, 0.50));
+    row["p99_ms"] = Json(Percentile(lat, 0.99));
+    rows.Append(std::move(row));
+    return success;
+  };
+
+  run_phase("before", n_queries, nullptr);
+
+  // Move shard 0's cells to shard 1 while the query loop keeps running.
+  std::atomic<bool> migrating{true};
+  Json report;
+  std::thread mover([&] {
+    auto r = fleet->RebalanceCells({0, 1}, 0, 1);
+    if (!r.ok()) {
+      std::fprintf(stderr, "rebalance: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+    report = *std::move(r);
+    migrating = false;
+  });
+  run_phase("during", 1, [&] { return migrating.load(); });
+  mover.join();
+
+  run_phase("after", n_queries, nullptr);
+
+  Json out = Json::MakeObject();
+  out["cells_moved"] = report["cells"];
+  out["rows_copied"] = report["rows_copied"];
+  out["rows_caught_up"] = report["rows_caught_up"];
+  out["phases"] = std::move(rows);
+  return out;
+}
+
 int Run() {
   const int n_images = bench::EnvInt("TVDP_BENCH_N", 2000);
   const int scaling_queries = bench::EnvInt("TVDP_BENCH_SHARD_QUERIES", 400);
@@ -287,6 +364,7 @@ int Run() {
   summary["fault_tolerance"]["deadline_ms"] = Json(deadline_ms);
   summary["fault_tolerance"]["scenarios"] =
       RunFaults(n_images, fault_queries, deadline_ms);
+  summary["rebalance"] = RunRebalance(n_images, fault_queries);
 
   const char* out_env = std::getenv("TVDP_BENCH_SHARDING_OUT");
   const std::string out_path = out_env && *out_env

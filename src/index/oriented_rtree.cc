@@ -20,6 +20,22 @@ bool DirectionRange::Contains(double bearing_deg) const {
 OrientedRTree::OrientedRTree(Options options)
     : options_(options), tree_(RTree::Options{options.max_entries}) {}
 
+OrientedRTree::OrientedRTree(OrientedRTree&& other) noexcept
+    : options_(other.options_),
+      tree_(std::move(other.tree_)),
+      fovs_(std::move(other.fovs_)),
+      last_candidates_(
+          other.last_candidates_.load(std::memory_order_relaxed)) {}
+
+OrientedRTree& OrientedRTree::operator=(OrientedRTree&& other) noexcept {
+  options_ = other.options_;
+  tree_ = std::move(other.tree_);
+  fovs_ = std::move(other.fovs_);
+  last_candidates_.store(other.last_candidates_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  return *this;
+}
+
 Status OrientedRTree::Insert(const geo::FieldOfView& fov, RecordId id) {
   geo::BoundingBox scene = fov.SceneLocation();
   if (scene.IsEmpty()) {

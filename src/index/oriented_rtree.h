@@ -51,6 +51,12 @@ class OrientedRTree {
   OrientedRTree() : OrientedRTree(Options()) {}
   explicit OrientedRTree(Options options);
 
+  /// Movable so the query engine can rebuild its FOV index in place after a
+  /// bulk delete. The atomic candidate counter transfers as a plain
+  /// load/store: a move requires the same external exclusion as Insert.
+  OrientedRTree(OrientedRTree&& other) noexcept;
+  OrientedRTree& operator=(OrientedRTree&& other) noexcept;
+
   /// Inserts an FOV with its record id.
   Status Insert(const geo::FieldOfView& fov, RecordId id);
 

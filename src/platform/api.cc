@@ -146,7 +146,7 @@ std::vector<std::string> ApiService::Endpoints() const {
   return {"add_data",        "search_datasets", "explain_query",
           "download_datasets",   "get_visual_features",
           "use_model",       "download_model",  "register_model",
-          "platform_stats",  "reconcile"};
+          "platform_stats",  "reconcile",       "rebalance"};
 }
 
 Result<Json> ApiService::HandleRequest(const std::string& api_key,
@@ -235,6 +235,7 @@ Result<Json> ApiService::Dispatch(const std::string& owner,
   if (endpoint == "register_model") return RegisterModel(owner, request);
   if (endpoint == "platform_stats") return PlatformStats(request);
   if (endpoint == "reconcile") return Reconcile(request);
+  if (endpoint == "rebalance") return Rebalance(request);
   return Status::NotFound("unknown endpoint: " + endpoint);
 }
 
@@ -511,6 +512,32 @@ Result<Json> ApiService::Reconcile(const Json&) {
         "reconcile requires a sharded deployment");
   }
   return shards_->ReconcileBroadcasts();
+}
+
+Result<Json> ApiService::Rebalance(const Json& request) {
+  if (!shards_) {
+    return Status::FailedPrecondition(
+        "rebalance requires a sharded deployment");
+  }
+  if (!request.Has("cells") || !request["cells"].is_array()) {
+    return Status::InvalidArgument(
+        "rebalance requires a \"cells\" array of grid cell indexes");
+  }
+  if (!request.Has("source") || !request["source"].is_number() ||
+      !request.Has("target") || !request["target"].is_number()) {
+    return Status::InvalidArgument(
+        "rebalance requires numeric \"source\" and \"target\" shards");
+  }
+  std::vector<int> cells;
+  for (const Json& c : request["cells"].AsArray()) {
+    if (!c.is_number()) {
+      return Status::InvalidArgument("\"cells\" entries must be numbers");
+    }
+    cells.push_back(static_cast<int>(c.AsInt()));
+  }
+  return shards_->RebalanceCells(cells,
+                                 static_cast<int>(request["source"].AsInt()),
+                                 static_cast<int>(request["target"].AsInt()));
 }
 
 }  // namespace tvdp::platform

@@ -45,6 +45,10 @@ namespace tvdp::platform {
 ///                      reconciliation pass (completes or rolls back
 ///                      pending cross-shard writes) and reports whether
 ///                      the fleet's classification tables agree.
+///   rebalance        — sharded deployments only: live-migrates grid
+///                      cells between shards while both keep serving
+///                      ({"cells":[...], "source":i, "target":j});
+///                      returns the migration report.
 ///
 /// The service fronts either a single engine (`Tvdp*`) or a sharded fleet
 /// (`ShardManager*`). Sharded search_datasets responses additionally carry
@@ -125,6 +129,7 @@ class ApiService {
   Result<Json> RegisterModel(const std::string& owner, const Json& request);
   Result<Json> PlatformStats(const Json& request) const;
   Result<Json> Reconcile(const Json& request);
+  Result<Json> Rebalance(const Json& request);
 
   Tvdp* platform_;
   ShardManager* shards_ = nullptr;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <thread>
 
+#include "common/file.h"
 #include "query/planner.h"
 
 namespace tvdp::platform {
@@ -60,14 +62,17 @@ constexpr size_t kLatencyRing = 256;
 class ShardProbeTarget : public query::ShardTarget {
  public:
   ShardProbeTarget(const ShardManager* mgr, int shard,
-                   std::shared_ptr<Tvdp> tvdp, geo::BoundingBox region)
+                   std::shared_ptr<Tvdp> tvdp, geo::BoundingBox region,
+                   bool migrating)
       : mgr_(mgr),
         shard_(shard),
         tvdp_(std::move(tvdp)),
-        region_(region) {}
+        region_(region),
+        migrating_(migrating) {}
 
   int id() const override { return shard_; }
   geo::BoundingBox region() const override { return region_; }
+  bool migrating() const override { return migrating_; }
 
   Result<std::vector<query::QueryHit>> Probe(const query::HybridQuery& q,
                                              const RequestContext& ctx,
@@ -86,6 +91,7 @@ class ShardProbeTarget : public query::ShardTarget {
   int shard_;
   std::shared_ptr<Tvdp> tvdp_;
   geo::BoundingBox region_;
+  bool migrating_;
 };
 
 ShardManager::ShardManager(ShardManagerOptions options)
@@ -153,27 +159,19 @@ Result<std::unique_ptr<ShardManager>> ShardManager::Create(
       mgr->cell_to_shard_[static_cast<size_t>(c)] = c % n;
     }
   }
+  // A persisted shard map (written at a migration's cutover) overrides the
+  // configured assignments: committed cell moves survive restarts.
+  bool had_shard_map = false;
+  if (!opts.base_path.empty()) {
+    TVDP_ASSIGN_OR_RETURN(had_shard_map, mgr->LoadShardMap());
+  }
 
   mgr->slots_.resize(static_cast<size_t>(n));
   Rng seed_rng(opts.fault_seed);
-  const double dlat =
-      (opts.region.max_lat - opts.region.min_lat) / opts.grid_rows;
-  const double dlon =
-      (opts.region.max_lon - opts.region.min_lon) / opts.grid_cols;
   for (int i = 0; i < n; ++i) {
     Slot& slot = mgr->slots_[static_cast<size_t>(i)];
     slot.rng = seed_rng.Fork();
-    for (int c = 0; c < cells; ++c) {
-      if (mgr->cell_to_shard_[static_cast<size_t>(c)] != i) continue;
-      const int row = c / opts.grid_cols;
-      const int col = c % opts.grid_cols;
-      geo::BoundingBox cell_box;
-      cell_box.min_lat = opts.region.min_lat + row * dlat;
-      cell_box.max_lat = opts.region.min_lat + (row + 1) * dlat;
-      cell_box.min_lon = opts.region.min_lon + col * dlon;
-      cell_box.max_lon = opts.region.min_lon + (col + 1) * dlon;
-      slot.cells.Extend(cell_box);
-    }
+    mgr->RecomputeCellsLocked(i);
     if (opts.base_path.empty()) {
       TVDP_ASSIGN_OR_RETURN(Tvdp t, Tvdp::Create());
       slot.tvdp = std::make_shared<Tvdp>(std::move(t));
@@ -198,16 +196,35 @@ Result<std::unique_ptr<ShardManager>> ShardManager::Create(
     mgr->tracker_ = std::make_unique<edge::DeviceHealthTracker>(
         static_cast<size_t>(n), mgr->options_.breaker);
   }
+  mgr->RebuildReverseMapsLocked();
   bool any_pending = false;
+  bool any_rebalance = false;
   for (const Slot& slot : mgr->slots_) {
     if (!slot.pending_broadcasts.empty()) any_pending = true;
+    for (const auto& [bid, p] : slot.pending_broadcasts) {
+      if (p.op == "rebalance_cells") any_rebalance = true;
+    }
   }
-  if (mgr->options_.atomic_broadcasts && any_pending) {
-    // Startup reconciliation: resolve the broadcasts a previous process's
-    // crash left pending before this fleet starts serving.
+  if ((mgr->options_.atomic_broadcasts && any_pending) || any_rebalance) {
+    // Startup reconciliation: resolve the broadcasts and migrations a
+    // previous process's crash left pending before this fleet starts
+    // serving. Migration intents reconcile regardless of the classification
+    // broadcast mode — rebalancing is always run under the durable
+    // protocol.
     std::lock_guard<std::mutex> lock(mgr->broadcast_mutex_);
     Result<Json> report = mgr->ReconcileLocked();
     if (!report.ok()) return report.status();
+  }
+  if (had_shard_map) {
+    // A shard map on disk proves at least one cutover committed; a crash
+    // between that commit point and GC can leave moved rows on their old
+    // shard with no pending intent to say so. Sweeping foreign rows is
+    // idempotent, so run it unconditionally on every live shard.
+    for (int i = 0; i < n; ++i) {
+      if (!mgr->shard_alive(i)) continue;
+      Status swept = mgr->SweepForeignRows(i);
+      if (!swept.ok()) return swept;
+    }
   }
   return mgr;
 }
@@ -231,7 +248,31 @@ int ShardManager::CellForLocation(const geo::GeoPoint& p) const {
 }
 
 int ShardManager::ShardForLocation(const geo::GeoPoint& p) const {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
   return cell_to_shard_[static_cast<size_t>(CellForLocation(p))];
+}
+
+ShardManager::WriteTicket::WriteTicket(const ShardManager* mgr) : mgr_(mgr) {
+  std::unique_lock<std::mutex> lock(mgr_->gate_mutex_);
+  mgr_->gate_cv_.wait(lock, [&] { return !mgr_->write_block_; });
+  ++mgr_->writes_in_flight_;
+}
+
+ShardManager::WriteTicket::~WriteTicket() {
+  std::lock_guard<std::mutex> lock(mgr_->gate_mutex_);
+  if (--mgr_->writes_in_flight_ == 0) mgr_->gate_cv_.notify_all();
+}
+
+void ShardManager::BlockWrites() const {
+  std::unique_lock<std::mutex> lock(gate_mutex_);
+  write_block_ = true;
+  gate_cv_.wait(lock, [&] { return writes_in_flight_ == 0; });
+}
+
+void ShardManager::UnblockWrites() const {
+  std::lock_guard<std::mutex> lock(gate_mutex_);
+  write_block_ = false;
+  gate_cv_.notify_all();
 }
 
 geo::BoundingBox ShardManager::ExpandedRegionLocked(int shard) const {
@@ -243,10 +284,16 @@ Result<int64_t> ShardManager::IngestImage(const ImageRecord& record) {
   if (!geo::IsValid(record.location)) {
     return Status::InvalidArgument("image location out of lat/lon bounds");
   }
-  const int shard = ShardForLocation(record.location);
+  // The ticket pins the routing decision: a cutover (which rewrites cell
+  // ownership) waits until in-flight writes drain, so a row can never land
+  // on a shard that stopped owning its cell mid-insert.
+  WriteTicket ticket(this);
+  int shard;
   std::shared_ptr<Tvdp> tvdp;
   {
     std::lock_guard<std::mutex> lock(slots_mutex_);
+    shard = cell_to_shard_[static_cast<size_t>(CellForLocation(
+        record.location))];
     const Slot& slot = slots_[static_cast<size_t>(shard)];
     if (slot.killed || !slot.tvdp) {
       return Status::Unavailable("shard " + std::to_string(shard) +
@@ -298,9 +345,12 @@ Status ShardManager::AppendBroadcastTo(int shard,
   }
   std::lock_guard<std::mutex> lock(slots_mutex_);
   Slot& slot = slots_[static_cast<size_t>(shard)];
-  if (record.type == storage::WalRecordType::kBroadcastIntent) {
-    slot.pending_broadcasts[record.broadcast_id] = storage::PendingBroadcast{
-        record.broadcast_id, record.op, record.payload, record.target_ids};
+  if (record.type == storage::WalRecordType::kBroadcastIntent ||
+      record.type == storage::WalRecordType::kMigrationIntent) {
+    storage::PendingBroadcast pending{record.broadcast_id, record.op,
+                                      record.payload, record.target_ids};
+    pending.type = record.type;
+    slot.pending_broadcasts[record.broadcast_id] = std::move(pending);
   } else {
     slot.pending_broadcasts.erase(record.broadcast_id);
   }
@@ -475,6 +525,8 @@ Result<Json> ShardManager::ReconcileLocked() {
   std::map<int64_t, storage::PendingBroadcast> pending;
   std::map<int64_t, std::vector<int>> holders;
   bool all_live = true;
+  int64_t in_flight_id = 0;
+  std::unordered_set<int64_t> committed;
   {
     std::lock_guard<std::mutex> lock(slots_mutex_);
     for (int i = 0; i < n; ++i) {
@@ -490,6 +542,8 @@ Result<Json> ShardManager::ReconcileLocked() {
         holders[bid].push_back(i);
       }
     }
+    if (migration_.active) in_flight_id = migration_.id;
+    committed = committed_migrations_;
   }
 
   Json completed = Json::MakeArray();
@@ -500,6 +554,116 @@ Result<Json> ShardManager::ReconcileLocked() {
     Json entry = Json::MakeObject();
     entry["broadcast_id"] = Json(bid);
     entry["op"] = Json(p.op);
+    if (p.op == "rebalance_cells") {
+      Result<Json> parsed = Json::Parse(p.payload);
+      if (!parsed.ok()) {
+        errors.Append(Json("migration " + std::to_string(bid) +
+                           ": bad payload: " + parsed.status().ToString()));
+        continue;
+      }
+      const int msrc = static_cast<int>((*parsed)["source"].AsInt());
+      const int mtgt = static_cast<int>((*parsed)["target"].AsInt());
+      entry["source"] = Json(msrc);
+      entry["target"] = Json(mtgt);
+      entry["cells"] = (*parsed)["cells"];
+      if (bid == in_flight_id) {
+        // This process's own migration is still running; its coordinator —
+        // not the reconciler — owns the resolution.
+        entry["action"] = Json("in_flight");
+        deferred.Append(std::move(entry));
+        continue;
+      }
+      if (committed.count(bid) > 0) {
+        // The shard map committed at cutover: roll forward. Re-mark the
+        // commit on every live holder, then finish the GC the crash
+        // skipped (sweeping the source's moved rows is idempotent).
+        Json remaining = Json::MakeArray();
+        bool failed = false;
+        for (int i : holders[bid]) {
+          if (!alive[static_cast<size_t>(i)]) {
+            remaining.Append(Json(i));
+            continue;
+          }
+          Status marked =
+              AppendBroadcastTo(i, storage::WalRecord::MigrationCommit(bid));
+          if (!marked.ok()) {
+            errors.Append(Json("migration " + std::to_string(bid) +
+                               " shard " + std::to_string(i) + ": " +
+                               marked.ToString()));
+            failed = true;
+          }
+        }
+        if (alive[static_cast<size_t>(msrc)]) {
+          Status swept = SweepForeignRows(msrc);
+          if (!swept.ok()) {
+            errors.Append(Json("migration " + std::to_string(bid) +
+                               " gc: " + swept.ToString()));
+            failed = true;
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(slots_mutex_);
+          if (alive[static_cast<size_t>(msrc)]) {
+            slots_[static_cast<size_t>(msrc)].migrating = false;
+          }
+          if (alive[static_cast<size_t>(mtgt)]) {
+            slots_[static_cast<size_t>(mtgt)].migrating = false;
+          }
+          if (!migration_.active && migration_.id == bid) {
+            migration_ = MigrationState{};
+          }
+          RebuildReverseMapsLocked();
+        }
+        entry["action"] = Json("completed_forward");
+        if (remaining.size() > 0) entry["awaiting_recovery"] = remaining;
+        (failed ? deferred : completed).Append(std::move(entry));
+      } else if (alive[static_cast<size_t>(msrc)] &&
+                 alive[static_cast<size_t>(mtgt)]) {
+        // No committed shard map: the cutover never happened, so the
+        // source still owns every row — undo the partial copy. Sweeping
+        // the target's foreign rows deletes exactly the migrated-in copies
+        // (their cells still map to the source).
+        bool failed = false;
+        for (int i : holders[bid]) {
+          Status marked =
+              AppendBroadcastTo(i, storage::WalRecord::MigrationAbort(bid));
+          if (!marked.ok()) {
+            errors.Append(Json("migration " + std::to_string(bid) +
+                               " shard " + std::to_string(i) + ": " +
+                               marked.ToString()));
+            failed = true;
+          }
+        }
+        Status swept = SweepForeignRows(mtgt);
+        if (!swept.ok()) {
+          errors.Append(Json("migration " + std::to_string(bid) +
+                             " undo: " + swept.ToString()));
+          failed = true;
+        }
+        {
+          std::lock_guard<std::mutex> lock(slots_mutex_);
+          slots_[static_cast<size_t>(msrc)].migrating = false;
+          slots_[static_cast<size_t>(mtgt)].migrating = false;
+          if (!migration_.active && migration_.id == bid) {
+            migration_ = MigrationState{};
+          }
+          RebuildReverseMapsLocked();
+        }
+        entry["action"] = Json("rolled_back");
+        (failed ? deferred : rolled_back).Append(std::move(entry));
+      } else {
+        // A dead endpoint may hold rows (or the only copies) this decision
+        // needs; defer until both endpoints are back.
+        entry["action"] = Json("deferred");
+        Json down = Json::MakeArray();
+        for (int i = 0; i < n; ++i) {
+          if (!alive[static_cast<size_t>(i)]) down.Append(Json(i));
+        }
+        entry["down_shards"] = std::move(down);
+        deferred.Append(std::move(entry));
+      }
+      continue;
+    }
     if (p.op != "register_classification") {
       errors.Append(Json("broadcast " + std::to_string(bid) +
                          ": unknown op '" + p.op + "'"));
@@ -592,10 +756,47 @@ Result<Json> ShardManager::ReconcileLocked() {
     }
   }
 
+  // Stragglers: a migrating flag with no unresolved rebalance intent means
+  // the migration passed its commit markers but died before GC finished —
+  // finish the sweep and clear the flag.
+  Json finalized = Json::MakeArray();
+  std::vector<int> stragglers;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (int i = 0; i < n; ++i) {
+      const Slot& slot = slots_[static_cast<size_t>(i)];
+      if (!slot.migrating || slot.killed || !slot.tvdp) continue;
+      if (migration_.active &&
+          (i == migration_.source || i == migration_.target)) {
+        continue;
+      }
+      bool has_intent = false;
+      for (const auto& [bid, p] : slot.pending_broadcasts) {
+        if (p.op == "rebalance_cells") has_intent = true;
+      }
+      if (!has_intent) stragglers.push_back(i);
+    }
+  }
+  for (int i : stragglers) {
+    Status swept = SweepForeignRows(i);
+    if (!swept.ok()) {
+      errors.Append(Json("migration finalize shard " + std::to_string(i) +
+                         ": " + swept.ToString()));
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      slots_[static_cast<size_t>(i)].migrating = false;
+      RebuildReverseMapsLocked();
+    }
+    finalized.Append(Json(i));
+  }
+
   Json out = Json::MakeObject();
   out["completed"] = std::move(completed);
   out["rolled_back"] = std::move(rolled_back);
   out["deferred"] = std::move(deferred);
+  out["finalized"] = std::move(finalized);
   out["errors"] = std::move(errors);
   Json detail = Json::MakeObject();
   Status consistent = VerifyConsistencyLocked(&detail);
@@ -668,14 +869,153 @@ size_t ShardManager::pending_broadcasts(int shard) const {
   return slots_[static_cast<size_t>(shard)].pending_broadcasts.size();
 }
 
-Result<int64_t> ShardManager::AnnotateImage(
-    int64_t image_id, const AnnotationRecord& annotation) {
-  if (image_id < 0) {
-    return Status::InvalidArgument("image id must be non-negative");
+void ShardManager::SetMigrationHook(
+    std::function<bool(const std::string& phase, int shard)> hook) {
+  std::lock_guard<std::mutex> lock(migration_mutex_);
+  migration_hook_ = std::move(hook);
+}
+
+bool ShardManager::MigrationHookOk(const char* phase, int shard) const {
+  if (!migration_hook_) return true;
+  return migration_hook_(phase, shard);
+}
+
+bool ShardManager::shard_migrating(int shard) const {
+  if (shard < 0 || shard >= shard_count()) return false;
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  return slots_[static_cast<size_t>(shard)].migrating;
+}
+
+Status ShardManager::AbandonMigration(const std::string& why) {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  migration_.active = false;
+  migration_.phase = "abandoned";
+  // The endpoints keep their migrating flags: dual-serve + merge dedup
+  // keeps queries exact until reconciliation resolves the durable intents.
+  return Status::Unavailable(why);
+}
+
+void ShardManager::RecomputeCellsLocked(int shard) {
+  const ShardManagerOptions& opts = options_;
+  const int cells = opts.grid_rows * opts.grid_cols;
+  const double dlat =
+      (opts.region.max_lat - opts.region.min_lat) / opts.grid_rows;
+  const double dlon =
+      (opts.region.max_lon - opts.region.min_lon) / opts.grid_cols;
+  geo::BoundingBox box = geo::BoundingBox::Empty();
+  for (int c = 0; c < cells; ++c) {
+    if (cell_to_shard_[static_cast<size_t>(c)] != shard) continue;
+    const int row = c / opts.grid_cols;
+    const int col = c % opts.grid_cols;
+    geo::BoundingBox cell_box;
+    cell_box.min_lat = opts.region.min_lat + row * dlat;
+    cell_box.max_lat = opts.region.min_lat + (row + 1) * dlat;
+    cell_box.min_lon = opts.region.min_lon + col * dlon;
+    cell_box.max_lon = opts.region.min_lon + (col + 1) * dlon;
+    box.Extend(cell_box);
   }
-  const int n = shard_count();
-  const int shard = static_cast<int>(image_id % n);
+  slots_[static_cast<size_t>(shard)].cells = box;
+}
+
+void ShardManager::RebuildReverseMapsLocked() {
+  const int n = static_cast<int>(slots_.size());
+  std::vector<std::unordered_map<int64_t, int64_t>> maps(
+      static_cast<size_t>(n));
+  for (const auto& [global, loc] : relocated_) {
+    maps[static_cast<size_t>(loc.first)][loc.second] = global;
+  }
+  if (migration_.active) {
+    // Keep the in-copy entries of the running migration: its target already
+    // serves the copied rows, and they must keep translating to their
+    // original global ids (chained moves resolve through the source's own
+    // map, built just above).
+    const auto& src_map = maps[static_cast<size_t>(migration_.source)];
+    auto& tgt_map = maps[static_cast<size_t>(migration_.target)];
+    for (const auto& [slocal, tlocal] : migration_.relocations) {
+      auto it = src_map.find(slocal);
+      tgt_map[tlocal] = it != src_map.end()
+                            ? it->second
+                            : slocal * n + migration_.source;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    auto& m = maps[static_cast<size_t>(i)];
+    slots_[static_cast<size_t>(i)].reverse_relocations =
+        m.empty() ? nullptr
+                  : std::make_shared<const std::unordered_map<int64_t, int64_t>>(
+                        std::move(m));
+  }
+}
+
+std::string ShardManager::ShardMapPath() const {
+  return options_.base_path + "/shard_map.json";
+}
+
+Status ShardManager::WriteShardMapFile(
+    const std::vector<int>& cell_map,
+    const std::vector<std::array<int64_t, 3>>& relocs,
+    const std::vector<int64_t>& committed) {
+  Json doc = Json::MakeObject();
+  doc["version"] = Json(++shard_map_version_);
+  Json jcells = Json::MakeArray();
+  for (int s : cell_map) jcells.Append(Json(s));
+  doc["cell_to_shard"] = std::move(jcells);
+  Json jrel = Json::MakeArray();
+  for (const auto& r : relocs) {
+    Json triple = Json::MakeArray();
+    triple.Append(Json(r[0]));
+    triple.Append(Json(r[1]));
+    triple.Append(Json(r[2]));
+    jrel.Append(std::move(triple));
+  }
+  doc["relocations"] = std::move(jrel);
+  Json jcom = Json::MakeArray();
+  for (int64_t id : committed) jcom.Append(Json(id));
+  doc["committed_migrations"] = std::move(jcom);
+  const std::string text = doc.Dump();
+  Fs* fs = options_.durable.fs ? options_.durable.fs : Fs::Default();
+  return AtomicWriteFile(*fs, ShardMapPath(),
+                         std::vector<uint8_t>(text.begin(), text.end()));
+}
+
+Result<bool> ShardManager::LoadShardMap() {
+  Fs* fs = options_.durable.fs ? options_.durable.fs : Fs::Default();
+  const std::string path = ShardMapPath();
+  if (!fs->Exists(path)) return false;
+  TVDP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, fs->ReadAll(path));
+  TVDP_ASSIGN_OR_RETURN(
+      Json doc, Json::Parse(std::string_view(
+                    reinterpret_cast<const char*>(bytes.data()),
+                    bytes.size())));
+  const Json& jcells = doc["cell_to_shard"];
+  if (jcells.AsArray().size() != cell_to_shard_.size()) {
+    return Status::FailedPrecondition(
+        "shard_map.json disagrees with the configured grid; the grid shape "
+        "cannot change once cells have been rebalanced");
+  }
+  for (size_t c = 0; c < cell_to_shard_.size(); ++c) {
+    const int s = static_cast<int>(jcells.AsArray()[c].AsInt());
+    if (s < 0 || s >= options_.shard_count) {
+      return Status::FailedPrecondition(
+          "shard_map.json assigns a cell to an unknown shard");
+    }
+    cell_to_shard_[c] = s;
+  }
+  for (const Json& r : doc["relocations"].AsArray()) {
+    const auto& triple = r.AsArray();
+    relocated_[triple[0].AsInt()] = {static_cast<int>(triple[1].AsInt()),
+                                     triple[2].AsInt()};
+  }
+  for (const Json& id : doc["committed_migrations"].AsArray()) {
+    committed_migrations_.insert(id.AsInt());
+  }
+  shard_map_version_ = doc["version"].AsInt();
+  return true;
+}
+
+Status ShardManager::SweepForeignRows(int shard) {
   std::shared_ptr<Tvdp> tvdp;
+  std::vector<int> cell_map;
   {
     std::lock_guard<std::mutex> lock(slots_mutex_);
     const Slot& slot = slots_[static_cast<size_t>(shard)];
@@ -684,10 +1024,454 @@ Result<int64_t> ShardManager::AnnotateImage(
                                  " is down");
     }
     tvdp = slot.tvdp;
+    cell_map = cell_to_shard_;
   }
-  TVDP_ASSIGN_OR_RETURN(int64_t local,
-                        tvdp->AnnotateImage(image_id / n, annotation));
-  return local * n + shard;
+  const std::vector<int64_t> doomed =
+      tvdp->ImageIdsMatching([&](const geo::GeoPoint& p) {
+        return cell_map[static_cast<size_t>(CellForLocation(p))] != shard;
+      });
+  if (!doomed.empty()) {
+    TVDP_RETURN_IF_ERROR(tvdp->RemoveImages(doomed));
+  }
+  const double fov = tvdp->MaxFovRadiusM();
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  slots_[static_cast<size_t>(shard)].max_fov_radius_m = fov;
+  return Status::OK();
+}
+
+Result<size_t> ShardManager::MigrationCopyPass(
+    const std::shared_ptr<Tvdp>& src, const std::shared_ptr<Tvdp>& dst,
+    const std::function<bool(const geo::GeoPoint&)>& in_cells, int source,
+    int target) {
+  const int n = shard_count();
+  size_t delta = 0;
+  const std::vector<int64_t> ids = src->ImageIdsMatching(in_cells);
+  for (int64_t slocal : ids) {
+    int64_t tlocal = -1;
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      auto it = migration_.relocations.find(slocal);
+      if (it != migration_.relocations.end()) tlocal = it->second;
+    }
+    TVDP_ASSIGN_OR_RETURN(std::vector<AnnotationRecord> anns,
+                          src->ListAnnotations(slocal));
+    TVDP_ASSIGN_OR_RETURN(auto feats, src->ListFeatures(slocal));
+    if (tlocal < 0) {
+      TVDP_ASSIGN_OR_RETURN(ImageRecord rec, src->ExportImage(slocal));
+      if (rec.original_image_id.has_value()) {
+        // The provenance link is shard-local. Originals sort before their
+        // augmented derivatives (smaller ids), so a co-migrating original
+        // is already relocated by the time we get here; an original that
+        // stays behind has no target-side identity and the link drops.
+        std::lock_guard<std::mutex> lock(slots_mutex_);
+        auto it = migration_.relocations.find(*rec.original_image_id);
+        if (it != migration_.relocations.end()) {
+          rec.original_image_id = it->second;
+        } else {
+          rec.original_image_id.reset();
+        }
+      }
+      TVDP_ASSIGN_OR_RETURN(tlocal, dst->IngestImage(rec));
+      {
+        // Publish the relocation before copying the row's satellites so a
+        // concurrent probe translates the (already visible) target row back
+        // to its original global id as early as possible.
+        std::lock_guard<std::mutex> lock(slots_mutex_);
+        migration_.relocations[slocal] = tlocal;
+        ++migration_.rows_copied;
+        int64_t global = slocal * n + source;
+        const auto& src_reverse =
+            slots_[static_cast<size_t>(source)].reverse_relocations;
+        if (src_reverse) {
+          auto rit = src_reverse->find(slocal);
+          if (rit != src_reverse->end()) global = rit->second;
+        }
+        auto next =
+            slots_[static_cast<size_t>(target)].reverse_relocations
+                ? std::make_shared<std::unordered_map<int64_t, int64_t>>(
+                      *slots_[static_cast<size_t>(target)].reverse_relocations)
+                : std::make_shared<std::unordered_map<int64_t, int64_t>>();
+        (*next)[tlocal] = global;
+        slots_[static_cast<size_t>(target)].reverse_relocations =
+            std::move(next);
+      }
+      for (const AnnotationRecord& ann : anns) {
+        TVDP_RETURN_IF_ERROR(dst->AnnotateImage(tlocal, ann).status());
+      }
+      for (const auto& [kind, vec] : feats) {
+        TVDP_RETURN_IF_ERROR(dst->StoreFeature(tlocal, kind, vec));
+      }
+      ++delta;
+      continue;
+    }
+    // Already copied: diff the satellites. Annotations only append, so the
+    // target's list is a prefix of the source's; features diff by kind.
+    bool touched = false;
+    TVDP_ASSIGN_OR_RETURN(std::vector<AnnotationRecord> tanns,
+                          dst->ListAnnotations(tlocal));
+    for (size_t a = tanns.size(); a < anns.size(); ++a) {
+      TVDP_RETURN_IF_ERROR(dst->AnnotateImage(tlocal, anns[a]).status());
+      touched = true;
+    }
+    TVDP_ASSIGN_OR_RETURN(auto tfeats, dst->ListFeatures(tlocal));
+    std::set<std::string> have;
+    for (const auto& [kind, vec] : tfeats) have.insert(kind);
+    for (const auto& [kind, vec] : feats) {
+      if (have.count(kind)) continue;
+      TVDP_RETURN_IF_ERROR(dst->StoreFeature(tlocal, kind, vec));
+      touched = true;
+    }
+    if (touched) {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      ++migration_.rows_caught_up;
+      ++delta;
+    }
+  }
+  return delta;
+}
+
+Result<Json> ShardManager::RebalanceCells(const std::vector<int>& cells,
+                                          int source, int target) {
+  const int n = shard_count();
+  if (source < 0 || source >= n || target < 0 || target >= n) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  if (source == target) {
+    return Status::InvalidArgument(
+        "source and target of a rebalance must differ");
+  }
+  if (cells.empty()) {
+    return Status::InvalidArgument("no cells to migrate");
+  }
+  const int total_cells = options_.grid_rows * options_.grid_cols;
+  std::set<int> cell_set;
+  for (int c : cells) {
+    if (c < 0 || c >= total_cells) {
+      return Status::InvalidArgument("unknown grid cell " +
+                                     std::to_string(c));
+    }
+    if (!cell_set.insert(c).second) {
+      return Status::InvalidArgument("duplicate cell " + std::to_string(c) +
+                                     " in the rebalance request");
+    }
+  }
+
+  std::lock_guard<std::mutex> mig_lock(migration_mutex_);
+  std::shared_ptr<Tvdp> src, dst;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (int c : cells) {
+      if (cell_to_shard_[static_cast<size_t>(c)] != source) {
+        return Status::FailedPrecondition(
+            "cell " + std::to_string(c) + " is owned by shard " +
+            std::to_string(cell_to_shard_[static_cast<size_t>(c)]) +
+            ", not the requested source " + std::to_string(source));
+      }
+    }
+    const Slot& s = slots_[static_cast<size_t>(source)];
+    const Slot& t = slots_[static_cast<size_t>(target)];
+    if (s.killed || !s.tvdp) {
+      return Status::FailedPrecondition("source shard " +
+                                        std::to_string(source) + " is down");
+    }
+    if (t.killed || !t.tvdp) {
+      return Status::FailedPrecondition("target shard " +
+                                        std::to_string(target) + " is down");
+    }
+    if (s.migrating || t.migrating) {
+      return Status::FailedPrecondition(
+          "an earlier migration touching shard " +
+          std::to_string(s.migrating ? source : target) +
+          " is unresolved; run reconcile first");
+    }
+    for (const Slot* slot : {&s, &t}) {
+      for (const auto& [bid, p] : slot->pending_broadcasts) {
+        if (p.op == "rebalance_cells") {
+          return Status::FailedPrecondition(
+              "an unresolved rebalance intent (migration " +
+              std::to_string(bid) + ") blocks this migration; run "
+              "reconcile first");
+        }
+      }
+    }
+    src = s.tvdp;
+    dst = t.tvdp;
+  }
+  if (!(src->ClassificationTableJson() == dst->ClassificationTableJson())) {
+    return Status::FailedPrecondition(
+        "source and target classification tables diverge; reconcile "
+        "broadcasts before rebalancing");
+  }
+
+  int64_t mid;
+  {
+    std::lock_guard<std::mutex> block(broadcast_mutex_);
+    mid = next_broadcast_id_++;
+  }
+  Json payload = Json::MakeObject();
+  Json jcells = Json::MakeArray();
+  for (int c : cells) jcells.Append(Json(c));
+  payload["cells"] = std::move(jcells);
+  payload["source"] = Json(source);
+  payload["target"] = Json(target);
+  const int64_t high_water = static_cast<int64_t>(src->image_count());
+  payload["high_water"] = Json(high_water);
+  const storage::WalRecord intent = storage::WalRecord::MigrationIntent(
+      mid, "rebalance_cells", payload.Dump(),
+      {static_cast<int64_t>(source), static_cast<int64_t>(target)});
+
+  // Phase 1 — intent: durably logged on both endpoints before anything
+  // moves. A hook veto here models a coordinator crash (state stays for
+  // reconciliation); an append *failure* rolls the earlier intent back
+  // inline, since nothing has been applied anywhere yet.
+  const int endpoints[2] = {source, target};
+  for (int i = 0; i < 2; ++i) {
+    if (!MigrationHookOk("intent", endpoints[i])) {
+      return Status::Unavailable(
+          "migration " + std::to_string(mid) +
+          " abandoned before intent on shard " +
+          std::to_string(endpoints[i]) + "; pending until reconciliation");
+    }
+    Status logged = AppendBroadcastTo(endpoints[i], intent);
+    if (!logged.ok()) {
+      for (int j = 0; j < i; ++j) {
+        (void)AppendBroadcastTo(endpoints[j],
+                                storage::WalRecord::MigrationAbort(mid));
+      }
+      return logged;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    migration_ = MigrationState{};
+    migration_.active = true;
+    migration_.id = mid;
+    migration_.cells = cells;
+    migration_.source = source;
+    migration_.target = target;
+    migration_.phase = "copy";
+    migration_.high_water = high_water;
+    slots_[static_cast<size_t>(source)].migrating = true;
+    slots_[static_cast<size_t>(target)].migrating = true;
+  }
+
+  // Phases 2+3 — copy, then idempotent catch-up passes until the delta the
+  // still-serving source absorbed drains (bounded; the gated final pass
+  // under cutover catches any persistent trickle).
+  auto in_cells = [this, cell_set](const geo::GeoPoint& p) {
+    return cell_set.count(CellForLocation(p)) > 0;
+  };
+  // Fail fast on a killed endpoint: the snapshotted handles would keep
+  // working, but durably writing to a "crashed" shard would falsify the
+  // crash model recovery is tested against. Checked after every hook call
+  // too — fault hooks kill shards mid-phase to simulate exactly that.
+  auto endpoints_down = [this, source, target]() {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    const Slot& s = slots_[static_cast<size_t>(source)];
+    const Slot& t = slots_[static_cast<size_t>(target)];
+    return s.killed || !s.tvdp || t.killed || !t.tvdp;
+  };
+  constexpr int kMaxCatchUpPasses = 6;
+  for (int pass = 0; pass < kMaxCatchUpPasses; ++pass) {
+    const char* phase = pass == 0 ? "copy" : "catchup";
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      migration_.phase = phase;
+    }
+    if (!MigrationHookOk(phase, source)) {
+      return AbandonMigration("migration " + std::to_string(mid) +
+                              " abandoned at " + phase +
+                              "; pending until reconciliation");
+    }
+    if (endpoints_down()) {
+      return AbandonMigration("migration " + std::to_string(mid) +
+                              " abandoned: an endpoint died mid-copy; "
+                              "pending until reconciliation");
+    }
+    Result<size_t> changed = MigrationCopyPass(src, dst, in_cells, source,
+                                               target);
+    if (!changed.ok()) {
+      (void)AbandonMigration("");
+      return changed.status();
+    }
+    if (pass > 0 && *changed == 0) break;
+  }
+
+  // Phase 4 — cutover: gate new writes, drain the in-flight ones, run the
+  // final catch-up against the now-quiescent source, persist the new shard
+  // map (the durable commit point), and flip routing.
+  if (!MigrationHookOk("cutover", source)) {
+    return AbandonMigration("migration " + std::to_string(mid) +
+                            " abandoned before cutover; pending until "
+                            "reconciliation");
+  }
+  if (endpoints_down()) {
+    return AbandonMigration("migration " + std::to_string(mid) +
+                            " abandoned: an endpoint died before cutover; "
+                            "pending until reconciliation");
+  }
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    migration_.phase = "cutover";
+  }
+  BlockWrites();
+  Result<size_t> final_pass =
+      MigrationCopyPass(src, dst, in_cells, source, target);
+  if (!final_pass.ok()) {
+    UnblockWrites();
+    (void)AbandonMigration("");
+    return final_pass.status();
+  }
+  const double target_fov = dst->MaxFovRadiusM();
+  if (!options_.base_path.empty()) {
+    std::vector<int> new_cell_map;
+    std::vector<std::array<int64_t, 3>> new_relocs;
+    std::vector<int64_t> new_committed;
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      new_cell_map = cell_to_shard_;
+      for (int c : cells) new_cell_map[static_cast<size_t>(c)] = target;
+      for (const auto& [global, loc] : relocated_) {
+        new_relocs.push_back({global, loc.first, loc.second});
+      }
+      const auto& src_reverse =
+          slots_[static_cast<size_t>(source)].reverse_relocations;
+      for (const auto& [slocal, tlocal] : migration_.relocations) {
+        int64_t global = slocal * n + source;
+        if (src_reverse) {
+          auto rit = src_reverse->find(slocal);
+          if (rit != src_reverse->end()) global = rit->second;
+        }
+        new_relocs.push_back({global, target, tlocal});
+      }
+      new_committed.assign(committed_migrations_.begin(),
+                           committed_migrations_.end());
+      new_committed.push_back(mid);
+    }
+    Status saved = WriteShardMapFile(new_cell_map, new_relocs, new_committed);
+    if (!saved.ok()) {
+      UnblockWrites();
+      (void)AbandonMigration("");
+      return saved;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (int c : cells) cell_to_shard_[static_cast<size_t>(c)] = target;
+    committed_migrations_.insert(mid);
+    const auto& src_reverse =
+        slots_[static_cast<size_t>(source)].reverse_relocations;
+    for (const auto& [slocal, tlocal] : migration_.relocations) {
+      int64_t global = slocal * n + source;
+      if (src_reverse) {
+        auto rit = src_reverse->find(slocal);
+        if (rit != src_reverse->end()) global = rit->second;
+      }
+      relocated_[global] = {target, tlocal};
+    }
+    RecomputeCellsLocked(source);
+    RecomputeCellsLocked(target);
+    Slot& t = slots_[static_cast<size_t>(target)];
+    t.max_fov_radius_m = std::max(t.max_fov_radius_m, target_fov);
+    RebuildReverseMapsLocked();
+    migration_.phase = "commit";
+  }
+  UnblockWrites();
+
+  // Phase 5 — commit markers + GC. The migration is committed; everything
+  // from here is best-effort and reconciliation finishes whatever a crash
+  // skips (forward: the shard map already says so).
+  for (int i = 0; i < 2; ++i) {
+    if (!MigrationHookOk("commit", endpoints[i])) {
+      return AbandonMigration("migration " + std::to_string(mid) +
+                              " committed but abandoned before its commit "
+                              "marker on shard " +
+                              std::to_string(endpoints[i]) +
+                              "; reconciliation will finalize it");
+    }
+    (void)AppendBroadcastTo(endpoints[i],
+                            storage::WalRecord::MigrationCommit(mid));
+  }
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    migration_.phase = "gc";
+  }
+  if (!MigrationHookOk("gc", source)) {
+    return AbandonMigration("migration " + std::to_string(mid) +
+                            " committed but abandoned before GC; "
+                            "reconciliation will finalize it");
+  }
+  std::vector<int64_t> moved;
+  size_t rows_copied, rows_caught_up, relocation_count;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    moved.reserve(migration_.relocations.size());
+    for (const auto& [slocal, tlocal] : migration_.relocations) {
+      moved.push_back(slocal);
+    }
+    rows_copied = migration_.rows_copied;
+    rows_caught_up = migration_.rows_caught_up;
+    relocation_count = migration_.relocations.size();
+  }
+  Status gc = src->RemoveImages(moved);
+  if (!gc.ok()) {
+    (void)AbandonMigration("");
+    return gc;
+  }
+  const double source_fov = src->MaxFovRadiusM();
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    slots_[static_cast<size_t>(source)].max_fov_radius_m = source_fov;
+    slots_[static_cast<size_t>(source)].migrating = false;
+    slots_[static_cast<size_t>(target)].migrating = false;
+    migration_.active = false;
+    migration_.phase = "done";
+    RebuildReverseMapsLocked();
+  }
+
+  Json report = Json::MakeObject();
+  report["migration_id"] = Json(mid);
+  Json rcells = Json::MakeArray();
+  for (int c : cells) rcells.Append(Json(c));
+  report["cells"] = std::move(rcells);
+  report["source"] = Json(source);
+  report["target"] = Json(target);
+  report["rows_copied"] = Json(static_cast<int64_t>(rows_copied));
+  report["rows_caught_up"] = Json(static_cast<int64_t>(rows_caught_up));
+  report["relocations"] = Json(static_cast<int64_t>(relocation_count));
+  return report;
+}
+
+Result<int64_t> ShardManager::AnnotateImage(
+    int64_t image_id, const AnnotationRecord& annotation) {
+  if (image_id < 0) {
+    return Status::InvalidArgument("image id must be non-negative");
+  }
+  const int n = shard_count();
+  WriteTicket ticket(this);
+  int shard;
+  int64_t local;
+  std::shared_ptr<Tvdp> tvdp;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    auto it = relocated_.find(image_id);
+    if (it != relocated_.end()) {
+      shard = it->second.first;
+      local = it->second.second;
+    } else {
+      shard = static_cast<int>(image_id % n);
+      local = image_id / n;
+    }
+    const Slot& slot = slots_[static_cast<size_t>(shard)];
+    if (slot.killed || !slot.tvdp) {
+      return Status::Unavailable("shard " + std::to_string(shard) +
+                                 " is down");
+    }
+    tvdp = slot.tvdp;
+  }
+  TVDP_ASSIGN_OR_RETURN(int64_t ann_local,
+                        tvdp->AnnotateImage(local, annotation));
+  return ann_local * n + shard;
 }
 
 Status ShardManager::StoreFeature(int64_t image_id, const std::string& kind,
@@ -696,10 +1480,20 @@ Status ShardManager::StoreFeature(int64_t image_id, const std::string& kind,
     return Status::InvalidArgument("image id must be non-negative");
   }
   const int n = shard_count();
-  const int shard = static_cast<int>(image_id % n);
+  WriteTicket ticket(this);
+  int shard;
+  int64_t local;
   std::shared_ptr<Tvdp> tvdp;
   {
     std::lock_guard<std::mutex> lock(slots_mutex_);
+    auto it = relocated_.find(image_id);
+    if (it != relocated_.end()) {
+      shard = it->second.first;
+      local = it->second.second;
+    } else {
+      shard = static_cast<int>(image_id % n);
+      local = image_id / n;
+    }
     const Slot& slot = slots_[static_cast<size_t>(shard)];
     if (slot.killed || !slot.tvdp) {
       return Status::Unavailable("shard " + std::to_string(shard) +
@@ -707,7 +1501,7 @@ Status ShardManager::StoreFeature(int64_t image_id, const std::string& kind,
     }
     tvdp = slot.tvdp;
   }
-  return tvdp->StoreFeature(image_id / n, kind, feature);
+  return tvdp->StoreFeature(local, kind, feature);
 }
 
 Result<ml::FeatureVector> ShardManager::GetFeature(
@@ -716,10 +1510,22 @@ Result<ml::FeatureVector> ShardManager::GetFeature(
     return Status::InvalidArgument("image id must be non-negative");
   }
   const int n = shard_count();
-  const int shard = static_cast<int>(image_id % n);
+  // Reads take a ticket too: the routing decision must not span a cutover,
+  // or a read routed to the old owner could race the GC of the moved row.
+  WriteTicket ticket(this);
+  int shard;
+  int64_t local;
   std::shared_ptr<Tvdp> tvdp;
   {
     std::lock_guard<std::mutex> lock(slots_mutex_);
+    auto it = relocated_.find(image_id);
+    if (it != relocated_.end()) {
+      shard = it->second.first;
+      local = it->second.second;
+    } else {
+      shard = static_cast<int>(image_id % n);
+      local = image_id / n;
+    }
     const Slot& slot = slots_[static_cast<size_t>(shard)];
     if (slot.killed || !slot.tvdp) {
       return Status::Unavailable("shard " + std::to_string(shard) +
@@ -727,7 +1533,7 @@ Result<ml::FeatureVector> ShardManager::GetFeature(
     }
     tvdp = slot.tvdp;
   }
-  return tvdp->GetFeature(image_id / n, kind);
+  return tvdp->GetFeature(local, kind);
 }
 
 Result<Json> ShardManager::ImageRowJson(int64_t image_id) const {
@@ -735,10 +1541,20 @@ Result<Json> ShardManager::ImageRowJson(int64_t image_id) const {
     return Status::InvalidArgument("image id must be non-negative");
   }
   const int n = shard_count();
-  const int shard = static_cast<int>(image_id % n);
+  WriteTicket ticket(this);
+  int shard;
+  int64_t local;
   std::shared_ptr<Tvdp> tvdp;
   {
     std::lock_guard<std::mutex> lock(slots_mutex_);
+    auto it = relocated_.find(image_id);
+    if (it != relocated_.end()) {
+      shard = it->second.first;
+      local = it->second.second;
+    } else {
+      shard = static_cast<int>(image_id % n);
+      local = image_id / n;
+    }
     const Slot& slot = slots_[static_cast<size_t>(shard)];
     if (slot.killed || !slot.tvdp) {
       return Status::Unavailable("shard " + std::to_string(shard) +
@@ -746,7 +1562,7 @@ Result<Json> ShardManager::ImageRowJson(int64_t image_id) const {
     }
     tvdp = slot.tvdp;
   }
-  TVDP_ASSIGN_OR_RETURN(Json row, tvdp->ImageRowJson(image_id / n));
+  TVDP_ASSIGN_OR_RETURN(Json row, tvdp->ImageRowJson(local));
   row["id"] = Json(image_id);
   return row;
 }
@@ -760,10 +1576,12 @@ Result<std::vector<query::QueryHit>> ShardManager::ProbeShard(
   }
   ShardFaultProfile f;
   bool crash = false, hang = false, slow = false;
+  std::shared_ptr<const std::unordered_map<int64_t, int64_t>> reverse;
   {
     std::lock_guard<std::mutex> lock(slots_mutex_);
     Slot& slot = slots_[static_cast<size_t>(shard)];
     f = slot.faults;
+    reverse = slot.reverse_relocations;
     if (f.crash_prob > 0) crash = slot.rng.Bernoulli(f.crash_prob);
     if (!crash && f.hang_prob > 0) hang = slot.rng.Bernoulli(f.hang_prob);
     if (!crash && !hang && f.slow_prob > 0) {
@@ -789,11 +1607,44 @@ Result<std::vector<query::QueryHit>> ShardManager::ProbeShard(
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(f.slow_ms));
   }
+  query::HybridQuery local_q = q;
+  if (reverse && !reverse->empty()) {
+    // A shard holding relocated rows cannot truncate a ranked query
+    // locally: relocated rows sit at the high end of the local id space,
+    // so the local tie order no longer matches the global (original-id)
+    // order and local top-k could evict a true global winner. Return the
+    // shard's full ranking instead; the gather-side merge re-truncates
+    // globally after ids are translated back.
+    const int all = static_cast<int>(
+        std::min<size_t>(tvdp->image_count(),
+                         static_cast<size_t>(
+                             std::numeric_limits<int>::max())));
+    if (local_q.visual.has_value() &&
+        local_q.visual->kind == query::VisualPredicate::Kind::kTopK) {
+      local_q.visual->k = std::max(local_q.visual->k, all);
+    }
+    if (local_q.spatial.has_value() &&
+        local_q.spatial->kind == query::SpatialPredicate::Kind::kKnn) {
+      local_q.spatial->k = std::max(local_q.spatial->k, all);
+    }
+  }
   TVDP_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
-                        tvdp->ExecuteQuery(q, &ctx, budget, plan_out));
+                        tvdp->ExecuteQuery(local_q, &ctx, budget, plan_out));
   const int n = shard_count();
   if (n > 1) {
-    for (query::QueryHit& h : hits) h.image_id = h.image_id * n + shard;
+    // Rows migrated in (or mid-copy) keep their original global id so the
+    // dual-serving window dedups exactly; everything else translates
+    // arithmetically.
+    for (query::QueryHit& h : hits) {
+      if (reverse) {
+        auto it = reverse->find(h.image_id);
+        if (it != reverse->end()) {
+          h.image_id = it->second;
+          continue;
+        }
+      }
+      h.image_id = h.image_id * n + shard;
+    }
   }
   return hits;
 }
@@ -822,6 +1673,7 @@ query::ShardEstimate ShardManager::EstimateShard(
 
 void ShardManager::RecordProbeOutcome(const query::ShardReport& report) const {
   if (report.outcome != query::ShardOutcome::kProbed &&
+      report.outcome != query::ShardOutcome::kMigrating &&
       report.outcome != query::ShardOutcome::kFailed) {
     return;
   }
@@ -861,7 +1713,8 @@ Result<ShardManager::ShardedQueryResult> ShardManager::ExecuteQuery(
       const Slot& slot = slots_[i];
       targets.emplace_back(this, static_cast<int>(i),
                            slot.killed ? nullptr : slot.tvdp,
-                           ExpandedRegionLocked(static_cast<int>(i)));
+                           ExpandedRegionLocked(static_cast<int>(i)),
+                           slot.migrating);
     }
   }
   std::vector<query::ShardTarget*> ptrs;
@@ -980,6 +1833,12 @@ Status ShardManager::KillShard(int shard, bool drop_state) {
     return Status::FailedPrecondition("shard " + std::to_string(shard) +
                                       " is already down");
   }
+  if (slot.migrating && !drop_state) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(shard) +
+        " is an endpoint of an in-flight cell migration; pass drop_state to "
+        "kill it anyway (the migration will abandon and reconcile later)");
+  }
   slot.killed = true;
   if (!slot.base_path.empty() || drop_state) {
     // A durable shard crashes for real: drop the engine (no checkpoint,
@@ -1042,11 +1901,24 @@ Status ShardManager::RecoverShard(int shard) {
     std::lock_guard<std::mutex> lock(slots_mutex_);
     slots_[static_cast<size_t>(shard)].killed = false;
   }
-  if (!options_.atomic_broadcasts) return Status::OK();
+  bool any_rebalance = false;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (const Slot& s : slots_) {
+      if (s.migrating) any_rebalance = true;
+      for (const auto& [bid, p] : s.pending_broadcasts) {
+        if (p.op == "rebalance_cells") any_rebalance = true;
+      }
+    }
+  }
+  if (!options_.atomic_broadcasts && !any_rebalance) return Status::OK();
   // Resolve whatever a crash left pending now that this shard is back,
   // then surface (without undoing the recovery) any remaining divergence.
+  // In legacy (non-atomic) broadcast mode only migration state is
+  // reconciled and divergence is left unreported, as before.
   TVDP_ASSIGN_OR_RETURN(Json report, ReconcileLocked());
   (void)report;
+  if (!options_.atomic_broadcasts) return Status::OK();
   return VerifyConsistencyLocked(nullptr);
 }
 
@@ -1094,6 +1966,15 @@ Json ShardManager::StatsJson() const {
       s["replayed_records"] = Json(slot.replayed);
       s["pending_broadcasts"] = Json(slot.pending_broadcasts.size());
       s["region"] = BBoxJson(ExpandedRegionLocked(i));
+      s["migrating"] = Json(slot.migrating);
+      const bool endpoint = !migration_.phase.empty() &&
+                            (i == migration_.source || i == migration_.target);
+      s["migration_phase"] =
+          Json(endpoint ? migration_.phase : std::string());
+      s["migration_rows_copied"] =
+          Json(endpoint ? migration_.rows_copied : size_t{0});
+      s["migration_rows_caught_up"] =
+          Json(endpoint ? migration_.rows_caught_up : size_t{0});
     }
     {
       std::lock_guard<std::mutex> lock(tracker_mutex_);
@@ -1110,6 +1991,26 @@ Json ShardManager::StatsJson() const {
     shards.Append(std::move(s));
   }
   out["shards"] = std::move(shards);
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    Json mig = Json::MakeObject();
+    mig["active"] = Json(migration_.active);
+    mig["id"] = Json(migration_.id);
+    mig["phase"] = Json(migration_.phase);
+    mig["source"] = Json(migration_.source);
+    mig["target"] = Json(migration_.target);
+    mig["rows_copied"] = Json(migration_.rows_copied);
+    mig["rows_caught_up"] = Json(migration_.rows_caught_up);
+    out["migration"] = std::move(mig);
+    size_t pending_rebalance = 0;
+    for (const Slot& slot : slots_) {
+      for (const auto& [bid, p] : slot.pending_broadcasts) {
+        if (p.op == "rebalance_cells") ++pending_rebalance;
+      }
+    }
+    out["pending_rebalance_intents"] = Json(pending_rebalance);
+    out["relocated_rows"] = Json(relocated_.size());
+  }
   return out;
 }
 

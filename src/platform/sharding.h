@@ -1,11 +1,15 @@
 #ifndef TVDP_PLATFORM_SHARDING_H_
 #define TVDP_PLATFORM_SHARDING_H_
 
+#include <array>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -122,6 +126,9 @@ class ShardManager {
 
   int shard_count() const { return static_cast<int>(slots_.size()); }
 
+  /// The grid cell `p` falls in (clamped into the region).
+  int CellForLocation(const geo::GeoPoint& p) const;
+
   /// The shard owning `p`'s grid cell (clamped into the region).
   int ShardForLocation(const geo::GeoPoint& p) const;
 
@@ -218,6 +225,9 @@ class ShardManager {
   /// `drop_state` additionally discards an in-memory shard's engine — the
   /// total-loss model (no WAL, nothing to replay), after which RecoverShard
   /// reports kFailedPrecondition instead of reviving an empty zombie.
+  /// kFailedPrecondition while the shard is an endpoint of an in-flight
+  /// cell migration, unless `drop_state` forces the kill (the migration
+  /// then abandons and reconciliation resolves its durable intents).
   Status KillShard(int shard, bool drop_state = false);
 
   /// Online recovery: reopens a durable shard from its snapshot + WAL
@@ -230,6 +240,52 @@ class ShardManager {
   /// kFailedPrecondition for an in-memory shard with nothing to revive
   /// (no WAL to replay).
   Status RecoverShard(int shard);
+
+  // --- Online rebalancing (DESIGN.md "Online shard rebalancing") ---
+
+  /// Moves the given grid cells from `source` to `target` while both keep
+  /// serving, as a durable multi-phase state machine:
+  ///
+  ///   1. intent   — a kMigrationIntent record is fsynced into both shards'
+  ///                 broadcast logs before anything moves;
+  ///   2. copy     — the cells' rows (images, annotations, features) are
+  ///                 bulk-copied into the target through the normal ingest
+  ///                 path while the source keeps absorbing writes; copied
+  ///                 rows keep their original global ids via relocation
+  ///                 maps, so the dual-serving window stays exact (the
+  ///                 scatter-gather merge dedups by image id);
+  ///   3. catch-up — idempotent diff passes re-copy whatever arrived during
+  ///                 the bulk copy until the delta drains;
+  ///   4. cutover  — new writes are briefly gated, a final catch-up runs,
+  ///                 the new shard map (cell ownership + relocations) is
+  ///                 atomically persisted to `<base_path>/shard_map.json` —
+  ///                 THE cross-restart commit point — and the in-memory
+  ///                 routing, prune regions and FOV margins flip;
+  ///   5. commit+gc— commit markers resolve the intents and the moved rows
+  ///                 are garbage-collected from the source.
+  ///
+  /// A crash at any boundary leaves durable evidence that Create /
+  /// RecoverShard / ReconcileBroadcasts resolves: forward once the shard
+  /// map committed, backward before it. Guards: unknown or duplicate cells,
+  /// source == target, or an out-of-range shard are kInvalidArgument; a
+  /// cell not owned by `source`, a dead endpoint, divergent classification
+  /// tables, or an unresolved earlier migration are kFailedPrecondition.
+  /// Returns a report ({"migration_id","cells","source","target",
+  /// "rows_copied","rows_caught_up","relocations"}).
+  Result<Json> RebalanceCells(const std::vector<int>& cells, int source,
+                              int target);
+
+  /// Test hook called at each migration phase boundary
+  /// ("intent" / "copy" / "catchup" / "cutover" / "commit" / "gc") with the
+  /// shard the step is about to touch. Returning false abandons the
+  /// migration at that point — the simulated coordinator crash. Durable
+  /// state (intents, the shard map) is left as-is for reconciliation; the
+  /// endpoints keep dual-serving so queries stay exact until then.
+  void SetMigrationHook(
+      std::function<bool(const std::string& phase, int shard)> hook);
+
+  /// True while `shard` is an endpoint of an unresolved cell migration.
+  bool shard_migrating(int shard) const;
 
   bool shard_alive(int shard) const;
   edge::CircuitState breaker_state(int shard) const;
@@ -267,11 +323,37 @@ class ShardManager {
     /// have this mirror). Guarded by slots_mutex_; refreshed from the
     /// durable log on Create/RecoverShard.
     std::map<int64_t, storage::PendingBroadcast> pending_broadcasts;
+    /// True while this shard is an endpoint of an unresolved cell
+    /// migration; successful probes then report kMigrating and the merge
+    /// dedups the dual-served rows. Guarded by slots_mutex_.
+    bool migrating = false;
+    /// local id -> original global id for rows this shard serves on behalf
+    /// of another shard (migrated in, or mid-copy). Immutable snapshot
+    /// swapped under slots_mutex_; probes read it lock-free after the swap.
+    std::shared_ptr<const std::unordered_map<int64_t, int64_t>>
+        reverse_relocations;
+  };
+
+  /// Coordinator-side state of the (single) in-flight migration. Guarded by
+  /// slots_mutex_; only RebalanceCells (serialized by migration_mutex_)
+  /// mutates it.
+  struct MigrationState {
+    bool active = false;
+    int64_t id = 0;
+    std::vector<int> cells;
+    int source = -1;
+    int target = -1;
+    std::string phase;  ///< "", copy, catchup, cutover, commit, gc,
+                        ///< abandoned, done
+    int64_t high_water = 0;  ///< source image rows at intent (informational)
+    size_t rows_copied = 0;
+    size_t rows_caught_up = 0;
+    /// source-local id -> target-local id of every row copied so far.
+    std::unordered_map<int64_t, int64_t> relocations;
   };
 
   explicit ShardManager(ShardManagerOptions options);
 
-  int CellForLocation(const geo::GeoPoint& p) const;
   double NowMs() const;
 
   /// The shard's prune region: its cells' union expanded by the largest
@@ -292,9 +374,11 @@ class ShardManager {
   /// Breaker + latency bookkeeping for one gathered probe outcome.
   void RecordProbeOutcome(const query::ShardReport& report) const;
 
-  /// Appends one broadcast record to `shard`'s log (durable shards fsync it
-  /// through the DurableCatalog; in-memory shards only update the mirror).
-  /// Unavailable when the shard is down. Caller holds broadcast_mutex_.
+  /// Appends one broadcast or migration record to `shard`'s log (durable
+  /// shards fsync it through the DurableCatalog; in-memory shards only
+  /// update the mirror). Unavailable when the shard is down. Caller holds
+  /// broadcast_mutex_ or migration_mutex_ (the mirror itself is guarded by
+  /// slots_mutex_ inside).
   Status AppendBroadcastTo(int shard, const storage::WalRecord& record);
 
   /// True unless a test hook vetoes this step (simulated coordinator
@@ -306,15 +390,108 @@ class ShardManager {
   Result<Json> ReconcileLocked();
   Status VerifyConsistencyLocked(Json* detail) const;
 
+  // --- Rebalancing internals ---
+
+  /// RAII write ticket: routed writes hold one across route + insert so a
+  /// cutover (which flips the routing) can wait the in-flight writes out
+  /// instead of racing them.
+  class WriteTicket {
+   public:
+    explicit WriteTicket(const ShardManager* mgr);
+    ~WriteTicket();
+
+   private:
+    const ShardManager* mgr_;
+  };
+  friend class WriteTicket;
+
+  /// Blocks new write tickets and waits until the in-flight count drains
+  /// (the cutover barrier) / lifts the block.
+  void BlockWrites() const;
+  void UnblockWrites() const;
+
+  /// True unless the migration test hook vetoes this step. Caller holds
+  /// migration_mutex_.
+  bool MigrationHookOk(const char* phase, int shard) const;
+
+  /// One idempotent copy/diff pass of the in-flight migration: full-copies
+  /// source rows in the migrating cells that have no relocation yet and
+  /// diff-copies new annotations / feature kinds onto already-copied rows.
+  /// Returns the number of rows this pass changed (0 = caught up). Caller
+  /// holds migration_mutex_; engine work runs lock-free on the snapshotted
+  /// handles.
+  Result<size_t> MigrationCopyPass(
+      const std::shared_ptr<Tvdp>& src, const std::shared_ptr<Tvdp>& dst,
+      const std::function<bool(const geo::GeoPoint&)>& in_cells, int source,
+      int target);
+
+  /// Marks the in-flight migration abandoned (coordinator crash model):
+  /// durable intents stay pending for reconciliation and the endpoints keep
+  /// their migrating flags (dual-serve keeps queries exact). Returns
+  /// kUnavailable carrying `why`.
+  Status AbandonMigration(const std::string& why);
+
+  /// Deletes every row on `shard` whose cell the current shard map assigns
+  /// to a different shard, then recomputes the shard's FOV margin — the GC
+  /// half of forward recovery and the undo half of rollback.
+  Status SweepForeignRows(int shard);
+
+  /// Recomputes `shard`'s cells bounding box from cell_to_shard_. Caller
+  /// holds slots_mutex_.
+  void RecomputeCellsLocked(int shard);
+
+  /// Rebuilds every slot's reverse relocation map from relocated_ (drops
+  /// any in-copy entries of an abandoned migration). Caller holds
+  /// slots_mutex_.
+  void RebuildReverseMapsLocked();
+
+  std::string ShardMapPath() const;
+
+  /// Atomically persists the given post-cutover shard map — the durable
+  /// commit point of a migration. No locks held; the caller passes
+  /// consistent snapshots.
+  Status WriteShardMapFile(const std::vector<int>& cell_map,
+                           const std::vector<std::array<int64_t, 3>>& relocs,
+                           const std::vector<int64_t>& committed);
+
+  /// Loads `<base_path>/shard_map.json` if present, overriding the options'
+  /// cell assignments and seeding relocated_ / committed_migrations_.
+  /// Returns whether a map file existed (its existence triggers a
+  /// foreign-row sweep at Create — the GC a crash may have skipped).
+  Result<bool> LoadShardMap();
+
   ShardManagerOptions options_;
+  /// Mutable under slots_mutex_ since cutovers rewrite cell ownership.
   std::vector<int> cell_to_shard_;
   mutable std::vector<Slot> slots_;
   mutable std::mutex slots_mutex_;
   /// Serializes fleet-wide broadcasts, reconciliation, and recovery; taken
-  /// before slots_mutex_ (never the reverse).
+  /// before slots_mutex_ (never the reverse). A migration takes it only
+  /// briefly per append batch; migration_mutex_ orders before it.
   mutable std::mutex broadcast_mutex_;
   int64_t next_broadcast_id_ = 1;  ///< guarded by broadcast_mutex_
   std::function<bool(const std::string&, int)> broadcast_hook_;
+
+  /// Serializes migrations end to end (one in flight at a time). Lock
+  /// order: migration_mutex_ -> broadcast_mutex_ -> slots_mutex_.
+  mutable std::mutex migration_mutex_;
+  MigrationState migration_;  ///< guarded by slots_mutex_
+  std::function<bool(const std::string&, int)> migration_hook_;  ///< by migration_mutex_
+  /// original global id -> (owning shard, local id) for every row moved by
+  /// a committed migration; consulted before the arithmetic id % N routing.
+  /// Guarded by slots_mutex_.
+  std::unordered_map<int64_t, std::pair<int, int64_t>> relocated_;
+  /// Ids of migrations whose cutover committed (survives restarts through
+  /// shard_map.json) — the evidence recovery rolls forward on. Guarded by
+  /// slots_mutex_.
+  std::unordered_set<int64_t> committed_migrations_;
+  int64_t shard_map_version_ = 0;  ///< guarded by slots_mutex_
+
+  /// The cutover write gate (leaf lock; never held across engine calls).
+  mutable std::mutex gate_mutex_;
+  mutable std::condition_variable gate_cv_;
+  mutable int writes_in_flight_ = 0;
+  mutable bool write_block_ = false;
   /// DeviceHealthTracker is not thread-safe; every access goes through
   /// this mutex.
   mutable std::unique_ptr<edge::DeviceHealthTracker> tracker_;

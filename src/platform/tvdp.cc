@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 #include <shared_mutex>
+#include <unordered_set>
 
 #include "common/strings.h"
 
@@ -61,10 +62,16 @@ Status Tvdp::RebuildFromCatalog() {
   });
 
   // Query indexes: every image, then every stored feature vector.
+  std::unique_lock lock(engine_->mutex());
+  return ReindexAllLocked();
+}
+
+Status Tvdp::ReindexAllLocked() {
+  storage::Catalog& cat = catalog();
   Status index_status = Status::OK();
   const storage::Table* images = cat.GetTable(tables::kImages);
   images->ForEach([&](const Row& r) {
-    index_status = engine_->IndexImage(r[0].AsInt64());
+    index_status = engine_->IndexImageLocked(r[0].AsInt64());
     return index_status.ok();
   });
   TVDP_RETURN_IF_ERROR(index_status);
@@ -74,9 +81,9 @@ Status Tvdp::RebuildFromCatalog() {
   size_t kind_idx = static_cast<size_t>(fs.ColumnIndex("feature_kind"));
   size_t feat_idx = static_cast<size_t>(fs.ColumnIndex("feature"));
   feats->ForEach([&](const Row& r) {
-    index_status = engine_->IndexFeature(r[img_idx].AsInt64(),
-                                         r[kind_idx].AsString(),
-                                         r[feat_idx].AsFloatVector());
+    index_status = engine_->IndexFeatureLocked(r[img_idx].AsInt64(),
+                                               r[kind_idx].AsString(),
+                                               r[feat_idx].AsFloatVector());
     return index_status.ok();
   });
   return index_status;
@@ -85,6 +92,13 @@ Status Tvdp::RebuildFromCatalog() {
 Result<int64_t> Tvdp::InsertRow(const std::string& table, storage::Row row) {
   return durable_ ? durable_->Insert(table, std::move(row))
                   : catalog_->Insert(table, std::move(row));
+}
+
+Status Tvdp::DeleteRow(const std::string& table, storage::RowId id) {
+  if (durable_) return durable_->Delete(table, id);
+  storage::Table* t = catalog_->GetTable(table);
+  if (!t) return Status::NotFound("no such table: " + table);
+  return t->Delete(id);
 }
 
 Result<int64_t> Tvdp::IngestImage(const ImageRecord& record) {
@@ -390,6 +404,178 @@ Result<std::vector<geo::GeoPoint>> Tvdp::LocationsWithLabel(
         geo::GeoPoint{img[lat_idx].AsDouble(), img[lon_idx].AsDouble()});
   }
   return out;
+}
+
+Result<ImageRecord> Tvdp::ExportImage(int64_t image_id) const {
+  std::shared_lock lock(engine_->mutex());
+  const storage::Table* images = catalog().GetTable(tables::kImages);
+  const storage::Schema& s = images->schema();
+  TVDP_ASSIGN_OR_RETURN(Row row, images->Get(image_id));
+  ImageRecord rec;
+  rec.uri = row[static_cast<size_t>(s.ColumnIndex("uri"))].AsString();
+  rec.location = geo::GeoPoint{
+      row[static_cast<size_t>(s.ColumnIndex("lat"))].AsDouble(),
+      row[static_cast<size_t>(s.ColumnIndex("lon"))].AsDouble()};
+  rec.captured_at =
+      row[static_cast<size_t>(s.ColumnIndex("timestamp_capturing"))].AsInt64();
+  rec.uploaded_at =
+      row[static_cast<size_t>(s.ColumnIndex("timestamp_uploading"))].AsInt64();
+  rec.source = row[static_cast<size_t>(s.ColumnIndex("source"))].AsString();
+  rec.is_augmented =
+      row[static_cast<size_t>(s.ColumnIndex("is_augmented"))].AsBool();
+  const Value& original =
+      row[static_cast<size_t>(s.ColumnIndex("original_image_id"))];
+  if (!original.is_null()) rec.original_image_id = original.AsInt64();
+
+  const storage::Table* fov = catalog().GetTable(tables::kImageFov);
+  TVDP_ASSIGN_OR_RETURN(std::vector<Row> fov_rows,
+                        fov->FindBy("image_id", Value(image_id)));
+  if (!fov_rows.empty()) {
+    const storage::Schema& fsch = fov->schema();
+    geo::FieldOfView f;
+    f.camera = rec.location;
+    f.direction_deg =
+        fov_rows[0][static_cast<size_t>(fsch.ColumnIndex("direction_deg"))]
+            .AsDouble();
+    f.angle_deg =
+        fov_rows[0][static_cast<size_t>(fsch.ColumnIndex("angle_deg"))]
+            .AsDouble();
+    f.radius_m =
+        fov_rows[0][static_cast<size_t>(fsch.ColumnIndex("radius_m"))]
+            .AsDouble();
+    rec.fov = f;
+  }
+
+  const storage::Table* kw = catalog().GetTable(tables::kImageManualKeywords);
+  TVDP_ASSIGN_OR_RETURN(std::vector<Row> kw_rows,
+                        kw->FindBy("image_id", Value(image_id)));
+  const storage::Schema& ksch = kw->schema();
+  size_t kw_idx = static_cast<size_t>(ksch.ColumnIndex("keyword"));
+  for (const Row& r : kw_rows) rec.keywords.push_back(r[kw_idx].AsString());
+  return rec;
+}
+
+Result<geo::GeoPoint> Tvdp::ImageLocation(int64_t image_id) const {
+  std::shared_lock lock(engine_->mutex());
+  const storage::Table* images = catalog().GetTable(tables::kImages);
+  const storage::Schema& s = images->schema();
+  TVDP_ASSIGN_OR_RETURN(Row row, images->Get(image_id));
+  return geo::GeoPoint{
+      row[static_cast<size_t>(s.ColumnIndex("lat"))].AsDouble(),
+      row[static_cast<size_t>(s.ColumnIndex("lon"))].AsDouble()};
+}
+
+std::vector<int64_t> Tvdp::ImageIdsMatching(
+    const std::function<bool(const geo::GeoPoint&)>& pred) const {
+  std::shared_lock lock(engine_->mutex());
+  const storage::Table* images = catalog().GetTable(tables::kImages);
+  const storage::Schema& s = images->schema();
+  size_t lat_idx = static_cast<size_t>(s.ColumnIndex("lat"));
+  size_t lon_idx = static_cast<size_t>(s.ColumnIndex("lon"));
+  std::vector<int64_t> out;
+  images->ForEach([&](const Row& r) {
+    geo::GeoPoint p{r[lat_idx].AsDouble(), r[lon_idx].AsDouble()};
+    if (pred(p)) out.push_back(r[0].AsInt64());
+    return true;
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<AnnotationRecord>> Tvdp::ListAnnotations(
+    int64_t image_id) const {
+  std::shared_lock lock(engine_->mutex());
+  // type id -> (classification name, label) across the whole registry.
+  std::map<int64_t, std::pair<std::string, std::string>> name_of;
+  for (const auto& [name, entry] : classifications_) {
+    for (const auto& [label, type_id] : entry.second) {
+      name_of[type_id] = {name, label};
+    }
+  }
+  const storage::Table* ann =
+      catalog().GetTable(tables::kImageContentAnnotation);
+  TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                        ann->FindBy("image_id", Value(image_id)));
+  const storage::Schema& s = ann->schema();
+  size_t type_idx = static_cast<size_t>(s.ColumnIndex("type_id"));
+  size_t conf_idx = static_cast<size_t>(s.ColumnIndex("confidence"));
+  size_t src_idx = static_cast<size_t>(s.ColumnIndex("annotation_source"));
+  size_t rx = static_cast<size_t>(s.ColumnIndex("region_x"));
+  size_t ry = static_cast<size_t>(s.ColumnIndex("region_y"));
+  size_t rw = static_cast<size_t>(s.ColumnIndex("region_w"));
+  size_t rh = static_cast<size_t>(s.ColumnIndex("region_h"));
+  std::vector<AnnotationRecord> out;
+  for (const Row& r : rows) {
+    auto it = name_of.find(r[type_idx].AsInt64());
+    if (it == name_of.end()) continue;
+    AnnotationRecord rec;
+    rec.classification = it->second.first;
+    rec.label = it->second.second;
+    rec.confidence = r[conf_idx].AsDouble();
+    rec.machine = r[src_idx].AsString() == "machine";
+    if (!r[rx].is_null()) {
+      rec.region = std::array<int, 4>{static_cast<int>(r[rx].AsInt64()),
+                                      static_cast<int>(r[ry].AsInt64()),
+                                      static_cast<int>(r[rw].AsInt64()),
+                                      static_cast<int>(r[rh].AsInt64())};
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, ml::FeatureVector>>>
+Tvdp::ListFeatures(int64_t image_id) const {
+  std::shared_lock lock(engine_->mutex());
+  const storage::Table* feats =
+      catalog().GetTable(tables::kImageVisualFeatures);
+  TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                        feats->FindBy("image_id", Value(image_id)));
+  const storage::Schema& s = feats->schema();
+  size_t kind_idx = static_cast<size_t>(s.ColumnIndex("feature_kind"));
+  size_t feat_idx = static_cast<size_t>(s.ColumnIndex("feature"));
+  std::vector<std::pair<std::string, ml::FeatureVector>> out;
+  out.reserve(rows.size());
+  for (const Row& r : rows) {
+    out.emplace_back(r[kind_idx].AsString(), r[feat_idx].AsFloatVector());
+  }
+  return out;
+}
+
+Status Tvdp::RemoveImages(const std::vector<int64_t>& ids) {
+  if (ids.empty()) return Status::OK();
+  // Writer: rows disappear and the rebuilt indexes appear as one atomic
+  // transition — a concurrent query sees either all of the images or none.
+  std::unique_lock lock(engine_->mutex());
+  std::unordered_set<int64_t> doomed_images(ids.begin(), ids.end());
+  const char* dependents[] = {
+      tables::kImageFov,          tables::kImageSceneLocation,
+      tables::kImageManualKeywords, tables::kImageVisualFeatures,
+      tables::kImageContentAnnotation};
+  for (const char* tname : dependents) {
+    storage::Table* t = catalog().GetTable(tname);
+    if (!t) return Status::Internal("catalog is missing the TVDP schema");
+    const storage::Schema& s = t->schema();
+    size_t img_idx = static_cast<size_t>(s.ColumnIndex("image_id"));
+    std::vector<storage::RowId> doomed_rows;
+    t->ForEach([&](const Row& r) {
+      if (doomed_images.count(r[img_idx].AsInt64())) {
+        doomed_rows.push_back(r[0].AsInt64());
+      }
+      return true;
+    });
+    for (storage::RowId rid : doomed_rows) {
+      TVDP_RETURN_IF_ERROR(DeleteRow(tname, rid));
+    }
+  }
+  storage::Table* images = catalog().GetTable(tables::kImages);
+  for (int64_t id : ids) {
+    if (!images->Exists(id)) continue;
+    TVDP_RETURN_IF_ERROR(DeleteRow(tables::kImages, id));
+  }
+  // The indexes have no per-record delete: reset and re-index survivors.
+  engine_->ResetIndexesLocked();
+  return ReindexAllLocked();
 }
 
 Status Tvdp::SaveToFile(const std::string& path) const {

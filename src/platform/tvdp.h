@@ -2,11 +2,13 @@
 #define TVDP_PLATFORM_TVDP_H_
 
 #include <array>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.h"
@@ -195,6 +197,38 @@ class Tvdp {
       const std::string& classification, const std::string& label,
       double min_confidence = 0.0) const;
 
+  // --- Rebalancing support (used by the sharded serving layer to move
+  // grid cells between shards, DESIGN.md "Online shard rebalancing") ---
+
+  /// The full acquisition-time record of `image_id`, reconstructed from the
+  /// catalog rows (FOV and keywords included) — the export half of a cell
+  /// migration; NotFound for an unknown id.
+  Result<ImageRecord> ExportImage(int64_t image_id) const;
+
+  /// Camera location of `image_id`; NotFound for an unknown id.
+  Result<geo::GeoPoint> ImageLocation(int64_t image_id) const;
+
+  /// Ids of every image whose camera location satisfies `pred`, in id
+  /// order — the migration copy loop's cell scan.
+  std::vector<int64_t> ImageIdsMatching(
+      const std::function<bool(const geo::GeoPoint&)>& pred) const;
+
+  /// All annotations attached to `image_id` in insertion order, type ids
+  /// translated back to (classification, label) names. Annotations whose
+  /// type id is not in the registry are skipped.
+  Result<std::vector<AnnotationRecord>> ListAnnotations(int64_t image_id) const;
+
+  /// All stored feature vectors of `image_id` as (kind, vector) pairs, in
+  /// insertion order.
+  Result<std::vector<std::pair<std::string, ml::FeatureVector>>> ListFeatures(
+      int64_t image_id) const;
+
+  /// Removes the given images and every dependent row (FOV, scene
+  /// location, keywords, features, annotations) — through the WAL when
+  /// durable — then rebuilds the query indexes from the surviving rows.
+  /// The GC half of a cell migration. Unknown ids are skipped.
+  Status RemoveImages(const std::vector<int64_t>& ids);
+
   // --- Persistence ---
 
   Status SaveToFile(const std::string& path) const;
@@ -208,6 +242,14 @@ class Tvdp {
   /// Routes a row insert through the WAL when durable, else straight to the
   /// in-memory catalog.
   Result<int64_t> InsertRow(const std::string& table, storage::Row row);
+
+  /// Routes a row delete through the WAL when durable, else straight to the
+  /// in-memory catalog.
+  Status DeleteRow(const std::string& table, storage::RowId id);
+
+  /// Re-indexes every image and feature row (caller holds mutex()
+  /// exclusively; the indexes must be empty).
+  Status ReindexAllLocked();
 
   /// Rebuilds query indexes and the classification registry from the
   /// recovered catalog after a durable Open.

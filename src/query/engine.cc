@@ -126,6 +126,16 @@ Status QueryEngine::IndexFeatureLocked(RowId image_id, const std::string& kind,
   return visual_rtree_[kind]->Insert(loc, feature, image_id);
 }
 
+void QueryEngine::ResetIndexesLocked() {
+  points_ = index::RTree();
+  fovs_ = index::OrientedRTree(index::OrientedRTree::Options{16, pool_});
+  temporal_ = index::TemporalIndex();
+  keywords_ = index::InvertedIndex();
+  lsh_.clear();
+  visual_rtree_.clear();
+  indexed_images_.store(0, std::memory_order_relaxed);
+}
+
 std::string QueryEngine::last_plan() const {
   std::lock_guard<std::mutex> lock(plan_mutex_);
   return last_plan_;

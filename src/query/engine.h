@@ -202,6 +202,11 @@ class QueryEngine {
   Status IndexImageLocked(storage::RowId image_id);
   Status IndexFeatureLocked(storage::RowId image_id, const std::string& kind,
                             const ml::FeatureVector& feature);
+  /// Drops every index back to empty (caller must hold mutex()
+  /// exclusively). Used by the platform facade after a bulk row removal —
+  /// the indexes have no per-record delete, so the facade resets and
+  /// re-indexes the surviving rows.
+  void ResetIndexesLocked();
   Result<std::vector<QueryHit>> SpatialRangeLocked(
       const geo::BoundingBox& box, const RequestContext* ctx = nullptr) const;
   Result<std::vector<QueryHit>> SpatialKnnLocked(

@@ -6,6 +6,7 @@
 #include <future>
 #include <limits>
 #include <thread>
+#include <unordered_set>
 
 #include "query/planner.h"
 
@@ -106,6 +107,24 @@ bool RegionDisjoint(const HybridQuery& q, const geo::BoundingBox& region) {
 
 bool VisualRanked(const HybridQuery& q) { return q.visual.has_value(); }
 
+/// Drops duplicate image ids, keeping the first (best-ranked) occurrence in
+/// the already-sorted stream. During a cell migration both the source and
+/// the target shard serve the moving rows, and the two copies carry the
+/// same global id — the union deduped by id is exactly the unsharded
+/// result. Outside a migration routing makes ids shard-unique, so this is
+/// a no-op.
+void DedupById(std::vector<QueryHit>& hits) {
+  std::unordered_set<int64_t> seen;
+  seen.reserve(hits.size());
+  size_t w = 0;
+  for (size_t i = 0; i < hits.size(); ++i) {
+    if (!seen.insert(hits[i].image_id).second) continue;
+    if (w != i) hits[w] = std::move(hits[i]);
+    ++w;
+  }
+  hits.resize(w);
+}
+
 /// Merges per-shard streams into the global order the unsharded engine
 /// would produce: visual distance (ties by id) when a visual predicate
 /// participated, kNN score for spatial rankings, ascending image id for
@@ -120,6 +139,7 @@ std::vector<QueryHit> MergeHits(std::vector<QueryHit> hits,
                   return a.visual_distance < b.visual_distance;
                 return a.image_id < b.image_id;
               });
+    DedupById(hits);
     if (q.visual->kind == VisualPredicate::Kind::kTopK &&
         hits.size() > static_cast<size_t>(q.visual->k)) {
       hits.resize(static_cast<size_t>(q.visual->k));
@@ -131,6 +151,7 @@ std::vector<QueryHit> MergeHits(std::vector<QueryHit> hits,
                 if (a.score != b.score) return a.score < b.score;
                 return a.image_id < b.image_id;
               });
+    DedupById(hits);
     if (hits.size() > static_cast<size_t>(q.spatial->k)) {
       hits.resize(static_cast<size_t>(q.spatial->k));
     }
@@ -139,6 +160,7 @@ std::vector<QueryHit> MergeHits(std::vector<QueryHit> hits,
               [](const QueryHit& a, const QueryHit& b) {
                 return a.image_id < b.image_id;
               });
+    DedupById(hits);
   }
   if (q.limit > 0 && hits.size() > static_cast<size_t>(q.limit)) {
     hits.resize(static_cast<size_t>(q.limit));
@@ -166,14 +188,20 @@ std::string ShardOutcomeName(ShardOutcome o) {
       return "breaker_open";
     case ShardOutcome::kFailed:
       return "failed";
+    case ShardOutcome::kMigrating:
+      return "migrating";
   }
   return "unknown";
 }
 
 std::vector<int> Coverage::ProbedShards() const {
   std::vector<int> out;
-  for (const ShardReport& r : reports)
-    if (r.outcome == ShardOutcome::kProbed) out.push_back(r.shard);
+  for (const ShardReport& r : reports) {
+    if (r.outcome == ShardOutcome::kProbed ||
+        r.outcome == ShardOutcome::kMigrating) {
+      out.push_back(r.shard);
+    }
+  }
   return out;
 }
 
@@ -199,7 +227,8 @@ std::vector<int> Coverage::FailedShards() const {
 bool Coverage::complete() const {
   for (const ShardReport& r : reports) {
     if (r.outcome != ShardOutcome::kProbed &&
-        r.outcome != ShardOutcome::kPruned) {
+        r.outcome != ShardOutcome::kPruned &&
+        r.outcome != ShardOutcome::kMigrating) {
       return false;
     }
   }
@@ -354,7 +383,8 @@ Result<ShardedResult> ScatterGather::Execute(
     report.latency_ms = out.latency_ms;
     report.attempts = out.attempts;
     if (out.status.ok()) {
-      report.outcome = ShardOutcome::kProbed;
+      report.outcome = shards[l.index]->migrating() ? ShardOutcome::kMigrating
+                                                    : ShardOutcome::kProbed;
       report.rows = out.hits.size();
       ++probed;
       all_hits.insert(all_hits.end(), out.hits.begin(), out.hits.end());

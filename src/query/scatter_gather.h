@@ -19,15 +19,27 @@ namespace tvdp::query {
 
 /// What happened to one shard during a scatter-gather round.
 ///   probed       — the shard answered (its rows are in the merged result);
+///   migrating    — the shard answered while a cell migration touching it
+///                  was in flight; the result is still exact (both migration
+///                  endpoints serve the moving rows and the merge dedups by
+///                  image id) but the outcome is surfaced so operators can
+///                  see rebalancing traffic;
 ///   pruned       — skipped because the query provably selects nothing
 ///                  there (region disjoint or a provably-empty estimate);
 ///   shed         — skipped by degraded-mode load shedding (lowest
 ///                  estimated selectivity goes first);
 ///   breaker_open — skipped because the shard's circuit breaker blocked it;
 ///   failed       — probed (possibly with hedged retries) and still failed.
-/// Only `pruned` keeps the result exact; the other skip/fail outcomes make
-/// the response a partial result, which the coverage object reports.
-enum class ShardOutcome { kProbed, kPruned, kShed, kBreakerOpen, kFailed };
+/// `pruned` and `migrating` keep the result exact; the other skip/fail
+/// outcomes make the response a partial result, which coverage reports.
+enum class ShardOutcome {
+  kProbed,
+  kPruned,
+  kShed,
+  kBreakerOpen,
+  kFailed,
+  kMigrating,
+};
 
 /// Stable display name, e.g. "breaker_open".
 std::string ShardOutcomeName(ShardOutcome o);
@@ -107,6 +119,11 @@ class ShardTarget {
   /// This shard's cardinality estimate for `q` (used for estimate pruning
   /// and degraded shedding). Must be cheap — planning only, no execution.
   virtual ShardEstimate Estimate(const HybridQuery& q) const = 0;
+
+  /// True when a cell migration touching this shard was in flight when the
+  /// target was snapshotted; a successful probe is then reported as
+  /// kMigrating instead of kProbed.
+  virtual bool migrating() const { return false; }
 };
 
 /// Tuning knobs of the scatter-gather stage.

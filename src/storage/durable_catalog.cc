@@ -51,12 +51,22 @@ Result<DurableCatalog> DurableCatalog::Open(const std::string& base_path,
   TVDP_ASSIGN_OR_RETURN(WalRecovery recovery,
                         Wal::Recover(dc.fs_, dc.wal_path_));
   for (const WalRecord& rec : recovery.records) {
-    if (rec.type != WalRecordType::kInsert) {
-      return Status::IOError("non-insert record in the catalog WAL");
+    if (rec.type != WalRecordType::kInsert &&
+        rec.type != WalRecordType::kDelete) {
+      return Status::IOError("non-row-mutation record in the catalog WAL");
     }
     Table* table = dc.catalog_->GetTable(rec.table);
     if (!table) {
       return Status::IOError("WAL references unknown table " + rec.table);
+    }
+    if (rec.type == WalRecordType::kDelete) {
+      // A delete of a row the snapshot already dropped (crash between
+      // checkpoint-snapshot and log-reset) is redundant, not an error.
+      if (table->Exists(rec.row_id)) {
+        TVDP_RETURN_IF_ERROR(table->Delete(rec.row_id));
+      }
+      ++dc.replayed_records_;
+      continue;
     }
     // A crash between checkpoint-snapshot and log-reset leaves records that
     // are already in the snapshot; their ids collide and they are skipped.
@@ -90,16 +100,20 @@ Result<DurableCatalog> DurableCatalog::Open(const std::string& base_path,
   for (const WalRecord& rec : broadcasts.records) {
     switch (rec.type) {
       case WalRecordType::kBroadcastIntent:
+      case WalRecordType::kMigrationIntent:
         dc.pending_broadcasts_[rec.broadcast_id] =
             PendingBroadcast{rec.broadcast_id, rec.op, rec.payload,
-                             rec.target_ids};
+                             rec.target_ids, rec.type};
         break;
       case WalRecordType::kBroadcastCommit:
       case WalRecordType::kBroadcastAbort:
+      case WalRecordType::kMigrationCommit:
+      case WalRecordType::kMigrationAbort:
         dc.pending_broadcasts_.erase(rec.broadcast_id);
         break;
       case WalRecordType::kInsert:
-        return Status::IOError("insert record in the broadcast log");
+      case WalRecordType::kDelete:
+        return Status::IOError("row-mutation record in the broadcast log");
     }
     dc.max_broadcast_id_ = std::max(dc.max_broadcast_id_, rec.broadcast_id);
   }
@@ -112,9 +126,13 @@ Result<DurableCatalog> DurableCatalog::Open(const std::string& base_path,
     // re-appended pending intents behind it.
     AppendFramed(WalRecord::BroadcastCommit(dc.max_broadcast_id_), compacted);
     for (const auto& [id, pending] : dc.pending_broadcasts_) {
-      AppendFramed(WalRecord::BroadcastIntent(id, pending.op, pending.payload,
-                                              pending.target_ids),
-                   compacted);
+      WalRecord intent =
+          pending.type == WalRecordType::kMigrationIntent
+              ? WalRecord::MigrationIntent(id, pending.op, pending.payload,
+                                           pending.target_ids)
+              : WalRecord::BroadcastIntent(id, pending.op, pending.payload,
+                                           pending.target_ids);
+      AppendFramed(intent, compacted);
     }
     TVDP_RETURN_IF_ERROR(AtomicWriteFile(*dc.fs_, dc.broadcast_path_,
                                          compacted));
@@ -169,6 +187,23 @@ Result<RowId> DurableCatalog::Insert(const std::string& table, Row row) {
   return id;
 }
 
+Status DurableCatalog::Delete(const std::string& table, RowId id) {
+  std::unique_lock<std::shared_mutex> lock(*mutex_);
+  Table* t = catalog_->GetTable(table);
+  if (!t) return Status::NotFound("no such table: " + table);
+  // Keep a copy so a failed log append can restore the exact row.
+  TVDP_ASSIGN_OR_RETURN(Row saved, t->Get(id));
+  TVDP_RETURN_IF_ERROR(t->Delete(id));
+  Status committed =
+      wal_->Append(WalRecord::Delete(table, id), options_.sync_on_commit);
+  if (!committed.ok()) {
+    // Undo the in-memory delete so state matches what a reopen reconstructs.
+    (void)t->RestoreRow(std::move(saved));
+    return committed;
+  }
+  return Status::OK();
+}
+
 Status DurableCatalog::Checkpoint() {
   std::unique_lock<std::shared_mutex> lock(*mutex_);
   return CheckpointLocked();
@@ -188,9 +223,10 @@ Status DurableCatalog::Flush() {
 }
 
 Status DurableCatalog::AppendBroadcast(const WalRecord& record) {
-  if (record.type == WalRecordType::kInsert) {
+  if (record.type == WalRecordType::kInsert ||
+      record.type == WalRecordType::kDelete) {
     return Status::InvalidArgument(
-        "insert records do not belong in the broadcast log");
+        "row-mutation records do not belong in the broadcast log");
   }
   std::unique_lock<std::shared_mutex> lock(*mutex_);
   // Always synced: an intent must be durable before the coordinator applies
@@ -199,15 +235,19 @@ Status DurableCatalog::AppendBroadcast(const WalRecord& record) {
   TVDP_RETURN_IF_ERROR(broadcast_log_->Append(record, /*sync=*/true));
   switch (record.type) {
     case WalRecordType::kBroadcastIntent:
+    case WalRecordType::kMigrationIntent:
       pending_broadcasts_[record.broadcast_id] =
           PendingBroadcast{record.broadcast_id, record.op, record.payload,
-                           record.target_ids};
+                           record.target_ids, record.type};
       break;
     case WalRecordType::kBroadcastCommit:
     case WalRecordType::kBroadcastAbort:
+    case WalRecordType::kMigrationCommit:
+    case WalRecordType::kMigrationAbort:
       pending_broadcasts_.erase(record.broadcast_id);
       break;
     case WalRecordType::kInsert:
+    case WalRecordType::kDelete:
       break;  // rejected above
   }
   max_broadcast_id_ = std::max(max_broadcast_id_, record.broadcast_id);

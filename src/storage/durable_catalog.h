@@ -50,6 +50,10 @@ struct PendingBroadcast {
   std::string op;
   std::string payload;              ///< op arguments (JSON)
   std::vector<int64_t> target_ids;  ///< expected id per shard
+  /// kBroadcastIntent for fleet-wide two-phase ops, kMigrationIntent for the
+  /// online cell-migration state machine — preserved across compaction so a
+  /// rewritten log keeps the same record kinds.
+  WalRecordType type = WalRecordType::kBroadcastIntent;
 };
 
 /// Crash-safe persistence for `Catalog`: a checksummed snapshot plus a
@@ -108,6 +112,13 @@ class DurableCatalog {
   /// commits the record to the WAL. On a log failure the in-memory row is
   /// rolled back and the error returned, leaving memory and disk agreeing.
   Result<RowId> Insert(const std::string& table, Row row);
+
+  /// Durable delete: removes the row from the in-memory catalog, then
+  /// commits a kDelete record to the WAL. On a log failure the row is
+  /// restored, leaving memory and disk agreeing. Deleting a missing row is
+  /// kNotFound. Used by rebalancing GC to drop migrated rows from a source
+  /// shard without rewriting the snapshot.
+  Status Delete(const std::string& table, RowId id);
 
   /// Forces a snapshot now and resets the WAL.
   Status Checkpoint();

@@ -43,6 +43,40 @@ WalRecord WalRecord::BroadcastAbort(int64_t broadcast_id) {
   return rec;
 }
 
+WalRecord WalRecord::Delete(std::string table, RowId row_id) {
+  WalRecord rec;
+  rec.type = WalRecordType::kDelete;
+  rec.table = std::move(table);
+  rec.row_id = row_id;
+  return rec;
+}
+
+WalRecord WalRecord::MigrationIntent(int64_t migration_id, std::string op,
+                                     std::string payload,
+                                     std::vector<int64_t> target_ids) {
+  WalRecord rec;
+  rec.type = WalRecordType::kMigrationIntent;
+  rec.broadcast_id = migration_id;
+  rec.op = std::move(op);
+  rec.payload = std::move(payload);
+  rec.target_ids = std::move(target_ids);
+  return rec;
+}
+
+WalRecord WalRecord::MigrationCommit(int64_t migration_id) {
+  WalRecord rec;
+  rec.type = WalRecordType::kMigrationCommit;
+  rec.broadcast_id = migration_id;
+  return rec;
+}
+
+WalRecord WalRecord::MigrationAbort(int64_t migration_id) {
+  WalRecord rec;
+  rec.type = WalRecordType::kMigrationAbort;
+  rec.broadcast_id = migration_id;
+  return rec;
+}
+
 std::vector<uint8_t> WalRecord::Encode() const {
   BinaryWriter w;
   w.WriteU8(static_cast<uint8_t>(type));
@@ -53,7 +87,12 @@ std::vector<uint8_t> WalRecord::Encode() const {
       w.WriteU32(static_cast<uint32_t>(values.size()));
       for (const Value& v : values) w.WriteValue(v);
       break;
+    case WalRecordType::kDelete:
+      w.WriteString(table);
+      w.WriteI64(row_id);
+      break;
     case WalRecordType::kBroadcastIntent:
+    case WalRecordType::kMigrationIntent:
       w.WriteI64(broadcast_id);
       w.WriteString(op);
       w.WriteString(payload);
@@ -62,6 +101,8 @@ std::vector<uint8_t> WalRecord::Encode() const {
       break;
     case WalRecordType::kBroadcastCommit:
     case WalRecordType::kBroadcastAbort:
+    case WalRecordType::kMigrationCommit:
+    case WalRecordType::kMigrationAbort:
       w.WriteI64(broadcast_id);
       break;
   }
@@ -72,7 +113,7 @@ Result<WalRecord> WalRecord::Decode(const std::vector<uint8_t>& payload) {
   BinaryReader r(payload);
   WalRecord rec;
   TVDP_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
-  if (tag > static_cast<uint8_t>(WalRecordType::kBroadcastAbort)) {
+  if (tag > static_cast<uint8_t>(WalRecordType::kMigrationAbort)) {
     return Status::IOError("unknown WAL record type " + std::to_string(tag));
   }
   rec.type = static_cast<WalRecordType>(tag);
@@ -89,7 +130,13 @@ Result<WalRecord> WalRecord::Decode(const std::vector<uint8_t>& payload) {
       }
       break;
     }
-    case WalRecordType::kBroadcastIntent: {
+    case WalRecordType::kDelete: {
+      TVDP_ASSIGN_OR_RETURN(rec.table, r.ReadString());
+      TVDP_ASSIGN_OR_RETURN(rec.row_id, r.ReadI64());
+      break;
+    }
+    case WalRecordType::kBroadcastIntent:
+    case WalRecordType::kMigrationIntent: {
       TVDP_ASSIGN_OR_RETURN(rec.broadcast_id, r.ReadI64());
       TVDP_ASSIGN_OR_RETURN(rec.op, r.ReadString());
       TVDP_ASSIGN_OR_RETURN(rec.payload, r.ReadString());
@@ -104,8 +151,11 @@ Result<WalRecord> WalRecord::Decode(const std::vector<uint8_t>& payload) {
     }
     case WalRecordType::kBroadcastCommit:
     case WalRecordType::kBroadcastAbort:
+    case WalRecordType::kMigrationCommit:
+    case WalRecordType::kMigrationAbort: {
       TVDP_ASSIGN_OR_RETURN(rec.broadcast_id, r.ReadI64());
       break;
+    }
   }
   if (!r.AtEnd()) {
     return Status::IOError("trailing bytes in WAL record payload");

@@ -18,12 +18,20 @@ namespace tvdp::storage {
 /// fleet-wide operations (DESIGN.md "Cross-shard write consistency"): an
 /// intent is written to every shard's broadcast log before the operation is
 /// applied, a commit marker after every shard acknowledged, and an abort
-/// marker when the coordinator rolls the operation back.
+/// marker when the coordinator rolls the operation back. `kDelete` is the
+/// inverse catalog mutation (row removal by id, used by rebalancing GC); the
+/// migration types reuse the intent/commit/abort encoding to trace the online
+/// cell-migration state machine (DESIGN.md "Online shard rebalancing") in the
+/// same per-shard broadcast log.
 enum class WalRecordType : uint8_t {
   kInsert = 0,
   kBroadcastIntent = 1,
   kBroadcastCommit = 2,
   kBroadcastAbort = 3,
+  kDelete = 4,
+  kMigrationIntent = 5,
+  kMigrationCommit = 6,
+  kMigrationAbort = 7,
 };
 
 /// One logged record. For `kInsert`: a row inserted into `table` with its
@@ -48,6 +56,12 @@ struct WalRecord {
                                    std::vector<int64_t> target_ids);
   static WalRecord BroadcastCommit(int64_t broadcast_id);
   static WalRecord BroadcastAbort(int64_t broadcast_id);
+  static WalRecord Delete(std::string table, RowId row_id);
+  static WalRecord MigrationIntent(int64_t migration_id, std::string op,
+                                   std::string payload,
+                                   std::vector<int64_t> target_ids);
+  static WalRecord MigrationCommit(int64_t migration_id);
+  static WalRecord MigrationAbort(int64_t migration_id);
 
   std::vector<uint8_t> Encode() const;
   static Result<WalRecord> Decode(const std::vector<uint8_t>& payload);
