@@ -29,6 +29,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
@@ -349,6 +350,120 @@ Json RunRebalance(int n_images, int n_queries) {
   return out;
 }
 
+/// Part D: failover under load. 4 durable shards with replication factor
+/// 2 (sync shipping); a mixed read/write load runs while one primary is
+/// killed mid-run and its replica auto-promoted. Success and coverage
+/// must hold at 100% through all three windows (failed-over reads count
+/// as complete — the replica serves the exact rows), and every acked
+/// write must be readable at the end: lost_acked_writes stays 0 because
+/// sync shipping plus the promotion's WAL-tail apply phase covers even
+/// records the crash stranded in the capture channel.
+Json RunFailover(int n_images, int n_queries) {
+  std::printf("--- failover while serving, 4 shards x 2 copies ---\n");
+  std::printf("%8s %9s %9s %10s %9s %9s\n", "phase", "queries", "success",
+              "complete", "p50_ms", "p99_ms");
+  std::string dir = "/tmp/tvdp_bench_failoverXXXXXX";
+  if (!mkdtemp(dir.data())) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  ShardManagerOptions opts;
+  opts.base_path = dir;
+  opts.replication.replication_factor = 2;
+  auto fleet = BuildFleet(4, n_images, std::move(opts));
+
+  query::HybridQuery q;
+  query::TextualPredicate tp;
+  tp.keywords = {"city"};
+  q.textual = tp;
+
+  // Writer: acked global ids are the contract — each one must still be
+  // readable after the failover.
+  std::atomic<bool> done{false};
+  std::vector<int64_t> acked;
+  std::thread writer([&] {
+    Rng rng(77);
+    int i = 0;
+    while (!done.load()) {
+      ImageRecord rec;
+      rec.uri = "live" + std::to_string(i++);
+      rec.location = geo::GeoPoint{rng.Uniform(kLat0, kLat1),
+                                   rng.Uniform(kLon0, kLon1)};
+      rec.keywords = {"city", "live"};
+      auto id = fleet->IngestImage(rec);
+      if (id.ok()) acked.push_back(*id);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  Json rows = Json::MakeArray();
+  auto run_phase = [&](const std::string& phase, int min_queries,
+                       const std::function<bool()>& busy) {
+    int n = 0, ok = 0, complete = 0;
+    std::vector<double> lat;
+    while (n < min_queries || (busy && busy())) {
+      auto t0 = Clock::now();
+      auto r = fleet->ExecuteQuery(q);
+      lat.push_back(ElapsedMs(t0));
+      ++n;
+      if (r.ok()) {
+        ++ok;
+        if (r->coverage.complete()) ++complete;
+      }
+    }
+    double success = static_cast<double>(ok) / n;
+    double complete_rate = static_cast<double>(complete) / n;
+    std::printf("%8s %9d %8.1f%% %9.1f%% %9.2f %9.2f\n", phase.c_str(), n,
+                100.0 * success, 100.0 * complete_rate, Percentile(lat, 0.50),
+                Percentile(lat, 0.99));
+    Json row = Json::MakeObject();
+    row["phase"] = Json(phase);
+    row["queries"] = Json(n);
+    row["success_rate"] = Json(success);
+    row["coverage_complete_rate"] = Json(complete_rate);
+    row["p50_ms"] = Json(Percentile(lat, 0.50));
+    row["p99_ms"] = Json(Percentile(lat, 0.99));
+    rows.Append(std::move(row));
+  };
+
+  run_phase("before", n_queries, nullptr);
+
+  // Kill shard 0's primary mid-load; the kill auto-promotes its replica
+  // (ship / apply WAL tail / ack / promote / fence / flip) in-line.
+  std::atomic<bool> failing{true};
+  std::thread killer([&] {
+    if (!fleet->KillShard(0).ok()) {
+      std::fprintf(stderr, "kill failed\n");
+      std::exit(1);
+    }
+    failing = false;
+  });
+  run_phase("during", 1, [&] { return failing.load(); });
+  killer.join();
+  run_phase("after", n_queries, nullptr);
+
+  done = true;
+  writer.join();
+
+  size_t lost = 0;
+  for (int64_t id : acked) {
+    if (!fleet->ImageRowJson(id).ok()) ++lost;
+  }
+  std::printf("failover: epoch %lld on shard 0, %zu acked writes, %zu lost\n",
+              static_cast<long long>(fleet->shard_epoch(0)), acked.size(),
+              lost);
+
+  Json out = Json::MakeObject();
+  out["replication_factor"] = Json(2);
+  out["killed_shard"] = Json(0);
+  out["new_epoch"] = Json(fleet->shard_epoch(0));
+  out["promoted_primary_index"] = Json(fleet->shard_primary_index(0));
+  out["acked_writes"] = Json(static_cast<int64_t>(acked.size()));
+  out["lost_acked_writes"] = Json(static_cast<int64_t>(lost));
+  out["phases"] = std::move(rows);
+  return out;
+}
+
 int Run() {
   const int n_images = bench::EnvInt("TVDP_BENCH_N", 2000);
   const int scaling_queries = bench::EnvInt("TVDP_BENCH_SHARD_QUERIES", 400);
@@ -365,6 +480,7 @@ int Run() {
   summary["fault_tolerance"]["scenarios"] =
       RunFaults(n_images, fault_queries, deadline_ms);
   summary["rebalance"] = RunRebalance(n_images, fault_queries);
+  summary["failover"] = RunFailover(n_images, fault_queries);
 
   const char* out_env = std::getenv("TVDP_BENCH_SHARDING_OUT");
   const std::string out_path = out_env && *out_env

@@ -82,6 +82,22 @@ bool DeviceHealthTracker::AllowRequest(size_t i, double now_ms) {
   return false;
 }
 
+double DeviceHealthTracker::RemainingCooldownMs(size_t i,
+                                                double now_ms) const {
+  const Device& d = devices_[i];
+  if (d.state != CircuitState::kOpen) return 0;
+  const double remaining =
+      options_.open_cooldown_ms - (now_ms - d.opened_at_ms);
+  return remaining > 0 ? remaining : 0;
+}
+
+void DeviceHealthTracker::Reset(size_t i) {
+  Device& d = devices_[i];
+  d.state = CircuitState::kClosed;
+  d.consecutive_failures = 0;
+  d.probe_in_flight = false;
+}
+
 bool DeviceHealthTracker::suspect(size_t i, double now_ms) const {
   return now_ms - devices_[i].last_heartbeat_ms > options_.heartbeat_timeout_ms;
 }

@@ -57,6 +57,17 @@ class DeviceHealthTracker {
   /// for scanning candidates before committing to one.
   bool WouldAllowRequest(size_t i, double now_ms) const;
 
+  /// Milliseconds until an open circuit's cooldown elapses and a half-open
+  /// probe would be admitted — 0 when the circuit is not open or the
+  /// cooldown already passed. The scatter stage derives its retry-after
+  /// hint from this instead of a static constant.
+  double RemainingCooldownMs(size_t i, double now_ms) const;
+
+  /// Force-closes the circuit and clears its failure streak. Used when the
+  /// tracked instance is replaced wholesale (a shard failover promoted a
+  /// replica): the old instance's failures say nothing about the new one.
+  void Reset(size_t i);
+
   CircuitState state(size_t i) const { return devices_[i].state; }
   double health_score(size_t i) const { return devices_[i].score; }
 

@@ -146,7 +146,8 @@ std::vector<std::string> ApiService::Endpoints() const {
   return {"add_data",        "search_datasets", "explain_query",
           "download_datasets",   "get_visual_features",
           "use_model",       "download_model",  "register_model",
-          "platform_stats",  "reconcile",       "rebalance"};
+          "platform_stats",  "reconcile",       "rebalance",
+          "promote"};
 }
 
 Result<Json> ApiService::HandleRequest(const std::string& api_key,
@@ -236,6 +237,7 @@ Result<Json> ApiService::Dispatch(const std::string& owner,
   if (endpoint == "platform_stats") return PlatformStats(request);
   if (endpoint == "reconcile") return Reconcile(request);
   if (endpoint == "rebalance") return Rebalance(request);
+  if (endpoint == "promote") return Promote(request);
   return Status::NotFound("unknown endpoint: " + endpoint);
 }
 
@@ -538,6 +540,18 @@ Result<Json> ApiService::Rebalance(const Json& request) {
   return shards_->RebalanceCells(cells,
                                  static_cast<int>(request["source"].AsInt()),
                                  static_cast<int>(request["target"].AsInt()));
+}
+
+Result<Json> ApiService::Promote(const Json& request) {
+  if (!shards_) {
+    return Status::FailedPrecondition(
+        "promote requires a sharded deployment");
+  }
+  if (!request.Has("shard") || !request["shard"].is_number()) {
+    return Status::InvalidArgument(
+        "promote requires a numeric \"shard\" index");
+  }
+  return shards_->PromoteShard(static_cast<int>(request["shard"].AsInt()));
 }
 
 }  // namespace tvdp::platform

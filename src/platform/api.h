@@ -130,6 +130,7 @@ class ApiService {
   Result<Json> PlatformStats(const Json& request) const;
   Result<Json> Reconcile(const Json& request);
   Result<Json> Rebalance(const Json& request);
+  Result<Json> Promote(const Json& request);
 
   Tvdp* platform_;
   ShardManager* shards_ = nullptr;

@@ -8,7 +8,9 @@
 #include <thread>
 
 #include "common/file.h"
+#include "common/logging.h"
 #include "query/planner.h"
+#include "storage/wal.h"
 
 namespace tvdp::platform {
 
@@ -63,12 +65,16 @@ class ShardProbeTarget : public query::ShardTarget {
  public:
   ShardProbeTarget(const ShardManager* mgr, int shard,
                    std::shared_ptr<Tvdp> tvdp, geo::BoundingBox region,
-                   bool migrating)
+                   bool migrating,
+                   std::vector<std::shared_ptr<Tvdp>> replicas = {},
+                   int preferred_replica = -1)
       : mgr_(mgr),
         shard_(shard),
         tvdp_(std::move(tvdp)),
         region_(region),
-        migrating_(migrating) {}
+        migrating_(migrating),
+        replicas_(std::move(replicas)),
+        preferred_replica_(preferred_replica) {}
 
   int id() const override { return shard_; }
   geo::BoundingBox region() const override { return region_; }
@@ -86,12 +92,34 @@ class ShardProbeTarget : public query::ShardTarget {
     return mgr_->EstimateShard(tvdp_, q);
   }
 
+  int replica_count() const override {
+    return static_cast<int>(replicas_.size());
+  }
+
+  int preferred_replica() const override { return preferred_replica_; }
+
+  Result<std::vector<query::QueryHit>> ProbeReplica(
+      int r, const query::HybridQuery& q, const RequestContext& ctx,
+      const query::QueryBudget& budget, query::QueryPlan* plan_out) override {
+    if (r < 0 || r >= static_cast<int>(replicas_.size())) {
+      return Status::Unavailable("replica index out of range");
+    }
+    // A replica holds the same local id space as its primary, so the same
+    // id translation applies. Fault injection stays off: the configured
+    // profile models the primary, and the failover read must not re-roll
+    // the dice that just killed the primary probe.
+    return mgr_->ProbeShard(shard_, replicas_[static_cast<size_t>(r)], q, ctx,
+                            budget, plan_out, /*inject_faults=*/false);
+  }
+
  private:
   const ShardManager* mgr_;
   int shard_;
   std::shared_ptr<Tvdp> tvdp_;
   geo::BoundingBox region_;
   bool migrating_;
+  std::vector<std::shared_ptr<Tvdp>> replicas_;
+  int preferred_replica_;
 };
 
 ShardManager::ShardManager(ShardManagerOptions options)
@@ -143,6 +171,13 @@ Result<std::unique_ptr<ShardManager>> ShardManager::Create(
   if (options.breaker.failure_threshold < 1) {
     return Status::InvalidArgument("breaker failure_threshold must be >= 1");
   }
+  if (options.replication.replication_factor < 1) {
+    return Status::InvalidArgument(
+        "replication_factor must be >= 1 (1 = replication off)");
+  }
+  if (options.replication.max_async_lag_records < 1) {
+    return Status::InvalidArgument("max_async_lag_records must be >= 1");
+  }
 
   auto mgr =
       std::unique_ptr<ShardManager>(new ShardManager(std::move(options)));
@@ -168,6 +203,7 @@ Result<std::unique_ptr<ShardManager>> ShardManager::Create(
 
   mgr->slots_.resize(static_cast<size_t>(n));
   Rng seed_rng(opts.fault_seed);
+  const int rf = opts.replication.replication_factor;
   for (int i = 0; i < n; ++i) {
     Slot& slot = mgr->slots_[static_cast<size_t>(i)];
     slot.rng = seed_rng.Fork();
@@ -176,9 +212,26 @@ Result<std::unique_ptr<ShardManager>> ShardManager::Create(
       TVDP_ASSIGN_OR_RETURN(Tvdp t, Tvdp::Create());
       slot.tvdp = std::make_shared<Tvdp>(std::move(t));
     } else {
-      slot.base_path = opts.base_path + "/shard_" + std::to_string(i);
+      // Evidence-only failover recovery: the persisted shard map names the
+      // copy path whose engine is the primary (a crash between a
+      // promotion's commit point and its in-memory flip resolves here —
+      // the promoted replica's path opens as the primary, the stale old
+      // primary's path is wiped and re-bootstrapped as a replica below, so
+      // its forked history can never serve).
+      if (i < static_cast<int>(mgr->boot_primaries_.size())) {
+        slot.primary_index = mgr->boot_primaries_[static_cast<size_t>(i)];
+        slot.epoch = mgr->boot_epochs_[static_cast<size_t>(i)];
+      }
+      if (slot.primary_index < 0 || slot.primary_index >= rf) {
+        return Status::FailedPrecondition(
+            "shard_map.json promotes shard " + std::to_string(i) +
+            " to copy " + std::to_string(slot.primary_index) +
+            " but replication_factor is " + std::to_string(rf));
+      }
+      slot.base_path = mgr->CopyPath(i, slot.primary_index);
       TVDP_ASSIGN_OR_RETURN(Tvdp t, Tvdp::Open(slot.base_path, opts.durable));
       slot.tvdp = std::make_shared<Tvdp>(std::move(t));
+      slot.tvdp->set_epoch(slot.epoch);
       storage::DurableCatalog* dc = slot.tvdp->durable_catalog();
       slot.replayed = dc->replayed_records();
       // The spillover prune margin must survive a reopen: recompute it from
@@ -190,6 +243,12 @@ Result<std::unique_ptr<ShardManager>> ShardManager::Create(
       }
       mgr->next_broadcast_id_ =
           std::max(mgr->next_broadcast_id_, dc->max_broadcast_id() + 1);
+    }
+    if (rf > 1) {
+      slot.replicas = std::make_shared<ReplicaSet>(i, slot.epoch);
+      TVDP_RETURN_IF_ERROR(mgr->AttachReplicas(i, slot.tvdp,
+                                               slot.primary_index,
+                                               slot.replicas));
     }
   }
   if (mgr->options_.breakers) {
@@ -308,7 +367,56 @@ Result<int64_t> ShardManager::IngestImage(const ImageRecord& record) {
     slot.max_fov_radius_m =
         std::max(slot.max_fov_radius_m, record.fov->radius_m);
   }
+  ShipShard(shard);
   return local * shard_count() + shard;
+}
+
+std::string ShardManager::CopyPath(int shard, int copy) const {
+  if (options_.base_path.empty()) return std::string();
+  std::string base = options_.base_path + "/shard_" + std::to_string(shard);
+  if (copy == 0) return base;
+  return base + "_replica_" + std::to_string(copy - 1);
+}
+
+int ShardManager::ReplicaCopyIndex(int primary_index, int r) const {
+  // Copy indices 0..rf-1 minus the primary's, in order; replica slot r is
+  // the (r+1)-th remaining index. Stable across promotions: the demoted
+  // primary's path becomes a replica path without renaming any directory.
+  int seen = -1;
+  for (int c = 0; c < options_.replication.replication_factor; ++c) {
+    if (c == primary_index) continue;
+    if (++seen == r) return c;
+  }
+  return -1;
+}
+
+Status ShardManager::AttachReplicas(
+    int shard, const std::shared_ptr<Tvdp>& primary, int primary_index,
+    const std::shared_ptr<ReplicaSet>& replicas) {
+  const int rf = options_.replication.replication_factor;
+  std::vector<std::string> paths;
+  paths.reserve(static_cast<size_t>(rf - 1));
+  for (int r = 0; r + 1 < rf; ++r) {
+    paths.push_back(CopyPath(shard, ReplicaCopyIndex(primary_index, r)));
+  }
+  return replicas->Attach(primary, paths, options_.durable,
+                          options_.replication.sync);
+}
+
+void ShardManager::ShipShard(int shard) const {
+  std::shared_ptr<ReplicaSet> reps;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    reps = slots_[static_cast<size_t>(shard)].replicas;
+  }
+  if (!reps) return;
+  // kSync: every acked write is on every live replica (fsynced when
+  // durable) before the caller returns. kAsync: ship only once the lag
+  // bound is hit; the channel carries the rest until then.
+  if (options_.replication.sync == SyncLevel::kSync ||
+      reps->lag_records() >= options_.replication.max_async_lag_records) {
+    (void)reps->Ship();
+  }
 }
 
 void ShardManager::SetBroadcastHook(
@@ -382,6 +490,7 @@ Result<int64_t> ShardManager::RegisterClassification(
       TVDP_ASSIGN_OR_RETURN(int64_t id, live[i]->RegisterClassification(
                                             name, labels, description));
       if (i == 0) first_id = id;
+      ShipShard(static_cast<int>(i));
     }
     return first_id;
   }
@@ -475,6 +584,7 @@ Result<int64_t> ShardManager::RegisterClassification(
       return id.status();
     }
     ids[static_cast<size_t>(i)] = id.value();
+    ShipShard(i);
   }
 
   // Applied everywhere — verify the fleet agreed on one id before
@@ -514,8 +624,14 @@ Result<int64_t> ShardManager::RegisterClassification(
 }
 
 Result<Json> ShardManager::ReconcileBroadcasts() {
-  std::lock_guard<std::mutex> lock(broadcast_mutex_);
-  return ReconcileLocked();
+  Result<Json> report = [this]() -> Result<Json> {
+    std::lock_guard<std::mutex> lock(broadcast_mutex_);
+    return ReconcileLocked();
+  }();
+  // Reconciliation can resolve the migration a promotion was deferred
+  // behind; run the deferred promotions with no lock held.
+  DrainDeferredPromotions();
+  return report;
 }
 
 Result<Json> ShardManager::ReconcileLocked() {
@@ -954,7 +1070,8 @@ std::string ShardManager::ShardMapPath() const {
 Status ShardManager::WriteShardMapFile(
     const std::vector<int>& cell_map,
     const std::vector<std::array<int64_t, 3>>& relocs,
-    const std::vector<int64_t>& committed) {
+    const std::vector<int64_t>& committed,
+    const std::vector<int64_t>& epochs, const std::vector<int>& primaries) {
   Json doc = Json::MakeObject();
   doc["version"] = Json(++shard_map_version_);
   Json jcells = Json::MakeArray();
@@ -972,6 +1089,14 @@ Status ShardManager::WriteShardMapFile(
   Json jcom = Json::MakeArray();
   for (int64_t id : committed) jcom.Append(Json(id));
   doc["committed_migrations"] = std::move(jcom);
+  // Fencing evidence: the per-shard promotion epoch and which copy path is
+  // the primary. Writing this file IS a promotion's durable commit point.
+  Json jep = Json::MakeArray();
+  for (int64_t e : epochs) jep.Append(Json(e));
+  doc["epochs"] = std::move(jep);
+  Json jpr = Json::MakeArray();
+  for (int p : primaries) jpr.Append(Json(p));
+  doc["primaries"] = std::move(jpr);
   const std::string text = doc.Dump();
   Fs* fs = options_.durable.fs ? options_.durable.fs : Fs::Default();
   return AtomicWriteFile(*fs, ShardMapPath(),
@@ -1009,6 +1134,22 @@ Result<bool> ShardManager::LoadShardMap() {
   for (const Json& id : doc["committed_migrations"].AsArray()) {
     committed_migrations_.insert(id.AsInt());
   }
+  boot_epochs_.assign(static_cast<size_t>(options_.shard_count), 0);
+  boot_primaries_.assign(static_cast<size_t>(options_.shard_count), 0);
+  // Absent on maps written before replication existed: all shards at epoch
+  // 0 with copy 0 as primary — exactly the pre-replication layout.
+  if (doc.Has("epochs")) {
+    const auto& jep = doc["epochs"].AsArray();
+    for (size_t i = 0; i < jep.size() && i < boot_epochs_.size(); ++i) {
+      boot_epochs_[i] = jep[i].AsInt();
+    }
+  }
+  if (doc.Has("primaries")) {
+    const auto& jpr = doc["primaries"].AsArray();
+    for (size_t i = 0; i < jpr.size() && i < boot_primaries_.size(); ++i) {
+      boot_primaries_[i] = static_cast<int>(jpr[i].AsInt());
+    }
+  }
   shard_map_version_ = doc["version"].AsInt();
   return true;
 }
@@ -1034,8 +1175,11 @@ Status ShardManager::SweepForeignRows(int shard) {
     TVDP_RETURN_IF_ERROR(tvdp->RemoveImages(doomed));
   }
   const double fov = tvdp->MaxFovRadiusM();
-  std::lock_guard<std::mutex> lock(slots_mutex_);
-  slots_[static_cast<size_t>(shard)].max_fov_radius_m = fov;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    slots_[static_cast<size_t>(shard)].max_fov_radius_m = fov;
+  }
+  ShipShard(shard);
   return Status::OK();
 }
 
@@ -1127,11 +1271,24 @@ Result<size_t> ShardManager::MigrationCopyPass(
       ++delta;
     }
   }
+  // The migrated-in rows must reach the target's replicas too, or losing
+  // the target's primary right after a cutover would lose the moved rows.
+  ShipShard(target);
   return delta;
 }
 
 Result<Json> ShardManager::RebalanceCells(const std::vector<int>& cells,
                                           int source, int target) {
+  Result<Json> report = RebalanceCellsInner(cells, source, target);
+  // A resolved migration may unblock a promotion that arrived while it ran;
+  // drain with migration_mutex_ released (PromoteShard never takes it, but
+  // a promotion hook may re-enter RebalanceCells).
+  if (report.ok()) DrainDeferredPromotions();
+  return report;
+}
+
+Result<Json> ShardManager::RebalanceCellsInner(const std::vector<int>& cells,
+                                               int source, int target) {
   const int n = shard_count();
   if (source < 0 || source >= n || target < 0 || target >= n) {
     return Status::InvalidArgument("shard index out of range");
@@ -1183,6 +1340,15 @@ Result<Json> ShardManager::RebalanceCells(const std::vector<int>& cells,
           "an earlier migration touching shard " +
           std::to_string(s.migrating ? source : target) +
           " is unresolved; run reconcile first");
+    }
+    if (s.promoting || t.promoting) {
+      // A promotion mid-flight is rewriting the endpoint's engine identity;
+      // migrating rows through it would copy from (or into) an engine about
+      // to be fenced.
+      return Status::FailedPrecondition(
+          "a promotion of shard " +
+          std::to_string(s.promoting ? source : target) +
+          " is in flight; retry the rebalance after it resolves");
     }
     for (const Slot* slot : {&s, &t}) {
       for (const auto& [bid, p] : slot->pending_broadcasts) {
@@ -1327,8 +1493,14 @@ Result<Json> ShardManager::RebalanceCells(const std::vector<int>& cells,
     std::vector<int> new_cell_map;
     std::vector<std::array<int64_t, 3>> new_relocs;
     std::vector<int64_t> new_committed;
+    std::vector<int64_t> new_epochs;
+    std::vector<int> new_primaries;
     {
       std::lock_guard<std::mutex> lock(slots_mutex_);
+      for (const Slot& slot : slots_) {
+        new_epochs.push_back(slot.epoch);
+        new_primaries.push_back(slot.primary_index);
+      }
       new_cell_map = cell_to_shard_;
       for (int c : cells) new_cell_map[static_cast<size_t>(c)] = target;
       for (const auto& [global, loc] : relocated_) {
@@ -1348,7 +1520,8 @@ Result<Json> ShardManager::RebalanceCells(const std::vector<int>& cells,
                            committed_migrations_.end());
       new_committed.push_back(mid);
     }
-    Status saved = WriteShardMapFile(new_cell_map, new_relocs, new_committed);
+    Status saved = WriteShardMapFile(new_cell_map, new_relocs, new_committed,
+                                     new_epochs, new_primaries);
     if (!saved.ok()) {
       UnblockWrites();
       (void)AbandonMigration("");
@@ -1418,6 +1591,7 @@ Result<Json> ShardManager::RebalanceCells(const std::vector<int>& cells,
     (void)AbandonMigration("");
     return gc;
   }
+  ShipShard(source);
   const double source_fov = src->MaxFovRadiusM();
   {
     std::lock_guard<std::mutex> lock(slots_mutex_);
@@ -1471,6 +1645,7 @@ Result<int64_t> ShardManager::AnnotateImage(
   }
   TVDP_ASSIGN_OR_RETURN(int64_t ann_local,
                         tvdp->AnnotateImage(local, annotation));
+  ShipShard(shard);
   return ann_local * n + shard;
 }
 
@@ -1501,7 +1676,9 @@ Status ShardManager::StoreFeature(int64_t image_id, const std::string& kind,
     }
     tvdp = slot.tvdp;
   }
-  return tvdp->StoreFeature(local, kind, feature);
+  TVDP_RETURN_IF_ERROR(tvdp->StoreFeature(local, kind, feature));
+  ShipShard(shard);
+  return Status::OK();
 }
 
 Result<ml::FeatureVector> ShardManager::GetFeature(
@@ -1570,7 +1747,7 @@ Result<Json> ShardManager::ImageRowJson(int64_t image_id) const {
 Result<std::vector<query::QueryHit>> ShardManager::ProbeShard(
     int shard, const std::shared_ptr<Tvdp>& tvdp, const query::HybridQuery& q,
     const RequestContext& ctx, const query::QueryBudget& budget,
-    query::QueryPlan* plan_out) const {
+    query::QueryPlan* plan_out, bool inject_faults) const {
   if (!tvdp) {
     return Status::Unavailable("shard " + std::to_string(shard) + " is down");
   }
@@ -1582,10 +1759,12 @@ Result<std::vector<query::QueryHit>> ShardManager::ProbeShard(
     Slot& slot = slots_[static_cast<size_t>(shard)];
     f = slot.faults;
     reverse = slot.reverse_relocations;
-    if (f.crash_prob > 0) crash = slot.rng.Bernoulli(f.crash_prob);
-    if (!crash && f.hang_prob > 0) hang = slot.rng.Bernoulli(f.hang_prob);
-    if (!crash && !hang && f.slow_prob > 0) {
-      slow = slot.rng.Bernoulli(f.slow_prob);
+    if (inject_faults) {
+      if (f.crash_prob > 0) crash = slot.rng.Bernoulli(f.crash_prob);
+      if (!crash && f.hang_prob > 0) hang = slot.rng.Bernoulli(f.hang_prob);
+      if (!crash && !hang && f.slow_prob > 0) {
+        slow = slot.rng.Bernoulli(f.slow_prob);
+      }
     }
   }
   if (crash) {
@@ -1674,10 +1853,18 @@ query::ShardEstimate ShardManager::EstimateShard(
 void ShardManager::RecordProbeOutcome(const query::ShardReport& report) const {
   if (report.outcome != query::ShardOutcome::kProbed &&
       report.outcome != query::ShardOutcome::kMigrating &&
-      report.outcome != query::ShardOutcome::kFailed) {
+      report.outcome != query::ShardOutcome::kFailed &&
+      report.outcome != query::ShardOutcome::kFailedOver) {
     return;
   }
   const bool failed = report.outcome == query::ShardOutcome::kFailed;
+  // A failed-over probe whose primary was actually attempted is a primary
+  // failure for the breaker, even though the query succeeded via a replica.
+  // A probe served by a replica without touching the primary (breaker
+  // already open, or a balanced read) says nothing about the primary.
+  const bool primary_failure =
+      report.primary_probed &&
+      (failed || report.outcome == query::ShardOutcome::kFailedOver);
   {
     std::lock_guard<std::mutex> lock(slots_mutex_);
     Slot& slot = slots_[static_cast<size_t>(report.shard)];
@@ -1690,13 +1877,39 @@ void ShardManager::RecordProbeOutcome(const query::ShardReport& report) const {
     }
     ++slot.latency_next;
   }
-  if (tracker_) {
+  bool tripped_open = false;
+  if (tracker_ && report.primary_probed) {
     std::lock_guard<std::mutex> lock(tracker_mutex_);
     const size_t i = static_cast<size_t>(report.shard);
-    if (failed) {
+    const edge::CircuitState before = tracker_->state(i);
+    if (primary_failure) {
       tracker_->RecordFailure(i, NowMs());
     } else {
       tracker_->RecordSuccess(i, NowMs());
+    }
+    tripped_open = before != edge::CircuitState::kOpen &&
+                   tracker_->state(i) == edge::CircuitState::kOpen;
+  }
+  if (tripped_open) {
+    // The breaker just gave up on this primary. If the shard is replicated
+    // and its engine is actually gone, retry the automatic promotion the
+    // KillShard-time attempt may have skipped (e.g. a fault hook vetoed
+    // it). No locks held here; PromoteShard manages its own.
+    bool promotable = false;
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      const Slot& slot = slots_[static_cast<size_t>(report.shard)];
+      promotable = slot.replicas && (slot.killed || !slot.tvdp) &&
+                   !slot.promoting;
+    }
+    if (promotable) {
+      Result<Json> promoted =
+          const_cast<ShardManager*>(this)->PromoteShard(report.shard);
+      if (!promoted.ok()) {
+        TVDP_LOG(Warning) << "breaker-triggered promotion of shard "
+                          << report.shard
+                          << " failed: " << promoted.status().ToString();
+      }
     }
   }
 }
@@ -1710,11 +1923,27 @@ Result<ShardManager::ShardedQueryResult> ShardManager::ExecuteQuery(
   {
     std::lock_guard<std::mutex> lock(slots_mutex_);
     for (size_t i = 0; i < n; ++i) {
-      const Slot& slot = slots_[i];
+      Slot& slot = slots_[i];
+      std::vector<std::shared_ptr<Tvdp>> replicas;
+      int preferred = -1;
+      if (slot.replicas && options_.replication.serve_replica_reads) {
+        const int rc = slot.replicas->replica_count();
+        for (int r = 0; r < rc; ++r) {
+          std::shared_ptr<Tvdp> handle = slot.replicas->replica(r);
+          if (handle) replicas.push_back(std::move(handle));
+        }
+        if (options_.replication.balance_replica_reads &&
+            !replicas.empty() && !slot.killed && slot.tvdp) {
+          // Round-robin the clean read across primary + replicas; lane 0
+          // is the primary (preferred stays -1).
+          const size_t lane = slot.read_rr++ % (replicas.size() + 1);
+          if (lane > 0) preferred = static_cast<int>(lane - 1);
+        }
+      }
       targets.emplace_back(this, static_cast<int>(i),
                            slot.killed ? nullptr : slot.tvdp,
                            ExpandedRegionLocked(static_cast<int>(i)),
-                           slot.migrating);
+                           slot.migrating, std::move(replicas), preferred);
     }
   }
   std::vector<query::ShardTarget*> ptrs;
@@ -1728,6 +1957,19 @@ Result<ShardManager::ShardedQueryResult> ShardManager::ExecuteQuery(
     gopts.admit = [this](int shard) {
       std::lock_guard<std::mutex> lock(tracker_mutex_);
       return tracker_->AllowRequest(static_cast<size_t>(shard), NowMs());
+    };
+    // All-shards-blocked responses carry a retry-after derived from the
+    // earliest breaker half-open deadline instead of a static hint.
+    gopts.retry_after_hint = [this](const std::vector<int>& blocked) {
+      std::lock_guard<std::mutex> lock(tracker_mutex_);
+      const double now = NowMs();
+      double best = -1;
+      for (int s : blocked) {
+        const double rem =
+            tracker_->RemainingCooldownMs(static_cast<size_t>(s), now);
+        if (rem > 0 && (best < 0 || rem < best)) best = rem;
+      }
+      return best > 0 ? best : 50.0;
     };
   }
   gopts.observe = [this](const query::ShardReport& r) {
@@ -1827,34 +2069,63 @@ Status ShardManager::KillShard(int shard, bool drop_state) {
   if (shard < 0 || shard >= shard_count()) {
     return Status::InvalidArgument("shard index out of range");
   }
-  std::lock_guard<std::mutex> lock(slots_mutex_);
-  Slot& slot = slots_[static_cast<size_t>(shard)];
-  if (slot.killed) {
-    return Status::FailedPrecondition("shard " + std::to_string(shard) +
-                                      " is already down");
+  std::shared_ptr<ReplicaSet> reps;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    Slot& slot = slots_[static_cast<size_t>(shard)];
+    if (slot.killed) {
+      return Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                        " is already down");
+    }
+    if (slot.migrating && !drop_state) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(shard) +
+          " is an endpoint of an in-flight cell migration; pass drop_state "
+          "to kill it anyway (the migration will abandon and reconcile "
+          "later)");
+    }
+    slot.killed = true;
+    if (!slot.base_path.empty() || drop_state) {
+      // A durable shard crashes for real: drop the engine (no checkpoint,
+      // no flush) so recovery has to replay the WAL. In-flight probes keep
+      // their snapshotted handle and finish against the old instance. An
+      // in-memory shard only loses its engine under the explicit total-loss
+      // model (`drop_state`) — there is no WAL to rebuild it from.
+      slot.tvdp.reset();
+      // Total loss on an in-memory shard takes its broadcast log with it;
+      // durable shards keep the mirror because the on-disk log survives.
+      if (slot.base_path.empty()) slot.pending_broadcasts.clear();
+    }
+    reps = slot.replicas;
   }
-  if (slot.migrating && !drop_state) {
-    return Status::FailedPrecondition(
-        "shard " + std::to_string(shard) +
-        " is an endpoint of an in-flight cell migration; pass drop_state to "
-        "kill it anyway (the migration will abandon and reconcile later)");
-  }
-  slot.killed = true;
-  if (!slot.base_path.empty() || drop_state) {
-    // A durable shard crashes for real: drop the engine (no checkpoint,
-    // no flush) so recovery has to replay the WAL. In-flight probes keep
-    // their snapshotted handle and finish against the old instance. An
-    // in-memory shard only loses its engine under the explicit total-loss
-    // model (`drop_state`) — there is no WAL to rebuild it from.
-    slot.tvdp.reset();
-    // Total loss on an in-memory shard takes its broadcast log with it;
-    // durable shards keep the mirror because the on-disk log survives.
-    if (slot.base_path.empty()) slot.pending_broadcasts.clear();
+  if (reps) {
+    // The crash takes the unshipped capture channel with it. Under kSync
+    // the channel is empty at every ack boundary, so no acknowledged write
+    // is in it; under kAsync a durable shard's promotion re-derives the
+    // lost records from the primary's on-disk WAL tail.
+    reps->DiscardPending();
+    if (reps->has_live_replica()) {
+      // Automatic failover: promote the most-caught-up replica. Best
+      // effort — a fault hook's veto leaves the shard down, and the
+      // breaker-trip path in RecordProbeOutcome retries later.
+      Result<Json> promoted = PromoteShard(shard);
+      if (!promoted.ok()) {
+        TVDP_LOG(Warning) << "automatic promotion of killed shard " << shard
+                          << " failed: " << promoted.status().ToString();
+      }
+    }
   }
   return Status::OK();
 }
 
 Status ShardManager::RecoverShard(int shard) {
+  Status out = RecoverShardInner(shard);
+  // Recovery reconciles migrations, which may unblock a parked promotion.
+  DrainDeferredPromotions();
+  return out;
+}
+
+Status ShardManager::RecoverShardInner(int shard) {
   if (shard < 0 || shard >= shard_count()) {
     return Status::InvalidArgument("shard index out of range");
   }
@@ -1878,6 +2149,9 @@ Status ShardManager::RecoverShard(int shard) {
     }
     base_path = slot.base_path;
   }
+  std::shared_ptr<ReplicaSet> reps;
+  std::shared_ptr<Tvdp> revived_primary;
+  int primary_index = 0;
   if (!base_path.empty()) {
     // Reopen outside slots_mutex_ — WAL replay is disk-bound and must not
     // stall query dispatch. The slot stays killed until the swap below, so
@@ -1887,6 +2161,7 @@ Status ShardManager::RecoverShard(int shard) {
     std::lock_guard<std::mutex> lock(slots_mutex_);
     Slot& slot = slots_[static_cast<size_t>(shard)];
     slot.tvdp = std::move(revived);
+    slot.tvdp->set_epoch(slot.epoch);
     storage::DurableCatalog* dc = slot.tvdp->durable_catalog();
     slot.replayed = dc->replayed_records();
     slot.max_fov_radius_m = slot.tvdp->MaxFovRadiusM();
@@ -1897,9 +2172,24 @@ Status ShardManager::RecoverShard(int shard) {
     next_broadcast_id_ =
         std::max(next_broadcast_id_, dc->max_broadcast_id() + 1);
     slot.killed = false;
+    reps = slot.replicas;
+    revived_primary = slot.tvdp;
+    primary_index = slot.primary_index;
   } else {
     std::lock_guard<std::mutex> lock(slots_mutex_);
-    slots_[static_cast<size_t>(shard)].killed = false;
+    Slot& slot = slots_[static_cast<size_t>(shard)];
+    slot.killed = false;
+    reps = slot.replicas;
+    revived_primary = slot.tvdp;
+    primary_index = slot.primary_index;
+  }
+  if (reps && revived_primary) {
+    // The replicas may have drifted past the recovered primary (they kept
+    // the shipped records the crash destroyed locally under kAsync) or
+    // behind it; rather than diff, wipe and re-bootstrap them from the
+    // revived primary — the only state that is now authoritative.
+    TVDP_RETURN_IF_ERROR(
+        AttachReplicas(shard, revived_primary, primary_index, reps));
   }
   bool any_rebalance = false;
   {
@@ -1920,6 +2210,294 @@ Status ShardManager::RecoverShard(int shard) {
   (void)report;
   if (!options_.atomic_broadcasts) return Status::OK();
   return VerifyConsistencyLocked(nullptr);
+}
+
+void ShardManager::SetPromotionHook(
+    std::function<bool(const std::string& phase, int shard)> hook) {
+  std::lock_guard<std::mutex> lock(promotion_mutex_);
+  promotion_hook_ = std::move(hook);
+}
+
+bool ShardManager::PromotionHookOk(const char* phase, int shard) const {
+  if (!promotion_hook_) return true;
+  return promotion_hook_(phase, shard);
+}
+
+Status ShardManager::CommitPromotionToShardMap(int shard, int64_t new_epoch,
+                                               int new_primary_index) {
+  if (options_.base_path.empty()) return Status::OK();
+  std::vector<int> cell_map;
+  std::vector<std::array<int64_t, 3>> relocs;
+  std::vector<int64_t> committed;
+  std::vector<int64_t> epochs;
+  std::vector<int> primaries;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    cell_map = cell_to_shard_;
+    for (const auto& [global, loc] : relocated_) {
+      relocs.push_back({global, loc.first, loc.second});
+    }
+    committed.assign(committed_migrations_.begin(),
+                     committed_migrations_.end());
+    for (const Slot& slot : slots_) {
+      epochs.push_back(slot.epoch);
+      primaries.push_back(slot.primary_index);
+    }
+  }
+  epochs[static_cast<size_t>(shard)] = new_epoch;
+  primaries[static_cast<size_t>(shard)] = new_primary_index;
+  return WriteShardMapFile(cell_map, relocs, committed, epochs, primaries);
+}
+
+Result<Json> ShardManager::PromoteShard(int shard) {
+  if (shard < 0 || shard >= shard_count()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  std::lock_guard<std::mutex> promo(promotion_mutex_);
+  std::shared_ptr<ReplicaSet> reps;
+  std::shared_ptr<Tvdp> old_primary;
+  int64_t old_epoch = 0;
+  int old_primary_index = 0;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    Slot& slot = slots_[static_cast<size_t>(shard)];
+    if (!slot.replicas) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(shard) +
+          " is not replicated; nothing to promote");
+    }
+    if (slot.migrating) {
+      // Promotion and migration both rewrite the shard's engine identity;
+      // park the promotion until the migration resolves (reconciliation /
+      // rebalance completion drains the deferred set).
+      deferred_promotions_.insert(shard);
+      Json out = Json::MakeObject();
+      out["shard"] = Json(shard);
+      out["action"] = Json("deferred");
+      return out;
+    }
+    deferred_promotions_.erase(shard);
+    if (!slot.replicas->has_live_replica()) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(shard) +
+          " has no live replica to promote");
+    }
+    reps = slot.replicas;
+    old_primary = slot.tvdp;  // may be null: the primary crashed
+    old_epoch = slot.epoch;
+    old_primary_index = slot.primary_index;
+    slot.promoting = true;
+  }
+
+  // Every exit below must clear the promoting flag; run the phases in a
+  // closure so one cleanup covers all paths.
+  Result<Json> result = [&]() -> Result<Json> {
+    const int64_t new_epoch = old_epoch + 1;
+    auto abandoned = [shard](const char* phase) {
+      return Status::Unavailable(
+          "promotion of shard " + std::to_string(shard) + " abandoned at " +
+          phase + "; durable evidence resolves it at recovery");
+    };
+
+    // Phase 1 — ship: drain whatever the capture channel still holds.
+    if (!PromotionHookOk("ship", shard)) return abandoned("ship");
+    TVDP_RETURN_IF_ERROR(reps->Ship());
+
+    // Phase 2 — apply: a durable primary that died with unshipped records
+    // (the kAsync window, or a crash that destroyed the channel) left them
+    // in its WAL; tail it past the shipped offset and apply. This is what
+    // makes "zero lost acknowledged writes" hold for durable shards even
+    // under kAsync.
+    if (!PromotionHookOk("apply", shard)) return abandoned("apply");
+    size_t applied_tail = 0;
+    const std::string old_primary_path = CopyPath(shard, old_primary_index);
+    if (!old_primary_path.empty()) {
+      Fs* fs = options_.durable.fs ? options_.durable.fs : Fs::Default();
+      const std::string wal_path = old_primary_path + ".wal";
+      if (fs->Exists(wal_path)) {
+        Result<storage::WalRecovery> tail =
+            storage::Wal::TailFrom(fs, wal_path, reps->shipped_wal_offset());
+        // Tail errors are not fatal: a compacted WAL means the shipped
+        // offset over-covers the log and nothing is missing.
+        if (tail.ok() && !tail->records.empty()) {
+          std::vector<storage::WalRecord> mutations;
+          for (storage::WalRecord& r : tail->records) {
+            if (r.type == storage::WalRecordType::kInsert ||
+                r.type == storage::WalRecordType::kDelete) {
+              mutations.push_back(std::move(r));
+            }
+          }
+          if (!mutations.empty()) {
+            TVDP_RETURN_IF_ERROR(reps->ApplyToLive(mutations));
+            applied_tail = mutations.size();
+          }
+        }
+      }
+    }
+
+    // Phase 3 — ack: every live durable replica fsyncs its own WAL, so the
+    // promoted state survives a second crash.
+    if (!PromotionHookOk("ack", shard)) return abandoned("ack");
+    TVDP_RETURN_IF_ERROR(reps->FsyncReplicas());
+
+    const int elected = reps->ElectMostCaughtUp();
+    if (elected < 0) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(shard) +
+          " lost its last live replica mid-promotion");
+    }
+    const int new_primary_index = ReplicaCopyIndex(old_primary_index, elected);
+
+    // Phase 4 — promote: atomically rewrite the shard map with the bumped
+    // epoch and the new primary path. THE durable commit point: a restart
+    // before this write serves the old primary, after it the new one.
+    if (!PromotionHookOk("promote", shard)) return abandoned("promote");
+    TVDP_RETURN_IF_ERROR(
+        CommitPromotionToShardMap(shard, new_epoch, new_primary_index));
+
+    // Phase 5 — fence: gate writes, drain the in-flight ones into the
+    // replicas (they committed against the old primary under the old
+    // epoch, so they must ship BEFORE the epoch gate rises), then raise
+    // the epoch and fence the old engine. From here a straggler holding
+    // the old primary's handle gets kFailedPrecondition on writes and its
+    // captures are rejected as stale — no split-brain.
+    if (!PromotionHookOk("fence", shard)) return abandoned("fence");
+    BlockWrites();
+    Status shipped = reps->Ship();
+    if (!shipped.ok()) {
+      UnblockWrites();
+      return shipped;
+    }
+    reps->set_epoch(new_epoch);
+    if (old_primary) {
+      old_primary->Fence(new_epoch);
+      reps->Detach(old_primary);
+    }
+
+    // Phase 6 — flip: swap routing to the promoted engine, rebind the
+    // capture observer, reset the breaker. A veto here models a crash
+    // after the fence: the shard map already names the new primary, so a
+    // restart (or a retried PromoteShard) completes the flip.
+    if (!PromotionHookOk("flip", shard)) {
+      UnblockWrites();
+      return abandoned("flip");
+    }
+    std::shared_ptr<Tvdp> engine = reps->Take(elected);
+    if (!engine) {
+      UnblockWrites();
+      return Status::Internal("elected replica vanished during promotion");
+    }
+    engine->set_epoch(new_epoch);
+    const double fov = engine->MaxFovRadiusM();
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      Slot& slot = slots_[static_cast<size_t>(shard)];
+      slot.tvdp = engine;
+      slot.killed = false;
+      slot.epoch = new_epoch;
+      slot.primary_index = new_primary_index;
+      slot.base_path = CopyPath(shard, new_primary_index);
+      slot.max_fov_radius_m = std::max(slot.max_fov_radius_m, fov);
+    }
+    reps->Rebind(engine);
+    UnblockWrites();
+    if (tracker_) {
+      // The failures that tripped the breaker belonged to the dead
+      // primary; the promoted engine starts with a clean circuit.
+      std::lock_guard<std::mutex> lock(tracker_mutex_);
+      tracker_->Reset(static_cast<size_t>(shard));
+    }
+
+    Json report = Json::MakeObject();
+    report["shard"] = Json(shard);
+    report["action"] = Json("promoted");
+    report["old_epoch"] = Json(old_epoch);
+    report["new_epoch"] = Json(new_epoch);
+    report["promoted_replica"] = Json(elected);
+    report["new_primary_index"] = Json(new_primary_index);
+    report["applied_tail_records"] =
+        Json(static_cast<int64_t>(applied_tail));
+    return report;
+  }();
+
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    slots_[static_cast<size_t>(shard)].promoting = false;
+  }
+  return result;
+}
+
+void ShardManager::DrainDeferredPromotions() {
+  std::vector<int> ready;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (int s : deferred_promotions_) {
+      if (!slots_[static_cast<size_t>(s)].migrating) ready.push_back(s);
+    }
+  }
+  for (int s : ready) {
+    Result<Json> promoted = PromoteShard(s);  // re-defers if migrating again
+    if (!promoted.ok()) {
+      TVDP_LOG(Warning) << "deferred promotion of shard " << s
+                        << " failed: " << promoted.status().ToString();
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      deferred_promotions_.erase(s);
+    }
+  }
+}
+
+Status ShardManager::KillReplica(int shard, int replica) {
+  if (shard < 0 || shard >= shard_count()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  std::shared_ptr<ReplicaSet> reps;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    reps = slots_[static_cast<size_t>(shard)].replicas;
+  }
+  if (!reps) {
+    return Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                      " is not replicated");
+  }
+  return reps->KillReplica(replica);
+}
+
+bool ShardManager::shard_promoting(int shard) const {
+  if (shard < 0 || shard >= shard_count()) return false;
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  return slots_[static_cast<size_t>(shard)].promoting;
+}
+
+int64_t ShardManager::shard_epoch(int shard) const {
+  if (shard < 0 || shard >= shard_count()) return 0;
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  return slots_[static_cast<size_t>(shard)].epoch;
+}
+
+int ShardManager::shard_primary_index(int shard) const {
+  if (shard < 0 || shard >= shard_count()) return 0;
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  return slots_[static_cast<size_t>(shard)].primary_index;
+}
+
+int ShardManager::live_replica_count(int shard) const {
+  if (shard < 0 || shard >= shard_count()) return 0;
+  std::shared_ptr<ReplicaSet> reps;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    reps = slots_[static_cast<size_t>(shard)].replicas;
+  }
+  return reps ? reps->live_replica_count() : 0;
+}
+
+size_t ShardManager::replica_lag_records(int shard) const {
+  if (shard < 0 || shard >= shard_count()) return 0;
+  std::shared_ptr<ReplicaSet> reps;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    reps = slots_[static_cast<size_t>(shard)].replicas;
+  }
+  return reps ? reps->lag_records() : 0;
 }
 
 bool ShardManager::shard_alive(int shard) const {
@@ -1948,14 +2526,24 @@ Json ShardManager::StatsJson() const {
   out["shard_count"] = Json(shard_count());
   out["breakers"] = Json(options_.breakers);
   out["atomic_broadcasts"] = Json(options_.atomic_broadcasts);
+  out["replication_factor"] =
+      Json(options_.replication.replication_factor);
+  out["sync"] = Json(options_.replication.sync == SyncLevel::kSync
+                         ? std::string("sync")
+                         : std::string("async"));
   Json shards = Json::MakeArray();
   for (int i = 0; i < shard_count(); ++i) {
     std::shared_ptr<Tvdp> tvdp;
+    std::shared_ptr<ReplicaSet> reps;
     Json s = Json::MakeObject();
     {
       std::lock_guard<std::mutex> lock(slots_mutex_);
       const Slot& slot = slots_[static_cast<size_t>(i)];
       tvdp = slot.killed ? nullptr : slot.tvdp;
+      reps = slot.replicas;
+      s["epoch"] = Json(slot.epoch);
+      s["primary_index"] = Json(slot.primary_index);
+      s["promoting"] = Json(slot.promoting);
       s["shard"] = Json(i);
       s["alive"] = Json(!slot.killed && slot.tvdp != nullptr);
       s["durable"] = Json(!slot.base_path.empty());
@@ -1988,6 +2576,9 @@ Json ShardManager::StatsJson() const {
         Json(tvdp && tvdp->durable_catalog()
                  ? tvdp->durable_catalog()->wal_size_bytes()
                  : 0);
+    // Self-locked; read outside slots_mutex_ so a mid-ship stats call
+    // never stalls dispatch.
+    if (reps) s["replication"] = reps->StatsJson();
     shards.Append(std::move(s));
   }
   out["shards"] = std::move(shards);

@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "edge/health.h"
 #include "geo/bbox.h"
+#include "platform/replication.h"
 #include "platform/tvdp.h"
 #include "query/scatter_gather.h"
 #include "storage/durable_catalog.h"
@@ -88,6 +89,12 @@ struct ShardManagerOptions {
   /// with unchecked ids; kept only so the regression harness can
   /// demonstrate that hazard.
   bool atomic_broadcasts = true;
+
+  /// Per-shard replication: total copies, sync level, replica-read policy
+  /// (DESIGN.md "Replication, failover, and fencing"). The default factor
+  /// of 1 is replication off — byte-identical to the pre-replication
+  /// behaviour.
+  ReplicationOptions replication;
 
   /// Seed of the per-shard fault-injection streams.
   uint64_t fault_seed = 0x5eedfa071ULL;
@@ -238,8 +245,68 @@ class ShardManager {
   /// even when that pass reports divergence (kDataLoss). The shard's
   /// circuit breaker is left to re-admit it through its half-open probe.
   /// kFailedPrecondition for an in-memory shard with nothing to revive
-  /// (no WAL to replay).
+  /// (no WAL to replay). A replicated shard's replicas are re-attached
+  /// (wiped and re-bootstrapped) from the recovered primary.
   Status RecoverShard(int shard);
+
+  // --- Replication & failover (DESIGN.md "Replication, failover, and
+  //     fencing") ---
+
+  /// Fails shard `shard` over to its most-caught-up live replica as a
+  /// durable multi-phase state machine:
+  ///
+  ///   1. ship  — the capture channel is drained into the replicas;
+  ///   2. apply — for a durable shard whose primary died with unshipped
+  ///              records, the primary's on-disk WAL tail (past the shipped
+  ///              offset) is read back and applied, so every *acknowledged*
+  ///              write reaches the replicas even under kAsync lag;
+  ///   3. ack   — every live durable replica fsyncs its own WAL;
+  ///   4. promote — the shard map is atomically rewritten with a bumped
+  ///              fencing epoch and the new primary path: THE cross-restart
+  ///              commit point (a crash before it resolves to the old
+  ///              primary, after it to the new one);
+  ///   5. fence — the old primary engine (if still held anywhere) starts
+  ///              rejecting writes with kFailedPrecondition, and the
+  ///              replica channel rejects its stale-epoch captures;
+  ///   6. flip  — routing atomically swaps to the promoted engine, the
+  ///              shard's circuit breaker resets, and the capture observer
+  ///              rebinds to the new primary.
+  ///
+  /// A promotion requested while the shard is a migration endpoint is
+  /// deferred ({"action":"deferred"}) and runs when the migration
+  /// resolves. kFailedPrecondition when the shard has no live replica.
+  /// Returns {"shard","action","old_epoch","new_epoch","promoted_replica",
+  /// "applied_tail_records"}.
+  Result<Json> PromoteShard(int shard);
+
+  /// Test hook called at each promotion phase boundary
+  /// ("ship" / "apply" / "ack" / "promote" / "fence" / "flip") with the
+  /// shard being promoted. Returning false abandons the promotion at that
+  /// point — the simulated coordinator crash; durable state is left for
+  /// Create / RecoverShard to resolve from evidence.
+  void SetPromotionHook(
+      std::function<bool(const std::string& phase, int shard)> hook);
+
+  /// Kills one replica of a replicated shard (fault injection).
+  Status KillReplica(int shard, int replica);
+
+  /// True while a promotion of `shard` is in flight (RebalanceCells
+  /// refuses to touch such a shard).
+  bool shard_promoting(int shard) const;
+
+  /// The shard's current fencing epoch (0 until its first failover).
+  int64_t shard_epoch(int shard) const;
+
+  /// Which copy path currently serves as the primary (0 = the original
+  /// `shard_<i>` path; r >= 1 = replica path `shard_<i>_replica_<r-1>`).
+  int shard_primary_index(int shard) const;
+
+  /// Live replicas standing by for `shard` (0 when unreplicated).
+  int live_replica_count(int shard) const;
+
+  /// Captured-but-unshipped records on `shard`'s replication channel (the
+  /// kAsync lag; 0 under kSync outside a write's critical section).
+  size_t replica_lag_records(int shard) const;
 
   // --- Online rebalancing (DESIGN.md "Online shard rebalancing") ---
 
@@ -332,6 +399,22 @@ class ShardManager {
     /// swapped under slots_mutex_; probes read it lock-free after the swap.
     std::shared_ptr<const std::unordered_map<int64_t, int64_t>>
         reverse_relocations;
+    /// Replica group (nullptr when replication is off). Set at Create,
+    /// reassignment only under slots_mutex_; the set's own state is
+    /// self-locked.
+    std::shared_ptr<ReplicaSet> replicas;
+    /// Fencing epoch of the current primary; bumped by each committed
+    /// promotion. Guarded by slots_mutex_.
+    int64_t epoch = 0;
+    /// Which copy path the primary engine serves from (0 = `shard_<i>`,
+    /// r >= 1 = `shard_<i>_replica_<r-1>`). Guarded by slots_mutex_.
+    int primary_index = 0;
+    /// True while a promotion of this shard is in flight; RebalanceCells
+    /// refuses to touch it. Guarded by slots_mutex_.
+    bool promoting = false;
+    /// Round-robin lane for balanced replica reads. Guarded by
+    /// slots_mutex_.
+    size_t read_rr = 0;
   };
 
   /// Coordinator-side state of the (single) in-flight migration. Guarded by
@@ -362,17 +445,57 @@ class ShardManager {
 
   /// One probe against a snapshotted engine handle: fault draws first
   /// (crash / hang / slow), then the shard-local query, then local ->
-  /// global id translation.
+  /// global id translation. Replica probes pass `inject_faults = false`:
+  /// the configured fault profile models the primary, and a failover read
+  /// must not re-roll the dice that just killed the primary probe.
   Result<std::vector<query::QueryHit>> ProbeShard(
       int shard, const std::shared_ptr<Tvdp>& tvdp,
       const query::HybridQuery& q, const RequestContext& ctx,
-      const query::QueryBudget& budget, query::QueryPlan* plan_out) const;
+      const query::QueryBudget& budget, query::QueryPlan* plan_out,
+      bool inject_faults = true) const;
 
   query::ShardEstimate EstimateShard(const std::shared_ptr<Tvdp>& tvdp,
                                      const query::HybridQuery& q) const;
 
-  /// Breaker + latency bookkeeping for one gathered probe outcome.
+  /// Breaker + latency bookkeeping for one gathered probe outcome. A
+  /// breaker that trips open for a replicated shard whose engine is dead
+  /// retries the automatic promotion (the KillShard-time attempt may have
+  /// been vetoed by a fault hook).
   void RecordProbeOutcome(const query::ShardReport& report) const;
+
+  // --- Replication internals ---
+
+  /// On-disk root of copy `copy` of shard `shard`: copy 0 is
+  /// `<base>/shard_<i>` (the pre-replication layout, unchanged), copy
+  /// r >= 1 is `<base>/shard_<i>_replica_<r-1>`. "" for in-memory fleets.
+  std::string CopyPath(int shard, int copy) const;
+
+  /// Replica copy slot r's path index given the current primary: the
+  /// (r+1)-th copy index skipping `primary_index`.
+  int ReplicaCopyIndex(int primary_index, int r) const;
+
+  /// Opens + attaches `shard`'s replicas around `primary` (wiping any
+  /// stale on-disk state at the replica paths and bootstrapping from the
+  /// primary). `primary_index` names the copy path the primary serves
+  /// from. Caller must not hold slots_mutex_.
+  Status AttachReplicas(int shard, const std::shared_ptr<Tvdp>& primary,
+                        int primary_index,
+                        const std::shared_ptr<ReplicaSet>& replicas);
+
+  /// Ships `shard`'s captured mutations to its replicas according to the
+  /// configured sync level (kSync: always, before the write is
+  /// acknowledged; kAsync: once the lag bound is reached). Called after
+  /// every successful routed write.
+  void ShipShard(int shard) const;
+
+  /// True unless the promotion test hook vetoes this step. Caller holds
+  /// promotion_mutex_.
+  bool PromotionHookOk(const char* phase, int shard) const;
+
+  /// Runs any promotions deferred behind a migration that has since
+  /// resolved. Takes promotion_mutex_ via PromoteShard; caller must hold
+  /// neither promotion_mutex_ nor slots_mutex_.
+  void DrainDeferredPromotions();
 
   /// Appends one broadcast or migration record to `shard`'s log (durable
   /// shards fsync it through the DurableCatalog; in-memory shards only
@@ -425,6 +548,12 @@ class ShardManager {
       const std::function<bool(const geo::GeoPoint&)>& in_cells, int source,
       int target);
 
+  /// RebalanceCells / RecoverShard bodies; the public wrappers drain any
+  /// deferred promotions after the migration locks are released.
+  Result<Json> RebalanceCellsInner(const std::vector<int>& cells, int source,
+                                   int target);
+  Status RecoverShardInner(int shard);
+
   /// Marks the in-flight migration abandoned (coordinator crash model):
   /// durable intents stay pending for reconciliation and the endpoints keep
   /// their migrating flags (dual-serve keeps queries exact). Returns
@@ -448,16 +577,26 @@ class ShardManager {
   std::string ShardMapPath() const;
 
   /// Atomically persists the given post-cutover shard map — the durable
-  /// commit point of a migration. No locks held; the caller passes
-  /// consistent snapshots.
+  /// commit point of a migration or a promotion. Besides cell ownership it
+  /// carries each shard's fencing epoch and primary copy index. No locks
+  /// held; the caller passes consistent snapshots.
   Status WriteShardMapFile(const std::vector<int>& cell_map,
                            const std::vector<std::array<int64_t, 3>>& relocs,
-                           const std::vector<int64_t>& committed);
+                           const std::vector<int64_t>& committed,
+                           const std::vector<int64_t>& epochs,
+                           const std::vector<int>& primaries);
+
+  /// Snapshots the current shard map state under slots_mutex_ and writes
+  /// it with `epochs[shard]` / `primaries[shard]` overridden — the
+  /// promotion commit point.
+  Status CommitPromotionToShardMap(int shard, int64_t new_epoch,
+                                   int new_primary_index);
 
   /// Loads `<base_path>/shard_map.json` if present, overriding the options'
-  /// cell assignments and seeding relocated_ / committed_migrations_.
-  /// Returns whether a map file existed (its existence triggers a
-  /// foreign-row sweep at Create — the GC a crash may have skipped).
+  /// cell assignments and seeding relocated_ / committed_migrations_ /
+  /// boot_epochs_ / boot_primaries_. Returns whether a map file existed
+  /// (its existence triggers a foreign-row sweep at Create — the GC a
+  /// crash may have skipped).
   Result<bool> LoadShardMap();
 
   ShardManagerOptions options_;
@@ -471,6 +610,20 @@ class ShardManager {
   mutable std::mutex broadcast_mutex_;
   int64_t next_broadcast_id_ = 1;  ///< guarded by broadcast_mutex_
   std::function<bool(const std::string&, int)> broadcast_hook_;
+
+  /// Serializes promotions end to end (one in flight at a time).
+  /// Deliberately independent of the order chain below: PromoteShard never
+  /// takes migration_mutex_ or broadcast_mutex_, so a promotion hook may
+  /// re-entrantly call RebalanceCells / KillShard without a cycle.
+  mutable std::mutex promotion_mutex_;
+  std::function<bool(const std::string&, int)> promotion_hook_;  ///< by promotion_mutex_
+  /// Shards whose promotion is parked behind an in-flight migration; the
+  /// migration's resolution drains them. Guarded by slots_mutex_.
+  std::unordered_set<int> deferred_promotions_;
+  /// Epochs / primary copy indices loaded from shard_map.json, consumed by
+  /// Create when building the slots (empty = fresh map, all zeros).
+  std::vector<int64_t> boot_epochs_;
+  std::vector<int> boot_primaries_;
 
   /// Serializes migrations end to end (one in flight at a time). Lock
   /// order: migration_mutex_ -> broadcast_mutex_ -> slots_mutex_.

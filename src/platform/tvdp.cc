@@ -37,15 +37,23 @@ Result<Tvdp> Tvdp::Open(const std::string& base_path,
 }
 
 Status Tvdp::RebuildFromCatalog() {
-  storage::Catalog& cat = catalog();
-
   // Classification registry: name -> (id, label -> type id).
+  TVDP_RETURN_IF_ERROR(RebuildClassificationsUnlocked());
+
+  // Query indexes: every image, then every stored feature vector.
+  std::unique_lock lock(engine_->mutex());
+  return ReindexAllLocked();
+}
+
+Status Tvdp::RebuildClassificationsUnlocked() {
+  storage::Catalog& cat = catalog();
   const storage::Table* cls = cat.GetTable(tables::kImageContentClassification);
   const storage::Table* types =
       cat.GetTable(tables::kImageContentClassificationTypes);
   if (!cls || !types) {
     return Status::Internal("recovered catalog is missing the TVDP schema");
   }
+  classifications_.clear();
   std::map<int64_t, std::string> cls_name_of;
   cls->ForEach([&](const Row& r) {
     int64_t id = r[0].AsInt64();
@@ -60,10 +68,7 @@ Status Tvdp::RebuildFromCatalog() {
     }
     return true;
   });
-
-  // Query indexes: every image, then every stored feature vector.
-  std::unique_lock lock(engine_->mutex());
-  return ReindexAllLocked();
+  return Status::OK();
 }
 
 Status Tvdp::ReindexAllLocked() {
@@ -90,15 +95,43 @@ Status Tvdp::ReindexAllLocked() {
 }
 
 Result<int64_t> Tvdp::InsertRow(const std::string& table, storage::Row row) {
-  return durable_ ? durable_->Insert(table, std::move(row))
-                  : catalog_->Insert(table, std::move(row));
+  if (fenced_) {
+    return Status::FailedPrecondition(
+        "engine is fenced (stale primary, epoch " + std::to_string(epoch_) +
+        "): write rejected");
+  }
+  storage::Row observed;
+  if (mutation_observer_) observed = row;  // copy only when someone listens
+  TVDP_ASSIGN_OR_RETURN(int64_t id,
+                        durable_ ? durable_->Insert(table, std::move(row))
+                                 : catalog_->Insert(table, std::move(row)));
+  if (mutation_observer_) {
+    storage::WalRecord record{table, id, std::move(observed)};
+    record.epoch = epoch_;
+    mutation_observer_(record);
+  }
+  return id;
 }
 
 Status Tvdp::DeleteRow(const std::string& table, storage::RowId id) {
-  if (durable_) return durable_->Delete(table, id);
-  storage::Table* t = catalog_->GetTable(table);
-  if (!t) return Status::NotFound("no such table: " + table);
-  return t->Delete(id);
+  if (fenced_) {
+    return Status::FailedPrecondition(
+        "engine is fenced (stale primary, epoch " + std::to_string(epoch_) +
+        "): write rejected");
+  }
+  if (durable_) {
+    TVDP_RETURN_IF_ERROR(durable_->Delete(table, id));
+  } else {
+    storage::Table* t = catalog_->GetTable(table);
+    if (!t) return Status::NotFound("no such table: " + table);
+    TVDP_RETURN_IF_ERROR(t->Delete(id));
+  }
+  if (mutation_observer_) {
+    storage::WalRecord record = storage::WalRecord::Delete(table, id);
+    record.epoch = epoch_;
+    mutation_observer_(record);
+  }
+  return Status::OK();
 }
 
 Result<int64_t> Tvdp::IngestImage(const ImageRecord& record) {
@@ -576,6 +609,149 @@ Status Tvdp::RemoveImages(const std::vector<int64_t>& ids) {
   // The indexes have no per-record delete: reset and re-index survivors.
   engine_->ResetIndexesLocked();
   return ReindexAllLocked();
+}
+
+void Tvdp::SetMutationObserver(
+    std::function<void(const storage::WalRecord&)> observer) {
+  std::unique_lock lock(engine_->mutex());
+  mutation_observer_ = std::move(observer);
+}
+
+Result<size_t> Tvdp::ApplyReplicated(
+    const std::vector<storage::WalRecord>& records) {
+  // Writer: the whole batch becomes visible atomically, mirroring how the
+  // primary's writer lock made each source mutation visible.
+  std::unique_lock lock(engine_->mutex());
+  size_t applied = 0;
+  std::vector<int64_t> new_images;
+  std::vector<const storage::WalRecord*> new_features;
+  bool registry_dirty = false;
+  bool saw_delete = false;
+  for (const storage::WalRecord& rec : records) {
+    if (rec.type == storage::WalRecordType::kDelete) {
+      storage::Table* t = catalog().GetTable(rec.table);
+      if (!t) {
+        return Status::IOError("replicated delete references unknown table " +
+                               rec.table);
+      }
+      if (!t->Exists(rec.row_id)) continue;  // already applied
+      if (durable_) {
+        TVDP_RETURN_IF_ERROR(durable_->Delete(rec.table, rec.row_id));
+      } else {
+        TVDP_RETURN_IF_ERROR(t->Delete(rec.row_id));
+      }
+      saw_delete = true;
+      ++applied;
+      continue;
+    }
+    if (rec.type != storage::WalRecordType::kInsert) continue;
+    if (durable_) {
+      Status s = durable_->RestoreInsert(rec.table, rec.row_id, rec.values);
+      if (s.code() == StatusCode::kAlreadyExists) continue;
+      TVDP_RETURN_IF_ERROR(s);
+    } else {
+      storage::Table* t = catalog().GetTable(rec.table);
+      if (!t) {
+        return Status::IOError("replicated insert references unknown table " +
+                               rec.table);
+      }
+      if (t->Exists(rec.row_id)) continue;  // already applied
+      Row full;
+      full.reserve(rec.values.size() + 1);
+      full.push_back(Value(rec.row_id));
+      for (const Value& v : rec.values) full.push_back(v);
+      TVDP_RETURN_IF_ERROR(t->RestoreRow(std::move(full)));
+    }
+    ++applied;
+    if (rec.table == tables::kImages) {
+      new_images.push_back(rec.row_id);
+    } else if (rec.table == tables::kImageVisualFeatures) {
+      new_features.push_back(&rec);
+    } else if (rec.table == tables::kImageContentClassification ||
+               rec.table == tables::kImageContentClassificationTypes) {
+      registry_dirty = true;
+    }
+  }
+  if (saw_delete) {
+    // Deletes have no per-record index removal: rebuild from survivors.
+    engine_->ResetIndexesLocked();
+    TVDP_RETURN_IF_ERROR(ReindexAllLocked());
+  } else {
+    for (int64_t id : new_images) {
+      TVDP_RETURN_IF_ERROR(engine_->IndexImageLocked(id));
+    }
+    if (!new_features.empty()) {
+      const storage::Table* feats =
+          catalog().GetTable(tables::kImageVisualFeatures);
+      const storage::Schema& s = feats->schema();
+      // rec.values holds the non-id columns: schema index minus the id slot.
+      size_t img_idx = static_cast<size_t>(s.ColumnIndex("image_id")) - 1;
+      size_t kind_idx = static_cast<size_t>(s.ColumnIndex("feature_kind")) - 1;
+      size_t feat_idx = static_cast<size_t>(s.ColumnIndex("feature")) - 1;
+      for (const storage::WalRecord* rec : new_features) {
+        TVDP_RETURN_IF_ERROR(engine_->IndexFeatureLocked(
+            rec->values[img_idx].AsInt64(), rec->values[kind_idx].AsString(),
+            rec->values[feat_idx].AsFloatVector()));
+      }
+    }
+  }
+  if (registry_dirty) {
+    TVDP_RETURN_IF_ERROR(RebuildClassificationsUnlocked());
+  }
+  return applied;
+}
+
+std::vector<storage::WalRecord> Tvdp::SnapshotRecords() const {
+  std::shared_lock lock(engine_->mutex());
+  // Registry tables first so a replica applying the stream rebuilds its
+  // classification map from complete rows.
+  static constexpr const char* kOrder[] = {
+      tables::kImageContentClassification,
+      tables::kImageContentClassificationTypes,
+      tables::kImages,
+      tables::kImageFov,
+      tables::kImageSceneLocation,
+      tables::kImageManualKeywords,
+      tables::kImageVisualFeatures,
+      tables::kImageContentAnnotation};
+  std::vector<storage::WalRecord> out;
+  for (const char* tname : kOrder) {
+    const storage::Table* t = catalog().GetTable(tname);
+    if (!t) continue;
+    t->ForEach([&](const Row& r) {
+      storage::WalRecord rec;
+      rec.type = storage::WalRecordType::kInsert;
+      rec.table = tname;
+      rec.row_id = r[0].AsInt64();
+      rec.epoch = epoch_;
+      rec.values.assign(r.begin() + 1, r.end());
+      out.push_back(std::move(rec));
+      return true;
+    });
+  }
+  return out;
+}
+
+void Tvdp::Fence(int64_t fenced_at_epoch) {
+  std::unique_lock lock(engine_->mutex());
+  fenced_ = true;
+  epoch_ = std::max(epoch_, fenced_at_epoch);
+}
+
+bool Tvdp::fenced() const {
+  std::shared_lock lock(engine_->mutex());
+  return fenced_;
+}
+
+void Tvdp::set_epoch(int64_t epoch) {
+  std::unique_lock lock(engine_->mutex());
+  epoch_ = epoch;
+  if (durable_) durable_->set_epoch(epoch);
+}
+
+int64_t Tvdp::epoch() const {
+  std::shared_lock lock(engine_->mutex());
+  return epoch_;
 }
 
 Status Tvdp::SaveToFile(const std::string& path) const {

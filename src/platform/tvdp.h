@@ -229,6 +229,43 @@ class Tvdp {
   /// The GC half of a cell migration. Unknown ids are skipped.
   Status RemoveImages(const std::vector<int64_t>& ids);
 
+  // --- Replication support (used by platform::ReplicaSet, DESIGN.md
+  // "Replication, failover, and fencing") ---
+
+  /// Installs (or clears, with nullptr) the mutation observer: a callback
+  /// invoked — under the engine writer lock, after the mutation committed —
+  /// with the WAL-shaped record of every row insert/delete this engine
+  /// performs. The replication layer captures these to ship them to the
+  /// shard's replicas; because the writer lock serializes mutations, the
+  /// observed stream totally orders with the primary's WAL.
+  void SetMutationObserver(
+      std::function<void(const storage::WalRecord&)> observer);
+
+  /// Applies a batch of shipped primary records to this (replica) engine:
+  /// forced-id inserts and deletes, committed through the replica's own WAL
+  /// when durable, with query indexes and the classification registry kept
+  /// in sync. Already-applied records (id present) are skipped, so
+  /// re-shipping after a retry or a WAL tail replay is safe. Returns the
+  /// number of records newly applied.
+  Result<size_t> ApplyReplicated(
+      const std::vector<storage::WalRecord>& records);
+
+  /// Full-state dump as replayable kInsert records (schema order, ids
+  /// included) — bootstraps a fresh replica from a primary that predates
+  /// replication being enabled.
+  std::vector<storage::WalRecord> SnapshotRecords() const;
+
+  /// Fencing: a fenced engine rejects every mutation with
+  /// kFailedPrecondition. A stale primary is fenced at promotion so its
+  /// in-flight writers cannot ack anything the new primary will not have.
+  void Fence(int64_t fenced_at_epoch);
+  bool fenced() const;
+
+  /// The engine's replication epoch, stamped onto every mutation record it
+  /// produces (and persisted via the durable catalog when one is attached).
+  void set_epoch(int64_t epoch);
+  int64_t epoch() const;
+
   // --- Persistence ---
 
   Status SaveToFile(const std::string& path) const;
@@ -255,12 +292,22 @@ class Tvdp {
   /// recovered catalog after a durable Open.
   Status RebuildFromCatalog();
 
+  /// Rebuilds only the classification registry from the catalog rows
+  /// (classifications_ is guarded by the writer path's exclusive lock; the
+  /// caller must not be racing mutations).
+  Status RebuildClassificationsUnlocked();
+
   std::unique_ptr<storage::Catalog> catalog_;
   std::unique_ptr<storage::DurableCatalog> durable_;
   std::unique_ptr<query::QueryEngine> engine_;
   // classification name -> (classification id, label -> type id)
   std::map<std::string, std::pair<int64_t, std::map<std::string, int64_t>>>
       classifications_;
+  // Replication state; all guarded by the engine writer lock (mutations
+  // already hold it exclusively when these are consulted).
+  std::function<void(const storage::WalRecord&)> mutation_observer_;
+  int64_t epoch_ = 0;
+  bool fenced_ = false;
 };
 
 }  // namespace tvdp::platform

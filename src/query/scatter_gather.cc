@@ -22,6 +22,12 @@ struct ProbeOutcome {
   QueryPlan plan;
   double latency_ms = 0;
   int attempts = 0;
+  /// Replica that produced the hits (-1 = the primary).
+  int replica = -1;
+  /// Whether the primary itself was probed (false for balanced replica
+  /// reads that succeeded without touching it, and for breaker-open
+  /// failover probes where the gate never admitted the primary).
+  bool primary_probed = true;
 };
 
 double NowMs() {
@@ -34,12 +40,74 @@ double NowMs() {
 /// of the shard's remaining budget, and a failed attempt is re-tried only
 /// when IsRetryableStatus says the failure is transient (crash, straggler
 /// timeout, transient IO) — semantic errors surface immediately.
+/// One attempt against replica `r` of `shard`; fills `out` on success.
+bool TryReplica(ShardTarget* shard, int r, const HybridQuery& q,
+                const RequestContext& ctx, const QueryBudget& budget,
+                ProbeOutcome& out) {
+  ++out.attempts;
+  QueryPlan plan;
+  Result<std::vector<QueryHit>> probed =
+      shard->ProbeReplica(r, q, ctx, budget, &plan);
+  if (!probed.ok()) {
+    if (out.status.ok()) out.status = probed.status();
+    return false;
+  }
+  out.hits = std::move(probed).value();
+  out.plan = std::move(plan);
+  out.status = Status::OK();
+  out.replica = r;
+  return true;
+}
+
+/// Replica-only probe, used when the primary's breaker blocked it: the
+/// replicas are tried in order and the primary is never touched.
+ProbeOutcome ProbeReplicasOnly(ShardTarget* shard, const HybridQuery& q,
+                               const RequestContext& shard_ctx,
+                               const QueryBudget& budget) {
+  ProbeOutcome out;
+  out.primary_probed = false;
+  out.status = Status::Unavailable("shard " + std::to_string(shard->id()) +
+                                   " breaker open and no replica answered");
+  const double started_ms = NowMs();
+  const int replicas = shard->replica_count();
+  for (int r = 0; r < replicas; ++r) {
+    if (!shard_ctx.Check().ok()) break;
+    ProbeOutcome attempt;
+    if (TryReplica(shard, r, q, shard_ctx, budget, attempt)) {
+      attempt.attempts += out.attempts;
+      attempt.primary_probed = false;
+      attempt.latency_ms = NowMs() - started_ms;
+      return attempt;
+    }
+    out.attempts += attempt.attempts;
+  }
+  out.latency_ms = NowMs() - started_ms;
+  return out;
+}
+
 ProbeOutcome ProbeWithHedging(ShardTarget* shard, const HybridQuery& q,
                               const RequestContext& shard_ctx,
                               const QueryBudget& budget,
                               const ScatterGatherOptions& options) {
   ProbeOutcome out;
   const double started_ms = NowMs();
+
+  // Balanced replica read: one attempt at the preferred replica before the
+  // primary. A success never touches the primary (its breaker state must
+  // stay as-is); a failure falls through to the normal primary path.
+  const int preferred = shard->preferred_replica();
+  bool preferred_tried = false;
+  if (preferred >= 0 && preferred < shard->replica_count() &&
+      shard_ctx.Check().ok()) {
+    preferred_tried = true;
+    if (TryReplica(shard, preferred, q, shard_ctx, budget, out)) {
+      out.primary_probed = false;
+      out.latency_ms = NowMs() - started_ms;
+      return out;
+    }
+    out.status = Status::OK();  // the primary attempts start clean
+  }
+
   RetryPolicy policy = options.probe_retry;
   if (!options.hedging) policy.max_attempts = 1;
   if (policy.max_attempts < 1) policy.max_attempts = 1;
@@ -83,6 +151,19 @@ ProbeOutcome ProbeWithHedging(ShardTarget* shard, const HybridQuery& q,
     if (backoff > 0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(backoff));
+    }
+  }
+
+  // Failover: every primary attempt failed — try the replicas in order.
+  // The failed primary attempts stay counted (and reported, so breaker
+  // bookkeeping still sees the primary failure even when a replica saves
+  // the probe).
+  if (!out.status.ok()) {
+    const int replicas = shard->replica_count();
+    for (int r = 0; r < replicas; ++r) {
+      if (preferred_tried && r == preferred) continue;  // already failed
+      if (!shard_ctx.Check().ok()) break;
+      if (TryReplica(shard, r, q, shard_ctx, budget, out)) break;
     }
   }
   out.latency_ms = NowMs() - started_ms;
@@ -190,6 +271,8 @@ std::string ShardOutcomeName(ShardOutcome o) {
       return "failed";
     case ShardOutcome::kMigrating:
       return "migrating";
+    case ShardOutcome::kFailedOver:
+      return "failed_over";
   }
   return "unknown";
 }
@@ -198,7 +281,8 @@ std::vector<int> Coverage::ProbedShards() const {
   std::vector<int> out;
   for (const ShardReport& r : reports) {
     if (r.outcome == ShardOutcome::kProbed ||
-        r.outcome == ShardOutcome::kMigrating) {
+        r.outcome == ShardOutcome::kMigrating ||
+        r.outcome == ShardOutcome::kFailedOver) {
       out.push_back(r.shard);
     }
   }
@@ -228,7 +312,8 @@ bool Coverage::complete() const {
   for (const ShardReport& r : reports) {
     if (r.outcome != ShardOutcome::kProbed &&
         r.outcome != ShardOutcome::kPruned &&
-        r.outcome != ShardOutcome::kMigrating) {
+        r.outcome != ShardOutcome::kMigrating &&
+        r.outcome != ShardOutcome::kFailedOver) {
       return false;
     }
   }
@@ -252,6 +337,7 @@ Json Coverage::ToJson() const {
     }
     s["attempts"] = Json(r.attempts);
     s["rows"] = Json(r.rows);
+    if (r.replica >= 0) s["replica"] = Json(r.replica);
     if (r.estimated_rows >= 0) s["estimated_rows"] = Json(r.estimated_rows);
     shards.Append(std::move(s));
   }
@@ -354,20 +440,34 @@ Result<ShardedResult> ScatterGather::Execute(
   struct Launched {
     size_t index;
     std::future<ProbeOutcome> future;
+    /// The breaker blocked the primary; only replicas were probed. A
+    /// success is kFailedOver, a failure falls back to kBreakerOpen.
+    bool breaker_blocked = false;
   };
   std::vector<Launched> launched;
   launched.reserve(eligible.size());
   for (size_t i : eligible) {
-    if (options.admit && !options.admit(shards[i]->id())) {
-      result.coverage.reports[i].outcome = ShardOutcome::kBreakerOpen;
-      continue;
-    }
+    ShardTarget* shard = shards[i];
     RequestContext shard_ctx = base_ctx;
     if (n > 1 && base_ctx.has_deadline()) {
       shard_ctx = base_ctx.WithDeadlineIn(base_ctx.remaining_ms() *
                                           options.per_shard_deadline_fraction);
     }
-    ShardTarget* shard = shards[i];
+    if (options.admit && !options.admit(shard->id())) {
+      if (shard->replica_count() > 0) {
+        // The primary's circuit is open but a replica can stand in: probe
+        // the replicas only (the gate never admitted the primary, so its
+        // breaker bookkeeping must see nothing).
+        launched.push_back({i, pool->Submit([shard, q, shard_ctx, budget]() {
+                              return ProbeReplicasOnly(shard, q, shard_ctx,
+                                                       budget);
+                            }),
+                            /*breaker_blocked=*/true});
+      } else {
+        result.coverage.reports[i].outcome = ShardOutcome::kBreakerOpen;
+      }
+      continue;
+    }
     launched.push_back(
         {i, pool->Submit([shard, q, shard_ctx, budget, &options]() {
            return ProbeWithHedging(shard, q, shard_ctx, budget, options);
@@ -382,9 +482,19 @@ Result<ShardedResult> ScatterGather::Execute(
     ShardReport& report = result.coverage.reports[l.index];
     report.latency_ms = out.latency_ms;
     report.attempts = out.attempts;
+    report.replica = out.replica;
+    report.primary_probed = out.primary_probed;
     if (out.status.ok()) {
-      report.outcome = shards[l.index]->migrating() ? ShardOutcome::kMigrating
-                                                    : ShardOutcome::kProbed;
+      if (l.breaker_blocked || (out.replica >= 0 && out.primary_probed)) {
+        // A replica answered for an unreachable primary (probe failed or
+        // breaker blocked): the result is exact, the outcome names the
+        // stand-in.
+        report.outcome = ShardOutcome::kFailedOver;
+      } else {
+        report.outcome = shards[l.index]->migrating()
+                             ? ShardOutcome::kMigrating
+                             : ShardOutcome::kProbed;
+      }
       report.rows = out.hits.size();
       ++probed;
       all_hits.insert(all_hits.end(), out.hits.begin(), out.hits.end());
@@ -395,7 +505,8 @@ Result<ShardedResult> ScatterGather::Execute(
         result.hits = std::move(out.hits);
       }
     } else {
-      report.outcome = ShardOutcome::kFailed;
+      report.outcome =
+          l.breaker_blocked ? ShardOutcome::kBreakerOpen : ShardOutcome::kFailed;
       report.error = out.status;
     }
     if (options.observe) options.observe(report);
@@ -415,13 +526,23 @@ Result<ShardedResult> ScatterGather::Execute(
     for (const ShardReport& r : result.coverage.reports) {
       if (r.outcome == ShardOutcome::kFailed) return r.error;
     }
+    std::vector<int> blocked;
     for (const ShardReport& r : result.coverage.reports) {
       if (r.outcome == ShardOutcome::kShed ||
           r.outcome == ShardOutcome::kBreakerOpen) {
-        return WithRetryAfterHint(
-            Status::Unavailable("no shard available to answer the query"),
-            50.0);
+        blocked.push_back(r.shard);
       }
+    }
+    if (!blocked.empty()) {
+      // Retry hint: derived from the blocked shards when the caller can
+      // (e.g. the earliest breaker half-open deadline), a static fallback
+      // otherwise.
+      const double hint = options.retry_after_hint
+                              ? options.retry_after_hint(blocked)
+                              : 50.0;
+      return WithRetryAfterHint(
+          Status::Unavailable("no shard available to answer the query"),
+          hint);
     }
     // Every shard pruned: the query provably selects nothing.
     return result;

@@ -28,10 +28,15 @@ namespace tvdp::query {
 ///                  there (region disjoint or a provably-empty estimate);
 ///   shed         — skipped by degraded-mode load shedding (lowest
 ///                  estimated selectivity goes first);
-///   breaker_open — skipped because the shard's circuit breaker blocked it;
-///   failed       — probed (possibly with hedged retries) and still failed.
-/// `pruned` and `migrating` keep the result exact; the other skip/fail
-/// outcomes make the response a partial result, which coverage reports.
+///   breaker_open — skipped because the shard's circuit breaker blocked it
+///                  (and no replica could stand in);
+///   failed       — probed (possibly with hedged retries) and still failed;
+///   failed_over  — the primary was unreachable (probe failed or breaker
+///                  blocked it) but a replica answered in its place; the
+///                  shard's rows are in the merged result.
+/// `pruned`, `migrating` and `failed_over` keep the result exact; the other
+/// skip/fail outcomes make the response a partial result, which coverage
+/// reports.
 enum class ShardOutcome {
   kProbed,
   kPruned,
@@ -39,6 +44,7 @@ enum class ShardOutcome {
   kBreakerOpen,
   kFailed,
   kMigrating,
+  kFailedOver,
 };
 
 /// Stable display name, e.g. "breaker_open".
@@ -58,6 +64,13 @@ struct ShardReport {
   size_t rows = 0;
   /// The planner's cardinality estimate used for shedding; -1 = unknown.
   double estimated_rows = -1;
+  /// Replica index that served this probe (-1 = the primary). Set for
+  /// kFailedOver and for balanced replica reads.
+  int replica = -1;
+  /// False when the primary itself was never probed (balanced replica read
+  /// or a breaker-open failover) — breaker bookkeeping must then leave the
+  /// primary's circuit untouched.
+  bool primary_probed = true;
 };
 
 /// The partial-result contract of a sharded response: which shards were
@@ -124,6 +137,26 @@ class ShardTarget {
   /// target was snapshotted; a successful probe is then reported as
   /// kMigrating instead of kProbed.
   virtual bool migrating() const { return false; }
+
+  /// Replicas available to stand in for the primary (0 = unreplicated or
+  /// replica reads disabled). When > 0, a probe whose primary attempts all
+  /// failed — or whose primary the breaker blocked — is retried against
+  /// the replicas in order, and a success is reported as kFailedOver.
+  virtual int replica_count() const { return 0; }
+
+  /// Executes `q` against replica `r` (same contract as Probe; same global
+  /// id space — replication preserves row ids).
+  virtual Result<std::vector<QueryHit>> ProbeReplica(
+      int r, const HybridQuery& q, const RequestContext& ctx,
+      const QueryBudget& budget, QueryPlan* plan_out) {
+    (void)r, (void)q, (void)ctx, (void)budget, (void)plan_out;
+    return Status::Unavailable("shard has no replicas");
+  }
+
+  /// Read balancing: when >= 0, a clean (non-failover) probe goes to this
+  /// replica first and falls back to the primary on failure. -1 = always
+  /// probe the primary first.
+  virtual int preferred_replica() const { return -1; }
 };
 
 /// Tuning knobs of the scatter-gather stage.
@@ -167,12 +200,19 @@ struct ScatterGatherOptions {
   /// breakers. Called from the coordinating thread only.
   std::function<bool(int shard)> admit;
 
-  /// Invoked once per launched probe as its outcome is gathered (kProbed
-  /// or kFailed), before partial-result semantics can turn the whole call
-  /// into an error — so breaker bookkeeping sees every admitted probe's
-  /// outcome even when no shard answered. Called from the coordinating
-  /// thread only.
+  /// Invoked once per launched probe as its outcome is gathered (kProbed,
+  /// kFailed, or kFailedOver), before partial-result semantics can turn the
+  /// whole call into an error — so breaker bookkeeping sees every admitted
+  /// probe's outcome even when no shard answered. Called from the
+  /// coordinating thread only.
   std::function<void(const ShardReport&)> observe;
+
+  /// Derives the retry-after hint (ms) attached to the all-shards-blocked
+  /// kUnavailable from the blocked shard ids — e.g. the earliest breaker
+  /// half-open deadline. Null = the static 50 ms fallback. Called from the
+  /// coordinating thread only.
+  std::function<double(const std::vector<int>& blocked_shards)>
+      retry_after_hint;
 
   /// Seed for the hedge-backoff jitter streams.
   uint64_t seed = 0x5ca77e2ULL;

@@ -159,6 +159,7 @@ Result<RowId> DurableCatalog::Insert(const std::string& table, Row row) {
   Row logged = row;  // keep a copy for the WAL record
   TVDP_ASSIGN_OR_RETURN(RowId id, catalog_->Insert(table, std::move(row)));
   WalRecord record{table, id, std::move(logged)};
+  record.epoch = epoch_;
   Status committed = wal_->Append(record, options_.sync_on_commit);
   if (!committed.ok()) {
     // Undo the in-memory apply so state matches what a reopen reconstructs.
@@ -194,14 +195,51 @@ Status DurableCatalog::Delete(const std::string& table, RowId id) {
   // Keep a copy so a failed log append can restore the exact row.
   TVDP_ASSIGN_OR_RETURN(Row saved, t->Get(id));
   TVDP_RETURN_IF_ERROR(t->Delete(id));
-  Status committed =
-      wal_->Append(WalRecord::Delete(table, id), options_.sync_on_commit);
+  WalRecord record = WalRecord::Delete(table, id);
+  record.epoch = epoch_;
+  Status committed = wal_->Append(record, options_.sync_on_commit);
   if (!committed.ok()) {
     // Undo the in-memory delete so state matches what a reopen reconstructs.
     (void)t->RestoreRow(std::move(saved));
     return committed;
   }
   return Status::OK();
+}
+
+Status DurableCatalog::RestoreInsert(const std::string& table, RowId id,
+                                     Row values) {
+  std::unique_lock<std::shared_mutex> lock(*mutex_);
+  Table* t = catalog_->GetTable(table);
+  if (!t) return Status::NotFound("no such table: " + table);
+  if (t->Exists(id)) {
+    return Status::AlreadyExists("row " + std::to_string(id) +
+                                 " already applied to " + table);
+  }
+  Row full;
+  full.reserve(values.size() + 1);
+  full.push_back(Value(id));
+  for (const Value& v : values) full.push_back(v);
+  TVDP_RETURN_IF_ERROR(t->RestoreRow(std::move(full)));
+  WalRecord record{table, id, std::move(values)};
+  record.epoch = epoch_;
+  Status committed = wal_->Append(record, options_.sync_on_commit);
+  if (!committed.ok()) {
+    // Undo the apply so memory never runs ahead of the replica's own log
+    // (next_id may stay bumped — ids merely skip, which is harmless).
+    (void)t->Delete(id);
+    return committed;
+  }
+  return Status::OK();
+}
+
+void DurableCatalog::set_epoch(int64_t epoch) {
+  std::unique_lock<std::shared_mutex> lock(*mutex_);
+  epoch_ = epoch;
+}
+
+int64_t DurableCatalog::epoch() const {
+  std::shared_lock<std::shared_mutex> lock(*mutex_);
+  return epoch_;
 }
 
 Status DurableCatalog::Checkpoint() {

@@ -120,6 +120,18 @@ class DurableCatalog {
   /// shard without rewriting the snapshot.
   Status Delete(const std::string& table, RowId id);
 
+  /// Idempotent forced-id insert used by replication: applies a shipped
+  /// primary record (row id already assigned by the primary) and commits it
+  /// to this replica's own WAL, so the replica recovers independently. A row
+  /// that already exists is kAlreadyExists — the caller treats it as an
+  /// already-applied record, which makes re-shipping safe.
+  Status RestoreInsert(const std::string& table, RowId id, Row values);
+
+  /// Fencing epoch stamped onto every kInsert / kDelete record this catalog
+  /// commits from now on (see WalRecord::epoch). 0 = unreplicated.
+  void set_epoch(int64_t epoch);
+  int64_t epoch() const;
+
   /// Forces a snapshot now and resets the WAL.
   Status Checkpoint();
 
@@ -176,6 +188,7 @@ class DurableCatalog {
   std::unique_ptr<Wal> wal_;
   std::unique_ptr<Wal> broadcast_log_;
   std::map<int64_t, PendingBroadcast> pending_broadcasts_;
+  int64_t epoch_ = 0;  ///< guarded by mutex_
   int64_t max_broadcast_id_ = 0;
   bool recovered_from_disk_ = false;
   size_t replayed_records_ = 0;

@@ -84,12 +84,14 @@ std::vector<uint8_t> WalRecord::Encode() const {
     case WalRecordType::kInsert:
       w.WriteString(table);
       w.WriteI64(row_id);
+      w.WriteI64(epoch);
       w.WriteU32(static_cast<uint32_t>(values.size()));
       for (const Value& v : values) w.WriteValue(v);
       break;
     case WalRecordType::kDelete:
       w.WriteString(table);
       w.WriteI64(row_id);
+      w.WriteI64(epoch);
       break;
     case WalRecordType::kBroadcastIntent:
     case WalRecordType::kMigrationIntent:
@@ -121,6 +123,7 @@ Result<WalRecord> WalRecord::Decode(const std::vector<uint8_t>& payload) {
     case WalRecordType::kInsert: {
       TVDP_ASSIGN_OR_RETURN(rec.table, r.ReadString());
       TVDP_ASSIGN_OR_RETURN(rec.row_id, r.ReadI64());
+      TVDP_ASSIGN_OR_RETURN(rec.epoch, r.ReadI64());
       TVDP_ASSIGN_OR_RETURN(uint32_t arity, r.ReadU32());
       TVDP_RETURN_IF_ERROR(r.Need(arity));  // each value is >= 1 tag byte
       rec.values.reserve(arity);
@@ -133,6 +136,7 @@ Result<WalRecord> WalRecord::Decode(const std::vector<uint8_t>& payload) {
     case WalRecordType::kDelete: {
       TVDP_ASSIGN_OR_RETURN(rec.table, r.ReadString());
       TVDP_ASSIGN_OR_RETURN(rec.row_id, r.ReadI64());
+      TVDP_ASSIGN_OR_RETURN(rec.epoch, r.ReadI64());
       break;
     }
     case WalRecordType::kBroadcastIntent:
@@ -208,11 +212,19 @@ Status Wal::Reset() {
   return fs_->SyncDirOf(path_);
 }
 
-Result<WalRecovery> Wal::Recover(Fs* fs, const std::string& path) {
+namespace {
+
+/// Shared scan: decodes the longest valid record run starting at `start`.
+Result<WalRecovery> ScanFrom(Fs* fs, const std::string& path, size_t start) {
   WalRecovery out;
+  out.valid_bytes = start;
   if (!fs->Exists(path)) return out;
   TVDP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, fs->ReadAll(path));
-  size_t pos = 0;
+  if (start > bytes.size()) {
+    return Status::IOError("WAL tail offset " + std::to_string(start) +
+                           " past end of " + path);
+  }
+  size_t pos = start;
   while (bytes.size() - pos >= kFrameHeaderBytes) {
     uint32_t len = ReadU32At(bytes, pos);
     uint32_t crc = ReadU32At(bytes, pos + 4);
@@ -227,10 +239,24 @@ Result<WalRecovery> Wal::Recover(Fs* fs, const std::string& path) {
   }
   out.valid_bytes = pos;
   out.dropped_bytes = bytes.size() - pos;
+  return out;
+}
+
+}  // namespace
+
+Result<WalRecovery> Wal::Recover(Fs* fs, const std::string& path) {
+  TVDP_ASSIGN_OR_RETURN(WalRecovery out, ScanFrom(fs, path, 0));
   if (out.dropped_bytes > 0) {
     TVDP_RETURN_IF_ERROR(fs->Truncate(path, out.valid_bytes));
   }
   return out;
+}
+
+Result<WalRecovery> Wal::TailFrom(Fs* fs, const std::string& path,
+                                  uint64_t offset) {
+  // No truncation: the log may be live under a writer, so an incomplete
+  // tail frame just has not committed yet from the tailer's point of view.
+  return ScanFrom(fs, path, static_cast<size_t>(offset));
 }
 
 }  // namespace tvdp::storage

@@ -45,6 +45,13 @@ struct WalRecord {
   RowId row_id = 0;
   Row values;  ///< non-id columns, in schema order
 
+  /// Fencing epoch of the primary that produced this mutation (kInsert /
+  /// kDelete only; 0 = unreplicated). A replica applying shipped records
+  /// rejects any record stamped with an epoch older than its own — the
+  /// split-brain guard after a failover (DESIGN.md "Replication, failover,
+  /// and fencing").
+  int64_t epoch = 0;
+
   WalRecordType type = WalRecordType::kInsert;
   int64_t broadcast_id = 0;          ///< broadcast types only
   std::string op;                    ///< intent only, e.g. "register_classification"
@@ -115,6 +122,13 @@ class Wal {
   /// the file down to it so a subsequent Open appends after valid data.
   /// A missing file is an empty recovery, not an error.
   static Result<WalRecovery> Recover(Fs* fs, const std::string& path);
+
+  /// Reads the records appended after byte `offset` (which must be a record
+  /// boundary — e.g. a `size_bytes()` observed earlier). Never truncates:
+  /// the log may still be live under a writer, so a torn tail is simply not
+  /// returned yet. Used by replication to tail a primary's log.
+  static Result<WalRecovery> TailFrom(Fs* fs, const std::string& path,
+                                      uint64_t offset);
 
  private:
   Wal(Fs* fs, std::string path, std::unique_ptr<WritableFile> file,

@@ -539,7 +539,7 @@ TEST_F(ApiTest, EnvelopeNumericCodesAndPrecedence) {
 }
 
 TEST_F(ApiTest, EndpointListStable) {
-  EXPECT_EQ(api_->Endpoints().size(), 11u);
+  EXPECT_EQ(api_->Endpoints().size(), 12u);
 }
 
 TEST_F(ApiTest, ReconcileRequiresShardedDeployment) {
