@@ -38,12 +38,13 @@ Status ReplicaSet::Attach(const std::shared_ptr<Tvdp>& primary,
       TVDP_ASSIGN_OR_RETURN(Tvdp engine, Tvdp::Open(path, durable));
       rep.engine = std::make_shared<Tvdp>(std::move(engine));
     }
-    TVDP_RETURN_IF_ERROR(rep.engine->ApplyReplicated(bootstrap).status());
+    TVDP_ASSIGN_OR_RETURN(size_t bootstrapped,
+                          rep.engine->ApplyReplicated(bootstrap));
     if (!path.empty()) {
       TVDP_RETURN_IF_ERROR(rep.engine->durable_catalog()->Flush());
     }
     rep.live = true;
-    rep.applied = bootstrap.size();
+    rep.applied = bootstrapped;
     replicas.push_back(std::move(rep));
   }
 
@@ -167,14 +168,18 @@ Status ReplicaSet::ApplyBatchLocked(
     }
   }
   for (auto& [r, engine] : live) {
-    Status applied = engine->ApplyReplicated(batch).status();
+    Result<size_t> newly_applied = engine->ApplyReplicated(batch);
+    Status applied = newly_applied.status();
     if (applied.ok() && fsync && engine->durable()) {
       applied = engine->durable_catalog()->Flush();
     }
     std::lock_guard<std::mutex> lock(members_mutex_);
     if (r >= replicas_.size() || replicas_[r].engine != engine) continue;
     if (applied.ok()) {
-      replicas_[r].applied += batch.size();
+      // Count what the engine actually applied, not the batch size: records
+      // it skipped as already-applied (a retry or WAL-tail overlap) must not
+      // inflate the applied counter ElectMostCaughtUp compares.
+      replicas_[r].applied += *newly_applied;
     } else {
       // A sick replica must not take down the primary's availability: mark
       // it dead and keep serving. Its death is visible in the stats, and a

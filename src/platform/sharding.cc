@@ -251,6 +251,16 @@ Result<std::unique_ptr<ShardManager>> ShardManager::Create(
                                                slot.replicas));
     }
   }
+  // Seed the persisted epoch/primary vectors from what the slots booted
+  // with: these (not the slots, which lag mid-promotion) are what every
+  // subsequent shard_map.json write sources.
+  mgr->persisted_epochs_.reserve(static_cast<size_t>(n));
+  mgr->persisted_primaries_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    mgr->persisted_epochs_.push_back(mgr->slots_[static_cast<size_t>(i)].epoch);
+    mgr->persisted_primaries_.push_back(
+        mgr->slots_[static_cast<size_t>(i)].primary_index);
+  }
   if (mgr->options_.breakers) {
     mgr->tracker_ = std::make_unique<edge::DeviceHealthTracker>(
         static_cast<size_t>(n), mgr->options_.breaker);
@@ -270,6 +280,7 @@ Result<std::unique_ptr<ShardManager>> ShardManager::Create(
     // serving. Migration intents reconcile regardless of the classification
     // broadcast mode — rebalancing is always run under the durable
     // protocol.
+    WriteTicket ticket(mgr.get());
     std::lock_guard<std::mutex> lock(mgr->broadcast_mutex_);
     Result<Json> report = mgr->ReconcileLocked();
     if (!report.ok()) return report.status();
@@ -468,6 +479,12 @@ Status ShardManager::AppendBroadcastTo(int shard,
 Result<int64_t> ShardManager::RegisterClassification(
     const std::string& name, const std::vector<std::string>& labels,
     const std::string& description) {
+  // Broadcasts mutate every shard's engine, so they must be drainable by
+  // the cutover / promotion-fence write gate like any routed write: without
+  // the ticket a per-shard apply could commit on the old primary between
+  // the fence's Ship() drain and the epoch rise — a write acked to the
+  // caller that the promoted primary never sees.
+  WriteTicket ticket(this);
   if (!options_.atomic_broadcasts) {
     // Legacy fire-and-forget broadcast, kept only so the regression
     // harness can demonstrate the hazard this PR fixes: a mid-loop failure
@@ -625,6 +642,12 @@ Result<int64_t> ShardManager::RegisterClassification(
 
 Result<Json> ShardManager::ReconcileBroadcasts() {
   Result<Json> report = [this]() -> Result<Json> {
+    // Ticket before broadcast_mutex_ (the fixed order): reconciliation
+    // sweeps and re-applies against shard engines, which the write gate
+    // must be able to drain. Released before the deferred-promotion drain
+    // below — PromoteShard's fence blocks writes and would deadlock
+    // against our own ticket.
+    WriteTicket ticket(this);
     std::lock_guard<std::mutex> lock(broadcast_mutex_);
     return ReconcileLocked();
   }();
@@ -710,7 +733,7 @@ Result<Json> ShardManager::ReconcileLocked() {
           }
         }
         if (alive[static_cast<size_t>(msrc)]) {
-          Status swept = SweepForeignRows(msrc);
+          Status swept = SweepForeignRowsTicketed(msrc);
           if (!swept.ok()) {
             errors.Append(Json("migration " + std::to_string(bid) +
                                " gc: " + swept.ToString()));
@@ -750,7 +773,7 @@ Result<Json> ShardManager::ReconcileLocked() {
             failed = true;
           }
         }
-        Status swept = SweepForeignRows(mtgt);
+        Status swept = SweepForeignRowsTicketed(mtgt);
         if (!swept.ok()) {
           errors.Append(Json("migration " + std::to_string(bid) +
                              " undo: " + swept.ToString()));
@@ -894,7 +917,7 @@ Result<Json> ShardManager::ReconcileLocked() {
     }
   }
   for (int i : stragglers) {
-    Status swept = SweepForeignRows(i);
+    Status swept = SweepForeignRowsTicketed(i);
     if (!swept.ok()) {
       errors.Append(Json("migration finalize shard " + std::to_string(i) +
                          ": " + swept.ToString()));
@@ -1067,11 +1090,10 @@ std::string ShardManager::ShardMapPath() const {
   return options_.base_path + "/shard_map.json";
 }
 
-Status ShardManager::WriteShardMapFile(
+Status ShardManager::WriteShardMapLocked(
     const std::vector<int>& cell_map,
     const std::vector<std::array<int64_t, 3>>& relocs,
-    const std::vector<int64_t>& committed,
-    const std::vector<int64_t>& epochs, const std::vector<int>& primaries) {
+    const std::vector<int64_t>& committed) {
   Json doc = Json::MakeObject();
   doc["version"] = Json(++shard_map_version_);
   Json jcells = Json::MakeArray();
@@ -1090,12 +1112,16 @@ Status ShardManager::WriteShardMapFile(
   for (int64_t id : committed) jcom.Append(Json(id));
   doc["committed_migrations"] = std::move(jcom);
   // Fencing evidence: the per-shard promotion epoch and which copy path is
-  // the primary. Writing this file IS a promotion's durable commit point.
+  // the primary, always sourced from the persisted vectors (the last
+  // durably committed values) rather than the slots — a concurrent
+  // rebalance writing the map mid-promotion must never regress a shard's
+  // committed epoch back to what its in-memory slot still says. Writing
+  // this file IS a promotion's durable commit point.
   Json jep = Json::MakeArray();
-  for (int64_t e : epochs) jep.Append(Json(e));
+  for (int64_t e : persisted_epochs_) jep.Append(Json(e));
   doc["epochs"] = std::move(jep);
   Json jpr = Json::MakeArray();
-  for (int p : primaries) jpr.Append(Json(p));
+  for (int p : persisted_primaries_) jpr.Append(Json(p));
   doc["primaries"] = std::move(jpr);
   const std::string text = doc.Dump();
   Fs* fs = options_.durable.fs ? options_.durable.fs : Fs::Default();
@@ -1155,6 +1181,13 @@ Result<bool> ShardManager::LoadShardMap() {
 }
 
 Status ShardManager::SweepForeignRows(int shard) {
+  // The sweep deletes rows through the shard engine; ticket it so the
+  // cutover / fence barrier drains it like any other write.
+  WriteTicket ticket(this);
+  return SweepForeignRowsTicketed(shard);
+}
+
+Status ShardManager::SweepForeignRowsTicketed(int shard) {
   std::shared_ptr<Tvdp> tvdp;
   std::vector<int> cell_map;
   {
@@ -1489,18 +1522,18 @@ Result<Json> ShardManager::RebalanceCellsInner(const std::vector<int>& cells,
     return final_pass.status();
   }
   const double target_fov = dst->MaxFovRadiusM();
+  // Held across the file write AND the in-memory flip: a promotion's map
+  // write serializes behind it, so it can neither regress this cutover's
+  // just-committed cell ownership (by snapshotting the pre-flip memory
+  // state) nor have its own committed epoch regressed by us (the write
+  // sources epochs/primaries from the persisted vectors it maintains).
+  std::unique_lock<std::mutex> map_lock(shard_map_mutex_);
   if (!options_.base_path.empty()) {
     std::vector<int> new_cell_map;
     std::vector<std::array<int64_t, 3>> new_relocs;
     std::vector<int64_t> new_committed;
-    std::vector<int64_t> new_epochs;
-    std::vector<int> new_primaries;
     {
       std::lock_guard<std::mutex> lock(slots_mutex_);
-      for (const Slot& slot : slots_) {
-        new_epochs.push_back(slot.epoch);
-        new_primaries.push_back(slot.primary_index);
-      }
       new_cell_map = cell_to_shard_;
       for (int c : cells) new_cell_map[static_cast<size_t>(c)] = target;
       for (const auto& [global, loc] : relocated_) {
@@ -1520,9 +1553,10 @@ Result<Json> ShardManager::RebalanceCellsInner(const std::vector<int>& cells,
                            committed_migrations_.end());
       new_committed.push_back(mid);
     }
-    Status saved = WriteShardMapFile(new_cell_map, new_relocs, new_committed,
-                                     new_epochs, new_primaries);
+    Status saved = WriteShardMapLocked(new_cell_map, new_relocs,
+                                       new_committed);
     if (!saved.ok()) {
+      map_lock.unlock();
       UnblockWrites();
       (void)AbandonMigration("");
       return saved;
@@ -1549,6 +1583,7 @@ Result<Json> ShardManager::RebalanceCellsInner(const std::vector<int>& cells,
     RebuildReverseMapsLocked();
     migration_.phase = "commit";
   }
+  map_lock.unlock();
   UnblockWrites();
 
   // Phase 5 — commit markers + GC. The migration is committed; everything
@@ -2129,8 +2164,11 @@ Status ShardManager::RecoverShardInner(int shard) {
   if (shard < 0 || shard >= shard_count()) {
     return Status::InvalidArgument("shard index out of range");
   }
-  // Serialized with broadcasts so the reconciliation pass below sees a
-  // stable fleet (broadcast_mutex_ before slots_mutex_, never the reverse).
+  // Ticketed (the reconciliation pass below mutates shard engines and must
+  // be drainable by the cutover / fence write gate), then serialized with
+  // broadcasts so that pass sees a stable fleet (ticket before
+  // broadcast_mutex_ before slots_mutex_, never the reverse).
+  WriteTicket ticket(this);
   std::lock_guard<std::mutex> block(broadcast_mutex_);
   std::string base_path;
   {
@@ -2226,11 +2264,15 @@ bool ShardManager::PromotionHookOk(const char* phase, int shard) const {
 Status ShardManager::CommitPromotionToShardMap(int shard, int64_t new_epoch,
                                                int new_primary_index) {
   if (options_.base_path.empty()) return Status::OK();
+  // shard_map_mutex_ first (it orders before slots_mutex_): the mutex both
+  // serializes this write against a concurrent rebalance cutover's and
+  // pins the cell snapshot below to the cutover's write-then-flip critical
+  // section, so the map this promotion persists can never carry a cell
+  // ownership the cutover already superseded on disk.
+  std::lock_guard<std::mutex> map_lock(shard_map_mutex_);
   std::vector<int> cell_map;
   std::vector<std::array<int64_t, 3>> relocs;
   std::vector<int64_t> committed;
-  std::vector<int64_t> epochs;
-  std::vector<int> primaries;
   {
     std::lock_guard<std::mutex> lock(slots_mutex_);
     cell_map = cell_to_shard_;
@@ -2239,14 +2281,20 @@ Status ShardManager::CommitPromotionToShardMap(int shard, int64_t new_epoch,
     }
     committed.assign(committed_migrations_.begin(),
                      committed_migrations_.end());
-    for (const Slot& slot : slots_) {
-      epochs.push_back(slot.epoch);
-      primaries.push_back(slot.primary_index);
-    }
   }
-  epochs[static_cast<size_t>(shard)] = new_epoch;
-  primaries[static_cast<size_t>(shard)] = new_primary_index;
-  return WriteShardMapFile(cell_map, relocs, committed, epochs, primaries);
+  const int64_t prev_epoch = persisted_epochs_[static_cast<size_t>(shard)];
+  const int prev_primary = persisted_primaries_[static_cast<size_t>(shard)];
+  persisted_epochs_[static_cast<size_t>(shard)] = new_epoch;
+  persisted_primaries_[static_cast<size_t>(shard)] = new_primary_index;
+  Status written = WriteShardMapLocked(cell_map, relocs, committed);
+  if (!written.ok()) {
+    // The file kept its old contents; the in-memory persisted state must
+    // agree, or a later (unrelated) map write would durably promote a
+    // replica that was never flipped to.
+    persisted_epochs_[static_cast<size_t>(shard)] = prev_epoch;
+    persisted_primaries_[static_cast<size_t>(shard)] = prev_primary;
+  }
+  return written;
 }
 
 Result<Json> ShardManager::PromoteShard(int shard) {

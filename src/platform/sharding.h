@@ -508,16 +508,22 @@ class ShardManager {
   /// crash). Caller holds broadcast_mutex_.
   bool BroadcastHookOk(const char* phase, int shard) const;
 
-  /// Reconciliation + consistency check bodies; caller holds
-  /// broadcast_mutex_.
+  /// Reconciliation + consistency check bodies; caller holds a WriteTicket
+  /// (reconciliation mutates shard engines — rollback sweeps, forward
+  /// re-applies — and the cutover/fence write gate must be able to drain
+  /// it) and then broadcast_mutex_, in that order.
   Result<Json> ReconcileLocked();
   Status VerifyConsistencyLocked(Json* detail) const;
 
   // --- Rebalancing internals ---
 
-  /// RAII write ticket: routed writes hold one across route + insert so a
-  /// cutover (which flips the routing) can wait the in-flight writes out
-  /// instead of racing them.
+  /// RAII write ticket: every engine-mutating ShardManager path (routed
+  /// writes, classification broadcasts, reconciliation, foreign-row
+  /// sweeps) holds one so a cutover (which flips the routing) or a
+  /// promotion fence (which raises the epoch gate) can wait the in-flight
+  /// mutations out instead of racing them. Acquired before
+  /// broadcast_mutex_, never inside it — and never nested: a holder that
+  /// re-acquired while BlockWrites waits would deadlock the barrier.
   class WriteTicket {
    public:
     explicit WriteTicket(const ShardManager* mgr);
@@ -562,8 +568,11 @@ class ShardManager {
 
   /// Deletes every row on `shard` whose cell the current shard map assigns
   /// to a different shard, then recomputes the shard's FOV margin — the GC
-  /// half of forward recovery and the undo half of rollback.
+  /// half of forward recovery and the undo half of rollback. The public
+  /// entry acquires a WriteTicket; the Ticketed body is for callers
+  /// (ReconcileLocked) already holding one.
   Status SweepForeignRows(int shard);
+  Status SweepForeignRowsTicketed(int shard);
 
   /// Recomputes `shard`'s cells bounding box from cell_to_shard_. Caller
   /// holds slots_mutex_.
@@ -576,19 +585,23 @@ class ShardManager {
 
   std::string ShardMapPath() const;
 
-  /// Atomically persists the given post-cutover shard map — the durable
-  /// commit point of a migration or a promotion. Besides cell ownership it
-  /// carries each shard's fencing epoch and primary copy index. No locks
-  /// held; the caller passes consistent snapshots.
-  Status WriteShardMapFile(const std::vector<int>& cell_map,
-                           const std::vector<std::array<int64_t, 3>>& relocs,
-                           const std::vector<int64_t>& committed,
-                           const std::vector<int64_t>& epochs,
-                           const std::vector<int>& primaries);
+  /// Atomically persists the given post-cutover cell map together with the
+  /// persisted per-shard fencing epochs / primary copy indices — the
+  /// durable commit point of a migration or a promotion. Caller holds
+  /// shard_map_mutex_ (the single serialization point for every
+  /// shard_map.json write; epochs and primaries are always sourced from
+  /// persisted_epochs_ / persisted_primaries_ at write time, so a
+  /// concurrent writer can never regress another shard's committed
+  /// promotion).
+  Status WriteShardMapLocked(const std::vector<int>& cell_map,
+                             const std::vector<std::array<int64_t, 3>>& relocs,
+                             const std::vector<int64_t>& committed);
 
-  /// Snapshots the current shard map state under slots_mutex_ and writes
-  /// it with `epochs[shard]` / `primaries[shard]` overridden — the
-  /// promotion commit point.
+  /// Snapshots the current cell state under slots_mutex_, then (under
+  /// shard_map_mutex_) bumps `shard`'s persisted epoch / primary and writes
+  /// the map — the promotion commit point. The persisted vectors are
+  /// reverted if the write fails, so an aborted promotion cannot flip a
+  /// later restart onto an unpromoted replica.
   Status CommitPromotionToShardMap(int shard, int64_t new_epoch,
                                    int new_primary_index);
 
@@ -638,7 +651,22 @@ class ShardManager {
   /// shard_map.json) — the evidence recovery rolls forward on. Guarded by
   /// slots_mutex_.
   std::unordered_set<int64_t> committed_migrations_;
-  int64_t shard_map_version_ = 0;  ///< guarded by slots_mutex_
+
+  /// Serializes every shard_map.json write (promotion commits and
+  /// rebalance cutovers would otherwise interleave and regress each
+  /// other's persisted state). The rebalance cutover holds it across the
+  /// file write AND the in-memory routing flip so a concurrent promotion's
+  /// map write cannot snapshot the pre-flip cell map after the cutover
+  /// committed. Ordered before slots_mutex_, never inside it.
+  mutable std::mutex shard_map_mutex_;
+  int64_t shard_map_version_ = 0;  ///< guarded by shard_map_mutex_
+  /// Per-shard fencing epoch / primary copy index as last durably written
+  /// to shard_map.json (seeded from boot_epochs_ / boot_primaries_ at
+  /// Create). Authoritative for map writes: slots_ lag behind between a
+  /// promotion's commit point (phase 4) and its in-memory flip (phase 6).
+  /// Guarded by shard_map_mutex_.
+  std::vector<int64_t> persisted_epochs_;
+  std::vector<int> persisted_primaries_;
 
   /// The cutover write gate (leaf lock; never held across engine calls).
   mutable std::mutex gate_mutex_;

@@ -113,6 +113,8 @@ Result<DurableCatalog> DurableCatalog::Open(const std::string& base_path,
         break;
       case WalRecordType::kInsert:
       case WalRecordType::kDelete:
+      case WalRecordType::kEpochInsert:  // Decode normalizes; unreachable
+      case WalRecordType::kEpochDelete:
         return Status::IOError("row-mutation record in the broadcast log");
     }
     dc.max_broadcast_id_ = std::max(dc.max_broadcast_id_, rec.broadcast_id);
@@ -286,6 +288,8 @@ Status DurableCatalog::AppendBroadcast(const WalRecord& record) {
       break;
     case WalRecordType::kInsert:
     case WalRecordType::kDelete:
+    case WalRecordType::kEpochInsert:
+    case WalRecordType::kEpochDelete:
       break;  // rejected above
   }
   max_broadcast_id_ = std::max(max_broadcast_id_, record.broadcast_id);

@@ -79,19 +79,31 @@ WalRecord WalRecord::MigrationAbort(int64_t migration_id) {
 
 std::vector<uint8_t> WalRecord::Encode() const {
   BinaryWriter w;
-  w.WriteU8(static_cast<uint8_t>(type));
-  switch (type) {
+  // The tag doubles as the format version: mutations stamped with a
+  // non-zero fencing epoch take the kEpoch* tags (legacy layout + trailing
+  // epoch), epoch-0 mutations keep the pre-replication tags and layout so
+  // old and new logs interleave freely.
+  WalRecordType wire = type;
+  if (epoch != 0 && type == WalRecordType::kInsert) {
+    wire = WalRecordType::kEpochInsert;
+  } else if (epoch != 0 && type == WalRecordType::kDelete) {
+    wire = WalRecordType::kEpochDelete;
+  }
+  w.WriteU8(static_cast<uint8_t>(wire));
+  switch (wire) {
     case WalRecordType::kInsert:
+    case WalRecordType::kEpochInsert:
       w.WriteString(table);
       w.WriteI64(row_id);
-      w.WriteI64(epoch);
+      if (wire == WalRecordType::kEpochInsert) w.WriteI64(epoch);
       w.WriteU32(static_cast<uint32_t>(values.size()));
       for (const Value& v : values) w.WriteValue(v);
       break;
     case WalRecordType::kDelete:
+    case WalRecordType::kEpochDelete:
       w.WriteString(table);
       w.WriteI64(row_id);
-      w.WriteI64(epoch);
+      if (wire == WalRecordType::kEpochDelete) w.WriteI64(epoch);
       break;
     case WalRecordType::kBroadcastIntent:
     case WalRecordType::kMigrationIntent:
@@ -115,15 +127,22 @@ Result<WalRecord> WalRecord::Decode(const std::vector<uint8_t>& payload) {
   BinaryReader r(payload);
   WalRecord rec;
   TVDP_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
-  if (tag > static_cast<uint8_t>(WalRecordType::kMigrationAbort)) {
+  if (tag > static_cast<uint8_t>(WalRecordType::kEpochDelete)) {
     return Status::IOError("unknown WAL record type " + std::to_string(tag));
   }
-  rec.type = static_cast<WalRecordType>(tag);
-  switch (rec.type) {
-    case WalRecordType::kInsert: {
+  const WalRecordType wire = static_cast<WalRecordType>(tag);
+  rec.type = wire;
+  switch (wire) {
+    case WalRecordType::kInsert:
+    case WalRecordType::kEpochInsert: {
+      // Legacy tag 0 has no epoch bytes (rec.epoch stays 0); the stamped
+      // tag normalizes back to kInsert so consumers see one record kind.
+      rec.type = WalRecordType::kInsert;
       TVDP_ASSIGN_OR_RETURN(rec.table, r.ReadString());
       TVDP_ASSIGN_OR_RETURN(rec.row_id, r.ReadI64());
-      TVDP_ASSIGN_OR_RETURN(rec.epoch, r.ReadI64());
+      if (wire == WalRecordType::kEpochInsert) {
+        TVDP_ASSIGN_OR_RETURN(rec.epoch, r.ReadI64());
+      }
       TVDP_ASSIGN_OR_RETURN(uint32_t arity, r.ReadU32());
       TVDP_RETURN_IF_ERROR(r.Need(arity));  // each value is >= 1 tag byte
       rec.values.reserve(arity);
@@ -133,10 +152,14 @@ Result<WalRecord> WalRecord::Decode(const std::vector<uint8_t>& payload) {
       }
       break;
     }
-    case WalRecordType::kDelete: {
+    case WalRecordType::kDelete:
+    case WalRecordType::kEpochDelete: {
+      rec.type = WalRecordType::kDelete;
       TVDP_ASSIGN_OR_RETURN(rec.table, r.ReadString());
       TVDP_ASSIGN_OR_RETURN(rec.row_id, r.ReadI64());
-      TVDP_ASSIGN_OR_RETURN(rec.epoch, r.ReadI64());
+      if (wire == WalRecordType::kEpochDelete) {
+        TVDP_ASSIGN_OR_RETURN(rec.epoch, r.ReadI64());
+      }
       break;
     }
     case WalRecordType::kBroadcastIntent:

@@ -32,6 +32,14 @@ enum class WalRecordType : uint8_t {
   kMigrationIntent = 5,
   kMigrationCommit = 6,
   kMigrationAbort = 7,
+  /// Epoch-stamped variants of kInsert/kDelete: identical layout plus a
+  /// trailing i64 fencing epoch. The record-type tag doubles as the format
+  /// version, so logs written before replication existed (tags 0/4, no
+  /// epoch field) keep decoding byte-for-byte: Encode emits the stamped tag
+  /// only when epoch != 0, and Decode normalizes it back to kInsert/kDelete
+  /// with `epoch` set — consumers never see these tags.
+  kEpochInsert = 8,
+  kEpochDelete = 9,
 };
 
 /// One logged record. For `kInsert`: a row inserted into `table` with its
@@ -49,7 +57,9 @@ struct WalRecord {
   /// kDelete only; 0 = unreplicated). A replica applying shipped records
   /// rejects any record stamped with an epoch older than its own — the
   /// split-brain guard after a failover (DESIGN.md "Replication, failover,
-  /// and fencing").
+  /// and fencing"). Epoch 0 records use the legacy tag-0/tag-4 encoding
+  /// (no epoch bytes), so a log written before replication — or by a
+  /// never-promoted fleet — is byte-identical and decodes unchanged.
   int64_t epoch = 0;
 
   WalRecordType type = WalRecordType::kInsert;

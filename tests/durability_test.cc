@@ -12,6 +12,7 @@
 #include "common/file.h"
 #include "platform/tvdp.h"
 #include "storage/durable_catalog.h"
+#include "storage/serializer.h"
 #include "storage/tvdp_schema.h"
 #include "storage/wal.h"
 
@@ -320,6 +321,83 @@ TEST_F(DurabilityTest, WalRejectsBitFlippedRecords) {
     ASSERT_TRUE(recovery.ok());
     EXPECT_EQ(recovery->records.size(), 0u) << "flip at " << pos;
   }
+}
+
+TEST_F(DurabilityTest, WalDecodesPreReplicationRecordsWithEpochZero) {
+  const std::string path = Path("legacy.wal");
+  // Hand-frame two mutations in the pre-replication layout (tags 0/4, no
+  // epoch bytes) — the format every WAL written before replication holds.
+  storage::BinaryWriter insert;
+  insert.WriteU8(0);  // pre-replication kInsert
+  insert.WriteString("items");
+  insert.WriteI64(7);
+  insert.WriteU32(2);
+  insert.WriteValue(Value(std::string("legacy")));
+  insert.WriteValue(Value(static_cast<int64_t>(42)));
+  storage::BinaryWriter del;
+  del.WriteU8(4);  // pre-replication kDelete
+  del.WriteString("items");
+  del.WriteI64(7);
+
+  storage::BinaryWriter file;
+  for (const std::vector<uint8_t>* payload :
+       {&insert.buffer(), &del.buffer()}) {
+    file.WriteU32(static_cast<uint32_t>(payload->size()));
+    file.WriteU32(Crc32c(*payload));
+    for (uint8_t b : *payload) file.WriteU8(b);
+  }
+  auto out = Fs::Default()->OpenWritable(path, /*truncate=*/true);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE((*out)->Append(file.buffer()).ok());
+  ASSERT_TRUE((*out)->Close().ok());
+
+  // The whole legacy log decodes with epoch 0 — none of it is mistaken for
+  // corruption and truncated away.
+  auto recovery = storage::Wal::Recover(Fs::Default(), path);
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_EQ(recovery->dropped_bytes, 0u);
+  ASSERT_EQ(recovery->records.size(), 2u);
+  const storage::WalRecord& ins = recovery->records[0];
+  EXPECT_EQ(ins.type, storage::WalRecordType::kInsert);
+  EXPECT_EQ(ins.table, "items");
+  EXPECT_EQ(ins.row_id, 7);
+  EXPECT_EQ(ins.epoch, 0);
+  ASSERT_EQ(ins.values.size(), 2u);
+  EXPECT_EQ(ins.values[0].AsString(), "legacy");
+  EXPECT_EQ(ins.values[1].AsInt64(), 42);
+  EXPECT_EQ(recovery->records[1].type, storage::WalRecordType::kDelete);
+  EXPECT_EQ(recovery->records[1].epoch, 0);
+
+  // And epoch-0 mutations still encode in exactly that layout, so an
+  // unreplicated deployment's log stays byte-identical to the old format.
+  storage::WalRecord ins_rec{"items", 7, ItemRow("legacy", 42)};
+  EXPECT_EQ(ins_rec.Encode(), insert.buffer());
+  EXPECT_EQ(storage::WalRecord::Delete("items", 7).Encode(), del.buffer());
+}
+
+TEST_F(DurabilityTest, WalEpochStampedRecordsRoundTrip) {
+  storage::WalRecord ins{"items", 9, ItemRow("stamped", 5)};
+  ins.epoch = 3;
+  auto decoded = storage::WalRecord::Decode(ins.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  // Decode normalizes the stamped wire tag back to the plain record kind.
+  EXPECT_EQ(decoded->type, storage::WalRecordType::kInsert);
+  EXPECT_EQ(decoded->epoch, 3);
+  EXPECT_EQ(decoded->table, "items");
+  EXPECT_EQ(decoded->row_id, 9);
+  ASSERT_EQ(decoded->values.size(), 2u);
+  EXPECT_EQ(decoded->values[0].AsString(), "stamped");
+
+  storage::WalRecord del = storage::WalRecord::Delete("items", 9);
+  del.epoch = 12;
+  // The stamped encoding carries a distinct tag, so a pre-replication
+  // reader fails loudly (unknown type) instead of silently misparsing.
+  EXPECT_EQ(del.Encode()[0],
+            static_cast<uint8_t>(storage::WalRecordType::kEpochDelete));
+  auto ddecoded = storage::WalRecord::Decode(del.Encode());
+  ASSERT_TRUE(ddecoded.ok()) << ddecoded.status();
+  EXPECT_EQ(ddecoded->type, storage::WalRecordType::kDelete);
+  EXPECT_EQ(ddecoded->epoch, 12);
 }
 
 // ---------- DurableCatalog ----------

@@ -204,6 +204,35 @@ TEST(ReplicationUnitTest, StaleEpochCapturesAreRejected) {
   EXPECT_EQ(set.applied_records(0), 0u);
 }
 
+TEST(ReplicationUnitTest, AppliedCountersSkipAlreadyAppliedRecords) {
+  auto created = Tvdp::Create();
+  ASSERT_TRUE(created.ok());
+  auto primary = std::make_shared<Tvdp>(std::move(*created));
+  ImageRecord rec;
+  rec.uri = "pre";
+  rec.location = CellZeroPoint();
+  ASSERT_TRUE(primary->IngestImage(rec).ok());
+
+  ReplicaSet set(/*shard=*/0, /*epoch=*/0);
+  ASSERT_TRUE(set.Attach(primary, {""}, storage::DurableCatalogOptions{},
+                         SyncLevel::kSync)
+                  .ok());
+  const uint64_t bootstrapped = set.applied_records(0);
+  EXPECT_GT(bootstrapped, 0u);
+
+  // Re-applying the bootstrap snapshot (the WAL-tail overlap a promotion
+  // produces) applies nothing new, so the caught-up counter the election
+  // compares must not move — it counts applied records, not shipped ones.
+  ASSERT_TRUE(set.ApplyToLive(primary->SnapshotRecords()).ok());
+  EXPECT_EQ(set.applied_records(0), bootstrapped);
+
+  // Genuinely new records still advance it.
+  rec.uri = "fresh";
+  ASSERT_TRUE(primary->IngestImage(rec).ok());
+  ASSERT_TRUE(set.Ship().ok());
+  EXPECT_GT(set.applied_records(0), bootstrapped);
+}
+
 // ---------------------------------------------------------------------
 // Shipping basics: sync replicas stay caught up, async lag is bounded.
 // ---------------------------------------------------------------------
@@ -738,6 +767,85 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------
+// Interlock: the shard map has one serialized writer. A rebalance that
+// lands between a promotion's durable commit (phase 4) and its in-memory
+// flip (phase 6) must persist the promoted epoch/primary, not the stale
+// slot values — or a restart would reopen the deposed primary as primary
+// and drop its acked writes.
+// ---------------------------------------------------------------------
+
+TEST(ReplicationInterlockTest, RebalanceDuringPromotionCannotRegressShardMap) {
+  std::string dir = ::testing::TempDir() + "tvdp_repmapXXXXXX";
+  ASSERT_NE(mkdtemp(dir.data()), nullptr);
+  ShardManagerOptions opts = ReplicatedOptions(3, 2, 3, 2);
+  opts.base_path = dir;
+
+  std::set<std::string> oracle;
+  std::vector<int> owners_before;
+  {
+    auto m = ShardManager::Create(opts);
+    ASSERT_TRUE(m.ok()) << m.status();
+    ShardManager& mgr = **m;
+    BuildSmallCorpus(mgr);
+    auto baseline = mgr.ExecuteQuery(CityQuery());
+    ASSERT_TRUE(baseline.ok());
+    oracle = UrisOf(mgr, baseline->hits);
+    ASSERT_EQ(oracle.size(), static_cast<size_t>(kSmall));
+
+    // At shard 0's fence — after its shard-map commit, before its slot
+    // epoch rises — rebalance a cell between the two OTHER shards. The
+    // rebalance rewrites the whole shard map mid-promotion.
+    std::atomic<bool> rebalanced{false};
+    mgr.SetPromotionHook([&](const std::string& phase, int shard) {
+      if (phase == "fence" && shard == 0 && !rebalanced.exchange(true)) {
+        auto moved = mgr.RebalanceCells({1}, /*source=*/1, /*target=*/2);
+        EXPECT_TRUE(moved.ok()) << moved.status();
+      }
+      return true;
+    });
+    auto promoted = mgr.PromoteShard(0);
+    ASSERT_TRUE(promoted.ok()) << promoted.status();
+    ASSERT_TRUE(rebalanced.load());
+    EXPECT_EQ(mgr.shard_epoch(0), 1);
+    EXPECT_EQ(mgr.shard_primary_index(0), 1);
+    for (int i = 0; i < kSmall; ++i) {
+      int row = i / 10, col = i % 10;
+      owners_before.push_back(mgr.ShardForLocation(
+          {34.00 + row * 0.009, -118.30 + col * 0.0095}));
+    }
+  }
+
+  // Restart from durable state alone: both the promotion and the rebalance
+  // survive, in full — neither map write clobbered the other.
+  auto m = ShardManager::Create(opts);
+  ASSERT_TRUE(m.ok()) << m.status();
+  ShardManager& mgr = **m;
+  EXPECT_EQ(mgr.shard_epoch(0), 1);
+  EXPECT_EQ(mgr.shard_primary_index(0), 1);
+  std::vector<int> owners_after;
+  for (int i = 0; i < kSmall; ++i) {
+    int row = i / 10, col = i % 10;
+    owners_after.push_back(mgr.ShardForLocation(
+        {34.00 + row * 0.009, -118.30 + col * 0.0095}));
+  }
+  EXPECT_EQ(owners_after, owners_before);
+
+  auto r = mgr.ExecuteQuery(CityQuery());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->coverage.complete()) << r->coverage.ToJson().Dump();
+  EXPECT_EQ(UrisOf(mgr, r->hits), oracle);
+
+  // The promoted shard keeps taking writes under its new epoch.
+  ImageRecord rec;
+  rec.uri = "post_restart";
+  rec.location = CellZeroPoint();
+  rec.keywords = {"city"};
+  ASSERT_TRUE(mgr.IngestImage(rec).ok());
+  std::string cleanup = "rm -rf '" + dir + "'";
+  (void)std::system(cleanup.c_str());
+}
+
+// ---------------------------------------------------------------------
 // Stress: concurrent writers + queries vs. a rolling promotion churn
 // (the tier-1 ReplicationStress.{asan,tsan} targets run this suite).
 // ---------------------------------------------------------------------
@@ -792,6 +900,21 @@ TEST(ReplicationStressTest, WritesAndQueriesStayExactUnderPromotionChurn) {
     });
   }
 
+  // Broadcast thread: classification registration mutates every engine
+  // without a per-row write path, so it must ride the write gate — a
+  // fence landing between its per-shard applies would strand a write on
+  // the deposed primary. Bounded iterations; no done check (it must run
+  // its full course even if the churn finishes first).
+  constexpr int kBroadcasts = 12;
+  threads.emplace_back([&] {
+    for (int i = 0; i < kBroadcasts; ++i) {
+      auto id = mgr.RegisterClassification("live_cls_" + std::to_string(i),
+                                           {"yes", "no"});
+      EXPECT_TRUE(id.ok()) << id.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
   // Rolling promotion churn: each shard fails over twice (factor 3 gives
   // two standby replicas), racing the write gate, the fencing epoch bump,
   // and the observer rebind against live traffic.
@@ -810,7 +933,9 @@ TEST(ReplicationStressTest, WritesAndQueriesStayExactUnderPromotionChurn) {
     EXPECT_EQ(mgr.shard_epoch(s), 2) << "shard " << s;
   }
 
-  // Quiesce: every acked write survived two failovers of its shard.
+  // Quiesce: every acked write survived two failovers of its shard, and
+  // every broadcast landed on every shard exactly once.
+  EXPECT_TRUE(mgr.VerifyClassificationConsistency().ok());
   EXPECT_EQ(mgr.image_count(),
             static_cast<size_t>(kCorpus) + ingested.load());
   auto final_city = mgr.ExecuteQuery(CityQuery());
