@@ -47,6 +47,20 @@ LshIndex::BucketKey LshIndex::Signature(const ml::FeatureVector& v, int table,
   return key;
 }
 
+std::shared_ptr<LshIndex> LshIndex::Clone() const {
+  auto out = std::make_shared<LshIndex>(dim_, options_);
+  // The constructor derives projections_/offsets_ from the seed; copy them
+  // anyway so a clone is bit-identical even if the derivation changes.
+  out->projections_ = projections_;
+  out->offsets_ = offsets_;
+  out->tables_ = tables_;
+  out->vectors_ = vectors_;
+  out->ids_ = ids_;
+  out->last_candidates_.store(last_candidates_.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+  return out;
+}
+
 Status LshIndex::Insert(const ml::FeatureVector& v, RecordId id) {
   if (v.size() != dim_) {
     return Status::InvalidArgument("vector dimensionality mismatch");

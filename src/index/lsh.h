@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -43,6 +44,12 @@ class LshIndex {
 
   /// Inserts a vector with its record id.
   Status Insert(const ml::FeatureVector& v, RecordId id);
+
+  /// Deep copy for MVCC snapshot publication (the atomic counter makes the
+  /// type non-copyable, so copies are explicit and heap-allocated — callers
+  /// hold them by shared_ptr across snapshot versions). Requires the same
+  /// external exclusion as Insert.
+  std::shared_ptr<LshIndex> Clone() const;
 
   /// Approximate top-k by L2 distance. Results are (id, distance) sorted
   /// ascending; may return fewer than k when buckets are sparse.

@@ -36,6 +36,15 @@ OrientedRTree& OrientedRTree::operator=(OrientedRTree&& other) noexcept {
   return *this;
 }
 
+OrientedRTree OrientedRTree::Clone() const {
+  OrientedRTree out(options_);
+  out.tree_ = tree_.Clone();
+  out.fovs_ = fovs_;
+  out.last_candidates_.store(last_candidates_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+  return out;
+}
+
 Status OrientedRTree::Insert(const geo::FieldOfView& fov, RecordId id) {
   geo::BoundingBox scene = fov.SceneLocation();
   if (scene.IsEmpty()) {

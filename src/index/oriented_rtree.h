@@ -57,6 +57,10 @@ class OrientedRTree {
   OrientedRTree(OrientedRTree&& other) noexcept;
   OrientedRTree& operator=(OrientedRTree&& other) noexcept;
 
+  /// Deep copy for MVCC snapshot publication; requires the same external
+  /// exclusion as Insert (the engine clones under its writer lock).
+  OrientedRTree Clone() const;
+
   /// Inserts an FOV with its record id.
   Status Insert(const geo::FieldOfView& fov, RecordId id);
 

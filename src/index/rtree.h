@@ -28,10 +28,14 @@ class RTree {
   RTree() : RTree(Options()) {}
   explicit RTree(Options options);
 
-  RTree(const RTree&) = delete;
   RTree& operator=(const RTree&) = delete;
   RTree(RTree&&) = default;
   RTree& operator=(RTree&&) = default;
+
+  /// Deep copy for MVCC snapshot publication. Copying is deliberately
+  /// spelled Clone() (the copy constructor stays deleted) so accidental
+  /// pass-by-value of a live index cannot compile.
+  RTree Clone() const { return RTree(*this); }
 
   /// Inserts a record with its (non-empty) bounding box.
   Status Insert(const geo::BoundingBox& box, RecordId id);
@@ -75,6 +79,9 @@ class RTree {
   bool CheckInvariants() const;
 
  private:
+  // Backs Clone() only; kept private so copies stay explicit.
+  RTree(const RTree& other) = default;
+
   struct Entry {
     geo::BoundingBox box;
     RecordId id = 0;        // valid in leaves

@@ -96,6 +96,20 @@ int VisualRTree::SplitNode(int node) {
   return sibling;
 }
 
+std::shared_ptr<VisualRTree> VisualRTree::Clone() const {
+  auto out = std::make_shared<VisualRTree>(dim_, options_);
+  out->nodes_ = nodes_;
+  out->root_ = root_;
+  out->size_ = size_;
+  out->features_ = features_;
+  out->locations_ = locations_;
+  out->ids_ = ids_;
+  out->last_nodes_visited_.store(
+      last_nodes_visited_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return out;
+}
+
 Status VisualRTree::Insert(const geo::GeoPoint& location,
                            const ml::FeatureVector& feature, RecordId id) {
   if (feature.size() != dim_) {

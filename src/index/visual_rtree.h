@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -40,6 +41,11 @@ class VisualRTree {
   /// Inserts a record with camera location and visual feature.
   Status Insert(const geo::GeoPoint& location, const ml::FeatureVector& feature,
                 RecordId id);
+
+  /// Deep copy for MVCC snapshot publication (the atomic counter makes the
+  /// type non-copyable, so copies are explicit and heap-allocated). Requires
+  /// the same external exclusion as Insert.
+  std::shared_ptr<VisualRTree> Clone() const;
 
   /// A scored result.
   struct Hit {

@@ -504,6 +504,7 @@ Result<Json> ApiService::PlatformStats(const Json&) const {
     out["shards"] = shards_->StatsJson();
   } else {
     out["images"] = platform_->image_count();
+    out["mvcc"] = platform_->MvccStats();
   }
   return out;
 }

@@ -1,8 +1,7 @@
 #include "platform/export.h"
 
-#include <shared_mutex>
-
 #include "common/strings.h"
+#include "query/snapshot.h"
 
 namespace tvdp::platform {
 namespace {
@@ -17,9 +16,7 @@ struct ImageMeta {
   std::string source;
 };
 
-Result<ImageMeta> FetchMeta(const Tvdp& tvdp, int64_t image_id) {
-  const storage::Table* images =
-      tvdp.catalog().GetTable(storage::tables::kImages);
+Result<ImageMeta> FetchMeta(const storage::Table* images, int64_t image_id) {
   if (!images) return Status::FailedPrecondition("images table missing");
   TVDP_ASSIGN_OR_RETURN(storage::Row row, images->Get(image_id));
   const storage::Schema& s = images->schema();
@@ -60,11 +57,14 @@ std::string CsvEscape(const std::string& field) {
 
 Result<std::string> ExportMetadataCsv(const Tvdp& tvdp,
                                       const std::vector<int64_t>& image_ids) {
-  std::shared_lock lock(tvdp.mutex());
+  // Lock-free: one pinned MVCC snapshot gives every row of the export the
+  // same consistent version.
+  query::SnapshotRef snap = tvdp.query().PinSnapshot();
+  const storage::Table* images = snap->FindTable(storage::tables::kImages);
   // RFC 4180 terminates every record (header included) with CRLF.
   std::string out = "id,uri,lat,lon,captured_at,uploaded_at,source\r\n";
   for (int64_t id : image_ids) {
-    TVDP_ASSIGN_OR_RETURN(ImageMeta meta, FetchMeta(tvdp, id));
+    TVDP_ASSIGN_OR_RETURN(ImageMeta meta, FetchMeta(images, id));
     out += StrFormat("%lld,%s,%.6f,%.6f,%s,%s,%s\r\n",
                      static_cast<long long>(meta.id),
                      CsvEscape(meta.uri).c_str(), meta.lat, meta.lon,
@@ -77,10 +77,11 @@ Result<std::string> ExportMetadataCsv(const Tvdp& tvdp,
 
 Result<Json> ExportGeoJson(const Tvdp& tvdp,
                            const std::vector<int64_t>& image_ids) {
-  std::shared_lock lock(tvdp.mutex());
+  query::SnapshotRef snap = tvdp.query().PinSnapshot();
+  const storage::Table* images = snap->FindTable(storage::tables::kImages);
   Json features = Json::MakeArray();
   for (int64_t id : image_ids) {
-    TVDP_ASSIGN_OR_RETURN(ImageMeta meta, FetchMeta(tvdp, id));
+    TVDP_ASSIGN_OR_RETURN(ImageMeta meta, FetchMeta(images, id));
     Json geometry = Json::MakeObject();
     geometry["type"] = "Point";
     Json coords = Json::MakeArray();

@@ -2620,6 +2620,7 @@ Json ShardManager::StatsJson() const {
                         : std::string("disabled"));
     }
     s["images"] = Json(tvdp ? tvdp->image_count() : 0);
+    if (tvdp) s["mvcc"] = tvdp->MvccStats();
     s["wal_bytes"] =
         Json(tvdp && tvdp->durable_catalog()
                  ? tvdp->durable_catalog()->wal_size_bytes()

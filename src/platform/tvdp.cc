@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <mutex>
-#include <shared_mutex>
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "query/executor.h"
+#include "storage/serializer.h"
 
 namespace tvdp::platform {
 
@@ -13,11 +14,63 @@ using storage::Row;
 using storage::Value;
 namespace tables = storage::tables;
 
+namespace {
+
+/// Publishes a new MVCC snapshot when the guarded mutation scope ends —
+/// success and error paths alike, so the published version never diverges
+/// from the live catalog (partial writes were already observable under the
+/// old locking scheme; now they become observable at publish). Declare it
+/// AFTER the writer lock: destructors run in reverse order, so the publish
+/// happens while the lock is still held.
+class CommitScope {
+ public:
+  explicit CommitScope(query::QueryEngine* engine,
+                       const query::ClassMap* class_map = nullptr)
+      : engine_(engine), class_map_(class_map) {}
+  CommitScope(const CommitScope&) = delete;
+  CommitScope& operator=(const CommitScope&) = delete;
+  ~CommitScope() {
+    if (class_map_) engine_->SetClassMapLocked(*class_map_);
+    engine_->PublishLocked();
+  }
+
+ private:
+  query::QueryEngine* engine_;
+  const query::ClassMap* class_map_;
+};
+
+}  // namespace
+
+Tvdp::Tvdp(Tvdp&& other) noexcept
+    : catalog_(std::move(other.catalog_)),
+      durable_(std::move(other.durable_)),
+      engine_(std::move(other.engine_)),
+      classifications_(std::move(other.classifications_)),
+      mutation_observer_(std::move(other.mutation_observer_)),
+      epoch_(other.epoch_.load(std::memory_order_relaxed)),
+      fenced_(other.fenced_.load(std::memory_order_relaxed)) {}
+
+Tvdp& Tvdp::operator=(Tvdp&& other) noexcept {
+  if (this != &other) {
+    catalog_ = std::move(other.catalog_);
+    durable_ = std::move(other.durable_);
+    engine_ = std::move(other.engine_);
+    classifications_ = std::move(other.classifications_);
+    mutation_observer_ = std::move(other.mutation_observer_);
+    epoch_.store(other.epoch_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    fenced_.store(other.fenced_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 Result<Tvdp> Tvdp::Create() {
   Tvdp t;
   TVDP_ASSIGN_OR_RETURN(storage::Catalog catalog, storage::MakeTvdpCatalog());
   t.catalog_ = std::make_unique<storage::Catalog>(std::move(catalog));
   t.engine_ = std::make_unique<query::QueryEngine>(t.catalog_.get());
+  t.engine_->EnableManagedSnapshots();
   return t;
 }
 
@@ -32,6 +85,7 @@ Result<Tvdp> Tvdp::Open(const std::string& base_path,
     TVDP_RETURN_IF_ERROR(t.durable_->Bootstrap(std::move(fresh)));
   }
   t.engine_ = std::make_unique<query::QueryEngine>(&t.durable_->catalog());
+  t.engine_->EnableManagedSnapshots();
   TVDP_RETURN_IF_ERROR(t.RebuildFromCatalog());
   return t;
 }
@@ -40,8 +94,10 @@ Status Tvdp::RebuildFromCatalog() {
   // Classification registry: name -> (id, label -> type id).
   TVDP_RETURN_IF_ERROR(RebuildClassificationsUnlocked());
 
-  // Query indexes: every image, then every stored feature vector.
+  // Query indexes: every image, then every stored feature vector. The
+  // rebuilt indexes, columnar columns and registry publish as one version.
   std::unique_lock lock(engine_->mutex());
+  CommitScope commit(engine_.get(), &classifications_);
   return ReindexAllLocked();
 }
 
@@ -91,13 +147,30 @@ Status Tvdp::ReindexAllLocked() {
                                                r[feat_idx].AsFloatVector());
     return index_status.ok();
   });
-  return index_status;
+  TVDP_RETURN_IF_ERROR(index_status);
+  // Columnar annotation hot columns (IndexImageLocked mirrors the images
+  // table; annotations have no index, only the column mirror).
+  const storage::Table* ann = cat.GetTable(tables::kImageContentAnnotation);
+  if (ann) {
+    const storage::Schema& as = ann->schema();
+    size_t a_img = static_cast<size_t>(as.ColumnIndex("image_id"));
+    size_t a_type = static_cast<size_t>(as.ColumnIndex("type_id"));
+    size_t a_conf = static_cast<size_t>(as.ColumnIndex("confidence"));
+    size_t a_src = static_cast<size_t>(as.ColumnIndex("annotation_source"));
+    ann->ForEach([&](const Row& r) {
+      engine_->NoteAnnotationLocked(r[a_img].AsInt64(), r[a_type].AsInt64(),
+                                    r[a_conf].AsDouble(), r[a_src].AsString());
+      return true;
+    });
+  }
+  return Status::OK();
 }
 
 Result<int64_t> Tvdp::InsertRow(const std::string& table, storage::Row row) {
-  if (fenced_) {
+  if (fenced_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition(
-        "engine is fenced (stale primary, epoch " + std::to_string(epoch_) +
+        "engine is fenced (stale primary, epoch " +
+        std::to_string(epoch_.load(std::memory_order_relaxed)) +
         "): write rejected");
   }
   storage::Row observed;
@@ -105,18 +178,20 @@ Result<int64_t> Tvdp::InsertRow(const std::string& table, storage::Row row) {
   TVDP_ASSIGN_OR_RETURN(int64_t id,
                         durable_ ? durable_->Insert(table, std::move(row))
                                  : catalog_->Insert(table, std::move(row)));
+  engine_->MarkTableDirtyLocked(table);
   if (mutation_observer_) {
     storage::WalRecord record{table, id, std::move(observed)};
-    record.epoch = epoch_;
+    record.epoch = epoch_.load(std::memory_order_relaxed);
     mutation_observer_(record);
   }
   return id;
 }
 
 Status Tvdp::DeleteRow(const std::string& table, storage::RowId id) {
-  if (fenced_) {
+  if (fenced_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition(
-        "engine is fenced (stale primary, epoch " + std::to_string(epoch_) +
+        "engine is fenced (stale primary, epoch " +
+        std::to_string(epoch_.load(std::memory_order_relaxed)) +
         "): write rejected");
   }
   if (durable_) {
@@ -126,9 +201,10 @@ Status Tvdp::DeleteRow(const std::string& table, storage::RowId id) {
     if (!t) return Status::NotFound("no such table: " + table);
     TVDP_RETURN_IF_ERROR(t->Delete(id));
   }
+  engine_->MarkTableDirtyLocked(table);
   if (mutation_observer_) {
     storage::WalRecord record = storage::WalRecord::Delete(table, id);
-    record.epoch = epoch_;
+    record.epoch = epoch_.load(std::memory_order_relaxed);
     mutation_observer_(record);
   }
   return Status::OK();
@@ -138,11 +214,12 @@ Result<int64_t> Tvdp::IngestImage(const ImageRecord& record) {
   if (!geo::IsValid(record.location)) {
     return Status::InvalidArgument("invalid image location");
   }
-  // Writer: the catalog rows and the index entries of one image become
-  // visible atomically — a concurrent query never sees a half-ingested
+  // Writer: the catalog rows and the index entries of one image publish as
+  // one snapshot version — a concurrent query never sees a half-ingested
   // image. The durable catalog's own lock nests inside (engine -> durable;
   // never the reverse).
   std::unique_lock lock(engine_->mutex());
+  CommitScope commit(engine_.get());
   Row image_row{
       Value(record.uri),
       Value(record.location.lat),
@@ -200,6 +277,7 @@ Result<int64_t> Tvdp::RegisterClassification(
   if (labels.empty()) return Status::InvalidArgument("no labels given");
 
   std::unique_lock lock(engine_->mutex());
+  CommitScope commit(engine_.get(), &classifications_);
   auto it = classifications_.find(name);
   if (it == classifications_.end()) {
     TVDP_ASSIGN_OR_RETURN(
@@ -225,29 +303,29 @@ Result<int64_t> Tvdp::RegisterClassification(
 }
 
 Result<int64_t> Tvdp::ClassificationId(const std::string& name) const {
-  std::shared_lock lock(engine_->mutex());
-  auto it = classifications_.find(name);
-  if (it == classifications_.end()) {
+  query::SnapshotRef snap = engine_->PinSnapshot();
+  auto it = snap->classifications->find(name);
+  if (it == snap->classifications->end()) {
     return Status::NotFound("unregistered classification: " + name);
   }
   return it->second.first;
 }
 
 Result<int64_t> Tvdp::PeekClassificationId(const std::string& name) const {
-  std::shared_lock lock(engine_->mutex());
-  auto it = classifications_.find(name);
-  if (it != classifications_.end()) return it->second.first;
+  query::SnapshotRef snap = engine_->PinSnapshot();
+  auto it = snap->classifications->find(name);
+  if (it != snap->classifications->end()) return it->second.first;
   const storage::Table* cls =
-      catalog().GetTable(tables::kImageContentClassification);
+      snap->FindTable(tables::kImageContentClassification);
   if (!cls) return Status::Internal("catalog is missing the TVDP schema");
   return cls->next_id();
 }
 
 bool Tvdp::ClassificationApplied(
     const std::string& name, const std::vector<std::string>& labels) const {
-  std::shared_lock lock(engine_->mutex());
-  auto it = classifications_.find(name);
-  if (it == classifications_.end()) return false;
+  query::SnapshotRef snap = engine_->PinSnapshot();
+  auto it = snap->classifications->find(name);
+  if (it == snap->classifications->end()) return false;
   for (const std::string& label : labels) {
     if (!it->second.second.count(label)) return false;
   }
@@ -255,9 +333,9 @@ bool Tvdp::ClassificationApplied(
 }
 
 Json Tvdp::ClassificationTableJson() const {
-  std::shared_lock lock(engine_->mutex());
+  query::SnapshotRef snap = engine_->PinSnapshot();
   Json out = Json::MakeObject();
-  for (const auto& [name, entry] : classifications_) {
+  for (const auto& [name, entry] : *snap->classifications) {
     Json cls = Json::MakeObject();
     cls["id"] = Json(entry.first);
     Json labels = Json::MakeObject();
@@ -271,8 +349,8 @@ Json Tvdp::ClassificationTableJson() const {
 }
 
 double Tvdp::MaxFovRadiusM() const {
-  std::shared_lock lock(engine_->mutex());
-  const storage::Table* fov = catalog().GetTable(tables::kImageFov);
+  query::SnapshotRef snap = engine_->PinSnapshot();
+  const storage::Table* fov = snap->FindTable(tables::kImageFov);
   if (!fov) return 0;
   const storage::Schema& s = fov->schema();
   size_t radius_idx = static_cast<size_t>(s.ColumnIndex("radius_m"));
@@ -287,6 +365,7 @@ double Tvdp::MaxFovRadiusM() const {
 Result<int64_t> Tvdp::AnnotateImage(int64_t image_id,
                                     const AnnotationRecord& annotation) {
   std::unique_lock lock(engine_->mutex());
+  CommitScope commit(engine_.get());
   auto cls_it = classifications_.find(annotation.classification);
   if (cls_it == classifications_.end()) {
     return Status::NotFound("unregistered classification: " +
@@ -309,13 +388,20 @@ Result<int64_t> Tvdp::AnnotateImage(int64_t image_id,
           annotation.region ? Value(int64_t{(*annotation.region)[1]}) : Value(),
           annotation.region ? Value(int64_t{(*annotation.region)[2]}) : Value(),
           annotation.region ? Value(int64_t{(*annotation.region)[3]}) : Value()};
-  return InsertRow(tables::kImageContentAnnotation, std::move(row));
+  TVDP_ASSIGN_OR_RETURN(
+      int64_t ann_id,
+      InsertRow(tables::kImageContentAnnotation, std::move(row)));
+  engine_->NoteAnnotationLocked(image_id, label_it->second,
+                                annotation.confidence,
+                                annotation.machine ? "machine" : "manual");
+  return ann_id;
 }
 
 Status Tvdp::StoreFeature(int64_t image_id, const std::string& kind,
                           const ml::FeatureVector& feature) {
   if (feature.empty()) return Status::InvalidArgument("empty feature");
   std::unique_lock lock(engine_->mutex());
+  CommitScope commit(engine_.get());
   TVDP_RETURN_IF_ERROR(
       InsertRow(tables::kImageVisualFeatures,
                 Row{Value(image_id), Value(kind),
@@ -335,15 +421,17 @@ Result<query::QueryPlan> Tvdp::ExplainQuery(
   return engine_->Explain(q, budget);
 }
 
+Json Tvdp::MvccStats() const { return engine_->MvccStatsJson(); }
+
 size_t Tvdp::image_count() const {
-  std::shared_lock lock(engine_->mutex());
-  const storage::Table* t = catalog().GetTable(tables::kImages);
+  query::SnapshotRef snap = engine_->PinSnapshot();
+  const storage::Table* t = snap->FindTable(tables::kImages);
   return t ? t->size() : 0;
 }
 
 Result<Json> Tvdp::ImageRowJson(int64_t image_id) const {
-  std::shared_lock lock(engine_->mutex());
-  const storage::Table* images = catalog().GetTable(tables::kImages);
+  query::SnapshotRef snap = engine_->PinSnapshot();
+  const storage::Table* images = snap->FindTable(tables::kImages);
   const storage::Schema& s = images->schema();
   TVDP_ASSIGN_OR_RETURN(Row row, images->Get(image_id));
   Json r = Json::MakeObject();
@@ -359,13 +447,13 @@ Result<Json> Tvdp::ImageRowJson(int64_t image_id) const {
 
 Result<std::string> Tvdp::GetLabel(int64_t image_id,
                                    const std::string& classification) const {
-  std::shared_lock lock(engine_->mutex());
-  auto cls_it = classifications_.find(classification);
-  if (cls_it == classifications_.end()) {
+  query::SnapshotRef snap = engine_->PinSnapshot();
+  auto cls_it = snap->classifications->find(classification);
+  if (cls_it == snap->classifications->end()) {
     return Status::NotFound("unregistered classification: " + classification);
   }
   const storage::Table* ann =
-      catalog().GetTable(tables::kImageContentAnnotation);
+      snap->FindTable(tables::kImageContentAnnotation);
   TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
                         ann->FindBy("image_id", Value(image_id)));
   const storage::Schema& s = ann->schema();
@@ -397,9 +485,9 @@ Result<std::string> Tvdp::GetLabel(int64_t image_id,
 
 Result<ml::FeatureVector> Tvdp::GetFeature(int64_t image_id,
                                            const std::string& kind) const {
-  std::shared_lock lock(engine_->mutex());
+  query::SnapshotRef snap = engine_->PinSnapshot();
   const storage::Table* feats =
-      catalog().GetTable(tables::kImageVisualFeatures);
+      snap->FindTable(tables::kImageVisualFeatures);
   TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
                         feats->FindBy("image_id", Value(image_id)));
   const storage::Schema& s = feats->schema();
@@ -420,12 +508,13 @@ Result<std::vector<geo::GeoPoint>> Tvdp::LocationsWithLabel(
   pred.classification = classification;
   pred.label = label;
   pred.min_confidence = min_confidence;
-  // Shared (reader) lock; CategoricalLocked avoids the engine re-acquiring
-  // the same shared_mutex on this thread (undefined behaviour).
-  std::shared_lock lock(engine_->mutex());
-  TVDP_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
-                        engine_->CategoricalLocked(pred));
-  const storage::Table* images = catalog().GetTable(tables::kImages);
+  // One pinned snapshot covers both the categorical evaluation and the
+  // location lookups, so the hit set and the rows cannot tear apart.
+  query::SnapshotRef snap = engine_->PinSnapshot();
+  TVDP_ASSIGN_OR_RETURN(
+      std::vector<query::QueryHit> hits,
+      query::EvalCategorical(engine_->SnapshotPaths(*snap), pred));
+  const storage::Table* images = snap->FindTable(tables::kImages);
   const storage::Schema& s = images->schema();
   size_t lat_idx = static_cast<size_t>(s.ColumnIndex("lat"));
   size_t lon_idx = static_cast<size_t>(s.ColumnIndex("lon"));
@@ -440,8 +529,8 @@ Result<std::vector<geo::GeoPoint>> Tvdp::LocationsWithLabel(
 }
 
 Result<ImageRecord> Tvdp::ExportImage(int64_t image_id) const {
-  std::shared_lock lock(engine_->mutex());
-  const storage::Table* images = catalog().GetTable(tables::kImages);
+  query::SnapshotRef snap = engine_->PinSnapshot();
+  const storage::Table* images = snap->FindTable(tables::kImages);
   const storage::Schema& s = images->schema();
   TVDP_ASSIGN_OR_RETURN(Row row, images->Get(image_id));
   ImageRecord rec;
@@ -460,7 +549,7 @@ Result<ImageRecord> Tvdp::ExportImage(int64_t image_id) const {
       row[static_cast<size_t>(s.ColumnIndex("original_image_id"))];
   if (!original.is_null()) rec.original_image_id = original.AsInt64();
 
-  const storage::Table* fov = catalog().GetTable(tables::kImageFov);
+  const storage::Table* fov = snap->FindTable(tables::kImageFov);
   TVDP_ASSIGN_OR_RETURN(std::vector<Row> fov_rows,
                         fov->FindBy("image_id", Value(image_id)));
   if (!fov_rows.empty()) {
@@ -479,7 +568,7 @@ Result<ImageRecord> Tvdp::ExportImage(int64_t image_id) const {
     rec.fov = f;
   }
 
-  const storage::Table* kw = catalog().GetTable(tables::kImageManualKeywords);
+  const storage::Table* kw = snap->FindTable(tables::kImageManualKeywords);
   TVDP_ASSIGN_OR_RETURN(std::vector<Row> kw_rows,
                         kw->FindBy("image_id", Value(image_id)));
   const storage::Schema& ksch = kw->schema();
@@ -489,8 +578,8 @@ Result<ImageRecord> Tvdp::ExportImage(int64_t image_id) const {
 }
 
 Result<geo::GeoPoint> Tvdp::ImageLocation(int64_t image_id) const {
-  std::shared_lock lock(engine_->mutex());
-  const storage::Table* images = catalog().GetTable(tables::kImages);
+  query::SnapshotRef snap = engine_->PinSnapshot();
+  const storage::Table* images = snap->FindTable(tables::kImages);
   const storage::Schema& s = images->schema();
   TVDP_ASSIGN_OR_RETURN(Row row, images->Get(image_id));
   return geo::GeoPoint{
@@ -500,8 +589,8 @@ Result<geo::GeoPoint> Tvdp::ImageLocation(int64_t image_id) const {
 
 std::vector<int64_t> Tvdp::ImageIdsMatching(
     const std::function<bool(const geo::GeoPoint&)>& pred) const {
-  std::shared_lock lock(engine_->mutex());
-  const storage::Table* images = catalog().GetTable(tables::kImages);
+  query::SnapshotRef snap = engine_->PinSnapshot();
+  const storage::Table* images = snap->FindTable(tables::kImages);
   const storage::Schema& s = images->schema();
   size_t lat_idx = static_cast<size_t>(s.ColumnIndex("lat"));
   size_t lon_idx = static_cast<size_t>(s.ColumnIndex("lon"));
@@ -517,16 +606,16 @@ std::vector<int64_t> Tvdp::ImageIdsMatching(
 
 Result<std::vector<AnnotationRecord>> Tvdp::ListAnnotations(
     int64_t image_id) const {
-  std::shared_lock lock(engine_->mutex());
+  query::SnapshotRef snap = engine_->PinSnapshot();
   // type id -> (classification name, label) across the whole registry.
   std::map<int64_t, std::pair<std::string, std::string>> name_of;
-  for (const auto& [name, entry] : classifications_) {
+  for (const auto& [name, entry] : *snap->classifications) {
     for (const auto& [label, type_id] : entry.second) {
       name_of[type_id] = {name, label};
     }
   }
   const storage::Table* ann =
-      catalog().GetTable(tables::kImageContentAnnotation);
+      snap->FindTable(tables::kImageContentAnnotation);
   TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
                         ann->FindBy("image_id", Value(image_id)));
   const storage::Schema& s = ann->schema();
@@ -559,9 +648,9 @@ Result<std::vector<AnnotationRecord>> Tvdp::ListAnnotations(
 
 Result<std::vector<std::pair<std::string, ml::FeatureVector>>>
 Tvdp::ListFeatures(int64_t image_id) const {
-  std::shared_lock lock(engine_->mutex());
+  query::SnapshotRef snap = engine_->PinSnapshot();
   const storage::Table* feats =
-      catalog().GetTable(tables::kImageVisualFeatures);
+      snap->FindTable(tables::kImageVisualFeatures);
   TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
                         feats->FindBy("image_id", Value(image_id)));
   const storage::Schema& s = feats->schema();
@@ -577,9 +666,10 @@ Tvdp::ListFeatures(int64_t image_id) const {
 
 Status Tvdp::RemoveImages(const std::vector<int64_t>& ids) {
   if (ids.empty()) return Status::OK();
-  // Writer: rows disappear and the rebuilt indexes appear as one atomic
-  // transition — a concurrent query sees either all of the images or none.
+  // Writer: rows disappear and the rebuilt indexes appear as one published
+  // version — a concurrent query sees either all of the images or none.
   std::unique_lock lock(engine_->mutex());
+  CommitScope commit(engine_.get());
   std::unordered_set<int64_t> doomed_images(ids.begin(), ids.end());
   const char* dependents[] = {
       tables::kImageFov,          tables::kImageSceneLocation,
@@ -619,12 +709,14 @@ void Tvdp::SetMutationObserver(
 
 Result<size_t> Tvdp::ApplyReplicated(
     const std::vector<storage::WalRecord>& records) {
-  // Writer: the whole batch becomes visible atomically, mirroring how the
-  // primary's writer lock made each source mutation visible.
+  // Writer: the whole batch publishes as one snapshot version, mirroring
+  // how the primary's writer lock made each source mutation visible.
   std::unique_lock lock(engine_->mutex());
+  CommitScope commit(engine_.get(), &classifications_);
   size_t applied = 0;
   std::vector<int64_t> new_images;
   std::vector<const storage::WalRecord*> new_features;
+  std::vector<const storage::WalRecord*> new_annotations;
   bool registry_dirty = false;
   bool saw_delete = false;
   for (const storage::WalRecord& rec : records) {
@@ -640,6 +732,7 @@ Result<size_t> Tvdp::ApplyReplicated(
       } else {
         TVDP_RETURN_IF_ERROR(t->Delete(rec.row_id));
       }
+      engine_->MarkTableDirtyLocked(rec.table);
       saw_delete = true;
       ++applied;
       continue;
@@ -662,18 +755,22 @@ Result<size_t> Tvdp::ApplyReplicated(
       for (const Value& v : rec.values) full.push_back(v);
       TVDP_RETURN_IF_ERROR(t->RestoreRow(std::move(full)));
     }
+    engine_->MarkTableDirtyLocked(rec.table);
     ++applied;
     if (rec.table == tables::kImages) {
       new_images.push_back(rec.row_id);
     } else if (rec.table == tables::kImageVisualFeatures) {
       new_features.push_back(&rec);
+    } else if (rec.table == tables::kImageContentAnnotation) {
+      new_annotations.push_back(&rec);
     } else if (rec.table == tables::kImageContentClassification ||
                rec.table == tables::kImageContentClassificationTypes) {
       registry_dirty = true;
     }
   }
   if (saw_delete) {
-    // Deletes have no per-record index removal: rebuild from survivors.
+    // Deletes have no per-record index removal: rebuild from survivors
+    // (this also repopulates the columnar annotation mirror).
     engine_->ResetIndexesLocked();
     TVDP_RETURN_IF_ERROR(ReindexAllLocked());
   } else {
@@ -694,6 +791,22 @@ Result<size_t> Tvdp::ApplyReplicated(
             rec->values[feat_idx].AsFloatVector()));
       }
     }
+    if (!new_annotations.empty()) {
+      const storage::Table* ann =
+          catalog().GetTable(tables::kImageContentAnnotation);
+      const storage::Schema& s = ann->schema();
+      size_t img_idx = static_cast<size_t>(s.ColumnIndex("image_id")) - 1;
+      size_t type_idx = static_cast<size_t>(s.ColumnIndex("type_id")) - 1;
+      size_t conf_idx = static_cast<size_t>(s.ColumnIndex("confidence")) - 1;
+      size_t src_idx =
+          static_cast<size_t>(s.ColumnIndex("annotation_source")) - 1;
+      for (const storage::WalRecord* rec : new_annotations) {
+        engine_->NoteAnnotationLocked(rec->values[img_idx].AsInt64(),
+                                      rec->values[type_idx].AsInt64(),
+                                      rec->values[conf_idx].AsDouble(),
+                                      rec->values[src_idx].AsString());
+      }
+    }
   }
   if (registry_dirty) {
     TVDP_RETURN_IF_ERROR(RebuildClassificationsUnlocked());
@@ -702,7 +815,8 @@ Result<size_t> Tvdp::ApplyReplicated(
 }
 
 std::vector<storage::WalRecord> Tvdp::SnapshotRecords() const {
-  std::shared_lock lock(engine_->mutex());
+  query::SnapshotRef snap = engine_->PinSnapshot();
+  int64_t epoch = epoch_.load(std::memory_order_acquire);
   // Registry tables first so a replica applying the stream rebuilds its
   // classification map from complete rows.
   static constexpr const char* kOrder[] = {
@@ -716,14 +830,14 @@ std::vector<storage::WalRecord> Tvdp::SnapshotRecords() const {
       tables::kImageContentAnnotation};
   std::vector<storage::WalRecord> out;
   for (const char* tname : kOrder) {
-    const storage::Table* t = catalog().GetTable(tname);
+    const storage::Table* t = snap->FindTable(tname);
     if (!t) continue;
     t->ForEach([&](const Row& r) {
       storage::WalRecord rec;
       rec.type = storage::WalRecordType::kInsert;
       rec.table = tname;
       rec.row_id = r[0].AsInt64();
-      rec.epoch = epoch_;
+      rec.epoch = epoch;
       rec.values.assign(r.begin() + 1, r.end());
       out.push_back(std::move(rec));
       return true;
@@ -733,30 +847,36 @@ std::vector<storage::WalRecord> Tvdp::SnapshotRecords() const {
 }
 
 void Tvdp::Fence(int64_t fenced_at_epoch) {
+  // Writer lock: in-flight writers drain before the fence lands, so a
+  // stale primary cannot ack a mutation sequenced after its demotion.
   std::unique_lock lock(engine_->mutex());
-  fenced_ = true;
-  epoch_ = std::max(epoch_, fenced_at_epoch);
+  epoch_.store(
+      std::max(epoch_.load(std::memory_order_relaxed), fenced_at_epoch),
+      std::memory_order_relaxed);
+  fenced_.store(true, std::memory_order_release);
 }
 
-bool Tvdp::fenced() const {
-  std::shared_lock lock(engine_->mutex());
-  return fenced_;
-}
+bool Tvdp::fenced() const { return fenced_.load(std::memory_order_acquire); }
 
 void Tvdp::set_epoch(int64_t epoch) {
   std::unique_lock lock(engine_->mutex());
-  epoch_ = epoch;
+  epoch_.store(epoch, std::memory_order_release);
   if (durable_) durable_->set_epoch(epoch);
 }
 
 int64_t Tvdp::epoch() const {
-  std::shared_lock lock(engine_->mutex());
-  return epoch_;
+  return epoch_.load(std::memory_order_acquire);
 }
 
 Status Tvdp::SaveToFile(const std::string& path) const {
-  std::shared_lock lock(engine_->mutex());
-  return catalog().SaveToFile(path);
+  // Serialize the pinned snapshot's immutable table copies: byte-identical
+  // to Catalog::SaveToFile (same format, same name order), no lock held.
+  query::SnapshotRef snap = engine_->PinSnapshot();
+  std::vector<const storage::Table*> snapshot_tables;
+  snapshot_tables.reserve(snap->tables.size());
+  for (const auto& [_, t] : snap->tables) snapshot_tables.push_back(t.get());
+  return storage::WriteFile(
+      path, storage::Catalog::SerializeTables(snapshot_tables));
 }
 
 Status Tvdp::Checkpoint() {

@@ -2,6 +2,7 @@
 #define TVDP_PLATFORM_TVDP_H_
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -58,13 +59,16 @@ struct AnnotationRecord {
 ///                  dispatch lives in tvdp::edge and is driven from here
 ///                  by the examples.
 ///
-/// Thread safety: the facade is internally synchronized with reader-writer
-/// semantics over one platform-wide lock (shared with the query engine, see
-/// `mutex()`). Any number of query/read calls run concurrently; ingest,
-/// annotation write-back, feature storage and checkpointing take the writer
-/// side, so a write is observed atomically — catalog rows and index entries
-/// never tear apart. WAL commit ordering matches in-memory apply ordering
-/// (writers are fully serialized). See DESIGN.md "Concurrency model".
+/// Thread safety: reads are LOCK-FREE. Every mutation commits by
+/// publishing an immutable MVCC snapshot through the query engine (see
+/// DESIGN.md "MVCC snapshots and copy-on-write storage"); a read pins the
+/// current snapshot with two atomic ops and never touches `mutex()`, so
+/// readers can neither block nor starve a writer. Ingest, annotation
+/// write-back, feature storage and checkpointing take the writer side of
+/// the platform-wide lock, so a write is observed atomically — catalog
+/// rows, index entries and the published snapshot never tear apart. WAL
+/// commit ordering matches publish ordering (writers are fully
+/// serialized). See DESIGN.md "Concurrency model".
 class Tvdp {
  public:
   /// Creates a platform with a fresh in-memory TVDP-schema catalog.
@@ -78,8 +82,10 @@ class Tvdp {
   static Result<Tvdp> Open(const std::string& base_path,
                            storage::DurableCatalogOptions options = {});
 
-  Tvdp(Tvdp&&) = default;
-  Tvdp& operator=(Tvdp&&) = default;
+  // Custom moves: the fencing state lives in atomics (lock-free readers),
+  // which have no implicit move.
+  Tvdp(Tvdp&& other) noexcept;
+  Tvdp& operator=(Tvdp&& other) noexcept;
 
   // --- Acquisition ---
 
@@ -153,10 +159,15 @@ class Tvdp {
       const query::HybridQuery& q,
       const query::QueryBudget& budget = query::QueryBudget()) const;
 
-  /// The platform-wide reader-writer lock (owned by the query engine so
-  /// facade and engine callers synchronize on the same object). External
-  /// readers that walk `catalog()` directly (e.g. exports) take it shared;
-  /// every facade mutation takes it exclusively.
+  /// MVCC observability: the engine's snapshot stats ({version,
+  /// pinned_snapshots, retired_versions, bytes copied/shared on the last
+  /// commit}) — surfaced per shard/engine in `platform_stats`.
+  Json MvccStats() const;
+
+  /// The platform-wide writer lock (owned by the query engine so facade
+  /// and engine callers synchronize on the same object). Every facade
+  /// mutation takes it exclusively; reads pin an MVCC snapshot instead of
+  /// locking (legacy standalone engines still take it shared).
   std::shared_mutex& mutex() const { return engine_->mutex(); }
 
   storage::Catalog& catalog() {
@@ -303,11 +314,13 @@ class Tvdp {
   // classification name -> (classification id, label -> type id)
   std::map<std::string, std::pair<int64_t, std::map<std::string, int64_t>>>
       classifications_;
-  // Replication state; all guarded by the engine writer lock (mutations
-  // already hold it exclusively when these are consulted).
+  // Replication state. The observer is guarded by the engine writer lock
+  // (mutations already hold it exclusively when it is consulted); the
+  // fencing state is atomic so lock-free readers (fenced()/epoch(),
+  // SnapshotRecords) observe it without the lock.
   std::function<void(const storage::WalRecord&)> mutation_observer_;
-  int64_t epoch_ = 0;
-  bool fenced_ = false;
+  std::atomic<int64_t> epoch_{0};
+  std::atomic<bool> fenced_{false};
 };
 
 }  // namespace tvdp::platform

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "common/strings.h"
 
@@ -12,6 +13,20 @@ using storage::RowId;
 using storage::Table;
 using storage::Value;
 namespace tables = storage::tables;
+
+namespace {
+
+/// Rough per-table heap estimate for the commit accounting: rows * columns
+/// at ~40 bytes per value plus fixed overhead. The point is the shared-vs-
+/// copied *ratio* per commit, not exact byte counts.
+size_t EstimateTableBytes(const Table& t) {
+  return t.size() * t.schema().columns().size() * 40 + 64;
+}
+
+/// Rough per-index estimate, by entry count.
+size_t EstimateIndexBytes(size_t entries) { return entries * 64 + 64; }
+
+}  // namespace
 
 QueryEngine::QueryEngine(storage::Catalog* catalog, ThreadPool* pool)
     : catalog_(catalog),
@@ -28,13 +43,186 @@ AccessPaths QueryEngine::PathsLocked() const {
   paths.keywords = &keywords_;
   paths.lsh = &lsh_;
   paths.visual_rtree = &visual_rtree_;
+  // The live columnar builders are only guaranteed to mirror the tables
+  // when every mutation flows through the managed facade; a legacy engine
+  // over an externally mutated catalog must not serve stale columns.
+  if (managed_) {
+    paths.col_images = &col_images_;
+    paths.col_annotations = &col_annotations_;
+  }
   paths.indexed_images = indexed_images();
   return paths;
 }
 
+AccessPaths QueryEngine::SnapshotPaths(const EngineSnapshot& snap) const {
+  AccessPaths paths;
+  paths.tables = &snap.tables;
+  paths.pool = pool_;
+  paths.points = snap.points.get();
+  paths.fovs = snap.fovs.get();
+  paths.temporal = snap.temporal.get();
+  paths.keywords = snap.keywords.get();
+  paths.lsh = &snap.lsh;
+  paths.visual_rtree = &snap.visual_rtree;
+  paths.col_images = snap.col_images.get();
+  paths.col_annotations = snap.col_annotations.get();
+  paths.indexed_images = snap.indexed_images;
+  return paths;
+}
+
+void QueryEngine::EnableManagedSnapshots() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  managed_ = true;
+  all_dirty_ = true;
+  PublishLocked();
+}
+
+void QueryEngine::MarkTableDirtyLocked(const std::string& table) {
+  dirty_tables_.insert(table);
+}
+
+void QueryEngine::NoteAnnotationLocked(int64_t image_id, int64_t type_id,
+                                       double confidence,
+                                       const std::string& source) {
+  col_annotations_.Append(image_id, type_id, confidence, source);
+}
+
+void QueryEngine::SetClassMapLocked(const ClassMap& m) {
+  class_map_ = std::make_shared<const ClassMap>(m);
+  dirty_classes_ = true;
+}
+
+void QueryEngine::PublishLocked() {
+  if (!managed_) return;
+  std::shared_ptr<const EngineSnapshot> prev = snapshot_.load();
+  bool dirty = all_dirty_ || !prev || !dirty_tables_.empty() ||
+               !dirty_feature_kinds_.empty() || dirty_points_ || dirty_fovs_ ||
+               dirty_temporal_ || dirty_keywords_ || dirty_classes_;
+  if (!dirty) return;
+
+  auto snap = std::make_shared<EngineSnapshot>();
+  size_t copied = 0, shared = 0;
+
+  // Tables: copy-on-write at table granularity. A commit typically touches
+  // one or two tables; the rest are shared with the previous version.
+  for (const std::string& name : catalog_->TableNames()) {
+    const Table* t = catalog_->GetTable(name);
+    bool reuse = prev && !all_dirty_ && !dirty_tables_.count(name) &&
+                 prev->tables.count(name);
+    if (reuse) {
+      snap->tables[name] = prev->tables.at(name);
+      shared += EstimateTableBytes(*t);
+    } else {
+      snap->tables[name] = std::make_shared<const Table>(*t);
+      copied += EstimateTableBytes(*t);
+    }
+  }
+
+  // Columnar hot columns: Freeze() shares every chunk the tail mutation
+  // didn't clone, so the accounting here is exact per chunk.
+  snap->col_images = col_images_.Freeze();
+  snap->col_annotations = col_annotations_.Freeze();
+  snap->col_images->AccountShared(prev ? prev->col_images.get() : nullptr,
+                                  &shared, &copied);
+  snap->col_annotations->AccountShared(
+      prev ? prev->col_annotations.get() : nullptr, &shared, &copied);
+
+  // Indexes: cloned only when this write section touched them.
+  if (!prev || all_dirty_ || dirty_points_) {
+    snap->points = std::make_shared<const index::RTree>(points_.Clone());
+    copied += EstimateIndexBytes(points_.size());
+  } else {
+    snap->points = prev->points;
+    shared += EstimateIndexBytes(points_.size());
+  }
+  if (!prev || all_dirty_ || dirty_fovs_) {
+    snap->fovs = std::make_shared<const index::OrientedRTree>(fovs_.Clone());
+    copied += EstimateIndexBytes(fovs_.size());
+  } else {
+    snap->fovs = prev->fovs;
+    shared += EstimateIndexBytes(fovs_.size());
+  }
+  if (!prev || all_dirty_ || dirty_temporal_) {
+    snap->temporal = std::make_shared<const index::TemporalIndex>(temporal_);
+    copied += EstimateIndexBytes(temporal_.size());
+  } else {
+    snap->temporal = prev->temporal;
+    shared += EstimateIndexBytes(temporal_.size());
+  }
+  if (!prev || all_dirty_ || dirty_keywords_) {
+    snap->keywords = std::make_shared<const index::InvertedIndex>(keywords_);
+    copied += EstimateIndexBytes(keywords_.document_count());
+  } else {
+    snap->keywords = prev->keywords;
+    shared += EstimateIndexBytes(keywords_.document_count());
+  }
+  for (const auto& [kind, lsh] : lsh_) {
+    bool reuse = prev && !all_dirty_ && !dirty_feature_kinds_.count(kind) &&
+                 prev->lsh.count(kind);
+    if (reuse) {
+      snap->lsh[kind] = prev->lsh.at(kind);
+      shared += EstimateIndexBytes(lsh->size());
+    } else {
+      snap->lsh[kind] = lsh->Clone();
+      copied += EstimateIndexBytes(lsh->size());
+    }
+  }
+  for (const auto& [kind, tree] : visual_rtree_) {
+    bool reuse = prev && !all_dirty_ && !dirty_feature_kinds_.count(kind) &&
+                 prev->visual_rtree.count(kind);
+    if (reuse) {
+      snap->visual_rtree[kind] = prev->visual_rtree.at(kind);
+      shared += EstimateIndexBytes(tree->size());
+    } else {
+      snap->visual_rtree[kind] = tree->Clone();
+      copied += EstimateIndexBytes(tree->size());
+    }
+  }
+
+  snap->classifications = class_map_;
+  snap->indexed_images = indexed_images();
+  snap->version = next_version_++;
+  snap->bytes_copied = copied;
+  snap->bytes_shared = shared;
+  snap->live_gauge = live_snapshots_;
+  live_snapshots_->fetch_add(1, std::memory_order_relaxed);
+
+  // The root swap IS the commit, from a reader's point of view: queries
+  // pinned before this instant keep the old version; queries arriving
+  // after see the new one. The box's release pairs with readers' acquire.
+  snapshot_.store(std::move(snap));
+
+  dirty_tables_.clear();
+  dirty_feature_kinds_.clear();
+  dirty_points_ = dirty_fovs_ = dirty_temporal_ = dirty_keywords_ = false;
+  dirty_classes_ = false;
+  all_dirty_ = false;
+}
+
+Json QueryEngine::MvccStatsJson() const {
+  std::shared_ptr<const EngineSnapshot> snap = snapshot_.load();
+  Json out = Json::MakeObject();
+  out["enabled"] = managed_;
+  out["snapshot_reads"] = snapshot_reads();
+  out["version"] = snap ? static_cast<int64_t>(snap->version) : int64_t{0};
+  out["pinned_snapshots"] = pinned_readers_.load(std::memory_order_relaxed);
+  // Everything alive beyond the latest version is retired and awaiting
+  // reclamation by the pinned readers that still reference it. `snap`
+  // itself is our own transient reference, not a retired version.
+  int64_t live = live_snapshots_->load(std::memory_order_relaxed);
+  out["retired_versions"] = std::max<int64_t>(0, live - 1);
+  out["bytes_copied_last_commit"] =
+      snap ? static_cast<int64_t>(snap->bytes_copied) : int64_t{0};
+  out["bytes_shared_last_commit"] =
+      snap ? static_cast<int64_t>(snap->bytes_shared) : int64_t{0};
+  return out;
+}
+
 Status QueryEngine::IndexImage(RowId image_id) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
-  return IndexImageLocked(image_id);
+  Status s = IndexImageLocked(image_id);
+  if (s.ok()) PublishLocked();
+  return s;
 }
 
 Status QueryEngine::IndexImageLocked(RowId image_id) {
@@ -54,6 +242,8 @@ Status QueryEngine::IndexImageLocked(RowId image_id) {
   point_box.min_lon = point_box.max_lon = lon;
   TVDP_RETURN_IF_ERROR(points_.Insert(point_box, image_id));
   temporal_.Insert(captured, image_id);
+  dirty_points_ = true;
+  dirty_temporal_ = true;
 
   // FOV rows (0 or 1 per image in practice).
   const Table* fov_table = catalog_->GetTable(tables::kImageFov);
@@ -70,6 +260,7 @@ Status QueryEngine::IndexImageLocked(RowId image_id) {
               r[static_cast<size_t>(fs.ColumnIndex("angle_deg"))].AsDouble(),
               r[static_cast<size_t>(fs.ColumnIndex("radius_m"))].AsDouble()));
       TVDP_RETURN_IF_ERROR(fovs_.Insert(fov, image_id));
+      dirty_fovs_ = true;
     }
   }
 
@@ -88,8 +279,10 @@ Status QueryEngine::IndexImageLocked(RowId image_id) {
     }
     if (!terms.empty()) {
       TVDP_RETURN_IF_ERROR(keywords_.AddDocument(image_id, terms));
+      dirty_keywords_ = true;
     }
   }
+  col_images_.Append(image_id, lat, lon, captured);
   indexed_images_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -97,7 +290,9 @@ Status QueryEngine::IndexImageLocked(RowId image_id) {
 Status QueryEngine::IndexFeature(RowId image_id, const std::string& kind,
                                  const ml::FeatureVector& feature) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
-  return IndexFeatureLocked(image_id, kind, feature);
+  Status s = IndexFeatureLocked(image_id, kind, feature);
+  if (s.ok()) PublishLocked();
+  return s;
 }
 
 Status QueryEngine::IndexFeatureLocked(RowId image_id, const std::string& kind,
@@ -107,14 +302,15 @@ Status QueryEngine::IndexFeatureLocked(RowId image_id, const std::string& kind,
   if (lsh_it == lsh_.end()) {
     index::LshIndex::Options lsh_options;
     lsh_options.pool = pool_;
-    lsh_it = lsh_.emplace(kind, std::make_unique<index::LshIndex>(
+    lsh_it = lsh_.emplace(kind, std::make_shared<index::LshIndex>(
                                     feature.size(), lsh_options))
                  .first;
     // The hybrid spatial-visual tree shares the same feature space.
     visual_rtree_.emplace(
-        kind, std::make_unique<index::VisualRTree>(feature.size()));
+        kind, std::make_shared<index::VisualRTree>(feature.size()));
   }
   TVDP_RETURN_IF_ERROR(lsh_it->second->Insert(feature, image_id));
+  dirty_feature_kinds_.insert(kind);
 
   // Fetch the image location for the hybrid tree.
   const Table* images = catalog_->GetTable(tables::kImages);
@@ -133,7 +329,10 @@ void QueryEngine::ResetIndexesLocked() {
   keywords_ = index::InvertedIndex();
   lsh_.clear();
   visual_rtree_.clear();
+  col_images_.Clear();
+  col_annotations_.Clear();
   indexed_images_.store(0, std::memory_order_relaxed);
+  all_dirty_ = true;
 }
 
 std::string QueryEngine::last_plan() const {
@@ -143,8 +342,10 @@ std::string QueryEngine::last_plan() const {
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialRange(
     const geo::BoundingBox& box, const RequestContext* ctx) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return SpatialRangeLocked(box, ctx);
+  if (SnapshotRef snap = PinIfSnapshotReads()) {
+    return EvalSpatialRange(SnapshotPaths(*snap), box, ctx);
+  }
+  return WithReaderLock([&] { return SpatialRangeLocked(box, ctx); });
 }
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialRangeLocked(
@@ -154,8 +355,10 @@ Result<std::vector<QueryHit>> QueryEngine::SpatialRangeLocked(
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialKnn(
     const geo::GeoPoint& p, int k, const RequestContext* ctx) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return SpatialKnnLocked(p, k, ctx);
+  if (SnapshotRef snap = PinIfSnapshotReads()) {
+    return EvalSpatialKnn(SnapshotPaths(*snap), p, k, ctx);
+  }
+  return WithReaderLock([&] { return SpatialKnnLocked(p, k, ctx); });
 }
 
 Result<std::vector<QueryHit>> QueryEngine::SpatialKnnLocked(
@@ -165,8 +368,10 @@ Result<std::vector<QueryHit>> QueryEngine::SpatialKnnLocked(
 
 Result<std::vector<QueryHit>> QueryEngine::VisibleAt(
     const geo::GeoPoint& p, const RequestContext* ctx) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return VisibleAtLocked(p, ctx);
+  if (SnapshotRef snap = PinIfSnapshotReads()) {
+    return EvalVisibleAt(SnapshotPaths(*snap), p, ctx);
+  }
+  return WithReaderLock([&] { return VisibleAtLocked(p, ctx); });
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisibleAtLocked(
@@ -177,8 +382,11 @@ Result<std::vector<QueryHit>> QueryEngine::VisibleAtLocked(
 Result<std::vector<QueryHit>> QueryEngine::VisualTopK(
     const std::string& kind, const ml::FeatureVector& feature, int k,
     const RequestContext* ctx, const QueryBudget& budget) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return VisualTopKLocked(kind, feature, k, ctx, budget);
+  if (SnapshotRef snap = PinIfSnapshotReads()) {
+    return EvalVisualTopK(SnapshotPaths(*snap), kind, feature, k, ctx, budget);
+  }
+  return WithReaderLock(
+      [&] { return VisualTopKLocked(kind, feature, k, ctx, budget); });
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisualTopKLocked(
@@ -190,8 +398,13 @@ Result<std::vector<QueryHit>> QueryEngine::VisualTopKLocked(
 Result<std::vector<QueryHit>> QueryEngine::VisualThreshold(
     const std::string& kind, const ml::FeatureVector& feature, double threshold,
     const RequestContext* ctx, const QueryBudget& budget) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return VisualThresholdLocked(kind, feature, threshold, ctx, budget);
+  if (SnapshotRef snap = PinIfSnapshotReads()) {
+    return EvalVisualThreshold(SnapshotPaths(*snap), kind, feature, threshold,
+                               ctx, budget);
+  }
+  return WithReaderLock([&] {
+    return VisualThresholdLocked(kind, feature, threshold, ctx, budget);
+  });
 }
 
 Result<std::vector<QueryHit>> QueryEngine::VisualThresholdLocked(
@@ -203,8 +416,10 @@ Result<std::vector<QueryHit>> QueryEngine::VisualThresholdLocked(
 
 Result<std::vector<QueryHit>> QueryEngine::Categorical(
     const CategoricalPredicate& pred) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return CategoricalLocked(pred);
+  if (SnapshotRef snap = PinIfSnapshotReads()) {
+    return EvalCategorical(SnapshotPaths(*snap), pred);
+  }
+  return WithReaderLock([&] { return CategoricalLocked(pred); });
 }
 
 Result<std::vector<QueryHit>> QueryEngine::CategoricalLocked(
@@ -214,8 +429,10 @@ Result<std::vector<QueryHit>> QueryEngine::CategoricalLocked(
 
 Result<std::vector<QueryHit>> QueryEngine::Textual(
     const TextualPredicate& pred) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return TextualLocked(pred);
+  if (SnapshotRef snap = PinIfSnapshotReads()) {
+    return EvalTextual(SnapshotPaths(*snap), pred);
+  }
+  return WithReaderLock([&] { return TextualLocked(pred); });
 }
 
 Result<std::vector<QueryHit>> QueryEngine::TextualLocked(
@@ -225,8 +442,10 @@ Result<std::vector<QueryHit>> QueryEngine::TextualLocked(
 
 Result<std::vector<QueryHit>> QueryEngine::Temporal(Timestamp begin,
                                                     Timestamp end) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return TemporalLocked(begin, end);
+  if (SnapshotRef snap = PinIfSnapshotReads()) {
+    return EvalTemporal(SnapshotPaths(*snap), begin, end);
+  }
+  return WithReaderLock([&] { return TemporalLocked(begin, end); });
 }
 
 Result<std::vector<QueryHit>> QueryEngine::TemporalLocked(Timestamp begin,
@@ -234,12 +453,12 @@ Result<std::vector<QueryHit>> QueryEngine::TemporalLocked(Timestamp begin,
   return EvalTemporal(PathsLocked(), begin, end);
 }
 
-Result<std::vector<QueryHit>> QueryEngine::SpatialVisualTopK(
+Result<std::vector<QueryHit>> QueryEngine::SpatialVisualTopKOn(
+    const std::map<std::string, std::shared_ptr<index::VisualRTree>>& trees,
     const geo::GeoPoint& p, const std::string& kind,
-    const ml::FeatureVector& feature, int k, double alpha) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  auto it = visual_rtree_.find(kind);
-  if (it == visual_rtree_.end()) {
+    const ml::FeatureVector& feature, int k, double alpha) {
+  auto it = trees.find(kind);
+  if (it == trees.end()) {
     return Status::NotFound("no hybrid index for kind: " + kind);
   }
   std::vector<QueryHit> out;
@@ -250,17 +469,38 @@ Result<std::vector<QueryHit>> QueryEngine::SpatialVisualTopK(
   return out;
 }
 
+Result<std::vector<QueryHit>> QueryEngine::SpatialVisualTopK(
+    const geo::GeoPoint& p, const std::string& kind,
+    const ml::FeatureVector& feature, int k, double alpha) const {
+  if (SnapshotRef snap = PinIfSnapshotReads()) {
+    return SpatialVisualTopKOn(snap->visual_rtree, p, kind, feature, k, alpha);
+  }
+  return WithReaderLock([&] {
+    return SpatialVisualTopKOn(visual_rtree_, p, kind, feature, k, alpha);
+  });
+}
+
 Result<std::vector<QueryHit>> QueryEngine::Execute(
     const HybridQuery& q, const RequestContext* ctx, const QueryBudget& budget,
     QueryPlan* plan_out, const PlannerOptions& options) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return ExecuteLocked(q, ctx, budget, plan_out, options);
+  if (SnapshotRef snap = PinIfSnapshotReads()) {
+    return ExecuteOnPaths(SnapshotPaths(*snap), q, ctx, budget, plan_out,
+                          options);
+  }
+  return WithReaderLock(
+      [&] { return ExecuteLocked(q, ctx, budget, plan_out, options); });
 }
 
 Result<std::vector<QueryHit>> QueryEngine::ExecuteLocked(
     const HybridQuery& q, const RequestContext* ctx, const QueryBudget& budget,
     QueryPlan* plan_out, const PlannerOptions& options) const {
-  AccessPaths paths = PathsLocked();
+  return ExecuteOnPaths(PathsLocked(), q, ctx, budget, plan_out, options);
+}
+
+Result<std::vector<QueryHit>> QueryEngine::ExecuteOnPaths(
+    const AccessPaths& paths, const HybridQuery& q, const RequestContext* ctx,
+    const QueryBudget& budget, QueryPlan* plan_out,
+    const PlannerOptions& options) const {
   TVDP_ASSIGN_OR_RETURN(QueryPlan plan,
                         Planner::BuildPlan(paths, q, budget, options));
   // An already-failed context rejects before any index is probed — and
@@ -278,15 +518,15 @@ Result<std::vector<QueryHit>> QueryEngine::ExecuteLocked(
 Result<QueryPlan> QueryEngine::Explain(const HybridQuery& q,
                                        const QueryBudget& budget,
                                        const PlannerOptions& options) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return Planner::BuildPlan(PathsLocked(), q, budget, options);
+  if (SnapshotRef snap = PinIfSnapshotReads()) {
+    return Planner::BuildPlan(SnapshotPaths(*snap), q, budget, options);
+  }
+  return WithReaderLock(
+      [&] { return Planner::BuildPlan(PathsLocked(), q, budget, options); });
 }
 
-Result<std::vector<QueryHit>> QueryEngine::SpatialRangeScan(
-    const geo::BoundingBox& box) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  const Table* images = catalog_->GetTable(tables::kImages);
-  const Table* fov_table = catalog_->GetTable(tables::kImageFov);
+Result<std::vector<QueryHit>> QueryEngine::SpatialRangeScanOn(
+    const Table* images, const Table* fov_table, const geo::BoundingBox& box) {
   if (!images || !fov_table) {
     return Status::FailedPrecondition("schema tables missing");
   }
@@ -328,10 +568,21 @@ Result<std::vector<QueryHit>> QueryEngine::SpatialRangeScan(
   return out;
 }
 
-Result<std::vector<QueryHit>> QueryEngine::VisualTopKScan(
-    const std::string& kind, const ml::FeatureVector& feature, int k) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  const Table* feats = catalog_->GetTable(tables::kImageVisualFeatures);
+Result<std::vector<QueryHit>> QueryEngine::SpatialRangeScan(
+    const geo::BoundingBox& box) const {
+  if (SnapshotRef snap = PinIfSnapshotReads()) {
+    return SpatialRangeScanOn(snap->FindTable(tables::kImages),
+                              snap->FindTable(tables::kImageFov), box);
+  }
+  return WithReaderLock([&] {
+    return SpatialRangeScanOn(catalog_->GetTable(tables::kImages),
+                              catalog_->GetTable(tables::kImageFov), box);
+  });
+}
+
+Result<std::vector<QueryHit>> QueryEngine::VisualTopKScanOn(
+    const Table* feats, const std::string& kind,
+    const ml::FeatureVector& feature, int k) {
   if (!feats) return Status::FailedPrecondition("features table missing");
   const storage::Schema& fs = feats->schema();
   size_t kind_idx = static_cast<size_t>(fs.ColumnIndex("feature_kind"));
@@ -355,6 +606,18 @@ Result<std::vector<QueryHit>> QueryEngine::VisualTopKScan(
     all.resize(static_cast<size_t>(std::max(k, 0)));
   }
   return all;
+}
+
+Result<std::vector<QueryHit>> QueryEngine::VisualTopKScan(
+    const std::string& kind, const ml::FeatureVector& feature, int k) const {
+  if (SnapshotRef snap = PinIfSnapshotReads()) {
+    return VisualTopKScanOn(snap->FindTable(tables::kImageVisualFeatures),
+                            kind, feature, k);
+  }
+  return WithReaderLock([&] {
+    return VisualTopKScanOn(catalog_->GetTable(tables::kImageVisualFeatures),
+                            kind, feature, k);
+  });
 }
 
 }  // namespace tvdp::query

@@ -5,11 +5,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/context.h"
+#include "common/json.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "geo/fov.h"
@@ -23,6 +25,7 @@
 #include "query/plan.h"
 #include "query/planner.h"
 #include "query/query.h"
+#include "query/snapshot.h"
 #include "storage/catalog.h"
 #include "storage/tvdp_schema.h"
 
@@ -41,12 +44,20 @@ namespace tvdp::query {
 /// after inserting the corresponding rows — which mirrors the ingest
 /// pipeline of the platform.
 ///
-/// Thread safety: the engine is internally synchronized with reader-writer
-/// semantics. Any number of query calls may run concurrently; IndexImage /
-/// IndexFeature take the writer side of `mutex()` and are serialized
-/// against all queries. The platform facade (`platform::Tvdp`) shares this
-/// same mutex so catalog mutations and index updates form one atomic write
-/// section — see DESIGN.md "Concurrency model".
+/// Thread safety — two modes (DESIGN.md "MVCC snapshots"):
+///
+///  * Managed (EnableManagedSnapshots(), the platform facade's mode):
+///    reads are LOCK-FREE. Every commit publishes an immutable refcounted
+///    EngineSnapshot via an atomic root swap; a query pins the current
+///    snapshot (two relaxed atomic ops) and never touches `mutex()`, so
+///    readers can neither block nor starve a writer. Writers still take
+///    the writer side of `mutex()` exclusively — catalog mutation, index
+///    update, and snapshot publication form one atomic write section.
+///
+///  * Legacy (standalone engine over an externally mutated catalog, e.g.
+///    tests that insert rows behind the engine's back): reads take the
+///    shared side of `mutex()` as before. This is the only shared-lock
+///    acquisition left in src/query/ (enforced by scripts/lock_audit.sh).
 ///
 /// Heavy read paths (hybrid candidate verification, LSH probing and
 /// re-ranking, FOV refinement, spatial-kNN exact re-ranking) fan out
@@ -184,11 +195,68 @@ class QueryEngine {
     return indexed_images_.load(std::memory_order_relaxed);
   }
 
-  /// The reader-writer lock guarding the indexes. Held shared by every
-  /// query method and exclusively by IndexImage/IndexFeature; the platform
-  /// facade acquires it exclusively around catalog-mutation + index-update
-  /// pairs so readers never observe a torn write.
+  /// The reader-writer lock guarding the indexes. Held exclusively by
+  /// IndexImage/IndexFeature and by the platform facade around catalog-
+  /// mutation + index-update + snapshot-publish sections; held shared only
+  /// by legacy-mode reads.
   std::shared_mutex& mutex() const { return mutex_; }
+
+  // --- MVCC snapshots ---
+
+  /// Switches the engine into managed mode: publishes an initial snapshot
+  /// and serves every subsequent read lock-free from the latest published
+  /// version. Requires that all catalog mutations flow through a caller
+  /// that republishes after each commit (the platform facade does); an
+  /// engine whose catalog is mutated behind its back must stay legacy.
+  void EnableManagedSnapshots();
+  bool managed() const { return managed_; }
+
+  /// Toggles lock-free snapshot reads at runtime (managed mode only).
+  /// Off = reads fall back to the legacy shared-lock path against live
+  /// state; used by the read-scaling bench to measure MVCC head-to-head.
+  void set_snapshot_reads(bool on) {
+    snapshot_reads_.store(on, std::memory_order_relaxed);
+  }
+  bool snapshot_reads() const {
+    return snapshot_reads_.load(std::memory_order_relaxed);
+  }
+
+  /// Pins the latest published snapshot (null ref before the first
+  /// publish). The pin is two atomic ops; the returned ref keeps every
+  /// component of that version alive until released.
+  SnapshotRef PinSnapshot() const {
+    return SnapshotRef(snapshot_.load(), &pinned_readers_);
+  }
+
+  /// AccessPaths over a pinned snapshot: everything referenced is
+  /// immutable, so the paths are valid (without any lock) for as long as
+  /// the SnapshotRef lives.
+  AccessPaths SnapshotPaths(const EngineSnapshot& snap) const;
+
+  /// Publishes a new immutable snapshot from the current live state,
+  /// copy-on-write: only components marked dirty since the last publish
+  /// are cloned; everything else is shared with the previous version.
+  /// No-op when nothing is dirty or the engine is not managed. Caller
+  /// must hold mutex() exclusively.
+  void PublishLocked();
+
+  /// Marks a catalog table as touched by the current write section so the
+  /// next PublishLocked() re-copies it. Caller must hold mutex()
+  /// exclusively.
+  void MarkTableDirtyLocked(const std::string& table);
+
+  /// Appends one annotation to the columnar hot columns (mirrors the
+  /// annotation-table insert). Caller must hold mutex() exclusively.
+  void NoteAnnotationLocked(int64_t image_id, int64_t type_id,
+                            double confidence, const std::string& source);
+
+  /// Installs the classification registry published with the next
+  /// snapshot. Caller must hold mutex() exclusively.
+  void SetClassMapLocked(const ClassMap& m);
+
+  /// MVCC observability for platform_stats: {version, pinned_snapshots,
+  /// retired_versions, bytes_copied_last_commit, bytes_shared_last_commit}.
+  Json MvccStatsJson() const;
 
  private:
   friend class tvdp::platform::Tvdp;
@@ -196,6 +264,24 @@ class QueryEngine {
   /// The non-owning view of the indexes/catalog/pool that the planner and
   /// executor operate over. Caller must hold mutex() (shared suffices).
   AccessPaths PathsLocked() const;
+
+  /// Pins the current snapshot when managed with snapshot reads on; an
+  /// empty ref otherwise (caller falls back to the locked path).
+  SnapshotRef PinIfSnapshotReads() const {
+    if (managed_ && snapshot_reads_.load(std::memory_order_relaxed)) {
+      return PinSnapshot();
+    }
+    return SnapshotRef();
+  }
+
+  /// The single shared-lock acquisition in src/query/ (pinned by
+  /// scripts/lock_audit.sh): legacy-mode reads funnel through here so the
+  /// lock-free claim is auditable by grep.
+  template <typename Fn>
+  auto WithReaderLock(Fn&& fn) const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return fn();
+  }
 
   // --- Locked variants: caller must hold mutex() (exclusively for the
   // Index* pair, shared or exclusive for the query methods). ---
@@ -232,21 +318,77 @@ class QueryEngine {
       const QueryBudget& budget = QueryBudget(), QueryPlan* plan_out = nullptr,
       const PlannerOptions& options = PlannerOptions()) const;
 
+  /// Shared body of Execute: plan + run over the given paths (a pinned
+  /// snapshot or the locked live view).
+  Result<std::vector<QueryHit>> ExecuteOnPaths(
+      const AccessPaths& paths, const HybridQuery& q, const RequestContext* ctx,
+      const QueryBudget& budget, QueryPlan* plan_out,
+      const PlannerOptions& options) const;
+
+  /// Shared bodies of the full-scan ablation baselines, parameterized on
+  /// the table provenance (snapshot tables or live catalog).
+  static Result<std::vector<QueryHit>> SpatialRangeScanOn(
+      const storage::Table* images, const storage::Table* fov_table,
+      const geo::BoundingBox& box);
+  static Result<std::vector<QueryHit>> VisualTopKScanOn(
+      const storage::Table* feats, const std::string& kind,
+      const ml::FeatureVector& feature, int k);
+
+  /// SpatialVisualTopK body over an explicit hybrid-index map.
+  static Result<std::vector<QueryHit>> SpatialVisualTopKOn(
+      const std::map<std::string, std::shared_ptr<index::VisualRTree>>& trees,
+      const geo::GeoPoint& p, const std::string& kind,
+      const ml::FeatureVector& feature, int k, double alpha);
+
   storage::Catalog* catalog_;
   ThreadPool* pool_;
+
+  // --- Live mutable state (guarded by mutex_'s writer side) ---
   index::RTree points_;
   index::OrientedRTree fovs_;
   index::TemporalIndex temporal_;
   index::InvertedIndex keywords_;
-  std::map<std::string, std::unique_ptr<index::LshIndex>> lsh_;
-  std::map<std::string, std::unique_ptr<index::VisualRTree>> visual_rtree_;
+  std::map<std::string, std::shared_ptr<index::LshIndex>> lsh_;
+  std::map<std::string, std::shared_ptr<index::VisualRTree>> visual_rtree_;
   std::atomic<size_t> indexed_images_ = 0;
+
+  /// Columnar builders mirroring the hot columns of the images and
+  /// annotation tables; frozen (structurally shared) into every snapshot.
+  storage::ColumnarImages col_images_;
+  storage::ColumnarAnnotations col_annotations_;
+  /// Classification registry published with the next snapshot.
+  std::shared_ptr<const ClassMap> class_map_ =
+      std::make_shared<const ClassMap>();
+
+  // --- Dirty tracking since the last publish (writer-lock guarded) ---
+  std::set<std::string> dirty_tables_;
+  std::set<std::string> dirty_feature_kinds_;
+  bool dirty_points_ = false;
+  bool dirty_fovs_ = false;
+  bool dirty_temporal_ = false;
+  bool dirty_keywords_ = false;
+  bool dirty_classes_ = false;
+  bool all_dirty_ = false;
+
+  // --- MVCC publication state ---
+  bool managed_ = false;
+  std::atomic<bool> snapshot_reads_{true};
+  /// The published root. Readers load-acquire and pin; writers
+  /// store-release a fresh version per commit. Retired versions reclaim
+  /// via shared_ptr refcounting when the last pinned reader drains.
+  AtomicSnapshotPtr snapshot_;
+  /// Gauge of EngineSnapshot objects alive (latest + retired-but-pinned);
+  /// shared with the snapshots themselves, which decrement on destruction.
+  std::shared_ptr<std::atomic<int64_t>> live_snapshots_ =
+      std::make_shared<std::atomic<int64_t>>(0);
+  mutable std::atomic<int64_t> pinned_readers_{0};
+  uint64_t next_version_ = 1;
 
   /// Reader-writer lock over every index and (through the facade) the
   /// catalog. Mutable: query methods are logically const readers.
   mutable std::shared_mutex mutex_;
-  /// last_plan_ is written by concurrent readers of mutex_, so it has its
-  /// own tiny lock.
+  /// last_plan_ is written by concurrent readers, so it has its own tiny
+  /// lock.
   mutable std::mutex plan_mutex_;
   mutable std::string last_plan_;
 };

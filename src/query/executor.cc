@@ -56,10 +56,9 @@ Status ContextError(const Status& s, const char* stage, size_t done,
 
 Result<int64_t> LookupTypeId(const AccessPaths& access,
                              const CategoricalPredicate& pred) {
-  const Table* cls =
-      access.catalog->GetTable(tables::kImageContentClassification);
+  const Table* cls = FindTable(access, tables::kImageContentClassification);
   const Table* types =
-      access.catalog->GetTable(tables::kImageContentClassificationTypes);
+      FindTable(access, tables::kImageContentClassificationTypes);
   if (!cls || !types) {
     return Status::FailedPrecondition("classification tables missing");
   }
@@ -130,16 +129,32 @@ Result<std::vector<QueryHit>> EvalSpatialKnn(const AccessPaths& access,
   // out across the pool when the set is large.
   int fetch = k + k / 2 + 8;
   std::vector<index::RecordId> ids = access.points->KNearest(p, fetch);
-  const Table* images = access.catalog->GetTable(tables::kImages);
+  const Table* images = FindTable(access, tables::kImages);
   if (!images) return Status::FailedPrecondition("images table missing");
   const storage::Schema& schema = images->schema();
   const size_t lat_idx = static_cast<size_t>(schema.ColumnIndex("lat"));
   const size_t lon_idx = static_cast<size_t>(schema.ColumnIndex("lon"));
+  // Columnar fast path: when the hot-column arrays cover the whole table,
+  // the re-rank reads two packed values per candidate instead of
+  // materializing a row. A columnar miss (or a stale columnar, sizes
+  // differing) falls back to row storage so dangling candidate ids keep
+  // their exact error semantics.
+  const storage::ColumnarImages* ci =
+      access.col_images && access.col_images->size() == images->size()
+          ? access.col_images
+          : nullptr;
   std::vector<std::pair<double, index::RecordId>> ranked(ids.size());
   auto rank_span = [&](size_t begin, size_t end) -> Status {
     for (size_t i = begin; i < end; ++i) {
-      TVDP_ASSIGN_OR_RETURN(Row img, images->Get(ids[i]));
-      geo::GeoPoint loc{img[lat_idx].AsDouble(), img[lon_idx].AsDouble()};
+      geo::GeoPoint loc;
+      ptrdiff_t slot = ci ? ci->Find(ids[i]) : -1;
+      if (slot >= 0) {
+        loc = geo::GeoPoint{ci->lat(static_cast<size_t>(slot)),
+                            ci->lon(static_cast<size_t>(slot))};
+      } else {
+        TVDP_ASSIGN_OR_RETURN(Row img, images->Get(ids[i]));
+        loc = geo::GeoPoint{img[lat_idx].AsDouble(), img[lon_idx].AsDouble()};
+      }
       ranked[i] = {geo::HaversineMeters(p, loc), ids[i]};
     }
     return Status::OK();
@@ -243,14 +258,31 @@ Result<std::vector<QueryHit>> EvalVisualThreshold(
 Result<std::vector<QueryHit>> EvalCategorical(
     const AccessPaths& access, const CategoricalPredicate& pred) {
   TVDP_ASSIGN_OR_RETURN(int64_t type_id, LookupTypeId(access, pred));
-  const Table* ann = access.catalog->GetTable(tables::kImageContentAnnotation);
+  const Table* ann = FindTable(access, tables::kImageContentAnnotation);
+  if (!ann) return Status::FailedPrecondition("annotation table missing");
+  std::set<index::RecordId> ids;
+  // Columnar fast path: the categorical scan touches exactly the hot
+  // columns (type id, confidence, source, image id), so when they cover
+  // the whole table the probe never materializes a row.
+  const storage::ColumnarAnnotations* ca =
+      access.col_annotations && access.col_annotations->size() == ann->size()
+          ? access.col_annotations
+          : nullptr;
+  if (ca) {
+    for (size_t i = 0; i < ca->size(); ++i) {
+      if (ca->type_id(i) != type_id) continue;
+      if (ca->confidence(i) < pred.min_confidence) continue;
+      if (!pred.source.empty() && ca->source(i) != pred.source) continue;
+      ids.insert(ca->image_id(i));
+    }
+    return ToHits(std::vector<index::RecordId>(ids.begin(), ids.end()));
+  }
   TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
                         ann->FindBy("type_id", Value(type_id)));
   const storage::Schema& as = ann->schema();
   size_t conf_idx = static_cast<size_t>(as.ColumnIndex("confidence"));
   size_t src_idx = static_cast<size_t>(as.ColumnIndex("annotation_source"));
   size_t img_idx = static_cast<size_t>(as.ColumnIndex("image_id"));
-  std::set<index::RecordId> ids;
   for (const Row& r : rows) {
     if (r[conf_idx].AsDouble() < pred.min_confidence) continue;
     if (!pred.source.empty() && r[src_idx].AsString() != pred.source) continue;
@@ -534,12 +566,24 @@ class VerifyOp : public Operator {
   }
 
   /// Verifies one candidate against every non-seed conjunct, in the
-  /// plan's evaluation order (cheapest rejector first). The image row is
-  /// fetched unconditionally — a dangling candidate id is a storage error
-  /// surfaced to the caller, never silently dropped.
+  /// plan's evaluation order (cheapest rejector first). The temporal and
+  /// spatial checks read the columnar hot columns when current; a columnar
+  /// miss (or stale columnar) fetches the image row, so a dangling
+  /// candidate id is a storage error surfaced to the caller, never
+  /// silently dropped.
   Result<bool> VerifyOne(RowId id, double* visual_distance) {
-    const Table* images = access_.catalog->GetTable(tables::kImages);
-    TVDP_ASSIGN_OR_RETURN(Row img, images->Get(id));
+    const Table* images = FindTable(access_, tables::kImages);
+    if (!images) return Status::FailedPrecondition("images table missing");
+    const storage::ColumnarImages* ci =
+        access_.col_images && access_.col_images->size() == images->size()
+            ? access_.col_images
+            : nullptr;
+    ptrdiff_t slot = ci ? ci->Find(id) : -1;
+    std::optional<Row> img;
+    if (slot < 0) {
+      TVDP_ASSIGN_OR_RETURN(Row row, images->Get(id));
+      img = std::move(row);
+    }
     const storage::Schema& schema = images->schema();
     for (size_t i = 1; i < plan_->conjuncts.size(); ++i) {
       const ConjunctPlan& c = plan_->conjuncts[i];
@@ -552,15 +596,26 @@ class VerifyOp : public Operator {
       }
       if (c.family == "temporal") {
         Timestamp t =
-            img[static_cast<size_t>(schema.ColumnIndex("timestamp_capturing"))]
-                .AsInt64();
+            slot >= 0
+                ? access_.col_images->captured_at(static_cast<size_t>(slot))
+                : (*img)[static_cast<size_t>(
+                             schema.ColumnIndex("timestamp_capturing"))]
+                      .AsInt64();
         if (t < q_.temporal->begin || t > q_.temporal->end) return false;
       } else if (c.family == "spatial") {
         // Only the range kind reaches here: kNN always seeds, and
         // visible-at is a materialize-probe.
-        geo::GeoPoint loc{
-            img[static_cast<size_t>(schema.ColumnIndex("lat"))].AsDouble(),
-            img[static_cast<size_t>(schema.ColumnIndex("lon"))].AsDouble()};
+        geo::GeoPoint loc =
+            slot >= 0
+                ? geo::GeoPoint{access_.col_images->lat(
+                                    static_cast<size_t>(slot)),
+                                access_.col_images->lon(
+                                    static_cast<size_t>(slot))}
+                : geo::GeoPoint{
+                      (*img)[static_cast<size_t>(schema.ColumnIndex("lat"))]
+                          .AsDouble(),
+                      (*img)[static_cast<size_t>(schema.ColumnIndex("lon"))]
+                          .AsDouble()};
         if (q_.spatial->kind == SpatialPredicate::Kind::kRange &&
             !q_.spatial->range.Contains(loc)) {
           return false;
@@ -570,8 +625,10 @@ class VerifyOp : public Operator {
         // can store several vectors of the same kind; membership and the
         // reported distance use the *closest* one — the same convention
         // as the visual seed path, so plan order cannot change results.
-        const Table* feats =
-            access_.catalog->GetTable(tables::kImageVisualFeatures);
+        const Table* feats = FindTable(access_, tables::kImageVisualFeatures);
+        if (!feats) {
+          return Status::FailedPrecondition("features table missing");
+        }
         TVDP_ASSIGN_OR_RETURN(std::vector<Row> rows,
                               feats->FindBy("image_id", Value(id)));
         const storage::Schema& fs = feats->schema();

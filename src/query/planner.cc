@@ -7,6 +7,15 @@
 
 namespace tvdp::query {
 
+const storage::Table* FindTable(const AccessPaths& access,
+                                const std::string& name) {
+  if (access.tables) {
+    auto it = access.tables->find(name);
+    if (it != access.tables->end()) return it->second.get();
+  }
+  return access.catalog ? access.catalog->GetTable(name) : nullptr;
+}
+
 namespace {
 
 /// Families in declaration order — the tie-break order for seed selection

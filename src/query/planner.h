@@ -16,26 +16,42 @@
 #include "query/plan.h"
 #include "query/query.h"
 #include "storage/catalog.h"
+#include "storage/columnar.h"
 
 namespace tvdp::query {
 
 /// The access paths the planner and executor operate over: non-owning
-/// views of the engine's indexes, the catalog, and the fan-out pool. The
-/// QueryEngine assembles one of these under its reader-writer lock; the
+/// views of the indexes, tables, and the fan-out pool. Two provenances:
+///  * a pinned MVCC snapshot (`tables` set, `catalog` null) — the default
+///    read path; everything referenced is immutable, no lock held;
+///  * the live engine state (`catalog` set) — writers' read-own-writes
+///    and the legacy locked path; caller holds the engine mutex.
+/// Resolve tables through FindTable() so both provenances work. The
 /// planner never reaches into index internals — only through the
 /// `CardinalityEstimate` statistics hooks and the public probe methods.
 struct AccessPaths {
   const storage::Catalog* catalog = nullptr;
+  const storage::TableSet* tables = nullptr;
   ThreadPool* pool = nullptr;
   const index::RTree* points = nullptr;
   const index::OrientedRTree* fovs = nullptr;
   const index::TemporalIndex* temporal = nullptr;
   const index::InvertedIndex* keywords = nullptr;
-  const std::map<std::string, std::unique_ptr<index::LshIndex>>* lsh = nullptr;
-  const std::map<std::string, std::unique_ptr<index::VisualRTree>>*
+  const std::map<std::string, std::shared_ptr<index::LshIndex>>* lsh = nullptr;
+  const std::map<std::string, std::shared_ptr<index::VisualRTree>>*
       visual_rtree = nullptr;
+  /// Columnar hot columns; may be null (legacy path) or stale relative to
+  /// the table (mid-rebuild) — consumers fall back to row storage unless
+  /// the sizes match.
+  const storage::ColumnarImages* col_images = nullptr;
+  const storage::ColumnarAnnotations* col_annotations = nullptr;
   size_t indexed_images = 0;
 };
+
+/// Table lookup across both AccessPaths provenances: the snapshot table
+/// set when present, the live catalog otherwise. Nullptr when absent.
+const storage::Table* FindTable(const AccessPaths& access,
+                                const std::string& name);
 
 /// Knobs for plan construction. The defaults produce the cost-based plan;
 /// tests and benches use `force_seed` to run every (or the worst) conjunct

@@ -73,13 +73,21 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 std::vector<uint8_t> Catalog::Serialize() const {
+  std::vector<const Table*> tables;
+  tables.reserve(tables_.size());
+  for (const auto& [_, table] : tables_) tables.push_back(table.get());
+  return SerializeTables(tables);
+}
+
+std::vector<uint8_t> Catalog::SerializeTables(
+    const std::vector<const Table*>& tables) {
   // Body first, so the header can carry its checksum: any single corrupted
   // byte anywhere in the output is detected on load (magic/version flips by
   // the field checks, everything else by the CRC).
   BinaryWriter w;
-  w.WriteU32(static_cast<uint32_t>(tables_.size()));
-  for (const auto& [name, table] : tables_) {
-    w.WriteString(name);
+  w.WriteU32(static_cast<uint32_t>(tables.size()));
+  for (const Table* table : tables) {
+    w.WriteString(table->name());
     // Schema (excluding the implicit id column, re-added on load).
     const auto& cols = table->schema().columns();
     w.WriteU32(static_cast<uint32_t>(cols.size() - 1));

@@ -39,6 +39,13 @@ class Catalog {
   /// Serializes every table (schema + rows) into one buffer.
   std::vector<uint8_t> Serialize() const;
 
+  /// Serializes an arbitrary table list in the same on-disk format.
+  /// Lets an MVCC snapshot (immutable table copies outside any Catalog)
+  /// persist itself byte-compatibly with Serialize(); tables must be
+  /// pre-sorted by name to match.
+  static std::vector<uint8_t> SerializeTables(
+      const std::vector<const Table*>& tables);
+
   /// Restores a catalog from Serialize() output.
   static Result<Catalog> Deserialize(const std::vector<uint8_t>& bytes);
 

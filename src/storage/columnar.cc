@@ -1,0 +1,210 @@
+#include "storage/columnar.h"
+
+#include <algorithm>
+
+namespace tvdp::storage {
+
+namespace {
+
+/// Reads the `off`-th `width`-bit slot. Widths are powers of two up to 64,
+/// so a slot never spans a word boundary.
+uint64_t GetBits(const std::vector<uint64_t>& words, size_t off,
+                 uint8_t width) {
+  if (width == 0) return 0;
+  size_t bitpos = off * width;
+  uint64_t word = words[bitpos >> 6];
+  uint64_t v = word >> (bitpos & 63);
+  return width == 64 ? v : v & ((uint64_t{1} << width) - 1);
+}
+
+}  // namespace
+
+int64_t PackedInt64Column::Chunk::At(size_t off) const {
+  return base + static_cast<int64_t>(GetBits(words, off, width));
+}
+
+uint8_t PackedInt64Column::WidthFor(uint64_t delta) {
+  if (delta == 0) return 0;
+  if (delta < (uint64_t{1} << 1)) return 1;
+  if (delta < (uint64_t{1} << 2)) return 2;
+  if (delta < (uint64_t{1} << 4)) return 4;
+  if (delta < (uint64_t{1} << 8)) return 8;
+  if (delta < (uint64_t{1} << 16)) return 16;
+  if (delta < (uint64_t{1} << 32)) return 32;
+  return 64;
+}
+
+void PackedInt64Column::SetBits(std::vector<uint64_t>* words, size_t off,
+                                uint8_t width, uint64_t value) {
+  if (width == 0) return;
+  size_t bitpos = off * width;
+  size_t word = bitpos >> 6;
+  if (word >= words->size()) words->resize(word + 1, 0);
+  size_t shift = bitpos & 63;
+  uint64_t mask = width == 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+  (*words)[word] = ((*words)[word] & ~(mask << shift)) | (value << shift);
+}
+
+void PackedInt64Column::Repack(Chunk* c, int64_t new_base, uint8_t new_width) {
+  std::vector<uint64_t> repacked;
+  for (size_t i = 0; i < c->count; ++i) {
+    // Two's-complement subtraction yields the correct unsigned delta for
+    // any base <= value, even across the int64 range.
+    uint64_t delta = static_cast<uint64_t>(c->At(i)) -
+                     static_cast<uint64_t>(new_base);
+    SetBits(&repacked, i, new_width, delta);
+  }
+  c->base = new_base;
+  c->width = new_width;
+  c->words = std::move(repacked);
+}
+
+PackedInt64Column::Chunk* PackedInt64Column::MutableTail() {
+  std::shared_ptr<Chunk>& tail = chunks_.back();
+  // use_count > 1 means a frozen snapshot still references this chunk:
+  // copy-on-write so pinned readers keep seeing the committed bytes.
+  if (tail.use_count() > 1) tail = std::make_shared<Chunk>(*tail);
+  return tail.get();
+}
+
+void PackedInt64Column::Append(int64_t v) {
+  if (chunks_.empty() || chunks_.back()->count == kChunkCapacity) {
+    auto c = std::make_shared<Chunk>();
+    c->base = v;
+    c->width = 0;
+    c->count = 1;
+    chunks_.push_back(std::move(c));
+    ++size_;
+    return;
+  }
+  Chunk* tail = MutableTail();
+  uint64_t delta = static_cast<uint64_t>(v) - static_cast<uint64_t>(tail->base);
+  if (v >= tail->base && WidthFor(delta) <= tail->width) {
+    SetBits(&tail->words, tail->count, tail->width, delta);
+  } else {
+    // The value falls outside the chunk's frame: lower the base and/or
+    // widen, re-encoding the existing deltas first.
+    int64_t new_base = std::min(tail->base, v);
+    uint64_t max_delta = static_cast<uint64_t>(v) -
+                         static_cast<uint64_t>(new_base);
+    for (size_t i = 0; i < tail->count; ++i) {
+      max_delta = std::max(max_delta, static_cast<uint64_t>(tail->At(i)) -
+                                          static_cast<uint64_t>(new_base));
+    }
+    Repack(tail, new_base, WidthFor(max_delta));
+    SetBits(&tail->words, tail->count,
+            tail->width, static_cast<uint64_t>(v) -
+                             static_cast<uint64_t>(tail->base));
+  }
+  ++tail->count;
+  ++size_;
+}
+
+int64_t PackedInt64Column::Get(size_t i) const {
+  return chunks_[i / kChunkCapacity]->At(i % kChunkCapacity);
+}
+
+void PackedInt64Column::Clear() {
+  chunks_.clear();
+  size_ = 0;
+}
+
+size_t PackedInt64Column::ApproxBytes() const {
+  size_t total = sizeof(*this) + chunks_.size() * sizeof(chunks_[0]);
+  for (const auto& c : chunks_) total += c->Bytes();
+  return total;
+}
+
+void PackedInt64Column::AccountShared(const PackedInt64Column* prev,
+                                      size_t* shared, size_t* copied) const {
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    bool is_shared = prev && i < prev->chunks_.size() &&
+                     prev->chunks_[i] == chunks_[i];
+    *(is_shared ? shared : copied) += chunks_[i]->Bytes();
+  }
+}
+
+void ColumnarImages::Append(int64_t id, double lat, double lon,
+                            int64_t captured_at) {
+  if (size() > 0 && id < ids_.Get(size() - 1)) sorted_ = false;
+  ids_.Append(id);
+  lat_bits_.Append(DoubleToBits(lat));
+  lon_bits_.Append(DoubleToBits(lon));
+  captured_.Append(captured_at);
+}
+
+void ColumnarImages::Clear() {
+  ids_.Clear();
+  lat_bits_.Clear();
+  lon_bits_.Clear();
+  captured_.Clear();
+  sorted_ = true;
+}
+
+ptrdiff_t ColumnarImages::Find(int64_t id) const {
+  size_t n = ids_.size();
+  if (sorted_) {
+    size_t lo = 0, hi = n;
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (ids_.Get(mid) < id) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return (lo < n && ids_.Get(lo) == id) ? static_cast<ptrdiff_t>(lo) : -1;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (ids_.Get(i) == id) return static_cast<ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+size_t ColumnarImages::ApproxBytes() const {
+  return ids_.ApproxBytes() + lat_bits_.ApproxBytes() +
+         lon_bits_.ApproxBytes() + captured_.ApproxBytes();
+}
+
+void ColumnarImages::AccountShared(const ColumnarImages* prev, size_t* shared,
+                                   size_t* copied) const {
+  ids_.AccountShared(prev ? &prev->ids_ : nullptr, shared, copied);
+  lat_bits_.AccountShared(prev ? &prev->lat_bits_ : nullptr, shared, copied);
+  lon_bits_.AccountShared(prev ? &prev->lon_bits_ : nullptr, shared, copied);
+  captured_.AccountShared(prev ? &prev->captured_ : nullptr, shared, copied);
+}
+
+void ColumnarAnnotations::Append(int64_t image_id, int64_t type_id,
+                                 double confidence, const std::string& source) {
+  image_ids_.Append(image_id);
+  type_ids_.Append(type_id);
+  conf_bits_.Append(DoubleToBits(confidence));
+  size_t code = 0;
+  while (code < source_dict_.size() && source_dict_[code] != source) ++code;
+  if (code == source_dict_.size()) source_dict_.push_back(source);
+  source_codes_.Append(static_cast<int64_t>(code));
+}
+
+void ColumnarAnnotations::Clear() {
+  image_ids_.Clear();
+  type_ids_.Clear();
+  conf_bits_.Clear();
+  source_codes_.Clear();
+  source_dict_.clear();
+}
+
+size_t ColumnarAnnotations::ApproxBytes() const {
+  return image_ids_.ApproxBytes() + type_ids_.ApproxBytes() +
+         conf_bits_.ApproxBytes() + source_codes_.ApproxBytes();
+}
+
+void ColumnarAnnotations::AccountShared(const ColumnarAnnotations* prev,
+                                        size_t* shared, size_t* copied) const {
+  image_ids_.AccountShared(prev ? &prev->image_ids_ : nullptr, shared, copied);
+  type_ids_.AccountShared(prev ? &prev->type_ids_ : nullptr, shared, copied);
+  conf_bits_.AccountShared(prev ? &prev->conf_bits_ : nullptr, shared, copied);
+  source_codes_.AccountShared(prev ? &prev->source_codes_ : nullptr, shared,
+                              copied);
+}
+
+}  // namespace tvdp::storage

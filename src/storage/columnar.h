@@ -1,0 +1,159 @@
+#ifndef TVDP_STORAGE_COLUMNAR_H_
+#define TVDP_STORAGE_COLUMNAR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace tvdp::storage {
+
+/// Bit-width-adaptive packed integer column (realm-core array style):
+/// values are stored in fixed-size chunks, each frame-of-reference encoded
+/// against the chunk's minimum with the narrowest power-of-two bit width
+/// that fits every delta (0, 1, 2, 4, 8, 16, 32 or 64 bits). Chunks are
+/// refcounted and immutable once shared: freezing a column for an MVCC
+/// snapshot copies only the chunk pointer vector, and the writer clones a
+/// chunk before mutating it whenever a snapshot still references it — so
+/// consecutive catalog versions share all but the tail chunk structurally.
+///
+/// Thread safety: mutation requires external exclusion (the engine writer
+/// lock); frozen copies are immutable and safe to read concurrently.
+class PackedInt64Column {
+ public:
+  /// Values per chunk. Chunks fill completely before a new one starts, so
+  /// position -> (chunk, offset) is pure arithmetic.
+  static constexpr size_t kChunkCapacity = 256;
+
+  void Append(int64_t v);
+  int64_t Get(size_t i) const;
+  size_t size() const { return size_; }
+  void Clear();
+
+  /// Heap footprint of the packed chunks (the point of the encoding: a
+  /// column of small deltas costs bits, not 8 bytes, per value).
+  size_t ApproxBytes() const;
+
+  /// Commit accounting: splits this column's chunk bytes into those shared
+  /// with `prev` (same chunk object, by pointer) and those newly copied.
+  void AccountShared(const PackedInt64Column* prev, size_t* shared,
+                     size_t* copied) const;
+
+ private:
+  struct Chunk {
+    int64_t base = 0;    ///< frame of reference (minimum value in chunk)
+    uint8_t width = 0;   ///< bits per delta: 0, 1, 2, 4, 8, 16, 32, 64
+    uint16_t count = 0;
+    std::vector<uint64_t> words;  ///< bit-packed deltas, LSB first
+
+    int64_t At(size_t off) const;
+    size_t Bytes() const { return sizeof(Chunk) + words.size() * 8; }
+  };
+
+  /// The tail chunk, cloned first if a frozen snapshot still shares it.
+  Chunk* MutableTail();
+  static uint8_t WidthFor(uint64_t delta);
+  /// Re-encodes `c` with a (possibly lower) base and wider width.
+  static void Repack(Chunk* c, int64_t new_base, uint8_t new_width);
+  static void SetBits(std::vector<uint64_t>* words, size_t off, uint8_t width,
+                      uint64_t value);
+
+  std::vector<std::shared_ptr<Chunk>> chunks_;
+  size_t size_ = 0;
+};
+
+/// Exact bit-level transport of doubles through an integer column: the
+/// query envelopes report raw coordinate-derived scores, so the columnar
+/// representation must be bit-identical to the row values, not quantized.
+inline int64_t DoubleToBits(double d) {
+  int64_t b;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+inline double BitsToDouble(int64_t b) {
+  double d;
+  std::memcpy(&d, &b, sizeof(d));
+  return d;
+}
+
+/// The hot read columns of the images table (id, lat, lon, captured_at) in
+/// columnar form, maintained by the query engine's index-image path and
+/// frozen into every published MVCC snapshot. The executor's kNN re-rank
+/// and verify stages read these instead of materializing catalog rows.
+class ColumnarImages {
+ public:
+  void Append(int64_t id, double lat, double lon, int64_t captured_at);
+  void Clear();
+
+  size_t size() const { return ids_.size(); }
+  int64_t id(size_t i) const { return ids_.Get(i); }
+  double lat(size_t i) const { return BitsToDouble(lat_bits_.Get(i)); }
+  double lon(size_t i) const { return BitsToDouble(lon_bits_.Get(i)); }
+  int64_t captured_at(size_t i) const { return captured_.Get(i); }
+
+  /// Position of image `id`, or -1 when absent. Binary search while the
+  /// append order stayed id-sorted (the common case: ids are allocated
+  /// monotonically), linear scan otherwise.
+  ptrdiff_t Find(int64_t id) const;
+
+  /// Immutable copy for an MVCC snapshot; shares every chunk with this
+  /// builder until the builder next mutates the tail.
+  std::shared_ptr<const ColumnarImages> Freeze() const {
+    return std::make_shared<const ColumnarImages>(*this);
+  }
+
+  size_t ApproxBytes() const;
+  void AccountShared(const ColumnarImages* prev, size_t* shared,
+                     size_t* copied) const;
+
+ private:
+  PackedInt64Column ids_, lat_bits_, lon_bits_, captured_;
+  bool sorted_ = true;  ///< ids nondecreasing so far
+};
+
+/// Hot columns of the annotation table (image id, type id, confidence,
+/// source), serving the categorical scan without touching row storage.
+/// The source column is dictionary-encoded ("machine"/"manual" in
+/// practice, so codes pack into 1 bit).
+class ColumnarAnnotations {
+ public:
+  void Append(int64_t image_id, int64_t type_id, double confidence,
+              const std::string& source);
+  void Clear();
+
+  size_t size() const { return image_ids_.size(); }
+  int64_t image_id(size_t i) const { return image_ids_.Get(i); }
+  int64_t type_id(size_t i) const { return type_ids_.Get(i); }
+  double confidence(size_t i) const {
+    return BitsToDouble(conf_bits_.Get(i));
+  }
+  const std::string& source(size_t i) const {
+    return source_dict_[static_cast<size_t>(source_codes_.Get(i))];
+  }
+
+  std::shared_ptr<const ColumnarAnnotations> Freeze() const {
+    return std::make_shared<const ColumnarAnnotations>(*this);
+  }
+
+  size_t ApproxBytes() const;
+  void AccountShared(const ColumnarAnnotations* prev, size_t* shared,
+                     size_t* copied) const;
+
+ private:
+  PackedInt64Column image_ids_, type_ids_, conf_bits_, source_codes_;
+  std::vector<std::string> source_dict_;
+};
+
+/// An immutable table set: the per-version view of the catalog published
+/// in an MVCC snapshot. Clean tables are shared (same shared_ptr) across
+/// consecutive versions; only tables touched by a commit are copied.
+using TableSet = std::map<std::string, std::shared_ptr<const Table>>;
+
+}  // namespace tvdp::storage
+
+#endif  // TVDP_STORAGE_COLUMNAR_H_
